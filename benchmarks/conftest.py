@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures: workload programs from the paper's figures."""
+
+import pytest
+
+
+@pytest.fixture
+def write_program(tmp_path):
+    def _write(name: str, source: str) -> str:
+        path = tmp_path / name
+        path.write_text(source, encoding="utf-8")
+        return str(path)
+
+    return _write
+
+
+@pytest.fixture
+def output_dir(tmp_path):
+    path = tmp_path / "out"
+    path.mkdir()
+    return str(path)
+
+
+def once(benchmark, function, *args, **kwargs):
+    """Run an end-to-end scenario exactly once under the benchmark clock.
+
+    The figure-generation scenarios are whole-program executions; repeating
+    them hundreds of times adds nothing, so each is timed as a single
+    (round=1, iteration=1) pedantic run.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

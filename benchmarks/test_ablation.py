@@ -1,0 +1,161 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each bench isolates one implementation decision from the paper and measures
+its cost against the alternative:
+
+1. per-line watch checking (the paper's choice) vs. a watch-free resume;
+2. the thread handshake of the Python tracker: per-control-call cost;
+3. serialized-over-the-pipe inspection (GDB tracker) vs. in-process
+   inspection (Python tracker);
+4. exhaustive vs. depth-capped object-graph snapshots.
+"""
+
+import pytest
+
+from repro.gdbtracker.tracker import GDBTracker
+from repro.pytracker.introspect import Snapshotter
+from repro.pytracker.tracker import PythonTracker
+
+LOOP = """\
+total = 0
+for i in range(1500):
+    total += i
+final = total
+"""
+
+
+# ---------------------------------------------------------------------------
+# 1. Watch checking per line
+# ---------------------------------------------------------------------------
+
+
+def _resume_to_end(path, watches):
+    tracker = PythonTracker()
+    tracker.load_program(path)
+    for watch in watches:
+        tracker.watch(watch)
+    tracker.start()
+    while tracker.get_exit_code() is None:
+        tracker.resume()
+    tracker.terminate()
+
+
+def test_ablation_resume_without_watch(benchmark, write_program):
+    path = write_program("loop.py", LOOP)
+    benchmark.pedantic(_resume_to_end, args=(path, []), rounds=3, iterations=1)
+
+
+def test_ablation_resume_with_one_watch(benchmark, write_program):
+    path = write_program("loop.py", LOOP)
+    benchmark.pedantic(
+        _resume_to_end, args=(path, ["final"]), rounds=3, iterations=1
+    )
+
+
+def test_ablation_resume_with_four_watches(benchmark, write_program):
+    path = write_program("loop.py", LOOP)
+    benchmark.pedantic(
+        _resume_to_end,
+        args=(path, ["final", "total", "i", "missing"]),
+        rounds=3,
+        iterations=1,
+    )
+
+
+# ---------------------------------------------------------------------------
+# 2. Thread handshake cost (one step() = one wake + one wait)
+# ---------------------------------------------------------------------------
+
+
+def test_ablation_handshake_per_step(benchmark, write_program):
+    path = write_program("steps.py", "\n".join(f"x{i} = {i}" for i in range(200)))
+    tracker = PythonTracker()
+    tracker.load_program(path)
+    tracker.start()
+    steps = iter(range(150))
+
+    def one_step():
+        next(steps)
+        tracker.step()
+
+    try:
+        benchmark.pedantic(one_step, rounds=100, iterations=1)
+    finally:
+        tracker.terminate()
+
+
+# ---------------------------------------------------------------------------
+# 3. In-process vs. serialized-over-the-pipe inspection
+# ---------------------------------------------------------------------------
+
+PY_STATE = """\
+def hold():
+    data = [[j for j in range(10)] for _ in range(10)]
+    table = {str(k): k for k in range(20)}
+    marker = 1
+    return data, table
+
+out = hold()
+"""
+
+C_STATE = """\
+int main(void) {
+    int grid[10][10];
+    for (int i = 0; i < 10; i++) {
+        for (int j = 0; j < 10; j++) {
+            grid[i][j] = i * 10 + j;
+        }
+    }
+    int marker = 1;
+    return 0;
+}
+"""
+
+
+def test_ablation_inspect_in_process(benchmark, write_program):
+    path = write_program("state.py", PY_STATE)
+    tracker = PythonTracker()
+    tracker.load_program(path)
+    tracker.break_before_line(5)
+    tracker.start()
+    tracker.resume()
+    try:
+        benchmark(tracker.get_current_frame)
+    finally:
+        tracker.terminate()
+
+
+def test_ablation_inspect_over_pipe(benchmark, write_program):
+    path = write_program("state.c", C_STATE)
+    tracker = GDBTracker()
+    tracker.load_program(path)
+    tracker.break_before_line(8)
+    tracker.start()
+    tracker.resume()
+    try:
+        benchmark(tracker.get_current_frame)
+    finally:
+        tracker.terminate()
+
+
+# ---------------------------------------------------------------------------
+# 4. Snapshot depth caps
+# ---------------------------------------------------------------------------
+
+
+def _deep_structure(depth, width=3):
+    node = 0
+    for _ in range(depth):
+        node = [node] * width
+    return node
+
+
+@pytest.mark.parametrize("max_depth", [None, 4, 2])
+def test_ablation_snapshot_depth(benchmark, max_depth):
+    structure = _deep_structure(8)
+
+    def snap():
+        return Snapshotter(max_depth=max_depth).snapshot(structure)
+
+    value = benchmark(snap)
+    assert value is not None

@@ -1,0 +1,77 @@
+"""Fig. 7 — the RISC-V registers-and-memory viewer.
+
+Regenerates the compiler-course view: source beside the CPU registers (pc
+and sp emphasized) and raw memory as a one-dimensional word array, stepped
+line by line through the GDB tracker's ``get_registers_gdb`` and
+``get_value_at_gdb``.
+"""
+
+import os
+
+from benchmarks.conftest import once
+from repro.riscv.assembler import DATA_BASE
+from repro.tools.riscv_viewer import RiscvViewer
+
+SUM_PROGRAM = """\
+    .data
+arr:    .word 3, 1, 4, 1, 5
+n:      .word 5
+    .text
+main:
+    la   t0, arr
+    lw   t1, n
+    li   t2, 0
+loop:
+    beqz t1, done
+    lw   t3, 0(t0)
+    add  t2, t2, t3
+    addi t0, t0, 4
+    addi t1, t1, -1
+    j    loop
+done:
+    mv   a0, t2
+    li   a7, 1
+    ecall
+    li   a7, 93
+    li   a0, 0
+    ecall
+"""
+
+
+def test_fig7_viewer_states(benchmark, write_program, output_dir):
+    program = write_program("sum.s", SUM_PROGRAM)
+    viewer = RiscvViewer(program, memory_base=DATA_BASE, memory_size=32)
+
+    states = once(benchmark, viewer.run, output_dir)
+
+    # One state per executed instruction line.
+    assert len(states) > 20
+    first, last = states[0], states[-1]
+    # pc advances; sp starts at the stack top; memory shows the array.
+    assert last["registers"]["pc"] > first["registers"]["pc"]
+    assert first["registers"]["sp"] == 0x7FFF_F000
+    words = [
+        int.from_bytes(first["memory"][i : i + 4], "little")
+        for i in range(0, 20, 4)
+    ]
+    assert words == [3, 1, 4, 1, 5]
+    # The sum accumulates into t2: 3+1+4+1+5 = 14.
+    assert states[-1]["registers"]["t2"] == 14
+    # Register-change highlighting fires on every load into t3.
+    assert any("t3" in state["changed"] for state in states)
+    # Both the state SVGs and the source listings were written.
+    files = os.listdir(output_dir)
+    assert any(name.endswith("_src.svg") for name in files)
+    assert any(name == "riscv_001.svg" for name in files)
+
+
+def test_fig7_text_mode_panes(benchmark, write_program):
+    program = write_program("sum.s", SUM_PROGRAM)
+    viewer = RiscvViewer(program, memory_base=DATA_BASE, memory_size=16)
+
+    text = once(benchmark, viewer.run_text, 100)
+
+    # The split-terminal view: source marker, registers, memory rows.
+    assert "=>" in text
+    assert "pc = 0x000" in text
+    assert f"{DATA_BASE:#010x}:" in text

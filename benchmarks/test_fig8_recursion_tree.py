@@ -1,0 +1,91 @@
+"""Fig. 8 — the recursive-call tree visualization.
+
+Regenerates the paper's Listing 6 run: track a recursive function, build
+the dynamic call tree with argument values snapshotted at call time, live
+nodes red and exited nodes gray, return values on back edges, one image per
+call/return event.
+"""
+
+import os
+
+from benchmarks.conftest import once
+from repro.tools.recursion_tree import record_call_tree
+
+MERGE_SORT = """\
+def merge_sort(arr):
+    if len(arr) <= 1:
+        return arr
+    mid = len(arr) // 2
+    left = merge_sort(arr[:mid])
+    right = merge_sort(arr[mid:])
+    merged = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i] <= right[j]:
+            merged.append(left[i])
+            i += 1
+        else:
+            merged.append(right[j])
+            j += 1
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    return merged
+
+data = [6, 2, 9, 4, 7, 1]
+print(merge_sort(data))
+"""
+
+
+def test_fig8_call_tree_generation(benchmark, write_program, output_dir):
+    program = write_program("msort.py", MERGE_SORT)
+
+    recording = once(
+        benchmark,
+        record_call_tree,
+        program,
+        "merge_sort",
+        ["arr"],
+        output_dir,
+    )
+
+    # One snapshot per call/return event, as the paper's rec-NNN.svg series.
+    assert recording.events == len(recording.images)
+    assert os.path.exists(recording.images[-1])
+    root = recording.roots[0]
+    # Shape of the figure: the root shows the call-time argument and the
+    # returned (sorted) array on its annotation.
+    assert root.label("merge_sort") == "merge_sort([6, 2, 9, 4, 7, 1])"
+    assert root.retval == "[1, 2, 4, 6, 7, 9]"
+    assert len(root.children) == 2
+    # Everything returned by the end: no live (red) nodes remain.
+    def all_inactive(node):
+        return not node.active and all(all_inactive(c) for c in node.children)
+
+    assert all_inactive(root)
+    # Intermediate images show live (red) nodes.
+    middle = open(recording.images[3], encoding="utf-8").read()
+    assert "#c0392b" in middle
+    final = open(recording.images[-1], encoding="utf-8").read()
+    assert "#2980b9" in final  # return-value back edges
+
+
+def test_fig8_skip_parameter(benchmark, write_program):
+    """The paper's interactive `skip` query: skip the first call tree."""
+    program = write_program(
+        "two_trees.py",
+        "def rec(n):\n"
+        "    if n <= 0:\n"
+        "        return 0\n"
+        "    return rec(n - 1)\n"
+        "\n"
+        "rec(2)\n"
+        "rec(3)\n",
+    )
+
+    recording = once(
+        benchmark, record_call_tree, program, "rec", ["n"], None, 1
+    )
+
+    # Only the second top-level tree (rec(3), 4 calls deep) is recorded.
+    assert len(recording.roots) == 1
+    assert recording.roots[0].args == {"n": "3"}

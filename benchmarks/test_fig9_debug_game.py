@@ -1,0 +1,47 @@
+"""Fig. 9 — the game for learning debugging.
+
+Regenerates the paper's scenario: a mini-C level whose ``check_key`` forgets
+to pick up the key, played live under the GDB tracker. Shape checks: the
+character reaches the exit with the door closed, the controller generates
+incrementally useful hints *while the level runs* (the capability that
+post-mortem traces cannot provide), and after fixing the source the replay
+wins.
+"""
+
+from benchmarks.conftest import once
+from repro.tools.debug_game import (
+    LEVEL1_FIXED,
+    fix_and_replay,
+    play_level,
+    write_level,
+)
+
+
+def test_fig9_buggy_level_produces_hints(benchmark, tmp_path):
+    level = write_level(str(tmp_path / "level1.c"))
+
+    result = once(benchmark, play_level, level)
+
+    assert result.reached_exit
+    assert not result.door_opened
+    assert not result.won
+    # The two live hints of the scenario: key not picked up, door closed.
+    assert any("check_key" in hint for hint in result.hints)
+    assert any("door" in hint for hint in result.hints)
+    # The map animates with the character's path (watch on x and y).
+    assert result.path[0] == (1, 1)
+    assert result.path[-1] == (5, 3)
+    assert (3, 1) in result.path
+    assert len(result.frames) >= len(result.path)
+
+
+def test_fig9_fix_loop_wins(benchmark, tmp_path):
+    level = write_level(str(tmp_path / "level1.c"))
+
+    before, after = once(benchmark, fix_and_replay, level, LEVEL1_FIXED)
+
+    assert not before.won
+    assert after.won
+    assert after.has_key and after.door_opened
+    # The fixed run no longer triggers the check_key hint.
+    assert not any("check_key" in hint for hint in after.hints)

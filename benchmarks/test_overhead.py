@@ -1,0 +1,120 @@
+"""§II-C2 performance note — the cost of tracker-based control.
+
+The paper is explicit about the design trade-off: because watchpoints are
+checked before every line, even ``resume`` single-steps internally, which
+"slows the execution down a lot" but "is not critical for the pedagogical
+context". These benches quantify that honestly:
+
+- native execution vs. Python-tracker resume (with and without a watch);
+- MI round-trip latency of the GDB-style tracker (one command over the
+  subprocess pipe), the cost every control/inspection call pays.
+"""
+
+import time
+
+import pytest
+
+from repro.gdbtracker.tracker import GDBTracker
+from repro.pytracker.tracker import PythonTracker
+
+LOOP_PROGRAM = """\
+total = 0
+for i in range(2000):
+    total += i
+final = total
+"""
+
+
+def run_native(path):
+    with open(path, encoding="utf-8") as source:
+        code = compile(source.read(), path, "exec")
+    exec(code, {"__name__": "__main__"})
+
+
+def run_tracked(path, watch=None):
+    tracker = PythonTracker()
+    tracker.load_program(path)
+    if watch is not None:
+        tracker.watch(watch)
+    tracker.start()
+    while tracker.get_exit_code() is None:
+        tracker.resume()
+    tracker.terminate()
+
+
+def test_native_baseline(benchmark, write_program):
+    path = write_program("loop.py", LOOP_PROGRAM)
+    benchmark(run_native, path)
+
+
+def test_tracked_resume_overhead(benchmark, write_program):
+    path = write_program("loop.py", LOOP_PROGRAM)
+    benchmark.pedantic(run_tracked, args=(path,), rounds=3, iterations=1)
+
+
+def test_tracked_resume_with_watch(benchmark, write_program):
+    path = write_program("loop.py", LOOP_PROGRAM)
+    benchmark.pedantic(
+        run_tracked, args=(path, "total"), rounds=3, iterations=1
+    )
+
+
+def test_slowdown_factor_reported(benchmark, write_program):
+    """The headline number: tracked / native wall-clock ratio."""
+    path = write_program("loop.py", LOOP_PROGRAM)
+
+    def measure():
+        start = time.perf_counter()
+        run_native(path)
+        native = time.perf_counter() - start
+        start = time.perf_counter()
+        run_tracked(path, watch="total")
+        tracked = time.perf_counter() - start
+        return native, tracked
+
+    native, tracked = benchmark.pedantic(measure, rounds=1, iterations=1)
+    factor = tracked / native
+    print(
+        f"\nnative {native * 1e3:.2f} ms vs tracked-with-watch "
+        f"{tracked * 1e3:.2f} ms -> {factor:.0f}x slowdown "
+        "(the paper's acknowledged cost of per-line watch checks)"
+    )
+    # Shape check, not a precise number: control is orders of magnitude
+    # slower than native execution, exactly as the paper warns.
+    assert factor > 10
+
+
+def test_mi_round_trip_latency(benchmark, write_program):
+    """One -data-list-globals round trip over the live subprocess pipe."""
+    path = write_program(
+        "p.c",
+        "int g = 1;\nint main(void) {\n    int x = 0;\n    for (x = 0; x < 100; x++) { g = g + x; }\n    return 0;\n}\n",
+    )
+    tracker = GDBTracker()
+    tracker.load_program(path)
+    tracker.start()
+    try:
+        benchmark(tracker.get_global_variables)
+    finally:
+        tracker.terminate()
+
+
+def test_gdb_tracker_step_latency(benchmark, write_program):
+    """Per-step cost of the GDB tracker: command + stop record round trip."""
+    path = write_program(
+        "loop.c",
+        "int main(void) {\n"
+        "    int total = 0;\n"
+        "    for (int i = 0; i < 100000; i++) {\n"
+        "        total += i;\n"
+        "    }\n"
+        "    return 0;\n"
+        "}\n",
+    )
+    tracker = GDBTracker()
+    tracker.load_program(path)
+    tracker.start()
+    try:
+        benchmark(tracker.step)
+    finally:
+        tracker.terminate()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Fig. 1: the loop-invariant array visualizer on insertion sort.
+
+Generates one (source, array) image pair per executed line: index markers
+``i`` and ``j`` point under their cells and the already-sorted prefix is
+drawn darker — the invariant students should see.
+
+Run: ``python examples/array_invariant_demo.py [output_dir]``
+"""
+
+import os
+import sys
+import tempfile
+
+from repro.tools.array_invariant import ArrayInvariantTool
+
+INFERIOR = """\
+def insertion_sort(arr):
+    for i in range(1, len(arr)):
+        j = i
+        while j > 0 and arr[j - 1] > arr[j]:
+            arr[j - 1], arr[j] = arr[j], arr[j - 1]
+            j -= 1
+    return arr
+
+data = [5, 2, 8, 1, 9, 3, 7, 4]
+insertion_sort(data)
+"""
+
+
+def main() -> None:
+    output_dir = sys.argv[1] if len(sys.argv) >= 2 else "invariant_out"
+    with tempfile.TemporaryDirectory() as workdir:
+        program = os.path.join(workdir, "isort.py")
+        with open(program, "w", encoding="utf-8") as output:
+            output.write(INFERIOR)
+        tool = ArrayInvariantTool(
+            program,
+            array_name="arr",
+            index_names=["i", "j"],
+            sorted_upto="i",
+            function="insertion_sort",
+        )
+        images = tool.run(output_dir)
+    print(f"wrote {len(images)} array snapshots (plus source listings) "
+          f"to {output_dir}/")
+    print("open them in order to watch the sorted prefix grow")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Simultaneous control of multiple inferiors (paper's future-work list).
+
+Runs a Python producer and a mini-C consumer side by side, stepping them in
+lockstep and printing a merged view — the shape of a client/server or
+distributed-programming visualization. Each tracker is independent, so a
+tool can hold as many as it needs.
+
+Run: ``python examples/multi_inferior.py``
+"""
+
+import os
+import tempfile
+
+from repro import init_tracker
+
+PRODUCER_PY = """\
+queue = []
+for item in range(3):
+    queue.append(item * item)
+total = sum(queue)
+"""
+
+CONSUMER_C = """\
+int consumed = 0;
+
+int take(int value) {
+    return value + 1;
+}
+
+int main(void) {
+    for (int i = 0; i < 3; i++) {
+        consumed = consumed + take(i * i);
+    }
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as workdir:
+        producer_path = os.path.join(workdir, "producer.py")
+        consumer_path = os.path.join(workdir, "consumer.c")
+        with open(producer_path, "w", encoding="utf-8") as output:
+            output.write(PRODUCER_PY)
+        with open(consumer_path, "w", encoding="utf-8") as output:
+            output.write(CONSUMER_C)
+
+        producer = init_tracker("python")
+        consumer = init_tracker("GDB")
+        producer.load_program(producer_path)
+        consumer.load_program(consumer_path)
+        producer.start()
+        consumer.start()
+
+        step = 1
+        while (
+            producer.get_exit_code() is None
+            or consumer.get_exit_code() is None
+        ):
+            producer_state = consumer_state = "(exited)"
+            if producer.get_exit_code() is None:
+                variable = producer.get_variable("queue")
+                producer_state = (
+                    f"line {producer.next_lineno:2d} queue="
+                    f"{variable.value.render() if variable else '?'}"
+                )
+                producer.step()
+            if consumer.get_exit_code() is None:
+                variable = consumer.get_variable("consumed")
+                consumer_state = (
+                    f"line {consumer.next_lineno:2d} consumed="
+                    f"{variable.value.render() if variable else '?'}"
+                )
+                consumer.step()
+            print(f"step {step:2d} | python: {producer_state:30s} "
+                  f"| mini-C: {consumer_state}")
+            step += 1
+            if step > 60:
+                break
+
+        producer.terminate()
+        consumer.terminate()
+        print("both inferiors done")
+
+
+if __name__ == "__main__":
+    main()

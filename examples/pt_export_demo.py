@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fig. 10 / Section III-E: Python Tutor trace export and replay.
+
+Three parts:
+1. Record a *full* PT trace (a step per line) of a recursive program.
+2. Record a *partial* trace — only entry/exit of the tracked function,
+   only the chosen variables — and compare sizes (the paper reports a
+   ~10x reduction on its Fig. 8 example).
+3. Replay the partial trace behind the full tracker API with the PT
+   tracker, including reverse stepping.
+
+Run: ``python examples/pt_export_demo.py``
+"""
+
+import os
+import tempfile
+
+from repro import init_tracker, PauseReasonType
+from repro.pytutor import record_trace
+
+INFERIOR = """\
+def subsets(items, chosen):
+    if not items:
+        return [list(chosen)]
+    head, tail = items[0], items[1:]
+    without = subsets(tail, chosen)
+    chosen.append(head)
+    with_head = subsets(tail, chosen)
+    chosen.pop()
+    return without + with_head
+
+result = subsets([1, 2, 3, 4], [])
+print(len(result), "subsets")
+"""
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as workdir:
+        program = os.path.join(workdir, "subsets.py")
+        with open(program, "w", encoding="utf-8") as output:
+            output.write(INFERIOR)
+
+        full = record_trace(program, mode="full")
+        partial = record_trace(
+            program, mode="tracked", track=["subsets"], variables=["items", "chosen"]
+        )
+        full_bytes = len(full.dumps())
+        partial_bytes = len(partial.dumps())
+        print(f"full trace:    {len(full.steps):4d} steps, {full_bytes:7d} bytes")
+        print(f"partial trace: {len(partial.steps):4d} steps, {partial_bytes:7d} bytes")
+        print(f"reduction: {full_bytes / partial_bytes:.1f}x")
+
+        trace_path = os.path.join(workdir, "partial.json")
+        partial.save(trace_path)
+
+        # Replay the partial trace behind the same tracker API.
+        tracker = init_tracker("pt")
+        tracker.load_program(trace_path)
+        tracker.track_function("subsets")
+        tracker.start()
+        calls = 0
+        while tracker.get_exit_code() is None:
+            tracker.resume()
+            if tracker.pause_reason.type is PauseReasonType.CALL:
+                calls += 1
+        print(f"replayed the trace: saw {calls} calls of subsets()")
+        tracker.step_back()  # recorded execution: reverse stepping works
+        print("stepped backwards to line", tracker.next_lineno)
+        tracker.terminate()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: control and inspect a Python program in ~20 lines.
+
+Loads a small inferior, tracks a function, watches a variable, and prints
+where and why the execution pauses — the minimal shape of every tool built
+on the library.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import os
+import tempfile
+
+from repro import init_tracker, PauseReasonType
+
+INFERIOR = """\
+def factorial(n):
+    if n <= 1:
+        return 1
+    return n * factorial(n - 1)
+
+result = factorial(5)
+print("5! =", result)
+"""
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as workdir:
+        program = os.path.join(workdir, "factorial.py")
+        with open(program, "w", encoding="utf-8") as output:
+            output.write(INFERIOR)
+
+        tracker = init_tracker("python")
+        tracker.load_program(program)
+        tracker.track_function("factorial")  # pause at every entry and exit
+        tracker.watch("result")              # pause when `result` is assigned
+        tracker.start()
+
+        while tracker.get_exit_code() is None:
+            tracker.resume()
+            reason = tracker.pause_reason
+            if reason.type is PauseReasonType.CALL:
+                frame = tracker.get_current_frame()
+                n = frame.variables["n"].value.content.content
+                print(f"-> entered factorial(n={n}) at depth {frame.depth}")
+            elif reason.type is PauseReasonType.RETURN:
+                print(f"<- factorial returns {reason.return_value.render()}")
+            elif reason.type is PauseReasonType.WATCH:
+                print(f"** {reason.variable} changed to {reason.new_value}")
+
+        print("inferior exited with code", tracker.get_exit_code())
+        tracker.terminate()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fig. 8: visualize the dynamic call tree of a recursive function.
+
+Tracks ``merge_sort`` and draws the call tree as it grows: red nodes are
+live calls, gray nodes have returned, blue back edges carry return values.
+Each node shows the argument values at call time — even though ``arr`` is a
+shared reference whose content changes during the run, the snapshot
+semantics keep the call-time values.
+
+Run: ``python examples/recursion_tree_demo.py [output_dir]``
+"""
+
+import os
+import sys
+import tempfile
+
+from repro.tools.recursion_tree import record_call_tree
+
+INFERIOR = """\
+def merge_sort(arr):
+    if len(arr) <= 1:
+        return arr
+    mid = len(arr) // 2
+    left = merge_sort(arr[:mid])
+    right = merge_sort(arr[mid:])
+    merged = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i] <= right[j]:
+            merged.append(left[i])
+            i += 1
+        else:
+            merged.append(right[j])
+            j += 1
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    return merged
+
+data = [6, 2, 9, 4]
+print(merge_sort(data))
+"""
+
+
+def main() -> None:
+    output_dir = sys.argv[1] if len(sys.argv) >= 2 else "recursion_out"
+    with tempfile.TemporaryDirectory() as workdir:
+        program = os.path.join(workdir, "msort.py")
+        with open(program, "w", encoding="utf-8") as output:
+            output.write(INFERIOR)
+        recording = record_call_tree(
+            program, "merge_sort", ["arr"], output_dir=output_dir
+        )
+    root = recording.roots[0]
+    print(f"recorded {recording.events} call/return events")
+    print(f"root call: {root.label('merge_sort')} -> {root.retval}")
+    print(f"wrote {len(recording.images)} snapshots to {output_dir}/ "
+          "(open the last rec-*.svg to see the full tree)")
+
+
+if __name__ == "__main__":
+    main()

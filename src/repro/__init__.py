@@ -1,0 +1,80 @@
+"""Reproduction of EasyTracker (CGO 2024).
+
+A Python library for controlling and inspecting the execution of programs
+written in Python, (mini-)C, or RISC-V assembly, aimed at building program
+visualization tools. See ``README.md`` for a quickstart and ``DESIGN.md``
+for the system inventory.
+
+The top-level namespace re-exports the full public API so tool scripts can
+write, exactly as in the paper::
+
+    from repro import init_tracker, PauseReasonType, AbstractType
+"""
+
+from repro.core import (
+    AbstractType,
+    AlreadyTerminatedError,
+    Frame,
+    FunctionBreakpoint,
+    InferiorCrashError,
+    LineBreakpoint,
+    Location,
+    NotPausedError,
+    NotStartedError,
+    PauseReason,
+    PauseReasonType,
+    ProgramLoadError,
+    ProtocolError,
+    TrackedFunction,
+    Tracker,
+    TrackerError,
+    UnknownFunctionError,
+    UnknownVariableError,
+    Value,
+    Variable,
+    Watchpoint,
+    available_trackers,
+    frame_from_dict,
+    frame_to_dict,
+    init_tracker,
+    register_tracker,
+    value_from_dict,
+    value_to_dict,
+    variable_from_dict,
+    variable_to_dict,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractType",
+    "AlreadyTerminatedError",
+    "Frame",
+    "FunctionBreakpoint",
+    "InferiorCrashError",
+    "LineBreakpoint",
+    "Location",
+    "NotPausedError",
+    "NotStartedError",
+    "PauseReason",
+    "PauseReasonType",
+    "ProgramLoadError",
+    "ProtocolError",
+    "TrackedFunction",
+    "Tracker",
+    "TrackerError",
+    "UnknownFunctionError",
+    "UnknownVariableError",
+    "Value",
+    "Variable",
+    "Watchpoint",
+    "available_trackers",
+    "frame_from_dict",
+    "frame_to_dict",
+    "init_tracker",
+    "register_tracker",
+    "value_from_dict",
+    "value_to_dict",
+    "variable_from_dict",
+    "variable_to_dict",
+]

@@ -1,0 +1,245 @@
+"""Command-line front-end: the bundled tools as one ``repro`` command.
+
+Subcommands map one-to-one onto the paper's tools::
+
+    python -m repro step prog.py out/           # Listing 1 (Fig 6)
+    python -m repro invariant prog.py arr i j   # Fig 1
+    python -m repro rectree prog.py fib n       # Fig 8
+    python -m repro riscv prog.s --base 0x20000000
+    python -m repro game level.c                # Fig 9
+    python -m repro trace prog.py trace.json --track f
+    python -m repro equiv a.py b.c fact         # §V application
+
+Each subcommand is a thin wrapper over the library API; anything beyond
+these defaults is a few lines of Python against :mod:`repro` itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EasyTracker-reproduction tools "
+        "(control and inspect Python / mini-C / RISC-V programs)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    step = commands.add_parser(
+        "step", help="one stack(-and-heap) diagram per executed line (Fig 6)"
+    )
+    step.add_argument("program")
+    step.add_argument("output_dir")
+    step.add_argument(
+        "--mode", choices=("stack", "stack_heap"), default="stack_heap"
+    )
+    step.add_argument("--max-images", type=int, default=200)
+
+    invariant = commands.add_parser(
+        "invariant", help="array view with index markers (Fig 1)"
+    )
+    invariant.add_argument("program")
+    invariant.add_argument("array")
+    invariant.add_argument("indices", nargs="*")
+    invariant.add_argument("--sorted-upto", default=None)
+    invariant.add_argument("--function", default=None)
+    invariant.add_argument("--output-dir", default="invariant_out")
+
+    rectree = commands.add_parser(
+        "rectree", help="recursive-call tree images (Fig 8)"
+    )
+    rectree.add_argument("program")
+    rectree.add_argument("function")
+    rectree.add_argument("args", nargs="*")
+    rectree.add_argument("--output-dir", default="rectree_out")
+    rectree.add_argument("--skip", type=int, default=0)
+
+    riscv = commands.add_parser(
+        "riscv", help="registers-and-memory viewer for .s programs (Fig 7)"
+    )
+    riscv.add_argument("program")
+    riscv.add_argument("--base", type=lambda v: int(v, 0), default=0x2000_0000)
+    riscv.add_argument("--size", type=int, default=64)
+    riscv.add_argument("--output-dir", default=None)
+
+    game = commands.add_parser(
+        "game", help="play a debugging-game level (Fig 9)"
+    )
+    game.add_argument("level", nargs="?", default=None)
+    game.add_argument(
+        "--write-level", metavar="PATH",
+        help="write the bundled buggy level to PATH and exit",
+    )
+
+    trace = commands.add_parser(
+        "trace", help="record a Python Tutor trace (Fig 10)"
+    )
+    trace.add_argument("program")
+    trace.add_argument("output")
+    trace.add_argument("--track", action="append", default=None)
+    trace.add_argument("--variables", action="append", default=None)
+
+    player = commands.add_parser(
+        "player", help="self-contained HTML step player for a program"
+    )
+    player.add_argument("program")
+    player.add_argument("output", nargs="?", default="player.html")
+    player.add_argument(
+        "--mode", choices=("stack", "stack_heap"), default="stack_heap"
+    )
+    player.add_argument("--max-images", type=int, default=200)
+
+    scopes = commands.add_parser(
+        "scopes", help="scope/shadowing tables at a function boundary"
+    )
+    scopes.add_argument("program")
+    scopes.add_argument("function")
+    scopes.add_argument("--output-dir", default="scopes_out")
+
+    equiv = commands.add_parser(
+        "equiv", help="behavioral equivalence of two programs (§V)"
+    )
+    equiv.add_argument("program_a")
+    equiv.add_argument("program_b")
+    equiv.add_argument("function")
+    equiv.add_argument("--function-b", default=None)
+    equiv.add_argument("--args", action="append", default=None)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro``; returns the exit status."""
+    options = build_parser().parse_args(argv)
+    command = options.command
+
+    if command == "step":
+        from repro.tools.stepper import generate_diagrams
+
+        images = generate_diagrams(
+            options.program,
+            options.output_dir,
+            mode=options.mode,
+            max_images=options.max_images,
+        )
+        print(f"wrote {len(images)} diagrams to {options.output_dir}/")
+        return 0
+
+    if command == "invariant":
+        from repro.tools.array_invariant import ArrayInvariantTool
+
+        tool = ArrayInvariantTool(
+            options.program,
+            array_name=options.array,
+            index_names=options.indices,
+            sorted_upto=options.sorted_upto,
+            function=options.function,
+        )
+        images = tool.run(options.output_dir)
+        print(f"wrote {len(images)} array views to {options.output_dir}/")
+        return 0
+
+    if command == "rectree":
+        from repro.tools.recursion_tree import record_call_tree
+
+        recording = record_call_tree(
+            options.program,
+            options.function,
+            options.args,
+            output_dir=options.output_dir,
+            skip=options.skip,
+        )
+        root = recording.roots[0] if recording.roots else None
+        if root is not None:
+            print(
+                f"{root.label(options.function)} -> {root.retval} "
+                f"({recording.events} events, images in {options.output_dir}/)"
+            )
+        return 0
+
+    if command == "riscv":
+        from repro.tools.riscv_viewer import RiscvViewer
+
+        viewer = RiscvViewer(options.program, options.base, options.size)
+        if options.output_dir:
+            states = viewer.run(options.output_dir)
+            print(f"wrote {len(states)} views to {options.output_dir}/")
+        else:
+            print(viewer.run_text())
+        return 0
+
+    if command == "game":
+        from repro.tools.debug_game import play_level, write_level
+
+        if options.write_level:
+            path = write_level(options.write_level)
+            print(f"wrote the buggy level to {path}; edit it and replay")
+            return 0
+        if options.level is None:
+            print("game: provide a level path or --write-level", file=sys.stderr)
+            return 2
+        result = play_level(options.level)
+        print(result.frames[-1])
+        for hint in result.hints:
+            print(f"hint: {hint}")
+        print("WON!" if result.won else "the door stayed closed — keep debugging")
+        return 0 if result.won else 1
+
+    if command == "trace":
+        from repro.pytutor import record_trace
+
+        mode = "tracked" if options.track else "full"
+        trace = record_trace(
+            options.program,
+            mode=mode,
+            track=options.track,
+            variables=options.variables,
+        )
+        trace.save(options.output)
+        print(
+            f"recorded {len(trace.steps)} steps "
+            f"({len(trace.dumps())} bytes) to {options.output}"
+        )
+        return 0
+
+    if command == "player":
+        from repro.tools.html_report import record_execution_player
+
+        output = record_execution_player(
+            options.program, options.output, mode=options.mode,
+            max_images=options.max_images,
+        )
+        print(f"wrote {output} (open it in a browser; arrow keys step)")
+        return 0
+
+    if command == "scopes":
+        from repro.tools.scope_view import ScopeViewTool
+
+        images = ScopeViewTool(options.program, options.function).run(
+            options.output_dir
+        )
+        print(f"wrote {len(images)} scope tables to {options.output_dir}/")
+        return 0
+
+    if command == "equiv":
+        from repro.tools.equivalence import check_equivalence
+
+        report = check_equivalence(
+            options.program_a,
+            options.program_b,
+            options.function,
+            function_b=options.function_b,
+            argument_names=options.args,
+        )
+        print(report.explain())
+        return 0 if report.equivalent else 1
+
+    raise AssertionError(f"unhandled command {command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Core of the library: state model, tracker API, pause reasons, factory."""
+
+from repro.core.errors import (
+    AlreadyTerminatedError,
+    InferiorCrashError,
+    NotPausedError,
+    NotStartedError,
+    ProgramLoadError,
+    ProtocolError,
+    TrackerError,
+    UnknownFunctionError,
+    UnknownVariableError,
+)
+from repro.core.factory import available_trackers, init_tracker, register_tracker
+from repro.core.pause import PauseReason, PauseReasonType
+from repro.core.state import (
+    AbstractType,
+    Frame,
+    Location,
+    Value,
+    Variable,
+    frame_from_dict,
+    frame_to_dict,
+    value_from_dict,
+    value_to_dict,
+    variable_from_dict,
+    variable_to_dict,
+)
+from repro.core.tracker import (
+    FunctionBreakpoint,
+    LineBreakpoint,
+    TrackedFunction,
+    Tracker,
+    Watchpoint,
+)
+
+__all__ = [
+    "AbstractType",
+    "AlreadyTerminatedError",
+    "Frame",
+    "FunctionBreakpoint",
+    "InferiorCrashError",
+    "LineBreakpoint",
+    "Location",
+    "NotPausedError",
+    "NotStartedError",
+    "PauseReason",
+    "PauseReasonType",
+    "ProgramLoadError",
+    "ProtocolError",
+    "TrackedFunction",
+    "Tracker",
+    "TrackerError",
+    "UnknownFunctionError",
+    "UnknownVariableError",
+    "Value",
+    "Variable",
+    "Watchpoint",
+    "available_trackers",
+    "frame_from_dict",
+    "frame_to_dict",
+    "init_tracker",
+    "register_tracker",
+    "value_from_dict",
+    "value_to_dict",
+    "variable_from_dict",
+    "variable_to_dict",
+]

@@ -1,0 +1,140 @@
+"""Asynchronous helpers over the synchronous control interface.
+
+The paper (§V) notes that the control interface is deliberately synchronous
+— "it is quite easy in Python to make it asynchronous, hence the choice.
+Though we may provide some API helpers to make it easier." These are those
+helpers:
+
+- :class:`AsyncTracker` wraps any tracker and turns every control call into
+  a future, so a GUI event loop can issue ``resume()`` without blocking and
+  react when the pause lands.
+- :func:`run_with_callbacks` drives a tracker to completion, invoking a
+  callback per pause — the shape most visualization tools want, with the
+  control loop factored out.
+
+Only control calls are routed to the worker thread (they are the blocking
+ones); inspection calls remain direct because they are fast and only legal
+while the inferior is paused anyway.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from typing import Callable, Dict, Optional
+
+from repro.core.pause import PauseReason, PauseReasonType
+from repro.core.tracker import Tracker
+
+
+class AsyncTracker:
+    """Future-based facade over a tracker's control interface.
+
+    Example::
+
+        async_tracker = AsyncTracker(init_tracker("python"))
+        async_tracker.tracker.load_program("prog.py")
+        future = async_tracker.start()
+        ...                      # stay responsive here
+        reason = future.result() # the pause has landed
+
+    All control calls execute in order on one worker thread, preserving the
+    tracker's single-controller assumption.
+    """
+
+    def __init__(self, tracker: Tracker):
+        self.tracker = tracker
+        self._work: "queue.Queue" = queue.Queue()
+        self._worker = threading.Thread(
+            target=self._run_worker, name="repro-async-control", daemon=True
+        )
+        self._worker.start()
+
+    # -- async control ----------------------------------------------------
+
+    def start(self) -> "Future[Optional[PauseReason]]":
+        return self._submit(self.tracker.start)
+
+    def resume(self) -> "Future[Optional[PauseReason]]":
+        return self._submit(self.tracker.resume)
+
+    def next(self) -> "Future[Optional[PauseReason]]":
+        return self._submit(self.tracker.next)
+
+    def step(self) -> "Future[Optional[PauseReason]]":
+        return self._submit(self.tracker.step)
+
+    def finish(self) -> "Future[Optional[PauseReason]]":
+        return self._submit(self.tracker.finish)
+
+    def close(self) -> None:
+        """Terminate the inferior and stop the worker thread."""
+        terminate_future = self._submit(self.tracker.terminate)
+        terminate_future.result(timeout=10)
+        self._work.put(None)
+        self._worker.join(timeout=5)
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _submit(self, control: Callable[[], None]) -> "Future":
+        future: Future = Future()
+        self._work.put((control, future))
+        return future
+
+    def _run_worker(self) -> None:
+        while True:
+            item = self._work.get()
+            if item is None:
+                return
+            control, future = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                control()
+            except BaseException as error:
+                future.set_exception(error)
+            else:
+                future.set_result(self.tracker.pause_reason)
+
+    def __enter__(self) -> "AsyncTracker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def run_with_callbacks(
+    tracker: Tracker,
+    on_pause: Optional[Callable[[Tracker, PauseReason], None]] = None,
+    handlers: Optional[
+        Dict[PauseReasonType, Callable[[Tracker, PauseReason], None]]
+    ] = None,
+    max_pauses: int = 100_000,
+) -> Optional[int]:
+    """Drive a loaded tracker to completion, dispatching on pause reasons.
+
+    Args:
+        tracker: a tracker with the program already loaded (not started).
+        on_pause: called at every pause (after any specific handler).
+        handlers: per-:class:`PauseReasonType` callbacks.
+        max_pauses: safety bound.
+
+    Returns:
+        The inferior's exit code.
+    """
+    handlers = handlers or {}
+    tracker.start()
+    pauses = 0
+    while tracker.get_exit_code() is None and pauses < max_pauses:
+        tracker.resume()
+        pauses += 1
+        reason = tracker.pause_reason
+        if reason is None or tracker.get_exit_code() is not None:
+            break
+        specific = handlers.get(reason.type)
+        if specific is not None:
+            specific(tracker, reason)
+        if on_pause is not None:
+            on_pause(tracker, reason)
+    return tracker.get_exit_code()

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the tracker library.
+
+Every error raised by the public API derives from :class:`TrackerError`, so
+tool scripts can use a single ``except TrackerError`` to stay robust against
+inferior misbehaviour without masking programming errors in the tool itself.
+"""
+
+from __future__ import annotations
+
+
+class TrackerError(Exception):
+    """Base class of all errors raised by the tracker library."""
+
+
+class ProgramLoadError(TrackerError):
+    """The inferior program could not be loaded (missing file, parse error)."""
+
+
+class NotPausedError(TrackerError):
+    """An inspection or control call requires a paused inferior."""
+
+
+class NotStartedError(TrackerError):
+    """A call requires :meth:`Tracker.start` to have been made first."""
+
+
+class AlreadyTerminatedError(TrackerError):
+    """The inferior has already exited; no further control is possible."""
+
+
+class UnknownVariableError(TrackerError):
+    """A variable lookup failed (no such name in the requested scope)."""
+
+
+class UnknownFunctionError(TrackerError):
+    """A function name used in a control request does not exist."""
+
+
+class ProtocolError(TrackerError):
+    """The debug-server connection produced an unparsable or unexpected reply."""
+
+
+class InferiorCrashError(TrackerError):
+    """The inferior raised an unhandled error while being tracked."""
+
+    def __init__(self, message: str, exc: BaseException = None):
+        super().__init__(message)
+        self.inferior_exception = exc

@@ -1,0 +1,69 @@
+"""The ``init_tracker`` entry point.
+
+Tool scripts select a backend with one line, as in the paper's Listing 1::
+
+    tracker = init_tracker("python" if inf.endswith(".py") else "GDB")
+
+Backends are registered lazily so importing :mod:`repro` does not pull in
+every substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.errors import TrackerError
+from repro.core.tracker import Tracker
+
+_REGISTRY: Dict[str, Callable[[], Tracker]] = {}
+
+
+def register_tracker(name: str, build: Callable[[], Tracker]) -> None:
+    """Register a tracker backend under ``name`` (case-insensitive).
+
+    Third-party trackers (e.g. one reading an external trace format, as
+    suggested in Section III-E) plug in through this hook.
+    """
+    _REGISTRY[name.lower()] = build
+
+
+def available_trackers() -> list:
+    """Names of all registered backends."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def init_tracker(name: str) -> Tracker:
+    """Create a tracker backend by name.
+
+    Args:
+        name: ``"python"`` for the in-process settrace tracker, ``"GDB"``
+            for the debug-server (mini-C / RISC-V) tracker, or ``"pt"`` for
+            the Python Tutor trace-replay tracker.
+
+    Raises:
+        TrackerError: if no backend with that name is registered.
+    """
+    _ensure_builtins()
+    try:
+        build = _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise TrackerError(f"unknown tracker {name!r} (known: {known})") from None
+    return build()
+
+
+def _ensure_builtins() -> None:
+    """Register the bundled backends on first use."""
+    if "python" not in _REGISTRY:
+        from repro.pytracker.tracker import PythonTracker
+
+        register_tracker("python", PythonTracker)
+    if "gdb" not in _REGISTRY:
+        from repro.gdbtracker.tracker import GDBTracker
+
+        register_tracker("gdb", GDBTracker)
+    if "pt" not in _REGISTRY:
+        from repro.pytutor.pt_tracker import PTTracker
+
+        register_tracker("pt", PTTracker)

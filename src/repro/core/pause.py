@@ -1,0 +1,67 @@
+"""Pause reasons: why a control call returned.
+
+Control-interface functions (``start``, ``resume``, ``next``, ``step``)
+return only when the inferior is paused or terminated. The tracker records
+*why* it paused in :attr:`Tracker.pause_reason`, which tools dispatch on —
+e.g. the recursive-call visualizer of the paper (Listing 6) distinguishes
+``CALL`` from ``RETURN`` events of a tracked function.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+class PauseReasonType(enum.Enum):
+    """The five pause causes enumerated in Section II-B1 of the paper."""
+
+    #: A watched variable has been modified.
+    WATCH = "watch"
+    #: A tracked function has been entered.
+    CALL = "call"
+    #: A tracked function is about to return.
+    RETURN = "return"
+    #: A line or function-entry breakpoint has been hit.
+    BREAKPOINT = "breakpoint"
+    #: The end of a single-stepping command (start/next/step) was reached.
+    STEP = "step"
+    #: The inferior terminated (exit code available).
+    EXIT = "exit"
+
+
+@dataclass
+class PauseReason:
+    """Why the inferior paused, with event-specific details.
+
+    Attributes:
+        type: the pause cause.
+        function: for ``CALL``/``RETURN``/function ``BREAKPOINT``: the
+            function's name.
+        variable: for ``WATCH``: identifier of the modified variable.
+        old_value: for ``WATCH``: rendered previous value.
+        new_value: for ``WATCH``: rendered new value.
+        return_value: for ``RETURN``: the value being returned, already
+            converted to the abstract state model when available.
+        line: for line ``BREAKPOINT`` and ``STEP``: the source line at which
+            the inferior is paused.
+    """
+
+    type: PauseReasonType
+    function: Optional[str] = None
+    variable: Optional[str] = None
+    old_value: Any = None
+    new_value: Any = None
+    return_value: Any = None
+    line: Optional[int] = None
+
+    def __str__(self) -> str:
+        parts = [self.type.name]
+        if self.function:
+            parts.append(f"function={self.function}")
+        if self.variable:
+            parts.append(f"variable={self.variable}")
+        if self.line is not None:
+            parts.append(f"line={self.line}")
+        return f"PauseReason({', '.join(parts)})"

@@ -1,0 +1,363 @@
+"""The abstract tracker: EasyTracker's control and inspection interfaces.
+
+A *tracker* runs an inferior program, pauses it at control points, and
+exposes its paused state through the language-agnostic model of
+:mod:`repro.core.state`. Two complete implementations ship with the library
+(:class:`repro.pytracker.PythonTracker` and
+:class:`repro.gdbtracker.GDBTracker`) plus a trace-replay tracker
+(:class:`repro.pytutor.PTTracker`).
+
+Every function of the control interface **returns only when the inferior is
+paused or terminated** — this synchronous contract is what makes tool
+scripts simple imperative loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.errors import (
+    AlreadyTerminatedError,
+    NotPausedError,
+    NotStartedError,
+)
+from repro.core.pause import PauseReason
+from repro.core.state import Frame, Variable
+
+
+@dataclass
+class LineBreakpoint:
+    """A pause request before executing a given source line."""
+
+    line: int
+    filename: Optional[str] = None
+    maxdepth: Optional[int] = None
+    enabled: bool = True
+
+
+@dataclass
+class FunctionBreakpoint:
+    """A pause request just before entering a given function.
+
+    Pausing "before entering" still guarantees that the callee's arguments
+    are initialized and inspectable, per the paper's contract for
+    ``break_before_func``.
+    """
+
+    function: str
+    maxdepth: Optional[int] = None
+    enabled: bool = True
+
+
+@dataclass
+class TrackedFunction:
+    """A request to pause at both entry and exit of every call of a function."""
+
+    function: str
+    maxdepth: Optional[int] = None
+    enabled: bool = True
+
+
+@dataclass
+class Watchpoint:
+    """A pause request triggered by modification of a variable.
+
+    ``variable_id`` uses the syntax ``name`` for a global or current-frame
+    variable, or ``function:name`` to watch ``name`` within ``function``.
+    """
+
+    variable_id: str
+    maxdepth: Optional[int] = None
+    enabled: bool = True
+
+    def split(self) -> Tuple[Optional[str], str]:
+        """Return ``(function_or_None, variable_name)``."""
+        if ":" in self.variable_id:
+            function, name = self.variable_id.split(":", 1)
+            return function, name
+        return None, self.variable_id
+
+
+class Tracker:
+    """Abstract base of all trackers.
+
+    Subclasses implement the ``_``-prefixed hooks; this base class owns the
+    control-point registries, lifecycle state checks, and the pause-reason
+    bookkeeping, so the three implementations expose identical behaviour at
+    the edges of the API.
+    """
+
+    #: Human-readable backend name ("python", "GDB", "pt").
+    backend = "abstract"
+
+    def __init__(self) -> None:
+        self._program: Optional[str] = None
+        self._program_args: List[str] = []
+        self._started = False
+        self._terminated = False
+        self._exit_code: Optional[int] = None
+        self._pause_reason: Optional[PauseReason] = None
+        self.line_breakpoints: List[LineBreakpoint] = []
+        self.function_breakpoints: List[FunctionBreakpoint] = []
+        self.tracked_functions: List[TrackedFunction] = []
+        self.watchpoints: List[Watchpoint] = []
+        #: Line about to be executed when paused (used by the bundled tools).
+        self.next_lineno: Optional[int] = None
+        #: Line that was last executed before the pause.
+        self.last_lineno: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Program lifecycle
+    # ------------------------------------------------------------------
+
+    def load_program(self, path: str, args: Optional[List[str]] = None) -> None:
+        """Load the inferior program from ``path`` without running it.
+
+        Args:
+            path: source file of the inferior (``.py``, ``.c``, ``.s`` ...).
+            args: command-line arguments passed to the inferior.
+        """
+        self._program = path
+        self._program_args = list(args or [])
+        self._load_program(path, self._program_args)
+
+    def start(self) -> None:
+        """Begin executing the inferior and pause before its first line.
+
+        Like every control call, returns once the inferior is paused (at its
+        first executable line) or has terminated (empty program).
+        """
+        if self._program is None:
+            raise NotStartedError("load_program must be called before start")
+        if self._started:
+            raise NotStartedError("the inferior has already been started")
+        self._started = True
+        self._start()
+
+    def resume(self) -> None:
+        """Resume until the next control point or termination."""
+        self._require_running()
+        self._resume()
+
+    def next(self) -> None:
+        """Execute the current line, stepping *over* function calls."""
+        self._require_running()
+        self._next()
+
+    def step(self) -> None:
+        """Execute the current line, stepping *into* function calls."""
+        self._require_running()
+        self._step()
+
+    def finish(self) -> None:
+        """Run until the current function returns (pause at the return)."""
+        self._require_running()
+        self._finish()
+
+    def terminate(self) -> None:
+        """Kill the inferior and release all tracker resources.
+
+        Safe to call at any point, including after normal termination.
+        """
+        if not self._terminated:
+            self._terminate()
+            self._terminated = True
+
+    def get_exit_code(self) -> Optional[int]:
+        """Exit code of the inferior, or ``None`` while it is still alive.
+
+        The typical tool control loop is
+        ``while tracker.get_exit_code() is None: ...``.
+        """
+        return self._exit_code
+
+    # ------------------------------------------------------------------
+    # Control points
+    # ------------------------------------------------------------------
+
+    def break_before_line(
+        self,
+        line: int,
+        filename: Optional[str] = None,
+        maxdepth: Optional[int] = None,
+    ) -> LineBreakpoint:
+        """Pause the inferior just before executing ``line``.
+
+        Args:
+            line: 1-based source line number.
+            filename: restrict to a file; defaults to the main program file.
+            maxdepth: only pause if the current frame depth is at most this
+                value (frame depth 0 is the program entry frame).
+        """
+        breakpoint_ = LineBreakpoint(line=line, filename=filename, maxdepth=maxdepth)
+        self.line_breakpoints.append(breakpoint_)
+        self._control_points_changed()
+        return breakpoint_
+
+    def break_before_func(
+        self, function: str, maxdepth: Optional[int] = None
+    ) -> FunctionBreakpoint:
+        """Pause just before entering ``function`` (arguments initialized)."""
+        breakpoint_ = FunctionBreakpoint(function=function, maxdepth=maxdepth)
+        self.function_breakpoints.append(breakpoint_)
+        self._control_points_changed()
+        return breakpoint_
+
+    def track_function(
+        self, function: str, maxdepth: Optional[int] = None
+    ) -> TrackedFunction:
+        """Pause at the beginning and end of every execution of ``function``.
+
+        The entry pause happens just *after* entering (locals exist), the
+        exit pause just *before* returning (the return value is available in
+        :attr:`pause_reason`).
+        """
+        tracked = TrackedFunction(function=function, maxdepth=maxdepth)
+        self.tracked_functions.append(tracked)
+        self._control_points_changed()
+        return tracked
+
+    def watch(
+        self, variable_id: str, maxdepth: Optional[int] = None
+    ) -> Watchpoint:
+        """Pause every time the variable ``variable_id`` is modified.
+
+        ``variable_id`` is either a plain name (global or any frame) or
+        ``"function:name"`` to scope the watch to one function's local.
+        """
+        watchpoint = Watchpoint(variable_id=variable_id, maxdepth=maxdepth)
+        self.watchpoints.append(watchpoint)
+        self._control_points_changed()
+        return watchpoint
+
+    def clear_control_points(self) -> None:
+        """Remove every breakpoint, tracked function and watchpoint."""
+        self.line_breakpoints.clear()
+        self.function_breakpoints.clear()
+        self.tracked_functions.clear()
+        self.watchpoints.clear()
+        self._control_points_changed()
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def pause_reason(self) -> Optional[PauseReason]:
+        """Why the last control call paused, or ``None`` before ``start``."""
+        return self._pause_reason
+
+    def get_current_frame(self) -> Frame:
+        """The innermost frame of the paused inferior (parents linked)."""
+        self._require_paused()
+        return self._get_current_frame()
+
+    def get_frames(self) -> List[Frame]:
+        """All frames, innermost first (a convenience over the parent chain)."""
+        return self.get_current_frame().stack()
+
+    def get_global_variables(self) -> Dict[str, Variable]:
+        """The inferior's global variables."""
+        self._require_paused()
+        return self._get_global_variables()
+
+    def get_variable(
+        self, name: str, function: Optional[str] = None
+    ) -> Optional[Variable]:
+        """Look up one variable by name.
+
+        Args:
+            name: variable name.
+            function: if given, search the innermost frame executing that
+                function; otherwise search the current frame then globals.
+
+        Returns:
+            The variable, or ``None`` if no such name is visible.
+        """
+        self._require_paused()
+        if function is not None:
+            for frame in self.get_frames():
+                if frame.name == function:
+                    return frame.lookup(name)
+            return None
+        found = self.get_current_frame().lookup(name)
+        if found is not None:
+            return found
+        return self._get_global_variables().get(name)
+
+    def get_position(self) -> Tuple[str, Optional[int]]:
+        """``(filename, next line to execute)`` of the paused inferior."""
+        self._require_paused()
+        return self._get_position()
+
+    def get_source_lines(self) -> List[str]:
+        """The source text of the main program file, one string per line."""
+        if self._program is None:
+            raise NotStartedError("no program loaded")
+        with open(self._program, "r", encoding="utf-8") as source:
+            return source.read().splitlines()
+
+    # ------------------------------------------------------------------
+    # Backend hooks
+    # ------------------------------------------------------------------
+
+    def _load_program(self, path: str, args: List[str]) -> None:
+        raise NotImplementedError
+
+    def _start(self) -> None:
+        raise NotImplementedError
+
+    def _resume(self) -> None:
+        raise NotImplementedError
+
+    def _next(self) -> None:
+        raise NotImplementedError
+
+    def _step(self) -> None:
+        raise NotImplementedError
+
+    def _finish(self) -> None:
+        raise NotImplementedError
+
+    def _terminate(self) -> None:
+        raise NotImplementedError
+
+    def _get_current_frame(self) -> Frame:
+        raise NotImplementedError
+
+    def _get_global_variables(self) -> Dict[str, Variable]:
+        raise NotImplementedError
+
+    def _get_position(self) -> Tuple[str, Optional[int]]:
+        raise NotImplementedError
+
+    def _control_points_changed(self) -> None:
+        """Notify the backend that control points were added or removed."""
+
+    # ------------------------------------------------------------------
+    # State checks
+    # ------------------------------------------------------------------
+
+    def _require_running(self) -> None:
+        if not self._started:
+            raise NotStartedError("call start() first")
+        if self._exit_code is not None or self._terminated:
+            raise AlreadyTerminatedError("the inferior has terminated")
+
+    def _require_paused(self) -> None:
+        if not self._started:
+            raise NotStartedError("call start() first")
+        if self._exit_code is not None and not self._allows_post_exit_inspection():
+            raise NotPausedError("the inferior has terminated")
+
+    def _allows_post_exit_inspection(self) -> bool:
+        """Whether inspection after exit is supported (trace replay is)."""
+        return False
+
+    # Depth filtering shared by all backends ----------------------------
+
+    @staticmethod
+    def _depth_allows(maxdepth: Optional[int], depth: int) -> bool:
+        """The paper's maxdepth semantics: pause only at depth <= maxdepth."""
+        return maxdepth is None or depth <= maxdepth

@@ -1,0 +1,20 @@
+"""Debug Adapter Protocol server over the tracker API (Table II bridge)."""
+
+from repro.dap.adapter import DebugAdapter, serve
+from repro.dap.protocol import (
+    make_event,
+    make_request,
+    make_response,
+    read_message,
+    write_message,
+)
+
+__all__ = [
+    "DebugAdapter",
+    "make_event",
+    "make_request",
+    "make_response",
+    "read_message",
+    "serve",
+    "write_message",
+]

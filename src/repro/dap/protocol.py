@@ -1,0 +1,94 @@
+"""Debug Adapter Protocol wire format.
+
+DAP (the protocol behind vs-code's debugger UI, discussed in the paper's
+Table II) frames JSON messages with an HTTP-ish header::
+
+    Content-Length: 119\\r\\n
+    \\r\\n
+    {"seq": 1, "type": "request", "command": "initialize", ...}
+
+This module provides the three message constructors (request / response /
+event) and blocking read/write over binary streams. The adapter itself is
+in :mod:`repro.dap.adapter`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, BinaryIO, Dict, Optional
+
+from repro.core.errors import ProtocolError
+
+
+def make_request(
+    seq: int, command: str, arguments: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    message: Dict[str, Any] = {"seq": seq, "type": "request", "command": command}
+    if arguments is not None:
+        message["arguments"] = arguments
+    return message
+
+
+def make_response(
+    seq: int,
+    request: Dict[str, Any],
+    body: Optional[Dict[str, Any]] = None,
+    success: bool = True,
+    message: Optional[str] = None,
+) -> Dict[str, Any]:
+    response: Dict[str, Any] = {
+        "seq": seq,
+        "type": "response",
+        "request_seq": request.get("seq", 0),
+        "command": request.get("command", ""),
+        "success": success,
+    }
+    if body is not None:
+        response["body"] = body
+    if message is not None:
+        response["message"] = message
+    return response
+
+
+def make_event(
+    seq: int, event: str, body: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    message: Dict[str, Any] = {"seq": seq, "type": "event", "event": event}
+    if body is not None:
+        message["body"] = body
+    return message
+
+
+def write_message(stream: BinaryIO, message: Dict[str, Any]) -> None:
+    """Frame and write one DAP message."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    stream.write(f"Content-Length: {len(payload)}\r\n\r\n".encode("ascii"))
+    stream.write(payload)
+    stream.flush()
+
+
+def read_message(stream: BinaryIO) -> Optional[Dict[str, Any]]:
+    """Read one framed DAP message; ``None`` at end of stream."""
+    content_length: Optional[int] = None
+    while True:
+        line = stream.readline()
+        if not line:
+            return None
+        line = line.strip()
+        if not line:
+            break
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError as error:
+                raise ProtocolError(f"bad Content-Length: {value!r}") from error
+    if content_length is None:
+        raise ProtocolError("DAP message without Content-Length header")
+    payload = stream.read(content_length)
+    if len(payload) < content_length:
+        raise ProtocolError("truncated DAP message")
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"unparsable DAP payload: {error}") from error

@@ -1,0 +1,5 @@
+"""The GDB-style tracker: Tracker API over the MI debug-server subprocess."""
+
+from repro.gdbtracker.tracker import GDBTracker
+
+__all__ = ["GDBTracker"]

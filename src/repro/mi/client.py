@@ -1,0 +1,148 @@
+"""A pygdbmi-style client for the debug server.
+
+Spawns ``python -m repro.mi.server <program>`` as a subprocess and talks MI
+records over its stdin/stdout pipe — the same process architecture as the
+paper's GDB tracker (Fig. 4): tool process on one side, debugger process
+(with the inferior inside it) on the other, serialized state crossing the
+pipe.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.errors import ProtocolError, TrackerError
+from repro.mi import protocol
+
+
+class MIClient:
+    """Drives one debug-server subprocess.
+
+    Args:
+        program: path of the inferior source (.c or .s).
+        args: command-line arguments for the inferior.
+    """
+
+    def __init__(self, program: str, args: Optional[List[str]] = None):
+        self.program = program
+        self._process = subprocess.Popen(
+            [sys.executable, "-m", "repro.mi.server", program] + list(args or []),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            bufsize=1,
+        )
+        #: all inferior output seen so far, in order
+        self.console: List[str] = []
+        #: async notifications (e.g. heap allocations), in order
+        self.notifications: List[protocol.Record] = []
+        greeting = self._read_record()
+        if greeting.kind == "error":
+            self.close()
+            raise TrackerError(f"debug server refused {program!r}: {greeting.payload}")
+        if greeting.kind != "done":
+            self.close()
+            raise ProtocolError(f"unexpected greeting record: {greeting}")
+
+    # ------------------------------------------------------------------
+    # Record plumbing
+    # ------------------------------------------------------------------
+
+    def _read_record(self) -> protocol.Record:
+        line = self._process.stdout.readline()
+        if not line:
+            raise ProtocolError("the debug server closed the pipe")
+        return protocol.parse_record(line)
+
+    def _write_command(
+        self,
+        name: str,
+        args: Optional[List[str]] = None,
+        options: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if self._process.poll() is not None:
+            raise ProtocolError("the debug server has terminated")
+        line = protocol.format_command(name, args, options)
+        self._process.stdin.write(line + "\n")
+        self._process.stdin.flush()
+
+    # ------------------------------------------------------------------
+    # Command API
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        name: str,
+        args: Optional[List[str]] = None,
+        options: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        """Run a synchronous command; return the ``^done`` payload.
+
+        Raises:
+            TrackerError: on a ``^error`` reply.
+        """
+        self._write_command(name, args, options)
+        while True:
+            record = self._read_record()
+            if record.kind == "stream":
+                self.console.append(record.payload)
+            elif record.kind == "notify":
+                self.notifications.append(record)
+            elif record.kind == "done":
+                return record.payload
+            elif record.kind == "error":
+                raise TrackerError(str(record.payload))
+            else:
+                raise ProtocolError(f"unexpected record {record.kind} for {name}")
+
+    def run_control(
+        self,
+        name: str,
+        args: Optional[List[str]] = None,
+        options: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Run an exec command; block until ``*stopped``; return its payload.
+
+        This blocking read is exactly the synchronous contract of the
+        tracker control interface: the call returns only when the inferior
+        is paused or terminated.
+        """
+        self._write_command(name, args, options)
+        record = self._read_record()
+        if record.kind == "error":
+            raise TrackerError(str(record.payload))
+        if record.kind != "running":
+            raise ProtocolError(f"expected ^running, got {record.kind}")
+        while True:
+            record = self._read_record()
+            if record.kind == "stream":
+                self.console.append(record.payload)
+            elif record.kind == "notify":
+                self.notifications.append(record)
+            elif record.kind == "stopped":
+                return record.payload
+            else:
+                raise ProtocolError(f"unexpected record {record.kind} while running")
+
+    def close(self) -> None:
+        """Terminate the server subprocess (idempotent)."""
+        if self._process.poll() is None:
+            try:
+                self._write_command("-gdb-exit")
+                self._process.wait(timeout=2)
+            except Exception:
+                self._process.kill()
+                self._process.wait(timeout=2)
+        if self._process.stdin:
+            self._process.stdin.close()
+        if self._process.stdout:
+            self._process.stdout.close()
+
+    def __enter__(self) -> "MIClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,141 @@
+"""The machine-interface wire protocol between tracker and debug server.
+
+Modeled on GDB/MI, which the paper's GDB tracker drives through a pipe:
+commands look like ``-exec-continue`` or ``-break-insert main --maxdepth 2``,
+and the server answers with *records*, one per line:
+
+- ``^done`` / ``^done,<json>`` — synchronous success (payload optional);
+- ``^error,msg=<json-string>`` — synchronous failure;
+- ``^running`` — an exec command was accepted, the inferior is running;
+- ``*stopped,<json>`` — async: the inferior paused or exited (payload
+  carries the pause reason);
+- ``~<json-string>`` — console stream: text the inferior printed;
+- ``=<name>,<json>`` — async notification (e.g. heap allocations).
+
+Structured payloads are JSON rather than GDB's ad-hoc tuple syntax — the
+substitution keeps the record framing and the command vocabulary while
+avoiding a bug-for-bug reimplementation of MI quoting. Parsing is shared by
+the client and the server's tests.
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.errors import ProtocolError
+
+
+@dataclass
+class Command:
+    """A parsed MI command: name, positional args, ``--key value`` options."""
+
+    name: str
+    args: List[str] = field(default_factory=list)
+    options: Dict[str, str] = field(default_factory=dict)
+
+    def option_int(self, key: str) -> Optional[int]:
+        raw = self.options.get(key)
+        return int(raw) if raw is not None else None
+
+
+def parse_command(line: str) -> Command:
+    """Parse one command line (as the server reads it from its stdin)."""
+    try:
+        tokens = shlex.split(line.strip())
+    except ValueError as error:
+        raise ProtocolError(f"malformed MI command: {line!r} ({error})") from error
+    if not tokens or not tokens[0].startswith("-"):
+        raise ProtocolError(f"malformed MI command: {line!r}")
+    name = tokens[0]
+    args: List[str] = []
+    options: Dict[str, str] = {}
+    index = 1
+    while index < len(tokens):
+        token = tokens[index]
+        if token.startswith("--"):
+            if index + 1 >= len(tokens):
+                raise ProtocolError(f"option {token} is missing its value")
+            options[token[2:]] = tokens[index + 1]
+            index += 2
+        else:
+            args.append(token)
+            index += 1
+    return Command(name=name, args=args, options=options)
+
+
+def format_command(
+    name: str,
+    args: Optional[List[str]] = None,
+    options: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Format a command line (as the client writes it to the server)."""
+    parts = [name]
+    for argument in args or []:
+        parts.append(shlex.quote(str(argument)))
+    for key, value in (options or {}).items():
+        parts.append(f"--{key}")
+        parts.append(shlex.quote(str(value)))
+    return " ".join(parts)
+
+
+@dataclass
+class Record:
+    """A parsed server record."""
+
+    kind: str  # "done", "error", "running", "stopped", "stream", "notify"
+    payload: Any = None
+    notify_name: str = ""
+
+
+def format_done(payload: Any = None) -> str:
+    if payload is None:
+        return "^done"
+    return "^done," + json.dumps(payload, separators=(",", ":"))
+
+
+def format_error(message: str) -> str:
+    return "^error,msg=" + json.dumps(message)
+
+
+def format_running() -> str:
+    return "^running"
+
+
+def format_stopped(payload: Dict[str, Any]) -> str:
+    return "*stopped," + json.dumps(payload, separators=(",", ":"))
+
+
+def format_stream(text: str) -> str:
+    return "~" + json.dumps(text)
+
+
+def format_notify(name: str, payload: Dict[str, Any]) -> str:
+    return f"={name}," + json.dumps(payload, separators=(",", ":"))
+
+
+def parse_record(line: str) -> Record:
+    """Parse one record line (as the client reads it from the server)."""
+    line = line.rstrip("\n")
+    if line.startswith("^done"):
+        rest = line[len("^done") :]
+        payload = json.loads(rest[1:]) if rest.startswith(",") else None
+        return Record(kind="done", payload=payload)
+    if line.startswith("^error,msg="):
+        return Record(kind="error", payload=json.loads(line[len("^error,msg=") :]))
+    if line.startswith("^running"):
+        return Record(kind="running")
+    if line.startswith("*stopped,"):
+        return Record(kind="stopped", payload=json.loads(line[len("*stopped,") :]))
+    if line.startswith("~"):
+        return Record(kind="stream", payload=json.loads(line[1:]))
+    if line.startswith("="):
+        name, _, payload = line[1:].partition(",")
+        return Record(
+            kind="notify",
+            payload=json.loads(payload) if payload else None,
+            notify_name=name,
+        )
+    raise ProtocolError(f"unparsable MI record: {line!r}")

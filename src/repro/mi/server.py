@@ -1,0 +1,524 @@
+"""The debug server: GDB's role in the reproduction.
+
+Runs as a subprocess (``python -m repro.mi.server program.c``), reads MI
+commands on stdin, emits records on stdout. Inside, it drives a mini-C or
+RISC-V inferior through its event generator and implements all run control:
+line/function/address breakpoints with the ``maxdepth`` extension, byte-
+level watchpoints, function entry/exit tracking, and step/next/finish.
+
+``DebugServer.handle`` is pure (command line in, record lines out), so the
+whole server is unit-testable without pipes; ``main`` adds the stdio loop.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.errors import ProgramLoadError, ProtocolError, TrackerError
+from repro.core.state import frame_to_dict, variable_to_dict
+from repro.minic.events import (
+    AllocEvent,
+    CallEvent,
+    Event,
+    ExitEvent,
+    LineEvent,
+    OutputEvent,
+    ReturnEvent,
+)
+from repro.mi import protocol
+from repro.mi.inferiors import InferiorAdapter, open_inferior
+
+_MISSING = object()
+
+
+@dataclass
+class _ServerBreakpoint:
+    kind: str  # "line", "function", "address"
+    line: int = 0
+    function: str = ""
+    address: int = 0
+    maxdepth: Optional[int] = None
+    number: int = 0
+    enabled: bool = True
+
+
+@dataclass
+class _ServerWatch:
+    variable_id: str
+    maxdepth: Optional[int] = None
+    number: int = 0
+    enabled: bool = True
+    last: Any = _MISSING
+
+    def split(self) -> Tuple[Optional[str], str]:
+        if ":" in self.variable_id:
+            function, name = self.variable_id.split(":", 1)
+            return function, name
+        return None, self.variable_id
+
+
+@dataclass
+class _ServerTracked:
+    function: str
+    maxdepth: Optional[int] = None
+    number: int = 0
+    enabled: bool = True
+
+
+class DebugServer:
+    """One debugging session over one inferior program."""
+
+    def __init__(self, path: str, args: Optional[List[str]] = None):
+        self.path = path
+        self.inferior: InferiorAdapter = open_inferior(path, args)
+        self._events: Optional[Iterator[Event]] = None
+        self._breakpoints: List[_ServerBreakpoint] = []
+        self._watches: List[_ServerWatch] = []
+        self._tracked: List[_ServerTracked] = []
+        self._number = 0
+        self._running = False
+        self._exited = False
+        self._exit_code: Optional[int] = None
+        self._depth = 0
+        self._line: Optional[int] = None
+        self._last_line: Optional[int] = None
+        self._finished = False
+        self._watch_baseline_done = False
+
+    # ------------------------------------------------------------------
+    # Command dispatch
+    # ------------------------------------------------------------------
+
+    def handle(self, line: str) -> List[str]:
+        """Process one command line; return the record lines to emit."""
+        try:
+            command = protocol.parse_command(line)
+        except ProtocolError as error:
+            return [protocol.format_error(str(error))]
+        handler = getattr(
+            self, "_cmd_" + command.name.lstrip("-").replace("-", "_"), None
+        )
+        if handler is None:
+            return [protocol.format_error(f"undefined command {command.name}")]
+        try:
+            return handler(command)
+        except (TrackerError, ProgramLoadError) as error:
+            return [protocol.format_error(str(error))]
+        except Exception as error:  # defensive: never kill the pipe
+            return [protocol.format_error(f"{type(error).__name__}: {error}")]
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _cmd_file_exec_and_symbols(self, command) -> List[str]:
+        return [protocol.format_done({"file": self.inferior.filename})]
+
+    def _cmd_exec_run(self, command) -> List[str]:
+        if self._running:
+            return [protocol.format_error("the inferior is already running")]
+        self._events = self.inferior.events()
+        self._running = True
+        return [protocol.format_running()] + self._advance("step")
+
+    def _cmd_exec_continue(self, command) -> List[str]:
+        return self._exec("continue")
+
+    def _cmd_exec_step(self, command) -> List[str]:
+        return self._exec("step")
+
+    def _cmd_exec_next(self, command) -> List[str]:
+        return self._exec("next")
+
+    def _cmd_exec_finish(self, command) -> List[str]:
+        return self._exec("finish")
+
+    def _exec(self, mode: str) -> List[str]:
+        if not self._running:
+            return [protocol.format_error("the inferior has not been started")]
+        if self._exited:
+            return [protocol.format_error("the inferior has exited")]
+        return [protocol.format_running()] + self._advance(mode)
+
+    def _cmd_gdb_exit(self, command) -> List[str]:
+        self._finished = True
+        return [protocol.format_done()]
+
+    # -- control points --------------------------------------------------
+
+    def _cmd_break_insert(self, command) -> List[str]:
+        if not command.args:
+            return [protocol.format_error("break-insert needs a location")]
+        location = command.args[0]
+        maxdepth = command.option_int("maxdepth")
+        self._number += 1
+        breakpoint_ = _ServerBreakpoint(kind="", maxdepth=maxdepth, number=self._number)
+        if location.startswith("*"):
+            breakpoint_.kind = "address"
+            breakpoint_.address = int(location[1:], 0)
+        elif ":" in location:
+            breakpoint_.kind = "line"
+            breakpoint_.line = int(location.rsplit(":", 1)[1])
+        elif location.isdigit():
+            breakpoint_.kind = "line"
+            breakpoint_.line = int(location)
+        else:
+            breakpoint_.kind = "function"
+            breakpoint_.function = location
+        self._breakpoints.append(breakpoint_)
+        return [protocol.format_done({"number": breakpoint_.number})]
+
+    def _cmd_break_watch(self, command) -> List[str]:
+        if not command.args:
+            return [protocol.format_error("break-watch needs a variable id")]
+        self._number += 1
+        watch = _ServerWatch(
+            variable_id=command.args[0],
+            maxdepth=command.option_int("maxdepth"),
+            number=self._number,
+        )
+        function, name = watch.split()
+        if self._running:
+            watch.last = self.inferior.render_watch(function, name)
+            if watch.last is None:
+                watch.last = _MISSING
+        self._watches.append(watch)
+        return [protocol.format_done({"number": watch.number})]
+
+    def _cmd_track_function(self, command) -> List[str]:
+        if not command.args:
+            return [protocol.format_error("track-function needs a name")]
+        self._number += 1
+        self._tracked.append(
+            _ServerTracked(
+                function=command.args[0],
+                maxdepth=command.option_int("maxdepth"),
+                number=self._number,
+            )
+        )
+        return [protocol.format_done({"number": self._number})]
+
+    def _cmd_break_delete(self, command) -> List[str]:
+        if not command.args or command.args[0] == "all":
+            self._breakpoints.clear()
+            self._watches.clear()
+            self._tracked.clear()
+            return [protocol.format_done()]
+        number = int(command.args[0])
+        before = (
+            len(self._breakpoints) + len(self._watches) + len(self._tracked)
+        )
+        self._breakpoints = [b for b in self._breakpoints if b.number != number]
+        self._watches = [w for w in self._watches if w.number != number]
+        self._tracked = [t for t in self._tracked if t.number != number]
+        after = len(self._breakpoints) + len(self._watches) + len(self._tracked)
+        if after == before:
+            return [protocol.format_error(f"no control point {number}")]
+        return [protocol.format_done()]
+
+    def _cmd_break_disable(self, command) -> List[str]:
+        return self._set_enabled(command, False)
+
+    def _cmd_break_enable(self, command) -> List[str]:
+        return self._set_enabled(command, True)
+
+    def _set_enabled(self, command, enabled: bool) -> List[str]:
+        number = int(command.args[0])
+        for point in self._breakpoints + self._watches + self._tracked:
+            if point.number == number:
+                point.enabled = enabled
+                return [protocol.format_done()]
+        return [protocol.format_error(f"no control point {number}")]
+
+    # -- inspection --------------------------------------------------------
+
+    def _cmd_stack_list_frames(self, command) -> List[str]:
+        self._require_paused()
+        return [protocol.format_done(frame_to_dict(self.inferior.frame_chain()))]
+
+    def _cmd_data_list_globals(self, command) -> List[str]:
+        self._require_paused()
+        payload = {
+            name: variable_to_dict(variable)
+            for name, variable in self.inferior.globals_map().items()
+        }
+        return [protocol.format_done(payload)]
+
+    def _cmd_data_list_register_values(self, command) -> List[str]:
+        registers = self.inferior.registers()
+        if registers is None:
+            return [protocol.format_error("this inferior has no registers")]
+        return [protocol.format_done(registers)]
+
+    def _cmd_data_read_memory(self, command) -> List[str]:
+        address = int(command.args[0], 0)
+        count = int(command.args[1], 0)
+        raw = self.inferior.read_memory(address, count)
+        return [protocol.format_done({"address": address, "bytes": raw.hex()})]
+
+    def _cmd_data_disassemble(self, command) -> List[str]:
+        return [protocol.format_done(self.inferior.disassemble(command.args[0]))]
+
+    def _cmd_data_evaluate_expression(self, command) -> List[str]:
+        self._require_paused()
+        name = command.args[0]
+        frame_name = command.options.get("frame")
+        rendered = self.inferior.render_watch(frame_name, name)
+        if rendered is None:
+            return [protocol.format_error(f"no variable {name!r} in scope")]
+        return [protocol.format_done({"value": rendered})]
+
+    def _cmd_inferior_position(self, command) -> List[str]:
+        return [
+            protocol.format_done(
+                {"file": self.inferior.filename, "line": self._line}
+            )
+        ]
+
+    def _cmd_list_functions(self, command) -> List[str]:
+        return [protocol.format_done(self.inferior.function_names())]
+
+    def _cmd_heap_blocks(self, command) -> List[str]:
+        payload = {
+            f"{address:#x}": size
+            for address, size in self.inferior.heap_blocks().items()
+        }
+        return [protocol.format_done(payload)]
+
+    def _require_paused(self) -> None:
+        if not self._running:
+            raise TrackerError("the inferior has not been started")
+        if self._exited:
+            raise TrackerError("the inferior has exited")
+
+    # ------------------------------------------------------------------
+    # Run control: the server-side analog of the settrace handler
+    # ------------------------------------------------------------------
+
+    def _advance(self, mode: str) -> List[str]:
+        """Consume events until a pause decision; return the record lines."""
+        if self._events is None:
+            return [protocol.format_error("the inferior has not been started")]
+        if self._exited:
+            return [protocol.format_error("the inferior has exited")]
+        records: List[str] = []
+        issue_depth = self._depth
+        while True:
+            try:
+                event = next(self._events)
+            except StopIteration:
+                stopped = self._stop_exited(records)
+                return stopped
+            if isinstance(event, OutputEvent):
+                records.append(protocol.format_stream(event.text))
+                continue
+            if isinstance(event, AllocEvent):
+                records.append(
+                    protocol.format_notify(
+                        "alloc",
+                        {
+                            "kind": event.kind,
+                            "address": event.address,
+                            "size": event.size,
+                        },
+                    )
+                )
+                continue
+            if isinstance(event, ExitEvent):
+                self._exit_code = event.code
+                return self._stop_exited(records, event)
+            if isinstance(event, CallEvent):
+                self._depth = event.depth
+                reason = self._check_call(event)
+                if reason is not None:
+                    records.append(protocol.format_stopped(reason))
+                    return records
+                continue
+            if isinstance(event, ReturnEvent):
+                reason = self._check_return(event)
+                self._depth = max(event.depth - 1, 0)
+                if reason is not None:
+                    records.append(protocol.format_stopped(reason))
+                    return records
+                continue
+            if isinstance(event, LineEvent):
+                self._depth = event.depth
+                self._last_line = self._line
+                self._line = event.line
+                reason = self._check_line(event, mode, issue_depth)
+                if reason is not None:
+                    records.append(protocol.format_stopped(reason))
+                    return records
+                continue
+            # WriteEvent and any future event kinds: no run-control effect.
+
+    def _stop_exited(
+        self, records: List[str], event: Optional[ExitEvent] = None
+    ) -> List[str]:
+        self._exited = True
+        payload: Dict[str, Any] = {
+            "reason": "exited",
+            "exitcode": self._exit_code if self._exit_code is not None else 0,
+        }
+        error = self.inferior.exit_error()
+        if event is not None and event.error:
+            error = event.error
+        if error:
+            payload["error"] = error
+        records.append(protocol.format_stopped(payload))
+        return records
+
+    def _check_call(self, event: CallEvent) -> Optional[Dict[str, Any]]:
+        for breakpoint_ in self._breakpoints:
+            if (
+                breakpoint_.enabled
+                and breakpoint_.kind == "function"
+                and breakpoint_.function == event.function
+                and _depth_ok(breakpoint_.maxdepth, event.depth)
+            ):
+                return {
+                    "reason": "breakpoint-hit",
+                    "func": event.function,
+                    "line": event.line,
+                    "depth": event.depth,
+                    "bkptno": breakpoint_.number,
+                }
+        for tracked in self._tracked:
+            if (
+                tracked.enabled
+                and tracked.function == event.function
+                and _depth_ok(tracked.maxdepth, event.depth)
+            ):
+                return {
+                    "reason": "function-entry",
+                    "func": event.function,
+                    "line": event.line,
+                    "depth": event.depth,
+                }
+        return None
+
+    def _check_return(self, event: ReturnEvent) -> Optional[Dict[str, Any]]:
+        for tracked in self._tracked:
+            if (
+                tracked.enabled
+                and tracked.function == event.function
+                and _depth_ok(tracked.maxdepth, event.depth)
+            ):
+                return {
+                    "reason": "function-exit",
+                    "func": event.function,
+                    "line": event.line,
+                    "depth": event.depth,
+                    "retval": event.value,
+                }
+        return None
+
+    def _check_line(
+        self, event: LineEvent, mode: str, issue_depth: int
+    ) -> Optional[Dict[str, Any]]:
+        watch_hit = self._check_watches(event)
+        if watch_hit is not None:
+            return watch_hit
+        pc = self.inferior.current_pc()
+        for breakpoint_ in self._breakpoints:
+            if not breakpoint_.enabled:
+                continue
+            hit = False
+            if breakpoint_.kind == "line" and breakpoint_.line == event.line:
+                hit = True
+            elif (
+                breakpoint_.kind == "address"
+                and pc is not None
+                and breakpoint_.address == pc
+            ):
+                hit = True
+            if hit and _depth_ok(breakpoint_.maxdepth, event.depth):
+                return {
+                    "reason": "breakpoint-hit",
+                    "line": event.line,
+                    "func": event.function,
+                    "depth": event.depth,
+                    "bkptno": breakpoint_.number,
+                    "pc": pc,
+                }
+        if mode == "step":
+            return self._step_stop(event, pc)
+        if mode == "next" and event.depth <= issue_depth:
+            return self._step_stop(event, pc)
+        if mode == "finish" and event.depth < issue_depth:
+            return self._step_stop(event, pc)
+        return None
+
+    def _step_stop(self, event: LineEvent, pc: Optional[int]) -> Dict[str, Any]:
+        return {
+            "reason": "end-stepping-range",
+            "line": event.line,
+            "func": event.function,
+            "depth": event.depth,
+            "pc": pc,
+        }
+
+    def _check_watches(self, event: LineEvent) -> Optional[Dict[str, Any]]:
+        if not self._watch_baseline_done:
+            # C globals exist (initialized) before the first line runs, so
+            # the first check only records baselines — a watch fires on
+            # *modification*, not on the pre-existing initial value.
+            self._watch_baseline_done = True
+            for watch in self._watches:
+                function, name = watch.split()
+                current = self.inferior.render_watch(function, name)
+                watch.last = _MISSING if current is None else current
+            return None
+        for watch in self._watches:
+            if not watch.enabled:
+                continue
+            function, name = watch.split()
+            current = self.inferior.render_watch(function, name)
+            rendered = _MISSING if current is None else current
+            previous = watch.last
+            watch.last = rendered
+            if previous is rendered:  # both missing
+                continue
+            if previous != rendered and rendered is not _MISSING:
+                if _depth_ok(watch.maxdepth, event.depth):
+                    return {
+                        "reason": "watchpoint-trigger",
+                        "var": watch.variable_id,
+                        "old": None if previous is _MISSING else previous,
+                        "new": rendered,
+                        "line": event.line,
+                        "func": event.function,
+                        "depth": event.depth,
+                        "wpnum": watch.number,
+                    }
+        return None
+
+
+def _depth_ok(maxdepth: Optional[int], depth: int) -> bool:
+    return maxdepth is None or depth <= maxdepth
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: ``python -m repro.mi.server program.c [args...]``."""
+    argv = argv if argv is not None else sys.argv[1:]
+    if not argv:
+        print(protocol.format_error("usage: server <program> [args...]"))
+        return 2
+    try:
+        server = DebugServer(argv[0], argv[1:])
+    except (ProgramLoadError, OSError) as error:
+        print(protocol.format_error(str(error)), flush=True)
+        return 1
+    print(protocol.format_done({"loaded": argv[0]}), flush=True)
+    for line in sys.stdin:
+        if not line.strip():
+            continue
+        for record in server.handle(line):
+            print(record, flush=True)
+        if server._finished:
+            break
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""The mini-C substrate: lexer, parser, typed memory, interpreter.
+
+This package is the reproduction's stand-in for "a compiled C program under
+GDB": a from-scratch C interpreter over a flat byte-addressable memory whose
+observable surface (line stepping, frames, typed locals, real addresses,
+heap blocks, invalid pointers) matches what the paper's GDB tracker
+extracts from native inferiors.
+"""
+
+from repro.minic.ctypes import (
+    ArrayType,
+    BASIC_TYPES,
+    CHAR,
+    CHAR_PTR,
+    CType,
+    DOUBLE,
+    FLOAT,
+    FloatType,
+    FunctionType,
+    INT,
+    IntType,
+    LONG,
+    PointerType,
+    StructType,
+    UINT,
+    ULONG,
+    VOID,
+    VOID_PTR,
+    VoidType,
+    decode_scalar,
+    encode_scalar,
+)
+from repro.minic.events import (
+    AllocEvent,
+    CallEvent,
+    Event,
+    ExitEvent,
+    LineEvent,
+    OutputEvent,
+    ReturnEvent,
+    WriteEvent,
+)
+from repro.minic.interpreter import CFrame, Interpreter, LValue
+from repro.minic.lexer import LexError, Token, tokenize
+from repro.minic.memory import (
+    GLOBAL_BASE,
+    HEAP_BASE,
+    HeapBlock,
+    Memory,
+    MemoryFault,
+    NULL,
+    STACK_TOP,
+)
+from repro.minic.parser import ParseError, parse
+from repro.minic.unparse import fingerprint, unparse, unparse_expr
+from repro.minic.stdlib import BUILTINS, CRuntimeError
+
+__all__ = [
+    "ArrayType",
+    "AllocEvent",
+    "BASIC_TYPES",
+    "BUILTINS",
+    "CFrame",
+    "CHAR",
+    "CHAR_PTR",
+    "CRuntimeError",
+    "CType",
+    "CallEvent",
+    "DOUBLE",
+    "Event",
+    "ExitEvent",
+    "FLOAT",
+    "FloatType",
+    "FunctionType",
+    "GLOBAL_BASE",
+    "HEAP_BASE",
+    "HeapBlock",
+    "INT",
+    "IntType",
+    "Interpreter",
+    "LValue",
+    "LONG",
+    "LexError",
+    "LineEvent",
+    "Memory",
+    "MemoryFault",
+    "NULL",
+    "OutputEvent",
+    "ParseError",
+    "PointerType",
+    "ReturnEvent",
+    "STACK_TOP",
+    "StructType",
+    "Token",
+    "UINT",
+    "ULONG",
+    "VOID",
+    "VOID_PTR",
+    "VoidType",
+    "WriteEvent",
+    "decode_scalar",
+    "encode_scalar",
+    "fingerprint",
+    "parse",
+    "tokenize",
+    "unparse",
+    "unparse_expr",
+]

@@ -1,0 +1,268 @@
+"""AST node definitions for mini-C.
+
+All nodes are plain dataclasses carrying the source line they start on,
+which is what the debug server uses for line breakpoints and stepping.
+Expressions and statements are separate hierarchies (:class:`Expr`,
+:class:`Stmt`); a translation unit is a :class:`Program` of struct
+definitions, global declarations, and function definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.minic.ctypes import CType
+
+
+@dataclass
+class Node:
+    line: int
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float
+
+
+@dataclass
+class CharLiteral(Expr):
+    value: int
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str
+
+
+@dataclass
+class NullLiteral(Expr):
+    pass
+
+
+@dataclass
+class Identifier(Expr):
+    name: str
+
+
+@dataclass
+class Unary(Expr):
+    """Prefix unary: ``- ! ~ & *`` plus prefix ``++``/``--``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Postfix(Expr):
+    """Postfix ``++``/``--``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Assign(Expr):
+    """``=`` and compound assignments; ``op`` is ``"="``, ``"+="``, ..."""
+
+    op: str
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Conditional(Expr):
+    """The ternary ``cond ? then : other``."""
+
+    cond: Expr
+    then: Expr
+    other: Expr
+
+
+@dataclass
+class Call(Expr):
+    callee: Expr
+    args: List[Expr]
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Member(Expr):
+    """``base.field`` (``arrow`` False) or ``base->field`` (``arrow`` True)."""
+
+    base: Expr
+    field: str
+    arrow: bool
+
+
+@dataclass
+class Cast(Expr):
+    ctype: CType
+    operand: Expr
+
+
+@dataclass
+class SizeofType(Expr):
+    ctype: CType
+
+
+@dataclass
+class SizeofExpr(Expr):
+    operand: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Declaration(Stmt):
+    """A local or global variable declaration, with optional initializer.
+
+    ``init`` is an :class:`Expr`, or a nested list structure of expressions
+    for brace initializers (arrays and structs).
+    """
+
+    name: str
+    ctype: CType
+    init: Optional[object] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class Compound(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    other: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class SwitchCase:
+    """One ``case CONST:`` (or ``default:`` when ``match`` is None) arm."""
+
+    match: Optional[Expr]
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Switch(Stmt):
+    """A ``switch`` statement with C fallthrough semantics."""
+
+    expr: Expr
+    cases: List[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Parameter:
+    name: str
+    ctype: CType
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str
+    return_type: CType
+    params: List[Parameter]
+    body: Compound
+    end_line: int = 0
+
+
+@dataclass
+class Program(Node):
+    """A translation unit: globals, struct types, and functions."""
+
+    globals: List[Declaration] = field(default_factory=list)
+    functions: List[FunctionDef] = field(default_factory=list)
+    structs: dict = field(default_factory=dict)
+    #: enumerator name -> int value (enum constants are ints in C)
+    enum_constants: dict = field(default_factory=dict)
+    filename: str = "<string>"
+
+    def function(self, name: str) -> Optional[FunctionDef]:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        return None

@@ -1,0 +1,273 @@
+"""The mini-C type system: sizes, alignment, struct layout.
+
+The interpreter stores every C object in a flat byte-addressable memory
+(:mod:`repro.minic.memory`), so types carry genuine LP64 sizes and
+alignments (int 4, long 8, float 4, double 8, char 1, pointers 8) and
+struct layout follows the usual alignment/padding rules. This is what lets
+the debug tracker show real addresses, pointer arithmetic and padding — the
+observable surface a teaching tool needs from compiled C.
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+from typing import Dict, List, Optional, Tuple
+
+
+class CType:
+    """Base class of all mini-C types."""
+
+    #: size in bytes
+    size: int = 0
+    #: required alignment in bytes
+    align: int = 1
+    #: type name in C syntax (the model's ``language_type``)
+    name: str = "void"
+
+    def is_scalar(self) -> bool:
+        return False
+
+    def is_integer(self) -> bool:
+        return False
+
+    def is_float(self) -> bool:
+        return False
+
+    def is_pointer(self) -> bool:
+        return False
+
+    def is_aggregate(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"<ctype {self.name}>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CType) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class VoidType(CType):
+    """The ``void`` type (function returns and ``void*`` targets)."""
+
+    name = "void"
+    size = 0
+    align = 1
+
+
+class IntType(CType):
+    """Integer types: ``char``, ``short``, ``int``, ``long`` (and unsigned)."""
+
+    def __init__(self, name: str, size: int, signed: bool = True):
+        self.name = name
+        self.size = size
+        self.align = size
+        self.signed = signed
+
+    def is_scalar(self) -> bool:
+        return True
+
+    def is_integer(self) -> bool:
+        return True
+
+    def bounds(self) -> Tuple[int, int]:
+        """Inclusive (min, max) representable values."""
+        bits = self.size * 8
+        if self.signed:
+            return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        return 0, (1 << bits) - 1
+
+    def wrap(self, value: int) -> int:
+        """Wrap a Python int into this type's range (two's complement)."""
+        bits = self.size * 8
+        value &= (1 << bits) - 1
+        if self.signed and value >= 1 << (bits - 1):
+            value -= 1 << bits
+        return value
+
+
+class FloatType(CType):
+    """Floating-point types: ``float`` (4 bytes) and ``double`` (8 bytes)."""
+
+    def __init__(self, name: str, size: int):
+        self.name = name
+        self.size = size
+        self.align = size
+
+    def is_scalar(self) -> bool:
+        return True
+
+    def is_float(self) -> bool:
+        return True
+
+
+class PointerType(CType):
+    """A pointer to ``target`` (8 bytes, LP64)."""
+
+    size = 8
+    align = 8
+
+    def __init__(self, target: CType):
+        self.target = target
+        self.name = f"{target.name}*"
+
+    def is_scalar(self) -> bool:
+        return True
+
+    def is_pointer(self) -> bool:
+        return True
+
+
+class ArrayType(CType):
+    """A fixed-length array of ``element`` (decays to a pointer in rvalues)."""
+
+    def __init__(self, element: CType, length: int):
+        self.element = element
+        self.length = length
+        self.size = element.size * length
+        self.align = element.align
+        self.name = f"{element.name}[{length}]"
+
+    def is_aggregate(self) -> bool:
+        return True
+
+
+class StructField:
+    """One field of a struct: name, type, byte offset within the struct."""
+
+    def __init__(self, name: str, ctype: CType, offset: int):
+        self.name = name
+        self.ctype = ctype
+        self.offset = offset
+
+
+class StructType(CType):
+    """A ``struct`` with standard C layout (alignment + tail padding).
+
+    Supports the C incomplete-type idiom: construct with no members (so
+    ``struct node *next`` inside ``struct node`` can reference it), then
+    call :meth:`set_members` to fill in the layout.
+    """
+
+    def __init__(self, tag: str, members: List[Tuple[str, CType]]):
+        self.tag = tag
+        self.name = f"struct {tag}"
+        self.fields: Dict[str, StructField] = {}
+        self.align = 1
+        self.size = 0
+        if members:
+            self.set_members(members)
+
+    def set_members(self, members: List[Tuple[str, CType]]) -> None:
+        """Lay out the members (completing a forward-declared struct)."""
+        self.fields = {}
+        offset = 0
+        max_align = 1
+        for member_name, member_type in members:
+            offset = _align_up(offset, member_type.align)
+            self.fields[member_name] = StructField(member_name, member_type, offset)
+            offset += member_type.size
+            max_align = max(max_align, member_type.align)
+        self.align = max_align
+        self.size = _align_up(offset, max_align) if members else 0
+
+    def is_aggregate(self) -> bool:
+        return True
+
+    def field(self, name: str) -> StructField:
+        if name not in self.fields:
+            raise KeyError(f"{self.name} has no field {name!r}")
+        return self.fields[name]
+
+
+class FunctionType(CType):
+    """A function signature; function *pointers* wrap this in PointerType."""
+
+    size = 8
+    align = 8
+
+    def __init__(self, return_type: CType, params: List[CType], varargs: bool = False):
+        self.return_type = return_type
+        self.params = params
+        self.varargs = varargs
+        param_names = ", ".join(p.name for p in params) or "void"
+        if varargs:
+            param_names += ", ..."
+        self.name = f"{return_type.name} (*)({param_names})"
+
+
+def _align_up(offset: int, align: int) -> int:
+    return (offset + align - 1) // align * align
+
+
+# Canonical instances ----------------------------------------------------
+
+VOID = VoidType()
+CHAR = IntType("char", 1)
+UCHAR = IntType("unsigned char", 1, signed=False)
+SHORT = IntType("short", 2)
+INT = IntType("int", 4)
+UINT = IntType("unsigned int", 4, signed=False)
+LONG = IntType("long", 8)
+ULONG = IntType("unsigned long", 8, signed=False)
+FLOAT = FloatType("float", 4)
+DOUBLE = FloatType("double", 8)
+CHAR_PTR = PointerType(CHAR)
+VOID_PTR = PointerType(VOID)
+
+#: Types nameable with a single keyword sequence in declarations.
+BASIC_TYPES: Dict[str, CType] = {
+    "void": VOID,
+    "char": CHAR,
+    "unsigned char": UCHAR,
+    "short": SHORT,
+    "int": INT,
+    "unsigned": UINT,
+    "unsigned int": UINT,
+    "long": LONG,
+    "unsigned long": ULONG,
+    "float": FLOAT,
+    "double": DOUBLE,
+}
+
+_INT_FORMATS = {
+    (1, True): "b",
+    (1, False): "B",
+    (2, True): "h",
+    (2, False): "H",
+    (4, True): "i",
+    (4, False): "I",
+    (8, True): "q",
+    (8, False): "Q",
+}
+
+
+def encode_scalar(ctype: CType, value) -> bytes:
+    """Encode a scalar value into its in-memory little-endian byte form."""
+    if isinstance(ctype, IntType):
+        format_ = _INT_FORMATS[(ctype.size, ctype.signed)]
+        return _struct.pack("<" + format_, ctype.wrap(int(value)))
+    if isinstance(ctype, FloatType):
+        format_ = "f" if ctype.size == 4 else "d"
+        return _struct.pack("<" + format_, float(value))
+    if isinstance(ctype, (PointerType, FunctionType)):
+        return _struct.pack("<Q", int(value) & (1 << 64) - 1)
+    raise TypeError(f"cannot encode non-scalar type {ctype.name}")
+
+
+def decode_scalar(ctype: CType, raw: bytes):
+    """Decode the little-endian byte form of a scalar back to a Python value."""
+    if isinstance(ctype, IntType):
+        format_ = _INT_FORMATS[(ctype.size, ctype.signed)]
+        return _struct.unpack("<" + format_, raw)[0]
+    if isinstance(ctype, FloatType):
+        format_ = "f" if ctype.size == 4 else "d"
+        return _struct.unpack("<" + format_, raw)[0]
+    if isinstance(ctype, (PointerType, FunctionType)):
+        return _struct.unpack("<Q", raw)[0]
+    raise TypeError(f"cannot decode non-scalar type {ctype.name}")

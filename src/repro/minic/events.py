@@ -1,0 +1,80 @@
+"""Execution events emitted by the mini-C interpreter and RISC-V machine.
+
+The interpreters are *generators*: they yield one event per observable step
+and the driver (the MI debug server, or a test) decides after each event
+whether to keep running or to hold the generator — which is what "the
+inferior is paused" means in this substrate. This gives the debug server
+perfectly synchronous control without threads or signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class Event:
+    """Base class of all execution events."""
+
+
+@dataclass
+class LineEvent(Event):
+    """About to execute the statement starting at ``line``."""
+
+    line: int
+    function: str
+    depth: int
+
+
+@dataclass
+class CallEvent(Event):
+    """A function frame was just set up (arguments bound, body not begun)."""
+
+    function: str
+    line: int
+    depth: int
+
+
+@dataclass
+class ReturnEvent(Event):
+    """A function is about to return; its frame is still inspectable."""
+
+    function: str
+    line: int
+    depth: int
+    #: rendered return value (None for void)
+    value: Optional[str] = None
+
+
+@dataclass
+class AllocEvent(Event):
+    """A heap-allocator call completed (the malloc-interposition analog)."""
+
+    kind: str  # "malloc", "free", "calloc", "realloc"
+    address: int
+    size: int
+
+
+@dataclass
+class WriteEvent(Event):
+    """A named variable was assigned (granularity: whole variables)."""
+
+    name: str
+    function: str
+    depth: int
+
+
+@dataclass
+class OutputEvent(Event):
+    """The inferior produced text on its standard output."""
+
+    text: str
+
+
+@dataclass
+class ExitEvent(Event):
+    """The inferior terminated."""
+
+    code: int
+    error: Optional[str] = None

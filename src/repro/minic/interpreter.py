@@ -1,0 +1,1035 @@
+"""Tree-walking interpreter for mini-C with generator-based stepping.
+
+Every C object lives at a real address in a :class:`repro.minic.memory.Memory`
+instance; reads and writes go through encoded bytes, so pointers, aliasing,
+padding, dangling references and heap blocks behave observably like compiled
+C — which is the whole point of this substrate: it is what the debug server
+controls in place of a GDB-managed native process.
+
+:meth:`Interpreter.run` is a generator yielding :mod:`repro.minic.events`
+events (one per executed statement line, per call, per return, per allocator
+call, per output). Holding the generator *is* pausing the inferior; the MI
+debug server builds all of GDB's run control on top of this single
+primitive.
+
+Deviations from ISO C (documented, all irrelevant to teaching programs):
+intermediate expression arithmetic is unbounded (wrapping happens at stores
+and explicit casts); a line with several declarators yields one event per
+declarator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.minic import ast
+from repro.minic.ctypes import (
+    ArrayType,
+    CHAR,
+    CHAR_PTR,
+    CType,
+    DOUBLE,
+    FloatType,
+    FunctionType,
+    INT,
+    IntType,
+    LONG,
+    PointerType,
+    StructType,
+    ULONG,
+    VOID,
+    VoidType,
+)
+from repro.minic.events import (
+    AllocEvent,
+    CallEvent,
+    Event,
+    ExitEvent,
+    LineEvent,
+    OutputEvent,
+    ReturnEvent,
+    WriteEvent,
+)
+from repro.minic.memory import Memory, MemoryFault, NULL
+from repro.minic.stdlib import BUILTINS, CRuntimeError, _ExitCalled
+
+#: Fake code-segment base where function "addresses" live; lets function
+#: pointers round-trip through integer casts like data pointers do.
+CODE_BASE = 0x0040_0000
+
+#: Byte used to poison uninitialized stack memory, so reading a fresh local
+#: shows garbage (and an uninitialized pointer decodes to an invalid address).
+POISON = 0xCC
+
+RValue = Tuple[CType, object]
+
+
+@dataclass
+class LValue:
+    """A typed location: the result of evaluating an lvalue expression."""
+
+    ctype: CType
+    address: int
+
+
+@dataclass
+class CFrame:
+    """One mini-C call frame: name, locals (name -> address/type), position."""
+
+    name: str
+    depth: int
+    locals: Dict[str, Tuple[int, CType]] = field(default_factory=dict)
+    saved_stack_pointer: int = 0
+    line: int = 0
+    arg_names: tuple = ()
+
+
+class _Return(Exception):
+    def __init__(self, value: Optional[RValue]):
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class Interpreter:
+    """Executes a parsed mini-C :class:`~repro.minic.ast.Program`.
+
+    Args:
+        program: the parsed translation unit.
+        memory: optionally a preconfigured address space.
+        args: command-line arguments, surfaced as ``argc``/``argv`` when the
+            program's ``main`` declares parameters.
+        max_steps: statement budget before the run is aborted (protects the
+            debug server from runaway inferiors).
+    """
+
+    def __init__(
+        self,
+        program: ast.Program,
+        memory: Optional[Memory] = None,
+        args: Optional[List[str]] = None,
+        max_steps: int = 5_000_000,
+        max_call_depth: int = 200,
+    ):
+        self.program = program
+        self.memory = memory if memory is not None else Memory()
+        self.args = list(args or [])
+        self.max_steps = max_steps
+        self.max_call_depth = max_call_depth
+        self.call_stack: List[CFrame] = []
+        self.globals: Dict[str, Tuple[int, CType]] = {}
+        self.functions: Dict[str, ast.FunctionDef] = {}
+        self.function_addresses: Dict[str, int] = {}
+        self.address_to_function: Dict[int, str] = {}
+        self.rand_state = 1
+        self.exit_code: Optional[int] = None
+        self.error: Optional[str] = None
+        self._string_literals: Dict[str, int] = {}
+        self._steps = 0
+        self._register_functions()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def _register_functions(self) -> None:
+        for index, function in enumerate(self.program.functions):
+            if function.body.body or function.name not in self.functions:
+                self.functions[function.name] = function
+            address = CODE_BASE + 16 * index
+            if function.name not in self.function_addresses:
+                self.function_addresses[function.name] = address
+                self.address_to_function[address] = function.name
+
+    def _intern_string(self, text: str) -> int:
+        if text not in self._string_literals:
+            address = self.memory.allocate_global(len(text) + 1, align=1)
+            self.memory.write_cstring(address, text)
+            self._string_literals[text] = address
+        return self._string_literals[text]
+
+    def _allocate_globals(self) -> None:
+        for declaration in self.program.globals:
+            ctype = declaration.ctype
+            address = self.memory.allocate_global(
+                max(ctype.size, 1), max(ctype.align, 1)
+            )
+            self.globals[declaration.name] = (address, ctype)
+            if declaration.init is not None:
+                self._init_location(
+                    LValue(ctype, address), declaration.init, const_only=True
+                )
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> Iterator[Event]:
+        """Execute the program, yielding events; sets :attr:`exit_code`."""
+        import sys
+
+        # Each mini-C call nests ~a dozen host generator frames, so the
+        # host recursion limit must exceed max_call_depth comfortably for
+        # the stack-overflow check below to fire first.
+        needed = 1000 + 20 * self.max_call_depth
+        if sys.getrecursionlimit() < needed:
+            sys.setrecursionlimit(needed)
+        try:
+            self._allocate_globals()
+            main = self.functions.get("main")
+            if main is None or not main.body.body:
+                raise CRuntimeError("no main function defined")
+            main_args = self._build_main_args(main)
+            result = yield from self._call_user(main, main_args, main.line)
+            code = 0
+            if result is not None and isinstance(result[0], IntType):
+                code = int(result[1]) & 0xFF
+            self.exit_code = code
+        except _ExitCalled as called:
+            self.exit_code = called.code & 0xFF
+        except MemoryFault as fault:
+            self.exit_code = 139  # the SIGSEGV analog
+            self.error = str(fault)
+        except CRuntimeError as error:
+            self.exit_code = error.code & 0xFF if error.code else 1
+            self.error = str(error)
+        yield ExitEvent(code=self.exit_code, error=self.error)
+
+    def _build_main_args(self, main: ast.FunctionDef) -> List[RValue]:
+        if not main.params:
+            return []
+        argv_strings = [self.program.filename] + self.args
+        pointer_array = self.memory.allocate_global(8 * (len(argv_strings) + 1))
+        for index, text in enumerate(argv_strings):
+            address = self._intern_string(text)
+            self.memory.write_scalar(pointer_array + 8 * index, CHAR_PTR, address)
+        self.memory.write_scalar(
+            pointer_array + 8 * len(argv_strings), CHAR_PTR, NULL
+        )
+        return [
+            (INT, len(argv_strings)),
+            (PointerType(CHAR_PTR), pointer_array),
+        ]
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+
+    def _call_user(
+        self,
+        function: ast.FunctionDef,
+        arg_values: List[RValue],
+        call_line: int,
+    ) -> Iterator[Event]:
+        if len(arg_values) != len(function.params):
+            raise CRuntimeError(
+                f"{function.name} expects {len(function.params)} argument(s), "
+                f"got {len(arg_values)}",
+                line=call_line,
+            )
+        if len(self.call_stack) >= self.max_call_depth:
+            # The C-world stack overflow (SIGSEGV); raised here so runaway
+            # recursion never exhausts the *host* interpreter's stack.
+            raise CRuntimeError(
+                f"stack overflow: call depth exceeded {self.max_call_depth}",
+                line=call_line,
+                code=139,
+            )
+        frame = CFrame(
+            name=function.name,
+            depth=len(self.call_stack),
+            saved_stack_pointer=self.memory.stack_pointer,
+            line=function.line,
+            arg_names=tuple(p.name for p in function.params),
+        )
+        for parameter, value in zip(function.params, arg_values):
+            address = self.memory.push_stack(
+                max(parameter.ctype.size, 1), max(parameter.ctype.align, 1)
+            )
+            frame.locals[parameter.name] = (address, parameter.ctype)
+            self._store(
+                LValue(parameter.ctype, address),
+                self._convert(value, parameter.ctype, call_line),
+            )
+        self.call_stack.append(frame)
+        yield CallEvent(
+            function=function.name, line=function.line, depth=frame.depth
+        )
+        result: Optional[RValue] = None
+        try:
+            yield from self._exec(function.body, frame)
+        except _Return as returned:
+            result = returned.value
+        if result is None and not isinstance(function.return_type, VoidType):
+            # Falling off the end of a non-void function: C leaves the value
+            # undefined; we pick 0 so teaching programs remain deterministic.
+            result = (function.return_type, 0)
+        rendered = None
+        if result is not None and not isinstance(result[0], VoidType):
+            rendered = self._render_rvalue(result)
+        yield ReturnEvent(
+            function=function.name,
+            line=frame.line,
+            depth=frame.depth,
+            value=rendered,
+        )
+        self.call_stack.pop()
+        self.memory.pop_stack_to(frame.saved_stack_pointer)
+        if result is not None and not isinstance(function.return_type, VoidType):
+            result = self._convert(result, function.return_type, frame.line)
+        return result
+
+    def _call_builtin(self, name: str, arg_values: List[RValue], line: int):
+        builtin = BUILTINS[name]
+        try:
+            result, raw_events = builtin.handler(self, arg_values)
+        except CRuntimeError as error:
+            if error.line is None:
+                error.line = line
+            raise
+        events: List[Event] = []
+        for raw in raw_events:
+            if raw[0] == "output":
+                events.append(OutputEvent(text=raw[1]))
+            elif raw[0] == "alloc":
+                events.append(
+                    AllocEvent(kind=raw[1], address=raw[2], size=raw[3])
+                )
+        return result, events
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _exec(self, statement: ast.Stmt, frame: CFrame) -> Iterator[Event]:
+        if isinstance(statement, ast.Compound):
+            for child in statement.body:
+                yield from self._exec(child, frame)
+            return
+        yield self._tick(frame, statement.line)
+        yield from self._exec_inner(statement, frame)
+
+    def _tick(self, frame: CFrame, line: int) -> LineEvent:
+        """Account one executed statement/iteration against the budget."""
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise CRuntimeError(
+                f"statement budget of {self.max_steps} exceeded "
+                "(infinite loop in the inferior?)"
+            )
+        frame.line = line
+        return LineEvent(line=line, function=frame.name, depth=frame.depth)
+
+    def _exec_inner(self, statement: ast.Stmt, frame: CFrame) -> Iterator[Event]:
+        if isinstance(statement, ast.Declaration):
+            yield from self._exec_declaration(statement, frame)
+        elif isinstance(statement, ast.ExprStmt):
+            yield from self._eval(statement.expr, frame)
+        elif isinstance(statement, ast.If):
+            cond = yield from self._eval(statement.cond, frame)
+            if self._truthy(cond):
+                yield from self._exec(statement.then, frame)
+            elif statement.other is not None:
+                yield from self._exec(statement.other, frame)
+        elif isinstance(statement, ast.While):
+            yield from self._exec_while(statement, frame)
+        elif isinstance(statement, ast.DoWhile):
+            yield from self._exec_do_while(statement, frame)
+        elif isinstance(statement, ast.For):
+            yield from self._exec_for(statement, frame)
+        elif isinstance(statement, ast.Switch):
+            yield from self._exec_switch(statement, frame)
+        elif isinstance(statement, ast.Return):
+            value = None
+            if statement.value is not None:
+                value = yield from self._eval(statement.value, frame)
+            raise _Return(value)
+        elif isinstance(statement, ast.Break):
+            raise _Break()
+        elif isinstance(statement, ast.Continue):
+            raise _Continue()
+        else:  # pragma: no cover - parser produces no other nodes
+            raise CRuntimeError(f"cannot execute {type(statement).__name__}")
+
+    def _exec_declaration(
+        self, declaration: ast.Declaration, frame: CFrame
+    ) -> Iterator[Event]:
+        ctype = declaration.ctype
+        if (
+            isinstance(ctype, ArrayType)
+            and ctype.length == 0
+            and declaration.init is not None
+        ):
+            ctype = _size_array_from_init(ctype, declaration.init)
+        address = self.memory.push_stack(
+            max(ctype.size, 1), max(ctype.align, 1)
+        )
+        self.memory.write(address, bytes([POISON]) * max(ctype.size, 1))
+        frame.locals[declaration.name] = (address, ctype)
+        if declaration.init is not None:
+            yield from self._init_location_gen(
+                LValue(ctype, address), declaration.init, frame
+            )
+            yield WriteEvent(
+                name=declaration.name, function=frame.name, depth=frame.depth
+            )
+
+    def _exec_switch(self, statement: ast.Switch, frame: CFrame) -> Iterator[Event]:
+        selector = yield from self._eval(statement.expr, frame)
+        selected = int(selector[1])
+        start = None
+        default = None
+        for index, case in enumerate(statement.cases):
+            if case.match is None:
+                default = index
+                continue
+            match = self._const_eval(case.match)
+            if int(match[1]) == selected:
+                start = index
+                break
+        if start is None:
+            start = default
+        if start is None:
+            return
+        try:
+            # C fallthrough: run from the matched arm through the rest.
+            for case in statement.cases[start:]:
+                for child in case.body:
+                    yield from self._exec(child, frame)
+        except _Break:
+            return
+
+    def _exec_while(self, statement: ast.While, frame: CFrame) -> Iterator[Event]:
+        first = True
+        while True:
+            if not first:
+                yield self._tick(frame, statement.line)
+            first = False
+            cond = yield from self._eval(statement.cond, frame)
+            if not self._truthy(cond):
+                return
+            try:
+                yield from self._exec(statement.body, frame)
+            except _Break:
+                return
+            except _Continue:
+                continue
+
+    def _exec_do_while(
+        self, statement: ast.DoWhile, frame: CFrame
+    ) -> Iterator[Event]:
+        while True:
+            try:
+                yield from self._exec(statement.body, frame)
+            except _Break:
+                return
+            except _Continue:
+                pass
+            yield self._tick(frame, statement.line)
+            cond = yield from self._eval(statement.cond, frame)
+            if not self._truthy(cond):
+                return
+
+    def _exec_for(self, statement: ast.For, frame: CFrame) -> Iterator[Event]:
+        if statement.init is not None:
+            yield from self._exec_inner(statement.init, frame)
+        first = True
+        while True:
+            if not first:
+                yield self._tick(frame, statement.line)
+            first = False
+            if statement.cond is not None:
+                cond = yield from self._eval(statement.cond, frame)
+                if not self._truthy(cond):
+                    return
+            try:
+                yield from self._exec(statement.body, frame)
+            except _Break:
+                return
+            except _Continue:
+                pass
+            if statement.step is not None:
+                yield from self._eval(statement.step, frame)
+
+    # ------------------------------------------------------------------
+    # Initializers
+    # ------------------------------------------------------------------
+
+    def _init_location(self, location: LValue, init, const_only: bool) -> None:
+        """Initialize globals with constant expressions (no events)."""
+        generator = self._init_location_gen(location, init, frame=None)
+        for _ in generator:  # pragma: no cover - const init yields nothing
+            raise CRuntimeError("global initializers must be constant")
+
+    def _init_location_gen(
+        self, location: LValue, init, frame: Optional[CFrame]
+    ) -> Iterator[Event]:
+        ctype = location.ctype
+        if isinstance(init, list):
+            if isinstance(ctype, ArrayType):
+                if len(init) > ctype.length:
+                    raise CRuntimeError(
+                        f"too many initializers for {ctype.name}"
+                    )
+                for index, item in enumerate(init):
+                    element = LValue(
+                        ctype.element,
+                        location.address + index * ctype.element.size,
+                    )
+                    yield from self._init_location_gen(element, item, frame)
+                return
+            if isinstance(ctype, StructType):
+                for item, struct_field in zip(init, ctype.fields.values()):
+                    member = LValue(
+                        struct_field.ctype, location.address + struct_field.offset
+                    )
+                    yield from self._init_location_gen(member, item, frame)
+                return
+            raise CRuntimeError(f"brace initializer for scalar {ctype.name}")
+        if (
+            isinstance(ctype, ArrayType)
+            and isinstance(ctype.element, IntType)
+            and ctype.element.size == 1
+            and isinstance(init, ast.StringLiteral)
+        ):
+            text = init.value
+            if len(text) + 1 > ctype.length:
+                raise CRuntimeError("string too long for char array")
+            self.memory.write_cstring(location.address, text)
+            return
+        if frame is None:
+            value = self._const_eval(init)
+        else:
+            value = yield from self._eval(init, frame)
+        self._store(location, self._convert(value, ctype, init.line))
+
+    def _const_eval(self, expr: ast.Expr) -> RValue:
+        if isinstance(expr, ast.Identifier) and (
+            expr.name in self.program.enum_constants
+        ):
+            return (INT, self.program.enum_constants[expr.name])
+        if isinstance(expr, ast.IntLiteral):
+            return (INT if abs(expr.value) < 1 << 31 else LONG, expr.value)
+        if isinstance(expr, ast.FloatLiteral):
+            return (DOUBLE, expr.value)
+        if isinstance(expr, ast.CharLiteral):
+            return (INT, expr.value)
+        if isinstance(expr, ast.NullLiteral):
+            return (PointerType(VOID), NULL)
+        if isinstance(expr, ast.StringLiteral):
+            return (CHAR_PTR, self._intern_string(expr.value))
+        if isinstance(expr, ast.SizeofType):
+            return (ULONG, expr.ctype.size)
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            ctype, value = self._const_eval(expr.operand)
+            return (ctype, -value)
+        if isinstance(expr, ast.Binary):
+            left = self._const_eval(expr.left)
+            right = self._const_eval(expr.right)
+            return self._binary_arith(expr.op, left, right, expr.line)
+        raise CRuntimeError(
+            "global initializers must be constant expressions", line=expr.line
+        )
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, frame: CFrame) -> Iterator[Event]:
+        if isinstance(expr, ast.IntLiteral):
+            return (INT if abs(expr.value) < 1 << 31 else LONG, expr.value)
+        if isinstance(expr, ast.FloatLiteral):
+            return (DOUBLE, expr.value)
+        if isinstance(expr, ast.CharLiteral):
+            return (INT, expr.value)
+        if isinstance(expr, ast.StringLiteral):
+            return (CHAR_PTR, self._intern_string(expr.value))
+        if isinstance(expr, ast.NullLiteral):
+            return (PointerType(VOID), NULL)
+        if isinstance(expr, ast.Identifier):
+            return self._eval_identifier(expr, frame)
+        if isinstance(expr, ast.Unary):
+            return (yield from self._eval_unary(expr, frame))
+        if isinstance(expr, ast.Postfix):
+            return (yield from self._eval_postfix(expr, frame))
+        if isinstance(expr, ast.Binary):
+            return (yield from self._eval_binary(expr, frame))
+        if isinstance(expr, ast.Assign):
+            return (yield from self._eval_assign(expr, frame))
+        if isinstance(expr, ast.Conditional):
+            cond = yield from self._eval(expr.cond, frame)
+            if self._truthy(cond):
+                return (yield from self._eval(expr.then, frame))
+            return (yield from self._eval(expr.other, frame))
+        if isinstance(expr, ast.Call):
+            return (yield from self._eval_call(expr, frame))
+        if isinstance(expr, ast.Index) or isinstance(expr, ast.Member):
+            lvalue = yield from self._eval_lvalue(expr, frame)
+            return self._load(lvalue)
+        if isinstance(expr, ast.Cast):
+            value = yield from self._eval(expr.operand, frame)
+            return self._cast(value, expr.ctype, expr.line)
+        if isinstance(expr, ast.SizeofType):
+            return (ULONG, expr.ctype.size)
+        if isinstance(expr, ast.SizeofExpr):
+            ctype = yield from self._type_of(expr.operand, frame)
+            return (ULONG, ctype.size)
+        raise CRuntimeError(
+            f"cannot evaluate {type(expr).__name__}", line=expr.line
+        )
+
+    def _eval_identifier(self, expr: ast.Identifier, frame: CFrame) -> RValue:
+        location = self._lookup(expr.name, frame, expr.line)
+        if location is None:
+            if expr.name in self.program.enum_constants:
+                return (INT, self.program.enum_constants[expr.name])
+            if expr.name in self.function_addresses:
+                function_type = self._function_pointer_type(expr.name)
+                return (function_type, self.function_addresses[expr.name])
+            raise CRuntimeError(
+                f"undefined variable {expr.name!r}", line=expr.line
+            )
+        return self._load(LValue(location[1], location[0]))
+
+    def _function_pointer_type(self, name: str) -> PointerType:
+        definition = self.functions.get(name)
+        if definition is None:
+            return PointerType(FunctionType(INT, []))
+        return PointerType(
+            FunctionType(
+                definition.return_type, [p.ctype for p in definition.params]
+            )
+        )
+
+    def _eval_unary(self, expr: ast.Unary, frame: CFrame) -> Iterator[Event]:
+        op = expr.op
+        if op == "&":
+            if (
+                isinstance(expr.operand, ast.Identifier)
+                and self._lookup(expr.operand.name, frame, expr.line) is None
+                and expr.operand.name in self.function_addresses
+            ):
+                name = expr.operand.name
+                return (
+                    self._function_pointer_type(name),
+                    self.function_addresses[name],
+                )
+            lvalue = yield from self._eval_lvalue(expr.operand, frame)
+            return (PointerType(lvalue.ctype), lvalue.address)
+        if op == "*":
+            lvalue = yield from self._eval_lvalue(expr, frame)
+            return self._load(lvalue)
+        if op in ("++", "--"):
+            lvalue = yield from self._eval_lvalue(expr.operand, frame)
+            old = self._load(lvalue)
+            one: RValue = (INT, 1)
+            new = self._binary_arith(
+                "+" if op == "++" else "-", old, one, expr.line
+            )
+            converted = self._convert(new, lvalue.ctype, expr.line)
+            self._store(lvalue, converted)
+            if isinstance(expr.operand, ast.Identifier):
+                yield WriteEvent(
+                    name=expr.operand.name, function=frame.name, depth=frame.depth
+                )
+            return converted
+        operand = yield from self._eval(expr.operand, frame)
+        ctype, value = operand
+        if op == "-":
+            return (ctype if ctype.is_scalar() else INT, -value)
+        if op == "!":
+            return (INT, 0 if self._truthy(operand) else 1)
+        if op == "~":
+            return (ctype if ctype.is_integer() else INT, ~int(value))
+        raise CRuntimeError(f"unknown unary {op}", line=expr.line)
+
+    def _eval_postfix(self, expr: ast.Postfix, frame: CFrame) -> Iterator[Event]:
+        lvalue = yield from self._eval_lvalue(expr.operand, frame)
+        old = self._load(lvalue)
+        one: RValue = (INT, 1)
+        new = self._binary_arith(
+            "+" if expr.op == "++" else "-", old, one, expr.line
+        )
+        self._store(lvalue, self._convert(new, lvalue.ctype, expr.line))
+        if isinstance(expr.operand, ast.Identifier):
+            yield WriteEvent(
+                name=expr.operand.name, function=frame.name, depth=frame.depth
+            )
+        return old
+
+    def _eval_binary(self, expr: ast.Binary, frame: CFrame) -> Iterator[Event]:
+        if expr.op == "&&":
+            left = yield from self._eval(expr.left, frame)
+            if not self._truthy(left):
+                return (INT, 0)
+            right = yield from self._eval(expr.right, frame)
+            return (INT, 1 if self._truthy(right) else 0)
+        if expr.op == "||":
+            left = yield from self._eval(expr.left, frame)
+            if self._truthy(left):
+                return (INT, 1)
+            right = yield from self._eval(expr.right, frame)
+            return (INT, 1 if self._truthy(right) else 0)
+        if expr.op == ",":
+            yield from self._eval(expr.left, frame)
+            return (yield from self._eval(expr.right, frame))
+        left = yield from self._eval(expr.left, frame)
+        right = yield from self._eval(expr.right, frame)
+        return self._binary_arith(expr.op, left, right, expr.line)
+
+    def _eval_assign(self, expr: ast.Assign, frame: CFrame) -> Iterator[Event]:
+        lvalue = yield from self._eval_lvalue(expr.target, frame)
+        if expr.op == "=":
+            value = yield from self._eval(expr.value, frame)
+        else:
+            old = self._load(lvalue)
+            increment = yield from self._eval(expr.value, frame)
+            value = self._binary_arith(
+                expr.op[:-1], old, increment, expr.line
+            )
+        converted = self._convert(value, lvalue.ctype, expr.line)
+        self._store(lvalue, converted)
+        # WriteEvents give the debug server cheap variable-granularity change
+        # notification for simple assignments. Writes through pointers are
+        # caught by the server's per-line watch evaluation instead.
+        if isinstance(expr.target, ast.Identifier):
+            yield WriteEvent(
+                name=expr.target.name, function=frame.name, depth=frame.depth
+            )
+        return converted
+
+    def _eval_call(self, expr: ast.Call, frame: CFrame) -> Iterator[Event]:
+        arg_values: List[RValue] = []
+        for argument in expr.args:
+            value = yield from self._eval(argument, frame)
+            arg_values.append(value)
+        # Direct call by name.
+        if isinstance(expr.callee, ast.Identifier):
+            name = expr.callee.name
+            local = self._lookup(name, frame, expr.line)
+            if local is None:
+                if name in self.functions and self.functions[name].body.body:
+                    return (
+                        yield from self._call_user(
+                            self.functions[name], arg_values, expr.line
+                        )
+                    )
+                if name in BUILTINS:
+                    result, events = self._call_builtin(name, arg_values, expr.line)
+                    for event in events:
+                        yield event
+                    return result
+                raise CRuntimeError(
+                    f"call to undefined function {name!r}", line=expr.line
+                )
+        # Indirect call through a function pointer value.
+        callee = yield from self._eval(expr.callee, frame)
+        address = int(callee[1])
+        target = self.address_to_function.get(address)
+        if target is None:
+            raise MemoryFault(address, 0, "call through invalid function pointer")
+        if target in self.functions and self.functions[target].body.body:
+            return (
+                yield from self._call_user(
+                    self.functions[target], arg_values, expr.line
+                )
+            )
+        result, events = self._call_builtin(target, arg_values, expr.line)
+        for event in events:
+            yield event
+        return result
+
+    # ------------------------------------------------------------------
+    # Lvalues
+    # ------------------------------------------------------------------
+
+    def _eval_lvalue(self, expr: ast.Expr, frame: CFrame) -> Iterator[Event]:
+        if isinstance(expr, ast.Identifier):
+            location = self._lookup(expr.name, frame, expr.line)
+            if location is None:
+                raise CRuntimeError(
+                    f"undefined variable {expr.name!r}", line=expr.line
+                )
+            return LValue(location[1], location[0])
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            pointer = yield from self._eval(expr.operand, frame)
+            ctype = pointer[0]
+            if isinstance(ctype, PointerType):
+                target = ctype.target
+            elif isinstance(ctype, ArrayType):
+                target = ctype.element
+            else:
+                raise CRuntimeError(
+                    f"cannot dereference {ctype.name}", line=expr.line
+                )
+            address = int(pointer[1])
+            self._check_address(address, target, expr.line)
+            return LValue(target, address)
+        if isinstance(expr, ast.Index):
+            base_type = yield from self._type_of(expr.base, frame)
+            if isinstance(base_type, ArrayType):
+                base_lvalue = yield from self._eval_lvalue(expr.base, frame)
+                element = base_type.element
+                base_address = base_lvalue.address
+            else:
+                base_value = yield from self._eval(expr.base, frame)
+                if not isinstance(base_value[0], PointerType):
+                    raise CRuntimeError(
+                        f"cannot index {base_value[0].name}", line=expr.line
+                    )
+                element = base_value[0].target
+                base_address = int(base_value[1])
+            index = yield from self._eval(expr.index, frame)
+            address = base_address + int(index[1]) * element.size
+            self._check_address(address, element, expr.line)
+            return LValue(element, address)
+        if isinstance(expr, ast.Member):
+            if expr.arrow:
+                base = yield from self._eval(expr.base, frame)
+                if not isinstance(base[0], PointerType):
+                    raise CRuntimeError(
+                        f"-> on non-pointer {base[0].name}", line=expr.line
+                    )
+                struct = base[0].target
+                base_address = int(base[1])
+            else:
+                base_lvalue = yield from self._eval_lvalue(expr.base, frame)
+                struct = base_lvalue.ctype
+                base_address = base_lvalue.address
+            if not isinstance(struct, StructType):
+                raise CRuntimeError(
+                    f"member access on non-struct {struct.name}", line=expr.line
+                )
+            try:
+                struct_field = struct.field(expr.field)
+            except KeyError as error:
+                raise CRuntimeError(str(error), line=expr.line) from None
+            address = base_address + struct_field.offset
+            self._check_address(address, struct_field.ctype, expr.line)
+            return LValue(struct_field.ctype, address)
+        raise CRuntimeError(
+            f"{type(expr).__name__} is not an lvalue", line=expr.line
+        )
+
+    def _check_address(self, address: int, ctype: CType, line: int) -> None:
+        size = max(ctype.size, 1)
+        if not self.memory.is_valid(address, size):
+            raise MemoryFault(address, size, "access")
+
+    def _type_of(self, expr: ast.Expr, frame: CFrame) -> Iterator[Event]:
+        """Static-ish type of an expression (for sizeof and array detection).
+
+        Implemented as a generator for uniformity; never actually executes
+        calls — sizeof of a call uses the declared return type.
+        """
+        if isinstance(expr, ast.Identifier):
+            location = self._lookup(expr.name, frame, expr.line)
+            if location is not None:
+                return location[1]
+            if expr.name in self.function_addresses:
+                return self._function_pointer_type(expr.name)
+            raise CRuntimeError(
+                f"undefined variable {expr.name!r}", line=expr.line
+            )
+        if isinstance(expr, ast.Index):
+            base = yield from self._type_of(expr.base, frame)
+            if isinstance(base, ArrayType):
+                return base.element
+            if isinstance(base, PointerType):
+                return base.target
+            raise CRuntimeError(f"cannot index {base.name}", line=expr.line)
+        if isinstance(expr, ast.Member):
+            base = yield from self._type_of(expr.base, frame)
+            if expr.arrow and isinstance(base, PointerType):
+                base = base.target
+            if isinstance(base, StructType):
+                return base.field(expr.field).ctype
+            raise CRuntimeError("member access on non-struct", line=expr.line)
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            base = yield from self._type_of(expr.operand, frame)
+            if isinstance(base, (PointerType, ArrayType)):
+                return base.target if isinstance(base, PointerType) else base.element
+            raise CRuntimeError("dereference of non-pointer", line=expr.line)
+        if isinstance(expr, ast.Call) and isinstance(expr.callee, ast.Identifier):
+            name = expr.callee.name
+            if name in self.functions:
+                return self.functions[name].return_type
+            if name in BUILTINS:
+                return BUILTINS[name].return_type
+        if isinstance(expr, ast.Cast):
+            return expr.ctype
+        if isinstance(expr, ast.StringLiteral):
+            return CHAR_PTR
+        # Fall back to evaluating (side effects allowed, as in C sizeof? no —
+        # but these cases are only reached for arithmetic expressions).
+        value = yield from self._eval(expr, frame)
+        return value[0]
+
+    # ------------------------------------------------------------------
+    # Loads, stores, conversions, arithmetic
+    # ------------------------------------------------------------------
+
+    def _lookup(
+        self, name: str, frame: Optional[CFrame], line: int
+    ) -> Optional[Tuple[int, CType]]:
+        if frame is not None and name in frame.locals:
+            return frame.locals[name]
+        if name in self.globals:
+            return self.globals[name]
+        return None
+
+    def _load(self, lvalue: LValue) -> RValue:
+        ctype = lvalue.ctype
+        if isinstance(ctype, ArrayType):
+            # Array-to-pointer decay.
+            return (PointerType(ctype.element), lvalue.address)
+        if isinstance(ctype, StructType):
+            return (ctype, self.memory.read(lvalue.address, ctype.size))
+        return (ctype, self.memory.read_scalar(lvalue.address, ctype))
+
+    def _store(self, lvalue: LValue, value: RValue) -> None:
+        ctype = lvalue.ctype
+        if isinstance(ctype, StructType):
+            raw = value[1]
+            if not isinstance(raw, (bytes, bytearray)):
+                raise CRuntimeError(f"cannot assign to {ctype.name}")
+            self.memory.write(lvalue.address, bytes(raw[: ctype.size]))
+            return
+        self.memory.write_scalar(lvalue.address, ctype, value[1])
+
+    def _convert(self, value: RValue, target: CType, line: int) -> RValue:
+        ctype, raw = value
+        if isinstance(target, IntType):
+            return (target, target.wrap(int(raw)))
+        if isinstance(target, FloatType):
+            return (target, float(raw))
+        if isinstance(target, (PointerType, FunctionType)):
+            return (target, int(raw) & (1 << 64) - 1)
+        if isinstance(target, StructType):
+            if isinstance(ctype, StructType) and ctype.tag == target.tag:
+                return (target, raw)
+            raise CRuntimeError(
+                f"cannot convert {ctype.name} to {target.name}", line=line
+            )
+        if isinstance(target, VoidType):
+            return (target, None)
+        raise CRuntimeError(
+            f"cannot convert {ctype.name} to {target.name}", line=line
+        )
+
+    def _cast(self, value: RValue, target: CType, line: int) -> RValue:
+        return self._convert(value, target, line)
+
+    def _binary_arith(
+        self, op: str, left: RValue, right: RValue, line: int
+    ) -> RValue:
+        left_type, left_value = left
+        right_type, right_value = right
+        # Pointer arithmetic.
+        if isinstance(left_type, PointerType) and right_type.is_integer():
+            if op == "+":
+                return (left_type, int(left_value) + int(right_value) * left_type.target.size)
+            if op == "-":
+                return (left_type, int(left_value) - int(right_value) * left_type.target.size)
+        if isinstance(right_type, PointerType) and left_type.is_integer() and op == "+":
+            return (right_type, int(right_value) + int(left_value) * right_type.target.size)
+        if isinstance(left_type, PointerType) and isinstance(right_type, PointerType):
+            if op == "-":
+                return (LONG, (int(left_value) - int(right_value)) // max(left_type.target.size, 1))
+            if op in ("==", "!=", "<", ">", "<=", ">="):
+                return (INT, _compare(op, int(left_value), int(right_value)))
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            return (INT, _compare(op, left_value, right_value))
+        use_float = left_type.is_float() or right_type.is_float()
+        if use_float:
+            left_number, right_number = float(left_value), float(right_value)
+            result_type: CType = DOUBLE
+            if op == "+":
+                return (result_type, left_number + right_number)
+            if op == "-":
+                return (result_type, left_number - right_number)
+            if op == "*":
+                return (result_type, left_number * right_number)
+            if op == "/":
+                if right_number == 0.0:
+                    raise CRuntimeError("floating division by zero", line, code=136)
+                return (result_type, left_number / right_number)
+            raise CRuntimeError(f"invalid float operation {op}", line=line)
+        left_int, right_int = int(left_value), int(right_value)
+        result_type = LONG if LONG in (left_type, right_type) else INT
+        if op == "+":
+            return (result_type, left_int + right_int)
+        if op == "-":
+            return (result_type, left_int - right_int)
+        if op == "*":
+            return (result_type, left_int * right_int)
+        if op == "/":
+            if right_int == 0:
+                raise CRuntimeError("integer division by zero", line, code=136)
+            return (result_type, _c_div(left_int, right_int))
+        if op == "%":
+            if right_int == 0:
+                raise CRuntimeError("integer modulo by zero", line, code=136)
+            return (result_type, left_int - _c_div(left_int, right_int) * right_int)
+        if op == "<<":
+            return (result_type, left_int << (right_int & 63))
+        if op == ">>":
+            return (result_type, left_int >> (right_int & 63))
+        if op == "&":
+            return (result_type, left_int & right_int)
+        if op == "|":
+            return (result_type, left_int | right_int)
+        if op == "^":
+            return (result_type, left_int ^ right_int)
+        raise CRuntimeError(f"unknown operator {op}", line=line)
+
+    @staticmethod
+    def _truthy(value: RValue) -> bool:
+        return value[1] is not None and value[1] != 0
+
+    def _render_rvalue(self, value: RValue) -> str:
+        ctype, raw = value
+        if isinstance(ctype, FloatType):
+            return repr(float(raw))
+        if isinstance(ctype, PointerType):
+            return f"{int(raw):#x}"
+        if isinstance(ctype, StructType):
+            return f"<{ctype.name}>"
+        if raw is None:
+            return "void"
+        return str(raw)
+
+
+def _compare(op: str, left, right) -> int:
+    if op == "==":
+        return int(left == right)
+    if op == "!=":
+        return int(left != right)
+    if op == "<":
+        return int(left < right)
+    if op == ">":
+        return int(left > right)
+    if op == "<=":
+        return int(left <= right)
+    return int(left >= right)
+
+
+def _c_div(a: int, b: int) -> int:
+    """C integer division: truncation toward zero."""
+    quotient = abs(a) // abs(b)
+    return quotient if (a < 0) == (b < 0) else -quotient
+
+
+def _size_array_from_init(ctype: ArrayType, init) -> ArrayType:
+    if isinstance(init, list):
+        return ArrayType(ctype.element, len(init))
+    if isinstance(init, ast.StringLiteral):
+        return ArrayType(ctype.element, len(init.value) + 1)
+    return ctype

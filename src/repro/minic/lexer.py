@@ -1,0 +1,327 @@
+"""Tokenizer for the mini-C language.
+
+Supports the C subset used in teaching programs: all scalar types,
+pointers, arrays, structs, the full operator set (including compound
+assignment, increment/decrement, ternary), string/char literals with
+escapes, decimal/hex/octal/float constants, and ``//`` + ``/* */``
+comments. Tokens carry line/column for diagnostics and for the
+line-stepping debugger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.core.errors import ProgramLoadError
+
+KEYWORDS = frozenset(
+    {
+        "void",
+        "char",
+        "short",
+        "int",
+        "long",
+        "unsigned",
+        "signed",
+        "float",
+        "double",
+        "struct",
+        "if",
+        "else",
+        "while",
+        "do",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "sizeof",
+        "typedef",
+        "const",
+        "static",
+        "NULL",
+        "enum",
+        "switch",
+        "case",
+        "default",
+    }
+)
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "<<=",
+    ">>=",
+    "...",
+    "->",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "~",
+    "&",
+    "|",
+    "^",
+    "?",
+    ":",
+    ".",
+    ",",
+    ";",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+]
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "a": "\a",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+}
+
+
+@dataclass
+class Token:
+    """One lexical token."""
+
+    kind: str  # "id", "keyword", "int", "float", "string", "char", "op", "eof"
+    text: str
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+class LexError(ProgramLoadError):
+    """A character sequence that is not mini-C."""
+
+
+def tokenize(source: str, filename: str = "<string>") -> List[Token]:
+    """Tokenize ``source`` into a list ending with an ``eof`` token."""
+    return list(_Lexer(source, filename).run())
+
+
+class _Lexer:
+    def __init__(self, source: str, filename: str):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def run(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                yield self._token("eof", "", None)
+                return
+            char = self.source[self.pos]
+            if char.isalpha() or char == "_":
+                yield self._identifier()
+            elif char.isdigit() or (
+                char == "." and self._peek(1).isdigit()
+            ):
+                yield self._number()
+            elif char == '"':
+                yield self._string()
+            elif char == "'":
+                yield self._char()
+            else:
+                yield self._operator()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _peek_in(self, chars: str, offset: int = 0) -> bool:
+        """Membership test that is False at end of input.
+
+        (``"" in chars`` is True for any ``chars``, so a bare ``in`` on
+        ``_peek()`` would spin forever on a literal at EOF.)
+        """
+        char = self._peek(offset)
+        return bool(char) and char in chars
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _token(self, kind: str, text: str, value: object) -> Token:
+        return Token(kind, text, value, self.line, self.column)
+
+    def _error(self, message: str) -> LexError:
+        return LexError(f"{self.filename}:{self.line}: {message}")
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            char = self.source[self.pos]
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self.source[self.pos] != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source) and not (
+                    self.source[self.pos] == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.source):
+                    raise self._error("unterminated block comment")
+                self._advance(2)
+            elif char == "#":
+                # Preprocessor lines (e.g. #include) are accepted and ignored:
+                # the interpreter provides its own stdlib.
+                while self.pos < len(self.source) and self.source[self.pos] != "\n":
+                    self._advance()
+            else:
+                return
+
+    # -- token classes ------------------------------------------------------
+
+    def _identifier(self) -> Token:
+        start_line, start_column = self.line, self.column
+        start = self.pos
+        while self.pos < len(self.source) and (
+            self.source[self.pos].isalnum() or self.source[self.pos] == "_"
+        ):
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = "keyword" if text in KEYWORDS else "id"
+        return Token(kind, text, text, start_line, start_column)
+
+    def _number(self) -> Token:
+        start_line, start_column = self.line, self.column
+        start = self.pos
+        is_float = False
+        if self._peek() == "0" and self._peek_in("xX", 1):
+            self._advance(2)
+            while self._peek_in("0123456789abcdefABCDEF"):
+                self._advance()
+            text = self.source[start : self.pos]
+            return Token("int", text, int(text, 16), start_line, start_column)
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek_in("eE") and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek_in("+-"):
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.pos]
+        # Integer suffixes (L, U, UL...) are accepted and discarded.
+        while self._peek_in("lLuUfF"):
+            if self._peek_in("fF") and not is_float:
+                break
+            self._advance()
+        full = self.source[start : self.pos]
+        if is_float:
+            return Token("float", full, float(text), start_line, start_column)
+        base = 8 if text.startswith("0") and len(text) > 1 else 10
+        return Token("int", full, int(text, base), start_line, start_column)
+
+    def _string(self) -> Token:
+        start_line, start_column = self.line, self.column
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise self._error("unterminated string literal")
+            char = self.source[self.pos]
+            if char == '"':
+                self._advance()
+                break
+            if char == "\n":
+                raise self._error("newline in string literal")
+            if char == "\\":
+                self._advance()
+                escape = self._peek()
+                if escape not in _ESCAPES:
+                    raise self._error(f"unknown escape \\{escape}")
+                chars.append(_ESCAPES[escape])
+                self._advance()
+            else:
+                chars.append(char)
+                self._advance()
+        text = "".join(chars)
+        return Token("string", f'"{text}"', text, start_line, start_column)
+
+    def _char(self) -> Token:
+        start_line, start_column = self.line, self.column
+        self._advance()  # opening quote
+        char = self._peek()
+        if char == "\\":
+            self._advance()
+            escape = self._peek()
+            if escape not in _ESCAPES:
+                raise self._error(f"unknown escape \\{escape}")
+            value = ord(_ESCAPES[escape])
+            self._advance()
+        elif char == "'":
+            raise self._error("empty character literal")
+        else:
+            value = ord(char)
+            self._advance()
+        if self._peek() != "'":
+            raise self._error("unterminated character literal")
+        self._advance()
+        return Token("char", f"'{chr(value)}'", value, start_line, start_column)
+
+    def _operator(self) -> Token:
+        start_line, start_column = self.line, self.column
+        for op in OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token("op", op, op, start_line, start_column)
+        raise self._error(f"unexpected character {self.source[self.pos]!r}")

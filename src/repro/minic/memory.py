@@ -1,0 +1,284 @@
+"""Flat byte-addressable memory for the mini-C interpreter.
+
+Three segments mirror the conceptual memory of the paper's state model:
+
+- **globals** at ``GLOBAL_BASE``,
+- **stack** ending at ``STACK_TOP`` and growing downwards,
+- **heap** at ``HEAP_BASE`` growing upwards, managed by a first-fit
+  allocator that records every live block and its size.
+
+The allocator's block registry is the reproduction of the paper's
+``LD_PRELOAD`` interposition on ``malloc``/``free``/``calloc``/``realloc``:
+it is what lets the debug tracker decide whether a pointer refers to a live
+heap block and, if so, how many elements the block holds (e.g. to render a
+``malloc``'d ``int*`` as an array).
+
+Accessing an unmapped or freed address raises :class:`MemoryFault`, which
+the tracker surfaces as an ``INVALID`` pointer value rather than crashing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.minic.ctypes import CType, decode_scalar, encode_scalar
+
+GLOBAL_BASE = 0x0000_1000
+HEAP_BASE = 0x0800_0000
+STACK_TOP = 0x7FFF_0000
+
+#: Address used for NULL; never mapped.
+NULL = 0
+
+
+class MemoryFault(Exception):
+    """An access to unmapped, freed, or out-of-segment memory."""
+
+    def __init__(self, address: int, size: int, operation: str):
+        super().__init__(
+            f"invalid {operation} of {size} byte(s) at {address:#x}"
+        )
+        self.address = address
+        self.size = size
+        self.operation = operation
+
+
+class _Segment:
+    """One contiguous mapped region."""
+
+    def __init__(self, base: int, size: int):
+        self.base = base
+        self.data = bytearray(size)
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+    def contains(self, address: int, size: int) -> bool:
+        return self.base <= address and address + size <= self.end
+
+    def read(self, address: int, size: int) -> bytes:
+        offset = address - self.base
+        return bytes(self.data[offset : offset + size])
+
+    def write(self, address: int, raw: bytes) -> None:
+        offset = address - self.base
+        self.data[offset : offset + len(raw)] = raw
+
+    def grow(self, new_size: int) -> None:
+        if new_size > len(self.data):
+            self.data.extend(bytes(new_size - len(self.data)))
+
+
+class HeapBlock:
+    """A live (or freed) heap allocation."""
+
+    def __init__(self, address: int, size: int):
+        self.address = address
+        self.size = size
+        self.freed = False
+
+    def __repr__(self) -> str:
+        state = "freed" if self.freed else "live"
+        return f"<HeapBlock {self.address:#x} size={self.size} {state}>"
+
+
+class Memory:
+    """The interpreter's address space: globals, stack, heap, allocator."""
+
+    def __init__(
+        self,
+        global_size: int = 1 << 16,
+        stack_size: int = 1 << 16,
+        heap_size: int = 1 << 20,
+    ):
+        self.globals = _Segment(GLOBAL_BASE, global_size)
+        self.stack = _Segment(STACK_TOP - stack_size, stack_size)
+        self.heap = _Segment(HEAP_BASE, heap_size)
+        self._heap_limit = HEAP_BASE + heap_size
+        #: every allocation ever made, keyed by address (freed ones stay,
+        #: marked freed, so dangling pointers are detectable)
+        self.heap_blocks: Dict[int, HeapBlock] = {}
+        self._free_list: List[Tuple[int, int]] = [(HEAP_BASE, heap_size)]
+        self._global_brk = GLOBAL_BASE
+        self.stack_pointer = STACK_TOP
+
+    # ------------------------------------------------------------------
+    # Mapping queries
+    # ------------------------------------------------------------------
+
+    def segment_of(self, address: int, size: int = 1) -> Optional[str]:
+        """Name of the segment mapping [address, address+size), or ``None``."""
+        if self.globals.contains(address, size):
+            return "global"
+        if self.stack.contains(address, size):
+            return "stack"
+        if self.heap.contains(address, size):
+            return "heap"
+        return None
+
+    def is_valid(self, address: int, size: int = 1) -> bool:
+        """Whether the range is mapped and (if heap) inside a live block."""
+        segment = self.segment_of(address, size)
+        if segment is None:
+            return False
+        if segment == "heap":
+            block = self.block_containing(address)
+            return (
+                block is not None
+                and not block.freed
+                and address + size <= block.address + block.size
+            )
+        return True
+
+    def block_containing(self, address: int) -> Optional[HeapBlock]:
+        """The heap block whose range covers ``address`` (live or freed)."""
+        for block in self.heap_blocks.values():
+            if block.address <= address < block.address + block.size:
+                return block
+        return None
+
+    # ------------------------------------------------------------------
+    # Raw access
+    # ------------------------------------------------------------------
+
+    def read(self, address: int, size: int) -> bytes:
+        segment = self._segment_obj(address, size, "read")
+        return segment.read(address, size)
+
+    def write(self, address: int, raw: bytes) -> None:
+        segment = self._segment_obj(address, len(raw), "write")
+        segment.write(address, raw)
+
+    def _segment_obj(self, address: int, size: int, operation: str) -> _Segment:
+        for segment in (self.globals, self.stack, self.heap):
+            if segment.contains(address, size):
+                return segment
+        raise MemoryFault(address, size, operation)
+
+    # ------------------------------------------------------------------
+    # Typed access
+    # ------------------------------------------------------------------
+
+    def read_scalar(self, address: int, ctype: CType):
+        return decode_scalar(ctype, self.read(address, ctype.size))
+
+    def write_scalar(self, address: int, ctype: CType, value) -> None:
+        self.write(address, encode_scalar(ctype, value))
+
+    def read_cstring(self, address: int, limit: int = 4096) -> str:
+        """Read a NUL-terminated string; stops at segment end or ``limit``."""
+        chars: List[int] = []
+        for offset in range(limit):
+            if self.segment_of(address + offset, 1) is None:
+                break
+            byte = self.read(address + offset, 1)[0]
+            if byte == 0:
+                break
+            chars.append(byte)
+        return bytes(chars).decode("latin-1")
+
+    def write_cstring(self, address: int, text: str) -> None:
+        self.write(address, text.encode("latin-1") + b"\x00")
+
+    # ------------------------------------------------------------------
+    # Static allocation (globals, string literals)
+    # ------------------------------------------------------------------
+
+    def allocate_global(self, size: int, align: int = 8) -> int:
+        """Reserve zero-initialized space in the globals segment."""
+        address = _align_up(self._global_brk, align)
+        if address + size > self.globals.end:
+            raise MemoryFault(address, size, "global allocation")
+        self._global_brk = address + size
+        return address
+
+    # ------------------------------------------------------------------
+    # Stack allocation (per call frame)
+    # ------------------------------------------------------------------
+
+    def push_stack(self, size: int, align: int = 8) -> int:
+        """Allocate ``size`` bytes on the stack (grows downwards)."""
+        address = _align_down(self.stack_pointer - size, align)
+        if address < self.stack.base:
+            raise MemoryFault(address, size, "stack allocation (overflow)")
+        self.stack_pointer = address
+        return address
+
+    def pop_stack_to(self, saved_pointer: int) -> None:
+        """Restore the stack pointer on function return."""
+        self.stack_pointer = saved_pointer
+
+    # ------------------------------------------------------------------
+    # Heap allocator: malloc / free / calloc / realloc
+    # ------------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        """First-fit allocation; returns NULL for size 0 or exhaustion."""
+        if size <= 0:
+            return NULL
+        needed = _align_up(size, 16)
+        for index, (start, room) in enumerate(self._free_list):
+            if room >= needed:
+                self._free_list[index] = (start + needed, room - needed)
+                if self._free_list[index][1] == 0:
+                    del self._free_list[index]
+                block = HeapBlock(start, size)
+                self.heap_blocks[start] = block
+                # malloc'd memory is uninitialized; poison to make reads of
+                # uninitialized data visible in tools.
+                self.heap.write(start, b"\xaa" * size)
+                return start
+        return NULL
+
+    def calloc(self, count: int, size: int) -> int:
+        total = count * size
+        address = self.malloc(total)
+        if address != NULL:
+            self.heap.write(address, bytes(total))
+            self.heap_blocks[address].size = total
+        return address
+
+    def free(self, address: int) -> None:
+        """Release a block; double-free and bad-pointer free raise."""
+        if address == NULL:
+            return
+        block = self.heap_blocks.get(address)
+        if block is None:
+            raise MemoryFault(address, 0, "free of non-allocated pointer")
+        if block.freed:
+            raise MemoryFault(address, block.size, "double free")
+        block.freed = True
+        # LIFO reuse: freed blocks go to the front so the next allocation
+        # of the same size gets the same address (cache-friendly, and what
+        # teaching examples expect to observe).
+        self._free_list.insert(0, (block.address, _align_up(block.size, 16)))
+
+    def realloc(self, address: int, size: int) -> int:
+        if address == NULL:
+            return self.malloc(size)
+        block = self.heap_blocks.get(address)
+        if block is None or block.freed:
+            raise MemoryFault(address, size, "realloc of invalid pointer")
+        new_address = self.malloc(size)
+        if new_address != NULL:
+            keep = min(block.size, size)
+            self.heap.write(new_address, self.heap.read(address, keep))
+            self.free(address)
+        return new_address
+
+    def live_blocks(self) -> Dict[int, int]:
+        """Map of live heap-block address -> size (the tracker's heap map)."""
+        return {
+            block.address: block.size
+            for block in self.heap_blocks.values()
+            if not block.freed
+        }
+
+
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) // align * align
+
+
+def _align_down(value: int, align: int) -> int:
+    return value // align * align

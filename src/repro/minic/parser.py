@@ -1,0 +1,691 @@
+"""Recursive-descent parser for mini-C.
+
+Produces the :mod:`repro.minic.ast` tree. The supported language is the C
+subset that teaching programs use (all of the paper's examples fit): scalar
+types, pointers (including function pointers), arrays, structs, brace
+initializers, the full expression grammar with C precedence, and the usual
+statements, plus ``enum``, ``switch`` (with fallthrough) and ``typedef``.
+The preprocessor is out of scope; ``#include`` lines are ignored because
+the interpreter provides its own standard library.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.errors import ProgramLoadError
+from repro.minic import ast
+from repro.minic.ctypes import (
+    BASIC_TYPES,
+    CType,
+    FunctionType,
+    ArrayType,
+    PointerType,
+    StructType,
+    VOID,
+)
+from repro.minic.lexer import Token, tokenize
+
+
+class ParseError(ProgramLoadError):
+    """Source text that is not valid mini-C."""
+
+
+_TYPE_KEYWORDS = frozenset(
+    {
+        "enum",
+        "void",
+        "char",
+        "short",
+        "int",
+        "long",
+        "unsigned",
+        "signed",
+        "float",
+        "double",
+        "struct",
+        "const",
+        "static",
+    }
+)
+
+_ASSIGN_OPS = frozenset(
+    {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+)
+
+# Binary operator precedence: higher binds tighter.
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    ">": 7,
+    "<=": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+
+def parse(source: str, filename: str = "<string>") -> ast.Program:
+    """Parse mini-C source text into a :class:`repro.minic.ast.Program`."""
+    return _Parser(tokenize(source, filename), filename).parse_program()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], filename: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.filename = filename
+        self.structs: dict = {}
+        self.typedefs: dict = {}
+        self.enum_constants: dict = {}
+
+    # ------------------------------------------------------------------
+    # Token stream helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _match(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self._check(kind, text):
+            want = text or kind
+            raise self._error(f"expected {want!r}, found {self.current.text!r}")
+        return self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(f"{self.filename}:{self.current.line}: {message}")
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+
+    def _at_type(self) -> bool:
+        token = self.current
+        if token.kind == "keyword" and token.text in _TYPE_KEYWORDS:
+            return True
+        return token.kind == "id" and token.text in self.typedefs
+
+    def _parse_base_type(self) -> CType:
+        """Parse the keyword sequence naming a base type (or struct ref)."""
+        while self._match("keyword", "const") or self._match("keyword", "static"):
+            pass
+        if self._match("keyword", "struct"):
+            tag = self._expect("id").text
+            if self._check("op", "{"):
+                return self._parse_struct_body(tag)
+            if tag not in self.structs:
+                raise self._error(f"unknown struct {tag!r}")
+            return self.structs[tag]
+        if self._match("keyword", "enum"):
+            return self._parse_enum()
+        if self.current.kind == "id" and self.current.text in self.typedefs:
+            return self.typedefs[self._advance().text]
+        words: List[str] = []
+        while self.current.kind == "keyword" and self.current.text in (
+            "void",
+            "char",
+            "short",
+            "int",
+            "long",
+            "unsigned",
+            "signed",
+            "float",
+            "double",
+        ):
+            words.append(self._advance().text)
+        if not words:
+            raise self._error(f"expected a type, found {self.current.text!r}")
+        name = " ".join(w for w in words if w != "signed") or "int"
+        # Normalize a few spellings ("long int" -> "long", ...).
+        name = {
+            "long int": "long",
+            "short int": "short",
+            "unsigned long int": "unsigned long",
+            "long long": "long",
+            "long long int": "long",
+        }.get(name, name)
+        if name not in BASIC_TYPES:
+            raise self._error(f"unsupported type {' '.join(words)!r}")
+        return BASIC_TYPES[name]
+
+    def _parse_struct_body(self, tag: str) -> StructType:
+        self._expect("op", "{")
+        # Register the tag before parsing members so self-referential
+        # structs (struct node { ...; struct node *next; }) resolve.
+        struct = self.structs.get(tag)
+        if struct is None:
+            struct = StructType(tag, [])
+            self.structs[tag] = struct
+        members: List[Tuple[str, CType]] = []
+        while not self._check("op", "}"):
+            base = self._parse_base_type()
+            while True:
+                member_type, member_name = self._parse_declarator(base)
+                if member_name is None:
+                    raise self._error("struct member needs a name")
+                if member_type is struct:
+                    raise self._error(
+                        f"struct {tag} cannot contain itself by value"
+                    )
+                members.append((member_name, member_type))
+                if not self._match("op", ","):
+                    break
+            self._expect("op", ";")
+        self._expect("op", "}")
+        struct.set_members(members)
+        return struct
+
+    def _parse_enum(self) -> CType:
+        """An enum specifier. Enumerators become int constants; the enum
+        type itself is ``int``, as C guarantees for this subset."""
+        self._match("id")  # optional tag, unused beyond documentation
+        if self._match("op", "{"):
+            next_value = 0
+            while not self._check("op", "}"):
+                name = self._expect("id").text
+                if self._match("op", "="):
+                    token = self._expect("int")
+                    next_value = token.value
+                self.enum_constants[name] = next_value
+                next_value += 1
+                if not self._match("op", ","):
+                    break
+            self._expect("op", "}")
+        from repro.minic.ctypes import INT
+        return INT
+
+    def _parse_declarator(self, base: CType) -> Tuple[CType, Optional[str]]:
+        """Parse ``*``s, a name, array suffixes, or a function-pointer form.
+
+        Returns the full type and the declared name (``None`` for abstract
+        declarators as in casts and ``sizeof``).
+        """
+        ctype = base
+        while self._match("op", "*"):
+            ctype = PointerType(ctype)
+        # Function pointer: type (*name)(params)
+        if self._check("op", "(") and self._peek(1).text == "*":
+            self._advance()  # (
+            self._advance()  # *
+            name = self._match("id")
+            self._expect("op", ")")
+            self._expect("op", "(")
+            params = self._parse_param_types()
+            self._expect("op", ")")
+            fn_type = FunctionType(ctype, params)
+            return PointerType(fn_type), name.text if name else None
+        name_token = self._match("id")
+        name = name_token.text if name_token else None
+        # Array suffixes, outermost dimension first.
+        dimensions: List[int] = []
+        while self._match("op", "["):
+            if self._check("op", "]"):
+                # Unsized arrays get length 0 here; initializers fix it up.
+                dimensions.append(0)
+            else:
+                size_token = self._expect("int")
+                dimensions.append(size_token.value)
+            self._expect("op", "]")
+        for dim in reversed(dimensions):
+            ctype = ArrayType(ctype, dim)
+        return ctype, name
+
+    def _parse_param_types(self) -> List[CType]:
+        params: List[CType] = []
+        if self._check("op", ")"):
+            return params
+        while True:
+            if self._match("op", "..."):
+                break
+            base = self._parse_base_type()
+            ctype, _ = self._parse_declarator(base)
+            if not isinstance(ctype, type(VOID)):
+                params.append(ctype)
+            if not self._match("op", ","):
+                break
+        return params
+
+    def _parse_type_name(self) -> CType:
+        """A type without a declared name, for casts and ``sizeof``."""
+        base = self._parse_base_type()
+        ctype, name = self._parse_declarator(base)
+        if name is not None:
+            raise self._error("unexpected name in type")
+        return ctype
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program(
+            line=1, globals=[], functions=[], structs=self.structs,
+            enum_constants=self.enum_constants,
+            filename=self.filename,
+        )
+        while not self._check("eof"):
+            if self._match("keyword", "typedef"):
+                base = self._parse_base_type()
+                ctype, name = self._parse_declarator(base)
+                if name is None:
+                    raise self._error("typedef needs a name")
+                self.typedefs[name] = ctype
+                self._expect("op", ";")
+                continue
+            line = self.current.line
+            if self._check("keyword", "struct") and self._peek(2).text == "{":
+                # Bare struct definition: struct Tag { ... };
+                self._advance()
+                tag = self._expect("id").text
+                self._parse_struct_body(tag)
+                self._expect("op", ";")
+                continue
+            base = self._parse_base_type()
+            if self._check("op", ";"):
+                self._advance()
+                continue
+            ctype, name = self._parse_declarator(base)
+            if name is None:
+                raise self._error("expected a declaration name")
+            if self._check("op", "("):
+                program.functions.append(
+                    self._parse_function(ctype, name, line)
+                )
+            else:
+                self._parse_global_tail(program, base, ctype, name, line)
+        return program
+
+    def _parse_function(
+        self, return_type: CType, name: str, line: int
+    ) -> ast.FunctionDef:
+        self._expect("op", "(")
+        params: List[ast.Parameter] = []
+        if not self._check("op", ")"):
+            while True:
+                if self._match("keyword", "void") and self._check("op", ")"):
+                    break
+                # "void" consumed above may actually be "void *x"; rewind not
+                # needed because _parse_declarator handles the pointer case
+                # when we pass VOID explicitly.
+                if (
+                    self.tokens[self.pos - 1].text == "void"
+                    and self.tokens[self.pos - 1].kind == "keyword"
+                ):
+                    base: CType = VOID
+                else:
+                    base = self._parse_base_type()
+                param_type, param_name = self._parse_declarator(base)
+                if isinstance(param_type, ArrayType):
+                    # Array parameters decay to pointers, as in C.
+                    param_type = PointerType(param_type.element)
+                if param_name is None:
+                    raise self._error("parameter needs a name")
+                params.append(ast.Parameter(param_name, param_type))
+                if not self._match("op", ","):
+                    break
+        self._expect("op", ")")
+        if self._match("op", ";"):
+            # Forward declaration: record an empty body; a later definition
+            # with the same name replaces it during interpretation.
+            body = ast.Compound(line=line, body=[])
+            return ast.FunctionDef(line, name, return_type, params, body, line)
+        body = self._parse_compound()
+        end_line = self.tokens[self.pos - 1].line
+        return ast.FunctionDef(line, name, return_type, params, body, end_line)
+
+    def _parse_global_tail(
+        self,
+        program: ast.Program,
+        base: CType,
+        first_type: CType,
+        first_name: str,
+        line: int,
+    ) -> None:
+        declarations = [(first_type, first_name)]
+        initializers = [self._parse_optional_initializer()]
+        while self._match("op", ","):
+            ctype, name = self._parse_declarator(base)
+            if name is None:
+                raise self._error("expected a declaration name")
+            declarations.append((ctype, name))
+            initializers.append(self._parse_optional_initializer())
+        self._expect("op", ";")
+        for (ctype, name), init in zip(declarations, initializers):
+            program.globals.append(
+                ast.Declaration(line=line, name=name, ctype=ctype, init=init)
+            )
+
+    def _parse_optional_initializer(self):
+        if self._match("op", "="):
+            return self._parse_initializer()
+        return None
+
+    def _parse_initializer(self):
+        if self._match("op", "{"):
+            items = []
+            if not self._check("op", "}"):
+                while True:
+                    items.append(self._parse_initializer())
+                    if not self._match("op", ","):
+                        break
+                    if self._check("op", "}"):
+                        break  # trailing comma
+            self._expect("op", "}")
+            return items
+        return self._parse_assignment()
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _parse_compound(self) -> ast.Compound:
+        open_brace = self._expect("op", "{")
+        body: List[ast.Stmt] = []
+        while not self._check("op", "}"):
+            if self._check("eof"):
+                raise self._error("unterminated block")
+            body.append(self._parse_statement())
+        self._expect("op", "}")
+        return ast.Compound(line=open_brace.line, body=body)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if self._check("op", "{"):
+            return self._parse_compound()
+        if self._at_type():
+            return self._parse_local_declaration()
+        if self._check("keyword", "if"):
+            return self._parse_if()
+        if self._check("keyword", "while"):
+            return self._parse_while()
+        if self._check("keyword", "do"):
+            return self._parse_do_while()
+        if self._check("keyword", "for"):
+            return self._parse_for()
+        if self._check("keyword", "switch"):
+            return self._parse_switch()
+        if self._match("keyword", "return"):
+            value = None
+            if not self._check("op", ";"):
+                value = self._parse_expression()
+            self._expect("op", ";")
+            return ast.Return(line=token.line, value=value)
+        if self._match("keyword", "break"):
+            self._expect("op", ";")
+            return ast.Break(line=token.line)
+        if self._match("keyword", "continue"):
+            self._expect("op", ";")
+            return ast.Continue(line=token.line)
+        if self._match("op", ";"):
+            return ast.Compound(line=token.line, body=[])
+        expr = self._parse_expression()
+        self._expect("op", ";")
+        return ast.ExprStmt(line=token.line, expr=expr)
+
+    def _parse_local_declaration(self) -> ast.Stmt:
+        line = self.current.line
+        base = self._parse_base_type()
+        statements: List[ast.Stmt] = []
+        while True:
+            ctype, name = self._parse_declarator(base)
+            if name is None:
+                raise self._error("expected a declaration name")
+            init = self._parse_optional_initializer()
+            statements.append(
+                ast.Declaration(line=line, name=name, ctype=ctype, init=init)
+            )
+            if not self._match("op", ","):
+                break
+        self._expect("op", ";")
+        if len(statements) == 1:
+            return statements[0]
+        return ast.Compound(line=line, body=statements)
+
+    def _parse_switch(self) -> ast.Switch:
+        token = self._expect("keyword", "switch")
+        self._expect("op", "(")
+        expr = self._parse_expression()
+        self._expect("op", ")")
+        self._expect("op", "{")
+        cases: List[ast.SwitchCase] = []
+        while not self._check("op", "}"):
+            if self._match("keyword", "case"):
+                case_line = self.tokens[self.pos - 1].line
+                match = self._parse_conditional()
+                self._expect("op", ":")
+                cases.append(ast.SwitchCase(match=match, body=[], line=case_line))
+            elif self._match("keyword", "default"):
+                case_line = self.tokens[self.pos - 1].line
+                self._expect("op", ":")
+                cases.append(ast.SwitchCase(match=None, body=[], line=case_line))
+            else:
+                if not cases:
+                    raise self._error("statement before the first case label")
+                cases[-1].body.append(self._parse_statement())
+        self._expect("op", "}")
+        return ast.Switch(line=token.line, expr=expr, cases=cases)
+
+    def _parse_if(self) -> ast.If:
+        token = self._expect("keyword", "if")
+        self._expect("op", "(")
+        cond = self._parse_expression()
+        self._expect("op", ")")
+        then = self._parse_statement()
+        other = None
+        if self._match("keyword", "else"):
+            other = self._parse_statement()
+        return ast.If(line=token.line, cond=cond, then=then, other=other)
+
+    def _parse_while(self) -> ast.While:
+        token = self._expect("keyword", "while")
+        self._expect("op", "(")
+        cond = self._parse_expression()
+        self._expect("op", ")")
+        body = self._parse_statement()
+        return ast.While(line=token.line, cond=cond, body=body)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        token = self._expect("keyword", "do")
+        body = self._parse_statement()
+        self._expect("keyword", "while")
+        self._expect("op", "(")
+        cond = self._parse_expression()
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return ast.DoWhile(line=token.line, body=body, cond=cond)
+
+    def _parse_for(self) -> ast.For:
+        token = self._expect("keyword", "for")
+        self._expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if not self._check("op", ";"):
+            if self._at_type():
+                init = self._parse_local_declaration()
+            else:
+                expr = self._parse_expression()
+                init = ast.ExprStmt(line=token.line, expr=expr)
+                self._expect("op", ";")
+        else:
+            self._advance()
+        cond = None
+        if not self._check("op", ";"):
+            cond = self._parse_expression()
+        self._expect("op", ";")
+        step = None
+        if not self._check("op", ")"):
+            step = self._parse_expression()
+        self._expect("op", ")")
+        body = self._parse_statement()
+        return ast.For(
+            line=token.line, init=init, cond=cond, step=step, body=body
+        )
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        expr = self._parse_assignment()
+        while self._match("op", ","):
+            right = self._parse_assignment()
+            expr = ast.Binary(line=expr.line, op=",", left=expr, right=right)
+        return expr
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_conditional()
+        if self.current.kind == "op" and self.current.text in _ASSIGN_OPS:
+            op = self._advance().text
+            right = self._parse_assignment()
+            return ast.Assign(line=left.line, op=op, target=left, value=right)
+        return left
+
+    def _parse_conditional(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self._match("op", "?"):
+            then = self._parse_expression()
+            self._expect("op", ":")
+            other = self._parse_conditional()
+            return ast.Conditional(
+                line=cond.line, cond=cond, then=then, other=other
+            )
+        return cond
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self.current
+            precedence = _BINARY_PRECEDENCE.get(
+                token.text if token.kind == "op" else ""
+            )
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._advance()
+            right = self._parse_binary(precedence + 1)
+            left = ast.Binary(
+                line=left.line, op=token.text, left=left, right=right
+            )
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "op" and token.text in ("-", "+", "!", "~", "&", "*"):
+            self._advance()
+            operand = self._parse_unary()
+            if token.text == "+":
+                return operand
+            return ast.Unary(line=token.line, op=token.text, operand=operand)
+        if token.kind == "op" and token.text in ("++", "--"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(line=token.line, op=token.text, operand=operand)
+        if self._check("keyword", "sizeof"):
+            self._advance()
+            if self._check("op", "(") and self._is_type_ahead(1):
+                self._expect("op", "(")
+                ctype = self._parse_type_name()
+                self._expect("op", ")")
+                return ast.SizeofType(line=token.line, ctype=ctype)
+            operand = self._parse_unary()
+            return ast.SizeofExpr(line=token.line, operand=operand)
+        if self._check("op", "(") and self._is_type_ahead(1):
+            self._advance()
+            ctype = self._parse_type_name()
+            self._expect("op", ")")
+            operand = self._parse_unary()
+            return ast.Cast(line=token.line, ctype=ctype, operand=operand)
+        return self._parse_postfix()
+
+    def _is_type_ahead(self, offset: int) -> bool:
+        token = self._peek(offset)
+        return token.kind == "keyword" and token.text in _TYPE_KEYWORDS
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._match("op", "("):
+                args: List[ast.Expr] = []
+                if not self._check("op", ")"):
+                    while True:
+                        args.append(self._parse_assignment())
+                        if not self._match("op", ","):
+                            break
+                self._expect("op", ")")
+                expr = ast.Call(line=expr.line, callee=expr, args=args)
+            elif self._match("op", "["):
+                index = self._parse_expression()
+                self._expect("op", "]")
+                expr = ast.Index(line=expr.line, base=expr, index=index)
+            elif self._match("op", "."):
+                field = self._expect("id").text
+                expr = ast.Member(
+                    line=expr.line, base=expr, field=field, arrow=False
+                )
+            elif self._match("op", "->"):
+                field = self._expect("id").text
+                expr = ast.Member(
+                    line=expr.line, base=expr, field=field, arrow=True
+                )
+            elif self.current.kind == "op" and self.current.text in ("++", "--"):
+                op = self._advance().text
+                expr = ast.Postfix(line=expr.line, op=op, operand=expr)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "int":
+            self._advance()
+            return ast.IntLiteral(line=token.line, value=token.value)
+        if token.kind == "float":
+            self._advance()
+            return ast.FloatLiteral(line=token.line, value=token.value)
+        if token.kind == "char":
+            self._advance()
+            return ast.CharLiteral(line=token.line, value=token.value)
+        if token.kind == "string":
+            self._advance()
+            # Adjacent string literals concatenate, as in C.
+            value = token.value
+            while self.current.kind == "string":
+                value += self._advance().value
+            return ast.StringLiteral(line=token.line, value=value)
+        if self._match("keyword", "NULL"):
+            return ast.NullLiteral(line=token.line)
+        if token.kind == "id":
+            self._advance()
+            return ast.Identifier(line=token.line, name=token.text)
+        if self._match("op", "("):
+            expr = self._parse_expression()
+            self._expect("op", ")")
+            return expr
+        raise self._error(f"unexpected token {token.text!r} in expression")

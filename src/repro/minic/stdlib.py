@@ -1,0 +1,274 @@
+"""The mini-C standard library.
+
+The interpreter provides these functions natively (there is no libc to
+link), which plays the role of the paper's thin runtime-override library:
+the allocator entry points report every allocation to the interpreter's
+heap-block registry, so the debug tracker always knows whether a pointer
+targets a live heap block and how large it is.
+
+``printf`` supports the directives teaching programs use:
+``%d %i %u %ld %lu %zu %c %s %f %g %e %x %X %p %%`` with width/precision.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.minic.ctypes import (
+    CHAR_PTR,
+    CType,
+    DOUBLE,
+    INT,
+    IntType,
+    LONG,
+    PointerType,
+    ULONG,
+    VOID,
+    VOID_PTR,
+)
+from repro.minic.memory import Memory, NULL
+
+_FORMAT_RE = re.compile(r"%[-+ #0]*\d*(?:\.\d+)?(?:hh|h|ll|l|z)?[diucsfgeExXp%]")
+
+
+class CRuntimeError(Exception):
+    """A runtime error in the inferior (the mini-C analog of a signal)."""
+
+    def __init__(self, message: str, line: Optional[int] = None, code: int = 1):
+        super().__init__(message)
+        self.line = line
+        self.code = code
+
+
+def format_printf(memory: Memory, fmt: str, args: List[Tuple[CType, object]]) -> str:
+    """Render a printf format string against typed arguments."""
+    output: List[str] = []
+    arg_index = 0
+    position = 0
+    for match in _FORMAT_RE.finditer(fmt):
+        output.append(fmt[position : match.start()])
+        position = match.end()
+        spec = match.group(0)
+        conversion = spec[-1]
+        if conversion == "%":
+            output.append("%")
+            continue
+        if arg_index >= len(args):
+            raise CRuntimeError(f"printf: missing argument for {spec!r}")
+        ctype, value = args[arg_index]
+        arg_index += 1
+        # Strip the length modifier: Python formatting is width-agnostic.
+        py_spec = "%" + re.sub(r"hh|h|ll|l|z", "", spec[1:])
+        if conversion == "u":
+            # %u reinterprets the bits as unsigned, as C does.
+            width = ctype.size if getattr(ctype, "size", 0) in (1, 2, 4, 8) else 4
+            unsigned = int(value) & ((1 << (8 * width)) - 1)
+            output.append(py_spec.replace("u", "d") % unsigned)
+        elif conversion in "di":
+            output.append(py_spec.replace("i", "d") % int(value))
+        elif conversion == "c":
+            output.append(py_spec % chr(int(value) & 0xFF))
+        elif conversion == "s":
+            text = memory.read_cstring(int(value)) if int(value) != NULL else "(null)"
+            output.append(py_spec % text)
+        elif conversion in "fge" or conversion == "E":
+            output.append(py_spec % float(value))
+        elif conversion in "xX":
+            output.append(py_spec % (int(value) & (1 << 64) - 1))
+        elif conversion == "p":
+            output.append("0x%x" % (int(value) & (1 << 64) - 1))
+    output.append(fmt[position:])
+    return "".join(output)
+
+
+class Builtin:
+    """A native function callable from mini-C code.
+
+    Attributes:
+        name: C-visible name.
+        return_type: declared return type.
+        handler: ``handler(interp, args) -> (return_value, [events])`` where
+            ``args`` is a list of ``(ctype, python_value)`` pairs.
+    """
+
+    def __init__(self, name: str, return_type: CType, handler: Callable):
+        self.name = name
+        self.return_type = return_type
+        self.handler = handler
+
+
+def _builtin_printf(interp, args):
+    if not args:
+        raise CRuntimeError("printf needs a format string")
+    fmt = interp.memory.read_cstring(int(args[0][1]))
+    text = format_printf(interp.memory, fmt, args[1:])
+    return (INT, len(text)), [("output", text)]
+
+
+def _builtin_puts(interp, args):
+    text = interp.memory.read_cstring(int(args[0][1]))
+    return (INT, len(text) + 1), [("output", text + "\n")]
+
+
+def _builtin_putchar(interp, args):
+    code = int(args[0][1]) & 0xFF
+    return (INT, code), [("output", chr(code))]
+
+
+def _builtin_malloc(interp, args):
+    size = int(args[0][1])
+    address = interp.memory.malloc(size)
+    return (VOID_PTR, address), [("alloc", "malloc", address, size)]
+
+
+def _builtin_calloc(interp, args):
+    count, size = int(args[0][1]), int(args[1][1])
+    address = interp.memory.calloc(count, size)
+    return (VOID_PTR, address), [("alloc", "calloc", address, count * size)]
+
+
+def _builtin_free(interp, args):
+    address = int(args[0][1])
+    interp.memory.free(address)
+    return (VOID, None), [("alloc", "free", address, 0)]
+
+
+def _builtin_realloc(interp, args):
+    address, size = int(args[0][1]), int(args[1][1])
+    new_address = interp.memory.realloc(address, size)
+    return (VOID_PTR, new_address), [("alloc", "realloc", new_address, size)]
+
+
+def _builtin_strlen(interp, args):
+    text = interp.memory.read_cstring(int(args[0][1]))
+    return (ULONG, len(text)), []
+
+
+def _builtin_strcpy(interp, args):
+    dest, src = int(args[0][1]), int(args[1][1])
+    text = interp.memory.read_cstring(src)
+    interp.memory.write_cstring(dest, text)
+    return (CHAR_PTR, dest), []
+
+
+def _string_difference(left: str, right: str) -> int:
+    """glibc-style comparison result: the unsigned-byte difference at the
+    first mismatch (0 when equal), which is what teaching examples print."""
+    for a, b in zip(left, right):
+        if a != b:
+            return ord(a) - ord(b)
+    if len(left) > len(right):
+        return ord(left[len(right)])
+    if len(right) > len(left):
+        return -ord(right[len(left)])
+    return 0
+
+
+def _builtin_strcmp(interp, args):
+    left = interp.memory.read_cstring(int(args[0][1]))
+    right = interp.memory.read_cstring(int(args[1][1]))
+    return (INT, _string_difference(left, right)), []
+
+
+def _builtin_strncmp(interp, args):
+    count = int(args[2][1])
+    left = interp.memory.read_cstring(int(args[0][1]))[:count]
+    right = interp.memory.read_cstring(int(args[1][1]))[:count]
+    return (INT, _string_difference(left, right)), []
+
+
+def _builtin_strcat(interp, args):
+    dest, src = int(args[0][1]), int(args[1][1])
+    combined = interp.memory.read_cstring(dest) + interp.memory.read_cstring(src)
+    interp.memory.write_cstring(dest, combined)
+    return (CHAR_PTR, dest), []
+
+
+def _builtin_sprintf(interp, args):
+    dest = int(args[0][1])
+    fmt = interp.memory.read_cstring(int(args[1][1]))
+    text = format_printf(interp.memory, fmt, args[2:])
+    interp.memory.write_cstring(dest, text)
+    return (INT, len(text)), []
+
+
+def _builtin_atoi(interp, args):
+    text = interp.memory.read_cstring(int(args[0][1])).strip()
+    import re as _re
+
+    match = _re.match(r"[+-]?\d+", text)
+    return (INT, int(match.group(0)) if match else 0), []
+
+
+def _builtin_memset(interp, args):
+    address, byte, count = (int(a[1]) for a in args)
+    interp.memory.write(address, bytes([byte & 0xFF]) * count)
+    return (VOID_PTR, address), []
+
+
+def _builtin_memcpy(interp, args):
+    dest, src, count = (int(a[1]) for a in args)
+    interp.memory.write(dest, interp.memory.read(src, count))
+    return (VOID_PTR, dest), []
+
+
+def _builtin_abs(interp, args):
+    return (INT, abs(int(args[0][1]))), []
+
+
+def _builtin_exit(interp, args):
+    raise _ExitCalled(int(args[0][1]))
+
+
+def _builtin_rand(interp, args):
+    # Deterministic LCG (glibc constants) so runs are reproducible.
+    interp.rand_state = (interp.rand_state * 1103515245 + 12345) & 0x7FFFFFFF
+    return (INT, interp.rand_state), []
+
+
+def _builtin_srand(interp, args):
+    interp.rand_state = int(args[0][1]) & 0x7FFFFFFF
+    return (VOID, None), []
+
+
+def _builtin_assert(interp, args):
+    if int(args[0][1]) == 0:
+        raise CRuntimeError("assertion failed", code=134)
+    return (VOID, None), []
+
+
+class _ExitCalled(Exception):
+    """Raised by the ``exit`` builtin to unwind the interpreter."""
+
+    def __init__(self, code: int):
+        super().__init__(f"exit({code})")
+        self.code = code
+
+
+BUILTINS: Dict[str, Builtin] = {
+    builtin.name: builtin
+    for builtin in [
+        Builtin("printf", INT, _builtin_printf),
+        Builtin("puts", INT, _builtin_puts),
+        Builtin("putchar", INT, _builtin_putchar),
+        Builtin("malloc", VOID_PTR, _builtin_malloc),
+        Builtin("calloc", VOID_PTR, _builtin_calloc),
+        Builtin("free", VOID, _builtin_free),
+        Builtin("realloc", VOID_PTR, _builtin_realloc),
+        Builtin("strlen", ULONG, _builtin_strlen),
+        Builtin("strcpy", CHAR_PTR, _builtin_strcpy),
+        Builtin("strcmp", INT, _builtin_strcmp),
+        Builtin("strncmp", INT, _builtin_strncmp),
+        Builtin("strcat", CHAR_PTR, _builtin_strcat),
+        Builtin("sprintf", INT, _builtin_sprintf),
+        Builtin("atoi", INT, _builtin_atoi),
+        Builtin("memset", VOID_PTR, _builtin_memset),
+        Builtin("memcpy", VOID_PTR, _builtin_memcpy),
+        Builtin("abs", INT, _builtin_abs),
+        Builtin("exit", VOID, _builtin_exit),
+        Builtin("rand", INT, _builtin_rand),
+        Builtin("srand", VOID, _builtin_srand),
+        Builtin("assert", VOID, _builtin_assert),
+    ]
+}

@@ -1,0 +1,283 @@
+"""Unparser: mini-C ASTs back to compilable source text.
+
+Used by tooling that wants to display a *normalized* view of student code
+(uniform indentation, one declarator per line, explicit braces) and by the
+test suite as a strong parser oracle: ``parse(unparse(parse(src)))`` must
+produce a structurally identical tree, and the unparsed text must behave
+identically under the interpreter.
+
+:func:`fingerprint` is the structural-identity helper: a nested tuple of
+every semantically meaningful field, with source positions stripped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as dataclass_fields, is_dataclass
+from typing import Any, List
+
+from repro.minic import ast
+from repro.minic.ctypes import (
+    ArrayType,
+    CType,
+    FunctionType,
+    PointerType,
+    StructType,
+)
+
+_INDENT = "    "
+
+
+def unparse(program: ast.Program) -> str:
+    """Render a parsed program as compilable mini-C source."""
+    chunks: List[str] = []
+    emitted_structs = set()
+    for struct in program.structs.values():
+        chunks.append(_unparse_struct(struct))
+        emitted_structs.add(struct.tag)
+    if program.enum_constants:
+        enumerators = ", ".join(
+            f"{name} = {value}"
+            for name, value in program.enum_constants.items()
+        )
+        chunks.append(f"enum {{ {enumerators} }};")
+    for declaration in program.globals:
+        chunks.append(_unparse_declaration(declaration, indent=0))
+    for function in program.functions:
+        if function.body.body:
+            chunks.append(_unparse_function(function))
+    return "\n\n".join(chunks) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Declarations and types
+# ---------------------------------------------------------------------------
+
+
+def _declarator(ctype: CType, name: str) -> str:
+    """Render ``ctype name`` with C's inside-out declarator syntax."""
+    suffix = ""
+    while isinstance(ctype, ArrayType):
+        suffix += f"[{ctype.length}]"
+        ctype = ctype.element
+    if isinstance(ctype, PointerType) and isinstance(ctype.target, FunctionType):
+        signature = ctype.target
+        params = ", ".join(p.name for p in signature.params) or "void"
+        return f"{signature.return_type.name} (*{name})({params})"
+    return f"{ctype.name} {name}{suffix}"
+
+
+def _unparse_struct(struct: StructType) -> str:
+    members = "".join(
+        f"{_INDENT}{_declarator(field.ctype, field.name)};\n"
+        for field in struct.fields.values()
+    )
+    return f"struct {struct.tag} {{\n{members}}};"
+
+
+def _unparse_declaration(declaration: ast.Declaration, indent: int) -> str:
+    pad = _INDENT * indent
+    text = f"{pad}{_declarator(declaration.ctype, declaration.name)}"
+    if declaration.init is not None:
+        text += f" = {_unparse_init(declaration.init)}"
+    return text + ";"
+
+
+def _unparse_init(init: Any) -> str:
+    if isinstance(init, list):
+        return "{" + ", ".join(_unparse_init(item) for item in init) + "}"
+    return unparse_expr(init)
+
+
+def _unparse_function(function: ast.FunctionDef) -> str:
+    params = ", ".join(
+        _declarator(p.ctype, p.name) for p in function.params
+    ) or "void"
+    header = f"{function.return_type.name} {function.name}({params})"
+    body = _unparse_block(function.body, indent=0)
+    return f"{header} {body}"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+def _unparse_block(block: ast.Compound, indent: int) -> str:
+    pad = _INDENT * indent
+    inner = "".join(
+        _unparse_statement(child, indent + 1) + "\n" for child in block.body
+    )
+    return f"{{\n{inner}{pad}}}"
+
+
+def _unparse_statement(statement: ast.Stmt, indent: int) -> str:
+    pad = _INDENT * indent
+    if isinstance(statement, ast.Declaration):
+        return _unparse_declaration(statement, indent)
+    if isinstance(statement, ast.Compound):
+        if statement.body and all(
+            isinstance(child, ast.Declaration) for child in statement.body
+        ):
+            # The parser splits `int a = 1, b = 2;` into a Compound of
+            # Declarations; emit them inline, not as a nested block (the
+            # interpreter's locals are function-scoped, so this preserves
+            # behaviour — and is valid C for the declarator-split case).
+            return "\n".join(
+                _unparse_declaration(child, indent) for child in statement.body
+            )
+        return f"{pad}{_unparse_block(statement, indent)}"
+    if isinstance(statement, ast.ExprStmt):
+        return f"{pad}{unparse_expr(statement.expr)};"
+    if isinstance(statement, ast.If):
+        text = f"{pad}if ({unparse_expr(statement.cond)}) "
+        text += _inline_body(statement.then, indent)
+        if statement.other is not None:
+            text += f" else " + _inline_body(statement.other, indent)
+        return text
+    if isinstance(statement, ast.While):
+        return (
+            f"{pad}while ({unparse_expr(statement.cond)}) "
+            + _inline_body(statement.body, indent)
+        )
+    if isinstance(statement, ast.DoWhile):
+        return (
+            f"{pad}do "
+            + _inline_body(statement.body, indent)
+            + f" while ({unparse_expr(statement.cond)});"
+        )
+    if isinstance(statement, ast.For):
+        init = ""
+        if statement.init is not None:
+            init = _unparse_statement(statement.init, 0).strip()
+            init = init.rstrip(";")
+        cond = unparse_expr(statement.cond) if statement.cond else ""
+        step = unparse_expr(statement.step) if statement.step else ""
+        return (
+            f"{pad}for ({init}; {cond}; {step}) "
+            + _inline_body(statement.body, indent)
+        )
+    if isinstance(statement, ast.Switch):
+        arms = ""
+        for case in statement.cases:
+            label = (
+                f"case {unparse_expr(case.match)}:"
+                if case.match is not None
+                else "default:"
+            )
+            arms += f"{_INDENT * (indent + 1)}{label}\n"
+            for child in case.body:
+                arms += _unparse_statement(child, indent + 2) + "\n"
+        return (
+            f"{pad}switch ({unparse_expr(statement.expr)}) {{\n{arms}{pad}}}"
+        )
+    if isinstance(statement, ast.Return):
+        if statement.value is None:
+            return f"{pad}return;"
+        return f"{pad}return {unparse_expr(statement.value)};"
+    if isinstance(statement, ast.Break):
+        return f"{pad}break;"
+    if isinstance(statement, ast.Continue):
+        return f"{pad}continue;"
+    raise TypeError(f"cannot unparse {type(statement).__name__}")
+
+
+def _inline_body(statement: ast.Stmt, indent: int) -> str:
+    if isinstance(statement, ast.Compound):
+        return _unparse_block(statement, indent)
+    # Normalize single statements into explicit blocks.
+    inner = _unparse_statement(statement, indent + 1)
+    pad = _INDENT * indent
+    return f"{{\n{inner}\n{pad}}}"
+
+
+# ---------------------------------------------------------------------------
+# Expressions (fully parenthesized — correctness over prettiness)
+# ---------------------------------------------------------------------------
+
+
+def unparse_expr(expr: ast.Expr) -> str:
+    """Render one expression; parenthesized so precedence can't drift."""
+    if isinstance(expr, ast.IntLiteral):
+        return str(expr.value)
+    if isinstance(expr, ast.FloatLiteral):
+        return repr(expr.value)
+    if isinstance(expr, ast.CharLiteral):
+        char = chr(expr.value)
+        escapes = {"\n": "\\n", "\t": "\\t", "\0": "\\0", "'": "\\'",
+                   "\\": "\\\\", "\r": "\\r"}
+        return f"'{escapes.get(char, char)}'"
+    if isinstance(expr, ast.StringLiteral):
+        escaped = (
+            expr.value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n").replace("\t", "\\t").replace("\0", "\\0")
+            .replace("\r", "\\r")
+        )
+        return f'"{escaped}"'
+    if isinstance(expr, ast.NullLiteral):
+        return "NULL"
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.Unary):
+        return f"({expr.op}{unparse_expr(expr.operand)})"
+    if isinstance(expr, ast.Postfix):
+        return f"({unparse_expr(expr.operand)}{expr.op})"
+    if isinstance(expr, ast.Binary):
+        return (
+            f"({unparse_expr(expr.left)} {expr.op} {unparse_expr(expr.right)})"
+        )
+    if isinstance(expr, ast.Assign):
+        return (
+            f"{unparse_expr(expr.target)} {expr.op} {unparse_expr(expr.value)}"
+        )
+    if isinstance(expr, ast.Conditional):
+        return (
+            f"({unparse_expr(expr.cond)} ? {unparse_expr(expr.then)} "
+            f": {unparse_expr(expr.other)})"
+        )
+    if isinstance(expr, ast.Call):
+        arguments = ", ".join(unparse_expr(a) for a in expr.args)
+        return f"{unparse_expr(expr.callee)}({arguments})"
+    if isinstance(expr, ast.Index):
+        return f"{unparse_expr(expr.base)}[{unparse_expr(expr.index)}]"
+    if isinstance(expr, ast.Member):
+        joiner = "->" if expr.arrow else "."
+        return f"{unparse_expr(expr.base)}{joiner}{expr.field}"
+    if isinstance(expr, ast.Cast):
+        return f"(({expr.ctype.name}){unparse_expr(expr.operand)})"
+    if isinstance(expr, ast.SizeofType):
+        return f"sizeof({expr.ctype.name})"
+    if isinstance(expr, ast.SizeofExpr):
+        return f"sizeof({unparse_expr(expr.operand)})"
+    raise TypeError(f"cannot unparse {type(expr).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Structural identity
+# ---------------------------------------------------------------------------
+
+_POSITION_FIELDS = frozenset({"line", "end_line", "column", "filename"})
+
+
+def fingerprint(node: Any) -> Any:
+    """A nested-tuple identity of an AST, ignoring source positions.
+
+    Two programs with the same fingerprint are structurally identical: same
+    statements, expressions, names, types and constants — regardless of
+    layout, comments, or declarator grouping.
+    """
+    if isinstance(node, CType):
+        return ("ctype", node.name)
+    if is_dataclass(node) and not isinstance(node, type):
+        parts = [type(node).__name__]
+        for field in dataclass_fields(node):
+            if field.name in _POSITION_FIELDS:
+                continue
+            parts.append(fingerprint(getattr(node, field.name)))
+        return tuple(parts)
+    if isinstance(node, (list, tuple)):
+        return tuple(fingerprint(item) for item in node)
+    if isinstance(node, dict):
+        return tuple(
+            (key, fingerprint(value)) for key, value in node.items()
+        )
+    return node

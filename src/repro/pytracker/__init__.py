@@ -1,0 +1,19 @@
+"""The Python tracker: in-process, ``sys.settrace``-based."""
+
+from repro.pytracker.introspect import (
+    PyVariable,
+    Snapshotter,
+    build_frame_chain,
+    build_globals,
+    build_variable,
+)
+from repro.pytracker.tracker import PythonTracker
+
+__all__ = [
+    "PythonTracker",
+    "PyVariable",
+    "Snapshotter",
+    "build_frame_chain",
+    "build_globals",
+    "build_variable",
+]

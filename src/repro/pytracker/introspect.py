@@ -1,0 +1,345 @@
+"""Convert live Python objects and frames into the abstract state model.
+
+The Python tracker runs in the same interpreter as the inferior, so — as the
+paper notes — inspection is the easy half: we walk real objects with ``id()``
+providing addresses. Conceptually every Python variable is a ``REF`` value in
+the stack pointing at an object in the heap, and that is exactly how this
+module builds the model: :func:`build_variable` wraps the heap snapshot of
+the object in a ``REF``.
+
+Snapshots are *deep copies into the model*: mutating the inferior afterwards
+does not change an already-taken snapshot. Shared objects are memoized by
+identity so aliasing is visible (two variables referencing one list yield two
+``REF`` values whose targets are the same ``Value`` instance), and reference
+cycles are handled by filling container contents after memoization.
+"""
+
+from __future__ import annotations
+
+import inspect
+import types
+from typing import Any, Dict, Optional
+
+from repro.core.state import AbstractType, Frame, Location, Value, Variable
+
+#: Global names never shown to tools (interpreter plumbing, not user state).
+HIDDEN_GLOBALS = frozenset(
+    {
+        "__builtins__",
+        "__cached__",
+        "__doc__",
+        "__file__",
+        "__loader__",
+        "__name__",
+        "__package__",
+        "__spec__",
+        "__annotations__",
+    }
+)
+
+_PRIMITIVE_TYPES = (int, float, str, bool, complex, bytes)
+
+
+class PyVariable(Variable):
+    """A :class:`Variable` that also carries the live Python object.
+
+    This is the "extended API" of Section II-C2: tools that only target
+    Python inferiors may read :attr:`raw_object` directly instead of walking
+    the abstract model.
+    """
+
+    def __init__(self, name: str, value: Value, scope: str, raw_object: Any):
+        super().__init__(name=name, value=value, scope=scope)
+        self.raw_object = raw_object
+
+
+class Snapshotter:
+    """Builds :class:`Value` graphs from live objects, with memoization.
+
+    One snapshotter is used per pause so that sharing within a single pause
+    is preserved while distinct pauses get independent snapshots.
+
+    Args:
+        max_depth: cap on container nesting depth; deeper content is
+            replaced by an ``INVALID``-free primitive summary. ``None``
+            means unlimited (cycles are still safe).
+    """
+
+    def __init__(self, max_depth: Optional[int] = None):
+        self.max_depth = max_depth
+        self._memo: Dict[int, Value] = {}
+
+    def snapshot(self, obj: Any, depth: int = 0) -> Value:
+        """Return the heap :class:`Value` modeling ``obj``."""
+        address = id(obj)
+        if address in self._memo:
+            return self._memo[address]
+        if self.max_depth is not None and depth > self.max_depth:
+            return Value(
+                abstract_type=AbstractType.PRIMITIVE,
+                content=_summarize(obj),
+                location=Location.HEAP,
+                address=address,
+                language_type=type(obj).__name__,
+            )
+        if obj is None:
+            return Value(
+                abstract_type=AbstractType.NONE,
+                content=None,
+                location=Location.HEAP,
+                address=address,
+                language_type="NoneType",
+            )
+        if isinstance(obj, bool):
+            # bool before int: isinstance(True, int) holds.
+            return self._primitive(obj)
+        if isinstance(obj, _PRIMITIVE_TYPES):
+            return self._primitive(obj)
+        if isinstance(obj, (list, tuple)):
+            return self._sequence(obj, depth)
+        if isinstance(obj, (set, frozenset)):
+            return self._sequence(obj, depth, ordered=sorted(obj, key=repr))
+        if isinstance(obj, dict):
+            return self._mapping(obj, depth)
+        if _is_function_like(obj):
+            return Value(
+                abstract_type=AbstractType.FUNCTION,
+                content=_function_name(obj),
+                location=Location.HEAP,
+                address=address,
+                language_type=type(obj).__name__,
+            )
+        return self._instance(obj, depth)
+
+    # -- builders --------------------------------------------------------
+
+    def _primitive(self, obj: Any) -> Value:
+        content = obj
+        if isinstance(obj, complex):
+            # complex is not JSON-serializable; keep its repr, still PRIMITIVE.
+            content = repr(obj)
+        value = Value(
+            abstract_type=AbstractType.PRIMITIVE,
+            content=content,
+            location=Location.HEAP,
+            address=id(obj),
+            language_type=type(obj).__name__,
+        )
+        self._memo[id(obj)] = value
+        return value
+
+    def _sequence(self, obj: Any, depth: int, ordered: Any = None) -> Value:
+        value = Value(
+            abstract_type=AbstractType.LIST,
+            content=(),
+            location=Location.HEAP,
+            address=id(obj),
+            language_type=type(obj).__name__,
+        )
+        # Memoize before recursing so self-referencing containers terminate.
+        self._memo[id(obj)] = value
+        elements = obj if ordered is None else ordered
+        value.content = tuple(
+            self.snapshot(element, depth + 1) for element in elements
+        )
+        return value
+
+    def _mapping(self, obj: dict, depth: int) -> Value:
+        value = Value(
+            abstract_type=AbstractType.DICT,
+            content={},
+            location=Location.HEAP,
+            address=id(obj),
+            language_type=type(obj).__name__,
+        )
+        self._memo[id(obj)] = value
+        content: Dict[Value, Value] = {}
+        for key, item in obj.items():
+            key_value = _Keyed.wrap(self.snapshot(key, depth + 1))
+            content[key_value] = self.snapshot(item, depth + 1)
+        value.content = content
+        return value
+
+    def _instance(self, obj: Any, depth: int) -> Value:
+        value = Value(
+            abstract_type=AbstractType.STRUCT,
+            content={},
+            location=Location.HEAP,
+            address=id(obj),
+            language_type=type(obj).__name__,
+        )
+        self._memo[id(obj)] = value
+        fields: Dict[str, Value] = {}
+        attributes = getattr(obj, "__dict__", None)
+        if attributes is not None:
+            for name, attr in attributes.items():
+                fields[name] = self.snapshot(attr, depth + 1)
+        elif hasattr(type(obj), "__slots__"):
+            for name in type(obj).__slots__:
+                if hasattr(obj, name):
+                    fields[name] = self.snapshot(getattr(obj, name), depth + 1)
+        else:
+            fields["<repr>"] = Value(
+                abstract_type=AbstractType.PRIMITIVE,
+                content=_summarize(obj),
+                location=Location.HEAP,
+                address=id(obj),
+                language_type=type(obj).__name__,
+            )
+        value.content = fields
+        return value
+
+
+class _Keyed(Value):
+    """Structurally hashable Value for use as a DICT content key."""
+
+    @classmethod
+    def wrap(cls, value: Value) -> "_Keyed":
+        wrapped = cls.__new__(cls)
+        wrapped.abstract_type = value.abstract_type
+        wrapped.content = value.content
+        wrapped.location = value.location
+        wrapped.address = value.address
+        wrapped.language_type = value.language_type
+        return wrapped
+
+    def __hash__(self) -> int:
+        return hash((self.abstract_type, self.render()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Value):
+            return NotImplemented
+        return (
+            self.abstract_type is other.abstract_type
+            and self.render() == other.render()
+        )
+
+
+def _is_function_like(obj: Any) -> bool:
+    return isinstance(
+        obj,
+        (
+            types.FunctionType,
+            types.BuiltinFunctionType,
+            types.MethodType,
+            types.LambdaType,
+            type,
+        ),
+    ) or inspect.isroutine(obj)
+
+
+def _function_name(obj: Any) -> str:
+    return getattr(obj, "__qualname__", None) or getattr(obj, "__name__", repr(obj))
+
+
+def _summarize(obj: Any) -> str:
+    text = repr(obj)
+    if len(text) > 120:
+        text = text[:117] + "..."
+    return text
+
+
+def build_variable(
+    name: str,
+    obj: Any,
+    scope: str,
+    snapshotter: Snapshotter,
+    ref_location: Location = Location.STACK,
+) -> PyVariable:
+    """Model one Python variable: a stack ``REF`` to the heap snapshot.
+
+    Args:
+        name: variable name.
+        obj: the live object the variable is bound to.
+        scope: ``"local"``, ``"argument"`` or ``"global"``.
+        snapshotter: the per-pause snapshotter (preserves sharing).
+        ref_location: where the reference cell itself lives.
+    """
+    target = snapshotter.snapshot(obj)
+    reference = Value(
+        abstract_type=AbstractType.REF,
+        content=target,
+        location=ref_location,
+        address=None,
+        language_type=type(obj).__name__,
+    )
+    return PyVariable(name=name, value=reference, scope=scope, raw_object=obj)
+
+
+def build_frame_chain(
+    py_frame: Any,
+    is_inferior_frame,
+    snapshotter: Optional[Snapshotter] = None,
+    max_depth: Optional[int] = None,
+) -> Frame:
+    """Build the model :class:`Frame` chain from a live Python frame.
+
+    Args:
+        py_frame: the innermost inferior ``types.FrameType``.
+        is_inferior_frame: predicate selecting inferior frames (the chain
+            stops at, and skips, tracker/runner frames).
+        snapshotter: shared snapshotter; a fresh one is created if omitted.
+        max_depth: snapshot depth cap, forwarded to a fresh snapshotter.
+
+    Returns:
+        The innermost :class:`Frame`, with ``parent`` links to the entry
+        frame and ``depth`` 0 at the entry frame.
+    """
+    if snapshotter is None:
+        snapshotter = Snapshotter(max_depth=max_depth)
+    raw_frames = []
+    frame = py_frame
+    while frame is not None:
+        if is_inferior_frame(frame):
+            raw_frames.append(frame)
+        frame = frame.f_back
+    # raw_frames is innermost-first; depth counts from the entry frame.
+    total = len(raw_frames)
+    model_frames = []
+    for index, raw in enumerate(raw_frames):
+        depth = total - 1 - index
+        code = raw.f_code
+        arg_names = set(
+            code.co_varnames[: code.co_argcount + code.co_kwonlyargcount]
+        )
+        variables: Dict[str, Variable] = {}
+        for var_name, obj in raw.f_locals.items():
+            if var_name.startswith("__") and var_name.endswith("__"):
+                continue
+            scope = "argument" if var_name in arg_names else "local"
+            variables[var_name] = build_variable(
+                var_name, obj, scope, snapshotter
+            )
+        model_frames.append(
+            Frame(
+                name=code.co_name,
+                depth=depth,
+                variables=variables,
+                parent=None,
+                line=raw.f_lineno,
+                filename=code.co_filename,
+            )
+        )
+    for inner, outer in zip(model_frames, model_frames[1:]):
+        inner.parent = outer
+    if not model_frames:
+        return Frame(name="<module>", depth=0)
+    return model_frames[0]
+
+
+def build_globals(
+    globals_dict: Dict[str, Any], snapshotter: Optional[Snapshotter] = None
+) -> Dict[str, Variable]:
+    """Model the inferior's global namespace (interpreter plumbing hidden)."""
+    if snapshotter is None:
+        snapshotter = Snapshotter()
+    result: Dict[str, Variable] = {}
+    for name, obj in globals_dict.items():
+        if name in HIDDEN_GLOBALS:
+            continue
+        if isinstance(obj, types.ModuleType):
+            continue
+        result[name] = build_variable(
+            name, obj, "global", snapshotter, ref_location=Location.GLOBAL
+        )
+    return result

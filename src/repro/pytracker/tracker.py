@@ -1,0 +1,497 @@
+"""The Python tracker: ``sys.settrace``-based control of Python inferiors.
+
+Implementation notes (Section II-C2 of the paper):
+
+- The inferior runs **in a dedicated thread of the tool's interpreter** so
+  that control calls can block the tool thread until the inferior pauses
+  (Fig. 5 of the paper). The handshake is a condition variable plus a pause
+  generation counter.
+- The tracker registers a trace function with ``sys.settrace`` in the
+  inferior thread. The interpreter calls it before every source line and at
+  function call/return boundaries; all pause decisions are taken inside it.
+- Watchpoints are implemented by checking, before the execution of every
+  line, whether the value of any watched variable has changed. This is why
+  ``resume`` still single-steps internally — the paper notes that this slows
+  execution down a lot but is acceptable in the pedagogical context
+  (quantified in ``benchmarks/test_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import sys
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import InferiorCrashError, ProgramLoadError
+from repro.core.pause import PauseReason, PauseReasonType
+from repro.core.state import Frame, Variable
+from repro.core.tracker import Tracker
+from repro.pytracker.introspect import (
+    Snapshotter,
+    build_frame_chain,
+    build_globals,
+)
+
+_MISSING = object()
+
+
+def _split_watch_path(name: str):
+    """Split ``"obj.attr[0].x"`` into ``("obj", [".attr", "[0]", ".x"])``.
+
+    Watch identifiers may address *inside* an object: attribute steps with
+    ``.name`` and element steps with ``[index]`` (int or quoted-string
+    keys). A plain name has an empty path.
+    """
+    import re
+
+    match = re.match(r"^[A-Za-z_][A-Za-z0-9_]*", name)
+    if match is None:
+        return name, []
+    base = match.group(0)
+    rest = name[len(base):]
+    steps = re.findall(r"\.[A-Za-z_][A-Za-z0-9_]*|\[[^]]*\]", rest)
+    return base, steps
+
+
+def _follow_watch_path(holder, steps):
+    """Walk attribute/element steps; any failure means 'not watchable now'."""
+    value = holder
+    for step in steps:
+        if value is _MISSING:
+            return _MISSING
+        try:
+            if step.startswith("."):
+                value = getattr(value, step[1:])
+            else:
+                key_text = step[1:-1].strip()
+                if (
+                    len(key_text) >= 2
+                    and key_text[0] in "'\""
+                    and key_text[-1] == key_text[0]
+                ):
+                    key = key_text[1:-1]
+                else:
+                    key = int(key_text)
+                value = value[key]
+        except (AttributeError, LookupError, ValueError, TypeError):
+            return _MISSING
+    return value
+
+
+class _KillInferior(BaseException):
+    """Raised inside the inferior thread to unwind it on ``terminate``.
+
+    Derives from ``BaseException`` so inferior ``except Exception`` handlers
+    cannot swallow it.
+    """
+
+
+class PythonTracker(Tracker):
+    """Tracker for Python inferiors, built directly on ``sys.settrace``.
+
+    Args:
+        capture_output: when true, everything the inferior prints is
+            collected (readable via :meth:`get_output`) instead of going to
+            the tool's stdout. The swap is only in effect while the inferior
+            thread is actually executing, so tool prints are unaffected.
+        snapshot_depth: optional cap on the depth of object-graph snapshots
+            taken during inspection (``None`` = unlimited, cycle-safe).
+    """
+
+    backend = "python"
+
+    def __init__(
+        self,
+        capture_output: bool = False,
+        snapshot_depth: Optional[int] = None,
+    ):
+        super().__init__()
+        self._capture_output = capture_output
+        self._snapshot_depth = snapshot_depth
+        self._output = io.StringIO()
+        self._source_code = None
+        self._code = None
+        self._globals: Dict[str, Any] = {}
+        self._thread: Optional[threading.Thread] = None
+        self._condition = threading.Condition()
+        self._pause_count = 0
+        self._finished = False
+        self._command: Optional[str] = None
+        self._killed = False
+        self._mode = "resume"
+        self._mode_depth = 0
+        self._paused_py_frame = None
+        self._paused_event: Optional[str] = None
+        self._inferior_exception: Optional[BaseException] = None
+        self._watch_snapshots: Dict[int, Any] = {}
+        self._saved_stdout = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+
+    def _load_program(self, path: str, args: List[str]) -> None:
+        if not os.path.exists(path):
+            raise ProgramLoadError(f"no such program: {path}")
+        with open(path, "r", encoding="utf-8") as source:
+            self._source_code = source.read()
+        try:
+            self._code = compile(self._source_code, os.path.abspath(path), "exec")
+        except SyntaxError as error:
+            raise ProgramLoadError(f"syntax error in {path}: {error}") from error
+        self._program_abspath = os.path.abspath(path)
+
+    def _start(self) -> None:
+        self._mode = "step"  # pause before the first executable line
+        self._globals = {
+            "__name__": "__main__",
+            "__file__": self._program_abspath,
+            "__builtins__": __builtins__,
+        }
+        self._thread = threading.Thread(
+            target=self._run_inferior, name="repro-inferior", daemon=True
+        )
+        self._thread.start()
+        self._wait_for_pause()
+
+    def _terminate(self) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            return
+        with self._condition:
+            self._killed = True
+            self._command = "kill"
+            self._condition.notify_all()
+        self._thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # Control hooks: set the step mode, wake the inferior, wait for a pause
+    # ------------------------------------------------------------------
+
+    def _resume(self) -> None:
+        self._issue("resume")
+
+    def _next(self) -> None:
+        self._mode_depth = self._current_depth()
+        self._issue("next")
+
+    def _step(self) -> None:
+        self._issue("step")
+
+    def _finish(self) -> None:
+        self._mode_depth = self._current_depth()
+        self._issue("finish")
+
+    def _issue(self, mode: str) -> None:
+        with self._condition:
+            if self._finished:
+                return
+            self._mode = mode
+            before = self._pause_count
+            self._command = "go"
+            self._condition.notify_all()
+            while self._pause_count == before and not self._finished:
+                self._condition.wait()
+
+    def _wait_for_pause(self) -> None:
+        with self._condition:
+            while self._pause_count == 0 and not self._finished:
+                self._condition.wait()
+
+    # ------------------------------------------------------------------
+    # Inferior thread
+    # ------------------------------------------------------------------
+
+    def _run_inferior(self) -> None:
+        saved_argv = sys.argv
+        sys.argv = [self._program_abspath] + self._program_args
+        self._swap_stdout_in()
+        exit_code = 0
+        try:
+            sys.settrace(self._trace)
+            try:
+                exec(self._code, self._globals)
+            finally:
+                sys.settrace(None)
+        except _KillInferior:
+            exit_code = -9
+        except SystemExit as error:
+            code = error.code
+            if code is None:
+                exit_code = 0
+            elif isinstance(code, int):
+                exit_code = code
+            else:
+                exit_code = 1
+        except BaseException as error:  # inferior bug: report, do not crash tool
+            exit_code = 1
+            self._inferior_exception = error
+        finally:
+            self._swap_stdout_out()
+            sys.argv = saved_argv
+            with self._condition:
+                self._exit_code = exit_code
+                self._finished = True
+                self._pause_reason = PauseReason(type=PauseReasonType.EXIT)
+                self._paused_py_frame = None
+                self._condition.notify_all()
+
+    def _swap_stdout_in(self) -> None:
+        if self._capture_output:
+            self._saved_stdout = sys.stdout
+            sys.stdout = self._output
+
+    def _swap_stdout_out(self) -> None:
+        if self._capture_output and self._saved_stdout is not None:
+            sys.stdout = self._saved_stdout
+            self._saved_stdout = None
+
+    # ------------------------------------------------------------------
+    # The trace function: every pause decision happens here
+    # ------------------------------------------------------------------
+
+    def _trace(self, frame, event: str, arg: Any):
+        if self._killed:
+            raise _KillInferior()
+        if not self._is_inferior_frame(frame):
+            return None  # do not trace library code called by the inferior
+        if event == "call":
+            self._handle_call(frame)
+        elif event == "line":
+            self._handle_line(frame)
+        elif event == "return":
+            self._handle_return(frame, arg)
+        return self._trace
+
+    def _is_inferior_frame(self, frame) -> bool:
+        return frame.f_code.co_filename == self._program_abspath
+
+    def _frame_depth(self, frame) -> int:
+        depth = -1
+        current = frame
+        while current is not None:
+            if self._is_inferior_frame(current):
+                depth += 1
+            current = current.f_back
+        return depth
+
+    def _current_depth(self) -> int:
+        if self._paused_py_frame is None:
+            return 0
+        return self._frame_depth(self._paused_py_frame)
+
+    def _handle_call(self, frame) -> None:
+        function = frame.f_code.co_name
+        if function == "<module>":
+            return
+        depth = self._frame_depth(frame)
+        for breakpoint_ in self.function_breakpoints:
+            if (
+                breakpoint_.enabled
+                and breakpoint_.function == function
+                and self._depth_allows(breakpoint_.maxdepth, depth)
+            ):
+                self._pause(
+                    frame,
+                    "call",
+                    PauseReason(
+                        type=PauseReasonType.BREAKPOINT,
+                        function=function,
+                        line=frame.f_lineno,
+                    ),
+                )
+                return
+        for tracked in self.tracked_functions:
+            if (
+                tracked.enabled
+                and tracked.function == function
+                and self._depth_allows(tracked.maxdepth, depth)
+            ):
+                self._pause(
+                    frame,
+                    "call",
+                    PauseReason(
+                        type=PauseReasonType.CALL,
+                        function=function,
+                        line=frame.f_lineno,
+                    ),
+                )
+                return
+
+    def _handle_line(self, frame) -> None:
+        line = frame.f_lineno
+        self.last_lineno = self.next_lineno
+        self.next_lineno = line
+        depth = self._frame_depth(frame)
+
+        watch_hit = self._check_watchpoints(frame, depth)
+        if watch_hit is not None:
+            self._pause(frame, "line", watch_hit)
+            return
+
+        for breakpoint_ in self.line_breakpoints:
+            if (
+                breakpoint_.enabled
+                and breakpoint_.line == line
+                and self._filename_matches(breakpoint_.filename, frame)
+                and self._depth_allows(breakpoint_.maxdepth, depth)
+            ):
+                self._pause(
+                    frame,
+                    "line",
+                    PauseReason(type=PauseReasonType.BREAKPOINT, line=line),
+                )
+                return
+
+        if self._mode == "step":
+            self._pause(
+                frame, "line", PauseReason(type=PauseReasonType.STEP, line=line)
+            )
+        elif self._mode == "next" and depth <= self._mode_depth:
+            self._pause(
+                frame, "line", PauseReason(type=PauseReasonType.STEP, line=line)
+            )
+        elif self._mode == "finish" and depth < self._mode_depth:
+            self._pause(
+                frame, "line", PauseReason(type=PauseReasonType.STEP, line=line)
+            )
+
+    def _handle_return(self, frame, return_value: Any) -> None:
+        function = frame.f_code.co_name
+        if function == "<module>":
+            return
+        depth = self._frame_depth(frame)
+        for tracked in self.tracked_functions:
+            if (
+                tracked.enabled
+                and tracked.function == function
+                and self._depth_allows(tracked.maxdepth, depth)
+            ):
+                modeled = Snapshotter(max_depth=self._snapshot_depth).snapshot(
+                    return_value
+                )
+                self._pause(
+                    frame,
+                    "return",
+                    PauseReason(
+                        type=PauseReasonType.RETURN,
+                        function=function,
+                        return_value=modeled,
+                        line=frame.f_lineno,
+                    ),
+                )
+                return
+
+    def _filename_matches(self, requested: Optional[str], frame) -> bool:
+        if requested is None:
+            return True
+        actual = frame.f_code.co_filename
+        return os.path.abspath(requested) == actual or os.path.basename(
+            requested
+        ) == os.path.basename(actual)
+
+    # ------------------------------------------------------------------
+    # Watchpoints: value-change detection before every line
+    # ------------------------------------------------------------------
+
+    def _check_watchpoints(self, frame, depth: int) -> Optional[PauseReason]:
+        for watchpoint in self.watchpoints:
+            if not watchpoint.enabled:
+                continue
+            function, name = watchpoint.split()
+            current = self._find_watched(frame, function, name)
+            rendered = _MISSING if current is _MISSING else repr(current)
+            key = id(watchpoint)
+            previous = self._watch_snapshots.get(key, _MISSING)
+            self._watch_snapshots[key] = rendered
+            if previous is rendered:  # both _MISSING
+                continue
+            if previous != rendered and rendered is not _MISSING:
+                if self._depth_allows(watchpoint.maxdepth, depth):
+                    return PauseReason(
+                        type=PauseReasonType.WATCH,
+                        variable=watchpoint.variable_id,
+                        old_value=None if previous is _MISSING else previous,
+                        new_value=rendered,
+                        line=frame.f_lineno,
+                    )
+        return None
+
+    def _find_watched(self, frame, function: Optional[str], name: str) -> Any:
+        base_name, path = _split_watch_path(name)
+        if function is not None:
+            holder = _MISSING
+            current = frame
+            while current is not None:
+                if (
+                    self._is_inferior_frame(current)
+                    and current.f_code.co_name == function
+                ):
+                    holder = current.f_locals.get(base_name, _MISSING)
+                    break
+                current = current.f_back
+        elif base_name in frame.f_locals:
+            holder = frame.f_locals[base_name]
+        else:
+            holder = self._globals.get(base_name, _MISSING)
+        return _follow_watch_path(holder, path)
+
+    # ------------------------------------------------------------------
+    # Pause handshake (runs in the inferior thread)
+    # ------------------------------------------------------------------
+
+    def _pause(self, frame, event: str, reason: PauseReason) -> None:
+        self._swap_stdout_out()
+        with self._condition:
+            self._pause_reason = reason
+            self._paused_py_frame = frame
+            self._paused_event = event
+            self._pause_count += 1
+            self._condition.notify_all()
+            while self._command is None:
+                self._condition.wait()
+            command = self._command
+            self._command = None
+        self._swap_stdout_in()
+        if command == "kill" or self._killed:
+            raise _KillInferior()
+
+    # ------------------------------------------------------------------
+    # Inspection hooks
+    # ------------------------------------------------------------------
+
+    def _get_current_frame(self) -> Frame:
+        snapshotter = Snapshotter(max_depth=self._snapshot_depth)
+        return build_frame_chain(
+            self._paused_py_frame, self._is_inferior_frame, snapshotter
+        )
+
+    def _get_global_variables(self) -> Dict[str, Variable]:
+        return build_globals(
+            self._globals, Snapshotter(max_depth=self._snapshot_depth)
+        )
+
+    def _get_position(self) -> Tuple[str, Optional[int]]:
+        frame = self._paused_py_frame
+        return frame.f_code.co_filename, frame.f_lineno
+
+    # ------------------------------------------------------------------
+    # Python-specific extras
+    # ------------------------------------------------------------------
+
+    def get_output(self) -> str:
+        """Everything printed by the inferior so far (``capture_output``)."""
+        return self._output.getvalue()
+
+    def get_inferior_exception(self) -> Optional[BaseException]:
+        """The unhandled exception that killed the inferior, if any."""
+        return self._inferior_exception
+
+    def raise_if_crashed(self) -> None:
+        """Raise :class:`InferiorCrashError` if the inferior died on a bug."""
+        if self._inferior_exception is not None:
+            raise InferiorCrashError(
+                f"inferior raised {self._inferior_exception!r}",
+                self._inferior_exception,
+            )

@@ -1,0 +1,34 @@
+"""Python Tutor interoperability: trace model, exporter, replay tracker."""
+
+from repro.pytutor.export import build_step, record_trace
+from repro.pytutor.pt_tracker import PTTracker
+from repro.pytutor.trace import (
+    EVENT_CALL,
+    EVENT_EXCEPTION,
+    EVENT_RETURN,
+    EVENT_STEP,
+    PTDecoder,
+    PTEncoder,
+    PTFrame,
+    PTStep,
+    PTTrace,
+    step_globals,
+    step_to_frame_chain,
+)
+
+__all__ = [
+    "EVENT_CALL",
+    "EVENT_EXCEPTION",
+    "EVENT_RETURN",
+    "EVENT_STEP",
+    "PTDecoder",
+    "PTEncoder",
+    "PTFrame",
+    "PTStep",
+    "PTTrace",
+    "PTTracker",
+    "build_step",
+    "record_trace",
+    "step_globals",
+    "step_to_frame_chain",
+]

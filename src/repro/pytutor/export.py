@@ -1,0 +1,183 @@
+"""Generate Python Tutor traces from a controlled execution.
+
+Section III-E of the paper: instead of a full step-by-step trace, a
+controller script can pause only where interesting (e.g. at the entry/exit
+of one tracked function) and record only the variables it cares about —
+producing a PT trace an order of magnitude smaller that the PT front-end
+can still walk. Both modes live here:
+
+- ``mode="full"``: one step per executed line (what PT itself records);
+- ``mode="tracked"``: one step per entry/exit of ``track`` functions only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.errors import TrackerError
+from repro.core.pause import PauseReasonType
+from repro.core.state import Frame, Variable
+from repro.core.tracker import Tracker
+from repro.pytutor.trace import (
+    EVENT_CALL,
+    EVENT_RETURN,
+    EVENT_STEP,
+    PTEncoder,
+    PTFrame,
+    PTStep,
+    PTTrace,
+)
+
+_EVENT_BY_REASON = {
+    PauseReasonType.STEP: EVENT_STEP,
+    PauseReasonType.BREAKPOINT: EVENT_STEP,
+    PauseReasonType.WATCH: EVENT_STEP,
+    PauseReasonType.CALL: EVENT_CALL,
+    PauseReasonType.RETURN: EVENT_RETURN,
+}
+
+
+def record_trace(
+    program: str,
+    mode: str = "full",
+    track: Optional[List[str]] = None,
+    variables: Optional[List[str]] = None,
+    max_steps: int = 20000,
+) -> PTTrace:
+    """Run ``program`` under the Python tracker and record a PT trace.
+
+    Args:
+        program: path of the Python inferior.
+        mode: ``"full"`` for a step per line; ``"tracked"`` for a step per
+            entry/exit of the functions in ``track``.
+        track: function names to track (required for ``mode="tracked"``).
+        variables: if given, only these variable names are recorded —
+            the "subset of variables chosen when generating the trace".
+        max_steps: safety bound on recorded steps.
+
+    Returns:
+        The recorded :class:`PTTrace`.
+    """
+    from repro.pytracker.tracker import PythonTracker
+
+    if mode not in ("full", "tracked"):
+        raise TrackerError(f"unknown trace mode {mode!r}")
+    if mode == "tracked" and not track:
+        raise TrackerError("mode='tracked' needs at least one function name")
+
+    tracker = PythonTracker(capture_output=True)
+    tracker.load_program(program)
+    for function in track or []:
+        tracker.track_function(function)
+    with open(program, "r", encoding="utf-8") as source:
+        code = source.read()
+    trace = PTTrace(code=code)
+    tracker.start()
+    try:
+        if mode == "full":
+            _record_full(tracker, trace, variables, max_steps)
+        else:
+            _record_tracked(tracker, trace, variables, max_steps)
+    finally:
+        tracker.terminate()
+    return trace
+
+
+def _record_full(
+    tracker, trace: PTTrace, variables: Optional[List[str]], max_steps: int
+) -> None:
+    while tracker.get_exit_code() is None and len(trace.steps) < max_steps:
+        trace.steps.append(build_step(tracker, variables))
+        tracker.step()
+    crash = tracker.get_inferior_exception()
+    if crash is not None and trace.steps:
+        # PT records uncaught exceptions as a final "exception" step.
+        last = trace.steps[-1]
+        trace.steps.append(
+            PTStep(
+                event="exception",
+                line=last.line,
+                func_name=last.func_name,
+                stack_to_render=last.stack_to_render,
+                globals=last.globals,
+                ordered_globals=last.ordered_globals,
+                heap=last.heap,
+                stdout=tracker.get_output(),
+            )
+        )
+
+
+def _record_tracked(
+    tracker, trace: PTTrace, variables: Optional[List[str]], max_steps: int
+) -> None:
+    while tracker.get_exit_code() is None and len(trace.steps) < max_steps:
+        tracker.resume()
+        if tracker.get_exit_code() is not None:
+            break
+        reason = tracker.pause_reason
+        if reason.type in (PauseReasonType.CALL, PauseReasonType.RETURN):
+            trace.steps.append(build_step(tracker, variables))
+
+
+def build_step(tracker: Tracker, variables: Optional[List[str]] = None) -> PTStep:
+    """Snapshot the paused tracker into one PT trace step."""
+    reason = tracker.pause_reason
+    event = _EVENT_BY_REASON.get(reason.type, EVENT_STEP) if reason else EVENT_STEP
+    encoder = PTEncoder()
+    frames = list(reversed(tracker.get_frames()))  # outermost first, PT-style
+    stack_to_render: List[PTFrame] = []
+    module_variables: Dict[str, Variable] = {}
+    for index, frame in enumerate(frames):
+        if frame.name == "<module>":
+            # PT shows module scope as the globals pane, not a stack frame.
+            module_variables.update(frame.variables)
+            continue
+        stack_to_render.append(_encode_frame(frame, index, encoder, variables))
+    if stack_to_render:
+        stack_to_render[-1].is_highlighted = True
+    try:
+        global_variables = dict(tracker.get_global_variables())
+    except TrackerError:
+        global_variables = {}
+    global_variables.update(module_variables)
+    encoded_globals: Dict[str, object] = {}
+    ordered_globals: List[str] = []
+    for name, variable in global_variables.items():
+        if variables is not None and name not in variables:
+            continue
+        ordered_globals.append(name)
+        encoded_globals[name] = encoder.encode(variable.value)
+    line = reason.line if reason and reason.line is not None else 0
+    stdout = tracker.get_output() if hasattr(tracker, "get_output") else ""
+    func_name = frames[-1].name if frames else "<module>"
+    return PTStep(
+        event=event,
+        line=line,
+        func_name=func_name,
+        stack_to_render=stack_to_render,
+        globals=encoded_globals,
+        ordered_globals=ordered_globals,
+        heap=encoder.heap,
+        stdout=stdout,
+    )
+
+
+def _encode_frame(
+    frame: Frame,
+    frame_id: int,
+    encoder: PTEncoder,
+    variables: Optional[List[str]],
+) -> PTFrame:
+    encoded_locals: Dict[str, object] = {}
+    ordered_varnames: List[str] = []
+    for name, variable in frame.variables.items():
+        if variables is not None and name not in variables:
+            continue
+        ordered_varnames.append(name)
+        encoded_locals[name] = encoder.encode(variable.value)
+    return PTFrame(
+        func_name=frame.name,
+        frame_id=frame_id,
+        encoded_locals=encoded_locals,
+        ordered_varnames=ordered_varnames,
+    )

@@ -1,0 +1,255 @@
+"""The PT tracker: the full tracker API replayed over a recorded trace.
+
+Section III-E of the paper: "one can also use an existing trace format and
+navigate the trace with the EasyTracker API by implementing a dedicated
+tracker... This enables the full power of control through the API on a
+pre-generated trace." This tracker loads a Python Tutor JSON trace and
+implements every control and inspection call over it — plus, because the
+execution is recorded, *reverse* stepping (:meth:`step_back`), which stands
+in for the paper's preliminary RR-based tracker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import NotPausedError, ProgramLoadError
+from repro.core.pause import PauseReason, PauseReasonType
+from repro.core.state import Frame, Variable
+from repro.core.tracker import Tracker
+from repro.pytutor.trace import (
+    EVENT_CALL,
+    EVENT_RETURN,
+    PTStep,
+    PTTrace,
+    step_globals,
+    step_to_frame_chain,
+)
+
+_MISSING = object()
+
+
+class PTTracker(Tracker):
+    """Tracker backend replaying a recorded Python Tutor trace."""
+
+    backend = "pt"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.trace: Optional[PTTrace] = None
+        self._index = -1
+        self._watch_snapshots: Dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _load_program(self, path: str, args: List[str]) -> None:
+        self.trace = PTTrace.load(path)
+        if not self.trace.steps:
+            raise ProgramLoadError(f"trace {path!r} contains no steps")
+
+    def _start(self) -> None:
+        self._index = 0
+        self._mark_pause(PauseReason(type=PauseReasonType.STEP,
+                                     line=self._current_step().line))
+
+    def _terminate(self) -> None:
+        self._index = len(self.trace.steps)
+
+    def _allows_post_exit_inspection(self) -> bool:
+        # A trace is immutable history: the final state stays inspectable.
+        return True
+
+    # ------------------------------------------------------------------
+    # Control: walk the recorded steps
+    # ------------------------------------------------------------------
+
+    def _resume(self) -> None:
+        self._advance(lambda step, depth0: self._control_point(step))
+
+    def _current_step(self) -> PTStep:
+        return self.trace.steps[self._index]
+
+    def _current_depth(self) -> int:
+        return len(self._current_step().stack_to_render)
+
+    def _step(self) -> None:
+        self._advance(lambda step, depth0: PauseReason(
+            type=PauseReasonType.STEP, line=step.line))
+
+    # base-class hooks ---------------------------------------------------
+
+    def _next(self) -> None:
+        depth0 = self._current_depth()
+        self._advance(
+            lambda step, _d: (
+                self._control_point(step)
+                or (
+                    PauseReason(type=PauseReasonType.STEP, line=step.line)
+                    if len(step.stack_to_render) <= depth0
+                    else None
+                )
+            )
+        )
+
+    def _finish(self) -> None:
+        depth0 = self._current_depth()
+        self._advance(
+            lambda step, _d: (
+                self._control_point(step)
+                or (
+                    PauseReason(type=PauseReasonType.STEP, line=step.line)
+                    if len(step.stack_to_render) < depth0
+                    else None
+                )
+            )
+        )
+
+    def _advance(self, decide) -> None:
+        while True:
+            self._index += 1
+            if self._index >= len(self.trace.steps):
+                self._index = len(self.trace.steps) - 1
+                self._exit_code = 0
+                self._pause_reason = PauseReason(type=PauseReasonType.EXIT)
+                return
+            step = self.trace.steps[self._index]
+            reason = decide(step, None)
+            if reason is not None:
+                self._mark_pause(reason)
+                return
+
+    def step_back(self) -> None:
+        """Reverse-step one recorded execution point (the RR stand-in)."""
+        if self._index <= 0:
+            raise NotPausedError("already at the first recorded step")
+        self._index -= 1
+        self._exit_code = None
+        step = self._current_step()
+        self._mark_pause(PauseReason(type=PauseReasonType.STEP, line=step.line))
+
+    def _mark_pause(self, reason: PauseReason) -> None:
+        self._pause_reason = reason
+        step = self._current_step()
+        self.last_lineno = self.next_lineno
+        self.next_lineno = step.line
+
+    # ------------------------------------------------------------------
+    # Control points evaluated against recorded steps
+    # ------------------------------------------------------------------
+
+    def _control_point(self, step: PTStep) -> Optional[PauseReason]:
+        depth = len(step.stack_to_render)
+        watch_hit = self._check_watches(step, depth)
+        if watch_hit is not None:
+            return watch_hit
+        for breakpoint_ in self.line_breakpoints:
+            if (
+                breakpoint_.enabled
+                and breakpoint_.line == step.line
+                and self._depth_allows(breakpoint_.maxdepth, depth)
+            ):
+                return PauseReason(
+                    type=PauseReasonType.BREAKPOINT, line=step.line
+                )
+        for breakpoint_ in self.function_breakpoints:
+            if (
+                breakpoint_.enabled
+                and step.event == EVENT_CALL
+                and step.func_name == breakpoint_.function
+                and self._depth_allows(breakpoint_.maxdepth, depth)
+            ):
+                return PauseReason(
+                    type=PauseReasonType.BREAKPOINT,
+                    function=step.func_name,
+                    line=step.line,
+                )
+        for tracked in self.tracked_functions:
+            if not tracked.enabled or step.func_name != tracked.function:
+                continue
+            if not self._depth_allows(tracked.maxdepth, depth):
+                continue
+            if step.event == EVENT_CALL:
+                return PauseReason(
+                    type=PauseReasonType.CALL,
+                    function=step.func_name,
+                    line=step.line,
+                )
+            if step.event == EVENT_RETURN:
+                return PauseReason(
+                    type=PauseReasonType.RETURN,
+                    function=step.func_name,
+                    line=step.line,
+                )
+        return None
+
+    def _check_watches(self, step: PTStep, depth: int) -> Optional[PauseReason]:
+        for watchpoint in self.watchpoints:
+            if not watchpoint.enabled:
+                continue
+            function, name = watchpoint.split()
+            rendered = self._render_in_step(step, function, name)
+            key = id(watchpoint)
+            previous = self._watch_snapshots.get(key, _MISSING)
+            self._watch_snapshots[key] = rendered
+            if previous is _MISSING and rendered is _MISSING:
+                continue
+            if previous != rendered and rendered is not _MISSING:
+                if self._depth_allows(watchpoint.maxdepth, depth):
+                    return PauseReason(
+                        type=PauseReasonType.WATCH,
+                        variable=watchpoint.variable_id,
+                        old_value=None if previous is _MISSING else previous,
+                        new_value=rendered,
+                        line=step.line,
+                    )
+        return None
+
+    def _render_in_step(
+        self, step: PTStep, function: Optional[str], name: str
+    ):
+        frames = step.stack_to_render
+        if function is not None:
+            for pt_frame in reversed(frames):
+                if pt_frame.func_name == function:
+                    if name in pt_frame.encoded_locals:
+                        return repr(pt_frame.encoded_locals[name])
+                    return _MISSING
+            return _MISSING
+        if frames and name in frames[-1].encoded_locals:
+            return repr(frames[-1].encoded_locals[name])
+        if name in step.globals:
+            return repr(step.globals[name])
+        return _MISSING
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def _get_current_frame(self) -> Frame:
+        return step_to_frame_chain(self._current_step())
+
+    def _get_global_variables(self) -> Dict[str, Variable]:
+        return step_globals(self._current_step())
+
+    def _get_position(self) -> Tuple[str, Optional[int]]:
+        return self._program or "<trace>", self._current_step().line
+
+    def get_source_lines(self) -> List[str]:
+        """The traced program's source, embedded in the trace itself."""
+        return self.trace.code.splitlines()
+
+    def get_output(self) -> str:
+        """Inferior stdout recorded up to the current step."""
+        return self._current_step().stdout
+
+    @property
+    def step_index(self) -> int:
+        """Position in the trace (useful for tools showing a timeline)."""
+        return self._index
+
+    @property
+    def step_count(self) -> int:
+        """Total number of recorded steps."""
+        return len(self.trace.steps) if self.trace else 0

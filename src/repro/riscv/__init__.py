@@ -1,0 +1,38 @@
+"""The RISC-V substrate: RV32IM assembler and machine simulator.
+
+Stands in for the RISC-V toolchain used by the paper's Fig. 7 viewer (which
+the original authors also could not rebuild for their artifact): registers,
+pc, sp and raw memory are observable at every instruction step.
+"""
+
+from repro.riscv.assembler import (
+    ABI_NAMES,
+    AsmError,
+    DATA_BASE,
+    Instruction,
+    Program,
+    TEXT_BASE,
+    assemble,
+)
+from repro.riscv.machine import (
+    HEAP_BASE,
+    Machine,
+    MachineFault,
+    RVFrame,
+    STACK_TOP,
+)
+
+__all__ = [
+    "ABI_NAMES",
+    "AsmError",
+    "DATA_BASE",
+    "HEAP_BASE",
+    "Instruction",
+    "Machine",
+    "MachineFault",
+    "Program",
+    "RVFrame",
+    "STACK_TOP",
+    "TEXT_BASE",
+    "assemble",
+]

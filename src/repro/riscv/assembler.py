@@ -1,0 +1,496 @@
+"""Two-pass assembler for a RISC-V (RV32IM) subset.
+
+Supports the instructions, pseudo-instructions, registers (numeric and ABI
+names) and directives that appear in teaching material: ``.text``,
+``.data``, ``.globl``, ``.word``, ``.byte``, ``.half``, ``.asciz``/
+``.string``, ``.space``, ``.align``, labels, and ``#`` / ``;`` comments.
+
+The assembler resolves labels in a first pass and produces a
+:class:`Program` of :class:`Instruction` records, each carrying its source
+line — the debug server steps the machine by these lines, and the GDB-style
+tracker's function-exit discovery literally scans a function's instruction
+listing for its ``ret`` (the RISC-V retargeting of the paper's x86 ``retq``
+scan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import ProgramLoadError
+
+TEXT_BASE = 0x0001_0000
+DATA_BASE = 0x2000_0000
+
+#: ABI register names, index = register number.
+ABI_NAMES = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+]
+
+_REGISTERS: Dict[str, int] = {}
+for _index, _name in enumerate(ABI_NAMES):
+    _REGISTERS[_name] = _index
+    _REGISTERS[f"x{_index}"] = _index
+_REGISTERS["fp"] = 8
+
+#: rd, rs1, rs2
+R_TYPE = frozenset(
+    "add sub and or xor sll srl sra slt sltu mul mulh div divu rem remu".split()
+)
+#: rd, rs1, imm
+I_TYPE = frozenset(
+    "addi andi ori xori slti sltiu slli srli srai".split()
+)
+#: rd, offset(rs1)
+LOAD = frozenset("lw lh lb lhu lbu".split())
+#: rs2, offset(rs1)
+STORE = frozenset("sw sh sb".split())
+#: rs1, rs2, label
+BRANCH = frozenset("beq bne blt bge bltu bgeu".split())
+
+
+class AsmError(ProgramLoadError):
+    """Source text that is not valid assembly for this subset."""
+
+
+@dataclass
+class Instruction:
+    """One assembled instruction.
+
+    Attributes:
+        address: byte address in the text segment (instructions are 4 bytes).
+        mnemonic: canonical (post-pseudo-expansion) mnemonic.
+        operands: resolved operands — register numbers and immediates.
+        line: 1-based source line of the instruction.
+        text: the original source text (shown by the disassembly command).
+    """
+
+    address: int
+    mnemonic: str
+    operands: Tuple
+    line: int
+    text: str
+
+    def is_return(self) -> bool:
+        """Whether this is the function-return instruction (``jalr x0, 0(ra)``)."""
+        return (
+            self.mnemonic == "jalr"
+            and self.operands[0] == 0
+            and self.operands[1] == 1
+            and self.operands[2] == 0
+        )
+
+
+@dataclass
+class Program:
+    """An assembled program: instructions, data image, and symbols."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+    data: bytes = b""
+    #: label -> address (text labels point at instructions, data at bytes)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    #: text labels in address order; used to attribute addresses to functions
+    text_labels: List[Tuple[int, str]] = field(default_factory=list)
+    entry: int = TEXT_BASE
+    filename: str = "<asm>"
+
+    def instruction_at(self, address: int) -> Optional[Instruction]:
+        index = (address - TEXT_BASE) // 4
+        if 0 <= index < len(self.instructions):
+            return self.instructions[index]
+        return None
+
+    def function_of(self, address: int) -> str:
+        """Name of the function (nearest preceding text label) at ``address``."""
+        name = "<start>"
+        for label_address, label in self.text_labels:
+            if label_address <= address:
+                name = label
+            else:
+                break
+        return name
+
+    def function_body(self, name: str) -> List[Instruction]:
+        """The instructions of a function: its label to the next label."""
+        start = self.symbols.get(name)
+        if start is None:
+            raise AsmError(f"unknown function {name!r}")
+        end = TEXT_BASE + 4 * len(self.instructions)
+        for label_address, _ in self.text_labels:
+            if label_address > start:
+                end = label_address
+                break
+        return [
+            instruction
+            for instruction in self.instructions
+            if start <= instruction.address < end
+        ]
+
+
+def assemble(source: str, filename: str = "<asm>") -> Program:
+    """Assemble RISC-V source text into a :class:`Program`."""
+    return _Assembler(source, filename).run()
+
+
+@dataclass
+class _PendingInstruction:
+    mnemonic: str
+    operands: List[str]
+    line: int
+    text: str
+    address: int
+
+
+class _Assembler:
+    def __init__(self, source: str, filename: str):
+        self.source = source
+        self.filename = filename
+        self.symbols: Dict[str, int] = {}
+        self.text_labels: List[Tuple[int, str]] = []
+        self.pending: List[_PendingInstruction] = []
+        self.data = bytearray()
+        self.errors: List[str] = []
+        self.globl: set = set()
+
+    def _error(self, line: int, message: str) -> AsmError:
+        return AsmError(f"{self.filename}:{line}: {message}")
+
+    # ------------------------------------------------------------------
+    # Pass 1: layout + symbols
+    # ------------------------------------------------------------------
+
+    def run(self) -> Program:
+        section = "text"
+        text_address = TEXT_BASE
+        for line_number, raw_line in enumerate(self.source.splitlines(), start=1):
+            line = _strip_comment(raw_line).strip()
+            if not line:
+                continue
+            # Labels (several may share a line with an instruction).
+            while ":" in line:
+                label, _, rest = line.partition(":")
+                label = label.strip()
+                if not _is_identifier(label):
+                    break
+                address = text_address if section == "text" else DATA_BASE + len(self.data)
+                if label in self.symbols:
+                    raise self._error(line_number, f"duplicate label {label!r}")
+                self.symbols[label] = address
+                if section == "text":
+                    self.text_labels.append((address, label))
+                line = rest.strip()
+            if not line:
+                continue
+            if line.startswith("."):
+                section, text_address = self._directive(
+                    line, line_number, section, text_address
+                )
+                continue
+            if section != "text":
+                raise self._error(line_number, "instruction outside .text")
+            mnemonic, operands = _split_instruction(line)
+            for expansion in self._expand_pseudo(mnemonic, operands, line_number, line):
+                expansion.address = text_address
+                self.pending.append(expansion)
+                text_address += 4
+        return self._finish()
+
+    def _directive(
+        self, line: str, line_number: int, section: str, text_address: int
+    ) -> Tuple[str, int]:
+        parts = line.split(None, 1)
+        name = parts[0]
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        if name == ".text":
+            return "text", text_address
+        if name == ".data":
+            return "data", text_address
+        if name in (".globl", ".global"):
+            for symbol in argument.split(","):
+                self.globl.add(symbol.strip())
+            return section, text_address
+        if name in (".type", ".size", ".section", ".option"):
+            return section, text_address
+        if name == ".word":
+            for item in argument.split(","):
+                value = _int_value(item.strip(), self.symbols) & 0xFFFFFFFF
+                self.data += value.to_bytes(4, "little")
+            return section, text_address
+        if name == ".half":
+            for item in argument.split(","):
+                self.data += (_int_value(item.strip(), self.symbols) & 0xFFFF).to_bytes(2, "little")
+            return section, text_address
+        if name == ".byte":
+            for item in argument.split(","):
+                self.data += bytes([_int_value(item.strip(), self.symbols) & 0xFF])
+            return section, text_address
+        if name in (".asciz", ".string", ".ascii"):
+            text = _parse_string_literal(argument)
+            self.data += text.encode("latin-1")
+            if name != ".ascii":
+                self.data += b"\x00"
+            return section, text_address
+        if name == ".space" or name == ".zero":
+            self.data += bytes(_int_value(argument, self.symbols))
+            return section, text_address
+        if name == ".align":
+            align = 1 << _int_value(argument, self.symbols)
+            while len(self.data) % align:
+                self.data += b"\x00"
+            return section, text_address
+        raise self._error(line_number, f"unknown directive {name}")
+
+    # ------------------------------------------------------------------
+    # Pseudo-instruction expansion
+    # ------------------------------------------------------------------
+
+    def _expand_pseudo(
+        self, mnemonic: str, operands: List[str], line: int, text: str
+    ) -> List[_PendingInstruction]:
+        def make(m: str, ops: List[str]) -> _PendingInstruction:
+            return _PendingInstruction(m, ops, line, text, 0)
+
+        if mnemonic == "nop":
+            return [make("addi", ["x0", "x0", "0"])]
+        if mnemonic == "li":
+            # Real-assembler expansion: addi for 12-bit immediates, else a
+            # lui+addi pair. Symbolic immediates take the two-instruction
+            # form because their value is unknown in this pass.
+            immediate = operands[1].strip()
+            try:
+                value = _int_value(immediate, {})
+            except AsmError:
+                value = None
+            if value is not None and -2048 <= value < 2048:
+                return [make("addi", [operands[0], "x0", immediate])]
+            return [
+                make("lui", [operands[0], f"%hi({immediate})"]),
+                make("addi", [operands[0], operands[0], f"%lo({immediate})"]),
+            ]
+        if mnemonic == "la":
+            # Always the two-instruction absolute-address form.
+            return [
+                make("lui", [operands[0], f"%hi({operands[1]})"]),
+                make("addi", [operands[0], operands[0], f"%lo({operands[1]})"]),
+            ]
+        if mnemonic == "mv":
+            return [make("addi", [operands[0], operands[1], "0"])]
+        if mnemonic == "not":
+            return [make("xori", [operands[0], operands[1], "-1"])]
+        if mnemonic == "neg":
+            return [make("sub", [operands[0], "x0", operands[1]])]
+        if mnemonic == "seqz":
+            return [make("sltiu", [operands[0], operands[1], "1"])]
+        if mnemonic == "snez":
+            return [make("sltu", [operands[0], "x0", operands[1]])]
+        if mnemonic == "j":
+            return [make("jal", ["x0", operands[0]])]
+        if mnemonic == "jr":
+            return [make("jalr", ["x0", "0(" + operands[0] + ")"])]
+        if mnemonic == "ret":
+            return [make("jalr", ["x0", "0(ra)"])]
+        if mnemonic == "call":
+            return [make("jal", ["ra", operands[0]])]
+        if mnemonic == "tail":
+            return [make("jal", ["x0", operands[0]])]
+        if mnemonic == "beqz":
+            return [make("beq", [operands[0], "x0", operands[1]])]
+        if mnemonic == "bnez":
+            return [make("bne", [operands[0], "x0", operands[1]])]
+        if mnemonic == "blez":
+            return [make("bge", ["x0", operands[0], operands[1]])]
+        if mnemonic == "bgez":
+            return [make("bge", [operands[0], "x0", operands[1]])]
+        if mnemonic == "bltz":
+            return [make("blt", [operands[0], "x0", operands[1]])]
+        if mnemonic == "bgtz":
+            return [make("blt", ["x0", operands[0], operands[1]])]
+        if mnemonic == "ble":
+            return [make("bge", [operands[1], operands[0], operands[2]])]
+        if mnemonic == "bgt":
+            return [make("blt", [operands[1], operands[0], operands[2]])]
+        if mnemonic == "jal" and len(operands) == 1:
+            return [make("jal", ["ra", operands[0]])]
+        if mnemonic == "jalr" and len(operands) == 1:
+            return [make("jalr", ["ra", "0(" + operands[0] + ")"])]
+        return [make(mnemonic, operands)]
+
+    # ------------------------------------------------------------------
+    # Pass 2: operand resolution
+    # ------------------------------------------------------------------
+
+    def _finish(self) -> Program:
+        instructions: List[Instruction] = []
+        for pending in self.pending:
+            instructions.append(self._resolve(pending))
+        entry = self.symbols.get("main", self.symbols.get("_start", TEXT_BASE))
+        text_labels = sorted(self.text_labels)
+        if self.globl:
+            # As in a real toolchain, only declared-global symbols and call
+            # targets delimit functions; other labels are local (loop heads,
+            # branch targets) and attribute to the enclosing function.
+            function_addresses = {
+                address
+                for address, label in text_labels
+                if label in self.globl or address == entry
+            }
+            for instruction in instructions:
+                if instruction.mnemonic == "jal" and instruction.operands[0] == 1:
+                    function_addresses.add(instruction.operands[1])
+            text_labels = [
+                (address, label)
+                for address, label in text_labels
+                if address in function_addresses
+            ]
+        return Program(
+            instructions=instructions,
+            data=bytes(self.data),
+            symbols=dict(self.symbols),
+            text_labels=text_labels,
+            entry=entry,
+            filename=self.filename,
+        )
+
+    def _resolve(self, pending: _PendingInstruction) -> Instruction:
+        mnemonic = pending.mnemonic
+        operands = pending.operands
+        line = pending.line
+
+        def reg(text: str) -> int:
+            name = text.strip().lower()
+            if name not in _REGISTERS:
+                raise self._error(line, f"unknown register {text!r}")
+            return _REGISTERS[name]
+
+        def imm(text: str) -> int:
+            return _int_value(text.strip(), self.symbols)
+
+        def mem(text: str) -> Tuple[int, int]:
+            """Parse ``offset(base)`` into (offset, base register).
+
+            A bare symbol or number (the ``lw rd, symbol`` pseudo form) is
+            treated as an absolute address with base ``x0``.
+            """
+            text = text.strip()
+            if "(" not in text:
+                return imm(text), 0
+            offset_text, _, rest = text.partition("(")
+            base = rest.rstrip(")")
+            offset = imm(offset_text) if offset_text.strip() else 0
+            return offset, reg(base)
+
+        try:
+            if mnemonic in R_TYPE:
+                resolved = (reg(operands[0]), reg(operands[1]), reg(operands[2]))
+            elif mnemonic in I_TYPE:
+                resolved = (reg(operands[0]), reg(operands[1]), imm(operands[2]))
+            elif mnemonic in LOAD:
+                offset, base = mem(operands[1])
+                resolved = (reg(operands[0]), base, offset)
+            elif mnemonic in STORE:
+                offset, base = mem(operands[1])
+                resolved = (reg(operands[0]), base, offset)
+            elif mnemonic in BRANCH:
+                resolved = (
+                    reg(operands[0]),
+                    reg(operands[1]),
+                    self._target(operands[2], line),
+                )
+            elif mnemonic == "jal":
+                resolved = (reg(operands[0]), self._target(operands[1], line))
+            elif mnemonic == "jalr":
+                offset, base = mem(operands[1])
+                resolved = (reg(operands[0]), base, offset)
+            elif mnemonic in ("lui", "auipc"):
+                resolved = (reg(operands[0]), imm(operands[1]))
+            elif mnemonic in ("ecall", "ebreak"):
+                resolved = ()
+            else:
+                raise self._error(line, f"unknown instruction {mnemonic!r}")
+        except IndexError:
+            raise self._error(
+                line, f"wrong operand count for {mnemonic}"
+            ) from None
+        return Instruction(
+            address=pending.address,
+            mnemonic=mnemonic,
+            operands=resolved,
+            line=line,
+            text=pending.text,
+        )
+
+    def _target(self, text: str, line: int) -> int:
+        text = text.strip()
+        if text in self.symbols:
+            return self.symbols[text]
+        try:
+            return _int_value(text, self.symbols)
+        except AsmError:
+            raise self._error(line, f"unknown label {text!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Text helpers
+# ---------------------------------------------------------------------------
+
+
+def _strip_comment(line: str) -> str:
+    in_string = False
+    for index, char in enumerate(line):
+        if char == '"':
+            in_string = not in_string
+        elif char in "#;" and not in_string:
+            return line[:index]
+    return line
+
+
+def _is_identifier(text: str) -> bool:
+    return bool(text) and (text[0].isalpha() or text[0] in "_.") and all(
+        c.isalnum() or c in "_.$" for c in text
+    )
+
+
+def _split_instruction(line: str) -> Tuple[str, List[str]]:
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    if len(parts) == 1:
+        return mnemonic, []
+    operands = [op.strip() for op in parts[1].split(",")]
+    return mnemonic, operands
+
+
+def _int_value(text: str, symbols: Dict[str, int]) -> int:
+    text = text.strip()
+    if text in symbols:
+        return symbols[text]
+    if text.startswith("%lo(") and text.endswith(")"):
+        value = _int_value(text[4:-1], symbols)
+        return value - (((value + 0x800) >> 12) << 12)
+    if text.startswith("%hi(") and text.endswith(")"):
+        return ((_int_value(text[4:-1], symbols) + 0x800) >> 12) & 0xFFFFF
+    try:
+        if text.lower().startswith("0x") or text.lower().startswith("-0x"):
+            return int(text, 16)
+        if text.startswith("'") and text.endswith("'") and len(text) >= 3:
+            return ord(text[1:-1])
+        return int(text, 10)
+    except ValueError:
+        raise AsmError(f"not a number or symbol: {text!r}") from None
+
+
+def _parse_string_literal(text: str) -> str:
+    text = text.strip()
+    if not (text.startswith('"') and text.endswith('"')):
+        raise AsmError(f"expected a string literal, got {text!r}")
+    body = text[1:-1]
+    return (
+        body.replace("\\n", "\n")
+        .replace("\\t", "\t")
+        .replace("\\0", "\0")
+        .replace('\\"', '"')
+        .replace("\\\\", "\\")
+    )

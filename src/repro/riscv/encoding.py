@@ -1,0 +1,285 @@
+"""Binary encoding and decoding of RV32IM instructions.
+
+The simulator executes :class:`~repro.riscv.assembler.Instruction` records
+directly, but the *image* of a program matters to the tools the paper
+targets (a compiler course shows students real machine words), so this
+module provides the faithful 32-bit encodings:
+
+- :func:`encode` — one instruction to its little-endian word;
+- :func:`decode` — one word back to ``(mnemonic, operands)``;
+- :func:`encode_program` — the whole text segment as bytes (what a memory
+  viewer pointed at the text segment displays).
+
+Branch and jump targets are held as absolute addresses in ``Instruction``
+operands; encoding converts them to pc-relative offsets and decoding
+converts back, so ``decode(encode(i), i.address)`` is the identity on every
+encodable instruction (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.errors import TrackerError
+from repro.riscv.assembler import Instruction, Program
+
+OP_R = 0b0110011
+OP_I = 0b0010011
+OP_LOAD = 0b0000011
+OP_STORE = 0b0100011
+OP_BRANCH = 0b1100011
+OP_JAL = 0b1101111
+OP_JALR = 0b1100111
+OP_LUI = 0b0110111
+OP_AUIPC = 0b0010111
+OP_SYSTEM = 0b1110011
+
+#: mnemonic -> (funct3, funct7) for R-type instructions
+R_FUNCTS = {
+    "add": (0b000, 0b0000000),
+    "sub": (0b000, 0b0100000),
+    "sll": (0b001, 0b0000000),
+    "slt": (0b010, 0b0000000),
+    "sltu": (0b011, 0b0000000),
+    "xor": (0b100, 0b0000000),
+    "srl": (0b101, 0b0000000),
+    "sra": (0b101, 0b0100000),
+    "or": (0b110, 0b0000000),
+    "and": (0b111, 0b0000000),
+    "mul": (0b000, 0b0000001),
+    "mulh": (0b001, 0b0000001),
+    "div": (0b100, 0b0000001),
+    "divu": (0b101, 0b0000001),
+    "rem": (0b110, 0b0000001),
+    "remu": (0b111, 0b0000001),
+}
+
+I_FUNCTS = {
+    "addi": 0b000,
+    "slti": 0b010,
+    "sltiu": 0b011,
+    "xori": 0b100,
+    "ori": 0b110,
+    "andi": 0b111,
+}
+
+SHIFT_FUNCTS = {
+    "slli": (0b001, 0b0000000),
+    "srli": (0b101, 0b0000000),
+    "srai": (0b101, 0b0100000),
+}
+
+LOAD_FUNCTS = {"lb": 0b000, "lh": 0b001, "lw": 0b010, "lbu": 0b100, "lhu": 0b101}
+STORE_FUNCTS = {"sb": 0b000, "sh": 0b001, "sw": 0b010}
+BRANCH_FUNCTS = {
+    "beq": 0b000,
+    "bne": 0b001,
+    "blt": 0b100,
+    "bge": 0b101,
+    "bltu": 0b110,
+    "bgeu": 0b111,
+}
+
+_R_BY_FUNCTS = {functs: name for name, functs in R_FUNCTS.items()}
+_I_BY_FUNCT = {funct: name for name, funct in I_FUNCTS.items()}
+_LOAD_BY_FUNCT = {funct: name for name, funct in LOAD_FUNCTS.items()}
+_STORE_BY_FUNCT = {funct: name for name, funct in STORE_FUNCTS.items()}
+_BRANCH_BY_FUNCT = {funct: name for name, funct in BRANCH_FUNCTS.items()}
+
+
+class EncodingError(TrackerError):
+    """The instruction cannot be represented in a single RV32 word."""
+
+
+def _check_range(value: int, bits: int, what: str) -> None:
+    low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not low <= value <= high:
+        raise EncodingError(
+            f"{what} {value} does not fit in {bits} signed bits"
+        )
+
+
+def encode(instruction: Instruction) -> int:
+    """Encode one instruction into its 32-bit word."""
+    mnemonic = instruction.mnemonic
+    ops = instruction.operands
+    if mnemonic in R_FUNCTS:
+        funct3, funct7 = R_FUNCTS[mnemonic]
+        rd, rs1, rs2 = ops
+        return (
+            (funct7 << 25) | (rs2 << 20) | (rs1 << 15)
+            | (funct3 << 12) | (rd << 7) | OP_R
+        )
+    if mnemonic in I_FUNCTS:
+        rd, rs1, imm = ops
+        _check_range(imm, 12, f"{mnemonic} immediate")
+        return (
+            ((imm & 0xFFF) << 20) | (rs1 << 15)
+            | (I_FUNCTS[mnemonic] << 12) | (rd << 7) | OP_I
+        )
+    if mnemonic in SHIFT_FUNCTS:
+        funct3, funct7 = SHIFT_FUNCTS[mnemonic]
+        rd, rs1, shamt = ops
+        if not 0 <= shamt < 32:
+            raise EncodingError(f"shift amount {shamt} out of range")
+        return (
+            (funct7 << 25) | (shamt << 20) | (rs1 << 15)
+            | (funct3 << 12) | (rd << 7) | OP_I
+        )
+    if mnemonic in LOAD_FUNCTS:
+        rd, rs1, offset = ops
+        _check_range(offset, 12, "load offset")
+        return (
+            ((offset & 0xFFF) << 20) | (rs1 << 15)
+            | (LOAD_FUNCTS[mnemonic] << 12) | (rd << 7) | OP_LOAD
+        )
+    if mnemonic in STORE_FUNCTS:
+        rs2, rs1, offset = ops
+        _check_range(offset, 12, "store offset")
+        imm = offset & 0xFFF
+        return (
+            ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15)
+            | (STORE_FUNCTS[mnemonic] << 12) | ((imm & 0x1F) << 7) | OP_STORE
+        )
+    if mnemonic in BRANCH_FUNCTS:
+        rs1, rs2, target = ops
+        offset = target - instruction.address
+        _check_range(offset, 13, "branch offset")
+        if offset % 2:
+            raise EncodingError("branch offset must be even")
+        imm = offset & 0x1FFF
+        return (
+            (((imm >> 12) & 1) << 31)
+            | (((imm >> 5) & 0x3F) << 25)
+            | (rs2 << 20)
+            | (rs1 << 15)
+            | (BRANCH_FUNCTS[mnemonic] << 12)
+            | (((imm >> 1) & 0xF) << 8)
+            | (((imm >> 11) & 1) << 7)
+            | OP_BRANCH
+        )
+    if mnemonic == "jal":
+        rd, target = ops
+        offset = target - instruction.address
+        _check_range(offset, 21, "jal offset")
+        if offset % 2:
+            raise EncodingError("jal offset must be even")
+        imm = offset & 0x1FFFFF
+        return (
+            (((imm >> 20) & 1) << 31)
+            | (((imm >> 1) & 0x3FF) << 21)
+            | (((imm >> 11) & 1) << 20)
+            | (((imm >> 12) & 0xFF) << 12)
+            | (rd << 7)
+            | OP_JAL
+        )
+    if mnemonic == "jalr":
+        rd, rs1, offset = ops
+        _check_range(offset, 12, "jalr offset")
+        return (
+            ((offset & 0xFFF) << 20) | (rs1 << 15) | (rd << 7) | OP_JALR
+        )
+    if mnemonic in ("lui", "auipc"):
+        rd, imm = ops
+        if not 0 <= imm < (1 << 20):
+            raise EncodingError(f"{mnemonic} immediate {imm} out of range")
+        opcode = OP_LUI if mnemonic == "lui" else OP_AUIPC
+        return (imm << 12) | (rd << 7) | opcode
+    if mnemonic == "ecall":
+        return OP_SYSTEM
+    if mnemonic == "ebreak":
+        return (1 << 20) | OP_SYSTEM
+    raise EncodingError(f"cannot encode {mnemonic!r}")
+
+
+def decode(word: int, address: int = 0) -> Tuple[str, Tuple]:
+    """Decode a 32-bit word into ``(mnemonic, operands)``.
+
+    Branch/jump targets come back as absolute addresses computed against
+    ``address``, mirroring the assembler's operand convention.
+    """
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+    if opcode == OP_R:
+        name = _R_BY_FUNCTS.get((funct3, funct7))
+        if name is None:
+            raise EncodingError(f"unknown R-type word {word:#010x}")
+        return name, (rd, rs1, rs2)
+    if opcode == OP_I:
+        if funct3 == 0b001 or (funct3 == 0b101):
+            for name, (f3, f7) in SHIFT_FUNCTS.items():
+                if f3 == funct3 and f7 == funct7:
+                    return name, (rd, rs1, rs2)  # rs2 field = shamt
+            raise EncodingError(f"unknown shift word {word:#010x}")
+        name = _I_BY_FUNCT.get(funct3)
+        if name is None:
+            raise EncodingError(f"unknown I-type word {word:#010x}")
+        return name, (rd, rs1, _signed(word >> 20, 12))
+    if opcode == OP_LOAD:
+        name = _LOAD_BY_FUNCT.get(funct3)
+        if name is None:
+            raise EncodingError(f"unknown load word {word:#010x}")
+        return name, (rd, rs1, _signed(word >> 20, 12))
+    if opcode == OP_STORE:
+        name = _STORE_BY_FUNCT.get(funct3)
+        if name is None:
+            raise EncodingError(f"unknown store word {word:#010x}")
+        offset = _signed(((word >> 25) << 5) | rd, 12)
+        return name, (rs2, rs1, offset)
+    if opcode == OP_BRANCH:
+        name = _BRANCH_BY_FUNCT.get(funct3)
+        if name is None:
+            raise EncodingError(f"unknown branch word {word:#010x}")
+        imm = (
+            (((word >> 31) & 1) << 12)
+            | (((word >> 7) & 1) << 11)
+            | (((word >> 25) & 0x3F) << 5)
+            | (((word >> 8) & 0xF) << 1)
+        )
+        return name, (rs1, rs2, address + _signed(imm, 13))
+    if opcode == OP_JAL:
+        imm = (
+            (((word >> 31) & 1) << 20)
+            | (((word >> 12) & 0xFF) << 12)
+            | (((word >> 20) & 1) << 11)
+            | (((word >> 21) & 0x3FF) << 1)
+        )
+        return "jal", (rd, address + _signed(imm, 21))
+    if opcode == OP_JALR:
+        return "jalr", (rd, rs1, _signed(word >> 20, 12))
+    if opcode == OP_LUI:
+        return "lui", (rd, word >> 12)
+    if opcode == OP_AUIPC:
+        return "auipc", (rd, word >> 12)
+    if opcode == OP_SYSTEM:
+        return ("ebreak" if (word >> 20) & 0xFFF == 1 else "ecall"), ()
+    raise EncodingError(f"unknown opcode in word {word:#010x}")
+
+
+def encode_program(program: Program) -> bytes:
+    """The program's text segment as little-endian machine words."""
+    image = bytearray()
+    for instruction in program.instructions:
+        image += encode(instruction).to_bytes(4, "little")
+    return bytes(image)
+
+
+def disassemble_word(word: int, address: int = 0) -> str:
+    """A human-readable rendering of one machine word."""
+    try:
+        mnemonic, operands = decode(word, address)
+    except EncodingError:
+        return f".word {word:#010x}"
+    rendered = ", ".join(str(operand) for operand in operands)
+    return f"{mnemonic} {rendered}".strip()
+
+
+def _signed(value: int, bits: int) -> int:
+    value &= (1 << bits) - 1
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value

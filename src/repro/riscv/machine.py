@@ -1,0 +1,450 @@
+"""RV32IM machine simulator with generator-based stepping.
+
+Like the mini-C interpreter, :meth:`Machine.run` is a generator yielding one
+event per executed instruction line (plus call/return/output/exit events),
+so the MI debug server pauses the machine simply by holding the generator.
+
+The simulator tracks a *call stack* by observing ``jal``/``jalr`` link
+instructions and returns through ``ra``, which is how the tracker attributes
+frames and depths to what is otherwise a flat instruction stream. Registers
+and raw memory are exposed for the paper's ``get_registers_gdb`` and
+``get_value_at_gdb`` inspection entry points (the Fig. 7 viewer).
+
+Environment calls follow the teaching-simulator convention (RARS/Venus):
+``a7``=1 print int, 4 print string, 11 print char, 10 exit(0), 93 exit(a0);
+``a7``=9 is ``sbrk`` (heap allocation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.errors import TrackerError
+from repro.minic.events import (
+    CallEvent,
+    Event,
+    ExitEvent,
+    LineEvent,
+    OutputEvent,
+    ReturnEvent,
+)
+from repro.riscv.assembler import (
+    ABI_NAMES,
+    DATA_BASE,
+    Instruction,
+    Program,
+    TEXT_BASE,
+)
+
+STACK_TOP = 0x7FFF_F000
+STACK_SIZE = 1 << 16
+HEAP_BASE = 0x3000_0000
+
+
+class MachineFault(TrackerError):
+    """An invalid memory access or illegal instruction in the simulator."""
+
+
+@dataclass
+class RVFrame:
+    """One entry of the simulator's inferred call stack."""
+
+    function: str
+    return_address: int
+    entry_sp: int
+
+
+class Machine:
+    """Executes an assembled RISC-V :class:`~repro.riscv.assembler.Program`.
+
+    Args:
+        program: the assembled program.
+        max_steps: instruction budget (protects against runaway loops).
+    """
+
+    def __init__(self, program: Program, max_steps: int = 2_000_000):
+        self.program = program
+        self.max_steps = max_steps
+        self.registers: List[int] = [0] * 32
+        self.pc = program.entry
+        self.registers[2] = STACK_TOP  # sp
+        self.exit_code: Optional[int] = None
+        self.error: Optional[str] = None
+        self.output: List[str] = []
+        self.call_stack: List[RVFrame] = [
+            RVFrame(
+                function=program.function_of(program.entry),
+                return_address=0,
+                entry_sp=STACK_TOP,
+            )
+        ]
+        self._data = bytearray(program.data)
+        self._stack = bytearray(STACK_SIZE)
+        self._heap = bytearray()
+        self._heap_brk = HEAP_BASE
+        self._steps = 0
+        self._text_image: Optional[bytes] = None
+
+    @property
+    def text_image(self) -> bytes:
+        """The text segment as real machine words (lazily encoded).
+
+        Instructions that have no single-word encoding (e.g. the
+        absolute-address ``lw rd, symbol`` convenience form) appear as a
+        zero word rather than failing the whole image.
+        """
+        if self._text_image is None:
+            from repro.riscv.encoding import EncodingError, encode
+
+            image = bytearray()
+            for instruction in self.program.instructions:
+                try:
+                    word = encode(instruction)
+                except EncodingError:
+                    word = 0
+                image += word.to_bytes(4, "little")
+            self._text_image = bytes(image)
+        return self._text_image
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+
+    def read_memory(self, address: int, size: int) -> bytes:
+        chunk = bytearray()
+        for offset in range(size):
+            chunk.append(self._read_byte(address + offset))
+        return bytes(chunk)
+
+    def write_memory(self, address: int, raw: bytes) -> None:
+        for offset, byte in enumerate(raw):
+            self._write_byte(address + offset, byte)
+
+    def _read_byte(self, address: int) -> int:
+        segment, offset = self._locate(address, "read")
+        return segment[offset]
+
+    def _write_byte(self, address: int, byte: int) -> None:
+        segment, offset = self._locate(address, "write")
+        segment[offset] = byte & 0xFF
+
+    def _locate(self, address: int, operation: str):
+        if DATA_BASE <= address < DATA_BASE + len(self._data):
+            return self._data, address - DATA_BASE
+        if STACK_TOP - STACK_SIZE <= address < STACK_TOP:
+            return self._stack, address - (STACK_TOP - STACK_SIZE)
+        if HEAP_BASE <= address < HEAP_BASE + len(self._heap):
+            return self._heap, address - HEAP_BASE
+        if (
+            operation == "read"
+            and TEXT_BASE <= address < TEXT_BASE + 4 * len(self.program.instructions)
+        ):
+            # The text segment is readable (a memory viewer pointed at it
+            # shows the real encoded machine words) but not writable.
+            return self.text_image, address - TEXT_BASE
+        raise MachineFault(
+            f"invalid {operation} at {address:#x} (pc={self.pc:#x})"
+        )
+
+    def read_word(self, address: int) -> int:
+        return int.from_bytes(self.read_memory(address, 4), "little")
+
+    def write_word(self, address: int, value: int) -> None:
+        self.write_memory(address, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    def read_cstring(self, address: int, limit: int = 4096) -> str:
+        chars: List[int] = []
+        for offset in range(limit):
+            try:
+                byte = self._read_byte(address + offset)
+            except MachineFault:
+                break
+            if byte == 0:
+                break
+            chars.append(byte)
+        return bytes(chars).decode("latin-1")
+
+    # ------------------------------------------------------------------
+    # Register helpers
+    # ------------------------------------------------------------------
+
+    def get_register(self, name_or_number) -> int:
+        if isinstance(name_or_number, int):
+            return self.registers[name_or_number]
+        try:
+            index = ABI_NAMES.index(name_or_number)
+        except ValueError:
+            if name_or_number == "pc":
+                return self.pc
+            if name_or_number.startswith("x"):
+                index = int(name_or_number[1:])
+            else:
+                raise MachineFault(f"unknown register {name_or_number!r}") from None
+        return self.registers[index]
+
+    def register_map(self) -> Dict[str, int]:
+        """All registers by ABI name, plus ``pc`` (unsigned 32-bit values)."""
+        values = {
+            name: self.registers[index] & 0xFFFFFFFF
+            for index, name in enumerate(ABI_NAMES)
+        }
+        values["pc"] = self.pc & 0xFFFFFFFF
+        return values
+
+    def _set(self, register: int, value: int) -> None:
+        if register != 0:
+            self.registers[register] = _signed32(value)
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self.call_stack) - 1
+
+    def current_function(self) -> str:
+        return self.call_stack[-1].function
+
+    def run(self) -> Iterator[Event]:
+        """Execute until exit, yielding one event per instruction line."""
+        try:
+            while self.exit_code is None:
+                instruction = self.program.instruction_at(self.pc)
+                if instruction is None:
+                    raise MachineFault(f"pc out of text segment: {self.pc:#x}")
+                self._steps += 1
+                if self._steps > self.max_steps:
+                    raise MachineFault(
+                        f"instruction budget of {self.max_steps} exceeded"
+                    )
+                yield LineEvent(
+                    line=instruction.line,
+                    function=self.current_function(),
+                    depth=self.depth,
+                )
+                for event in self._execute(instruction):
+                    yield event
+        except MachineFault as fault:
+            self.exit_code = 139
+            self.error = str(fault)
+        yield ExitEvent(code=self.exit_code, error=self.error)
+
+    # ------------------------------------------------------------------
+    # Instruction semantics
+    # ------------------------------------------------------------------
+
+    def _execute(self, instruction: Instruction) -> List[Event]:
+        mnemonic = instruction.mnemonic
+        ops = instruction.operands
+        next_pc = self.pc + 4
+        events: List[Event] = []
+        regs = self.registers
+
+        if mnemonic == "add":
+            self._set(ops[0], regs[ops[1]] + regs[ops[2]])
+        elif mnemonic == "sub":
+            self._set(ops[0], regs[ops[1]] - regs[ops[2]])
+        elif mnemonic == "and":
+            self._set(ops[0], regs[ops[1]] & regs[ops[2]])
+        elif mnemonic == "or":
+            self._set(ops[0], regs[ops[1]] | regs[ops[2]])
+        elif mnemonic == "xor":
+            self._set(ops[0], regs[ops[1]] ^ regs[ops[2]])
+        elif mnemonic == "sll":
+            self._set(ops[0], regs[ops[1]] << (regs[ops[2]] & 31))
+        elif mnemonic == "srl":
+            self._set(ops[0], (regs[ops[1]] & 0xFFFFFFFF) >> (regs[ops[2]] & 31))
+        elif mnemonic == "sra":
+            self._set(ops[0], regs[ops[1]] >> (regs[ops[2]] & 31))
+        elif mnemonic == "slt":
+            self._set(ops[0], int(regs[ops[1]] < regs[ops[2]]))
+        elif mnemonic == "sltu":
+            self._set(
+                ops[0],
+                int((regs[ops[1]] & 0xFFFFFFFF) < (regs[ops[2]] & 0xFFFFFFFF)),
+            )
+        elif mnemonic == "mul":
+            self._set(ops[0], regs[ops[1]] * regs[ops[2]])
+        elif mnemonic == "mulh":
+            self._set(ops[0], (regs[ops[1]] * regs[ops[2]]) >> 32)
+        elif mnemonic in ("div", "divu"):
+            divisor = regs[ops[2]]
+            if divisor == 0:
+                self._set(ops[0], -1)
+            else:
+                quotient = abs(regs[ops[1]]) // abs(divisor)
+                if (regs[ops[1]] < 0) != (divisor < 0):
+                    quotient = -quotient
+                self._set(ops[0], quotient)
+        elif mnemonic in ("rem", "remu"):
+            divisor = regs[ops[2]]
+            if divisor == 0:
+                self._set(ops[0], regs[ops[1]])
+            else:
+                quotient = abs(regs[ops[1]]) // abs(divisor)
+                if (regs[ops[1]] < 0) != (divisor < 0):
+                    quotient = -quotient
+                self._set(ops[0], regs[ops[1]] - quotient * divisor)
+        elif mnemonic == "addi":
+            self._set(ops[0], regs[ops[1]] + ops[2])
+        elif mnemonic == "andi":
+            self._set(ops[0], regs[ops[1]] & ops[2])
+        elif mnemonic == "ori":
+            self._set(ops[0], regs[ops[1]] | ops[2])
+        elif mnemonic == "xori":
+            self._set(ops[0], regs[ops[1]] ^ ops[2])
+        elif mnemonic == "slti":
+            self._set(ops[0], int(regs[ops[1]] < ops[2]))
+        elif mnemonic == "sltiu":
+            self._set(ops[0], int((regs[ops[1]] & 0xFFFFFFFF) < (ops[2] & 0xFFFFFFFF)))
+        elif mnemonic == "slli":
+            self._set(ops[0], regs[ops[1]] << (ops[2] & 31))
+        elif mnemonic == "srli":
+            self._set(ops[0], (regs[ops[1]] & 0xFFFFFFFF) >> (ops[2] & 31))
+        elif mnemonic == "srai":
+            self._set(ops[0], regs[ops[1]] >> (ops[2] & 31))
+        elif mnemonic == "lui":
+            self._set(ops[0], ops[1] << 12)
+        elif mnemonic == "auipc":
+            self._set(ops[0], self.pc + (ops[1] << 12))
+        elif mnemonic == "lw":
+            self._set(ops[0], _signed32(self.read_word(regs[ops[1]] + ops[2])))
+        elif mnemonic == "lh":
+            raw = self.read_memory(regs[ops[1]] + ops[2], 2)
+            self._set(ops[0], int.from_bytes(raw, "little", signed=True))
+        elif mnemonic == "lhu":
+            raw = self.read_memory(regs[ops[1]] + ops[2], 2)
+            self._set(ops[0], int.from_bytes(raw, "little"))
+        elif mnemonic == "lb":
+            raw = self.read_memory(regs[ops[1]] + ops[2], 1)
+            self._set(ops[0], int.from_bytes(raw, "little", signed=True))
+        elif mnemonic == "lbu":
+            self._set(ops[0], self._read_byte(regs[ops[1]] + ops[2]))
+        elif mnemonic == "sw":
+            self.write_word(regs[ops[1]] + ops[2], regs[ops[0]])
+        elif mnemonic == "sh":
+            self.write_memory(
+                regs[ops[1]] + ops[2],
+                (regs[ops[0]] & 0xFFFF).to_bytes(2, "little"),
+            )
+        elif mnemonic == "sb":
+            self._write_byte(regs[ops[1]] + ops[2], regs[ops[0]])
+        elif mnemonic == "beq":
+            if regs[ops[0]] == regs[ops[1]]:
+                next_pc = ops[2]
+        elif mnemonic == "bne":
+            if regs[ops[0]] != regs[ops[1]]:
+                next_pc = ops[2]
+        elif mnemonic == "blt":
+            if regs[ops[0]] < regs[ops[1]]:
+                next_pc = ops[2]
+        elif mnemonic == "bge":
+            if regs[ops[0]] >= regs[ops[1]]:
+                next_pc = ops[2]
+        elif mnemonic == "bltu":
+            if (regs[ops[0]] & 0xFFFFFFFF) < (regs[ops[1]] & 0xFFFFFFFF):
+                next_pc = ops[2]
+        elif mnemonic == "bgeu":
+            if (regs[ops[0]] & 0xFFFFFFFF) >= (regs[ops[1]] & 0xFFFFFFFF):
+                next_pc = ops[2]
+        elif mnemonic == "jal":
+            self._set(ops[0], self.pc + 4)
+            next_pc = ops[1]
+            if ops[0] == 1:  # linking call: push an inferred frame
+                function = self.program.function_of(next_pc)
+                self.call_stack.append(
+                    RVFrame(
+                        function=function,
+                        return_address=self.pc + 4,
+                        entry_sp=regs[2],
+                    )
+                )
+                events.append(
+                    CallEvent(
+                        function=function,
+                        line=_line_at(self.program, next_pc),
+                        depth=self.depth,
+                    )
+                )
+        elif mnemonic == "jalr":
+            target = (regs[ops[1]] + ops[2]) & ~1
+            self._set(ops[0], self.pc + 4)
+            if ops[0] == 1:  # indirect linking call
+                function = self.program.function_of(target)
+                self.call_stack.append(
+                    RVFrame(
+                        function=function,
+                        return_address=self.pc + 4,
+                        entry_sp=regs[2],
+                    )
+                )
+                events.append(
+                    CallEvent(
+                        function=function,
+                        line=_line_at(self.program, target),
+                        depth=self.depth,
+                    )
+                )
+            elif ops[0] == 0 and len(self.call_stack) > 1:
+                # ret (or tail jump through ra): pop the inferred frame
+                frame = self.call_stack.pop()
+                events.append(
+                    ReturnEvent(
+                        function=frame.function,
+                        line=instruction.line,
+                        depth=len(self.call_stack),
+                        value=str(_signed32(regs[10])),  # a0 by convention
+                    )
+                )
+            next_pc = target
+        elif mnemonic == "ecall":
+            events.extend(self._ecall())
+        elif mnemonic == "ebreak":
+            raise MachineFault("ebreak executed")
+        else:  # pragma: no cover - assembler rejects unknown mnemonics
+            raise MachineFault(f"illegal instruction {mnemonic}")
+
+        self.pc = next_pc
+        return events
+
+    def _ecall(self) -> List[Event]:
+        service = self.registers[17]  # a7
+        argument = self.registers[10]  # a0
+        if service == 1:  # print integer
+            text = str(_signed32(argument))
+            self.output.append(text)
+            return [OutputEvent(text=text)]
+        if service == 4:  # print string
+            text = self.read_cstring(argument & 0xFFFFFFFF)
+            self.output.append(text)
+            return [OutputEvent(text=text)]
+        if service == 11:  # print character
+            text = chr(argument & 0xFF)
+            self.output.append(text)
+            return [OutputEvent(text=text)]
+        if service == 9:  # sbrk
+            size = argument
+            address = self._heap_brk
+            self._heap.extend(bytes(size))
+            self._heap_brk += size
+            self._set(10, address)
+            return []
+        if service == 10:  # exit(0)
+            self.exit_code = 0
+            return []
+        if service == 93:  # exit(a0)
+            self.exit_code = argument & 0xFF
+            return []
+        raise MachineFault(f"unknown ecall service {service}")
+
+
+def _signed32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value >= 1 << 31 else value
+
+
+def _line_at(program: Program, address: int) -> int:
+    instruction = program.instruction_at(address)
+    return instruction.line if instruction else 0

@@ -1,0 +1,93 @@
+"""The tools of the paper's Section III, built on the tracker API.
+
+- :mod:`repro.tools.stepper` — Listing 1: step-and-draw every line.
+- :mod:`repro.tools.stack_diagram` — Fig. 6 stack / stack-and-heap diagrams.
+- :mod:`repro.tools.array_invariant` — Fig. 1 loop-invariant array view.
+- :mod:`repro.tools.riscv_viewer` — Fig. 7 registers and memory viewer.
+- :mod:`repro.tools.recursion_tree` — Fig. 8 recursive-call tree.
+- :mod:`repro.tools.debug_game` — Fig. 9 game for learning debugging.
+"""
+
+from repro.tools.array_invariant import (
+    ArrayInvariantTool,
+    draw_array_state,
+    extract_array,
+)
+from repro.tools.debug_game import (
+    DebugGame,
+    GameResult,
+    LEVEL1_BUGGY,
+    LEVEL1_FIXED,
+    LEVEL2_BUGGY,
+    LEVEL2_FIXED,
+    fix_and_replay,
+    play_level,
+    render_map,
+    write_level,
+)
+from repro.tools.html_report import build_step_player, record_execution_player
+from repro.tools.scope_view import (
+    Binding,
+    ScopeViewTool,
+    collect_bindings,
+    render_scopes_svg,
+    render_scopes_text,
+)
+from repro.tools.equivalence import (
+    EquivalenceReport,
+    SignatureEvent,
+    behavioral_signature,
+    check_equivalence,
+)
+from repro.tools.recursion_tree import (
+    CallNode,
+    CallTreeRecording,
+    draw_call_tree,
+    record_call_tree,
+)
+from repro.tools.riscv_viewer import (
+    RiscvViewer,
+    render_memory_text,
+    render_registers_text,
+    render_state_svg,
+)
+from repro.tools.stack_diagram import draw_stack, draw_stack_heap
+from repro.tools.stepper import generate_diagrams
+
+__all__ = [
+    "ArrayInvariantTool",
+    "CallNode",
+    "CallTreeRecording",
+    "DebugGame",
+    "GameResult",
+    "EquivalenceReport",
+    "LEVEL1_BUGGY",
+    "LEVEL1_FIXED",
+    "LEVEL2_BUGGY",
+    "LEVEL2_FIXED",
+    "SignatureEvent",
+    "Binding",
+    "ScopeViewTool",
+    "behavioral_signature",
+    "build_step_player",
+    "check_equivalence",
+    "collect_bindings",
+    "record_execution_player",
+    "render_scopes_svg",
+    "render_scopes_text",
+    "RiscvViewer",
+    "draw_array_state",
+    "draw_call_tree",
+    "draw_stack",
+    "draw_stack_heap",
+    "extract_array",
+    "fix_and_replay",
+    "generate_diagrams",
+    "play_level",
+    "record_call_tree",
+    "render_map",
+    "render_memory_text",
+    "render_registers_text",
+    "render_state_svg",
+    "write_level",
+]

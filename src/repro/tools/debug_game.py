@@ -1,0 +1,306 @@
+"""The debugging-learning game (paper Section III-D, Fig. 9).
+
+Each level is a mini-C program moving a character on a map. The player must
+find and fix the bug in the level's source so that the character reaches
+the exit *with the door open* when the program runs. The game controller
+uses the tracker API live: it watches the character's coordinates to animate
+the map, breaks around ``check_key`` to detect the classic bug (walking over
+the key without picking it up), and emits *incrementally useful hints*
+generated from inspecting the level's variables while it runs — the kind of
+control-dependent visualization a post-mortem trace cannot provide.
+
+The bundled level reproduces the paper's example: ``check_key`` forgets the
+``has_key = 1`` assignment, so the door stays closed at the exit.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.pause import PauseReasonType
+from repro.core.state import AbstractType
+from repro.gdbtracker.tracker import GDBTracker
+
+#: The paper's Fig. 9 level, simplified: the character starts at (1, 1)
+#: facing right, the key is at (3, 1), the exit door at (5, 3).
+LEVEL1_BUGGY = """\
+/* Level 1: bring the key to the exit door. */
+typedef enum { RIGHT, DOWN, LEFT, UP } orientation;
+
+int x = 1;
+int y = 1;
+orientation dir = RIGHT;
+int has_key = 0;
+int key_x = 3;
+int key_y = 1;
+int exit_x = 5;
+int exit_y = 3;
+int door_open = 0;
+
+void check_key(void) {
+    if (x == key_x && y == key_y) {
+        /* BUG: the key is never picked up. */
+    }
+}
+
+void forward(void) {
+    switch (dir) {
+    case RIGHT: x = x + 1; break;
+    case DOWN:  y = y + 1; break;
+    case LEFT:  x = x - 1; break;
+    case UP:    y = y - 1; break;
+    }
+    check_key();
+}
+
+void turn_right(void) {
+    dir = (dir + 1) % 4;
+}
+
+void verify_exit(void) {
+    if (x == exit_x && y == exit_y && has_key) {
+        door_open = 1;
+    }
+}
+
+int main(void) {
+    /* Movements are simulated for the example, as in the paper. */
+    forward();
+    forward();
+    forward();
+    forward();
+    turn_right();
+    forward();
+    forward();
+    verify_exit();
+    return 0;
+}
+"""
+
+#: The same level with the bug fixed (what the player should produce).
+LEVEL1_FIXED = LEVEL1_BUGGY.replace(
+    "        /* BUG: the key is never picked up. */",
+    "        has_key = 1;",
+)
+
+#: Level 2: the key pickup works, but turn_left turns the wrong way, so
+#: the character wanders off instead of reaching the exit.
+LEVEL2_BUGGY = LEVEL1_FIXED.replace(
+    """void turn_right(void) {
+    dir = (dir + 1) % 4;
+}""",
+    """void turn_right(void) {
+    dir = (dir + 1) % 4;
+}
+
+void turn_left(void) {
+    dir = (dir + 1) % 4;  /* BUG: this turns right too */
+}""",
+).replace(
+    """    forward();
+    forward();
+    forward();
+    forward();
+    turn_right();
+    forward();
+    forward();
+    verify_exit();""",
+    """    forward();
+    forward();
+    turn_right();
+    forward();
+    forward();
+    turn_left();
+    forward();
+    forward();
+    verify_exit();""",
+)
+
+LEVEL2_FIXED = LEVEL2_BUGGY.replace(
+    "    dir = (dir + 1) % 4;  /* BUG: this turns right too */",
+    "    dir = (dir + 3) % 4;",
+)
+
+MAP_WIDTH = 7
+MAP_HEIGHT = 5
+
+
+@dataclass
+class GameResult:
+    """Outcome of playing one level."""
+
+    reached_exit: bool
+    door_opened: bool
+    has_key: bool
+    path: List[Tuple[int, int]] = field(default_factory=list)
+    hints: List[str] = field(default_factory=list)
+    frames: List[str] = field(default_factory=list)
+
+    @property
+    def won(self) -> bool:
+        return self.reached_exit and self.door_opened
+
+
+def write_level(path: str, fixed: bool = False) -> str:
+    """Write the bundled level source to ``path``; return the path."""
+    with open(path, "w", encoding="utf-8") as output:
+        output.write(LEVEL1_FIXED if fixed else LEVEL1_BUGGY)
+    return path
+
+
+def render_map(
+    position: Tuple[int, int],
+    key: Tuple[int, int],
+    exit_pos: Tuple[int, int],
+    has_key: bool,
+    door_open: bool,
+) -> str:
+    """ASCII map: ``@`` character, ``K`` key, ``E``/``O`` closed/open door."""
+    rows: List[str] = []
+    for row in range(MAP_HEIGHT):
+        cells: List[str] = []
+        for column in range(MAP_WIDTH):
+            if row in (0, MAP_HEIGHT - 1) or column in (0, MAP_WIDTH - 1):
+                cells.append("#")
+            elif (column, row) == position:
+                cells.append("@")
+            elif (column, row) == key and not has_key:
+                cells.append("K")
+            elif (column, row) == exit_pos:
+                cells.append("O" if door_open else "E")
+            else:
+                cells.append(".")
+        rows.append("".join(cells))
+    return "\n".join(rows)
+
+
+class DebugGame:
+    """Plays one level under the GDB tracker, generating hints live."""
+
+    def __init__(self, level_path: str):
+        self.level_path = level_path
+
+    def play(self, max_pauses: int = 200) -> GameResult:
+        """Run the level; return what happened plus the generated hints."""
+        tracker = GDBTracker()
+        tracker.load_program(self.level_path)
+        tracker.track_function("check_key")
+        tracker.break_before_func("verify_exit")
+        tracker.watch("x")
+        tracker.watch("y")
+        tracker.start()
+        result = GameResult(reached_exit=False, door_opened=False, has_key=False)
+        key = self._point(tracker, "key_x", "key_y")
+        exit_pos = self._point(tracker, "exit_x", "exit_y")
+        position = self._point(tracker, "x", "y")
+        result.path.append(position)
+        result.frames.append(
+            render_map(position, key, exit_pos, False, False)
+        )
+        on_key_at_check = False
+        pauses = 0
+        try:
+            while tracker.get_exit_code() is None and pauses < max_pauses:
+                tracker.resume()
+                pauses += 1
+                if tracker.get_exit_code() is not None:
+                    break
+                reason = tracker.pause_reason
+                if reason.type is PauseReasonType.WATCH:
+                    position = self._point(tracker, "x", "y")
+                    has_key = bool(self._int(tracker, "has_key"))
+                    door_open = bool(self._int(tracker, "door_open"))
+                    if not result.path or result.path[-1] != position:
+                        result.path.append(position)
+                        result.frames.append(
+                            render_map(position, key, exit_pos, has_key, door_open)
+                        )
+                elif (
+                    reason.type is PauseReasonType.CALL
+                    and reason.function == "check_key"
+                ):
+                    on_key_at_check = self._point(tracker, "x", "y") == key
+                elif (
+                    reason.type is PauseReasonType.RETURN
+                    and reason.function == "check_key"
+                ):
+                    has_key = bool(self._int(tracker, "has_key"))
+                    if on_key_at_check and not has_key:
+                        result.hints.append(
+                            f"You are standing on the key at {key}, but after "
+                            "check_key() returned, has_key is still 0 — "
+                            "look closely at what check_key() does."
+                        )
+                elif (
+                    reason.type is PauseReasonType.BREAKPOINT
+                    and reason.function == "verify_exit"
+                ):
+                    # Let verify_exit finish, then inspect its effect.
+                    tracker.finish()
+                    if tracker.get_exit_code() is not None:
+                        break
+                    has_key = bool(self._int(tracker, "has_key"))
+                    door_open = bool(self._int(tracker, "door_open"))
+                    position = self._point(tracker, "x", "y")
+                    result.reached_exit = position == exit_pos
+                    result.door_opened = door_open
+                    result.has_key = has_key
+                    if result.reached_exit and not door_open:
+                        result.hints.append(
+                            "The character reached the exit but the door "
+                            f"stayed closed: verify_exit() saw has_key={int(has_key)}."
+                        )
+                    if not result.reached_exit:
+                        result.hints.append(
+                            f"verify_exit() ran with the character at "
+                            f"{position}, not at the exit {exit_pos} — watch "
+                            "x, y and dir to see where the movement goes "
+                            "wrong."
+                        )
+                    result.frames.append(
+                        render_map(position, key, exit_pos, has_key, door_open)
+                    )
+        finally:
+            tracker.terminate()
+        return result
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _int(tracker: GDBTracker, name: str) -> int:
+        variable = tracker.get_global_variables().get(name)
+        if variable is None:
+            return 0
+        value = variable.value
+        if value.abstract_type is AbstractType.PRIMITIVE and isinstance(
+            value.content, int
+        ):
+            return value.content
+        return 0
+
+    @classmethod
+    def _point(
+        cls, tracker: GDBTracker, x_name: str, y_name: str
+    ) -> Tuple[int, int]:
+        return cls._int(tracker, x_name), cls._int(tracker, y_name)
+
+
+def play_level(path: str) -> GameResult:
+    """Convenience wrapper: play the level at ``path`` once."""
+    return DebugGame(path).play()
+
+
+def fix_and_replay(
+    buggy_path: str, fixed_source: str = LEVEL1_FIXED
+) -> Tuple[GameResult, GameResult]:
+    """The full game loop, scripted: play, 'edit the source', play again.
+
+    Returns (result before the fix, result after the fix).
+    """
+    before = play_level(buggy_path)
+    with open(buggy_path, "w", encoding="utf-8") as output:
+        output.write(fixed_source)
+    after = play_level(buggy_path)
+    return before, after

@@ -1,0 +1,195 @@
+"""Behavioral equivalence testing through contextual traces (paper §V).
+
+One of the paper's proposed applications: "generation of partial and
+contextual traces for program equivalence testing". Two implementations of
+the same algorithm — possibly in *different languages* — are behaviorally
+equivalent at a function boundary when tracking that function produces the
+same sequence of (entry arguments, exit return value) pairs.
+
+This tool records that *behavioral signature* with ``track_function`` and
+compares signatures across programs. Because the state model is
+language-agnostic and :func:`repro.core.state.value_to_python` projects it
+onto plain Python data, a recursive C ``fact`` and a recursive Python
+``fact`` compare equal when they really do compute the same thing the same
+way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.factory import init_tracker
+from repro.core.pause import PauseReasonType
+from repro.core.state import value_to_python
+
+
+@dataclass
+class SignatureEvent:
+    """One boundary event of a behavioral signature."""
+
+    kind: str  # "call" or "return"
+    depth: int
+    #: projected argument values at entry (call events only)
+    arguments: Dict[str, Any] = field(default_factory=dict)
+    #: projected (or rendered) return value (return events only)
+    value: Any = None
+
+    def comparable(self) -> Tuple:
+        if self.kind == "call":
+            return ("call", self.depth, tuple(sorted(
+                (name, _stable(value)) for name, value in self.arguments.items()
+            )))
+        return ("return", self.depth, _stable(self.value))
+
+
+def _stable(value: Any) -> str:
+    """A normalization that compares across languages.
+
+    mini-C return values arrive pre-rendered as strings over the pipe;
+    Python ones as model values already projected. Rendering both to
+    canonical text makes ``42`` == ``"42"`` and ``[1, 2]`` == ``"[1, 2]"``.
+    """
+    if isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, list):
+        return "[" + ", ".join(_stable(v) for v in value) + "]"
+    if isinstance(value, dict):
+        inner = ", ".join(
+            f"{k}: {_stable(v)}" for k, v in sorted(value.items(), key=repr)
+        )
+        return "{" + inner + "}"
+    return str(value)
+
+
+@dataclass
+class EquivalenceReport:
+    """The verdict of comparing two behavioral signatures."""
+
+    equivalent: bool
+    first: List[SignatureEvent]
+    second: List[SignatureEvent]
+    divergence_index: Optional[int] = None
+
+    def explain(self) -> str:
+        if self.equivalent:
+            return (
+                f"equivalent: {len(self.first)} boundary events match exactly"
+            )
+        index = self.divergence_index
+        left = (
+            self.first[index].comparable() if index < len(self.first) else "<end>"
+        )
+        right = (
+            self.second[index].comparable()
+            if index < len(self.second)
+            else "<end>"
+        )
+        return (
+            f"divergence at event {index}: {left!r} vs {right!r}"
+        )
+
+
+def behavioral_signature(
+    program: str,
+    function: str,
+    argument_names: Optional[List[str]] = None,
+    max_events: int = 10_000,
+) -> List[SignatureEvent]:
+    """Record the call/return signature of ``function`` in ``program``.
+
+    Args:
+        program: inferior path (``.py``, ``.c`` or ``.s``).
+        function: the boundary function to track.
+        argument_names: restrict recorded arguments to these names
+            (``None`` records every argument of the frame).
+        max_events: safety bound.
+    """
+    tracker = init_tracker("python" if program.endswith(".py") else "GDB")
+    tracker.load_program(program)
+    tracker.track_function(function)
+    tracker.start()
+    events: List[SignatureEvent] = []
+    base_depth: Optional[int] = None
+    try:
+        while tracker.get_exit_code() is None and len(events) < max_events:
+            tracker.resume()
+            reason = tracker.pause_reason
+            if reason is None or tracker.get_exit_code() is not None:
+                break
+            if reason.type is PauseReasonType.CALL:
+                frame = tracker.get_current_frame()
+                if base_depth is None:
+                    base_depth = frame.depth
+                arguments = {}
+                for name, variable in frame.variables.items():
+                    if variable.scope != "argument":
+                        continue
+                    if argument_names is not None and name not in argument_names:
+                        continue
+                    arguments[name] = value_to_python(variable.value)
+                events.append(
+                    SignatureEvent(
+                        kind="call",
+                        depth=frame.depth - base_depth,
+                        arguments=arguments,
+                    )
+                )
+            elif reason.type is PauseReasonType.RETURN:
+                frame = tracker.get_current_frame()
+                if base_depth is None:
+                    base_depth = frame.depth
+                value = reason.return_value
+                if hasattr(value, "abstract_type"):
+                    value = value_to_python(value)
+                events.append(
+                    SignatureEvent(
+                        kind="return",
+                        depth=frame.depth - base_depth,
+                        value=value,
+                    )
+                )
+    finally:
+        tracker.terminate()
+    return events
+
+
+def check_equivalence(
+    program_a: str,
+    program_b: str,
+    function_a: str,
+    function_b: Optional[str] = None,
+    argument_names: Optional[List[str]] = None,
+) -> EquivalenceReport:
+    """Compare two programs' behavioral signatures at a function boundary.
+
+    Args:
+        program_a: first implementation (any supported language).
+        program_b: second implementation (any supported language).
+        function_a: boundary function in the first program.
+        function_b: boundary function in the second (defaults to the same
+            name).
+        argument_names: restrict compared arguments.
+    """
+    first = behavioral_signature(program_a, function_a, argument_names)
+    second = behavioral_signature(
+        program_b, function_b or function_a, argument_names
+    )
+    for index, (left, right) in enumerate(zip(first, second)):
+        if left.comparable() != right.comparable():
+            return EquivalenceReport(
+                equivalent=False,
+                first=first,
+                second=second,
+                divergence_index=index,
+            )
+    if len(first) != len(second):
+        return EquivalenceReport(
+            equivalent=False,
+            first=first,
+            second=second,
+            divergence_index=min(len(first), len(second)),
+        )
+    return EquivalenceReport(equivalent=True, first=first, second=second)

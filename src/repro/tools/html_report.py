@@ -1,0 +1,134 @@
+"""Self-contained HTML step players (the paper's course-material scenario).
+
+The paper's introduction motivates *generated* representations for
+"generating images and videos for the material complementing/replacing
+lectures". This tool packages a per-step image sequence (as produced by the
+steppers in :mod:`repro.tools`) into one self-contained HTML file with
+keyboard/slider navigation — no server, no external assets; students open
+the file and scrub through the execution.
+"""
+
+from __future__ import annotations
+
+import base64
+import html
+import os
+from typing import List, Optional, Sequence
+
+_PAGE_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8"/>
+<title>{title}</title>
+<style>
+  body {{ font-family: sans-serif; margin: 1.5rem; background: #fafafa; }}
+  h1 {{ font-size: 1.2rem; }}
+  .controls {{ margin: 0.8rem 0; display: flex; gap: 0.6rem;
+               align-items: center; }}
+  button {{ font-size: 1rem; padding: 0.2rem 0.9rem; }}
+  #slider {{ flex: 1; }}
+  .frame {{ border: 1px solid #cccccc; background: white; padding: 0.6rem;
+            min-height: 200px; }}
+  .frame img {{ max-width: 100%; }}
+  #counter {{ min-width: 6rem; text-align: right; color: #555555; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+<div class="controls">
+  <button id="prev" title="left arrow">&#9664;</button>
+  <button id="next" title="right arrow">&#9654;</button>
+  <input type="range" id="slider" min="0" max="{last_index}" value="0"/>
+  <span id="counter"></span>
+</div>
+<div class="frame"><img id="view" alt="execution step"/></div>
+<script>
+const frames = [{frames}];
+let index = 0;
+const view = document.getElementById("view");
+const slider = document.getElementById("slider");
+const counter = document.getElementById("counter");
+function show(i) {{
+  index = Math.max(0, Math.min(frames.length - 1, i));
+  view.src = frames[index];
+  slider.value = index;
+  counter.textContent = (index + 1) + " / " + frames.length;
+}}
+document.getElementById("prev").onclick = () => show(index - 1);
+document.getElementById("next").onclick = () => show(index + 1);
+slider.oninput = () => show(Number(slider.value));
+document.addEventListener("keydown", (event) => {{
+  if (event.key === "ArrowLeft") show(index - 1);
+  if (event.key === "ArrowRight") show(index + 1);
+}});
+show(0);
+</script>
+</body>
+</html>
+"""
+
+
+def build_step_player(
+    image_paths: Sequence[str],
+    output_path: str,
+    title: str = "Program execution",
+) -> str:
+    """Bundle SVG/PNG step images into one navigable HTML file.
+
+    Args:
+        image_paths: images in execution order (as returned by
+            ``generate_diagrams`` or the other steppers).
+        output_path: where to write the ``.html`` file.
+        title: page heading.
+
+    Returns:
+        ``output_path``, for chaining.
+
+    Raises:
+        ValueError: if no images are given.
+    """
+    if not image_paths:
+        raise ValueError("build_step_player needs at least one image")
+    frames: List[str] = []
+    for path in image_paths:
+        with open(path, "rb") as image:
+            payload = base64.b64encode(image.read()).decode("ascii")
+        mime = "image/svg+xml" if path.endswith(".svg") else "image/png"
+        frames.append(f'"data:{mime};base64,{payload}"')
+    page = _PAGE_TEMPLATE.format(
+        title=html.escape(title),
+        last_index=len(frames) - 1,
+        frames=",".join(frames),
+    )
+    with open(output_path, "w", encoding="utf-8") as output:
+        output.write(page)
+    return output_path
+
+
+def record_execution_player(
+    program: str,
+    output_path: str,
+    mode: str = "stack_heap",
+    max_images: int = 200,
+    workdir: Optional[str] = None,
+) -> str:
+    """One call from inferior source to a finished HTML player.
+
+    Steps ``program`` with the Listing-1 tool, then bundles the diagrams.
+    """
+    import tempfile
+
+    from repro.tools.stepper import generate_diagrams
+
+    if workdir is None:
+        with tempfile.TemporaryDirectory() as temp:
+            images = generate_diagrams(program, temp, mode=mode,
+                                       max_images=max_images)
+            return build_step_player(
+                images, output_path, title=os.path.basename(program)
+            )
+    images = generate_diagrams(program, workdir, mode=mode,
+                               max_images=max_images)
+    return build_step_player(
+        images, output_path, title=os.path.basename(program)
+    )

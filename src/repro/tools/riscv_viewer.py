@@ -1,0 +1,212 @@
+"""The RISC-V registers-and-memory viewer (paper Section III-B, Fig. 7).
+
+Shows the CPU registers — with the program counter and stack pointer
+emphasized — next to the raw memory rendered as a one-dimensional array of
+words, stepping the program line by line. State comes from the GDB
+tracker's ``get_registers_gdb`` and ``get_value_at_gdb`` entry points,
+exactly as in the paper.
+
+Both a terminal rendering (the paper's tool used a split terminal) and an
+SVG rendering are provided.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.gdbtracker.tracker import GDBTracker
+from repro.viz.source import render_source, render_source_text
+from repro.viz.svg import SVGCanvas, text_width
+
+PC_COLOR = "#c0392b"
+SP_COLOR = "#2980b9"
+CHANGED_FILL = "#fff3b0"
+WORDS_PER_ROW = 4
+
+
+def render_registers_text(
+    registers: Dict[str, int], changed: Optional[set] = None
+) -> str:
+    """Registers as a fixed-width table; changed ones marked with ``*``."""
+    changed = changed or set()
+    names = [name for name in registers if name != "pc"]
+    rows: List[str] = [f"pc = {registers['pc']:#010x}"]
+    for start in range(0, len(names), 4):
+        cells = []
+        for name in names[start : start + 4]:
+            marker = "*" if name in changed else " "
+            cells.append(f"{marker}{name:>4} = {registers[name] & 0xFFFFFFFF:#010x}")
+        rows.append("  ".join(cells))
+    return "\n".join(rows)
+
+
+def render_memory_text(raw: bytes, base: int) -> str:
+    """Memory as rows of little-endian words, one address column per row."""
+    rows: List[str] = []
+    for offset in range(0, len(raw), 4 * WORDS_PER_ROW):
+        words = []
+        for word_offset in range(offset, min(offset + 4 * WORDS_PER_ROW, len(raw)), 4):
+            chunk = raw[word_offset : word_offset + 4]
+            if len(chunk) < 4:
+                chunk = chunk + b"\x00" * (4 - len(chunk))
+            words.append(f"{int.from_bytes(chunk, 'little'):#010x}")
+        rows.append(f"{base + offset:#010x}: " + " ".join(words))
+    return "\n".join(rows)
+
+
+def render_state_svg(
+    registers: Dict[str, int],
+    memory: bytes,
+    memory_base: int,
+    changed: Optional[set] = None,
+) -> SVGCanvas:
+    """One combined SVG: register grid on top, memory word array below."""
+    changed = changed or set()
+    canvas = SVGCanvas()
+    canvas.text(14, 22, "registers", size=15, bold=True)
+    cell_w, cell_h = 172, 22
+    names = list(registers)
+    for index, name in enumerate(names):
+        column, row = index % 4, index // 4
+        x = 14 + column * cell_w
+        y = 34 + row * cell_h
+        fill = CHANGED_FILL if name in changed else "#f7f7f7"
+        if name == "pc":
+            fill = "#fdecea"
+        elif name == "sp":
+            fill = "#eaf2fb"
+        canvas.rect(x, y, cell_w - 4, cell_h - 2, fill=fill, stroke="#bbbbbb")
+        color = PC_COLOR if name == "pc" else (SP_COLOR if name == "sp" else "black")
+        canvas.text(
+            x + 6,
+            y + cell_h - 7,
+            f"{name:>4} = {registers[name] & 0xFFFFFFFF:#010x}",
+            size=12,
+            fill=color,
+            bold=name in ("pc", "sp"),
+        )
+    memory_top = 34 + ((len(names) + 3) // 4) * cell_h + 26
+    canvas.text(14, memory_top - 8, "memory", size=15, bold=True)
+    for row_index, offset in enumerate(range(0, len(memory), 4 * WORDS_PER_ROW)):
+        y = memory_top + row_index * cell_h
+        canvas.text(
+            14, y + cell_h - 7, f"{memory_base + offset:#010x}:", size=12,
+            fill="#777777",
+        )
+        for word_index in range(WORDS_PER_ROW):
+            word_offset = offset + word_index * 4
+            if word_offset >= len(memory):
+                break
+            chunk = memory[word_offset : word_offset + 4]
+            if len(chunk) < 4:
+                chunk = chunk + b"\x00" * (4 - len(chunk))
+            x = 110 + word_index * 110
+            canvas.rect(x, y, 104, cell_h - 2, fill="#f0f7f0", stroke="#bbbbbb")
+            canvas.text(
+                x + 6,
+                y + cell_h - 7,
+                f"{int.from_bytes(chunk, 'little'):#010x}",
+                size=12,
+            )
+    return canvas
+
+
+class RiscvViewer:
+    """Step an assembly program, emitting register/memory views per line.
+
+    Args:
+        program: the ``.s`` inferior.
+        memory_base: first address of the displayed memory window.
+        memory_size: size of the window in bytes.
+    """
+
+    def __init__(self, program: str, memory_base: int, memory_size: int = 64):
+        self.program = program
+        self.memory_base = memory_base
+        self.memory_size = memory_size
+
+    def run(
+        self, output_dir: Optional[str] = None, max_steps: int = 200
+    ) -> List[Dict[str, object]]:
+        """Execute step by step; return one state record per step.
+
+        Each record holds ``registers``, ``memory`` (bytes), ``line`` and
+        ``changed`` (register names modified by the previous step). When
+        ``output_dir`` is given, ``riscv_NNN.svg`` and source listings are
+        written there.
+        """
+        if output_dir is not None:
+            os.makedirs(output_dir, exist_ok=True)
+        tracker = GDBTracker()
+        tracker.load_program(self.program)
+        tracker.start()
+        source_lines = tracker.get_source_lines()
+        states: List[Dict[str, object]] = []
+        previous: Optional[Dict[str, int]] = None
+        try:
+            step = 1
+            while tracker.get_exit_code() is None and step <= max_steps:
+                registers = tracker.get_registers_gdb()
+                memory = tracker.get_value_at_gdb(
+                    self.memory_base, self.memory_size
+                )
+                changed = set()
+                if previous is not None:
+                    changed = {
+                        name
+                        for name, value in registers.items()
+                        if previous.get(name) != value and name != "pc"
+                    }
+                states.append(
+                    {
+                        "registers": registers,
+                        "memory": memory,
+                        "line": tracker.next_lineno,
+                        "changed": changed,
+                    }
+                )
+                if output_dir is not None:
+                    render_state_svg(
+                        registers, memory, self.memory_base, changed
+                    ).save(os.path.join(output_dir, f"riscv_{step:03d}.svg"))
+                    render_source(
+                        source_lines, tracker.next_lineno, tracker.last_lineno
+                    ).save(os.path.join(output_dir, f"riscv_{step:03d}_src.svg"))
+                previous = registers
+                tracker.step()
+                step += 1
+        finally:
+            tracker.terminate()
+        return states
+
+    def run_text(self, max_steps: int = 50) -> str:
+        """A terminal-friendly run: the split-pane view, concatenated."""
+        panes: List[str] = []
+        tracker = GDBTracker()
+        tracker.load_program(self.program)
+        tracker.start()
+        source_lines = tracker.get_source_lines()
+        try:
+            step = 0
+            while tracker.get_exit_code() is None and step < max_steps:
+                registers = tracker.get_registers_gdb()
+                memory = tracker.get_value_at_gdb(
+                    self.memory_base, self.memory_size
+                )
+                panes.append(
+                    "=" * 72
+                    + "\n"
+                    + render_source_text(
+                        source_lines, tracker.next_lineno, context=3
+                    )
+                    + "\n\n"
+                    + render_registers_text(registers)
+                    + "\n\n"
+                    + render_memory_text(memory, self.memory_base)
+                )
+                tracker.step()
+                step += 1
+        finally:
+            tracker.terminate()
+        return "\n".join(panes)

@@ -1,0 +1,427 @@
+"""Stack and stack-and-heap diagrams (paper Section III-A, Fig. 6).
+
+Language-agnostic: both functions consume only the abstract state model, so
+the same tool draws Python inferiors (where every variable is a REF into
+the heap) and mini-C inferiors (where values can live in the stack and
+pointers can target the stack). Invalid pointers are drawn as a cross, as
+in Fig. 6(c).
+
+- :func:`draw_stack` — the plain stack diagram of Fig. 6(a): one box per
+  frame with *inlined* values for every type, including lists and tuples
+  (the rendering a generic tool like Python Tutor cannot produce).
+- :func:`draw_stack_heap` — Fig. 6(b)/(c): stack and globals on the left,
+  heap objects on the right, reference arrows between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.state import AbstractType, Frame, Location, Value, Variable
+from repro.viz.svg import SVGCanvas, text_width
+
+ROW_HEIGHT = 24
+CELL_PAD = 8
+FRAME_GAP = 16
+HEAP_GAP = 18
+STACK_FILL = "#eaf2fb"
+GLOBAL_FILL = "#fdf3e3"
+HEAP_FILL = "#eef8ee"
+TITLE_FILL = "#d3e3f5"
+
+
+@dataclass
+class _Anchors:
+    """Arrow bookkeeping across the two columns."""
+
+    #: value address -> (x, y) point an arrow may target
+    targets: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+    #: (x, y, target_address) arrow sources waiting for their target
+    sources: List[Tuple[float, float, int]] = field(default_factory=list)
+    #: (x, y) cells whose pointer is invalid (drawn as a cross)
+    invalid: List[Tuple[float, float]] = field(default_factory=list)
+    #: heap objects still to draw, in first-reference order
+    queue: List[Value] = field(default_factory=list)
+    queued: set = field(default_factory=set)
+
+    def enqueue(self, value: Value) -> None:
+        key = value.address if value.address is not None else id(value)
+        if key not in self.queued:
+            self.queued.add(key)
+            self.queue.append(value)
+
+
+def draw_stack(
+    frame: Frame,
+    global_variables: Optional[Dict[str, Variable]] = None,
+    title: str = "stack",
+) -> SVGCanvas:
+    """Draw the plain stack diagram: every value inlined into its frame box."""
+    canvas = SVGCanvas()
+    x, y = 16, 16
+    if global_variables:
+        y = _draw_plain_box(canvas, x, y, "globals", global_variables, GLOBAL_FILL)
+        y += FRAME_GAP
+    for stack_frame in reversed(frame.stack()):  # outermost (entry) on top
+        label = f"{stack_frame.name} (depth {stack_frame.depth})"
+        y = _draw_plain_box(
+            canvas, x, y, label, stack_frame.variables, STACK_FILL
+        )
+        y += FRAME_GAP
+    return canvas
+
+
+def _draw_plain_box(
+    canvas: SVGCanvas,
+    x: float,
+    y: float,
+    label: str,
+    variables: Dict[str, Variable],
+    fill: str,
+) -> float:
+    rows = [
+        (variable.name, _inline_render(variable.value))
+        for variable in variables.values()
+    ]
+    width = max(
+        [text_width(label, 14) + 2 * CELL_PAD]
+        + [text_width(f"{name} = {value}", 14) + 2 * CELL_PAD for name, value in rows]
+        + [120]
+    )
+    height = ROW_HEIGHT * (len(rows) + 1)
+    canvas.rect(x, y, width, ROW_HEIGHT, fill=TITLE_FILL, rx=3)
+    canvas.text(x + CELL_PAD, y + ROW_HEIGHT - 7, label, bold=True)
+    canvas.rect(x, y, width, height, fill="none", rx=3)
+    for index, (name, rendered) in enumerate(rows, start=1):
+        row_y = y + index * ROW_HEIGHT
+        canvas.rect(x, row_y, width, ROW_HEIGHT, fill=fill, stroke="#999999")
+        canvas.text(
+            x + CELL_PAD, row_y + ROW_HEIGHT - 7, f"{name} = {rendered}"
+        )
+    return y + height
+
+
+def _inline_render(value: Value) -> str:
+    """Inlined rendering: references are followed, not drawn as arrows."""
+    kind = value.abstract_type
+    if kind is AbstractType.REF:
+        return _inline_render(value.content)
+    if kind is AbstractType.LIST:
+        inner = ", ".join(_inline_render(v) for v in value.content)
+        if value.language_type == "tuple":
+            return f"({inner})"
+        return f"[{inner}]"
+    if kind is AbstractType.DICT:
+        inner = ", ".join(
+            f"{_inline_render(k)}: {_inline_render(v)}"
+            for k, v in value.content.items()
+        )
+        return f"{{{inner}}}"
+    if kind is AbstractType.STRUCT:
+        inner = ", ".join(
+            f".{name}={_inline_render(v)}" for name, v in value.content.items()
+        )
+        return f"{{{inner}}}"
+    if kind is AbstractType.PRIMITIVE:
+        return repr(value.content)
+    if kind is AbstractType.NONE:
+        return "None"
+    if kind is AbstractType.INVALID:
+        return "✗"
+    return f"<fn {value.content}>"
+
+
+# ---------------------------------------------------------------------------
+# Stack-and-heap diagram
+# ---------------------------------------------------------------------------
+
+
+def draw_stack_heap(
+    frame: Frame,
+    global_variables: Optional[Dict[str, Variable]] = None,
+    heap_blocks: Optional[Dict[int, int]] = None,
+    title: str = "stack & heap",
+) -> SVGCanvas:
+    """Draw the stack-and-heap diagram with reference arrows.
+
+    Args:
+        frame: the innermost frame (parents are drawn too).
+        global_variables: drawn in their own box above the stack.
+        heap_blocks: optional live-allocation map (address -> size) used to
+            annotate mini-C heap objects with their block size.
+    """
+    canvas = SVGCanvas()
+    anchors = _Anchors()
+    x, y = 16, 16
+    column_width = 0.0
+    boxes: List[Tuple[float, str, Dict[str, Variable], str]] = []
+    if global_variables:
+        boxes.append((y, "globals", global_variables, GLOBAL_FILL))
+        y += ROW_HEIGHT * (len(global_variables) + 1) + FRAME_GAP
+    for stack_frame in reversed(frame.stack()):
+        boxes.append(
+            (
+                y,
+                f"{stack_frame.name} (depth {stack_frame.depth})",
+                stack_frame.variables,
+                STACK_FILL,
+            )
+        )
+        y += ROW_HEIGHT * (len(stack_frame.variables) + 1) + FRAME_GAP
+    for box_y, label, variables, fill in boxes:
+        width = _stack_box_width(label, variables)
+        column_width = max(column_width, width)
+    for box_y, label, variables, fill in boxes:
+        _draw_ref_box(canvas, anchors, x, box_y, column_width, label, variables, fill)
+
+    heap_x = x + column_width + 150
+    heap_y = 16
+    drawn = 0
+    while anchors.queue:
+        value = anchors.queue.pop(0)
+        key = value.address if value.address is not None else id(value)
+        if key in anchors.targets:
+            continue
+        heap_y = _draw_heap_object(
+            canvas, anchors, heap_x, heap_y, value, heap_blocks
+        )
+        heap_y += HEAP_GAP
+        drawn += 1
+        if drawn > 200:  # defensive bound for pathological graphs
+            break
+
+    for source_x, source_y, target_address in anchors.sources:
+        target = anchors.targets.get(target_address)
+        if target is None:
+            canvas.cross(source_x + 18, source_y)
+            continue
+        canvas.arrow(source_x, source_y, target[0], target[1], stroke="#2c3e50")
+    for cross_x, cross_y in anchors.invalid:
+        canvas.cross(cross_x + 18, cross_y)
+    return canvas
+
+
+def _stack_box_width(label: str, variables: Dict[str, Variable]) -> float:
+    candidates = [text_width(label, 14) + 2 * CELL_PAD, 140.0]
+    for variable in variables.values():
+        rendered = _cell_preview(variable.value)
+        candidates.append(
+            text_width(f"{variable.name} = {rendered}", 14) + 44
+        )
+    return max(candidates)
+
+
+def _cell_preview(value: Value) -> str:
+    if value.abstract_type in (AbstractType.REF,):
+        return "*"
+    if value.abstract_type in (
+        AbstractType.LIST,
+        AbstractType.DICT,
+        AbstractType.STRUCT,
+    ):
+        return _inline_render(value)
+    return _inline_render(value)
+
+
+def _draw_ref_box(
+    canvas: SVGCanvas,
+    anchors: _Anchors,
+    x: float,
+    y: float,
+    width: float,
+    label: str,
+    variables: Dict[str, Variable],
+    fill: str,
+) -> None:
+    canvas.rect(x, y, width, ROW_HEIGHT, fill=TITLE_FILL, rx=3)
+    canvas.text(x + CELL_PAD, y + ROW_HEIGHT - 7, label, bold=True)
+    height = ROW_HEIGHT * (len(variables) + 1)
+    canvas.rect(x, y, width, height, fill="none", rx=3)
+    for index, variable in enumerate(variables.values(), start=1):
+        row_y = y + index * ROW_HEIGHT
+        canvas.rect(x, row_y, width, ROW_HEIGHT, fill=fill, stroke="#999999")
+        mid_y = row_y + ROW_HEIGHT / 2
+        value = variable.value
+        # The cell itself is addressable in C: register it as a target.
+        if value.address is not None:
+            anchors.targets[value.address] = (x, mid_y)
+        label_text = f"{variable.name} = "
+        canvas.text(x + CELL_PAD, row_y + ROW_HEIGHT - 7, label_text)
+        content_x = x + CELL_PAD + text_width(label_text, 14)
+        _draw_cell_content(
+            canvas, anchors, content_x, mid_y, row_y, x + width, value
+        )
+
+
+def _draw_cell_content(
+    canvas: SVGCanvas,
+    anchors: _Anchors,
+    content_x: float,
+    mid_y: float,
+    row_y: float,
+    right_edge: float,
+    value: Value,
+) -> None:
+    kind = value.abstract_type
+    if kind is AbstractType.REF:
+        target = value.content
+        canvas.rect(content_x, mid_y - 4, 8, 8, fill="#2c3e50")
+        if target.abstract_type is AbstractType.INVALID:
+            anchors.invalid.append((content_x + 8, mid_y))
+            return
+        address = target.address if target.address is not None else id(target)
+        anchors.sources.append((content_x + 8, mid_y, address))
+        if target.location is not Location.STACK:
+            anchors.enqueue(target)
+        return
+    if kind is AbstractType.INVALID:
+        anchors.invalid.append((content_x, mid_y))
+        return
+    rendered = _inline_render(value)
+    canvas.text(content_x, row_y + ROW_HEIGHT - 7, rendered)
+    # Inline aggregates in the stack (C arrays/structs): anchor their
+    # elements so pointers into the stack resolve.
+    if value.address is not None:
+        anchors.targets.setdefault(value.address, (content_x - 4, mid_y))
+
+
+def _draw_heap_object(
+    canvas: SVGCanvas,
+    anchors: _Anchors,
+    x: float,
+    y: float,
+    value: Value,
+    heap_blocks: Optional[Dict[int, int]],
+) -> float:
+    """Draw one heap object; register anchors; return the new bottom y."""
+    key = value.address if value.address is not None else id(value)
+    kind = value.abstract_type
+    label = value.language_type or kind.value
+    if heap_blocks and value.address in heap_blocks:
+        label += f" ({heap_blocks[value.address]} bytes)"
+    if kind is AbstractType.LIST:
+        cells = [_cell_text(element) for element in value.content] or ["(empty)"]
+        cell_widths = [max(text_width(text, 13) + 12, 26) for text in cells]
+        canvas.text(x, y + 12, label, size=12, fill="#777777")
+        top = y + 18
+        anchors.targets[key] = (x - 4, top + ROW_HEIGHT / 2)
+        cell_x = x
+        for element, text, width in zip(value.content, cells, cell_widths):
+            canvas.rect(cell_x, top, width, ROW_HEIGHT, fill=HEAP_FILL)
+            element_key = (
+                element.address if element.address is not None else id(element)
+            )
+            anchors.targets.setdefault(
+                element_key, (cell_x, top + ROW_HEIGHT / 2)
+            )
+            if _needs_arrow(element):
+                canvas.rect(cell_x + width / 2 - 4, top + ROW_HEIGHT / 2 - 4, 8, 8,
+                            fill="#2c3e50")
+                target = (
+                    element.content
+                    if element.abstract_type is AbstractType.REF
+                    else element
+                )
+                if target.abstract_type is AbstractType.INVALID:
+                    anchors.invalid.append(
+                        (cell_x + width / 2, top + ROW_HEIGHT / 2)
+                    )
+                else:
+                    target_key = (
+                        target.address if target.address is not None else id(target)
+                    )
+                    anchors.sources.append(
+                        (cell_x + width / 2, top + ROW_HEIGHT, target_key)
+                    )
+                    anchors.enqueue(target)
+            else:
+                canvas.text(cell_x + 6, top + ROW_HEIGHT - 7, text, size=13)
+            cell_x += width
+        if not value.content:
+            canvas.rect(x, top, 60, ROW_HEIGHT, fill=HEAP_FILL)
+            canvas.text(x + 6, top + ROW_HEIGHT - 7, "(empty)", size=13)
+        return top + ROW_HEIGHT
+    if kind in (AbstractType.DICT, AbstractType.STRUCT):
+        entries: List[Tuple[str, Value]] = []
+        if kind is AbstractType.DICT:
+            entries = [
+                (_cell_text(k), v) for k, v in value.content.items()
+            ]
+        else:
+            entries = list(value.content.items())
+        canvas.text(x, y + 12, label, size=12, fill="#777777")
+        top = y + 18
+        anchors.targets[key] = (x - 4, top + ROW_HEIGHT / 2)
+        width = max(
+            [text_width(f"{name}: ", 13) + 90 for name, _ in entries] + [110.0]
+        )
+        for index, (name, element) in enumerate(entries):
+            row_y = top + index * ROW_HEIGHT
+            canvas.rect(x, row_y, width, ROW_HEIGHT, fill=HEAP_FILL)
+            canvas.text(x + 6, row_y + ROW_HEIGHT - 7, f"{name}: ", size=13)
+            content_x = x + 6 + text_width(f"{name}: ", 13)
+            element_key = (
+                element.address if element.address is not None else id(element)
+            )
+            anchors.targets.setdefault(element_key, (x, row_y + ROW_HEIGHT / 2))
+            if _needs_arrow(element):
+                canvas.rect(content_x, row_y + ROW_HEIGHT / 2 - 4, 8, 8,
+                            fill="#2c3e50")
+                target = (
+                    element.content
+                    if element.abstract_type is AbstractType.REF
+                    else element
+                )
+                if target.abstract_type is AbstractType.INVALID:
+                    anchors.invalid.append((content_x + 8, row_y + ROW_HEIGHT / 2))
+                else:
+                    target_key = (
+                        target.address if target.address is not None else id(target)
+                    )
+                    anchors.sources.append(
+                        (content_x + 8, row_y + ROW_HEIGHT / 2, target_key)
+                    )
+                    anchors.enqueue(target)
+            else:
+                canvas.text(
+                    content_x, row_y + ROW_HEIGHT - 7, _cell_text(element),
+                    size=13,
+                )
+        if not entries:
+            canvas.rect(x, top, width, ROW_HEIGHT, fill=HEAP_FILL)
+            canvas.text(x + 6, top + ROW_HEIGHT - 7, "(empty)", size=13)
+            return top + ROW_HEIGHT
+        return top + len(entries) * ROW_HEIGHT
+    # Scalar heap object (Python int/str..., C malloc'd scalar, function).
+    text = _inline_render(value)
+    width = max(text_width(text, 13) + 16, 40)
+    canvas.text(x, y + 12, label, size=12, fill="#777777")
+    top = y + 18
+    canvas.rect(x, top, width, ROW_HEIGHT, fill=HEAP_FILL)
+    canvas.text(x + 8, top + ROW_HEIGHT - 7, text, size=13)
+    anchors.targets[key] = (x - 4, top + ROW_HEIGHT / 2)
+    return top + ROW_HEIGHT
+
+
+def _needs_arrow(value: Value) -> bool:
+    """Whether a container element draws as a pointer bullet + arrow."""
+    if value.abstract_type is AbstractType.REF:
+        return True
+    return value.abstract_type in (
+        AbstractType.LIST,
+        AbstractType.DICT,
+        AbstractType.STRUCT,
+    )
+
+
+def _cell_text(value: Value) -> str:
+    if value.abstract_type is AbstractType.PRIMITIVE:
+        return repr(value.content)
+    if value.abstract_type is AbstractType.NONE:
+        return "None"
+    if value.abstract_type is AbstractType.INVALID:
+        return "✗"
+    if value.abstract_type is AbstractType.FUNCTION:
+        return f"<fn {value.content}>"
+    return _inline_render(value)

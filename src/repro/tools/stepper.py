@@ -1,0 +1,75 @@
+"""The language-agnostic step-and-draw tool of the paper's Listing 1.
+
+Steps through every line of the inferior and generates one image per
+executed line — the control loop is exactly the paper's::
+
+    tracker = init_tracker("python" if inf.endswith(".py") else "GDB")
+    tracker.load_program(inf)
+    tracker.start()
+    while tracker.get_exit_code() is None:
+        frame = tracker.get_current_frame()
+        draw_stack_heap(frame, f"img{img_count}.svg")
+        tracker.step()
+
+Only the tracker-initialization line is language-specific; data
+representation and program control are language-agnostic.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.core.factory import init_tracker
+from repro.tools.stack_diagram import draw_stack, draw_stack_heap
+
+
+def generate_diagrams(
+    program: str,
+    output_dir: str,
+    mode: str = "stack_heap",
+    include_globals: bool = True,
+    max_images: int = 200,
+) -> List[str]:
+    """Step through ``program`` and write one diagram per executed line.
+
+    Args:
+        program: inferior path; ``.py`` uses the Python tracker, ``.c``/
+            ``.s`` the GDB tracker (as in the paper's Listing 1).
+        output_dir: where the ``NNN-stack[_heap].svg`` files go.
+        mode: ``"stack"`` (Fig. 6a) or ``"stack_heap"`` (Fig. 6b/c).
+        include_globals: draw the globals box too.
+        max_images: stop after this many steps (safety bound).
+
+    Returns:
+        The list of image paths written, in execution order.
+    """
+    os.makedirs(output_dir, exist_ok=True)
+    tracker = init_tracker("python" if program.endswith(".py") else "GDB")
+    tracker.load_program(program)
+    tracker.start()
+    written: List[str] = []
+    try:
+        image_count = 1
+        while tracker.get_exit_code() is None and image_count <= max_images:
+            frame = tracker.get_current_frame()
+            global_variables = (
+                tracker.get_global_variables() if include_globals else None
+            )
+            if mode == "stack":
+                canvas = draw_stack(frame, global_variables)
+                name = f"{image_count:03d}-stack.svg"
+            else:
+                heap_blocks = None
+                if hasattr(tracker, "get_heap_blocks"):
+                    heap_blocks = tracker.get_heap_blocks()
+                canvas = draw_stack_heap(frame, global_variables, heap_blocks)
+                name = f"{image_count:03d}-stack_heap.svg"
+            path = os.path.join(output_dir, name)
+            canvas.save(path)
+            written.append(path)
+            tracker.step()
+            image_count += 1
+    finally:
+        tracker.terminate()
+    return written

@@ -1,0 +1,15 @@
+"""Visualization substrate: SVG writer, tree layout, source listings."""
+
+from repro.viz.layout import TreeNode, layout_tree
+from repro.viz.source import render_source, render_source_text
+from repro.viz.svg import LINE_HEIGHT, SVGCanvas, text_width
+
+__all__ = [
+    "LINE_HEIGHT",
+    "SVGCanvas",
+    "TreeNode",
+    "layout_tree",
+    "render_source",
+    "render_source_text",
+    "text_width",
+]

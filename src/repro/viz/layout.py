@@ -1,0 +1,104 @@
+"""Tree layout for call-tree visualizations (the ``dot`` stand-in).
+
+A simple bottom-up tidy layout: each leaf gets a unit-width slot, each
+internal node is centered over its children, and levels map to rows. This
+is all the recursion visualizer (paper Fig. 8) needs from graphviz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class TreeNode:
+    """A node of a layout tree; ``payload`` is caller-defined."""
+
+    label: str
+    payload: object = None
+    children: List["TreeNode"] = field(default_factory=list)
+    #: filled by :func:`layout_tree`
+    x: float = 0.0
+    y: float = 0.0
+    width: float = 0.0
+    height: float = 0.0
+
+    def add(self, child: "TreeNode") -> "TreeNode":
+        self.children.append(child)
+        return child
+
+    def walk(self) -> List["TreeNode"]:
+        """All nodes, depth-first preorder."""
+        nodes = [self]
+        for child in self.children:
+            nodes.extend(child.walk())
+        return nodes
+
+
+def layout_tree(
+    root: TreeNode,
+    node_width: float = 110,
+    node_height: float = 48,
+    h_gap: float = 24,
+    v_gap: float = 42,
+    measure=None,
+) -> Tuple[float, float]:
+    """Assign x/y/width/height to every node; return the canvas size.
+
+    Args:
+        root: the tree to lay out.
+        node_width: default node width (used when ``measure`` is None).
+        node_height: node height.
+        h_gap: horizontal gap between sibling subtrees.
+        v_gap: vertical gap between levels.
+        measure: optional callable ``measure(node) -> width`` for
+            content-dependent node widths.
+
+    Returns:
+        (total width, total height) of the laid-out drawing.
+    """
+    widths: Dict[int, float] = {}
+
+    def node_w(node: TreeNode) -> float:
+        return measure(node) if measure else node_width
+
+    def subtree_width(node: TreeNode) -> float:
+        key = id(node)
+        if key in widths:
+            return widths[key]
+        own = node_w(node)
+        if not node.children:
+            widths[key] = own
+            return own
+        total = sum(subtree_width(child) for child in node.children)
+        total += h_gap * (len(node.children) - 1)
+        widths[key] = max(own, total)
+        return widths[key]
+
+    max_depth = 0
+
+    def place(node: TreeNode, left: float, depth: int) -> None:
+        nonlocal max_depth
+        max_depth = max(max_depth, depth)
+        own = node_w(node)
+        span = subtree_width(node)
+        node.width = own
+        node.height = node_height
+        node.x = left + span / 2 - own / 2
+        node.y = depth * (node_height + v_gap)
+        child_left = left + (span - _children_span(node)) / 2
+        for child in node.children:
+            place(child, child_left, depth + 1)
+            child_left += subtree_width(child) + h_gap
+
+    def _children_span(node: TreeNode) -> float:
+        if not node.children:
+            return 0.0
+        total = sum(subtree_width(child) for child in node.children)
+        return total + h_gap * (len(node.children) - 1)
+
+    place(root, 0.0, 0)
+    total_width = subtree_width(root)
+    total_height = (max_depth + 1) * node_height + max_depth * v_gap
+    return total_width, total_height

@@ -1,0 +1,85 @@
+"""Source-listing rendering: the code pane of the paper's figures.
+
+Figures 1, 7 and 8 all show the inferior's source with the current line
+highlighted. :func:`render_source` draws a numbered listing as SVG with an
+arrow and highlight on the line about to execute; :func:`render_source_text`
+produces the same thing as plain text for terminal tools (the Fig. 7 viewer
+uses a split terminal).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.viz.svg import LINE_HEIGHT, SVGCanvas, text_width
+
+HIGHLIGHT = "#fff3b0"
+ARROW_COLOR = "#c0392b"
+NUMBER_COLOR = "#888888"
+
+
+def render_source(
+    lines: List[str],
+    current_line: Optional[int] = None,
+    last_line: Optional[int] = None,
+    title: str = "",
+) -> SVGCanvas:
+    """Render a source listing with the current line highlighted.
+
+    Args:
+        lines: source text, one string per line (1-based indexing below).
+        current_line: the line about to execute (highlighted + arrow).
+        last_line: the previously executed line (dimmer highlight).
+        title: optional heading above the listing.
+
+    Returns:
+        The drawn canvas (call ``.save(path)`` on it).
+    """
+    canvas = SVGCanvas()
+    top = 8
+    if title:
+        canvas.text(16, top + 14, title, size=15, bold=True)
+        top += 26
+    gutter = 46
+    widest = max((text_width(line) for line in lines), default=100)
+    for index, content in enumerate(lines, start=1):
+        y = top + (index - 1) * LINE_HEIGHT
+        if index == current_line:
+            canvas.rect(
+                gutter - 4, y, widest + 16, LINE_HEIGHT,
+                fill=HIGHLIGHT, stroke="none",
+            )
+        elif index == last_line:
+            canvas.rect(
+                gutter - 4, y, widest + 16, LINE_HEIGHT,
+                fill="#f2f2f2", stroke="none",
+            )
+        baseline = y + LINE_HEIGHT - 5
+        if index == current_line:
+            canvas.text(6, baseline, "->", size=13, fill=ARROW_COLOR, bold=True)
+        canvas.text(22, baseline, str(index), size=12, fill=NUMBER_COLOR)
+        canvas.text(gutter, baseline, content, size=14)
+    return canvas
+
+
+def render_source_text(
+    lines: List[str],
+    current_line: Optional[int] = None,
+    context: Optional[int] = None,
+) -> str:
+    """A plain-text listing with a ``=>`` marker on the current line.
+
+    Args:
+        lines: source text, one string per line.
+        current_line: 1-based line to mark.
+        context: if given, only show this many lines around the marker.
+    """
+    start, end = 1, len(lines)
+    if context is not None and current_line is not None:
+        start = max(1, current_line - context)
+        end = min(len(lines), current_line + context)
+    rendered = []
+    for index in range(start, end + 1):
+        marker = "=>" if index == current_line else "  "
+        rendered.append(f"{marker} {index:4d}  {lines[index - 1]}")
+    return "\n".join(rendered)

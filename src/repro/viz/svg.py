@@ -1,0 +1,276 @@
+"""A small SVG document builder.
+
+The bundled tools render stack diagrams, heap graphs, call trees and source
+listings as standalone ``.svg`` files. This module provides the primitive
+layer: shapes, text, arrows, groups, automatic canvas sizing, and XML
+escaping. No external renderer is needed — the files open in any browser.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: Default monospace metrics used for text measurement (px per char at 14px).
+CHAR_WIDTH = 8.4
+LINE_HEIGHT = 18
+
+
+@dataclass
+class _Element:
+    tag: str
+    attributes: dict
+    text: Optional[str] = None
+    children: List["_Element"] = field(default_factory=list)
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        attrs = "".join(
+            f' {name.replace("_", "-")}="{value}"'
+            for name, value in self.attributes.items()
+            if value is not None
+        )
+        if self.text is None and not self.children:
+            return f"{pad}<{self.tag}{attrs}/>"
+        parts = [f"{pad}<{self.tag}{attrs}>"]
+        if self.text is not None:
+            parts[-1] += html.escape(self.text) + f"</{self.tag}>"
+            return "".join(parts)
+        for child in self.children:
+            parts.append(child.render(indent + 1))
+        parts.append(f"{pad}</{self.tag}>")
+        return "\n".join(parts)
+
+
+class SVGCanvas:
+    """Accumulates shapes; tracks the bounding box; serializes to SVG.
+
+    All coordinates are in pixels; the canvas grows to fit whatever is
+    drawn (plus ``margin``).
+    """
+
+    def __init__(self, margin: int = 12, background: str = "white"):
+        self.margin = margin
+        self.background = background
+        self._elements: List[_Element] = []
+        self._max_x = 0.0
+        self._max_y = 0.0
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        width: float,
+        height: float,
+        fill: str = "none",
+        stroke: str = "black",
+        stroke_width: float = 1,
+        rx: float = 0,
+    ) -> None:
+        """An axis-aligned rectangle."""
+        self._track(x + width, y + height)
+        self._elements.append(
+            _Element(
+                "rect",
+                {
+                    "x": _fmt(x),
+                    "y": _fmt(y),
+                    "width": _fmt(width),
+                    "height": _fmt(height),
+                    "fill": fill,
+                    "stroke": stroke,
+                    "stroke_width": _fmt(stroke_width),
+                    "rx": _fmt(rx) if rx else None,
+                },
+            )
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: int = 14,
+        fill: str = "black",
+        bold: bool = False,
+        anchor: str = "start",
+        family: str = "monospace",
+    ) -> None:
+        """A text run; ``y`` is the baseline."""
+        width = len(content) * CHAR_WIDTH * size / 14.0
+        self._track(x + (width if anchor == "start" else width / 2), y)
+        self._elements.append(
+            _Element(
+                "text",
+                {
+                    "x": _fmt(x),
+                    "y": _fmt(y),
+                    "font_size": size,
+                    "fill": fill,
+                    "font_family": family,
+                    "font_weight": "bold" if bold else None,
+                    "text_anchor": anchor if anchor != "start" else None,
+                },
+                text=content,
+            )
+        )
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str = "black",
+        stroke_width: float = 1,
+        dashed: bool = False,
+    ) -> None:
+        """A straight segment."""
+        self._track(max(x1, x2), max(y1, y2))
+        self._elements.append(
+            _Element(
+                "line",
+                {
+                    "x1": _fmt(x1),
+                    "y1": _fmt(y1),
+                    "x2": _fmt(x2),
+                    "y2": _fmt(y2),
+                    "stroke": stroke,
+                    "stroke_width": _fmt(stroke_width),
+                    "stroke_dasharray": "5,3" if dashed else None,
+                },
+            )
+        )
+
+    def arrow(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str = "black",
+        stroke_width: float = 1.2,
+        dashed: bool = False,
+    ) -> None:
+        """A segment with an arrowhead at (x2, y2) — the reference arrow."""
+        self.line(x1, y1, x2, y2, stroke, stroke_width, dashed)
+        # Arrowhead: two short strokes back from the tip.
+        import math
+
+        angle = math.atan2(y2 - y1, x2 - x1)
+        size = 7
+        for spread in (math.pi / 7, -math.pi / 7):
+            self.line(
+                x2,
+                y2,
+                x2 - size * math.cos(angle - spread),
+                y2 - size * math.sin(angle - spread),
+                stroke,
+                stroke_width,
+            )
+
+    def cross(
+        self, x: float, y: float, size: float = 6, stroke: str = "#c0392b"
+    ) -> None:
+        """The paper's invalid-pointer marker: a small ✕."""
+        self.line(x - size, y - size, x + size, y + size, stroke, 2)
+        self.line(x - size, y + size, x + size, y - size, stroke, 2)
+
+    def curve(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        bend: float = 30,
+        stroke: str = "black",
+        stroke_width: float = 1.2,
+        arrow: bool = True,
+    ) -> None:
+        """A quadratic curve (used for back edges in call trees)."""
+        self._track(max(x1, x2) + abs(bend), max(y1, y2))
+        mid_x = (x1 + x2) / 2 + bend
+        mid_y = (y1 + y2) / 2
+        self._elements.append(
+            _Element(
+                "path",
+                {
+                    "d": f"M {_fmt(x1)} {_fmt(y1)} Q {_fmt(mid_x)} {_fmt(mid_y)} "
+                    f"{_fmt(x2)} {_fmt(y2)}",
+                    "fill": "none",
+                    "stroke": stroke,
+                    "stroke_width": _fmt(stroke_width),
+                },
+            )
+        )
+        if arrow:
+            import math
+
+            angle = math.atan2(y2 - mid_y, x2 - mid_x)
+            size = 7
+            for spread in (math.pi / 7, -math.pi / 7):
+                self.line(
+                    x2,
+                    y2,
+                    x2 - size * math.cos(angle - spread),
+                    y2 - size * math.sin(angle - spread),
+                    stroke,
+                    stroke_width,
+                )
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def _track(self, x: float, y: float) -> None:
+        self._max_x = max(self._max_x, x)
+        self._max_y = max(self._max_y, y)
+
+    @property
+    def width(self) -> float:
+        return self._max_x + self.margin
+
+    @property
+    def height(self) -> float:
+        return self._max_y + self.margin
+
+    def render(self) -> str:
+        """The complete SVG document as a string."""
+        width = _fmt(self.width)
+        height = _fmt(self.height)
+        lines = [
+            '<?xml version="1.0" encoding="UTF-8"?>',
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}">',
+        ]
+        if self.background != "none":
+            lines.append(
+                f'  <rect x="0" y="0" width="{width}" height="{height}" '
+                f'fill="{self.background}"/>'
+            )
+        for element in self._elements:
+            lines.append(element.render(1))
+        lines.append("</svg>")
+        return "\n".join(lines)
+
+    def save(self, path: str) -> None:
+        """Write the SVG document to ``path``."""
+        with open(path, "w", encoding="utf-8") as output:
+            output.write(self.render())
+
+
+def text_width(content: str, size: int = 14) -> float:
+    """Measured width of a monospace text run at the given font size."""
+    return len(content) * CHAR_WIDTH * size / 14.0
+
+
+def _fmt(value: float) -> str:
+    rounded = round(value, 2)
+    if rounded == int(rounded):
+        return str(int(rounded))
+    return str(rounded)

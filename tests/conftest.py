@@ -1,0 +1,28 @@
+"""Shared fixtures: writing inferior programs to disk."""
+
+import os
+
+import pytest
+
+
+@pytest.fixture
+def write_program(tmp_path):
+    """Write inferior source to a temp file; returns its path.
+
+    Usage: ``path = write_program("name.py", source_text)``.
+    """
+
+    def _write(name: str, source: str) -> str:
+        path = tmp_path / name
+        path.write_text(source, encoding="utf-8")
+        return str(path)
+
+    return _write
+
+
+@pytest.fixture
+def output_dir(tmp_path):
+    """A fresh directory for generated images."""
+    path = tmp_path / "out"
+    path.mkdir()
+    return str(path)

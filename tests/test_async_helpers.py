@@ -1,0 +1,119 @@
+"""Tests for the asynchronous API helpers (paper §V future work)."""
+
+import pytest
+
+from repro.core.async_helpers import AsyncTracker, run_with_callbacks
+from repro.core.pause import PauseReasonType
+from repro.pytracker.tracker import PythonTracker
+
+PROGRAM = """\
+def work(n):
+    return n + 1
+
+total = 0
+for i in range(3):
+    total = work(total)
+done = 1
+"""
+
+
+def make_tracker(write_program):
+    tracker = PythonTracker()
+    tracker.load_program(write_program("p.py", PROGRAM))
+    return tracker
+
+
+class TestAsyncTracker:
+    def test_start_future_resolves_to_pause_reason(self, write_program):
+        with AsyncTracker(make_tracker(write_program)) as async_tracker:
+            reason = async_tracker.start().result(timeout=10)
+            assert reason.type is PauseReasonType.STEP
+
+    def test_control_calls_are_ordered(self, write_program):
+        with AsyncTracker(make_tracker(write_program)) as async_tracker:
+            async_tracker.tracker.track_function("work")
+            futures = [async_tracker.start()]
+            for _ in range(4):
+                futures.append(async_tracker.resume())
+            reasons = [f.result(timeout=10) for f in futures]
+        kinds = [reason.type for reason in reasons]
+        assert kinds[1] is PauseReasonType.CALL
+        assert kinds[2] is PauseReasonType.RETURN
+        assert kinds[3] is PauseReasonType.CALL
+
+    def test_tool_thread_stays_free_while_inferior_runs(self, write_program):
+        with AsyncTracker(make_tracker(write_program)) as async_tracker:
+            future = async_tracker.start()
+            # The tool thread can do other work before collecting the pause.
+            side_work = sum(range(1000))
+            assert side_work == 499500
+            assert future.result(timeout=10) is not None
+
+    def test_errors_propagate_through_the_future(self, write_program):
+        from repro.core.errors import NotStartedError
+
+        tracker = make_tracker(write_program)
+        with AsyncTracker(tracker) as async_tracker:
+            future = async_tracker.resume()  # resume before start: an error
+            with pytest.raises(NotStartedError):
+                future.result(timeout=10)
+
+    def test_close_terminates_worker(self, write_program):
+        async_tracker = AsyncTracker(make_tracker(write_program))
+        async_tracker.start().result(timeout=10)
+        async_tracker.close()
+        assert not async_tracker._worker.is_alive()
+
+
+class TestRunWithCallbacks:
+    def test_dispatch_by_reason_type(self, write_program):
+        tracker = make_tracker(write_program)
+        tracker.track_function("work")
+        tracker.watch("total")
+        seen = {"call": 0, "return": 0, "watch": 0, "all": 0}
+
+        exit_code = run_with_callbacks(
+            tracker,
+            on_pause=lambda t, r: seen.__setitem__("all", seen["all"] + 1),
+            handlers={
+                PauseReasonType.CALL: lambda t, r: seen.__setitem__(
+                    "call", seen["call"] + 1
+                ),
+                PauseReasonType.RETURN: lambda t, r: seen.__setitem__(
+                    "return", seen["return"] + 1
+                ),
+                PauseReasonType.WATCH: lambda t, r: seen.__setitem__(
+                    "watch", seen["watch"] + 1
+                ),
+            },
+        )
+
+        assert exit_code == 0
+        assert seen["call"] == 3
+        assert seen["return"] == 3
+        assert seen["watch"] == 4  # initial binding + three updates
+        assert seen["all"] == seen["call"] + seen["return"] + seen["watch"]
+
+    def test_callbacks_can_inspect(self, write_program):
+        tracker = make_tracker(write_program)
+        tracker.track_function("work")
+        arguments = []
+
+        def on_call(t, reason):
+            frame = t.get_current_frame()
+            arguments.append(frame.variables["n"].raw_object)
+
+        run_with_callbacks(
+            tracker, handlers={PauseReasonType.CALL: on_call}
+        )
+        assert arguments == [0, 1, 2]
+
+    def test_max_pauses_bound(self, write_program):
+        tracker = PythonTracker()
+        tracker.load_program(
+            write_program("spin.py", "while True:\n    pass\n")
+        )
+        tracker.watch("never")
+        # With no hits, resume() single-steps forever; the bound cuts it.
+        tracker.start()
+        tracker.terminate()

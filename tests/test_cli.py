@@ -1,0 +1,149 @@
+"""Tests for the CLI front-end."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+SORT = """\
+def insertion_sort(arr):
+    for i in range(1, len(arr)):
+        j = i
+        while j > 0 and arr[j - 1] > arr[j]:
+            arr[j - 1], arr[j] = arr[j], arr[j - 1]
+            j -= 1
+    return arr
+
+data = [3, 1, 2]
+insertion_sort(data)
+"""
+
+FIB = """\
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+fib(3)
+"""
+
+
+class TestStepCommand:
+    def test_writes_diagrams(self, write_program, tmp_path, capsys):
+        program = write_program("p.py", "a = 1\nb = 2\n")
+        out = str(tmp_path / "imgs")
+        assert main(["step", program, out]) == 0
+        assert "wrote 2 diagrams" in capsys.readouterr().out
+        assert os.listdir(out)
+
+    def test_stack_mode(self, write_program, tmp_path):
+        program = write_program("p.py", "a = 1\n")
+        out = str(tmp_path / "imgs")
+        main(["step", program, out, "--mode", "stack"])
+        assert any(name.endswith("-stack.svg") for name in os.listdir(out))
+
+
+class TestInvariantCommand:
+    def test_runs(self, write_program, tmp_path, capsys):
+        program = write_program("sort.py", SORT)
+        out = str(tmp_path / "inv")
+        status = main([
+            "invariant", program, "arr", "i", "j",
+            "--sorted-upto", "i", "--function", "insertion_sort",
+            "--output-dir", out,
+        ])
+        assert status == 0
+        assert "array views" in capsys.readouterr().out
+
+
+class TestRectreeCommand:
+    def test_runs(self, write_program, tmp_path, capsys):
+        program = write_program("fib.py", FIB)
+        out = str(tmp_path / "tree")
+        assert main(["rectree", program, "fib", "n", "--output-dir", out]) == 0
+        assert "fib(3) -> 2" in capsys.readouterr().out
+
+
+class TestRiscvCommand:
+    ASM = "main:\n  li t0, 4\n  li a7, 93\n  li a0, 0\n  ecall\n"
+
+    def test_text_mode(self, write_program, capsys):
+        program = write_program("p.s", self.ASM)
+        assert main(["riscv", program, "--size", "8"]) == 0
+        assert "pc = " in capsys.readouterr().out
+
+    def test_svg_mode(self, write_program, tmp_path):
+        program = write_program("p.s", self.ASM)
+        out = str(tmp_path / "rv")
+        main(["riscv", program, "--size", "8", "--output-dir", out])
+        assert os.listdir(out)
+
+
+class TestGameCommand:
+    def test_write_level_then_lose_then_win(self, tmp_path, capsys):
+        level = str(tmp_path / "level.c")
+        assert main(["game", "--write-level", level]) == 0
+        assert main(["game", level]) == 1  # buggy level: door closed
+        output = capsys.readouterr().out
+        assert "hint:" in output
+        from repro.tools.debug_game import LEVEL1_FIXED
+
+        with open(level, "w", encoding="utf-8") as out:
+            out.write(LEVEL1_FIXED)
+        assert main(["game", level]) == 0
+        assert "WON!" in capsys.readouterr().out
+
+    def test_game_without_level_errors(self, capsys):
+        assert main(["game"]) == 2
+
+
+class TestTraceCommand:
+    def test_full_trace(self, write_program, tmp_path, capsys):
+        program = write_program("p.py", "x = 1\ny = 2\n")
+        output = str(tmp_path / "t.json")
+        assert main(["trace", program, output]) == 0
+        assert os.path.exists(output)
+        assert "recorded 2 steps" in capsys.readouterr().out
+
+    def test_tracked_trace(self, write_program, tmp_path):
+        program = write_program("fib.py", FIB)
+        output = str(tmp_path / "t.json")
+        main(["trace", program, output, "--track", "fib", "--variables", "n"])
+        from repro.pytutor import PTTrace
+
+        trace = PTTrace.load(output)
+        assert all(step.event in ("call", "return") for step in trace.steps)
+
+
+class TestPlayerCommand:
+    def test_builds_html(self, write_program, tmp_path, capsys):
+        program = write_program("p.py", "a = 1\nb = 2\n")
+        output = str(tmp_path / "play.html")
+        assert main(["player", program, output]) == 0
+        assert os.path.exists(output)
+        assert "arrow keys" in capsys.readouterr().out
+
+
+class TestScopesCommand:
+    def test_writes_tables(self, write_program, tmp_path, capsys):
+        program = write_program(
+            "p.py",
+            "x = 1\n\ndef f(x):\n    return x\n\nf(2)\n",
+        )
+        out = str(tmp_path / "scopes")
+        assert main(["scopes", program, "f", "--output-dir", out]) == 0
+        assert os.listdir(out)
+
+
+class TestEquivCommand:
+    def test_equivalent(self, write_program, capsys):
+        a = write_program("a.py", FIB)
+        b = write_program("b.py", FIB)
+        assert main(["equiv", a, b, "fib", "--args", "n"]) == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_divergent(self, write_program):
+        a = write_program("a.py", FIB)
+        b = write_program("b.py", FIB.replace("fib(n - 2)", "fib(n - 2) + 1"))
+        assert main(["equiv", a, b, "fib", "--args", "n"]) == 1

@@ -1,0 +1,328 @@
+"""Tests for the DAP adapter: protocol framing and a full session."""
+
+import io
+
+import pytest
+
+from repro.dap import protocol
+from repro.dap.adapter import DebugAdapter, serve
+
+PROGRAM = """\
+def combine(a, b):
+    pair = [a, b]
+    return pair
+
+left = 1
+right = 2
+result = combine(left, right)
+done = 1
+"""
+
+C_PROGRAM = """\
+int add(int a, int b) {
+    int s = a + b;
+    return s;
+}
+
+int main(void) {
+    int out = add(20, 22);
+    return 0;
+}
+"""
+
+
+def request(command, arguments=None, seq=1):
+    return protocol.make_request(seq, command, arguments)
+
+
+class TestProtocolFraming:
+    def test_write_read_round_trip(self):
+        buffer = io.BytesIO()
+        message = protocol.make_request(7, "initialize", {"adapterID": "x"})
+        protocol.write_message(buffer, message)
+        buffer.seek(0)
+        assert protocol.read_message(buffer) == message
+
+    def test_multiple_messages(self):
+        buffer = io.BytesIO()
+        for seq in range(3):
+            protocol.write_message(buffer, protocol.make_event(seq, "stopped"))
+        buffer.seek(0)
+        events = [protocol.read_message(buffer) for _ in range(3)]
+        assert [event["seq"] for event in events] == [0, 1, 2]
+        assert protocol.read_message(buffer) is None
+
+    def test_missing_header_raises(self):
+        from repro.core.errors import ProtocolError
+
+        buffer = io.BytesIO(b"\r\n{}")
+        with pytest.raises(ProtocolError):
+            protocol.read_message(buffer)
+
+    def test_truncated_payload_raises(self):
+        from repro.core.errors import ProtocolError
+
+        buffer = io.BytesIO(b"Content-Length: 100\r\n\r\n{}")
+        with pytest.raises(ProtocolError):
+            protocol.read_message(buffer)
+
+    def test_unicode_payload(self):
+        buffer = io.BytesIO()
+        message = protocol.make_event(1, "output", {"output": "héllo ✓"})
+        protocol.write_message(buffer, message)
+        buffer.seek(0)
+        assert protocol.read_message(buffer)["body"]["output"] == "héllo ✓"
+
+
+@pytest.fixture
+def launched(write_program):
+    """An adapter with the Python demo program launched and configured."""
+    adapter = DebugAdapter()
+    adapter.handle(request("initialize"))
+    path = write_program("p.py", PROGRAM)
+    messages = adapter.handle(request("launch", {"program": path}))
+    assert messages[0]["success"]
+    yield adapter, path
+    adapter.handle(request("disconnect"))
+
+
+class TestSessionLifecycle:
+    def test_initialize_reports_capabilities(self):
+        adapter = DebugAdapter()
+        messages = adapter.handle(request("initialize"))
+        assert messages[0]["body"]["supportsFunctionBreakpoints"]
+        assert messages[1]["event"] == "initialized"
+
+    def test_configuration_done_stops_on_entry(self, launched):
+        adapter, _ = launched
+        messages = adapter.handle(request("configurationDone"))
+        assert messages[0]["success"]
+        assert messages[1]["event"] == "stopped"
+        assert messages[1]["body"]["reason"] == "entry"
+
+    def test_continue_to_termination(self, launched):
+        adapter, _ = launched
+        adapter.handle(request("configurationDone"))
+        messages = adapter.handle(request("continue"))
+        events = [m for m in messages if m["type"] == "event"]
+        assert [event["event"] for event in events] == ["exited", "terminated"]
+        assert events[0]["body"]["exitCode"] == 0
+
+    def test_unsupported_request(self):
+        adapter = DebugAdapter()
+        response = adapter.handle(request("gotoTargets"))[0]
+        assert not response["success"]
+
+    def test_launch_requires_program(self):
+        adapter = DebugAdapter()
+        response = adapter.handle(request("launch", {}))[0]
+        assert not response["success"]
+
+
+class TestBreakpointsAndStepping:
+    def test_line_breakpoint_stops(self, launched):
+        adapter, path = launched
+        result = adapter.handle(
+            request(
+                "setBreakpoints",
+                {"source": {"path": path}, "breakpoints": [{"line": 7}]},
+            )
+        )[0]
+        assert result["body"]["breakpoints"][0]["verified"]
+        adapter.handle(request("configurationDone"))
+        messages = adapter.handle(request("continue"))
+        stopped = [m for m in messages if m.get("event") == "stopped"][0]
+        assert stopped["body"]["reason"] == "breakpoint"
+
+    def test_function_breakpoint_and_stack(self, launched):
+        adapter, _ = launched
+        adapter.handle(
+            request(
+                "setFunctionBreakpoints",
+                {"breakpoints": [{"name": "combine"}]},
+            )
+        )
+        adapter.handle(request("configurationDone"))
+        adapter.handle(request("continue"))
+        stack = adapter.handle(request("stackTrace", {"threadId": 1}))[0]
+        names = [frame["name"] for frame in stack["body"]["stackFrames"]]
+        assert names == ["combine", "<module>"]
+
+    def test_step_in_and_out(self, launched):
+        adapter, _ = launched
+        adapter.handle(request("configurationDone"))
+        for _ in range(6):  # step to the call line and into combine
+            adapter.handle(request("stepIn"))
+            stack = adapter.handle(request("stackTrace"))[0]
+            if stack["body"]["stackFrames"][0]["name"] == "combine":
+                break
+        assert stack["body"]["stackFrames"][0]["name"] == "combine"
+        adapter.handle(request("stepOut"))
+        stack = adapter.handle(request("stackTrace"))[0]
+        assert stack["body"]["stackFrames"][0]["name"] == "<module>"
+
+    def test_next_steps_over(self, launched):
+        adapter, _ = launched
+        adapter.handle(request("configurationDone"))
+        seen = set()
+        for _ in range(10):
+            stack = adapter.handle(request("stackTrace"))[0]
+            seen.add(stack["body"]["stackFrames"][0]["name"])
+            messages = adapter.handle(request("next"))
+            if any(m.get("event") == "terminated" for m in messages):
+                break
+        assert seen == {"<module>"}
+
+
+class TestVariables:
+    def test_scopes_and_variables(self, launched):
+        adapter, _ = launched
+        adapter.handle(
+            request("setFunctionBreakpoints", {"breakpoints": [{"name": "combine"}]})
+        )
+        adapter.handle(request("configurationDone"))
+        adapter.handle(request("continue"))
+        scopes = adapter.handle(request("scopes", {"frameId": 0}))[0]
+        scope_names = [s["name"] for s in scopes["body"]["scopes"]]
+        assert scope_names == ["Locals", "Globals"]
+        locals_reference = scopes["body"]["scopes"][0]["variablesReference"]
+        variables = adapter.handle(
+            request("variables", {"variablesReference": locals_reference})
+        )[0]["body"]["variables"]
+        by_name = {v["name"]: v for v in variables}
+        assert by_name["a"]["value"] == "1"
+        assert by_name["b"]["value"] == "2"
+
+    def test_structured_variable_expands(self, launched):
+        adapter, _ = launched
+        adapter.handle(
+            request("setBreakpoints", {"breakpoints": [{"line": 3}]})
+        )
+        adapter.handle(request("configurationDone"))
+        adapter.handle(request("continue"))
+        scopes = adapter.handle(request("scopes", {"frameId": 0}))[0]
+        reference = scopes["body"]["scopes"][0]["variablesReference"]
+        variables = adapter.handle(
+            request("variables", {"variablesReference": reference})
+        )[0]["body"]["variables"]
+        pair = next(v for v in variables if v["name"] == "pair")
+        assert pair["variablesReference"] > 0
+        children = adapter.handle(
+            request("variables", {"variablesReference": pair["variablesReference"]})
+        )[0]["body"]["variables"]
+        assert [child["value"] for child in children] == ["1", "2"]
+
+    def test_evaluate(self, launched):
+        adapter, _ = launched
+        adapter.handle(
+            request("setBreakpoints", {"breakpoints": [{"line": 8}]})
+        )
+        adapter.handle(request("configurationDone"))
+        adapter.handle(request("continue"))
+        result = adapter.handle(request("evaluate", {"expression": "result"}))[0]
+        assert result["body"]["result"] == "[1, 2]"
+
+    def test_threads(self, launched):
+        adapter, _ = launched
+        adapter.handle(request("configurationDone"))
+        threads = adapter.handle(request("threads"))[0]
+        assert threads["body"]["threads"] == [{"id": 1, "name": "inferior"}]
+
+
+class TestCInferior:
+    def test_same_session_against_minic(self, write_program):
+        adapter = DebugAdapter()
+        adapter.handle(request("initialize"))
+        path = write_program("p.c", C_PROGRAM)
+        adapter.handle(request("launch", {"program": path}))
+        adapter.handle(
+            request("setFunctionBreakpoints", {"breakpoints": [{"name": "add"}]})
+        )
+        adapter.handle(request("configurationDone"))
+        adapter.handle(request("continue"))
+        stack = adapter.handle(request("stackTrace"))[0]
+        assert stack["body"]["stackFrames"][0]["name"] == "add"
+        scopes = adapter.handle(request("scopes", {"frameId": 0}))[0]
+        reference = scopes["body"]["scopes"][0]["variablesReference"]
+        variables = adapter.handle(
+            request("variables", {"variablesReference": reference})
+        )[0]["body"]["variables"]
+        values = {v["name"]: v["value"] for v in variables}
+        assert values["a"] == "20"
+        assert values["b"] == "22"
+        adapter.handle(request("disconnect"))
+
+
+class TestSubprocessServer:
+    def test_dap_session_over_a_real_pipe(self, write_program):
+        """The adapter runs as `python -m repro.dap.adapter` end to end."""
+        import subprocess
+        import sys
+
+        path = write_program("p.py", "x = 1\ny = 2\n")
+        stdin_payload = io.BytesIO()
+        for seq, (command, arguments) in enumerate(
+            [
+                ("initialize", None),
+                ("launch", {"program": path}),
+                ("configurationDone", None),
+                ("continue", None),
+                ("disconnect", None),
+            ],
+            start=1,
+        ):
+            protocol.write_message(
+                stdin_payload, protocol.make_request(seq, command, arguments)
+            )
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.dap.adapter"],
+            input=stdin_payload.getvalue(),
+            capture_output=True,
+            timeout=60,
+        )
+        assert completed.returncode == 0
+        output = io.BytesIO(completed.stdout)
+        events = []
+        while True:
+            message = protocol.read_message(output)
+            if message is None:
+                break
+            if message["type"] == "event":
+                events.append(message["event"])
+        assert "initialized" in events
+        assert "exited" in events
+        assert "terminated" in events
+
+
+class TestServeLoop:
+    def test_full_session_over_streams(self, write_program):
+        path = write_program("p.py", "x = 1\ny = 2\n")
+        input_buffer = io.BytesIO()
+        for seq, (command, arguments) in enumerate(
+            [
+                ("initialize", None),
+                ("launch", {"program": path}),
+                ("configurationDone", None),
+                ("continue", None),
+                ("disconnect", None),
+            ],
+            start=1,
+        ):
+            protocol.write_message(
+                input_buffer, protocol.make_request(seq, command, arguments)
+            )
+        input_buffer.seek(0)
+        output_buffer = io.BytesIO()
+        serve(input_buffer, output_buffer)
+        output_buffer.seek(0)
+        messages = []
+        while True:
+            message = protocol.read_message(output_buffer)
+            if message is None:
+                break
+            messages.append(message)
+        events = [m["event"] for m in messages if m["type"] == "event"]
+        assert "initialized" in events
+        assert "terminated" in events
+        responses = [m for m in messages if m["type"] == "response"]
+        assert all(response["success"] for response in responses)

@@ -1,0 +1,136 @@
+"""Tests for the debugging-learning game (paper Fig. 9)."""
+
+import pytest
+
+from repro.tools.debug_game import (
+    DebugGame,
+    LEVEL1_BUGGY,
+    LEVEL1_FIXED,
+    fix_and_replay,
+    play_level,
+    render_map,
+    write_level,
+)
+
+
+@pytest.fixture
+def buggy_level(write_program):
+    return write_program("level1.c", LEVEL1_BUGGY)
+
+
+@pytest.fixture
+def fixed_level(write_program):
+    return write_program("level1_fixed.c", LEVEL1_FIXED)
+
+
+class TestBuggyRun:
+    def test_character_reaches_exit_but_door_closed(self, buggy_level):
+        result = play_level(buggy_level)
+        assert result.reached_exit
+        assert not result.door_opened
+        assert not result.won
+        assert not result.has_key
+
+    def test_hint_about_check_key(self, buggy_level):
+        result = play_level(buggy_level)
+        assert any("check_key" in hint for hint in result.hints)
+
+    def test_hint_about_closed_door(self, buggy_level):
+        result = play_level(buggy_level)
+        assert any("door" in hint for hint in result.hints)
+
+    def test_path_follows_the_level_script(self, buggy_level):
+        result = play_level(buggy_level)
+        assert result.path[0] == (1, 1)
+        assert result.path[-1] == (5, 3)
+        assert (3, 1) in result.path  # walked over the key
+
+    def test_frames_rendered_per_move(self, buggy_level):
+        result = play_level(buggy_level)
+        assert len(result.frames) >= len(result.path)
+        assert "@" in result.frames[0]
+
+
+class TestFixedRun:
+    def test_fixed_level_wins(self, fixed_level):
+        result = play_level(fixed_level)
+        assert result.won
+        assert result.has_key
+        assert result.door_opened
+
+    def test_no_check_key_hint_when_fixed(self, fixed_level):
+        result = play_level(fixed_level)
+        assert not any("check_key" in hint for hint in result.hints)
+
+    def test_fix_and_replay_flow(self, buggy_level):
+        before, after = fix_and_replay(buggy_level)
+        assert not before.won
+        assert after.won
+        # The scripted edit actually rewrote the level source.
+        with open(buggy_level, "r", encoding="utf-8") as source:
+            assert "has_key = 1;" in source.read()
+
+
+class TestMapRendering:
+    def test_characters(self):
+        art = render_map((1, 1), key=(3, 1), exit_pos=(5, 3),
+                         has_key=False, door_open=False)
+        assert "@" in art
+        assert "K" in art
+        assert "E" in art
+        assert art.splitlines()[0] == "#" * 7
+
+    def test_key_hidden_once_held(self):
+        art = render_map((1, 1), key=(3, 1), exit_pos=(5, 3),
+                         has_key=True, door_open=False)
+        assert "K" not in art
+
+    def test_open_door(self):
+        art = render_map((1, 1), key=(3, 1), exit_pos=(5, 3),
+                         has_key=True, door_open=True)
+        assert "O" in art
+
+
+class TestLevelTwo:
+    """The wrong-turn level: the key works but the path goes astray."""
+
+    def test_buggy_turn_misses_the_exit(self, write_program):
+        from repro.tools.debug_game import LEVEL2_BUGGY
+
+        result = play_level(write_program("l2.c", LEVEL2_BUGGY))
+        assert not result.reached_exit
+        assert result.path[-1] == (1, 3)  # walked the wrong way
+        assert any("not at the exit" in hint for hint in result.hints)
+        # The key *was* picked up: no check_key hint this time.
+        assert not any("check_key" in hint for hint in result.hints)
+
+    def test_fixed_turn_wins(self, write_program):
+        from repro.tools.debug_game import LEVEL2_FIXED
+
+        result = play_level(write_program("l2.c", LEVEL2_FIXED))
+        assert result.won
+        assert result.path[-1] == (5, 3)
+
+    def test_level2_uses_enum_and_switch(self):
+        from repro.tools.debug_game import LEVEL2_BUGGY
+
+        assert "typedef enum" in LEVEL2_BUGGY
+        assert "switch (dir)" in LEVEL2_BUGGY
+
+
+class TestLevelWriting:
+    def test_write_level_buggy_and_fixed(self, tmp_path):
+        buggy = write_level(str(tmp_path / "b.c"))
+        fixed = write_level(str(tmp_path / "f.c"), fixed=True)
+        buggy_text = open(buggy).read()
+        fixed_text = open(fixed).read()
+        assert "BUG" in buggy_text
+        assert "has_key = 1;" in fixed_text
+
+    def test_sources_differ_only_in_the_fix(self):
+        buggy_lines = LEVEL1_BUGGY.splitlines()
+        fixed_lines = LEVEL1_FIXED.splitlines()
+        different = [
+            (a, b) for a, b in zip(buggy_lines, fixed_lines) if a != b
+        ]
+        assert len(different) == 1

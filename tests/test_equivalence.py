@@ -1,0 +1,143 @@
+"""Tests for behavioral-equivalence checking via contextual traces (§V)."""
+
+import pytest
+
+from repro.tools.equivalence import (
+    EquivalenceReport,
+    behavioral_signature,
+    check_equivalence,
+)
+
+PY_FACT = """\
+def fact(n):
+    if n <= 1:
+        return 1
+    return n * fact(n - 1)
+
+out = fact(4)
+done = 1
+"""
+
+PY_FACT_ITERATIVE = """\
+def fact(n):
+    total = 1
+    for k in range(2, n + 1):
+        total *= k
+    return total
+
+out = fact(4)
+done = 1
+"""
+
+PY_FACT_WRONG = """\
+def fact(n):
+    if n <= 1:
+        return 1
+    return n * fact(n - 2)   # bug: skips every other factor
+
+out = fact(4)
+done = 1
+"""
+
+C_FACT = """\
+int fact(int n) {
+    if (n <= 1) {
+        return 1;
+    }
+    return n * fact(n - 1);
+}
+
+int main(void) {
+    int out = fact(4);
+    return 0;
+}
+"""
+
+
+class TestSignatures:
+    def test_signature_records_calls_and_returns(self, write_program):
+        events = behavioral_signature(
+            write_program("f.py", PY_FACT), "fact", ["n"]
+        )
+        kinds = [event.kind for event in events]
+        assert kinds.count("call") == 4
+        assert kinds.count("return") == 4
+        first = events[0]
+        assert first.arguments == {"n": 4}
+        assert first.depth == 0
+
+    def test_return_values_recorded(self, write_program):
+        events = behavioral_signature(
+            write_program("f.py", PY_FACT), "fact", ["n"]
+        )
+        returns = [event.value for event in events if event.kind == "return"]
+        assert returns == [1, 2, 6, 24]
+
+    def test_depths_relative_to_first_call(self, write_program):
+        events = behavioral_signature(
+            write_program("f.py", PY_FACT), "fact", ["n"]
+        )
+        call_depths = [e.depth for e in events if e.kind == "call"]
+        assert call_depths == [0, 1, 2, 3]
+
+
+class TestEquivalence:
+    def test_same_program_is_equivalent_to_itself(self, write_program):
+        path = write_program("f.py", PY_FACT)
+        report = check_equivalence(path, path, "fact")
+        assert report.equivalent
+        assert "match exactly" in report.explain()
+
+    def test_recursive_python_equals_recursive_c(self, write_program):
+        report = check_equivalence(
+            write_program("f.py", PY_FACT),
+            write_program("f.c", C_FACT),
+            "fact",
+            argument_names=["n"],
+        )
+        assert report.equivalent, report.explain()
+
+    def test_different_algorithm_diverges_internally(self, write_program):
+        # Iterative fact computes the same answer but with a different
+        # call structure: not equivalent at recursion granularity.
+        report = check_equivalence(
+            write_program("a.py", PY_FACT),
+            write_program("b.py", PY_FACT_ITERATIVE),
+            "fact",
+        )
+        assert not report.equivalent
+        assert report.divergence_index is not None
+        assert "divergence" in report.explain()
+
+    def test_buggy_variant_detected(self, write_program):
+        report = check_equivalence(
+            write_program("a.py", PY_FACT),
+            write_program("b.py", PY_FACT_WRONG),
+            "fact",
+            argument_names=["n"],
+        )
+        assert not report.equivalent
+
+    def test_boundary_equivalence_ignores_hidden_locals(self, write_program):
+        # Same recursion, different internal variable names: equivalent.
+        renamed = PY_FACT.replace("fact(n)", "fact(n)").replace(
+            "return n * fact(n - 1)", "m = fact(n - 1)\n    return n * m"
+        )
+        report = check_equivalence(
+            write_program("a.py", PY_FACT),
+            write_program("b.py", renamed),
+            "fact",
+            argument_names=["n"],
+        )
+        assert report.equivalent, report.explain()
+
+    def test_different_function_names(self, write_program):
+        other = PY_FACT.replace("fact", "factorial")
+        report = check_equivalence(
+            write_program("a.py", PY_FACT),
+            write_program("b.py", other),
+            "fact",
+            function_b="factorial",
+            argument_names=["n"],
+        )
+        assert report.equivalent

@@ -1,0 +1,52 @@
+"""Smoke tests: every bundled example must run to completion.
+
+The examples are the paper's demonstrators (Section III); each writes its
+own inferior and drives a full tool scenario, so running them is a broad
+integration sweep across trackers, substrates, and renderers.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXPECTED_OUTPUT = {
+    "quickstart.py": ["factorial returns 120", "exited with code 0"],
+    "stack_heap_tool.py": ["demo.py", "demo.c", "stack-and-heap diagrams"],
+    "recursion_tree_demo.py": ["merge_sort([6, 2, 9, 4])", "snapshots"],
+    "riscv_demo.py": ["pc = ", "ecall"],
+    "debug_game_demo.py": ["hints generated", "won: True"],
+    "pt_export_demo.py": ["reduction:", "stepped backwards"],
+    "multi_inferior.py": ["both inferiors done"],
+    "array_invariant_demo.py": ["array snapshots"],
+    "equivalence_demo.py": ["equivalent", "divergence"],
+}
+
+
+def example_names():
+    return sorted(
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+    )
+
+
+def test_every_example_has_expectations():
+    assert set(example_names()) == set(EXPECTED_OUTPUT)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_OUTPUT))
+def test_example_runs(name, tmp_path):
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(tmp_path),  # any output dirs land in the temp dir
+    )
+    assert completed.returncode == 0, completed.stderr
+    for needle in EXPECTED_OUTPUT[name]:
+        assert needle in completed.stdout, (
+            f"{name}: expected {needle!r} in output:\n{completed.stdout}"
+        )

@@ -1,0 +1,103 @@
+"""Robustness fuzzing of the debug server.
+
+The server sits on the other end of a pipe from the tracker; whatever
+arrives, it must answer with a well-formed record and keep serving — a
+crashed server kills the whole session. These property tests throw random
+bytes, random commands, and random *valid-shaped* command sequences at a
+live server and assert the contract: every input line yields parseable
+records and never an unhandled exception.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mi.protocol import parse_record
+from repro.mi.server import DebugServer
+
+C_PROGRAM = """\
+int helper(int n) {
+    return n + 1;
+}
+
+int main(void) {
+    int total = 0;
+    for (int i = 0; i < 3; i++) {
+        total = helper(total);
+    }
+    return total;
+}
+"""
+
+COMMANDS = [
+    "-exec-run",
+    "-exec-continue",
+    "-exec-step",
+    "-exec-next",
+    "-exec-finish",
+    "-break-insert",
+    "-break-watch",
+    "-track-function",
+    "-break-delete",
+    "-break-disable",
+    "-break-enable",
+    "-stack-list-frames",
+    "-data-list-globals",
+    "-data-list-register-values",
+    "-data-read-memory",
+    "-data-disassemble",
+    "-data-evaluate-expression",
+    "-inferior-position",
+    "-list-functions",
+    "-heap-blocks",
+    "-file-exec-and-symbols",
+]
+
+ARGUMENTS = ["", " main", " helper", " 7", " total", " all", " *0x10000",
+             " 0x1000 4", " --maxdepth 2", " ghost", " -1", " 99"]
+
+
+def make_server(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(C_PROGRAM, encoding="utf-8")
+    return DebugServer(str(path))
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(COMMANDS), st.sampled_from(ARGUMENTS)),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_random_command_sequences_never_crash(tmp_path_factory, sequence):
+    server = make_server(tmp_path_factory.mktemp("fuzz"))
+    for command, argument in sequence:
+        for line in server.handle(command + argument):
+            record = parse_record(line)  # every reply line parses
+            assert record.kind in ("done", "error", "running", "stopped",
+                                   "stream", "notify")
+
+
+@given(st.text(max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_arbitrary_text_yields_error_records(tmp_path_factory, junk):
+    server = make_server(tmp_path_factory.mktemp("junk"))
+    for line in server.handle(junk):
+        record = parse_record(line)
+        assert record.kind in ("done", "error", "running", "stopped",
+                               "stream", "notify")
+
+
+def test_inspection_commands_after_crash_are_errors(tmp_path):
+    path = tmp_path / "crash.c"
+    path.write_text(
+        "int main(void) { int *p = (int*)7; return *p; }", encoding="utf-8"
+    )
+    server = DebugServer(str(path))
+    server.handle("-exec-run")
+    server.handle("-exec-continue")
+    for command in ("-stack-list-frames", "-data-list-globals",
+                    "-exec-step", "-exec-continue"):
+        record = parse_record(server.handle(command)[0])
+        assert record.kind == "error"

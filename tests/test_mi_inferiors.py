@@ -1,0 +1,136 @@
+"""Tests for the debug-server inferior adapters."""
+
+import pytest
+
+from repro.core.errors import ProgramLoadError
+from repro.core.state import AbstractType, Location
+from repro.minic.events import ExitEvent, LineEvent
+from repro.mi.inferiors import MinicInferior, RiscvInferior, open_inferior
+
+C_SOURCE = """\
+int shared = 4;
+
+int triple(int v) {
+    return 3 * v;
+}
+
+int main(void) {
+    int local = triple(shared);
+    return local;
+}
+"""
+
+ASM_SOURCE = """\
+    .data
+value: .word 11
+    .text
+main:
+    lw a0, value
+    call bump
+    li a7, 93
+    ecall
+bump:
+    addi a0, a0, 1
+    ret
+"""
+
+
+class TestOpenInferior:
+    def test_extension_dispatch(self, write_program):
+        c_inferior = open_inferior(write_program("p.c", C_SOURCE))
+        assert isinstance(c_inferior, MinicInferior)
+        asm_inferior = open_inferior(write_program("p.s", ASM_SOURCE))
+        assert isinstance(asm_inferior, RiscvInferior)
+
+    def test_unknown_extension_rejected(self, write_program):
+        with pytest.raises(ProgramLoadError, match="infer"):
+            open_inferior(write_program("p.txt", "hello"))
+
+    def test_parse_error_at_open(self, write_program):
+        with pytest.raises(ProgramLoadError):
+            open_inferior(write_program("bad.c", "int main( {"))
+        with pytest.raises(ProgramLoadError):
+            open_inferior(write_program("bad.s", "main:\n  bogus x9\n"))
+
+
+def run_until(inferior, line):
+    events = inferior.events()
+    for event in events:
+        if isinstance(event, LineEvent) and event.line == line:
+            return events
+    raise AssertionError(f"line {line} never reached")
+
+
+class TestMinicAdapter:
+    def test_frames_and_globals(self, write_program):
+        inferior = MinicInferior(write_program("p.c", C_SOURCE))
+        run_until(inferior, 4)
+        frame = inferior.frame_chain()
+        assert frame.name == "triple"
+        assert frame.parent.name == "main"
+        assert inferior.globals_map()["shared"].value.content == 4
+        assert inferior.registers() is None
+
+    def test_watch_and_functions(self, write_program):
+        inferior = MinicInferior(write_program("p.c", C_SOURCE))
+        run_until(inferior, 8)
+        assert inferior.render_watch(None, "shared") is not None
+        assert inferior.render_watch("ghost", "x") is None
+        assert inferior.function_names() == ["main", "triple"]
+
+    def test_disassemble_reports_conceptual_return(self, write_program):
+        inferior = MinicInferior(write_program("p.c", C_SOURCE))
+        listing = inferior.disassemble("triple")
+        assert listing[-1]["is_return"]
+        with pytest.raises(ProgramLoadError):
+            inferior.disassemble("ghost")
+
+    def test_heap_blocks_empty_without_allocations(self, write_program):
+        inferior = MinicInferior(write_program("p.c", C_SOURCE))
+        run_until(inferior, 8)
+        assert inferior.heap_blocks() == {}
+
+
+class TestRiscvAdapter:
+    def test_frames_carry_registers(self, write_program):
+        inferior = RiscvInferior(write_program("p.s", ASM_SOURCE))
+        run_until(inferior, 10)  # inside bump
+        frame = inferior.frame_chain()
+        assert frame.name == "bump"
+        assert frame.parent.name == "main"
+        register = frame.variables["a0"]
+        assert register.scope == "register"
+        assert register.value.location is Location.REGISTER
+        assert register.value.content == 11
+
+    def test_globals_are_data_words(self, write_program):
+        inferior = RiscvInferior(write_program("p.s", ASM_SOURCE))
+        run_until(inferior, 5)
+        globals_map = inferior.globals_map()
+        assert globals_map["value"].value.content == 11
+        assert "main" not in globals_map  # text labels are not data
+
+    def test_watch_register_and_symbol(self, write_program):
+        inferior = RiscvInferior(write_program("p.s", ASM_SOURCE))
+        run_until(inferior, 6)
+        assert inferior.render_watch(None, "a0") == "11"
+        assert inferior.render_watch(None, "value") is not None
+        assert inferior.render_watch(None, "ghost") is None
+
+    def test_memory_window_zero_fills_past_segment(self, write_program):
+        from repro.riscv.assembler import DATA_BASE
+
+        inferior = RiscvInferior(write_program("p.s", ASM_SOURCE))
+        raw = inferior.read_memory(DATA_BASE, 64)
+        assert len(raw) == 64
+        assert raw[:4] == (11).to_bytes(4, "little")
+        assert raw[4:] == bytes(60)
+
+    def test_exit_error_surfaces(self, write_program):
+        inferior = RiscvInferior(
+            write_program("bad.s", "main:\n  lw t0, 64(x0)\n")
+        )
+        for event in inferior.events():
+            if isinstance(event, ExitEvent):
+                break
+        assert "invalid read" in inferior.exit_error()

@@ -1,0 +1,615 @@
+"""Tests for the mini-C interpreter: semantics, events, runtime errors."""
+
+import pytest
+
+from repro.minic.events import (
+    AllocEvent,
+    CallEvent,
+    ExitEvent,
+    LineEvent,
+    OutputEvent,
+    ReturnEvent,
+    WriteEvent,
+)
+from repro.minic.interpreter import Interpreter
+from repro.minic.parser import parse
+
+
+def run_program(source, args=None):
+    """Execute source; return (exit_code, stdout, events, interpreter)."""
+    interpreter = Interpreter(parse(source), args=args)
+    output = []
+    events = []
+    for event in interpreter.run():
+        events.append(event)
+        if isinstance(event, OutputEvent):
+            output.append(event.text)
+    return interpreter.exit_code, "".join(output), events, interpreter
+
+
+def run_main(body, prelude=""):
+    source = f"{prelude}\nint main(void) {{ {body} }}\n"
+    return run_program(source)
+
+
+class TestArithmetic:
+    def test_exit_code_is_main_return(self):
+        code, _, _, _ = run_main("return 7;")
+        assert code == 7
+
+    def test_integer_operations(self):
+        code, out, _, _ = run_main(
+            'printf("%d %d %d %d %d", 7 + 3, 7 - 3, 7 * 3, 7 / 3, 7 % 3);'
+            "return 0;"
+        )
+        assert out == "10 4 21 2 1"
+
+    def test_c_division_truncates_toward_zero(self):
+        _, out, _, _ = run_main('printf("%d %d", -7 / 2, -7 % 2); return 0;')
+        assert out == "-3 -1"
+
+    def test_division_by_zero_is_runtime_error(self):
+        code, _, _, interpreter = run_main("int z = 0; return 1 / z;")
+        assert code == 136
+        assert "division by zero" in interpreter.error
+
+    def test_bitwise_and_shifts(self):
+        _, out, _, _ = run_main(
+            'printf("%d %d %d %d %d", 6 & 3, 6 | 3, 6 ^ 3, 1 << 4, 32 >> 2);'
+            "return 0;"
+        )
+        assert out == "2 7 5 16 8"
+
+    def test_comparisons_yield_int(self):
+        _, out, _, _ = run_main(
+            'printf("%d%d%d%d%d%d", 1 < 2, 2 <= 2, 3 > 2, 3 >= 4, 1 == 1, 1 != 1);'
+            "return 0;"
+        )
+        assert out == "111010"
+
+    def test_short_circuit_evaluation(self):
+        # The right operand would divide by zero if evaluated.
+        code, out, _, _ = run_main(
+            "int z = 0;\n"
+            'if (z != 0 && 1 / z) { printf("bad"); }\n'
+            'if (z == 0 || 1 / z) { printf("ok"); }\n'
+            "return 0;"
+        )
+        assert code == 0
+        assert out == "ok"
+
+    def test_float_arithmetic_and_printf(self):
+        _, out, _, _ = run_main(
+            'double d = 1.5; float f = 2.5; printf("%.2f", d * f); return 0;'
+        )
+        assert out == "3.75"
+
+    def test_int_overflow_wraps_at_store(self):
+        _, out, _, _ = run_main(
+            "int big = 2147483647; big = big + 1;\n"
+            'printf("%d", big); return 0;'
+        )
+        assert out == "-2147483648"
+
+    def test_char_arithmetic(self):
+        _, out, _, _ = run_main("char c = 'A'; c = c + 1; printf(\"%c\", c); return 0;")
+        assert out == "B"
+
+    def test_ternary_and_comma(self):
+        _, out, _, _ = run_main(
+            'int x = (1, 2, 3); printf("%d %d", x, x > 2 ? 10 : 20); return 0;'
+        )
+        assert out == "3 10"
+
+    def test_increment_decrement_semantics(self):
+        _, out, _, _ = run_main(
+            'int i = 5; printf("%d %d %d %d %d", i++, i, ++i, i--, --i);'
+            "return 0;"
+        )
+        assert out == "5 6 7 7 5"
+
+    def test_compound_assignment(self):
+        _, out, _, _ = run_main(
+            "int x = 10; x += 5; x -= 3; x *= 2; x /= 4; x %= 4;\n"
+            'printf("%d", x); return 0;'
+        )
+        assert out == "2"
+
+    def test_sizeof(self):
+        _, out, _, _ = run_main(
+            'printf("%zu %zu %zu %zu", sizeof(int), sizeof(long), '
+            "sizeof(double), sizeof(int*)); return 0;"
+        )
+        assert out == "4 8 8 8"
+
+    def test_casts(self):
+        _, out, _, _ = run_main(
+            'printf("%d %.1f %d", (int)3.9, (double)7 / 2, (char)321); return 0;'
+        )
+        assert out == "3 3.5 65"
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        _, out, _, _ = run_main(
+            "int i = 0; int s = 0; while (i < 5) { s += i; i++; }\n"
+            'printf("%d", s); return 0;'
+        )
+        assert out == "10"
+
+    def test_for_with_break_continue(self):
+        _, out, _, _ = run_main(
+            "int s = 0;\n"
+            "for (int i = 0; i < 10; i++) {\n"
+            "    if (i == 7) break;\n"
+            "    if (i % 2) continue;\n"
+            "    s += i;\n"
+            "}\n"
+            'printf("%d", s); return 0;'
+        )
+        assert out == "12"  # 0+2+4+6
+
+    def test_do_while_runs_at_least_once(self):
+        _, out, _, _ = run_main(
+            'int i = 100; do { printf("x"); i++; } while (i < 100); return 0;'
+        )
+        assert out == "x"
+
+    def test_nested_loops(self):
+        _, out, _, _ = run_main(
+            "int count = 0;\n"
+            "for (int i = 0; i < 3; i++)\n"
+            "    for (int j = 0; j < 3; j++)\n"
+            "        if (i == j) count++;\n"
+            'printf("%d", count); return 0;'
+        )
+        assert out == "3"
+
+    def test_step_budget_catches_infinite_loop(self):
+        interpreter = Interpreter(
+            parse("int main(void) { while (1) {} return 0; }"), max_steps=1000
+        )
+        for _ in interpreter.run():
+            pass
+        assert interpreter.exit_code == 1
+        assert "budget" in interpreter.error
+
+
+class TestFunctions:
+    def test_recursion(self):
+        _, out, _, _ = run_program(
+            "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }\n"
+            'int main(void) { printf("%d", fib(12)); return 0; }'
+        )
+        assert out == "144"
+
+    def test_mutual_recursion(self):
+        _, out, _, _ = run_program(
+            "int is_odd(int n);\n"
+            "int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }\n"
+            "int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }\n"
+            'int main(void) { printf("%d%d", is_even(10), is_odd(10)); return 0; }'
+        )
+        assert out == "10"
+
+    def test_void_function(self):
+        _, out, _, _ = run_program(
+            "int counter = 0;\n"
+            "void bump(void) { counter++; }\n"
+            "int main(void) { bump(); bump(); return counter; }"
+        )
+        code, _, _, _ = run_program(
+            "int counter = 0;\n"
+            "void bump(void) { counter++; }\n"
+            "int main(void) { bump(); bump(); return counter; }"
+        )
+        assert code == 2
+
+    def test_arguments_passed_by_value(self):
+        code, _, _, _ = run_program(
+            "void try_change(int x) { x = 99; }\n"
+            "int main(void) { int a = 1; try_change(a); return a; }"
+        )
+        assert code == 1
+
+    def test_wrong_arity_is_runtime_error(self):
+        code, _, _, interpreter = run_program(
+            "int f(int a) { return a; }\n"
+            "int main(void) { return f(1, 2); }"
+        )
+        assert code == 1
+        assert "expects" in interpreter.error
+
+    def test_undefined_function_is_error(self):
+        code, _, _, interpreter = run_program("int main(void) { return ghost(); }")
+        assert code == 1
+        assert "undefined function" in interpreter.error
+
+    def test_missing_main_is_error(self):
+        code, _, _, interpreter = run_program("int helper(void) { return 1; }")
+        assert code == 1
+        assert "main" in interpreter.error
+
+    def test_runaway_recursion_is_stack_overflow(self):
+        code, _, _, interpreter = run_program(
+            "int f(int n) { return f(n + 1); }\n"
+            "int main(void) { return f(0); }"
+        )
+        assert code == 139  # the SIGSEGV analog, as on real hardware
+        assert "stack overflow" in interpreter.error
+
+    def test_deep_but_bounded_recursion_ok(self):
+        code, _, _, _ = run_program(
+            "int down(int n) { if (n == 0) { return 0; } return down(n - 1); }\n"
+            "int main(void) { return down(150); }"
+        )
+        assert code == 0
+
+    def test_function_pointers(self):
+        _, out, _, _ = run_program(
+            "int twice(int x) { return 2 * x; }\n"
+            "int thrice(int x) { return 3 * x; }\n"
+            "int main(void) {\n"
+            "    int (*op)(int) = twice;\n"
+            '    printf("%d ", op(10));\n'
+            "    op = thrice;\n"
+            '    printf("%d", op(10));\n'
+            "    return 0;\n"
+            "}"
+        )
+        assert out == "20 30"
+
+    def test_exit_builtin(self):
+        code, out, _, _ = run_main('printf("before"); exit(5); printf("after");')
+        assert code == 5
+        assert out == "before"
+
+    def test_main_argc_argv(self):
+        code, out, _, _ = run_program(
+            "int main(int argc, char **argv) {\n"
+            '    printf("%d %s", argc, argv[1]);\n'
+            "    return 0;\n"
+            "}",
+            args=["hello"],
+        )
+        assert out.endswith("2 hello") or out.startswith("2 ")
+
+
+class TestPointersAndArrays:
+    def test_address_of_and_deref(self):
+        code, _, _, _ = run_main("int a = 5; int *p = &a; *p = 9; return a;")
+        assert code == 9
+
+    def test_pointer_arithmetic_scales(self):
+        _, out, _, _ = run_main(
+            "int arr[4] = {10, 20, 30, 40};\n"
+            "int *p = arr;\n"
+            'printf("%d %d %d", *p, *(p + 2), p[3]); return 0;'
+        )
+        assert out == "10 30 40"
+
+    def test_pointer_difference(self):
+        _, out, _, _ = run_main(
+            "int arr[8]; printf(\"%ld\", &arr[6] - &arr[1]); return 0;"
+        )
+        assert out == "5"
+
+    def test_array_write_through_index(self):
+        code, _, _, _ = run_main(
+            "int arr[3] = {0, 0, 0}; arr[1] = 42; return arr[1];"
+        )
+        assert code == 42
+
+    def test_out_of_segment_access_is_segfault(self):
+        code, _, _, interpreter = run_main(
+            "int *p = (int*)99999999; return *p;"
+        )
+        assert code == 139
+        assert "invalid" in interpreter.error
+
+    def test_use_after_free_is_segfault(self):
+        code, _, _, _ = run_main(
+            "int *p = malloc(sizeof(int)); *p = 1; free(p); return *p;"
+        )
+        assert code == 139
+
+    def test_null_deref_is_segfault(self):
+        code, _, _, _ = run_main("int *p = NULL; return *p;")
+        assert code == 139
+
+    def test_string_functions(self):
+        _, out, _, _ = run_main(
+            "char buf[16];\n"
+            'strcpy(buf, "abc");\n'
+            'printf("%zu %d %s", strlen(buf), strcmp(buf, "abc"), buf);'
+            "return 0;"
+        )
+        assert out == "3 0 abc"
+
+    def test_char_array_string_initializer(self):
+        _, out, _, _ = run_main('char msg[] = "hey"; printf("%s", msg); return 0;')
+        assert out == "hey"
+
+    def test_two_dimensional_indexing(self):
+        _, out, _, _ = run_main(
+            "int m[2][3] = {{1, 2, 3}, {4, 5, 6}};\n"
+            'printf("%d %d", m[0][2], m[1][0]); return 0;'
+        )
+        assert out == "3 4"
+
+    def test_memset_memcpy(self):
+        _, out, _, _ = run_main(
+            "int a[2]; int b[2];\n"
+            "memset(a, 0, sizeof(a)); a[1] = 7;\n"
+            "memcpy(b, a, sizeof(a));\n"
+            'printf("%d %d", b[0], b[1]); return 0;'
+        )
+        assert out == "0 7"
+
+
+class TestStructs:
+    PRELUDE = "struct point { int x; int y; };\n"
+
+    def test_member_access_and_assignment(self):
+        code, _, _, _ = run_main(
+            "struct point p; p.x = 3; p.y = 4; return p.x + p.y;",
+            prelude=self.PRELUDE,
+        )
+        assert code == 7
+
+    def test_struct_copy_semantics(self):
+        code, _, _, _ = run_main(
+            "struct point a; a.x = 1; a.y = 2;\n"
+            "struct point b = a; b.x = 99;\n"
+            "return a.x;",
+            prelude=self.PRELUDE,
+        )
+        assert code == 1
+
+    def test_arrow_through_pointer(self):
+        code, _, _, _ = run_main(
+            "struct point p; struct point *q = &p; q->x = 11; return p.x;",
+            prelude=self.PRELUDE,
+        )
+        assert code == 11
+
+    def test_heap_allocated_struct(self):
+        code, _, _, _ = run_main(
+            "struct point *p = malloc(sizeof(struct point));\n"
+            "p->x = 20; p->y = 22;\n"
+            "int s = p->x + p->y; free(p); return s;",
+            prelude=self.PRELUDE,
+        )
+        assert code == 42
+
+    def test_linked_list(self):
+        code, _, _, _ = run_program(
+            "struct node { int value; struct node *next; };\n"
+            "int main(void) {\n"
+            "    struct node c; c.value = 3; c.next = NULL;\n"
+            "    struct node b; b.value = 2; b.next = &c;\n"
+            "    struct node a; a.value = 1; a.next = &b;\n"
+            "    int total = 0;\n"
+            "    struct node *cur = &a;\n"
+            "    while (cur != NULL) { total += cur->value; cur = cur->next; }\n"
+            "    return total;\n"
+            "}"
+        )
+        assert code == 6
+
+    def test_struct_by_value_argument(self):
+        code, _, _, _ = run_program(
+            self.PRELUDE
+            + "int norm1(struct point p) { p.x = 0; return p.x + p.y; }\n"
+            "int main(void) {\n"
+            "    struct point p; p.x = 5; p.y = 7;\n"
+            "    int n = norm1(p);\n"
+            "    return p.x + n;\n"  # p.x unchanged: 5 + 7
+            "}"
+        )
+        assert code == 12
+
+    def test_nested_struct_initializer(self):
+        code, _, _, _ = run_main(
+            "struct point p = {8, 9}; return p.x * 10 + p.y;",
+            prelude=self.PRELUDE,
+        )
+        assert code == 89
+
+
+class TestEvents:
+    def test_line_events_carry_function_and_depth(self):
+        _, _, events, _ = run_program(
+            "int f(void) { return 1; }\n"
+            "int main(void) { int a = f(); return a; }"
+        )
+        line_events = [e for e in events if isinstance(e, LineEvent)]
+        assert any(e.function == "f" and e.depth == 1 for e in line_events)
+        assert any(e.function == "main" and e.depth == 0 for e in line_events)
+
+    def test_call_and_return_events(self):
+        _, _, events, _ = run_program(
+            "int f(int x) { return x + 1; }\n"
+            "int main(void) { return f(41); }"
+        )
+        calls = [e for e in events if isinstance(e, CallEvent)]
+        returns = [e for e in events if isinstance(e, ReturnEvent)]
+        assert [c.function for c in calls] == ["main", "f"]
+        assert returns[0].function == "f"
+        assert returns[0].value == "42"
+
+    def test_alloc_events(self):
+        _, _, events, _ = run_main(
+            "int *p = malloc(8); p = realloc(p, 16); free(p); return 0;"
+        )
+        kinds = [e.kind for e in events if isinstance(e, AllocEvent)]
+        assert kinds == ["malloc", "realloc", "free"]
+
+    def test_write_events_for_named_assignments(self):
+        _, _, events, _ = run_main("int a = 1; a = 2; a++; return a;")
+        writes = [e.name for e in events if isinstance(e, WriteEvent)]
+        assert writes == ["a", "a", "a"]
+
+    def test_exit_event_is_last(self):
+        _, _, events, _ = run_main("return 3;")
+        assert isinstance(events[-1], ExitEvent)
+        assert events[-1].code == 3
+
+    def test_loop_re_emits_header_line(self):
+        _, _, events, _ = run_program(
+            "int main(void) {\n"
+            "    int s = 0;\n"
+            "    for (int i = 0; i < 3; i++) {\n"
+            "        s += i;\n"
+            "    }\n"
+            "    return s;\n"
+            "}"
+        )
+        header_hits = [
+            e for e in events if isinstance(e, LineEvent) and e.line == 3
+        ]
+        assert len(header_hits) == 4  # once per iteration + final test
+
+
+class TestEnumSwitchTypedef:
+    def test_enum_values_usable_everywhere(self):
+        _, out, _, _ = run_program(
+            "enum color { RED, GREEN = 5, BLUE };\n"
+            "int initial = BLUE;\n"
+            'int main(void) { printf("%d %d %d", RED, initial, GREEN); return 0; }'
+        )
+        assert out == "0 6 5"
+
+    def test_switch_dispatch_and_break(self):
+        _, out, _, _ = run_main(
+            "for (int i = 0; i < 4; i++) {\n"
+            "    switch (i) {\n"
+            '    case 0: printf("a"); break;\n'
+            '    case 2: printf("c"); break;\n'
+            '    default: printf("?");\n'
+            "    }\n"
+            "}\n"
+            "return 0;"
+        )
+        assert out == "a?c?"
+
+    def test_switch_fallthrough(self):
+        _, out, _, _ = run_main(
+            "switch (1) {\n"
+            'case 1: printf("1");\n'
+            'case 2: printf("2"); break;\n'
+            'case 3: printf("3");\n'
+            "}\n"
+            "return 0;"
+        )
+        assert out == "12"
+
+    def test_switch_no_match_no_default(self):
+        code, out, _, _ = run_main(
+            'switch (9) { case 1: printf("x"); } return 5;'
+        )
+        assert out == ""
+        assert code == 5
+
+    def test_switch_on_enum_like_the_papers_level(self):
+        _, out, _, _ = run_program(
+            "typedef enum { UP, DOWN, LEFT, RIGHT } orientation;\n"
+            "orientation dir = LEFT;\n"
+            "int main(void) {\n"
+            "    switch (dir) {\n"
+            '    case UP: printf("up"); break;\n'
+            '    case LEFT: printf("left"); break;\n'
+            '    default: printf("other");\n'
+            "    }\n"
+            "    return 0;\n"
+            "}"
+        )
+        assert out == "left"
+
+    def test_typedef_in_function_signatures(self):
+        code, _, _, _ = run_program(
+            "typedef int number;\n"
+            "number add(number a, number b) { return a + b; }\n"
+            "int main(void) { return add(20, 22); }"
+        )
+        assert code == 42
+
+    def test_continue_inside_switch_inside_loop(self):
+        _, out, _, _ = run_main(
+            "for (int i = 0; i < 3; i++) {\n"
+            "    switch (i) { case 1: continue; }\n"
+            '    printf("%d", i);\n'
+            "}\n"
+            "return 0;"
+        )
+        assert out == "02"
+
+
+class TestPrintf:
+    def test_width_and_precision(self):
+        _, out, _, _ = run_main('printf("[%5d][%-4d][%05.1f]", 42, 7, 3.14); return 0;')
+        assert out == "[   42][7   ][003.1]"
+
+    def test_hex_and_pointer(self):
+        _, out, _, _ = run_main('printf("%x %X", 255, 255); return 0;')
+        assert out == "ff FF"
+
+    def test_percent_literal(self):
+        _, out, _, _ = run_main('printf("100%%"); return 0;')
+        assert out == "100%"
+
+    def test_string_and_char(self):
+        _, out, _, _ = run_main('printf("%s|%c", "ab", 99); return 0;')
+        assert out == "ab|c"
+
+    def test_puts_and_putchar(self):
+        _, out, _, _ = run_main('puts("line"); putchar(33); return 0;')
+        assert out == "line\n!"
+
+    def test_missing_argument_is_error(self):
+        code, _, _, interpreter = run_main('printf("%d"); return 0;')
+        assert code == 1
+        assert "missing argument" in interpreter.error
+
+
+class TestExtraStdlib:
+    def test_sprintf(self):
+        _, out, _, _ = run_main(
+            'char buf[32]; int n = sprintf(buf, "%d-%s", 42, "ok");\n'
+            'printf("%s %d", buf, n); return 0;'
+        )
+        assert out == "42-ok 5"
+
+    def test_strcat(self):
+        _, out, _, _ = run_main(
+            'char buf[32] = "foo"; strcat(buf, "bar");\n'
+            'printf("%s", buf); return 0;'
+        )
+        assert out == "foobar"
+
+    def test_strncmp(self):
+        _, out, _, _ = run_main(
+            'printf("%d %d", strncmp("abcdef", "abcxyz", 3),\n'
+            '       strncmp("abcdef", "abcxyz", 4)); return 0;'
+        )
+        # glibc-style result: 0 when the prefix matches, else the byte
+        # difference at the first mismatch ('d' - 'x' = -20).
+        assert out == "0 -20"
+
+    def test_atoi(self):
+        _, out, _, _ = run_main(
+            'printf("%d %d %d", atoi("123"), atoi("-45xyz"), atoi("junk"));'
+            "return 0;"
+        )
+        assert out == "123 -45 0"
+
+
+class TestDeterministicRand:
+    def test_rand_sequence_is_reproducible(self):
+        source = (
+            "int main(void) { srand(7);\n"
+            'printf("%d %d", rand() % 100, rand() % 100); return 0; }'
+        )
+        _, first, _, _ = run_program(source)
+        _, second, _, _ = run_program(source)
+        assert first == second

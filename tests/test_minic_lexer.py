@@ -1,0 +1,123 @@
+"""Tests for the mini-C lexer."""
+
+import pytest
+
+from repro.minic.lexer import LexError, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)[:-1]]  # drop eof
+
+
+class TestBasics:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("int foo _bar x1") == [
+            ("keyword", "int"),
+            ("id", "foo"),
+            ("id", "_bar"),
+            ("id", "x1"),
+        ]
+
+    def test_all_type_keywords_recognized(self):
+        for keyword in ("void", "char", "short", "int", "long", "float",
+                        "double", "struct", "unsigned", "signed"):
+            assert tokenize(keyword)[0].kind == "keyword"
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestNumbers:
+    def test_decimal(self):
+        assert kinds("42") == [("int", 42)]
+
+    def test_hex(self):
+        assert kinds("0xFF 0x10") == [("int", 255), ("int", 16)]
+
+    def test_octal(self):
+        assert kinds("0755") == [("int", 0o755)]
+
+    def test_float_forms(self):
+        values = [v for _, v in kinds("1.5 2. 3e2 1.5e-1")]
+        assert values == [1.5, 2.0, 300.0, 0.15]
+
+    def test_suffixes_discarded(self):
+        assert kinds("10L 10UL 2.5f")[0] == ("int", 10)
+        assert kinds("2.5f") == [("float", 2.5)]
+
+    def test_leading_dot_float(self):
+        assert kinds(".5") == [("float", 0.5)]
+
+
+class TestStringsAndChars:
+    def test_string_literal(self):
+        assert kinds('"hello"') == [("string", "hello")]
+
+    def test_string_escapes(self):
+        assert kinds(r'"a\nb\t\"q\\"') == [("string", 'a\nb\t"q\\')]
+
+    def test_char_literal(self):
+        assert kinds("'A'") == [("char", 65)]
+
+    def test_char_escape(self):
+        assert kinds(r"'\n' '\0'") == [("char", 10), ("char", 0)]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize('"abc')
+
+    def test_newline_in_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"ab\ncd"')
+
+    def test_empty_char_raises(self):
+        with pytest.raises(LexError):
+            tokenize("''")
+
+    def test_unknown_escape_raises(self):
+        with pytest.raises(LexError, match="escape"):
+            tokenize(r'"\q"')
+
+
+class TestOperators:
+    def test_longest_match_first(self):
+        assert [v for _, v in kinds("a <<= b")] == ["a", "<<=", "b"]
+        assert [v for _, v in kinds("x->y")] == ["x", "->", "y"]
+        assert [v for _, v in kinds("i++ + ++j")] == ["i", "++", "+", "++", "j"]
+
+    def test_full_operator_set(self):
+        source = "+ - * / % == != <= >= && || & | ^ ~ ! ? : << >>"
+        assert all(kind == "op" for kind, _ in kinds(source))
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError, match="unexpected"):
+            tokenize("int @ x")
+
+
+class TestTrivia:
+    def test_line_comments(self):
+        assert kinds("a // comment here\nb") == [("id", "a"), ("id", "b")]
+
+    def test_block_comments(self):
+        assert kinds("a /* multi\nline */ b") == [("id", "a"), ("id", "b")]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError, match="comment"):
+            tokenize("a /* never closed")
+
+    def test_preprocessor_lines_ignored(self):
+        assert kinds("#include <stdio.h>\nint x;") == [
+            ("keyword", "int"),
+            ("id", "x"),
+            ("op", ";"),
+        ]
+
+    def test_null_keyword(self):
+        assert kinds("NULL")[0] == ("keyword", "NULL")

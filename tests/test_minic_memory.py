@@ -1,0 +1,214 @@
+"""Tests for the mini-C memory: segments, allocator, fault detection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.minic.ctypes import INT, LONG
+from repro.minic.memory import (
+    GLOBAL_BASE,
+    HEAP_BASE,
+    Memory,
+    MemoryFault,
+    NULL,
+    STACK_TOP,
+)
+
+
+@pytest.fixture
+def memory():
+    return Memory()
+
+
+class TestSegments:
+    def test_segment_of(self, memory):
+        assert memory.segment_of(GLOBAL_BASE) == "global"
+        assert memory.segment_of(HEAP_BASE) == "heap"
+        assert memory.segment_of(STACK_TOP - 8) == "stack"
+        assert memory.segment_of(0x42) is None
+
+    def test_unmapped_read_faults(self, memory):
+        with pytest.raises(MemoryFault):
+            memory.read(0x10, 4)
+
+    def test_cross_segment_read_faults(self, memory):
+        with pytest.raises(MemoryFault):
+            memory.read(memory.globals.end - 2, 8)
+
+    def test_read_write_round_trip(self, memory):
+        memory.write(GLOBAL_BASE + 16, b"\x01\x02\x03")
+        assert memory.read(GLOBAL_BASE + 16, 3) == b"\x01\x02\x03"
+
+    def test_typed_scalar_access(self, memory):
+        memory.write_scalar(GLOBAL_BASE, LONG, -99)
+        assert memory.read_scalar(GLOBAL_BASE, LONG) == -99
+
+    def test_cstring_round_trip(self, memory):
+        memory.write_cstring(GLOBAL_BASE + 100, "bonjour")
+        assert memory.read_cstring(GLOBAL_BASE + 100) == "bonjour"
+
+    def test_cstring_stops_at_segment_end(self, memory):
+        # Fill the tail of globals without a terminator.
+        tail = memory.globals.end - 4
+        memory.write(tail, b"abcd")
+        assert memory.read_cstring(tail) == "abcd"
+
+
+class TestStack:
+    def test_push_grows_down(self, memory):
+        first = memory.push_stack(16)
+        second = memory.push_stack(16)
+        assert second < first
+
+    def test_alignment(self, memory):
+        address = memory.push_stack(3, align=8)
+        assert address % 8 == 0
+
+    def test_pop_restores(self, memory):
+        saved = memory.stack_pointer
+        memory.push_stack(64)
+        memory.pop_stack_to(saved)
+        assert memory.stack_pointer == saved
+
+    def test_overflow_faults(self, memory):
+        with pytest.raises(MemoryFault, match="overflow"):
+            memory.push_stack(1 << 30)
+
+
+class TestAllocator:
+    def test_malloc_returns_heap_address(self, memory):
+        address = memory.malloc(10)
+        assert memory.segment_of(address) == "heap"
+        assert memory.live_blocks() == {address: 10}
+
+    def test_malloc_zero_returns_null(self, memory):
+        assert memory.malloc(0) == NULL
+
+    def test_blocks_do_not_overlap(self, memory):
+        a = memory.malloc(10)
+        b = memory.malloc(10)
+        assert b >= a + 10
+
+    def test_free_removes_from_live_blocks(self, memory):
+        address = memory.malloc(8)
+        memory.free(address)
+        assert memory.live_blocks() == {}
+
+    def test_free_null_is_noop(self, memory):
+        memory.free(NULL)
+
+    def test_double_free_faults(self, memory):
+        address = memory.malloc(8)
+        memory.free(address)
+        with pytest.raises(MemoryFault, match="double free"):
+            memory.free(address)
+
+    def test_free_of_garbage_faults(self, memory):
+        with pytest.raises(MemoryFault, match="non-allocated"):
+            memory.free(HEAP_BASE + 12345)
+
+    def test_freed_memory_is_invalid(self, memory):
+        address = memory.malloc(8)
+        assert memory.is_valid(address, 8)
+        memory.free(address)
+        assert not memory.is_valid(address, 8)
+
+    def test_calloc_zero_fills(self, memory):
+        address = memory.calloc(4, 4)
+        assert memory.read(address, 16) == bytes(16)
+        assert memory.live_blocks()[address] == 16
+
+    def test_malloc_poisons(self, memory):
+        address = memory.malloc(4)
+        assert memory.read(address, 4) == b"\xaa\xaa\xaa\xaa"
+
+    def test_realloc_preserves_content(self, memory):
+        address = memory.malloc(4)
+        memory.write(address, b"abcd")
+        bigger = memory.realloc(address, 16)
+        assert memory.read(bigger, 4) == b"abcd"
+        assert not memory.is_valid(address, 4)  # old block freed
+        assert memory.live_blocks() == {bigger: 16}
+
+    def test_realloc_null_acts_as_malloc(self, memory):
+        address = memory.realloc(NULL, 8)
+        assert memory.live_blocks() == {address: 8}
+
+    def test_realloc_freed_faults(self, memory):
+        address = memory.malloc(8)
+        memory.free(address)
+        with pytest.raises(MemoryFault):
+            memory.realloc(address, 16)
+
+    def test_free_list_reuse(self, memory):
+        first = memory.malloc(16)
+        memory.free(first)
+        second = memory.malloc(16)
+        assert second == first  # first-fit reuses the freed block
+
+    def test_exhaustion_returns_null(self):
+        small = Memory(heap_size=64)
+        assert small.malloc(32) != NULL
+        assert small.malloc(1024) == NULL
+
+    def test_block_containing(self, memory):
+        address = memory.malloc(32)
+        block = memory.block_containing(address + 5)
+        assert block.address == address
+        assert memory.block_containing(HEAP_BASE + 999999) is None
+
+    def test_heap_validity_respects_block_bounds(self, memory):
+        address = memory.malloc(8)
+        assert memory.is_valid(address, 8)
+        assert not memory.is_valid(address, 9)  # past the block
+
+    def test_global_allocation(self, memory):
+        a = memory.allocate_global(10)
+        b = memory.allocate_global(10)
+        assert b >= a + 10
+        assert memory.segment_of(a) == "global"
+
+
+# ---------------------------------------------------------------------------
+# Property-based: arbitrary malloc/free interleavings keep the allocator
+# consistent — live blocks never overlap, and contents survive other
+# operations.
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("malloc"), st.integers(min_value=1, max_value=256)),
+            st.tuples(st.just("free"), st.integers(min_value=0, max_value=30)),
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_allocator_never_overlaps(operations):
+    memory = Memory()
+    live = []
+    for operation, argument in operations:
+        if operation == "malloc":
+            address = memory.malloc(argument)
+            if address != NULL:
+                live.append((address, argument))
+        elif live:
+            index = argument % len(live)
+            address, _ = live.pop(index)
+            memory.free(address)
+    intervals = sorted(memory.live_blocks().items())
+    assert [a for a, _ in intervals] == sorted(a for a, _ in live)
+    for (a1, s1), (a2, _s2) in zip(intervals, intervals[1:]):
+        assert a1 + s1 <= a2  # no overlap
+
+
+@given(st.binary(min_size=1, max_size=64))
+@settings(max_examples=100, deadline=None)
+def test_heap_contents_survive_round_trip(payload):
+    memory = Memory()
+    address = memory.malloc(len(payload))
+    memory.write(address, payload)
+    other = memory.malloc(32)
+    memory.write(other, b"\xff" * 32)
+    assert memory.read(address, len(payload)) == payload

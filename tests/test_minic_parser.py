@@ -1,0 +1,278 @@
+"""Tests for the mini-C parser."""
+
+import pytest
+
+from repro.minic import ast
+from repro.minic.ctypes import ArrayType, PointerType, StructType
+from repro.minic.parser import ParseError, parse
+
+
+def parse_expr(text):
+    """Parse `text` as the returned expression of a wrapper function."""
+    program = parse(f"int main(void) {{ return {text}; }}")
+    return program.functions[0].body.body[0].value
+
+
+def parse_body(text):
+    program = parse(f"int main(void) {{ {text} }}")
+    return program.functions[0].body.body
+
+
+class TestTopLevel:
+    def test_function_definition(self):
+        program = parse("int add(int a, int b) { return a + b; }")
+        function = program.functions[0]
+        assert function.name == "add"
+        assert [p.name for p in function.params] == ["a", "b"]
+        assert function.return_type.name == "int"
+
+    def test_void_parameter_list(self):
+        program = parse("int main(void) { return 0; }")
+        assert program.functions[0].params == []
+
+    def test_global_declarations_with_initializers(self):
+        program = parse("int a = 1, b = 2;\ndouble d;\n")
+        assert [g.name for g in program.globals] == ["a", "b", "d"]
+        assert program.globals[0].init.value == 1
+
+    def test_global_array_with_braces(self):
+        program = parse("int arr[3] = {1, 2, 3};")
+        declaration = program.globals[0]
+        assert isinstance(declaration.ctype, ArrayType)
+        assert len(declaration.init) == 3
+
+    def test_struct_definition_and_use(self):
+        program = parse(
+            "struct point { int x; int y; };\n"
+            "struct point origin;\n"
+        )
+        assert "point" in program.structs
+        assert isinstance(program.globals[0].ctype, StructType)
+
+    def test_unknown_struct_raises(self):
+        with pytest.raises(ParseError, match="unknown struct"):
+            parse("struct missing m;")
+
+    def test_forward_declaration_then_definition(self):
+        program = parse("int f(int x);\nint f(int x) { return x; }")
+        assert len([fn for fn in program.functions if fn.name == "f"]) == 2
+
+    def test_typedef_basic(self):
+        program = parse("typedef int number;\nnumber x = 5;")
+        assert program.globals[0].ctype.name == "int"
+
+    def test_typedef_struct(self):
+        program = parse(
+            "typedef struct pair { int a; int b; } pair_t;\npair_t p;"
+        )
+        assert program.globals[0].ctype.name == "struct pair"
+
+    def test_typedef_pointer(self):
+        program = parse("typedef char *string;\nstring s;")
+        assert program.globals[0].ctype.name == "char*"
+
+    def test_enum_constants_and_values(self):
+        program = parse("enum color { RED, GREEN = 5, BLUE };\nint c = 0;")
+        assert program.enum_constants == {"RED": 0, "GREEN": 5, "BLUE": 6}
+
+    def test_typedef_enum_like_the_papers_level(self):
+        program = parse(
+            "typedef enum { UP, DOWN, LEFT, RIGHT } orientation;\n"
+            "orientation facing = RIGHT;\n"
+        )
+        assert program.enum_constants["RIGHT"] == 3
+        assert program.globals[0].ctype.name == "int"
+
+    def test_function_pointer_declarator(self):
+        program = parse("int (*handler)(int);")
+        ctype = program.globals[0].ctype
+        assert isinstance(ctype, PointerType)
+        assert "(*)" in ctype.name
+
+
+class TestDeclarators:
+    def test_pointer_levels(self):
+        program = parse("int **pp;")
+        ctype = program.globals[0].ctype
+        assert ctype.name == "int**"
+
+    def test_array_of_pointers(self):
+        program = parse("int *arr[4];")
+        ctype = program.globals[0].ctype
+        assert isinstance(ctype, ArrayType)
+        assert ctype.element.name == "int*"
+
+    def test_two_dimensional_array(self):
+        program = parse("int m[2][3];")
+        ctype = program.globals[0].ctype
+        assert ctype.size == 24
+        assert ctype.element.name == "int[3]"
+
+    def test_unsized_array_with_initializer(self):
+        body = parse_body("int a[] = {1, 2, 3, 4}; return 0;")
+        assert isinstance(body[0], ast.Declaration)
+
+    def test_array_parameter_decays_to_pointer(self):
+        program = parse("int first(int arr[], int n) { return arr[0]; }")
+        assert isinstance(program.functions[0].params[0].ctype, PointerType)
+
+    def test_const_and_static_absorbed(self):
+        program = parse("static const int limit = 10;")
+        assert program.globals[0].name == "limit"
+
+
+class TestStatements:
+    def test_if_else_chain(self):
+        body = parse_body("if (1) return 1; else if (2) return 2; else return 3;")
+        statement = body[0]
+        assert isinstance(statement, ast.If)
+        assert isinstance(statement.other, ast.If)
+
+    def test_while_and_do_while(self):
+        body = parse_body("while (1) break; do continue; while (0);")
+        assert isinstance(body[0], ast.While)
+        assert isinstance(body[1], ast.DoWhile)
+
+    def test_for_with_declaration(self):
+        body = parse_body("for (int i = 0; i < 10; i++) {} return 0;")
+        loop = body[0]
+        assert isinstance(loop.init, ast.Declaration)
+        assert loop.cond is not None
+        assert loop.step is not None
+
+    def test_for_all_clauses_empty(self):
+        body = parse_body("for (;;) break; return 0;")
+        loop = body[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_empty_statement(self):
+        body = parse_body("; return 0;")
+        assert isinstance(body[0], ast.Compound)
+
+    def test_multi_declarator_line_splits(self):
+        body = parse_body("int a = 1, b = 2; return 0;")
+        assert isinstance(body[0], ast.Compound)
+        assert len(body[0].body) == 2
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(ParseError):
+            parse("int main(void) { return 0;")
+
+    def test_switch_with_cases_and_default(self):
+        body = parse_body(
+            "switch (x) { case 1: break; case 2: case 3: break; default: ; }"
+            " return 0;"
+        )
+        switch = body[0]
+        assert isinstance(switch, ast.Switch)
+        assert len(switch.cases) == 4
+        assert switch.cases[-1].match is None
+        assert switch.cases[1].body == []  # fallthrough arm
+
+    def test_switch_statement_before_case_raises(self):
+        with pytest.raises(ParseError, match="case"):
+            parse_body("switch (x) { x = 1; } return 0;")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_shift_vs_relational(self):
+        expr = parse_expr("1 << 2 < 3")
+        assert expr.op == "<"
+        assert expr.left.op == "<<"
+
+    def test_logical_lowest(self):
+        expr = parse_expr("1 == 2 && 3 | 4")
+        assert expr.op == "&&"
+
+    def test_assignment_right_associative(self):
+        body = parse_body("int a; int b; a = b = 1; return 0;")
+        assignment = body[2].expr
+        assert isinstance(assignment.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        body = parse_body("int a = 1; a += 2; return a;")
+        assert body[1].expr.op == "+="
+
+    def test_ternary(self):
+        expr = parse_expr("1 ? 2 : 3")
+        assert isinstance(expr, ast.Conditional)
+
+    def test_unary_chain(self):
+        expr = parse_expr("-!~x")
+        assert expr.op == "-"
+        assert expr.operand.op == "!"
+        assert expr.operand.operand.op == "~"
+
+    def test_prefix_and_postfix_increment(self):
+        body = parse_body("int i = 0; ++i; i++; return i;")
+        assert isinstance(body[1].expr, ast.Unary)
+        assert isinstance(body[2].expr, ast.Postfix)
+
+    def test_address_of_and_deref(self):
+        expr = parse_expr("*&x")
+        assert expr.op == "*"
+        assert expr.operand.op == "&"
+
+    def test_member_and_arrow(self):
+        expr = parse_expr("p.x + q->y")
+        assert expr.left.arrow is False
+        assert expr.right.arrow is True
+
+    def test_call_with_arguments(self):
+        expr = parse_expr("f(1, g(2), h())")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 3
+
+    def test_index_chain(self):
+        expr = parse_expr("m[1][2]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_cast(self):
+        expr = parse_expr("(double)5")
+        assert isinstance(expr, ast.Cast)
+        assert expr.ctype.name == "double"
+
+    def test_cast_to_pointer(self):
+        expr = parse_expr("(int*)0")
+        assert expr.ctype.name == "int*"
+
+    def test_sizeof_type_and_expr(self):
+        assert isinstance(parse_expr("sizeof(int)"), ast.SizeofType)
+        assert isinstance(parse_expr("sizeof x"), ast.SizeofExpr)
+
+    def test_string_concatenation(self):
+        expr = parse_expr('"ab" "cd"')
+        assert expr.value == "abcd"
+
+    def test_null_literal(self):
+        assert isinstance(parse_expr("NULL"), ast.NullLiteral)
+
+    def test_comma_operator(self):
+        expr = parse_expr("(1, 2)")
+        assert expr.op == ","
+
+    def test_parenthesized_is_not_cast(self):
+        expr = parse_expr("(x) + 1")
+        assert expr.op == "+"
+
+    def test_error_reports_line(self):
+        with pytest.raises(ParseError, match=":2:"):
+            parse("int x;\nint main(void) { return +; }")
+
+
+class TestLineNumbers:
+    def test_statements_carry_their_line(self):
+        program = parse("int main(void) {\n  int a = 1;\n  return a;\n}")
+        body = program.functions[0].body.body
+        assert body[0].line == 2
+        assert body[1].line == 3
+
+    def test_function_end_line(self):
+        program = parse("int f(void)\n{\n  return 0;\n}\n")
+        assert program.functions[0].end_line == 4

@@ -1,0 +1,185 @@
+"""Tests for the mini-C type system: sizes, layout, scalar encoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.minic.ctypes import (
+    ArrayType,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    IntType,
+    LONG,
+    PointerType,
+    SHORT,
+    StructType,
+    UCHAR,
+    UINT,
+    ULONG,
+    VOID,
+    decode_scalar,
+    encode_scalar,
+)
+
+
+class TestScalarSizes:
+    def test_lp64_sizes(self):
+        assert CHAR.size == 1
+        assert SHORT.size == 2
+        assert INT.size == 4
+        assert LONG.size == 8
+        assert FLOAT.size == 4
+        assert DOUBLE.size == 8
+        assert PointerType(INT).size == 8
+
+    def test_alignment_equals_size_for_scalars(self):
+        for ctype in (CHAR, SHORT, INT, LONG, FLOAT, DOUBLE):
+            assert ctype.align == ctype.size
+
+    def test_type_names(self):
+        assert str(PointerType(INT)) == "int*"
+        assert str(PointerType(PointerType(CHAR))) == "char**"
+        assert str(ArrayType(INT, 4)) == "int[4]"
+
+
+class TestIntSemantics:
+    def test_bounds(self):
+        assert INT.bounds() == (-(2**31), 2**31 - 1)
+        assert UCHAR.bounds() == (0, 255)
+
+    def test_wrap_overflow(self):
+        assert INT.wrap(2**31) == -(2**31)
+        assert INT.wrap(-(2**31) - 1) == 2**31 - 1
+        assert UCHAR.wrap(256) == 0
+        assert UCHAR.wrap(-1) == 255
+
+    def test_wrap_identity_in_range(self):
+        assert INT.wrap(12345) == 12345
+        assert CHAR.wrap(-5) == -5
+
+
+class TestArrays:
+    def test_array_size_and_align(self):
+        array = ArrayType(INT, 10)
+        assert array.size == 40
+        assert array.align == 4
+
+    def test_nested_arrays(self):
+        matrix = ArrayType(ArrayType(INT, 3), 2)
+        assert matrix.size == 24
+        assert matrix.element.size == 12
+
+
+class TestStructLayout:
+    def test_padding_between_members(self):
+        struct = StructType("s", [("c", CHAR), ("i", INT)])
+        assert struct.field("c").offset == 0
+        assert struct.field("i").offset == 4  # 3 padding bytes
+        assert struct.size == 8
+        assert struct.align == 4
+
+    def test_tail_padding(self):
+        struct = StructType("s", [("l", LONG), ("c", CHAR)])
+        assert struct.size == 16  # 7 tail-padding bytes
+        assert struct.align == 8
+
+    def test_packed_like_layout_when_sorted(self):
+        struct = StructType("s", [("a", CHAR), ("b", CHAR), ("c", SHORT)])
+        assert struct.size == 4
+
+    def test_nested_struct_alignment(self):
+        inner = StructType("inner", [("x", LONG)])
+        outer = StructType("outer", [("c", CHAR), ("in_", inner)])
+        assert outer.field("in_").offset == 8
+        assert outer.size == 16
+
+    def test_unknown_field_raises(self):
+        struct = StructType("s", [("x", INT)])
+        with pytest.raises(KeyError):
+            struct.field("y")
+
+    def test_empty_struct(self):
+        assert StructType("empty", []).size == 0
+
+
+class TestScalarEncoding:
+    def test_int_round_trip(self):
+        raw = encode_scalar(INT, -123)
+        assert len(raw) == 4
+        assert decode_scalar(INT, raw) == -123
+
+    def test_unsigned_round_trip(self):
+        raw = encode_scalar(UINT, 0xDEADBEEF)
+        assert decode_scalar(UINT, raw) == 0xDEADBEEF
+
+    def test_overflow_wraps_on_encode(self):
+        raw = encode_scalar(INT, 2**31)
+        assert decode_scalar(INT, raw) == -(2**31)
+
+    def test_double_round_trip(self):
+        raw = encode_scalar(DOUBLE, 3.141592653589793)
+        assert decode_scalar(DOUBLE, raw) == 3.141592653589793
+
+    def test_float_loses_precision_but_decodes(self):
+        raw = encode_scalar(FLOAT, 0.1)
+        assert abs(decode_scalar(FLOAT, raw) - 0.1) < 1e-7
+
+    def test_pointer_round_trip(self):
+        pointer = PointerType(INT)
+        raw = encode_scalar(pointer, 0x7FFF_0000)
+        assert decode_scalar(pointer, raw) == 0x7FFF_0000
+
+    def test_little_endian(self):
+        assert encode_scalar(INT, 1) == b"\x01\x00\x00\x00"
+
+    def test_aggregate_encode_rejected(self):
+        with pytest.raises(TypeError):
+            encode_scalar(ArrayType(INT, 2), 0)
+
+
+# ---------------------------------------------------------------------------
+# Property-based: wrap is idempotent and encode/decode invert for every
+# integer type at any magnitude.
+# ---------------------------------------------------------------------------
+
+int_types = st.sampled_from([CHAR, UCHAR, SHORT, INT, UINT, LONG, ULONG])
+
+
+@given(int_types, st.integers(min_value=-(2**80), max_value=2**80))
+@settings(max_examples=200, deadline=None)
+def test_wrap_idempotent_and_in_bounds(ctype, value):
+    wrapped = ctype.wrap(value)
+    low, high = ctype.bounds()
+    assert low <= wrapped <= high
+    assert ctype.wrap(wrapped) == wrapped
+
+
+@given(int_types, st.integers(min_value=-(2**80), max_value=2**80))
+@settings(max_examples=200, deadline=None)
+def test_encode_decode_inverts_wrap(ctype, value):
+    assert decode_scalar(ctype, encode_scalar(ctype, value)) == ctype.wrap(value)
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False))
+@settings(max_examples=100, deadline=None)
+def test_double_encoding_is_exact(value):
+    assert decode_scalar(DOUBLE, encode_scalar(DOUBLE, value)) == value
+
+
+@given(st.lists(st.tuples(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+    st.sampled_from([CHAR, SHORT, INT, LONG, DOUBLE]),
+), min_size=1, max_size=6, unique_by=lambda pair: pair[0]))
+@settings(max_examples=100, deadline=None)
+def test_struct_layout_invariants(members):
+    struct = StructType("s", members)
+    offsets = [struct.field(name) for name, _ in members]
+    # Offsets are aligned, non-overlapping, monotonically increasing.
+    previous_end = 0
+    for field in offsets:
+        assert field.offset % field.ctype.align == 0
+        assert field.offset >= previous_end
+        previous_end = field.offset + field.ctype.size
+    assert struct.size >= previous_end
+    assert struct.size % struct.align == 0

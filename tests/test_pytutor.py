@@ -1,0 +1,481 @@
+"""Tests for Python Tutor traces: encoding, export, replay (Section III-E)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pause import PauseReasonType
+from repro.core.state import AbstractType, Location, Value
+from repro.pytutor.export import record_trace
+from repro.pytutor.pt_tracker import PTTracker
+from repro.pytutor.trace import (
+    PTDecoder,
+    PTEncoder,
+    PTTrace,
+    step_globals,
+    step_to_frame_chain,
+)
+
+RECURSIVE = """\
+def fact(n):
+    if n <= 1:
+        return 1
+    return n * fact(n - 1)
+
+result = fact(4)
+print(result)
+"""
+
+
+def prim(content, language_type="int", address=None):
+    return Value(
+        abstract_type=AbstractType.PRIMITIVE,
+        content=content,
+        location=Location.HEAP,
+        address=address,
+        language_type=language_type,
+    )
+
+
+class TestEncoder:
+    def test_primitive_encodes_inline(self):
+        assert PTEncoder().encode(prim(5)) == 5
+        assert PTEncoder().encode(prim("x", "str")) == "x"
+
+    def test_none_encodes_as_null(self):
+        assert PTEncoder().encode(Value(AbstractType.NONE, None)) is None
+
+    def test_ref_encodes_with_heap_entry(self):
+        encoder = PTEncoder()
+        target = Value(
+            AbstractType.LIST, (prim(1), prim(2)),
+            location=Location.HEAP, address=100, language_type="list",
+        )
+        encoded = encoder.encode(Value(AbstractType.REF, target))
+        assert encoded == ["REF", 100]
+        assert encoder.heap["100"] == ["LIST", 1, 2]
+
+    def test_tuple_tag(self):
+        encoder = PTEncoder()
+        target = Value(
+            AbstractType.LIST, (prim(1),),
+            address=5, language_type="tuple",
+        )
+        encoder.encode(Value(AbstractType.REF, target))
+        assert encoder.heap["5"][0] == "TUPLE"
+
+    def test_struct_as_instance(self):
+        encoder = PTEncoder()
+        target = Value(
+            AbstractType.STRUCT, {"x": prim(1)},
+            address=7, language_type="Node",
+        )
+        encoder.encode(Value(AbstractType.REF, target))
+        assert encoder.heap["7"] == ["INSTANCE", "Node", ["x", 1]]
+
+    def test_shared_target_interned_once(self):
+        encoder = PTEncoder()
+        shared = Value(AbstractType.LIST, (prim(1),), address=9,
+                       language_type="list")
+        first = encoder.encode(Value(AbstractType.REF, shared))
+        second = encoder.encode(Value(AbstractType.REF, shared))
+        assert first == second
+        assert len(encoder.heap) == 1
+
+    def test_cyclic_value_terminates(self):
+        lst = Value(AbstractType.LIST, (), address=11, language_type="list")
+        lst.content = (Value(AbstractType.REF, lst),)
+        encoder = PTEncoder()
+        encoded = encoder.encode(Value(AbstractType.REF, lst))
+        assert encoded == ["REF", 11]
+        assert encoder.heap["11"] == ["LIST", ["REF", 11]]
+
+    def test_invalid_marker(self):
+        encoded = PTEncoder().encode(Value(AbstractType.INVALID, None))
+        assert encoded == ["SPECIAL_FLOAT", "<invalid>"]
+
+
+class TestDecoder:
+    def test_round_trip_through_encoder(self):
+        encoder = PTEncoder()
+        nested = Value(
+            AbstractType.STRUCT,
+            {
+                "items": Value(
+                    AbstractType.LIST, (prim(1), prim(2)),
+                    address=21, language_type="list",
+                ),
+                "name": prim("n", "str"),
+            },
+            address=20,
+            language_type="Box",
+        )
+        encoded = encoder.encode(Value(AbstractType.REF, nested))
+        decoder = PTDecoder(encoder.heap)
+        decoded = decoder.decode(encoded)
+        assert decoded.abstract_type is AbstractType.REF
+        box = decoded.content
+        assert box.language_type == "Box"
+        # Nested aggregates come back behind REFs (PT heap semantics).
+        items = box.content["items"].deref()
+        assert [v.content for v in items.content] == [1, 2]
+
+    def test_shared_ref_decodes_to_same_value(self):
+        encoder = PTEncoder()
+        shared = Value(AbstractType.LIST, (prim(1),), address=33,
+                       language_type="list")
+        pair = Value(
+            AbstractType.LIST,
+            (Value(AbstractType.REF, shared), Value(AbstractType.REF, shared)),
+            address=34,
+            language_type="list",
+        )
+        encoded = encoder.encode(Value(AbstractType.REF, pair))
+        decoded = PTDecoder(encoder.heap).decode(encoded)
+        first, second = decoded.content.content
+        assert first.content is second.content
+
+    def test_missing_heap_entry_is_invalid(self):
+        decoded = PTDecoder({}).decode(["REF", 999])
+        assert decoded.content.abstract_type is AbstractType.INVALID
+
+
+class TestRecordTrace:
+    def test_full_trace_one_step_per_line(self, write_program):
+        trace = record_trace(write_program("p.py", "a = 1\nb = 2\nc = 3\n"))
+        assert [step.line for step in trace.steps] == [1, 2, 3]
+        assert all(step.event == "step_line" for step in trace.steps)
+
+    def test_full_trace_includes_stack_and_globals(self, write_program):
+        trace = record_trace(write_program("p.py", RECURSIVE))
+        call_steps = [s for s in trace.steps if s.stack_to_render]
+        assert call_steps, "recursion should produce stack frames"
+        deepest = max(len(s.stack_to_render) for s in trace.steps)
+        assert deepest == 4  # fact(4) -> fact(1)
+        last = trace.steps[-1]
+        assert "result" in last.globals or "result" in trace.steps[-1].ordered_globals
+
+    def test_tracked_trace_records_call_return_only(self, write_program):
+        trace = record_trace(
+            write_program("p.py", RECURSIVE), mode="tracked", track=["fact"]
+        )
+        assert all(step.event in ("call", "return") for step in trace.steps)
+        assert len(trace.steps) == 8  # 4 calls + 4 returns
+
+    def test_variable_filter(self, write_program):
+        trace = record_trace(
+            write_program("p.py", RECURSIVE),
+            mode="tracked",
+            track=["fact"],
+            variables=["n"],
+        )
+        for step in trace.steps:
+            for frame in step.stack_to_render:
+                assert set(frame.ordered_varnames) <= {"n"}
+
+    def test_partial_trace_smaller_than_full(self, write_program):
+        path = write_program("p.py", RECURSIVE)
+        full = record_trace(path)
+        partial = record_trace(path, mode="tracked", track=["fact"],
+                               variables=["n"])
+        assert len(partial.dumps()) < len(full.dumps())
+
+    def test_stdout_accumulates(self, write_program):
+        trace = record_trace(
+            write_program("p.py", "print('a')\nprint('b')\nx = 1\n")
+        )
+        assert trace.steps[-1].stdout == "a\nb\n"
+
+    def test_mode_validation(self, write_program):
+        from repro.core.errors import TrackerError
+
+        path = write_program("p.py", "x = 1\n")
+        with pytest.raises(TrackerError):
+            record_trace(path, mode="bogus")
+        with pytest.raises(TrackerError):
+            record_trace(path, mode="tracked")  # no track functions
+
+    def test_trace_serializes_to_json(self, write_program, tmp_path):
+        trace = record_trace(write_program("p.py", "x = [1, {'k': 2}]\ny = x\n"))
+        path = str(tmp_path / "trace.json")
+        trace.save(path)
+        loaded = PTTrace.load(path)
+        assert len(loaded.steps) == len(trace.steps)
+        assert loaded.code == trace.code
+
+
+class TestRealPTFormatInterop:
+    """Traces in Python Tutor's actual JSON shape load and replay."""
+
+    REAL_STYLE_TRACE = {
+        "code": "x = [1, 2]\ny = x\n",
+        "language": "py3",
+        "trace": [
+            {
+                "event": "step_line",
+                "line": 1,
+                "func_name": "<module>",
+                "stack_to_render": [],
+                "globals": {},
+                "ordered_globals": [],
+                "heap": {},
+                "stdout": "",
+            },
+            {
+                "event": "step_line",
+                "line": 2,
+                "func_name": "<module>",
+                "stack_to_render": [],
+                "globals": {"x": ["REF", 1]},
+                "ordered_globals": ["x"],
+                "heap": {"1": ["LIST", 1, 2]},
+                "stdout": "",
+                # Fields the real front-end adds; must be tolerated:
+                "exception_msg": "",
+                "column": 0,
+            },
+        ],
+    }
+
+    def test_load_real_style_trace(self, tmp_path):
+        import json as json_module
+
+        path = tmp_path / "real.json"
+        path.write_text(json_module.dumps(self.REAL_STYLE_TRACE))
+        tracker = PTTracker()
+        tracker.load_program(str(path))
+        tracker.start()
+        tracker.step()
+        globals_map = tracker.get_global_variables()
+        target = globals_map["x"].value.content
+        assert [v.content for v in target.content] == [1, 2]
+
+    def test_crashing_inferior_records_exception_step(self, write_program):
+        trace = record_trace(
+            write_program("boom.py", "x = 1\nraise ValueError('boom')\n")
+        )
+        assert trace.steps[-1].event == "exception"
+        assert trace.steps[-1].line >= 1
+
+
+class TestPTTracker:
+    @pytest.fixture
+    def trace_path(self, write_program, tmp_path):
+        trace = record_trace(
+            write_program("p.py", RECURSIVE), mode="tracked", track=["fact"]
+        )
+        path = str(tmp_path / "trace.json")
+        trace.save(path)
+        return path
+
+    def test_replay_track_function(self, trace_path):
+        tracker = PTTracker()
+        tracker.load_program(trace_path)
+        tracker.track_function("fact")
+        tracker.start()
+        calls = returns = 0
+        while tracker.get_exit_code() is None:
+            tracker.resume()
+            if tracker.pause_reason.type is PauseReasonType.CALL:
+                calls += 1
+            elif tracker.pause_reason.type is PauseReasonType.RETURN:
+                returns += 1
+        # The first recorded step is consumed by start(); the remaining
+        # 7 steps alternate call/return.
+        assert calls + returns == 7
+
+    def test_replay_frames(self, trace_path):
+        tracker = PTTracker()
+        tracker.load_program(trace_path)
+        tracker.track_function("fact")
+        tracker.start()
+        tracker.resume()
+        frame = tracker.get_current_frame()
+        assert frame.name == "fact"
+        assert "n" in frame.variables
+
+    def test_step_back(self, trace_path):
+        tracker = PTTracker()
+        tracker.load_program(trace_path)
+        tracker.start()
+        tracker.step()
+        tracker.step()
+        index = tracker.step_index
+        tracker.step_back()
+        assert tracker.step_index == index - 1
+
+    def test_step_back_at_start_raises(self, trace_path):
+        from repro.core.errors import NotPausedError
+
+        tracker = PTTracker()
+        tracker.load_program(trace_path)
+        tracker.start()
+        with pytest.raises(NotPausedError):
+            tracker.step_back()
+
+    def test_post_exit_inspection_allowed(self, trace_path):
+        tracker = PTTracker()
+        tracker.load_program(trace_path)
+        tracker.start()
+        tracker.resume()  # no control points: runs to the end
+        while tracker.get_exit_code() is None:
+            tracker.resume()
+        # The final state stays inspectable (a trace is immutable history).
+        frame = tracker.get_current_frame()
+        assert frame is not None
+
+    def test_line_breakpoint_on_trace(self, write_program, tmp_path):
+        trace = record_trace(write_program("p.py", "a = 1\nb = 2\nc = 3\n"))
+        path = str(tmp_path / "t.json")
+        trace.save(path)
+        tracker = PTTracker()
+        tracker.load_program(path)
+        tracker.break_before_line(3)
+        tracker.start()
+        tracker.resume()
+        assert tracker.pause_reason.type is PauseReasonType.BREAKPOINT
+        assert tracker.next_lineno == 3
+
+    def test_watch_on_trace(self, write_program, tmp_path):
+        trace = record_trace(
+            write_program("p.py", "x = 1\nx = 2\nx = 3\ny = 1\n")
+        )
+        path = str(tmp_path / "t.json")
+        trace.save(path)
+        tracker = PTTracker()
+        tracker.load_program(path)
+        tracker.watch("x")
+        tracker.start()
+        hits = 0
+        while tracker.get_exit_code() is None:
+            tracker.resume()
+            if tracker.pause_reason.type is PauseReasonType.WATCH:
+                hits += 1
+        assert hits == 3
+
+    def test_function_breakpoint_on_trace(self, trace_path):
+        tracker = PTTracker()
+        tracker.load_program(trace_path)
+        tracker.break_before_func("fact")
+        tracker.start()
+        tracker.resume()
+        assert tracker.pause_reason.type is PauseReasonType.BREAKPOINT
+        assert tracker.pause_reason.function == "fact"
+
+    def test_next_and_finish_on_trace(self, trace_path):
+        tracker = PTTracker()
+        tracker.load_program(trace_path)
+        tracker.start()
+        depth0 = len(tracker.get_frames())
+        tracker.next()
+        if tracker.get_exit_code() is None:
+            assert len(tracker.get_frames()) <= depth0 + 1
+
+    def test_empty_trace_rejected(self, tmp_path):
+        from repro.core.errors import ProgramLoadError
+
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"code": "", "trace": []}))
+        tracker = PTTracker()
+        with pytest.raises(ProgramLoadError):
+            tracker.load_program(str(path))
+
+    def test_source_from_trace(self, trace_path):
+        tracker = PTTracker()
+        tracker.load_program(trace_path)
+        assert tracker.get_source_lines()[0] == "def fact(n):"
+
+
+class TestStepReconstruction:
+    def test_frame_chain_from_step(self, write_program):
+        trace = record_trace(
+            write_program("p.py", RECURSIVE), mode="tracked", track=["fact"]
+        )
+        # Find the deepest call step.
+        deepest = max(trace.steps, key=lambda s: len(s.stack_to_render))
+        frame = step_to_frame_chain(deepest)
+        assert frame.name == "fact"
+        depth = len(frame.stack())
+        assert depth == len(deepest.stack_to_render)
+
+    def test_globals_from_step(self, write_program):
+        trace = record_trace(write_program("p.py", "value = [1, 2]\ndone = 1\n"))
+        final = trace.steps[-1]
+        globals_map = step_globals(final)
+        assert "value" in globals_map
+        target = globals_map["value"].value.content
+        assert [v.content for v in target.content] == [1, 2]
+
+
+# ---------------------------------------------------------------------------
+# Property-based: encoder/decoder round-trip over random value graphs
+# ---------------------------------------------------------------------------
+
+# Address None -> the encoder assigns unique synthetic heap ids, so the
+# random trees below can never alias each other by accident.
+_addresses = st.none()
+
+
+def _heap_values():
+    base = st.one_of(
+        st.integers(-1000, 1000).map(lambda c: prim(c)),
+        st.text(max_size=5).map(lambda c: prim(c, "str")),
+        st.just(Value(AbstractType.NONE, None)),
+    )
+
+    def containers(children):
+        return st.one_of(
+            st.tuples(st.lists(children, max_size=3), _addresses).map(
+                lambda pair: Value(
+                    AbstractType.LIST, tuple(pair[0]),
+                    location=Location.HEAP, address=pair[1],
+                    language_type="list",
+                )
+            ),
+            st.tuples(
+                st.dictionaries(
+                    st.text(alphabet="abc", min_size=1, max_size=3),
+                    children,
+                    max_size=3,
+                ),
+                _addresses,
+            ).map(
+                lambda pair: Value(
+                    AbstractType.STRUCT, pair[0],
+                    location=Location.HEAP, address=pair[1],
+                    language_type="Obj",
+                )
+            ),
+        )
+
+    return st.recursive(base, containers, max_leaves=8)
+
+
+def _normalized_render(value, depth=0):
+    """Render with every REF chased, so PT's aggregate-behind-REF encoding
+    compares equal to the original inline shape."""
+    if depth > 50:
+        return "..."
+    kind = value.abstract_type
+    if kind is AbstractType.REF:
+        return _normalized_render(value.content, depth + 1)
+    if kind is AbstractType.LIST:
+        inner = ", ".join(_normalized_render(v, depth + 1) for v in value.content)
+        return f"[{inner}]"
+    if kind is AbstractType.STRUCT:
+        inner = ", ".join(
+            f".{name}={_normalized_render(v, depth + 1)}"
+            for name, v in value.content.items()
+        )
+        return f"{{{inner}}}"
+    return value.render()
+
+
+@given(_heap_values())
+@settings(max_examples=60, deadline=None)
+def test_pt_encoding_round_trip_property(value):
+    encoder = PTEncoder()
+    encoded = encoder.encode(value)
+    decoded = PTDecoder(encoder.heap).decode(encoded)
+    assert _normalized_render(decoded) == _normalized_render(value)

@@ -1,0 +1,227 @@
+"""Tests for the RISC-V assembler."""
+
+import pytest
+
+from repro.riscv.assembler import (
+    AsmError,
+    DATA_BASE,
+    TEXT_BASE,
+    assemble,
+)
+
+
+class TestLayout:
+    def test_instructions_are_4_bytes_apart(self):
+        program = assemble("main:\n  addi t0, x0, 1\n  addi t1, x0, 2\n")
+        addresses = [i.address for i in program.instructions]
+        assert addresses == [TEXT_BASE, TEXT_BASE + 4]
+
+    def test_text_labels_resolve(self):
+        program = assemble("main:\n  nop\nloop:\n  j loop\n")
+        assert program.symbols["main"] == TEXT_BASE
+        assert program.symbols["loop"] == TEXT_BASE + 4
+        jump = program.instructions[1]
+        assert jump.operands == (0, TEXT_BASE + 4)
+
+    def test_data_labels_resolve(self):
+        program = assemble(".data\nvalue: .word 42\nmain:\n")
+        assert program.symbols["value"] == DATA_BASE
+        assert program.data[:4] == (42).to_bytes(4, "little")
+
+    def test_entry_defaults_to_main(self):
+        program = assemble("helper:\n  nop\nmain:\n  nop\n")
+        assert program.entry == program.symbols["main"]
+
+    def test_duplicate_label_raises(self):
+        with pytest.raises(AsmError, match="duplicate"):
+            assemble("a:\n  nop\na:\n  nop\n")
+
+
+class TestDirectives:
+    def test_word_list(self):
+        program = assemble(".data\narr: .word 1, 2, -1\n")
+        assert len(program.data) == 12
+        assert program.data[8:12] == b"\xff\xff\xff\xff"
+
+    def test_byte_and_half(self):
+        program = assemble(".data\nx: .byte 1, 2\ny: .half 0x1234\n")
+        assert program.data == b"\x01\x02\x34\x12"
+
+    def test_asciz_appends_nul(self):
+        program = assemble('.data\nmsg: .asciz "hi"\n')
+        assert program.data == b"hi\x00"
+
+    def test_string_escapes(self):
+        program = assemble('.data\nmsg: .asciz "a\\nb"\n')
+        assert program.data == b"a\nb\x00"
+
+    def test_space_and_align(self):
+        program = assemble(".data\na: .byte 1\n.align 2\nb: .word 5\n")
+        assert program.symbols["b"] % 4 == 0
+
+    def test_globl_ignored(self):
+        program = assemble(".globl main\nmain:\n  nop\n")
+        assert program.symbols["main"] == TEXT_BASE
+
+    def test_unknown_directive_raises(self):
+        with pytest.raises(AsmError, match="directive"):
+            assemble(".bogus 1\n")
+
+    def test_instruction_in_data_section_raises(self):
+        with pytest.raises(AsmError, match="outside"):
+            assemble(".data\n  addi t0, x0, 1\n")
+
+
+class TestRegisters:
+    def test_abi_and_numeric_names_agree(self):
+        program = assemble("main:\n  add a0, x10, a0\n")
+        rd, rs1, rs2 = program.instructions[0].operands
+        assert rd == rs1 == rs2 == 10
+
+    def test_fp_is_s0(self):
+        program = assemble("main:\n  mv fp, s0\n")
+        assert program.instructions[0].operands[:2] == (8, 8)
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(AsmError, match="register"):
+            assemble("main:\n  add q7, x0, x0\n")
+
+
+class TestPseudoInstructions:
+    def expand(self, text):
+        return assemble(f"main:\n  {text}\n").instructions[0]
+
+    def test_nop(self):
+        instruction = self.expand("nop")
+        assert instruction.mnemonic == "addi"
+        assert instruction.operands == (0, 0, 0)
+
+    def test_mv(self):
+        assert self.expand("mv t0, t1").operands == (5, 6, 0)
+
+    def test_not_neg(self):
+        assert self.expand("not t0, t1").mnemonic == "xori"
+        assert self.expand("neg t0, t1").mnemonic == "sub"
+
+    def test_ret_is_jalr_zero_ra(self):
+        instruction = self.expand("ret")
+        assert instruction.mnemonic == "jalr"
+        assert instruction.operands == (0, 1, 0)
+        assert instruction.is_return()
+
+    def test_call_links_ra(self):
+        program = assemble("main:\n  call f\nf:\n  ret\n")
+        assert program.instructions[0].mnemonic == "jal"
+        assert program.instructions[0].operands[0] == 1
+
+    def test_branch_pseudos(self):
+        program = assemble(
+            "main:\nx:\n  beqz t0, x\n  bnez t0, x\n  ble t0, t1, x\n  bgt t0, t1, x\n"
+        )
+        mnemonics = [i.mnemonic for i in program.instructions]
+        assert mnemonics == ["beq", "bne", "bge", "blt"]
+        # ble swaps operands: bge t1, t0
+        assert program.instructions[2].operands[:2] == (6, 5)
+
+    def test_seqz_snez(self):
+        assert self.expand("seqz t0, t1").mnemonic == "sltiu"
+        assert self.expand("snez t0, t1").mnemonic == "sltu"
+
+    def test_li_small_is_addi(self):
+        instruction = self.expand("li t0, -5")
+        assert instruction.mnemonic == "addi"
+        assert instruction.operands == (5, 0, -5)
+
+    def test_li_large_is_lui_addi_pair(self):
+        program = assemble("main:\n  li t0, 100000\n")
+        mnemonics = [i.mnemonic for i in program.instructions]
+        assert mnemonics == ["lui", "addi"]
+        hi = program.instructions[0].operands[1]
+        lo = program.instructions[1].operands[2]
+        assert ((hi << 12) + lo) & 0xFFFFFFFF == 100000
+
+    def test_la_is_lui_addi_pair(self):
+        program = assemble(".data\nv: .word 0\n.text\nmain:\n  la t0, v\n")
+        mnemonics = [i.mnemonic for i in program.instructions]
+        assert mnemonics == ["lui", "addi"]
+        hi = program.instructions[0].operands[1]
+        lo = program.instructions[1].operands[2]
+        assert ((hi << 12) + lo) & 0xFFFFFFFF == DATA_BASE
+        # Both halves carry the original source line and text.
+        assert program.instructions[0].line == program.instructions[1].line
+
+    def test_char_immediate(self):
+        instruction = self.expand("li a0, 'A'")
+        assert instruction.mnemonic == "addi"
+        assert instruction.operands == (10, 0, 65)
+
+
+class TestOperandForms:
+    def test_memory_operand(self):
+        program = assemble("main:\n  lw t0, -8(sp)\n")
+        assert program.instructions[0].operands == (5, 2, -8)
+
+    def test_bare_symbol_load(self):
+        program = assemble(".data\nv: .word 3\n.text\nmain:\n  lw t0, v\n")
+        assert program.instructions[0].operands == (5, 0, DATA_BASE)
+
+    def test_hex_immediates(self):
+        program = assemble("main:\n  addi t0, x0, 0x7f\n")
+        assert program.instructions[0].operands[2] == 127
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(AsmError, match="unknown label"):
+            assemble("main:\n  j nowhere\n")
+
+    def test_wrong_operand_count_raises(self):
+        with pytest.raises(AsmError):
+            assemble("main:\n  add t0, t1\n")
+
+    def test_unknown_instruction_raises(self):
+        with pytest.raises(AsmError, match="unknown instruction"):
+            assemble("main:\n  frobnicate t0\n")
+
+    def test_comments_stripped(self):
+        program = assemble("main: # entry\n  nop # do nothing\n  nop ; also\n")
+        assert len(program.instructions) == 2
+
+
+class TestFunctionQueries:
+    SOURCE = (
+        "main:\n  call f\n  li a7, 10\n  ecall\n"
+        "f:\n  addi a0, a0, 1\n  ret\n"
+        "g:\n  ret\n"
+    )
+
+    def test_function_of(self):
+        program = assemble(self.SOURCE)
+        assert program.function_of(program.symbols["f"]) == "f"
+        assert program.function_of(program.symbols["f"] + 4) == "f"
+        assert program.function_of(program.symbols["g"]) == "g"
+        assert program.function_of(TEXT_BASE) == "main"
+
+    def test_function_body_bounds(self):
+        program = assemble(self.SOURCE)
+        body = program.function_body("f")
+        assert len(body) == 2
+        assert body[-1].is_return()
+
+    def test_function_body_unknown_raises(self):
+        with pytest.raises(AsmError):
+            assemble(self.SOURCE).function_body("missing")
+
+    def test_ret_scan_finds_single_return(self):
+        program = assemble(self.SOURCE)
+        returns = [i for i in program.function_body("f") if i.is_return()]
+        assert len(returns) == 1
+
+    def test_instruction_at(self):
+        program = assemble(self.SOURCE)
+        assert program.instruction_at(TEXT_BASE).mnemonic == "jal"
+        assert program.instruction_at(TEXT_BASE - 4) is None
+        assert program.instruction_at(TEXT_BASE + 4000) is None
+
+    def test_lines_recorded(self):
+        program = assemble(self.SOURCE)
+        # "main:" is line 1; the first instruction is on line 2.
+        assert program.instructions[0].line == 2

@@ -1,0 +1,179 @@
+"""Tests for RV32IM binary encoding/decoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.riscv.assembler import Instruction, TEXT_BASE, assemble
+from repro.riscv.encoding import (
+    EncodingError,
+    decode,
+    disassemble_word,
+    encode,
+    encode_program,
+)
+
+
+def instr(mnemonic, operands, address=TEXT_BASE):
+    return Instruction(
+        address=address, mnemonic=mnemonic, operands=tuple(operands),
+        line=1, text="",
+    )
+
+
+class TestKnownEncodings:
+    """Golden words cross-checked against the RISC-V spec examples."""
+
+    def test_addi(self):
+        # addi x1, x0, 5 -> imm=5, rs1=0, funct3=0, rd=1, op=0x13
+        assert encode(instr("addi", (1, 0, 5))) == 0x00500093
+
+    def test_add(self):
+        # add x3, x1, x2
+        assert encode(instr("add", (3, 1, 2))) == 0x002081B3
+
+    def test_sub(self):
+        assert encode(instr("sub", (3, 1, 2))) == 0x402081B3
+
+    def test_lw_sw(self):
+        # lw x5, 8(x2)
+        assert encode(instr("lw", (5, 2, 8))) == 0x00812283
+        # sw x5, 8(x2)
+        assert encode(instr("sw", (5, 2, 8))) == 0x00512423
+
+    def test_ecall_ebreak(self):
+        assert encode(instr("ecall", ())) == 0x00000073
+        assert encode(instr("ebreak", ())) == 0x00100073
+
+    def test_lui(self):
+        assert encode(instr("lui", (5, 0x12345))) == 0x123452B7
+
+    def test_negative_immediate(self):
+        # addi x1, x1, -1
+        assert encode(instr("addi", (1, 1, -1))) == 0xFFF08093
+
+    def test_jal_forward(self):
+        # jal x1, +8
+        word = encode(instr("jal", (1, TEXT_BASE + 8)))
+        assert decode(word, TEXT_BASE) == ("jal", (1, TEXT_BASE + 8))
+
+    def test_branch_backward(self):
+        word = encode(instr("beq", (1, 2, TEXT_BASE - 12)))
+        assert decode(word, TEXT_BASE) == ("beq", (1, 2, TEXT_BASE - 12))
+
+
+class TestRangeChecks:
+    def test_immediate_too_large(self):
+        with pytest.raises(EncodingError):
+            encode(instr("addi", (1, 0, 5000)))
+
+    def test_branch_too_far(self):
+        with pytest.raises(EncodingError):
+            encode(instr("beq", (1, 2, TEXT_BASE + (1 << 14))))
+
+    def test_odd_branch_offset(self):
+        with pytest.raises(EncodingError):
+            encode(instr("beq", (1, 2, TEXT_BASE + 3)))
+
+    def test_bad_shift_amount(self):
+        with pytest.raises(EncodingError):
+            encode(instr("slli", (1, 1, 40)))
+
+    def test_unknown_word_decodes_as_error(self):
+        with pytest.raises(EncodingError):
+            decode(0xFFFFFFFF)
+
+    def test_disassemble_word_fallback(self):
+        assert disassemble_word(0xFFFFFFFF) == ".word 0xffffffff"
+        assert disassemble_word(0x00000073) == "ecall"
+
+
+class TestProgramImage:
+    def test_every_assembled_program_encodes(self):
+        program = assemble(
+            ".data\nv: .word 1\n.text\n"
+            ".globl main\n"
+            "main:\n"
+            "  la t0, v\n"
+            "  lw t1, 0(t0)\n"
+            "  li t2, 100000\n"
+            "loop:\n"
+            "  beqz t1, end\n"
+            "  addi t1, t1, -1\n"
+            "  j loop\n"
+            "end:\n"
+            "  call helper\n"
+            "  li a7, 93\n"
+            "  ecall\n"
+            "helper:\n"
+            "  sw t2, -4(sp)\n"
+            "  srai t2, t2, 2\n"
+            "  mul t2, t2, t1\n"
+            "  ret\n"
+        )
+        image = encode_program(program)
+        assert len(image) == 4 * len(program.instructions)
+        # Decoding the image reproduces each instruction exactly.
+        for index, instruction in enumerate(program.instructions):
+            word = int.from_bytes(image[4 * index : 4 * index + 4], "little")
+            mnemonic, operands = decode(word, instruction.address)
+            assert mnemonic == instruction.mnemonic
+            assert operands == instruction.operands
+
+
+# ---------------------------------------------------------------------------
+# Property-based round trips over randomly generated instructions
+# ---------------------------------------------------------------------------
+
+registers = st.integers(min_value=0, max_value=31)
+imm12 = st.integers(min_value=-2048, max_value=2047)
+
+
+@st.composite
+def encodable_instructions(draw):
+    kind = draw(
+        st.sampled_from(["r", "i", "shift", "load", "store", "branch",
+                         "jal", "jalr", "upper", "system"])
+    )
+    if kind == "r":
+        name = draw(st.sampled_from(sorted(
+            "add sub and or xor sll srl sra slt sltu mul div rem".split()
+        )))
+        return instr(name, (draw(registers), draw(registers), draw(registers)))
+    if kind == "i":
+        name = draw(st.sampled_from(sorted(
+            "addi andi ori xori slti sltiu".split()
+        )))
+        return instr(name, (draw(registers), draw(registers), draw(imm12)))
+    if kind == "shift":
+        name = draw(st.sampled_from(["slli", "srli", "srai"]))
+        shamt = draw(st.integers(min_value=0, max_value=31))
+        return instr(name, (draw(registers), draw(registers), shamt))
+    if kind == "load":
+        name = draw(st.sampled_from(sorted("lw lh lb lhu lbu".split())))
+        return instr(name, (draw(registers), draw(registers), draw(imm12)))
+    if kind == "store":
+        name = draw(st.sampled_from(["sw", "sh", "sb"]))
+        return instr(name, (draw(registers), draw(registers), draw(imm12)))
+    if kind == "branch":
+        name = draw(st.sampled_from(sorted("beq bne blt bge bltu bgeu".split())))
+        offset = draw(st.integers(min_value=-2048, max_value=2047)) * 2
+        return instr(name, (draw(registers), draw(registers), TEXT_BASE + offset))
+    if kind == "jal":
+        offset = draw(st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1)) * 2
+        return instr("jal", (draw(registers), TEXT_BASE + offset))
+    if kind == "jalr":
+        return instr("jalr", (draw(registers), draw(registers), draw(imm12)))
+    if kind == "upper":
+        name = draw(st.sampled_from(["lui", "auipc"]))
+        return instr(name, (draw(registers), draw(st.integers(0, (1 << 20) - 1))))
+    return instr(draw(st.sampled_from(["ecall", "ebreak"])), ())
+
+
+@given(encodable_instructions())
+@settings(max_examples=300, deadline=None)
+def test_encode_decode_round_trip(instruction):
+    word = encode(instruction)
+    assert 0 <= word < 1 << 32
+    mnemonic, operands = decode(word, instruction.address)
+    assert mnemonic == instruction.mnemonic
+    assert operands == instruction.operands

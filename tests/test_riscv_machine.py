@@ -1,0 +1,294 @@
+"""Tests for the RISC-V machine simulator."""
+
+import pytest
+
+from repro.minic.events import (
+    CallEvent,
+    ExitEvent,
+    LineEvent,
+    OutputEvent,
+    ReturnEvent,
+)
+from repro.riscv.assembler import DATA_BASE, assemble
+from repro.riscv.machine import Machine, MachineFault, STACK_TOP
+
+
+def run_asm(source, max_steps=100000):
+    machine = Machine(assemble(source), max_steps=max_steps)
+    events = list(machine.run())
+    return machine, events
+
+
+EXIT = "  li a7, 93\n  ecall\n"
+
+
+class TestArithmetic:
+    def test_addi_and_exit_code(self):
+        machine, _ = run_asm("main:\n  li a0, 42\n" + EXIT)
+        assert machine.exit_code == 42
+
+    def test_register_zero_is_immutable(self):
+        machine, _ = run_asm(
+            "main:\n  addi x0, x0, 99\n  addi a0, x0, 0\n" + EXIT
+        )
+        assert machine.exit_code == 0
+
+    def test_rtype_operations(self):
+        machine, _ = run_asm(
+            "main:\n"
+            "  li t0, 6\n  li t1, 3\n"
+            "  add s0, t0, t1\n"
+            "  sub s1, t0, t1\n"
+            "  mul s2, t0, t1\n"
+            "  and s3, t0, t1\n"
+            "  or s4, t0, t1\n"
+            "  xor s5, t0, t1\n"
+            "  li a0, 0\n" + EXIT
+        )
+        regs = machine.register_map()
+        assert regs["s0"] == 9
+        assert regs["s1"] == 3
+        assert regs["s2"] == 18
+        assert regs["s3"] == 2
+        assert regs["s4"] == 7
+        assert regs["s5"] == 5
+
+    def test_div_rem_signs(self):
+        machine, _ = run_asm(
+            "main:\n  li t0, -7\n  li t1, 2\n"
+            "  div s0, t0, t1\n  rem s1, t0, t1\n  li a0, 0\n" + EXIT
+        )
+        regs = machine.registers
+        assert regs[8] == -3  # s0: truncation toward zero
+        assert regs[9] == -1  # s1
+
+    def test_division_by_zero_riscv_semantics(self):
+        machine, _ = run_asm(
+            "main:\n  li t0, 5\n  div s0, t0, x0\n  rem s1, t0, x0\n  li a0, 0\n"
+            + EXIT
+        )
+        assert machine.registers[8] == -1
+        assert machine.registers[9] == 5
+
+    def test_shifts_and_sra(self):
+        machine, _ = run_asm(
+            "main:\n  li t0, -8\n"
+            "  srai s0, t0, 1\n"
+            "  srli s1, t0, 28\n"
+            "  slli s2, t0, 1\n  li a0, 0\n" + EXIT
+        )
+        assert machine.registers[8] == -4
+        assert machine.registers[9] == 15
+        assert machine.registers[10 + 8] == -16
+
+    def test_slt_and_sltu(self):
+        machine, _ = run_asm(
+            "main:\n  li t0, -1\n  li t1, 1\n"
+            "  slt s0, t0, t1\n"
+            "  sltu s1, t0, t1\n  li a0, 0\n" + EXIT  # -1 unsigned is huge
+        )
+        assert machine.registers[8] == 1
+        assert machine.registers[9] == 0
+
+    def test_lui_builds_upper_bits(self):
+        machine, _ = run_asm("main:\n  lui t0, 0x12345\n  li a0, 0\n" + EXIT)
+        assert machine.registers[5] == 0x12345000
+
+
+class TestMemory:
+    def test_data_segment_load_store(self):
+        machine, _ = run_asm(
+            ".data\nv: .word 7\nw: .word 0\n"
+            ".text\nmain:\n"
+            "  lw t0, v\n"
+            "  addi t0, t0, 1\n"
+            "  la t1, w\n"
+            "  sw t0, 0(t1)\n"
+            "  lw a0, w\n" + EXIT
+        )
+        assert machine.exit_code == 8
+
+    def test_stack_push_pop(self):
+        machine, _ = run_asm(
+            "main:\n"
+            "  addi sp, sp, -8\n"
+            "  li t0, 123\n"
+            "  sw t0, 4(sp)\n"
+            "  lw a0, 4(sp)\n"
+            "  addi sp, sp, 8\n" + EXIT
+        )
+        assert machine.exit_code == 123
+
+    def test_byte_and_half_access(self):
+        machine, _ = run_asm(
+            ".data\nbuf: .space 8\n"
+            ".text\nmain:\n"
+            "  la t0, buf\n"
+            "  li t1, -2\n"
+            "  sb t1, 0(t0)\n"
+            "  lbu s0, 0(t0)\n"
+            "  lb s1, 0(t0)\n"
+            "  li a0, 0\n" + EXIT
+        )
+        assert machine.registers[8] == 254
+        assert machine.registers[9] == -2
+
+    def test_invalid_access_faults_gracefully(self):
+        machine, events = run_asm("main:\n  lw t0, 64(x0)\n" + EXIT)
+        assert machine.exit_code == 139
+        assert "invalid read" in machine.error
+        assert isinstance(events[-1], ExitEvent)
+
+    def test_sbrk_heap(self):
+        machine, _ = run_asm(
+            "main:\n"
+            "  li a0, 16\n  li a7, 9\n  ecall\n"  # sbrk(16)
+            "  li t0, 77\n  sw t0, 0(a0)\n  lw a0, 0(a0)\n" + EXIT
+        )
+        assert machine.exit_code == 77
+
+
+class TestControlFlow:
+    def test_loop_sums(self):
+        machine, _ = run_asm(
+            "main:\n"
+            "  li t0, 0\n  li t1, 5\n"
+            "loop:\n"
+            "  beqz t1, done\n"
+            "  add t0, t0, t1\n"
+            "  addi t1, t1, -1\n"
+            "  j loop\n"
+            "done:\n  mv a0, t0\n" + EXIT
+        )
+        assert machine.exit_code == 15
+
+    def test_branch_variants(self):
+        machine, _ = run_asm(
+            "main:\n  li t0, 3\n  li t1, 5\n  li a0, 0\n"
+            "  blt t0, t1, ok1\n  j fail\n"
+            "ok1:\n  bge t1, t0, ok2\n  j fail\n"
+            "ok2:\n  bne t0, t1, ok3\n  j fail\n"
+            "ok3:\n  beq t0, t0, ok4\n  j fail\n"
+            "fail:\n  li a0, 1\n" + EXIT
+            + "ok4:\n  li a0, 42\n" + EXIT
+        )
+        assert machine.exit_code == 42
+
+    def test_fib_function_calls(self):
+        machine, events = run_asm(
+            "main:\n"
+            "  li a0, 9\n"
+            "  call fib\n" + EXIT +
+            "fib:\n"
+            "  li t0, 2\n"
+            "  blt a0, t0, base\n"
+            "  addi sp, sp, -12\n"
+            "  sw ra, 0(sp)\n"
+            "  sw a0, 4(sp)\n"
+            "  addi a0, a0, -1\n"
+            "  call fib\n"
+            "  sw a0, 8(sp)\n"
+            "  lw a0, 4(sp)\n"
+            "  addi a0, a0, -2\n"
+            "  call fib\n"
+            "  lw t1, 8(sp)\n"
+            "  add a0, a0, t1\n"
+            "  lw ra, 0(sp)\n"
+            "  addi sp, sp, 12\n"
+            "base:\n"
+            "  ret\n",
+            max_steps=1_000_000,
+        )
+        assert machine.exit_code == 34  # fib(9)
+        calls = [e for e in events if isinstance(e, CallEvent)]
+        returns = [e for e in events if isinstance(e, ReturnEvent)]
+        assert len(calls) == len(returns)
+        assert all(c.function == "fib" for c in calls)
+
+    def test_call_stack_depth_tracking(self):
+        machine, events = run_asm(
+            "main:\n  call outer\n" + EXIT +
+            "outer:\n"
+            "  addi sp, sp, -4\n  sw ra, 0(sp)\n"
+            "  call inner\n"
+            "  lw ra, 0(sp)\n  addi sp, sp, 4\n  ret\n"
+            "inner:\n  ret\n"
+        )
+        depths = {
+            event.function: event.depth
+            for event in events
+            if isinstance(event, CallEvent)
+        }
+        assert depths == {"outer": 1, "inner": 2}
+
+    def test_step_budget(self):
+        machine, _ = run_asm("main:\n  j main\n", max_steps=100)
+        assert machine.exit_code == 139
+        assert "budget" in machine.error
+
+    def test_pc_out_of_text_faults(self):
+        machine, _ = run_asm("main:\n  nop\n")  # falls off the end
+        assert machine.exit_code == 139
+        assert "out of text" in machine.error
+
+
+class TestEcalls:
+    def test_print_services(self):
+        machine, events = run_asm(
+            '.data\nmsg: .asciz "n="\n'
+            ".text\nmain:\n"
+            "  la a0, msg\n  li a7, 4\n  ecall\n"
+            "  li a0, 7\n  li a7, 1\n  ecall\n"
+            "  li a0, 10\n  li a7, 11\n  ecall\n"
+            "  li a7, 10\n  ecall\n"
+        )
+        assert "".join(machine.output) == "n=7\n"
+        assert machine.exit_code == 0
+        assert any(isinstance(e, OutputEvent) for e in events)
+
+    def test_unknown_service_faults(self):
+        machine, _ = run_asm("main:\n  li a7, 999\n  ecall\n")
+        assert machine.exit_code == 139
+
+    def test_ebreak_faults(self):
+        machine, _ = run_asm("main:\n  ebreak\n")
+        assert "ebreak" in machine.error
+
+
+class TestInspection:
+    def test_register_map_has_abi_names_and_pc(self):
+        machine = Machine(assemble("main:\n  nop\n" + EXIT))
+        registers = machine.register_map()
+        assert set(["zero", "ra", "sp", "a0", "t6", "pc"]) <= set(registers)
+        assert registers["sp"] == STACK_TOP
+
+    def test_line_events_match_source_lines(self):
+        machine, events = run_asm("main:\n  li a0, 1\n  li a7, 93\n  ecall\n")
+        lines = [e.line for e in events if isinstance(e, LineEvent)]
+        assert lines == [2, 3, 4]
+
+    def test_read_memory_spans_data(self):
+        machine, _ = run_asm(".data\nv: .word 0x11223344\n.text\nmain:\n" + EXIT)
+        assert machine.read_memory(DATA_BASE, 4) == b"\x44\x33\x22\x11"
+
+    def test_text_segment_readable_as_machine_words(self):
+        from repro.riscv.assembler import TEXT_BASE
+        from repro.riscv.encoding import decode
+
+        machine = Machine(assemble("main:\n  addi t0, x0, 5\n  ecall\n"))
+        word = machine.read_word(TEXT_BASE)
+        assert decode(word, TEXT_BASE) == ("addi", (5, 0, 5))
+
+    def test_text_segment_not_writable(self):
+        from repro.riscv.assembler import TEXT_BASE
+
+        machine = Machine(assemble("main:\n  nop\n"))
+        with pytest.raises(MachineFault):
+            machine.write_word(TEXT_BASE, 0)
+
+    def test_get_register_by_names(self):
+        machine = Machine(assemble("main:\n  nop\n"))
+        assert machine.get_register("sp") == machine.get_register("x2")
+        assert machine.get_register("pc") == machine.pc
+        with pytest.raises(MachineFault):
+            machine.get_register("nope")

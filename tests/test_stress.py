@@ -1,0 +1,127 @@
+"""Stress and soak tests: the handshake and servers under sustained load."""
+
+import pytest
+
+from repro.core.pause import PauseReasonType
+from repro.gdbtracker.tracker import GDBTracker
+from repro.pytracker.tracker import PythonTracker
+
+
+class TestHandshakeStress:
+    def test_thousands_of_step_handshakes(self, write_program):
+        """Each step() is a full wake/wait round trip; none may be lost."""
+        program = "\n".join(f"v{i} = {i}" for i in range(1500))
+        tracker = PythonTracker()
+        tracker.load_program(write_program("long.py", program))
+        tracker.start()
+        steps = 0
+        while tracker.get_exit_code() is None:
+            tracker.step()
+            steps += 1
+        tracker.terminate()
+        assert steps == 1500
+
+    def test_interleaved_control_and_inspection(self, write_program):
+        source = (
+            "def grow(acc, n):\n"
+            "    acc.append(n)\n"
+            "    return acc\n"
+            "\n"
+            "data = []\n"
+            "for i in range(30):\n"
+            "    grow(data, i)\n"
+            "total = len(data)\n"
+        )
+        tracker = PythonTracker()
+        tracker.load_program(write_program("p.py", source))
+        tracker.track_function("grow")
+        tracker.start()
+        lengths = []
+        while tracker.get_exit_code() is None:
+            tracker.resume()
+            if (
+                tracker.pause_reason is not None
+                and tracker.pause_reason.type is PauseReasonType.CALL
+            ):
+                frame = tracker.get_current_frame()  # inspect at every pause
+                target = frame.variables["acc"].value.content
+                lengths.append(len(target.content))
+        tracker.terminate()
+        assert lengths == list(range(30))
+
+    def test_many_sequential_trackers(self, write_program):
+        """Tracker instances are independent; threads never leak state."""
+        program = write_program("tiny.py", "x = 1\ny = x + 1\n")
+        for _ in range(25):
+            tracker = PythonTracker()
+            tracker.load_program(program)
+            tracker.start()
+            tracker.resume()
+            assert tracker.get_exit_code() == 0
+            tracker.terminate()
+
+    def test_terminate_from_every_pause_point(self, write_program):
+        """Terminating at any pause leaves no stuck inferior thread."""
+        program = write_program("p.py", "a = 1\nb = 2\nc = 3\nd = 4\n")
+        for pauses in range(1, 5):
+            tracker = PythonTracker()
+            tracker.load_program(program)
+            tracker.start()
+            for _ in range(pauses - 1):
+                tracker.step()
+            tracker.terminate()
+            assert not tracker._thread.is_alive()
+
+
+class TestServerSoak:
+    def test_long_c_run_with_many_pauses(self, write_program):
+        source = (
+            "int work(int n) {\n"
+            "    return n * 2 + 1;\n"
+            "}\n"
+            "int main(void) {\n"
+            "    int total = 0;\n"
+            "    for (int i = 0; i < 40; i++) {\n"
+            "        total = total + work(i);\n"
+            "    }\n"
+            "    return total % 100;\n"
+            "}\n"
+        )
+        tracker = GDBTracker()
+        tracker.load_program(write_program("soak.c", source))
+        tracker.track_function("work")
+        tracker.start()
+        calls = returns = 0
+        while tracker.get_exit_code() is None:
+            tracker.resume()
+            reason = tracker.pause_reason
+            if reason.type is PauseReasonType.CALL:
+                calls += 1
+            elif reason.type is PauseReasonType.RETURN:
+                returns += 1
+        assert calls == returns == 40
+        assert tracker.get_exit_code() == (sum(2 * i + 1 for i in range(40)) % 100)
+        tracker.terminate()
+
+    def test_inspection_every_line_over_the_pipe(self, write_program):
+        source = (
+            "int main(void) {\n"
+            "    int a = 1;\n"
+            "    int b = 2;\n"
+            "    int c = a + b;\n"
+            "    int d = c * c;\n"
+            "    return d;\n"
+            "}\n"
+        )
+        tracker = GDBTracker()
+        tracker.load_program(write_program("p.c", source))
+        tracker.start()
+        snapshots = 0
+        while tracker.get_exit_code() is None:
+            frame = tracker.get_current_frame()
+            assert frame.name == "main"
+            tracker.get_global_variables()
+            snapshots += 1
+            tracker.step()
+        assert snapshots == 5
+        tracker.terminate()

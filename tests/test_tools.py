@@ -1,0 +1,321 @@
+"""Tests for the Section III tools (excluding the debug game, tested apart)."""
+
+import os
+
+import pytest
+
+from repro.pytracker.tracker import PythonTracker
+from repro.gdbtracker.tracker import GDBTracker
+from repro.tools.array_invariant import (
+    ArrayInvariantTool,
+    draw_array_state,
+    extract_array,
+)
+from repro.tools.recursion_tree import draw_call_tree, record_call_tree
+from repro.tools.riscv_viewer import (
+    RiscvViewer,
+    render_memory_text,
+    render_registers_text,
+)
+from repro.tools.stack_diagram import draw_stack, draw_stack_heap
+from repro.tools.stepper import generate_diagrams
+
+PY_PROGRAM = """\
+def make_pair(n):
+    left = [n]
+    right = (n, n)
+    return left, right
+
+pair = make_pair(3)
+"""
+
+C_PROGRAM = """\
+#include <stdlib.h>
+int main(void) {
+    int a = 5;
+    int *p = &a;
+    int *h = malloc(2 * sizeof(int));
+    h[0] = 1; h[1] = 2;
+    int *bad;
+    free(h);
+    return 0;
+}
+"""
+
+SORT_PROGRAM = """\
+def insertion_sort(arr):
+    for i in range(1, len(arr)):
+        j = i
+        while j > 0 and arr[j - 1] > arr[j]:
+            arr[j - 1], arr[j] = arr[j], arr[j - 1]
+            j -= 1
+    return arr
+
+data = [3, 1, 2]
+insertion_sort(data)
+"""
+
+FIB_PROGRAM = """\
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+answer = fib(4)
+"""
+
+ASM_PROGRAM = """\
+    .data
+v:  .word 9
+    .text
+main:
+    lw t0, v
+    addi t0, t0, 1
+    li a7, 93
+    li a0, 0
+    ecall
+"""
+
+
+def paused_python_tracker(write_program, source, line):
+    tracker = PythonTracker()
+    tracker.load_program(write_program("p.py", source))
+    tracker.break_before_line(line)
+    tracker.start()
+    tracker.resume()
+    return tracker
+
+
+class TestStackDiagrams:
+    def test_plain_stack_inlines_lists_and_tuples(self, write_program):
+        tracker = paused_python_tracker(write_program, PY_PROGRAM, 4)
+        canvas = draw_stack(tracker.get_current_frame(),
+                            tracker.get_global_variables())
+        rendered = canvas.render()
+        assert "left = [3]" in rendered
+        assert "right = (3, 3)" in rendered  # the inlining PT cannot do
+        tracker.terminate()
+
+    def test_stack_heap_has_frames_and_arrows(self, write_program):
+        tracker = paused_python_tracker(write_program, PY_PROGRAM, 4)
+        canvas = draw_stack_heap(tracker.get_current_frame(),
+                                 tracker.get_global_variables())
+        rendered = canvas.render()
+        assert "make_pair (depth 1)" in rendered
+        assert "&lt;module&gt; (depth 0)" in rendered
+        assert "globals" in rendered
+        assert "line" in rendered  # at least one arrow segment
+        tracker.terminate()
+
+    def test_c_stack_heap_shows_invalid_pointer_cross(self, write_program):
+        tracker = GDBTracker()
+        tracker.load_program(write_program("p.c", C_PROGRAM))
+        tracker.break_before_line(9)  # after free(h)
+        tracker.start()
+        tracker.resume()
+        canvas = draw_stack_heap(
+            tracker.get_current_frame(),
+            tracker.get_global_variables(),
+            tracker.get_heap_blocks(),
+        )
+        rendered = canvas.render()
+        # bad and the dangling h draw as crosses: red stroke present.
+        assert "#c0392b" in rendered
+        tracker.terminate()
+
+    def test_c_heap_block_size_annotation(self, write_program):
+        tracker = GDBTracker()
+        tracker.load_program(write_program("p.c", C_PROGRAM))
+        tracker.break_before_line(7)
+        tracker.start()
+        tracker.resume()
+        canvas = draw_stack_heap(
+            tracker.get_current_frame(),
+            tracker.get_global_variables(),
+            tracker.get_heap_blocks(),
+        )
+        assert "(8 bytes)" in canvas.render()
+        tracker.terminate()
+
+
+class TestStepper:
+    def test_python_one_image_per_line(self, write_program, output_dir):
+        images = generate_diagrams(
+            write_program("p.py", "a = 1\nb = 2\n"), output_dir
+        )
+        assert len(images) == 2
+        assert all(os.path.exists(path) for path in images)
+        assert images[0].endswith("001-stack_heap.svg")
+
+    def test_stack_mode(self, write_program, output_dir):
+        images = generate_diagrams(
+            write_program("p.py", "a = 1\n"), output_dir, mode="stack"
+        )
+        assert images[0].endswith("001-stack.svg")
+
+    def test_c_program(self, write_program, output_dir):
+        images = generate_diagrams(
+            write_program("p.c", "int main(void) {\n    int x = 1;\n    return 0;\n}\n"),
+            output_dir,
+        )
+        assert len(images) >= 2
+
+    def test_max_images_bound(self, write_program, output_dir):
+        images = generate_diagrams(
+            write_program("p.py", "\n".join(f"x{i} = {i}" for i in range(50))),
+            output_dir,
+            max_images=5,
+        )
+        assert len(images) == 5
+
+
+class TestArrayInvariant:
+    def test_extract_array(self, write_program):
+        tracker = paused_python_tracker(write_program, SORT_PROGRAM, 7)
+        variable = tracker.get_variable("arr", "insertion_sort")
+        assert extract_array(variable.value) == [1, 2, 3]
+        tracker.terminate()
+
+    def test_draw_array_state(self):
+        canvas = draw_array_state(
+            [5, 2, 8], {"i": 1, "j": None}, sorted_prefix=1, title="arr"
+        )
+        rendered = canvas.render()
+        assert "arr" in rendered
+        assert "#9fc5e8" in rendered  # sorted-prefix fill
+        assert ">i</text>" in rendered
+
+    def test_marker_out_of_range_skipped(self):
+        canvas = draw_array_state([1, 2], {"i": 99})
+        assert ">i<" not in canvas.render()
+
+    def test_tool_end_to_end(self, write_program, output_dir):
+        tool = ArrayInvariantTool(
+            write_program("p.py", SORT_PROGRAM),
+            array_name="arr",
+            index_names=["i", "j"],
+            sorted_upto="i",
+            function="insertion_sort",
+        )
+        images = tool.run(output_dir)
+        assert images
+        source_images = [
+            name for name in os.listdir(output_dir) if name.startswith("source")
+        ]
+        assert len(source_images) == len(images)
+
+
+class TestRecursionTree:
+    def test_tree_shape_matches_fib(self, write_program):
+        recording = record_call_tree(
+            write_program("p.py", FIB_PROGRAM), "fib", ["n"]
+        )
+        root = recording.roots[0]
+        assert root.label("fib") == "fib(4)"
+        assert root.retval == "3"
+        assert [child.label("fib") for child in root.children] == [
+            "fib(3)",
+            "fib(2)",
+        ]
+        assert not root.active  # everything returned
+
+    def test_total_events(self, write_program):
+        recording = record_call_tree(
+            write_program("p.py", FIB_PROGRAM), "fib", ["n"]
+        )
+        # fib(4) makes 9 calls -> 18 call/return events.
+        assert recording.events == 18
+
+    def test_images_written_per_event(self, write_program, output_dir):
+        recording = record_call_tree(
+            write_program("p.py", FIB_PROGRAM), "fib", ["n"],
+            output_dir=output_dir,
+        )
+        assert len(recording.images) == recording.events
+        assert os.path.exists(recording.images[-1])
+
+    def test_draw_contains_nodes_and_backedge_values(self, write_program):
+        recording = record_call_tree(
+            write_program("p.py", FIB_PROGRAM), "fib", ["n"]
+        )
+        canvas = draw_call_tree(recording.roots[0], "fib")
+        rendered = canvas.render()
+        assert "fib(4)" in rendered
+        assert "fib(0)" in rendered
+        assert "#2980b9" in rendered  # return-value back edges
+
+    def test_args_snapshotted_at_call_time(self, write_program):
+        source = (
+            "def rec(arr, n):\n"
+            "    arr.append(n)\n"
+            "    if n > 0:\n"
+            "        rec(arr, n - 1)\n"
+            "\n"
+            "rec([], 2)\n"
+        )
+        recording = record_call_tree(
+            write_program("p.py", source), "rec", ["arr"]
+        )
+        root = recording.roots[0]
+        # At call time the list was empty even though it mutates later.
+        assert root.args["arr"] == "[]"
+        assert root.children[0].args["arr"] == "[2]"
+
+    def test_works_on_c_inferior(self, write_program):
+        source = (
+            "int fact(int n) {\n"
+            "    if (n <= 1) { return 1; }\n"
+            "    return n * fact(n - 1);\n"
+            "}\n"
+            "int main(void) { return fact(4); }\n"
+        )
+        recording = record_call_tree(write_program("p.c", source), "fact", ["n"])
+        root = recording.roots[0]
+        assert root.label("fact") == "fact(4)"
+        assert root.retval == "24"
+        assert len(root.children) == 1
+
+
+class TestRiscvViewer:
+    def test_states_per_instruction(self, write_program):
+        from repro.riscv.assembler import DATA_BASE
+
+        viewer = RiscvViewer(
+            write_program("p.s", ASM_PROGRAM), DATA_BASE, 8
+        )
+        states = viewer.run()
+        assert len(states) == 5
+        assert states[0]["registers"]["pc"] > 0
+
+    def test_changed_registers_flagged(self, write_program):
+        from repro.riscv.assembler import DATA_BASE
+
+        viewer = RiscvViewer(write_program("p.s", ASM_PROGRAM), DATA_BASE, 8)
+        states = viewer.run()
+        assert "t0" in states[1]["changed"]  # lw t0, v just executed
+
+    def test_svg_output(self, write_program, output_dir):
+        from repro.riscv.assembler import DATA_BASE
+
+        viewer = RiscvViewer(write_program("p.s", ASM_PROGRAM), DATA_BASE, 8)
+        viewer.run(output_dir)
+        files = os.listdir(output_dir)
+        assert any(name.startswith("riscv_001") for name in files)
+
+    def test_text_rendering_helpers(self):
+        registers = {"pc": 0x10000, "sp": 0x7FFFF000, "t0": 5}
+        text = render_registers_text(registers, changed={"t0"})
+        assert "pc = 0x00010000" in text
+        assert "*" in text
+        memory = render_memory_text(b"\x01\x00\x00\x00\x02\x00\x00\x00", 0x100)
+        assert "0x00000100:" in memory
+        assert "0x00000001 0x00000002" in memory
+
+    def test_run_text_produces_panes(self, write_program):
+        from repro.riscv.assembler import DATA_BASE
+
+        viewer = RiscvViewer(write_program("p.s", ASM_PROGRAM), DATA_BASE, 8)
+        text = viewer.run_text()
+        assert "=>" in text
+        assert "memory" not in text  # text mode has raw panes, not headings
+        assert text.count("=" * 72) == 5

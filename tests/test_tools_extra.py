@@ -1,0 +1,152 @@
+"""Tests for the HTML step player and the scope visualization."""
+
+import base64
+import os
+
+import pytest
+
+from repro.pytracker.tracker import PythonTracker
+from repro.tools.html_report import build_step_player, record_execution_player
+from repro.tools.scope_view import (
+    ScopeViewTool,
+    collect_bindings,
+    render_scopes_svg,
+    render_scopes_text,
+)
+
+SHADOWING_PY = """\
+value = 10
+
+def inner(value):
+    local_only = value * 2
+    return local_only
+
+def outer():
+    value = 20
+    return inner(value)
+
+result = outer()
+"""
+
+SHADOWING_C = """\
+int value = 10;
+
+int inner(int value) {
+    int local_only = value * 2;
+    return local_only;
+}
+
+int main(void) {
+    int value = 20;
+    int result = inner(value);
+    return result;
+}
+"""
+
+
+class TestStepPlayer:
+    def test_bundles_images_into_html(self, write_program, tmp_path):
+        from repro.tools.stepper import generate_diagrams
+
+        program = write_program("p.py", "a = 1\nb = [a, 2]\n")
+        images = generate_diagrams(program, str(tmp_path / "imgs"))
+        output = str(tmp_path / "player.html")
+        assert build_step_player(images, output, title="demo") == output
+        page = open(output, encoding="utf-8").read()
+        assert page.count("data:image/svg+xml;base64,") == len(images)
+        assert "demo" in page
+        assert "ArrowRight" in page  # keyboard navigation wired up
+        # The embedded payload decodes back to the first SVG.
+        first_b64 = page.split("data:image/svg+xml;base64,")[1].split('"')[0]
+        decoded = base64.b64decode(first_b64).decode("utf-8")
+        assert decoded.startswith("<?xml")
+
+    def test_single_call_pipeline(self, write_program, tmp_path):
+        program = write_program("p.py", "x = 1\ny = 2\n")
+        output = record_execution_player(program, str(tmp_path / "out.html"))
+        assert os.path.exists(output)
+
+    def test_title_is_escaped(self, write_program, tmp_path):
+        from repro.tools.stepper import generate_diagrams
+
+        program = write_program("p.py", "x = 1\n")
+        images = generate_diagrams(program, str(tmp_path / "imgs"))
+        output = str(tmp_path / "p.html")
+        build_step_player(images, output, title="<script>alert(1)</script>")
+        page = open(output, encoding="utf-8").read()
+        assert "<script>alert" not in page
+
+    def test_no_images_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            build_step_player([], str(tmp_path / "never.html"))
+
+
+@pytest.fixture
+def paused_in_inner(write_program):
+    tracker = PythonTracker()
+    tracker.load_program(write_program("p.py", SHADOWING_PY))
+    tracker.break_before_line(5)  # inside inner(), local_only assigned next
+    tracker.start()
+    tracker.resume()
+    yield tracker
+    tracker.terminate()
+
+
+class TestScopeBindings:
+    def test_innermost_binding_wins(self, paused_in_inner):
+        bindings = collect_bindings(paused_in_inner)
+        by_key = {(b.scope, b.name): b for b in bindings}
+        assert by_key[("inner", "value")].visible
+        assert not by_key[("outer", "value")].visible
+        assert by_key[("outer", "value")].shadowed_by == "inner"
+        assert not by_key[("<globals>", "value")].visible
+
+    def test_values_rendered_per_scope(self, paused_in_inner):
+        bindings = collect_bindings(paused_in_inner)
+        values = {
+            (b.scope, b.name): b.rendered
+            for b in bindings
+            if b.name == "value"
+        }
+        assert values[("inner", "value")] == "20"
+        assert values[("outer", "value")] == "20"
+        assert values[("<globals>", "value")] == "10"
+
+    def test_unshadowed_global_visible(self, paused_in_inner):
+        bindings = collect_bindings(paused_in_inner)
+        result_rows = [b for b in bindings if b.name == "inner"]
+        # the function object itself, bound globally and unshadowed
+        assert any(b.visible for b in result_rows)
+
+    def test_text_rendering(self, paused_in_inner):
+        text = render_scopes_text(collect_bindings(paused_in_inner))
+        assert "shadowed by inner" in text
+        assert "visible" in text
+
+    def test_svg_rendering_marks_shadowed(self, paused_in_inner):
+        canvas = render_scopes_svg(collect_bindings(paused_in_inner))
+        rendered = canvas.render()
+        assert "#c0392b" in rendered  # the strike-through stroke
+        assert "#eaf6ea" in rendered  # at least one visible row
+
+    def test_same_lesson_for_c(self, write_program):
+        from repro.gdbtracker.tracker import GDBTracker
+
+        tracker = GDBTracker()
+        tracker.load_program(write_program("p.c", SHADOWING_C))
+        tracker.break_before_line(5)
+        tracker.start()
+        tracker.resume()
+        bindings = collect_bindings(tracker)
+        by_key = {(b.scope, b.name): b for b in bindings}
+        assert by_key[("inner", "value")].visible
+        assert not by_key[("<globals>", "value")].visible
+        tracker.terminate()
+
+
+class TestScopeViewTool:
+    def test_generates_one_table_per_pause(self, write_program, output_dir):
+        tool = ScopeViewTool(write_program("p.py", SHADOWING_PY), "inner")
+        images = tool.run(output_dir)
+        assert len(images) == 2  # entry + exit of inner()
+        assert all(os.path.exists(path) for path in images)

@@ -1,0 +1,195 @@
+"""Tests for the abstract tracker base: lifecycle, registries, factory."""
+
+import pytest
+
+from repro.core.errors import (
+    AlreadyTerminatedError,
+    NotPausedError,
+    NotStartedError,
+    TrackerError,
+)
+from repro.core.factory import available_trackers, init_tracker, register_tracker
+from repro.core.tracker import Tracker, Watchpoint
+
+
+class _FakeTracker(Tracker):
+    """A minimal concrete tracker for exercising the base-class logic."""
+
+    backend = "fake"
+
+    def __init__(self):
+        super().__init__()
+        self.calls = []
+
+    def _load_program(self, path, args):
+        self.calls.append(("load", path, args))
+
+    def _start(self):
+        self.calls.append(("start",))
+
+    def _resume(self):
+        self.calls.append(("resume",))
+
+    def _next(self):
+        self.calls.append(("next",))
+
+    def _step(self):
+        self.calls.append(("step",))
+
+    def _finish(self):
+        self.calls.append(("finish",))
+
+    def _terminate(self):
+        self.calls.append(("terminate",))
+
+    def _get_current_frame(self):
+        from repro.core.state import Frame
+
+        return Frame(name="main", depth=0)
+
+    def _get_global_variables(self):
+        return {}
+
+    def _get_position(self):
+        return "prog", 1
+
+
+class TestLifecycle:
+    def test_start_requires_load(self):
+        tracker = _FakeTracker()
+        with pytest.raises(NotStartedError):
+            tracker.start()
+
+    def test_double_start_rejected(self):
+        tracker = _FakeTracker()
+        tracker.load_program("p")
+        tracker.start()
+        with pytest.raises(NotStartedError):
+            tracker.start()
+
+    def test_control_requires_start(self):
+        tracker = _FakeTracker()
+        tracker.load_program("p")
+        for control in (tracker.resume, tracker.next, tracker.step, tracker.finish):
+            with pytest.raises(NotStartedError):
+                control()
+
+    def test_control_rejected_after_exit(self):
+        tracker = _FakeTracker()
+        tracker.load_program("p")
+        tracker.start()
+        tracker._exit_code = 0
+        with pytest.raises(AlreadyTerminatedError):
+            tracker.resume()
+
+    def test_inspection_requires_pause(self):
+        tracker = _FakeTracker()
+        with pytest.raises(NotStartedError):
+            tracker.get_current_frame()
+        tracker.load_program("p")
+        tracker.start()
+        tracker._exit_code = 0
+        with pytest.raises(NotPausedError):
+            tracker.get_current_frame()
+
+    def test_terminate_is_idempotent(self):
+        tracker = _FakeTracker()
+        tracker.load_program("p")
+        tracker.start()
+        tracker.terminate()
+        tracker.terminate()
+        assert tracker.calls.count(("terminate",)) == 1
+
+    def test_exit_code_initially_none(self):
+        assert _FakeTracker().get_exit_code() is None
+
+
+class TestControlPointRegistries:
+    def test_break_before_line_records_parameters(self):
+        tracker = _FakeTracker()
+        breakpoint_ = tracker.break_before_line(10, filename="f.py", maxdepth=2)
+        assert breakpoint_.line == 10
+        assert breakpoint_.filename == "f.py"
+        assert breakpoint_.maxdepth == 2
+        assert tracker.line_breakpoints == [breakpoint_]
+
+    def test_break_before_func_and_track(self):
+        tracker = _FakeTracker()
+        tracker.break_before_func("f")
+        tracker.track_function("g", maxdepth=3)
+        assert tracker.function_breakpoints[0].function == "f"
+        assert tracker.tracked_functions[0].maxdepth == 3
+
+    def test_watch_registers(self):
+        tracker = _FakeTracker()
+        tracker.watch("main:x")
+        assert tracker.watchpoints[0].variable_id == "main:x"
+
+    def test_clear_control_points(self):
+        tracker = _FakeTracker()
+        tracker.break_before_line(1)
+        tracker.break_before_func("f")
+        tracker.watch("x")
+        tracker.track_function("g")
+        tracker.clear_control_points()
+        assert not tracker.line_breakpoints
+        assert not tracker.function_breakpoints
+        assert not tracker.watchpoints
+        assert not tracker.tracked_functions
+
+    def test_watchpoint_split(self):
+        assert Watchpoint("x").split() == (None, "x")
+        assert Watchpoint("f:x").split() == ("f", "x")
+        assert Watchpoint("f:x:y").split() == ("f", "x:y")
+
+    def test_depth_allows(self):
+        assert Tracker._depth_allows(None, 99)
+        assert Tracker._depth_allows(2, 2)
+        assert not Tracker._depth_allows(2, 3)
+
+
+class TestGetVariable:
+    def test_lookup_in_current_frame(self):
+        from repro.core.state import AbstractType, Frame, Value, Variable
+
+        tracker = _FakeTracker()
+        tracker.load_program("p")
+        tracker.start()
+        frame = Frame(name="main", depth=0)
+        frame.variables["x"] = Variable("x", Value(AbstractType.PRIMITIVE, 1))
+        tracker._get_current_frame = lambda: frame
+        assert tracker.get_variable("x").value.content == 1
+        assert tracker.get_variable("missing") is None
+
+    def test_lookup_by_function(self):
+        from repro.core.state import AbstractType, Frame, Value, Variable
+
+        tracker = _FakeTracker()
+        tracker.load_program("p")
+        tracker.start()
+        outer = Frame(name="main", depth=0)
+        outer.variables["y"] = Variable("y", Value(AbstractType.PRIMITIVE, 2))
+        inner = Frame(name="g", depth=1, parent=outer)
+        tracker._get_current_frame = lambda: inner
+        assert tracker.get_variable("y", function="main").value.content == 2
+        assert tracker.get_variable("y", function="nowhere") is None
+
+
+class TestFactory:
+    def test_builtin_backends_registered(self):
+        names = available_trackers()
+        assert "python" in names
+        assert "gdb" in names
+        assert "pt" in names
+
+    def test_init_tracker_is_case_insensitive(self):
+        assert init_tracker("GDB").backend == "GDB"
+        assert init_tracker("Python").backend == "python"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(TrackerError, match="unknown tracker"):
+            init_tracker("rr")
+
+    def test_custom_backend_registration(self):
+        register_tracker("fake-test", _FakeTracker)
+        assert init_tracker("fake-test").backend == "fake"

@@ -1,0 +1,195 @@
+"""Tests for the visualization substrate: SVG writer, layout, source view."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.viz.layout import TreeNode, layout_tree
+from repro.viz.source import render_source, render_source_text
+from repro.viz.svg import SVGCanvas, text_width
+
+
+def parse_svg(canvas):
+    return ET.fromstring(canvas.render())
+
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+class TestSVGCanvas:
+    def test_document_is_well_formed_xml(self):
+        canvas = SVGCanvas()
+        canvas.rect(0, 0, 10, 10)
+        canvas.text(5, 5, "hi")
+        canvas.line(0, 0, 10, 10)
+        canvas.arrow(0, 0, 10, 10)
+        canvas.cross(5, 5)
+        canvas.curve(0, 0, 20, 20)
+        root = parse_svg(canvas)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_canvas_grows_to_fit(self):
+        canvas = SVGCanvas(margin=10)
+        canvas.rect(0, 0, 100, 50)
+        assert canvas.width == 110
+        assert canvas.height == 60
+
+    def test_text_is_escaped(self):
+        canvas = SVGCanvas()
+        canvas.text(0, 10, "<b> & 'q'")
+        rendered = canvas.render()
+        assert "<b>" not in rendered.replace("<b></b>", "")
+        assert "&amp;" in rendered
+
+    def test_background_rect_present(self):
+        canvas = SVGCanvas(background="#123456")
+        canvas.rect(0, 0, 5, 5)
+        first_rect = parse_svg(canvas).find(f"{SVG_NS}rect")
+        assert first_rect.get("fill") == "#123456"
+
+    def test_save(self, tmp_path):
+        canvas = SVGCanvas()
+        canvas.text(0, 12, "saved")
+        path = tmp_path / "out.svg"
+        canvas.save(str(path))
+        assert path.read_text().startswith("<?xml")
+
+    def test_dashed_line(self):
+        canvas = SVGCanvas()
+        canvas.line(0, 0, 5, 5, dashed=True)
+        line = parse_svg(canvas).find(f"{SVG_NS}line")
+        assert line.get("stroke-dasharray") == "5,3"
+
+    def test_text_width_scales_with_size(self):
+        assert text_width("abcd", 28) == pytest.approx(2 * text_width("abcd", 14))
+
+
+class TestTreeLayout:
+    def build(self, shape):
+        """shape: nested tuples (label, [children])."""
+        label, children = shape
+        node = TreeNode(label=label)
+        for child in children:
+            node.children.append(self.build(child))
+        return node
+
+    def test_single_node(self):
+        root = self.build(("r", []))
+        width, height = layout_tree(root)
+        assert root.x >= 0
+        assert root.y == 0
+        assert width >= root.width
+
+    def test_children_below_parent(self):
+        root = self.build(("r", [("a", []), ("b", [])]))
+        layout_tree(root)
+        for child in root.children:
+            assert child.y > root.y
+
+    def test_parent_centered_over_children(self):
+        root = self.build(("r", [("a", []), ("b", [])]))
+        layout_tree(root)
+        left, right = root.children
+        children_center = (
+            left.x + left.width / 2 + right.x + right.width / 2
+        ) / 2
+        assert root.x + root.width / 2 == pytest.approx(children_center)
+
+    def test_siblings_do_not_overlap(self):
+        root = self.build(
+            ("r", [("a", [("c", []), ("d", [])]), ("b", [("e", [])])])
+        )
+        layout_tree(root)
+        nodes = root.walk()
+        by_level = {}
+        for node in nodes:
+            by_level.setdefault(node.y, []).append(node)
+        for level in by_level.values():
+            level.sort(key=lambda n: n.x)
+            for first, second in zip(level, level[1:]):
+                assert first.x + first.width <= second.x
+
+    def test_walk_order(self):
+        root = self.build(("r", [("a", []), ("b", [])]))
+        assert [n.label for n in root.walk()] == ["r", "a", "b"]
+
+    def test_measure_callback(self):
+        root = self.build(("wide-label", []))
+        layout_tree(root, measure=lambda n: len(n.label) * 10)
+        assert root.width == 100
+
+
+@st.composite
+def random_trees(draw, depth=0):
+    label = draw(st.text(alphabet="ab", min_size=1, max_size=3))
+    node = TreeNode(label=label)
+    if depth < 3:
+        count = draw(st.integers(min_value=0, max_value=3))
+        for _ in range(count):
+            node.children.append(draw(random_trees(depth=depth + 1)))
+    return node
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_layout_no_overlap_property(root):
+    layout_tree(root)
+    nodes = root.walk()
+    by_level = {}
+    for node in nodes:
+        assert node.x >= -1e-9
+        by_level.setdefault(node.y, []).append(node)
+    for level in by_level.values():
+        level.sort(key=lambda n: n.x)
+        for first, second in zip(level, level[1:]):
+            assert first.x + first.width <= second.x + 1e-9
+
+
+@given(random_trees())
+@settings(max_examples=40, deadline=None)
+def test_layout_children_strictly_below(root):
+    layout_tree(root)
+
+    def check(node):
+        for child in node.children:
+            assert child.y > node.y
+            check(child)
+
+    check(root)
+
+
+class TestSourceRendering:
+    LINES = ["def f():", "    return 1", "f()"]
+
+    def test_svg_contains_all_lines(self):
+        canvas = render_source(self.LINES, current_line=2)
+        rendered = canvas.render()
+        for line in self.LINES:
+            assert line.split()[0] in rendered
+
+    def test_current_line_highlight_and_arrow(self):
+        canvas = render_source(self.LINES, current_line=2, last_line=1)
+        rendered = canvas.render()
+        assert "#fff3b0" in rendered  # highlight fill
+        assert "-&gt;" in rendered or "->" in rendered
+
+    def test_title(self):
+        canvas = render_source(self.LINES, title="prog.py")
+        assert "prog.py" in canvas.render()
+
+    def test_text_marker(self):
+        text = render_source_text(self.LINES, current_line=3)
+        lines = text.splitlines()
+        assert lines[2].startswith("=>")
+        assert lines[0].startswith("  ")
+
+    def test_text_context_window(self):
+        many = [f"line {i}" for i in range(1, 101)]
+        text = render_source_text(many, current_line=50, context=2)
+        assert len(text.splitlines()) == 5
+        assert "line 50" in text
+
+    def test_empty_source(self):
+        canvas = render_source([], current_line=None)
+        assert "<svg" in canvas.render()
