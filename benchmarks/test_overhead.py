@@ -7,9 +7,14 @@ context". These benches quantify that honestly:
 
 - native execution vs. Python-tracker resume (with and without a watch);
 - MI round-trip latency of the GDB-style tracker (one command over the
-  subprocess pipe), the cost every control/inspection call pays.
+  subprocess pipe), the cost every control/inspection call pays;
+- the engine regression guard: per-event dispatch cost must stay flat as
+  the number of installed (non-matching) breakpoints grows, because the
+  ControlPointEngine answers the common no-hit case with one indexed
+  lookup instead of a scan over every breakpoint.
 """
 
+import statistics
 import time
 
 import pytest
@@ -82,6 +87,58 @@ def test_slowdown_factor_reported(benchmark, write_program):
     # Shape check, not a precise number: control is orders of magnitude
     # slower than native execution, exactly as the paper warns.
     assert factor > 10
+
+
+GUARD_PROGRAM = """\
+total = 0
+for i in range(5000):
+    total += i
+final = total
+"""
+
+
+def _resume_seconds(path, breakpoints):
+    """Wall-clock of one resume-to-exit run with N non-matching line bps."""
+    tracker = PythonTracker()
+    tracker.load_program(path)
+    for index in range(breakpoints):
+        tracker.break_before_line(100000 + index)  # never hit
+    tracker.start()
+    start = time.perf_counter()
+    while tracker.get_exit_code() is None:
+        tracker.resume()
+    elapsed = time.perf_counter() - start
+    tracker.terminate()
+    return elapsed
+
+
+def test_dispatch_flat_in_breakpoint_count(benchmark, write_program):
+    """Engine regression guard: 200 installed breakpoints must not scale
+    per-event cost.
+
+    The seed trackers scanned every breakpoint on every line event, so
+    cost grew linearly with N; the ControlPointEngine's frozenset
+    membership test makes the no-hit case O(1). Runs are interleaved and
+    medianed so clock drift hits both sides equally.
+    """
+    path = write_program("guard.py", GUARD_PROGRAM)
+    _resume_seconds(path, 1)  # warm-up: imports, code objects, caches
+
+    def measure():
+        few, many = [], []
+        for _ in range(5):
+            few.append(_resume_seconds(path, 1))
+            many.append(_resume_seconds(path, 200))
+        return statistics.median(few), statistics.median(many)
+
+    few, many = benchmark.pedantic(measure, rounds=1, iterations=1)
+    factor = many / few
+    print(
+        f"\nresume with 1 bp {few * 1e3:.1f} ms vs 200 bps "
+        f"{many * 1e3:.1f} ms -> {factor:.2f}x "
+        "(indexed dispatch: must stay within 2x)"
+    )
+    assert factor <= 2.0
 
 
 def test_mi_round_trip_latency(benchmark, write_program):

@@ -11,6 +11,12 @@ from repro.core.errors import (
     UnknownFunctionError,
     UnknownVariableError,
 )
+from repro.core.engine import (
+    AddressBreakpoint,
+    ControlPointEngine,
+    TrackerStats,
+    split_variable_id,
+)
 from repro.core.factory import available_trackers, init_tracker, register_tracker
 from repro.core.pause import PauseReason, PauseReasonType
 from repro.core.state import (
@@ -36,7 +42,9 @@ from repro.core.tracker import (
 
 __all__ = [
     "AbstractType",
+    "AddressBreakpoint",
     "AlreadyTerminatedError",
+    "ControlPointEngine",
     "Frame",
     "FunctionBreakpoint",
     "InferiorCrashError",
@@ -51,6 +59,7 @@ __all__ = [
     "TrackedFunction",
     "Tracker",
     "TrackerError",
+    "TrackerStats",
     "UnknownFunctionError",
     "UnknownVariableError",
     "Value",
@@ -61,6 +70,7 @@ __all__ = [
     "frame_to_dict",
     "init_tracker",
     "register_tracker",
+    "split_variable_id",
     "value_from_dict",
     "value_to_dict",
     "variable_from_dict",

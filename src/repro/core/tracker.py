@@ -72,11 +72,15 @@ class Watchpoint:
     enabled: bool = True
 
     def split(self) -> Tuple[Optional[str], str]:
-        """Return ``(function_or_None, variable_name)``."""
-        if ":" in self.variable_id:
-            function, name = self.variable_id.split(":", 1)
-            return function, name
-        return None, self.variable_id
+        """Return ``(function_or_None, variable_name)``.
+
+        Tolerates an empty function part (``":x"``), extra colons in the
+        variable name (``"f:x:y"``), and colons inside brackets or quotes
+        (``'d[":k"]'``); see :func:`repro.core.engine.split_variable_id`.
+        """
+        from repro.core.engine import split_variable_id
+
+        return split_variable_id(self.variable_id)
 
 
 class Tracker:
@@ -92,16 +96,24 @@ class Tracker:
     backend = "abstract"
 
     def __init__(self) -> None:
+        from repro.core.engine import ControlPointEngine
+
         self._program: Optional[str] = None
         self._program_args: List[str] = []
         self._started = False
         self._terminated = False
         self._exit_code: Optional[int] = None
         self._pause_reason: Optional[PauseReason] = None
-        self.line_breakpoints: List[LineBreakpoint] = []
-        self.function_breakpoints: List[FunctionBreakpoint] = []
-        self.tracked_functions: List[TrackedFunction] = []
-        self.watchpoints: List[Watchpoint] = []
+        #: The shared indexed decision core; owns the registries below.
+        self.engine = ControlPointEngine()
+        self.line_breakpoints: List[LineBreakpoint] = self.engine.line_breakpoints
+        self.function_breakpoints: List[FunctionBreakpoint] = (
+            self.engine.function_breakpoints
+        )
+        self.tracked_functions: List[TrackedFunction] = (
+            self.engine.tracked_functions
+        )
+        self.watchpoints: List[Watchpoint] = self.engine.watchpoints
         #: Line about to be executed when paused (used by the bundled tools).
         self.next_lineno: Optional[int] = None
         #: Line that was last executed before the pause.
@@ -233,10 +245,7 @@ class Tracker:
 
     def clear_control_points(self) -> None:
         """Remove every breakpoint, tracked function and watchpoint."""
-        self.line_breakpoints.clear()
-        self.function_breakpoints.clear()
-        self.tracked_functions.clear()
-        self.watchpoints.clear()
+        self.engine.clear()
         self._control_points_changed()
 
     # ------------------------------------------------------------------
@@ -247,6 +256,15 @@ class Tracker:
     def pause_reason(self) -> Optional[PauseReason]:
         """Why the last control call paused, or ``None`` before ``start``."""
         return self._pause_reason
+
+    def get_stats(self):
+        """Observability counters for this tracker (a ``TrackerStats``).
+
+        Available at any point in the lifecycle; counters accumulate from
+        ``start`` until termination. Remote backends may override this to
+        merge in server-side counters.
+        """
+        return self.engine.stats
 
     def get_current_frame(self) -> Frame:
         """The innermost frame of the paused inferior (parents linked)."""
@@ -333,7 +351,12 @@ class Tracker:
         raise NotImplementedError
 
     def _control_points_changed(self) -> None:
-        """Notify the backend that control points were added or removed."""
+        """Notify the backend that control points were added or removed.
+
+        The base implementation invalidates the engine's compiled indexes;
+        overrides must call ``super()._control_points_changed()``.
+        """
+        self.engine.mark_dirty()
 
     # ------------------------------------------------------------------
     # State checks

@@ -13,7 +13,8 @@ response/event dicts out — so every request is unit-testable;
 
 Implemented requests: initialize, launch, setBreakpoints,
 setFunctionBreakpoints, configurationDone, threads, stackTrace, scopes,
-variables, continue, next, stepIn, stepOut, evaluate, disconnect.
+variables, continue, next, stepIn, stepOut, evaluate, disconnect, plus the
+non-standard ``trackerStats`` (the engine's observability counters).
 """
 
 from __future__ import annotations
@@ -276,6 +277,12 @@ class DebugAdapter:
             return [self._error(request, f"unknown variablesReference {reference}")]
         rendered = [self._render_variable(variable) for variable in variables]
         return [self._ok(request, {"variables": rendered})]
+
+    def _req_trackerStats(self, request):
+        """Non-standard extension: the tracker's observability counters."""
+        if self.tracker is None:
+            return [self._error(request, "launch first")]
+        return [self._ok(request, self.tracker.get_stats().to_dict())]
 
     def _req_evaluate(self, request):
         expression = request.get("arguments", {}).get("expression", "")

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.engine import TrackerStats
 from repro.core.errors import TrackerError
 from repro.core.pause import PauseReason, PauseReasonType
 from repro.core.state import (
@@ -34,7 +35,13 @@ from repro.core.state import (
     frame_from_dict,
     variable_from_dict,
 )
-from repro.core.tracker import Tracker
+from repro.core.tracker import (
+    FunctionBreakpoint,
+    LineBreakpoint,
+    TrackedFunction,
+    Tracker,
+    Watchpoint,
+)
 from repro.mi.client import MIClient
 
 
@@ -46,7 +53,6 @@ class GDBTracker(Tracker):
     def __init__(self) -> None:
         super().__init__()
         self._client: Optional[MIClient] = None
-        self._synced: set = set()
         #: bkptno -> function, for exit breakpoints planted by the ret-scan
         self._exit_breakpoints: Dict[int, str] = {}
         #: bkptno -> function, for the matching entry breakpoints
@@ -89,63 +95,57 @@ class GDBTracker(Tracker):
         self._ingest(self._client.run_control("-exec-finish"))
 
     def _control_points_changed(self) -> None:
+        super()._control_points_changed()
         if self._client is not None:
             self._sync_control_points()
 
     def clear_control_points(self) -> None:
         """Remove every control point, server side included."""
         super().clear_control_points()
-        self._synced.clear()
         self._exit_breakpoints.clear()
         self._entry_breakpoints.clear()
         if self._client is not None:
             self._client.execute("-break-delete", ["all"])
 
     def _sync_control_points(self) -> None:
-        """Send any not-yet-registered control points to the server."""
+        """Send any not-yet-registered control points to the server.
+
+        The engine tracks which points have already crossed the pipe
+        (:meth:`ControlPointEngine.take_unsynced`), so re-syncs after new
+        installs are incremental.
+        """
         if self._client is None:
             return
-        for breakpoint_ in self.line_breakpoints:
-            if id(breakpoint_) in self._synced:
-                continue
-            self._synced.add(id(breakpoint_))
-            self._client.execute(
-                "-break-insert",
-                [str(breakpoint_.line)],
-                _maxdepth(breakpoint_.maxdepth),
-            )
-        for breakpoint_ in self.function_breakpoints:
-            if id(breakpoint_) in self._synced:
-                continue
-            self._synced.add(id(breakpoint_))
-            self._client.execute(
-                "-break-insert",
-                [breakpoint_.function],
-                _maxdepth(breakpoint_.maxdepth),
-            )
-        for watchpoint in self.watchpoints:
-            if id(watchpoint) in self._synced:
-                continue
-            self._synced.add(id(watchpoint))
-            self._client.execute(
-                "-break-watch",
-                [watchpoint.variable_id],
-                _maxdepth(watchpoint.maxdepth),
-            )
-        for tracked in self.tracked_functions:
-            if id(tracked) in self._synced:
-                continue
-            self._synced.add(id(tracked))
-            if self._is_assembly:
-                self._track_function_via_ret_scan(
-                    tracked.function, tracked.maxdepth
-                )
-            else:
+        for point in self.engine.take_unsynced():
+            if isinstance(point, LineBreakpoint):
                 self._client.execute(
-                    "-track-function",
-                    [tracked.function],
-                    _maxdepth(tracked.maxdepth),
+                    "-break-insert",
+                    [str(point.line)],
+                    _maxdepth(point.maxdepth),
                 )
+            elif isinstance(point, FunctionBreakpoint):
+                self._client.execute(
+                    "-break-insert",
+                    [point.function],
+                    _maxdepth(point.maxdepth),
+                )
+            elif isinstance(point, Watchpoint):
+                self._client.execute(
+                    "-break-watch",
+                    [point.variable_id],
+                    _maxdepth(point.maxdepth),
+                )
+            elif isinstance(point, TrackedFunction):
+                if self._is_assembly:
+                    self._track_function_via_ret_scan(
+                        point.function, point.maxdepth
+                    )
+                else:
+                    self._client.execute(
+                        "-track-function",
+                        [point.function],
+                        _maxdepth(point.maxdepth),
+                    )
 
     def _track_function_via_ret_scan(
         self, function: str, maxdepth: Optional[int]
@@ -255,6 +255,23 @@ class GDBTracker(Tracker):
     def _get_position(self) -> Tuple[str, Optional[int]]:
         payload = self._client.execute("-inferior-position")
         return payload["file"], payload["line"]
+
+    def get_stats(self) -> TrackerStats:
+        """Client-side counters merged with the server's ``-tracker-stats``.
+
+        The pause decisions happen server-side (the server runs the same
+        :class:`ControlPointEngine` over the raw event stream), so the
+        event/pause counters come across the pipe; the local engine only
+        contributes client-side bookkeeping.
+        """
+        local = self.engine.stats
+        if self._client is None:
+            return local
+        try:
+            payload = self._client.execute("-tracker-stats")
+        except TrackerError:
+            return local
+        return local.merged(TrackerStats.from_dict(payload))
 
     # ------------------------------------------------------------------
     # GDB-tracker-specific extensions (named as in the paper)

@@ -13,11 +13,18 @@ whole server is unit-testable without pipes; ``main`` adds the stdio loop.
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional
 
+from repro.core.engine import AddressBreakpoint, ControlPointEngine
 from repro.core.errors import ProgramLoadError, ProtocolError, TrackerError
+from repro.core.pause import PauseReasonType
 from repro.core.state import frame_to_dict, variable_to_dict
+from repro.core.tracker import (
+    FunctionBreakpoint,
+    LineBreakpoint,
+    TrackedFunction,
+    Watchpoint,
+)
 from repro.minic.events import (
     AllocEvent,
     CallEvent,
@@ -30,53 +37,33 @@ from repro.minic.events import (
 from repro.mi import protocol
 from repro.mi.inferiors import InferiorAdapter, open_inferior
 
-_MISSING = object()
-
-
-@dataclass
-class _ServerBreakpoint:
-    kind: str  # "line", "function", "address"
-    line: int = 0
-    function: str = ""
-    address: int = 0
-    maxdepth: Optional[int] = None
-    number: int = 0
-    enabled: bool = True
-
-
-@dataclass
-class _ServerWatch:
-    variable_id: str
-    maxdepth: Optional[int] = None
-    number: int = 0
-    enabled: bool = True
-    last: Any = _MISSING
-
-    def split(self) -> Tuple[Optional[str], str]:
-        if ":" in self.variable_id:
-            function, name = self.variable_id.split(":", 1)
-            return function, name
-        return None, self.variable_id
-
-
-@dataclass
-class _ServerTracked:
-    function: str
-    maxdepth: Optional[int] = None
-    number: int = 0
-    enabled: bool = True
+#: MI stop-reason strings -> core pause-reason types (for the stats layer).
+_REASON_TYPES = {
+    "breakpoint-hit": PauseReasonType.BREAKPOINT,
+    "function-entry": PauseReasonType.CALL,
+    "function-exit": PauseReasonType.RETURN,
+    "watchpoint-trigger": PauseReasonType.WATCH,
+    "end-stepping-range": PauseReasonType.STEP,
+    "exited": PauseReasonType.EXIT,
+}
 
 
 class DebugServer:
-    """One debugging session over one inferior program."""
+    """One debugging session over one inferior program.
+
+    Control points are stored as the *core* dataclasses
+    (:class:`repro.core.tracker.LineBreakpoint` etc., plus
+    :class:`repro.core.engine.AddressBreakpoint`) inside a
+    :class:`repro.core.engine.ControlPointEngine`, the same decision core
+    the in-process trackers use; the server only adds an MI ``number``
+    attribute to each point for enable/disable/delete addressing.
+    """
 
     def __init__(self, path: str, args: Optional[List[str]] = None):
         self.path = path
         self.inferior: InferiorAdapter = open_inferior(path, args)
         self._events: Optional[Iterator[Event]] = None
-        self._breakpoints: List[_ServerBreakpoint] = []
-        self._watches: List[_ServerWatch] = []
-        self._tracked: List[_ServerTracked] = []
+        self.engine = ControlPointEngine()
         self._number = 0
         self._running = False
         self._exited = False
@@ -151,69 +138,82 @@ class DebugServer:
             return [protocol.format_error("break-insert needs a location")]
         location = command.args[0]
         maxdepth = command.option_int("maxdepth")
-        self._number += 1
-        breakpoint_ = _ServerBreakpoint(kind="", maxdepth=maxdepth, number=self._number)
         if location.startswith("*"):
-            breakpoint_.kind = "address"
-            breakpoint_.address = int(location[1:], 0)
+            point: Any = AddressBreakpoint(
+                address=int(location[1:], 0), maxdepth=maxdepth
+            )
+            self.engine.address_breakpoints.append(point)
         elif ":" in location:
-            breakpoint_.kind = "line"
-            breakpoint_.line = int(location.rsplit(":", 1)[1])
+            point = LineBreakpoint(
+                line=int(location.rsplit(":", 1)[1]), maxdepth=maxdepth
+            )
+            self.engine.line_breakpoints.append(point)
         elif location.isdigit():
-            breakpoint_.kind = "line"
-            breakpoint_.line = int(location)
+            point = LineBreakpoint(line=int(location), maxdepth=maxdepth)
+            self.engine.line_breakpoints.append(point)
         else:
-            breakpoint_.kind = "function"
-            breakpoint_.function = location
-        self._breakpoints.append(breakpoint_)
-        return [protocol.format_done({"number": breakpoint_.number})]
+            point = FunctionBreakpoint(function=location, maxdepth=maxdepth)
+            self.engine.function_breakpoints.append(point)
+        return [protocol.format_done({"number": self._register(point)})]
 
     def _cmd_break_watch(self, command) -> List[str]:
         if not command.args:
             return [protocol.format_error("break-watch needs a variable id")]
-        self._number += 1
-        watch = _ServerWatch(
+        watch = Watchpoint(
             variable_id=command.args[0],
             maxdepth=command.option_int("maxdepth"),
-            number=self._number,
         )
-        function, name = watch.split()
         if self._running:
-            watch.last = self.inferior.render_watch(function, name)
-            if watch.last is None:
-                watch.last = _MISSING
-        self._watches.append(watch)
-        return [protocol.format_done({"number": watch.number})]
+            # Installed mid-run: the current value is the baseline; only a
+            # later modification fires.
+            function, name = watch.split()
+            self.engine.seed_watch(
+                watch, self.inferior.render_watch(function, name)
+            )
+        self.engine.watchpoints.append(watch)
+        return [protocol.format_done({"number": self._register(watch)})]
 
     def _cmd_track_function(self, command) -> List[str]:
         if not command.args:
             return [protocol.format_error("track-function needs a name")]
-        self._number += 1
-        self._tracked.append(
-            _ServerTracked(
-                function=command.args[0],
-                maxdepth=command.option_int("maxdepth"),
-                number=self._number,
-            )
+        tracked = TrackedFunction(
+            function=command.args[0],
+            maxdepth=command.option_int("maxdepth"),
         )
-        return [protocol.format_done({"number": self._number})]
+        self.engine.tracked_functions.append(tracked)
+        return [protocol.format_done({"number": self._register(tracked)})]
+
+    def _register(self, point: Any) -> int:
+        """Assign the next MI number to a freshly appended control point."""
+        self._number += 1
+        point.number = self._number
+        self.engine.mark_dirty()
+        return self._number
 
     def _cmd_break_delete(self, command) -> List[str]:
         if not command.args or command.args[0] == "all":
-            self._breakpoints.clear()
-            self._watches.clear()
-            self._tracked.clear()
+            self.engine.clear()
             return [protocol.format_done()]
         number = int(command.args[0])
-        before = (
-            len(self._breakpoints) + len(self._watches) + len(self._tracked)
-        )
-        self._breakpoints = [b for b in self._breakpoints if b.number != number]
-        self._watches = [w for w in self._watches if w.number != number]
-        self._tracked = [t for t in self._tracked if t.number != number]
-        after = len(self._breakpoints) + len(self._watches) + len(self._tracked)
-        if after == before:
+        removed = False
+        for registry in (
+            self.engine.line_breakpoints,
+            self.engine.function_breakpoints,
+            self.engine.address_breakpoints,
+            self.engine.tracked_functions,
+            self.engine.watchpoints,
+        ):
+            kept = [
+                point
+                for point in registry
+                if getattr(point, "number", None) != number
+            ]
+            if len(kept) != len(registry):
+                registry[:] = kept
+                removed = True
+        if not removed:
             return [protocol.format_error(f"no control point {number}")]
+        self.engine.mark_dirty()
         return [protocol.format_done()]
 
     def _cmd_break_disable(self, command) -> List[str]:
@@ -224,11 +224,14 @@ class DebugServer:
 
     def _set_enabled(self, command, enabled: bool) -> List[str]:
         number = int(command.args[0])
-        for point in self._breakpoints + self._watches + self._tracked:
-            if point.number == number:
+        for point in self.engine.all_points():
+            if getattr(point, "number", None) == number:
                 point.enabled = enabled
                 return [protocol.format_done()]
         return [protocol.format_error(f"no control point {number}")]
+
+    def _cmd_tracker_stats(self, command) -> List[str]:
+        return [protocol.format_done(self.engine.stats.to_dict())]
 
     # -- inspection --------------------------------------------------------
 
@@ -302,7 +305,9 @@ class DebugServer:
         if self._exited:
             return [protocol.format_error("the inferior has exited")]
         records: List[str] = []
-        issue_depth = self._depth
+        engine = self.engine
+        engine.arm("resume" if mode == "continue" else mode, self._depth)
+        engine.refresh()
         while True:
             try:
                 event = next(self._events)
@@ -331,31 +336,38 @@ class DebugServer:
                 self._depth = event.depth
                 reason = self._check_call(event)
                 if reason is not None:
-                    records.append(protocol.format_stopped(reason))
-                    return records
+                    return self._stop(records, reason)
                 continue
             if isinstance(event, ReturnEvent):
                 reason = self._check_return(event)
                 self._depth = max(event.depth - 1, 0)
                 if reason is not None:
-                    records.append(protocol.format_stopped(reason))
-                    return records
+                    return self._stop(records, reason)
                 continue
             if isinstance(event, LineEvent):
                 self._depth = event.depth
                 self._last_line = self._line
                 self._line = event.line
-                reason = self._check_line(event, mode, issue_depth)
+                reason = self._check_line(event)
                 if reason is not None:
-                    records.append(protocol.format_stopped(reason))
-                    return records
+                    return self._stop(records, reason)
                 continue
             # WriteEvent and any future event kinds: no run-control effect.
+
+    def _stop(
+        self, records: List[str], reason: Dict[str, Any]
+    ) -> List[str]:
+        self.engine.record_pause(
+            _REASON_TYPES.get(reason.get("reason"), reason.get("reason"))
+        )
+        records.append(protocol.format_stopped(reason))
+        return records
 
     def _stop_exited(
         self, records: List[str], event: Optional[ExitEvent] = None
     ) -> List[str]:
         self._exited = True
+        self.engine.note_event("exit")
         payload: Dict[str, Any] = {
             "reason": "exited",
             "exitcode": self._exit_code if self._exit_code is not None else 0,
@@ -365,137 +377,109 @@ class DebugServer:
             error = event.error
         if error:
             payload["error"] = error
-        records.append(protocol.format_stopped(payload))
-        return records
+        return self._stop(records, payload)
 
     def _check_call(self, event: CallEvent) -> Optional[Dict[str, Any]]:
-        for breakpoint_ in self._breakpoints:
-            if (
-                breakpoint_.enabled
-                and breakpoint_.kind == "function"
-                and breakpoint_.function == event.function
-                and _depth_ok(breakpoint_.maxdepth, event.depth)
-            ):
-                return {
-                    "reason": "breakpoint-hit",
-                    "func": event.function,
-                    "line": event.line,
-                    "depth": event.depth,
-                    "bkptno": breakpoint_.number,
-                }
-        for tracked in self._tracked:
-            if (
-                tracked.enabled
-                and tracked.function == event.function
-                and _depth_ok(tracked.maxdepth, event.depth)
-            ):
-                return {
-                    "reason": "function-entry",
-                    "func": event.function,
-                    "line": event.line,
-                    "depth": event.depth,
-                }
+        engine = self.engine
+        engine.note_event("call")
+        if not engine.may_match_function(event.function):
+            return None
+        matched = engine.match_function_breakpoint(event.function, event.depth)
+        if matched is not None:
+            return {
+                "reason": "breakpoint-hit",
+                "func": event.function,
+                "line": event.line,
+                "depth": event.depth,
+                "bkptno": getattr(matched, "number", 0),
+            }
+        if engine.match_tracked(event.function, event.depth) is not None:
+            return {
+                "reason": "function-entry",
+                "func": event.function,
+                "line": event.line,
+                "depth": event.depth,
+            }
         return None
 
     def _check_return(self, event: ReturnEvent) -> Optional[Dict[str, Any]]:
-        for tracked in self._tracked:
-            if (
-                tracked.enabled
-                and tracked.function == event.function
-                and _depth_ok(tracked.maxdepth, event.depth)
-            ):
-                return {
-                    "reason": "function-exit",
-                    "func": event.function,
-                    "line": event.line,
-                    "depth": event.depth,
-                    "retval": event.value,
-                }
+        engine = self.engine
+        engine.note_event("return")
+        if not engine.may_match_function(event.function):
+            return None
+        if engine.match_tracked(event.function, event.depth) is not None:
+            return {
+                "reason": "function-exit",
+                "func": event.function,
+                "line": event.line,
+                "depth": event.depth,
+                "retval": event.value,
+            }
         return None
 
-    def _check_line(
-        self, event: LineEvent, mode: str, issue_depth: int
-    ) -> Optional[Dict[str, Any]]:
-        watch_hit = self._check_watches(event)
-        if watch_hit is not None:
-            return watch_hit
-        pc = self.inferior.current_pc()
-        for breakpoint_ in self._breakpoints:
-            if not breakpoint_.enabled:
-                continue
-            hit = False
-            if breakpoint_.kind == "line" and breakpoint_.line == event.line:
-                hit = True
-            elif (
-                breakpoint_.kind == "address"
-                and pc is not None
-                and breakpoint_.address == pc
-            ):
-                hit = True
-            if hit and _depth_ok(breakpoint_.maxdepth, event.depth):
-                return {
-                    "reason": "breakpoint-hit",
-                    "line": event.line,
-                    "func": event.function,
-                    "depth": event.depth,
-                    "bkptno": breakpoint_.number,
-                    "pc": pc,
-                }
-        if mode == "step":
-            return self._step_stop(event, pc)
-        if mode == "next" and event.depth <= issue_depth:
-            return self._step_stop(event, pc)
-        if mode == "finish" and event.depth < issue_depth:
-            return self._step_stop(event, pc)
-        return None
-
-    def _step_stop(self, event: LineEvent, pc: Optional[int]) -> Dict[str, Any]:
-        return {
-            "reason": "end-stepping-range",
-            "line": event.line,
-            "func": event.function,
-            "depth": event.depth,
-            "pc": pc,
-        }
-
-    def _check_watches(self, event: LineEvent) -> Optional[Dict[str, Any]]:
+    def _check_line(self, event: LineEvent) -> Optional[Dict[str, Any]]:
+        engine = self.engine
+        engine.note_event("line")
         if not self._watch_baseline_done:
             # C globals exist (initialized) before the first line runs, so
             # the first check only records baselines — a watch fires on
             # *modification*, not on the pre-existing initial value.
             self._watch_baseline_done = True
-            for watch in self._watches:
-                function, name = watch.split()
-                current = self.inferior.render_watch(function, name)
-                watch.last = _MISSING if current is None else current
-            return None
-        for watch in self._watches:
-            if not watch.enabled:
-                continue
-            function, name = watch.split()
-            current = self.inferior.render_watch(function, name)
-            rendered = _MISSING if current is None else current
-            previous = watch.last
-            watch.last = rendered
-            if previous is rendered:  # both missing
-                continue
-            if previous != rendered and rendered is not _MISSING:
-                if _depth_ok(watch.maxdepth, event.depth):
-                    return {
-                        "reason": "watchpoint-trigger",
-                        "var": watch.variable_id,
-                        "old": None if previous is _MISSING else previous,
-                        "new": rendered,
-                        "line": event.line,
-                        "func": event.function,
-                        "depth": event.depth,
-                        "wpnum": watch.number,
-                    }
+            engine.baseline_watches(self.inferior.render_watch)
+        elif engine.has_watchpoints:
+            hit = engine.evaluate_watches(
+                event.depth, self.inferior.render_watch
+            )
+            if hit is not None:
+                watch, old, new = hit
+                return {
+                    "reason": "watchpoint-trigger",
+                    "var": watch.variable_id,
+                    "old": old,
+                    "new": new,
+                    "line": event.line,
+                    "func": event.function,
+                    "depth": event.depth,
+                    "wpnum": getattr(watch, "number", 0),
+                }
+        # The program counter is only fetched when something needs it:
+        # an address breakpoint is installed or a stop payload is built.
+        pc: Optional[int] = None
+        if engine.may_match_line(event.line):
+            matched = engine.match_line(None, event.line, event.depth)
+            if matched is not None:
+                pc = self.inferior.current_pc()
+                return {
+                    "reason": "breakpoint-hit",
+                    "line": event.line,
+                    "func": event.function,
+                    "depth": event.depth,
+                    "bkptno": getattr(matched, "number", 0),
+                    "pc": pc,
+                }
+        if engine.has_address_breakpoints:
+            pc = self.inferior.current_pc()
+            matched = engine.match_address(pc, event.depth)
+            if matched is not None:
+                return {
+                    "reason": "breakpoint-hit",
+                    "line": event.line,
+                    "func": event.function,
+                    "depth": event.depth,
+                    "bkptno": getattr(matched, "number", 0),
+                    "pc": pc,
+                }
+        if engine.should_step_pause(event.depth):
+            if pc is None:
+                pc = self.inferior.current_pc()
+            return {
+                "reason": "end-stepping-range",
+                "line": event.line,
+                "func": event.function,
+                "depth": event.depth,
+                "pc": pc,
+            }
         return None
-
-
-def _depth_ok(maxdepth: Optional[int], depth: int) -> bool:
-    return maxdepth is None or depth <= maxdepth
 
 
 def main(argv: Optional[List[str]] = None) -> int:

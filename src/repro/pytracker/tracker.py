@@ -8,12 +8,18 @@ Implementation notes (Section II-C2 of the paper):
   generation counter.
 - The tracker registers a trace function with ``sys.settrace`` in the
   inferior thread. The interpreter calls it before every source line and at
-  function call/return boundaries; all pause decisions are taken inside it.
+  function call/return boundaries; all pause decisions are delegated to the
+  shared :class:`repro.core.engine.ControlPointEngine`, whose compiled
+  indexes make the common no-hit case one ``frozenset`` lookup instead of a
+  scan over every installed breakpoint.
 - Watchpoints are implemented by checking, before the execution of every
   line, whether the value of any watched variable has changed. This is why
   ``resume`` still single-steps internally — the paper notes that this slows
   execution down a lot but is acceptable in the pedagogical context
-  (quantified in ``benchmarks/test_overhead.py``).
+  (quantified in ``benchmarks/test_overhead.py``). When no control point
+  can possibly fire in a frame, the engine lets the trace function return
+  ``None`` on the frame's call event, disabling per-line tracing for the
+  whole frame.
 """
 
 from __future__ import annotations
@@ -120,12 +126,9 @@ class PythonTracker(Tracker):
         self._finished = False
         self._command: Optional[str] = None
         self._killed = False
-        self._mode = "resume"
-        self._mode_depth = 0
         self._paused_py_frame = None
         self._paused_event: Optional[str] = None
         self._inferior_exception: Optional[BaseException] = None
-        self._watch_snapshots: Dict[int, Any] = {}
         self._saved_stdout = None
 
     # ------------------------------------------------------------------
@@ -144,7 +147,7 @@ class PythonTracker(Tracker):
         self._program_abspath = os.path.abspath(path)
 
     def _start(self) -> None:
-        self._mode = "step"  # pause before the first executable line
+        self.engine.arm("step")  # pause before the first executable line
         self._globals = {
             "__name__": "__main__",
             "__file__": self._program_abspath,
@@ -173,21 +176,21 @@ class PythonTracker(Tracker):
         self._issue("resume")
 
     def _next(self) -> None:
-        self._mode_depth = self._current_depth()
-        self._issue("next")
+        self._issue("next", self._current_depth())
 
     def _step(self) -> None:
         self._issue("step")
 
     def _finish(self) -> None:
-        self._mode_depth = self._current_depth()
-        self._issue("finish")
+        self._issue("finish", self._current_depth())
 
-    def _issue(self, mode: str) -> None:
+    def _issue(self, mode: str, depth: int = 0) -> None:
         with self._condition:
             if self._finished:
                 return
-            self._mode = mode
+            # Arm the engine's step machine while the inferior is parked in
+            # the pause handshake, so the write is race-free.
+            self.engine.arm(mode, depth)
             before = self._pause_count
             self._command = "go"
             self._condition.notify_all()
@@ -234,6 +237,8 @@ class PythonTracker(Tracker):
                 self._exit_code = exit_code
                 self._finished = True
                 self._pause_reason = PauseReason(type=PauseReasonType.EXIT)
+                self.engine.note_event("exit")
+                self.engine.record_pause(PauseReasonType.EXIT)
                 self._paused_py_frame = None
                 self._condition.notify_all()
 
@@ -258,6 +263,13 @@ class PythonTracker(Tracker):
             return None  # do not trace library code called by the inferior
         if event == "call":
             self._handle_call(frame)
+            # The engine's per-file map knows whether anything could pause
+            # inside this frame; if not, drop its local trace function and
+            # skip every line/return event of the whole frame.
+            if self.engine.can_skip_frame(
+                frame.f_code.co_filename, frame.f_code.co_name
+            ):
+                return None
         elif event == "line":
             self._handle_line(frame)
         elif event == "return":
@@ -282,60 +294,77 @@ class PythonTracker(Tracker):
         return self._frame_depth(self._paused_py_frame)
 
     def _handle_call(self, frame) -> None:
+        engine = self.engine
+        engine.refresh()
+        engine.note_event("call")
         function = frame.f_code.co_name
         if function == "<module>":
             return
+        if not engine.may_match_function(function):
+            return
         depth = self._frame_depth(frame)
-        for breakpoint_ in self.function_breakpoints:
-            if (
-                breakpoint_.enabled
-                and breakpoint_.function == function
-                and self._depth_allows(breakpoint_.maxdepth, depth)
-            ):
-                self._pause(
-                    frame,
-                    "call",
-                    PauseReason(
-                        type=PauseReasonType.BREAKPOINT,
-                        function=function,
-                        line=frame.f_lineno,
-                    ),
-                )
-                return
-        for tracked in self.tracked_functions:
-            if (
-                tracked.enabled
-                and tracked.function == function
-                and self._depth_allows(tracked.maxdepth, depth)
-            ):
-                self._pause(
-                    frame,
-                    "call",
-                    PauseReason(
-                        type=PauseReasonType.CALL,
-                        function=function,
-                        line=frame.f_lineno,
-                    ),
-                )
-                return
+        if engine.match_function_breakpoint(function, depth) is not None:
+            self._pause(
+                frame,
+                "call",
+                PauseReason(
+                    type=PauseReasonType.BREAKPOINT,
+                    function=function,
+                    line=frame.f_lineno,
+                ),
+            )
+            return
+        if engine.match_tracked(function, depth) is not None:
+            self._pause(
+                frame,
+                "call",
+                PauseReason(
+                    type=PauseReasonType.CALL,
+                    function=function,
+                    line=frame.f_lineno,
+                ),
+            )
 
     def _handle_line(self, frame) -> None:
+        engine = self.engine
+        engine.refresh()
+        engine.note_event("line")
         line = frame.f_lineno
         self.last_lineno = self.next_lineno
         self.next_lineno = line
-        depth = self._frame_depth(frame)
 
-        watch_hit = self._check_watchpoints(frame, depth)
-        if watch_hit is not None:
-            self._pause(frame, "line", watch_hit)
-            return
+        # Depth is O(stack) to compute, so it is resolved lazily: only once
+        # something (watch, candidate breakpoint, armed stepping) needs it.
+        depth = -1
+        if engine.has_watchpoints:
+            depth = self._frame_depth(frame)
+            hit = engine.evaluate_watches(
+                depth,
+                lambda function, name: self._render_watched(
+                    frame, function, name
+                ),
+            )
+            if hit is not None:
+                watchpoint, old, new = hit
+                self._pause(
+                    frame,
+                    "line",
+                    PauseReason(
+                        type=PauseReasonType.WATCH,
+                        variable=watchpoint.variable_id,
+                        old_value=old,
+                        new_value=new,
+                        line=line,
+                    ),
+                )
+                return
 
-        for breakpoint_ in self.line_breakpoints:
+        if engine.may_match_line(line):
+            if depth < 0:
+                depth = self._frame_depth(frame)
             if (
-                breakpoint_.enabled
-                and breakpoint_.line == line
-                and self._filename_matches(breakpoint_.filename, frame)
-                and self._depth_allows(breakpoint_.maxdepth, depth)
+                engine.match_line(frame.f_code.co_filename, line, depth)
+                is not None
             ):
                 self._pause(
                     frame,
@@ -344,79 +373,51 @@ class PythonTracker(Tracker):
                 )
                 return
 
-        if self._mode == "step":
-            self._pause(
-                frame, "line", PauseReason(type=PauseReasonType.STEP, line=line)
-            )
-        elif self._mode == "next" and depth <= self._mode_depth:
-            self._pause(
-                frame, "line", PauseReason(type=PauseReasonType.STEP, line=line)
-            )
-        elif self._mode == "finish" and depth < self._mode_depth:
-            self._pause(
-                frame, "line", PauseReason(type=PauseReasonType.STEP, line=line)
-            )
+        if engine.mode != "resume":
+            if depth < 0:
+                depth = self._frame_depth(frame)
+            if engine.should_step_pause(depth):
+                self._pause(
+                    frame,
+                    "line",
+                    PauseReason(type=PauseReasonType.STEP, line=line),
+                )
 
     def _handle_return(self, frame, return_value: Any) -> None:
+        engine = self.engine
+        engine.refresh()
+        engine.note_event("return")
         function = frame.f_code.co_name
         if function == "<module>":
             return
+        if not engine.may_match_function(function):
+            return
         depth = self._frame_depth(frame)
-        for tracked in self.tracked_functions:
-            if (
-                tracked.enabled
-                and tracked.function == function
-                and self._depth_allows(tracked.maxdepth, depth)
-            ):
-                modeled = Snapshotter(max_depth=self._snapshot_depth).snapshot(
-                    return_value
-                )
-                self._pause(
-                    frame,
-                    "return",
-                    PauseReason(
-                        type=PauseReasonType.RETURN,
-                        function=function,
-                        return_value=modeled,
-                        line=frame.f_lineno,
-                    ),
-                )
-                return
-
-    def _filename_matches(self, requested: Optional[str], frame) -> bool:
-        if requested is None:
-            return True
-        actual = frame.f_code.co_filename
-        return os.path.abspath(requested) == actual or os.path.basename(
-            requested
-        ) == os.path.basename(actual)
+        if engine.match_tracked(function, depth) is not None:
+            modeled = Snapshotter(max_depth=self._snapshot_depth).snapshot(
+                return_value
+            )
+            self._pause(
+                frame,
+                "return",
+                PauseReason(
+                    type=PauseReasonType.RETURN,
+                    function=function,
+                    return_value=modeled,
+                    line=frame.f_lineno,
+                ),
+            )
 
     # ------------------------------------------------------------------
     # Watchpoints: value-change detection before every line
     # ------------------------------------------------------------------
 
-    def _check_watchpoints(self, frame, depth: int) -> Optional[PauseReason]:
-        for watchpoint in self.watchpoints:
-            if not watchpoint.enabled:
-                continue
-            function, name = watchpoint.split()
-            current = self._find_watched(frame, function, name)
-            rendered = _MISSING if current is _MISSING else repr(current)
-            key = id(watchpoint)
-            previous = self._watch_snapshots.get(key, _MISSING)
-            self._watch_snapshots[key] = rendered
-            if previous is rendered:  # both _MISSING
-                continue
-            if previous != rendered and rendered is not _MISSING:
-                if self._depth_allows(watchpoint.maxdepth, depth):
-                    return PauseReason(
-                        type=PauseReasonType.WATCH,
-                        variable=watchpoint.variable_id,
-                        old_value=None if previous is _MISSING else previous,
-                        new_value=rendered,
-                        line=frame.f_lineno,
-                    )
-        return None
+    def _render_watched(
+        self, frame, function: Optional[str], name: str
+    ) -> Optional[str]:
+        """Engine fetch callback: current rendered value, ``None`` = missing."""
+        current = self._find_watched(frame, function, name)
+        return None if current is _MISSING else repr(current)
 
     def _find_watched(self, frame, function: Optional[str], name: str) -> Any:
         base_name, path = _split_watch_path(name)
@@ -442,6 +443,7 @@ class PythonTracker(Tracker):
     # ------------------------------------------------------------------
 
     def _pause(self, frame, event: str, reason: PauseReason) -> None:
+        self.engine.record_pause(reason.type)
         self._swap_stdout_out()
         with self._condition:
             self._pause_reason = reason

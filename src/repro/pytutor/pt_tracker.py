@@ -26,8 +26,6 @@ from repro.pytutor.trace import (
     step_to_frame_chain,
 )
 
-_MISSING = object()
-
 
 class PTTracker(Tracker):
     """Tracker backend replaying a recorded Python Tutor trace."""
@@ -38,7 +36,6 @@ class PTTracker(Tracker):
         super().__init__()
         self.trace: Optional[PTTrace] = None
         self._index = -1
-        self._watch_snapshots: Dict[int, object] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -66,7 +63,8 @@ class PTTracker(Tracker):
     # ------------------------------------------------------------------
 
     def _resume(self) -> None:
-        self._advance(lambda step, depth0: self._control_point(step))
+        self.engine.arm("resume")
+        self._advance()
 
     def _current_step(self) -> PTStep:
         return self.trace.steps[self._index]
@@ -75,50 +73,50 @@ class PTTracker(Tracker):
         return len(self._current_step().stack_to_render)
 
     def _step(self) -> None:
-        self._advance(lambda step, depth0: PauseReason(
-            type=PauseReasonType.STEP, line=step.line))
+        self.engine.arm("step")
+        self._advance()
 
     # base-class hooks ---------------------------------------------------
 
     def _next(self) -> None:
-        depth0 = self._current_depth()
-        self._advance(
-            lambda step, _d: (
-                self._control_point(step)
-                or (
-                    PauseReason(type=PauseReasonType.STEP, line=step.line)
-                    if len(step.stack_to_render) <= depth0
-                    else None
-                )
-            )
-        )
+        self.engine.arm("next", self._current_depth())
+        self._advance()
 
     def _finish(self) -> None:
-        depth0 = self._current_depth()
-        self._advance(
-            lambda step, _d: (
-                self._control_point(step)
-                or (
-                    PauseReason(type=PauseReasonType.STEP, line=step.line)
-                    if len(step.stack_to_render) < depth0
-                    else None
-                )
-            )
-        )
+        self.engine.arm("finish", self._current_depth())
+        self._advance()
 
-    def _advance(self, decide) -> None:
+    def _advance(self) -> None:
         while True:
             self._index += 1
             if self._index >= len(self.trace.steps):
                 self._index = len(self.trace.steps) - 1
                 self._exit_code = 0
                 self._pause_reason = PauseReason(type=PauseReasonType.EXIT)
+                self.engine.note_event("exit")
+                self.engine.record_pause(PauseReasonType.EXIT)
                 return
-            step = self.trace.steps[self._index]
-            reason = decide(step, None)
+            reason = self._decide(self.trace.steps[self._index])
             if reason is not None:
                 self._mark_pause(reason)
                 return
+
+    def _decide(self, step: PTStep) -> Optional[PauseReason]:
+        """One recorded step in, pause decision out — all via the engine."""
+        engine = self.engine
+        engine.refresh()
+        engine.note_event(step.event or "step")
+        depth = len(step.stack_to_render)
+        # A plain step pauses at the very next recorded point, before any
+        # control point gets a look — matching the live trackers, where a
+        # step lands on the next line unconditionally.
+        if engine.mode != "step":
+            reason = self._control_point(step, depth)
+            if reason is not None:
+                return reason
+        if engine.should_step_pause(depth):
+            return PauseReason(type=PauseReasonType.STEP, line=step.line)
+        return None
 
     def step_back(self) -> None:
         """Reverse-step one recorded execution point (the RR stand-in)."""
@@ -130,6 +128,7 @@ class PTTracker(Tracker):
         self._mark_pause(PauseReason(type=PauseReasonType.STEP, line=step.line))
 
     def _mark_pause(self, reason: PauseReason) -> None:
+        self.engine.record_pause(reason.type)
         self._pause_reason = reason
         step = self._current_step()
         self.last_lineno = self.next_lineno
@@ -139,89 +138,71 @@ class PTTracker(Tracker):
     # Control points evaluated against recorded steps
     # ------------------------------------------------------------------
 
-    def _control_point(self, step: PTStep) -> Optional[PauseReason]:
-        depth = len(step.stack_to_render)
-        watch_hit = self._check_watches(step, depth)
-        if watch_hit is not None:
-            return watch_hit
-        for breakpoint_ in self.line_breakpoints:
-            if (
-                breakpoint_.enabled
-                and breakpoint_.line == step.line
-                and self._depth_allows(breakpoint_.maxdepth, depth)
-            ):
+    def _control_point(
+        self, step: PTStep, depth: int
+    ) -> Optional[PauseReason]:
+        engine = self.engine
+        if engine.has_watchpoints:
+            hit = engine.evaluate_watches(
+                depth,
+                lambda function, name: self._render_in_step(
+                    step, function, name
+                ),
+            )
+            if hit is not None:
+                watchpoint, old, new = hit
+                return PauseReason(
+                    type=PauseReasonType.WATCH,
+                    variable=watchpoint.variable_id,
+                    old_value=old,
+                    new_value=new,
+                    line=step.line,
+                )
+        if engine.may_match_line(step.line):
+            if engine.match_line(None, step.line, depth) is not None:
                 return PauseReason(
                     type=PauseReasonType.BREAKPOINT, line=step.line
                 )
-        for breakpoint_ in self.function_breakpoints:
-            if (
-                breakpoint_.enabled
-                and step.event == EVENT_CALL
-                and step.func_name == breakpoint_.function
-                and self._depth_allows(breakpoint_.maxdepth, depth)
-            ):
-                return PauseReason(
-                    type=PauseReasonType.BREAKPOINT,
-                    function=step.func_name,
-                    line=step.line,
-                )
-        for tracked in self.tracked_functions:
-            if not tracked.enabled or step.func_name != tracked.function:
-                continue
-            if not self._depth_allows(tracked.maxdepth, depth):
-                continue
+        if step.func_name and engine.may_match_function(step.func_name):
             if step.event == EVENT_CALL:
-                return PauseReason(
-                    type=PauseReasonType.CALL,
-                    function=step.func_name,
-                    line=step.line,
-                )
-            if step.event == EVENT_RETURN:
-                return PauseReason(
-                    type=PauseReasonType.RETURN,
-                    function=step.func_name,
-                    line=step.line,
-                )
-        return None
-
-    def _check_watches(self, step: PTStep, depth: int) -> Optional[PauseReason]:
-        for watchpoint in self.watchpoints:
-            if not watchpoint.enabled:
-                continue
-            function, name = watchpoint.split()
-            rendered = self._render_in_step(step, function, name)
-            key = id(watchpoint)
-            previous = self._watch_snapshots.get(key, _MISSING)
-            self._watch_snapshots[key] = rendered
-            if previous is _MISSING and rendered is _MISSING:
-                continue
-            if previous != rendered and rendered is not _MISSING:
-                if self._depth_allows(watchpoint.maxdepth, depth):
+                if (
+                    engine.match_function_breakpoint(step.func_name, depth)
+                    is not None
+                ):
                     return PauseReason(
-                        type=PauseReasonType.WATCH,
-                        variable=watchpoint.variable_id,
-                        old_value=None if previous is _MISSING else previous,
-                        new_value=rendered,
+                        type=PauseReasonType.BREAKPOINT,
+                        function=step.func_name,
+                        line=step.line,
+                    )
+            if step.event in (EVENT_CALL, EVENT_RETURN):
+                if engine.match_tracked(step.func_name, depth) is not None:
+                    return PauseReason(
+                        type=(
+                            PauseReasonType.CALL
+                            if step.event == EVENT_CALL
+                            else PauseReasonType.RETURN
+                        ),
+                        function=step.func_name,
                         line=step.line,
                     )
         return None
 
     def _render_in_step(
         self, step: PTStep, function: Optional[str], name: str
-    ):
+    ) -> Optional[str]:
         frames = step.stack_to_render
         if function is not None:
             for pt_frame in reversed(frames):
                 if pt_frame.func_name == function:
                     if name in pt_frame.encoded_locals:
                         return repr(pt_frame.encoded_locals[name])
-                    return _MISSING
-            return _MISSING
+                    return None
+            return None
         if frames and name in frames[-1].encoded_locals:
             return repr(frames[-1].encoded_locals[name])
         if name in step.globals:
             return repr(step.globals[name])
-        return _MISSING
+        return None
 
     # ------------------------------------------------------------------
     # Inspection

@@ -12,6 +12,19 @@ import sys
 import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "src")
+)
+
+
+def _example_env():
+    """The examples import ``repro``: put ``src`` on their ``PYTHONPATH``."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        SRC_DIR if not existing else SRC_DIR + os.pathsep + existing
+    )
+    return env
 
 EXPECTED_OUTPUT = {
     "quickstart.py": ["factorial returns 120", "exited with code 0"],
@@ -44,6 +57,7 @@ def test_example_runs(name, tmp_path):
         text=True,
         timeout=300,
         cwd=str(tmp_path),  # any output dirs land in the temp dir
+        env=_example_env(),
     )
     assert completed.returncode == 0, completed.stderr
     for needle in EXPECTED_OUTPUT[name]:

@@ -1,0 +1,182 @@
+"""Cross-tracker maxdepth semantics.
+
+The paper's ``maxdepth`` extension must filter identically in every
+backend: a control point fires only when the frame depth at the event is
+at most ``maxdepth`` (the program entry frame is depth 0). This suite runs
+the *same* recursive program — written once in Python and once in mini-C,
+with the watched assignment on the same line number — under
+``PythonTracker`` and under the MiniC interpreter (via ``GDBTracker`` and
+the MI server), and asserts both produce the same pause sequence for line
+breakpoints, function breakpoints, tracked functions, and watchpoints.
+"""
+
+import re
+
+import pytest
+
+from repro.core.pause import PauseReasonType
+
+# rec(3) runs at depths 1..4 (module/main is depth 0); the x = n
+# assignment sits on line 2 in both programs.
+PY_PROGRAM = """\
+def rec(n):
+    x = n
+    if n == 0:
+        return 0
+    return rec(n - 1)
+
+rec(3)
+"""
+
+C_PROGRAM = """\
+int rec(int n) {
+    int x = n;
+    if (n == 0) {
+        return 0;
+    }
+    return rec(n - 1);
+}
+
+int main(void) {
+    rec(3);
+    return 0;
+}
+"""
+
+
+def _drive(tracker, path, install):
+    """Run to completion; collect (reason type, function, old, new) pauses."""
+    tracker.load_program(path)
+    install(tracker)
+    tracker.start()
+    pauses = []
+    for _ in range(100):  # bounded: the programs are tiny
+        tracker.resume()
+        reason = tracker.pause_reason
+        if reason.type is PauseReasonType.EXIT:
+            break
+        pauses.append(
+            (
+                reason.type.value,
+                reason.function,
+                reason.old_value,
+                reason.new_value,
+            )
+        )
+    else:
+        pytest.fail("inferior did not terminate")
+    tracker.terminate()
+    return pauses
+
+
+def _run_python(tmp_path, install):
+    from repro.pytracker import PythonTracker
+
+    path = tmp_path / "prog.py"
+    path.write_text(PY_PROGRAM)
+    return _drive(PythonTracker(capture_output=True), str(path), install)
+
+
+def _run_minic(tmp_path, install):
+    from repro.gdbtracker import GDBTracker
+
+    path = tmp_path / "prog.c"
+    path.write_text(C_PROGRAM)
+    return _drive(GDBTracker(), str(path), install)
+
+
+INSTALLERS = {
+    "line-bp-capped": lambda t: t.break_before_line(2, maxdepth=2),
+    "line-bp-unlimited": lambda t: t.break_before_line(2),
+    "line-bp-depth-zero": lambda t: t.break_before_line(2, maxdepth=0),
+    "function-bp-capped": lambda t: t.break_before_func("rec", maxdepth=2),
+    "function-bp-unlimited": lambda t: t.break_before_func("rec"),
+    "tracked-capped": lambda t: t.track_function("rec", maxdepth=2),
+    "watch-capped": lambda t: t.watch("rec:x", maxdepth=2),
+    "watch-unlimited": lambda t: t.watch("rec:x"),
+}
+
+
+def _normalize_value(value):
+    """Backend renderings -> comparable ints.
+
+    The Python tracker reports ``repr`` values; the MiniC server reports
+    byte-level little-endian hex (its watchpoints are memory watches).
+    """
+    if value is None:
+        return None
+    if re.fullmatch(r"[0-9a-fA-F]{8}", value):
+        return int.from_bytes(bytes.fromhex(value), "little")
+    try:
+        return int(value)
+    except ValueError:
+        return value
+
+
+def _comparable(pauses):
+    """Strip backend-specific detail before comparing pause sequences.
+
+    Kept: the pause kind, its order, and the watch's *new* value. Dropped:
+    the function name (MiniC attaches it to line-breakpoint hits, Python
+    does not) and the watch's *old* value (entering a new ``rec`` frame
+    makes Python's ``rec:x`` momentarily unbound, resetting its snapshot
+    to None, while MiniC's memory watch still sees the outer frame — a
+    seed divergence this suite inherits rather than hides elsewhere).
+    """
+    return [
+        (kind, _normalize_value(new)) for kind, _function, _old, new in pauses
+    ]
+
+
+@pytest.mark.parametrize("kind", sorted(INSTALLERS))
+def test_same_pauses_across_trackers(kind, tmp_path):
+    install = INSTALLERS[kind]
+    python_pauses = _run_python(tmp_path, install)
+    minic_pauses = _run_minic(tmp_path, install)
+    assert _comparable(python_pauses) == _comparable(minic_pauses)
+
+
+class TestExpectedFiltering:
+    """Pin the exact sequences, not just cross-backend agreement."""
+
+    def test_function_breakpoint_capped(self, tmp_path):
+        pauses = _run_python(
+            tmp_path, lambda t: t.break_before_func("rec", maxdepth=2)
+        )
+        assert pauses == [
+            ("breakpoint", "rec", None, None),
+            ("breakpoint", "rec", None, None),
+        ]
+
+    def test_function_breakpoint_unlimited(self, tmp_path):
+        pauses = _run_python(tmp_path, lambda t: t.break_before_func("rec"))
+        assert len(pauses) == 4  # depths 1..4
+
+    def test_line_breakpoint_capped(self, tmp_path):
+        pauses = _run_python(
+            tmp_path, lambda t: t.break_before_line(2, maxdepth=2)
+        )
+        assert [p[0] for p in pauses] == ["breakpoint", "breakpoint"]
+
+    def test_line_breakpoint_depth_zero_never_fires(self, tmp_path):
+        # line 2 only executes inside rec (depth >= 1)
+        assert (
+            _run_python(tmp_path, lambda t: t.break_before_line(2, maxdepth=0))
+            == []
+        )
+
+    def test_tracked_function_capped(self, tmp_path):
+        pauses = _run_python(
+            tmp_path, lambda t: t.track_function("rec", maxdepth=2)
+        )
+        assert [p[0] for p in pauses] == ["call", "call", "return", "return"]
+
+    def test_watch_capped(self, tmp_path):
+        pauses = _run_python(tmp_path, lambda t: t.watch("rec:x", maxdepth=2))
+        # The old value is None both times: entering rec(2) makes the
+        # innermost rec:x momentarily unbound, resetting the snapshot
+        # (matching the seed trackers' change-detection semantics).
+        assert [(p[0], p[2], p[3]) for p in pauses] == [
+            ("watch", None, "3"),
+            ("watch", None, "2"),
+        ]

@@ -137,10 +137,44 @@ class TestControlPointRegistries:
         assert not tracker.watchpoints
         assert not tracker.tracked_functions
 
-    def test_watchpoint_split(self):
-        assert Watchpoint("x").split() == (None, "x")
-        assert Watchpoint("f:x").split() == ("f", "x")
-        assert Watchpoint("f:x:y").split() == ("f", "x:y")
+    #: The shared split table: every tracker resolves watch identifiers
+    #: through repro.core.engine.split_variable_id, so one table covers
+    #: them all.
+    SPLIT_CASES = [
+        # plain names
+        ("x", (None, "x")),
+        ("counter", (None, "counter")),
+        # function-scoped
+        ("f:x", ("f", "x")),
+        ("main:total", ("main", "total")),
+        # method-qualified (dotted) function part
+        ("Stack.push:item", ("Stack.push", "item")),
+        ("a.b.c:x", ("a.b.c", "x")),
+        # empty function part means "no scope"
+        (":x", (None, "x")),
+        # only the first scope colon splits
+        ("f:x:y", ("f", "x:y")),
+        # colons inside brackets/quotes belong to the variable path
+        ('d[":k"]', (None, 'd[":k"]')),
+        ("f:d[':k']", ("f", "d[':k']")),
+        # a non-identifier prefix is not a function scope
+        ("d[0]:x", (None, "d[0]:x")),
+        # paths survive unscoped and scoped
+        ("obj.attr[0]", (None, "obj.attr[0]")),
+        ("f:obj.attr[0]", ("f", "obj.attr[0]")),
+    ]
+
+    @pytest.mark.parametrize("variable_id,expected", SPLIT_CASES)
+    def test_watchpoint_split(self, variable_id, expected):
+        assert Watchpoint(variable_id).split() == expected
+
+    @pytest.mark.parametrize("variable_id,expected", SPLIT_CASES)
+    def test_split_variable_id_matches_watchpoint_split(
+        self, variable_id, expected
+    ):
+        from repro.core.engine import split_variable_id
+
+        assert split_variable_id(variable_id) == expected
 
     def test_depth_allows(self):
         assert Tracker._depth_allows(None, 99)
