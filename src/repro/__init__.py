@@ -14,6 +14,10 @@ write, exactly as in the paper::
 from repro.core import (
     AbstractType,
     AlreadyTerminatedError,
+    BackendUnavailableError,
+    BackoffPolicy,
+    ControlTimeout,
+    Deadline,
     Frame,
     FunctionBreakpoint,
     InferiorCrashError,
@@ -25,6 +29,8 @@ from repro.core import (
     PauseReasonType,
     ProgramLoadError,
     ProtocolError,
+    ServerCrashError,
+    SupervisionEvent,
     TrackedFunction,
     Tracker,
     TrackerError,
@@ -49,6 +55,10 @@ __version__ = "1.0.0"
 __all__ = [
     "AbstractType",
     "AlreadyTerminatedError",
+    "BackendUnavailableError",
+    "BackoffPolicy",
+    "ControlTimeout",
+    "Deadline",
     "Frame",
     "FunctionBreakpoint",
     "InferiorCrashError",
@@ -60,6 +70,8 @@ __all__ = [
     "PauseReasonType",
     "ProgramLoadError",
     "ProtocolError",
+    "ServerCrashError",
+    "SupervisionEvent",
     "TrackedFunction",
     "Tracker",
     "TrackerError",

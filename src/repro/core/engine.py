@@ -143,6 +143,18 @@ class TrackerStats:
         last_pause_latency_ns: event-receipt-to-pause-decision time of the
             most recent pause, in nanoseconds.
         total_pause_latency_ns: sum of all pause decision latencies.
+        interrupts: inferior interrupts delivered after a control-call
+            deadline expired (the inferior paused instead of hanging).
+        control_timeouts: control calls that raised ``ControlTimeout``
+            because the interrupt itself failed to land.
+        backend_restarts: debug-server restarts performed by the
+            supervision layer after a backend crash.
+        wedged_inferiors: inferior threads that survived ``terminate``'s
+            grace period and were abandoned (tracker marked invalid).
+        faults_injected: faults injected by the testing harness
+            (:mod:`repro.testing.faults`).
+        faults_recovered: injected faults the supervision layer recovered
+            from (backend restarted, or inferior interrupted).
     """
 
     events_seen: Dict[str, int] = field(default_factory=dict)
@@ -152,6 +164,12 @@ class TrackerStats:
     recompiles: int = 0
     last_pause_latency_ns: int = 0
     total_pause_latency_ns: int = 0
+    interrupts: int = 0
+    control_timeouts: int = 0
+    backend_restarts: int = 0
+    wedged_inferiors: int = 0
+    faults_injected: int = 0
+    faults_recovered: int = 0
 
     @property
     def events_suppressed(self) -> Dict[str, int]:
@@ -176,6 +194,12 @@ class TrackerStats:
             "recompiles": self.recompiles,
             "last_pause_latency_ns": self.last_pause_latency_ns,
             "total_pause_latency_ns": self.total_pause_latency_ns,
+            "interrupts": self.interrupts,
+            "control_timeouts": self.control_timeouts,
+            "backend_restarts": self.backend_restarts,
+            "wedged_inferiors": self.wedged_inferiors,
+            "faults_injected": self.faults_injected,
+            "faults_recovered": self.faults_recovered,
         }
 
     @classmethod
@@ -188,6 +212,12 @@ class TrackerStats:
             recompiles=int(data.get("recompiles", 0)),
             last_pause_latency_ns=int(data.get("last_pause_latency_ns", 0)),
             total_pause_latency_ns=int(data.get("total_pause_latency_ns", 0)),
+            interrupts=int(data.get("interrupts", 0)),
+            control_timeouts=int(data.get("control_timeouts", 0)),
+            backend_restarts=int(data.get("backend_restarts", 0)),
+            wedged_inferiors=int(data.get("wedged_inferiors", 0)),
+            faults_injected=int(data.get("faults_injected", 0)),
+            faults_recovered=int(data.get("faults_recovered", 0)),
         )
         suppressed = data.get("events_suppressed", {})
         stats.events_paused = {
@@ -210,6 +240,12 @@ class TrackerStats:
             total_pause_latency_ns=(
                 self.total_pause_latency_ns + other.total_pause_latency_ns
             ),
+            interrupts=self.interrupts + other.interrupts,
+            control_timeouts=self.control_timeouts + other.control_timeouts,
+            backend_restarts=self.backend_restarts + other.backend_restarts,
+            wedged_inferiors=self.wedged_inferiors + other.wedged_inferiors,
+            faults_injected=self.faults_injected + other.faults_injected,
+            faults_recovered=self.faults_recovered + other.faults_recovered,
         )
         for kind, count in other.events_seen.items():
             merged.events_seen[kind] = merged.events_seen.get(kind, 0) + count
@@ -341,6 +377,17 @@ class ControlPointEngine:
     def reset_sync(self) -> None:
         """Forget which control points were synced (server restarted)."""
         self._synced_ids.clear()
+
+    def resync_points(self) -> List[Any]:
+        """The full registry, marked for a from-scratch re-install.
+
+        The crash-recovery path uses this after a backend restart: the
+        client-side registry index is the source of truth, so every
+        control point is re-sent to the fresh server and the incremental
+        sync bookkeeping starts over.
+        """
+        self.reset_sync()
+        return self.take_unsynced()
 
     # ------------------------------------------------------------------
     # Step-mode state machine

@@ -40,6 +40,51 @@ class ProtocolError(TrackerError):
     """The debug-server connection produced an unparsable or unexpected reply."""
 
 
+class ServerCrashError(ProtocolError):
+    """The debug-server subprocess died underneath the client.
+
+    Carries the subprocess exit code and the tail of its stderr so the
+    failure is diagnosable from the exception alone. Recoverable: the
+    supervision layer catches this to drive a backend restart.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        exit_code: "int | None" = None,
+        stderr_tail: "list | None" = None,
+    ):
+        detail = message
+        if exit_code is not None:
+            detail += f" (exit code {exit_code})"
+        if stderr_tail:
+            tail = "\n".join(stderr_tail)
+            detail += f"; server stderr tail:\n{tail}"
+        super().__init__(detail)
+        self.exit_code = exit_code
+        self.stderr_tail = list(stderr_tail or [])
+
+
+class ControlTimeout(TrackerError):
+    """A control call's deadline expired *and* the interrupt failed.
+
+    Deadline expiry alone does not raise: the supervisor first interrupts
+    the inferior so the call can return with the tracker paused
+    (``PauseReasonType.INTERRUPT``). Only when the inferior cannot be
+    brought to a pause within the grace period (e.g. it is blocked in
+    native code the tracer never re-enters) does the call raise this.
+    """
+
+
+class BackendUnavailableError(TrackerError):
+    """The backend is gone for good: crash-recovery retries are exhausted.
+
+    A terminal state, never a hang — the tracker's ``health`` is
+    ``"unavailable"`` and every further control call fails fast with this
+    error.
+    """
+
+
 class InferiorCrashError(TrackerError):
     """The inferior raised an unhandled error while being tracked."""
 

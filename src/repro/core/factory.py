@@ -10,15 +10,15 @@ every substrate.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Any, Callable, Dict
 
 from repro.core.errors import TrackerError
 from repro.core.tracker import Tracker
 
-_REGISTRY: Dict[str, Callable[[], Tracker]] = {}
+_REGISTRY: Dict[str, Callable[..., Tracker]] = {}
 
 
-def register_tracker(name: str, build: Callable[[], Tracker]) -> None:
+def register_tracker(name: str, build: Callable[..., Tracker]) -> None:
     """Register a tracker backend under ``name`` (case-insensitive).
 
     Third-party trackers (e.g. one reading an external trace format, as
@@ -33,13 +33,16 @@ def available_trackers() -> list:
     return sorted(_REGISTRY)
 
 
-def init_tracker(name: str) -> Tracker:
+def init_tracker(name: str, **kwargs: Any) -> Tracker:
     """Create a tracker backend by name.
 
     Args:
         name: ``"python"`` for the in-process settrace tracker, ``"GDB"``
             for the debug-server (mini-C / RISC-V) tracker, or ``"pt"`` for
             the Python Tutor trace-replay tracker.
+        **kwargs: forwarded to the backend constructor (e.g.
+            ``capture_output=True`` for ``"python"``, ``restart_policy=``
+            for ``"GDB"``).
 
     Raises:
         TrackerError: if no backend with that name is registered.
@@ -50,7 +53,7 @@ def init_tracker(name: str) -> Tracker:
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise TrackerError(f"unknown tracker {name!r} (known: {known})") from None
-    return build()
+    return build(**kwargs)
 
 
 def _ensure_builtins() -> None:

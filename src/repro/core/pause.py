@@ -29,6 +29,8 @@ class PauseReasonType(enum.Enum):
     STEP = "step"
     #: The inferior terminated (exit code available).
     EXIT = "exit"
+    #: The supervisor interrupted the inferior (control-call deadline).
+    INTERRUPT = "interrupt"
 
 
 @dataclass

@@ -1,0 +1,206 @@
+"""The supervision layer: deadlines, interrupts, and crash recovery.
+
+The paper's control interface promises that every control call *returns
+only when the inferior is paused or terminated*. The seed implementations
+made that promise unconditionally: a spinning inferior, a crashed debug
+server, or a garbled MI pipe would block the embedding tool forever. This
+module makes the promise enforceable, the same way for every backend:
+
+- :class:`Deadline` — a monotonic-clock budget threaded through a control
+  call. When it expires the backend *interrupts* the inferior (settrace
+  async-pause flag for the Python tracker, ``-exec-interrupt`` / SIGINT
+  for the debug server) so the call still returns with the tracker paused;
+  :class:`repro.core.errors.ControlTimeout` is raised only when the
+  interrupt itself fails to land within the grace period.
+- :class:`BackoffPolicy` + :func:`run_with_recovery` — bounded exponential
+  backoff around backend restarts. Exhausted retries degrade to a terminal
+  ``"unavailable"`` health state
+  (:class:`repro.core.errors.BackendUnavailableError`), never a hang.
+- :class:`SupervisionEvent` — restarts, interrupts and wedged inferiors
+  are surfaced as events (``Tracker.drain_supervision_events``) and
+  counted in :class:`repro.core.engine.TrackerStats`.
+
+Shared by all four tracker backends, analogous to how
+:class:`repro.core.engine.ControlPointEngine` unified pause dispatch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, TypeVar
+
+from repro.core.errors import BackendUnavailableError
+
+__all__ = [
+    "BackoffPolicy",
+    "Deadline",
+    "SupervisionEvent",
+    "BACKEND_RESTARTED",
+    "BACKEND_UNAVAILABLE",
+    "INFERIOR_INTERRUPTED",
+    "INFERIOR_WEDGED",
+    "format_thread_stack",
+    "run_with_recovery",
+]
+
+#: Event kinds (``SupervisionEvent.kind`` values).
+BACKEND_RESTARTED = "backend-restarted"
+BACKEND_UNAVAILABLE = "backend-unavailable"
+INFERIOR_INTERRUPTED = "inferior-interrupted"
+INFERIOR_WEDGED = "inferior-wedged"
+
+#: Floor on the interrupt grace period, so tiny deadlines still leave the
+#: interrupt a realistic chance to land before ControlTimeout.
+_MIN_GRACE = 0.05
+
+
+class Deadline:
+    """A monotonic-clock deadline for one control call.
+
+    The budget is split in two phases of equal length (the acceptance
+    contract is "returns within 2x the deadline"): at ``timeout`` the
+    supervisor requests an interrupt; if the inferior still has not paused
+    after the *grace* phase — another ``timeout`` seconds (at least
+    ``0.05 s``) — the call gives up with ``ControlTimeout``.
+    """
+
+    def __init__(self, timeout: float):
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout!r}")
+        self.timeout = timeout
+        self.grace = max(timeout, _MIN_GRACE)
+        self._start = time.monotonic()
+        #: Set once the interrupt request has been issued.
+        self.interrupt_requested = False
+
+    def remaining(self) -> float:
+        """Seconds left before the interrupt phase starts (may be < 0)."""
+        return self.timeout - (time.monotonic() - self._start)
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def grace_remaining(self) -> float:
+        """Seconds left before the call must give up entirely."""
+        return (self.timeout + self.grace) - (time.monotonic() - self._start)
+
+    def grace_expired(self) -> bool:
+        return self.grace_remaining() <= 0
+
+
+@dataclass
+class SupervisionEvent:
+    """One supervision occurrence (restart, interrupt, wedge, give-up)."""
+
+    kind: str
+    message: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.message}"
+
+
+@dataclass
+class BackoffPolicy:
+    """Bounded exponential backoff for backend crash recovery.
+
+    Attributes:
+        max_restarts: restart attempts before degrading to
+            ``BackendUnavailableError`` (0 disables recovery).
+        initial_delay: seconds slept before the first restart attempt.
+        multiplier: factor applied to the delay after each attempt.
+        max_delay: upper bound on any single delay.
+    """
+
+    max_restarts: int = 2
+    initial_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+
+    def delays(self) -> Iterator[float]:
+        """The deterministic delay schedule, one entry per attempt."""
+        delay = self.initial_delay
+        for _ in range(self.max_restarts):
+            yield min(delay, self.max_delay)
+            delay *= self.multiplier
+
+
+_T = TypeVar("_T")
+
+
+def run_with_recovery(
+    call: Callable[[], _T],
+    *,
+    restart: Callable[[BaseException], None],
+    policy: Optional[BackoffPolicy],
+    recoverable: tuple = (Exception,),
+    on_restarted: Optional[Callable[[BaseException, int], None]] = None,
+    on_unavailable: Optional[Callable[[BaseException], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> _T:
+    """Run ``call``; on a recoverable failure restart the backend and retry.
+
+    Args:
+        call: the supervised operation. Retried at most once per restart.
+        restart: brings the backend back up; receives the triggering error
+            and may itself raise a recoverable error (counts as a failed
+            attempt).
+        policy: the backoff schedule; ``None`` or ``max_restarts=0`` means
+            the first failure is already terminal.
+        recoverable: exception classes that trigger recovery; anything
+            else propagates untouched.
+        on_restarted: called after each successful restart with the error
+            that caused it and the 1-based attempt number.
+        on_unavailable: called once when retries are exhausted, just
+            before ``BackendUnavailableError`` is raised.
+        sleep: injection point for tests (defaults to ``time.sleep``).
+
+    Raises:
+        BackendUnavailableError: when the schedule is exhausted; the last
+            backend error is chained as ``__cause__``.
+    """
+    try:
+        return call()
+    except recoverable as error:
+        last_error: BaseException = error
+    schedule = list(policy.delays()) if policy is not None else []
+    for attempt, delay in enumerate(schedule, start=1):
+        sleep(delay)
+        try:
+            restart(last_error)
+        except recoverable as error:
+            last_error = error
+            continue
+        if on_restarted is not None:
+            on_restarted(last_error, attempt)
+        try:
+            return call()
+        except recoverable as error:
+            last_error = error
+    if on_unavailable is not None:
+        on_unavailable(last_error)
+    raise BackendUnavailableError(
+        f"backend did not survive {len(schedule)} restart attempt(s): "
+        f"{last_error}"
+    ) from last_error
+
+
+def format_thread_stack(thread: threading.Thread) -> str:
+    """Render the current Python stack of ``thread`` (best effort).
+
+    Used when an inferior thread refuses to die: the warning that marks
+    the tracker invalid includes where the inferior is stuck, via
+    ``sys._current_frames()``.
+    """
+    import sys
+
+    ident = thread.ident
+    if ident is None:
+        return "<thread not started>"
+    frame = sys._current_frames().get(ident)
+    if frame is None:
+        return "<no stack available>"
+    return "".join(traceback.format_stack(frame))

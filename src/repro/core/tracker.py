@@ -14,16 +14,19 @@ scripts simple imperative loops.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import (
     AlreadyTerminatedError,
+    BackendUnavailableError,
     NotPausedError,
     NotStartedError,
 )
 from repro.core.pause import PauseReason
 from repro.core.state import Frame, Variable
+from repro.core.supervision import Deadline, SupervisionEvent
 
 
 @dataclass
@@ -104,6 +107,19 @@ class Tracker:
         self._terminated = False
         self._exit_code: Optional[int] = None
         self._pause_reason: Optional[PauseReason] = None
+        #: Default deadline (seconds) applied to every control call that
+        #: does not pass an explicit ``timeout=``; ``None`` = wait forever.
+        self.default_timeout: Optional[float] = None
+        #: Supervision health: "ok", "invalid" (wedged inferior abandoned)
+        #: or "unavailable" (backend crash-recovery exhausted).
+        self.health: str = "ok"
+        #: The deadline of the control call currently in flight (set by
+        #: the public control methods, read by deadline-aware backends).
+        self._control_deadline: Optional[Deadline] = None
+        self._supervision_events: List[SupervisionEvent] = []
+        self._supervision_listeners: List[
+            Callable[[SupervisionEvent], None]
+        ] = []
         #: The shared indexed decision core; owns the registries below.
         self.engine = ControlPointEngine()
         self.line_breakpoints: List[LineBreakpoint] = self.engine.line_breakpoints
@@ -134,38 +150,71 @@ class Tracker:
         self._program_args = list(args or [])
         self._load_program(path, self._program_args)
 
-    def start(self) -> None:
+    def start(self, timeout: Optional[float] = None) -> None:
         """Begin executing the inferior and pause before its first line.
 
         Like every control call, returns once the inferior is paused (at its
         first executable line) or has terminated (empty program).
+
+        Args:
+            timeout: deadline in seconds (default :attr:`default_timeout`).
+                On expiry the supervisor interrupts the inferior so the
+                call still returns paused; :class:`ControlTimeout` is
+                raised only if the interrupt fails.
         """
         if self._program is None:
             raise NotStartedError("load_program must be called before start")
         if self._started:
             raise NotStartedError("the inferior has already been started")
         self._started = True
-        self._start()
+        with self._supervised(timeout):
+            self._start()
 
-    def resume(self) -> None:
-        """Resume until the next control point or termination."""
+    def resume(self, timeout: Optional[float] = None) -> None:
+        """Resume until the next control point or termination.
+
+        Args:
+            timeout: deadline in seconds (default :attr:`default_timeout`);
+                see :meth:`start` for the expiry semantics.
+        """
         self._require_running()
-        self._resume()
+        with self._supervised(timeout):
+            self._resume()
 
-    def next(self) -> None:
+    def next(self, timeout: Optional[float] = None) -> None:
         """Execute the current line, stepping *over* function calls."""
         self._require_running()
-        self._next()
+        with self._supervised(timeout):
+            self._next()
 
-    def step(self) -> None:
+    def step(self, timeout: Optional[float] = None) -> None:
         """Execute the current line, stepping *into* function calls."""
         self._require_running()
-        self._step()
+        with self._supervised(timeout):
+            self._step()
 
-    def finish(self) -> None:
+    def finish(self, timeout: Optional[float] = None) -> None:
         """Run until the current function returns (pause at the return)."""
         self._require_running()
-        self._finish()
+        with self._supervised(timeout):
+            self._finish()
+
+    @contextlib.contextmanager
+    def _supervised(self, timeout: Optional[float]):
+        """Install the control-call deadline for the duration of a hook.
+
+        Deadline-aware backends read :attr:`_control_deadline` inside
+        their blocking waits; backends that never block (trace replay)
+        simply ignore it, which is correct — they cannot hang.
+        """
+        effective = timeout if timeout is not None else self.default_timeout
+        self._control_deadline = (
+            Deadline(effective) if effective is not None else None
+        )
+        try:
+            yield
+        finally:
+            self._control_deadline = None
 
     def terminate(self) -> None:
         """Kill the inferior and release all tracker resources.
@@ -266,6 +315,27 @@ class Tracker:
         """
         return self.engine.stats
 
+    # ------------------------------------------------------------------
+    # Supervision events
+    # ------------------------------------------------------------------
+
+    def drain_supervision_events(self) -> List[SupervisionEvent]:
+        """Supervision events since the last drain (restarts, wedges...)."""
+        events = self._supervision_events
+        self._supervision_events = []
+        return events
+
+    def add_supervision_listener(
+        self, listener: Callable[[SupervisionEvent], None]
+    ) -> None:
+        """Also deliver every supervision event to ``listener``."""
+        self._supervision_listeners.append(listener)
+
+    def _emit_supervision_event(self, event: SupervisionEvent) -> None:
+        self._supervision_events.append(event)
+        for listener in self._supervision_listeners:
+            listener(event)
+
     def get_current_frame(self) -> Frame:
         """The innermost frame of the paused inferior (parents linked)."""
         self._require_paused()
@@ -365,6 +435,11 @@ class Tracker:
     def _require_running(self) -> None:
         if not self._started:
             raise NotStartedError("call start() first")
+        if self.health != "ok":
+            raise BackendUnavailableError(
+                f"the tracker is {self.health}; no further control is "
+                "possible (terminate() and create a fresh tracker)"
+            )
         if self._exit_code is not None or self._terminated:
             raise AlreadyTerminatedError("the inferior has terminated")
 

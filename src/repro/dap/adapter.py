@@ -21,7 +21,11 @@ from __future__ import annotations
 
 from typing import Any, BinaryIO, Dict, List, Optional
 
-from repro.core.errors import TrackerError
+from repro.core.errors import (
+    BackendUnavailableError,
+    ControlTimeout,
+    TrackerError,
+)
 from repro.core.factory import init_tracker
 from repro.core.pause import PauseReasonType
 from repro.core.state import AbstractType, Value, Variable
@@ -37,6 +41,7 @@ _STOP_REASONS = {
     PauseReasonType.CALL: "function breakpoint",
     PauseReasonType.RETURN: "function breakpoint",
     PauseReasonType.STEP: "step",
+    PauseReasonType.INTERRUPT: "pause",
 }
 
 
@@ -108,6 +113,9 @@ class DebugAdapter:
             "backend", "python" if program.endswith(".py") else "GDB"
         )
         self.tracker = init_tracker(backend)
+        timeout = arguments.get("controlTimeout")
+        if timeout is not None:
+            self.tracker.default_timeout = float(timeout)
         self.tracker.load_program(program, arguments.get("args"))
         return [self._ok(request)]
 
@@ -182,15 +190,41 @@ class DebugAdapter:
     def _run(self, control: str) -> List[Dict[str, Any]]:
         if self.tracker is None or not self._started:
             return []
-        getattr(self.tracker, control)()
+        try:
+            getattr(self.tracker, control)()
+        except ControlTimeout as error:
+            return self._supervision_messages() + [
+                self._output_event(f"control timeout: {error}\n")
+            ]
+        except BackendUnavailableError as error:
+            return (
+                self._supervision_messages()
+                + [self._output_event(f"backend unavailable: {error}\n")]
+                + [self._event("terminated")]
+            )
         self._variable_scopes.clear()
+        messages = self._supervision_messages()
         if self.tracker.get_exit_code() is not None:
-            return self._exit_events()
+            return messages + self._exit_events()
         reason = self.tracker.pause_reason
         dap_reason = _STOP_REASONS.get(
             reason.type if reason else PauseReasonType.STEP, "step"
         )
-        return [self._stopped_event(dap_reason)]
+        return messages + [self._stopped_event(dap_reason)]
+
+    def _supervision_messages(self) -> List[Dict[str, Any]]:
+        """Drained supervision events, surfaced as DAP output events."""
+        if self.tracker is None:
+            return []
+        return [
+            self._output_event(f"[{event.kind}] {event.message}\n")
+            for event in self.tracker.drain_supervision_events()
+        ]
+
+    def _output_event(self, text: str):
+        return self._event(
+            "output", {"category": "console", "output": text}
+        )
 
     def _stopped_event(self, reason: str):
         return self._event(

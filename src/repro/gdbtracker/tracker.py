@@ -24,11 +24,24 @@ serialized, piped across, and deserialized here — both sides speak the
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.engine import TrackerStats
-from repro.core.errors import TrackerError
+from repro.core.errors import (
+    ControlTimeout,
+    ProtocolError,
+    TrackerError,
+)
 from repro.core.pause import PauseReason, PauseReasonType
+from repro.core.supervision import (
+    BACKEND_RESTARTED,
+    BACKEND_UNAVAILABLE,
+    INFERIOR_INTERRUPTED,
+    BackoffPolicy,
+    Deadline,
+    SupervisionEvent,
+    run_with_recovery,
+)
 from repro.core.state import (
     Frame,
     Variable,
@@ -46,33 +59,59 @@ from repro.mi.client import MIClient
 
 
 class GDBTracker(Tracker):
-    """Tracker for mini-C (.c) and RISC-V assembly (.s) inferiors."""
+    """Tracker for mini-C (.c) and RISC-V assembly (.s) inferiors.
+
+    Args:
+        restart_policy: backoff schedule for debug-server crash recovery
+            (:class:`repro.core.supervision.BackoffPolicy`). On a server
+            crash or garbled pipe, the client restarts the backend,
+            re-installs the full control-point registry from the
+            client-side engine index, re-runs the inferior to its first
+            pause, and retries the failed command; exhausted retries put
+            the tracker in the terminal ``"unavailable"`` health state.
+            ``BackoffPolicy(max_restarts=0)`` disables recovery.
+        transport_factory: forwarded to :class:`MIClient` (fault
+            injection hook, see :mod:`repro.testing.faults`).
+    """
 
     backend = "GDB"
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        restart_policy: Optional[BackoffPolicy] = None,
+        transport_factory: Optional[Callable[[], Any]] = None,
+    ) -> None:
         super().__init__()
         self._client: Optional[MIClient] = None
+        self._restart_policy = restart_policy or BackoffPolicy()
+        self._transport_factory = transport_factory
         #: bkptno -> function, for exit breakpoints planted by the ret-scan
         self._exit_breakpoints: Dict[int, str] = {}
         #: bkptno -> function, for the matching entry breakpoints
         self._entry_breakpoints: Dict[int, str] = {}
         self._is_assembly = False
         self._filename = ""
+        #: whether -exec-run has completed once (vs. still in flight);
+        #: decides if a backend restart must re-launch the inferior
+        self._inferior_launched = False
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     def _load_program(self, path: str, args: List[str]) -> None:
-        self._client = MIClient(path, args)
+        self._client = MIClient(
+            path, args, transport_factory=self._transport_factory
+        )
         self._is_assembly = path.endswith((".s", ".S", ".asm"))
-        loaded = self._client.execute("-file-exec-and-symbols", [path])
+        loaded = self._execute("-file-exec-and-symbols", [path])
         self._filename = loaded["file"] if loaded else path
 
     def _start(self) -> None:
         self._sync_control_points()
-        self._ingest(self._client.run_control("-exec-run"))
+        payload = self._run_control("-exec-run")
+        self._inferior_launched = True
+        self._ingest(payload)
 
     def _terminate(self) -> None:
         if self._client is not None:
@@ -83,16 +122,129 @@ class GDBTracker(Tracker):
     # ------------------------------------------------------------------
 
     def _resume(self) -> None:
-        self._ingest(self._client.run_control("-exec-continue"))
+        self._ingest(self._run_control("-exec-continue"))
 
     def _next(self) -> None:
-        self._ingest(self._client.run_control("-exec-next"))
+        self._ingest(self._run_control("-exec-next"))
 
     def _step(self) -> None:
-        self._ingest(self._client.run_control("-exec-step"))
+        self._ingest(self._run_control("-exec-step"))
 
     def _finish(self) -> None:
-        self._ingest(self._client.run_control("-exec-finish"))
+        self._ingest(self._run_control("-exec-finish"))
+
+    # ------------------------------------------------------------------
+    # Supervised server calls: deadlines + crash recovery
+    # ------------------------------------------------------------------
+
+    def _attempt_deadline(self) -> Optional[Deadline]:
+        """A fresh deadline per attempt, from the active control call.
+
+        Each recovery retry restarts the clock: the budget bounds one
+        server interaction, not the whole backoff schedule (which is
+        itself bounded by the policy).
+        """
+        if self._control_deadline is not None:
+            return Deadline(self._control_deadline.timeout)
+        if self.default_timeout is not None:
+            return Deadline(self.default_timeout)
+        return None
+
+    def _execute(
+        self,
+        name: str,
+        args: Optional[List[str]] = None,
+        options: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        """A synchronous server command, with crash recovery."""
+        return self._supervised_call(
+            lambda: self._client.execute(
+                name, args, options, deadline=self._attempt_deadline()
+            )
+        )
+
+    def _run_control(self, name: str) -> Dict[str, Any]:
+        """An exec command, with deadline interrupt and crash recovery."""
+        payload = self._supervised_call(
+            lambda: self._client.run_control(
+                name, deadline=self._attempt_deadline()
+            )
+        )
+        if payload.get("reason") == "interrupted":
+            stats = self.engine.stats
+            stats.interrupts += 1
+            self._emit_supervision_event(
+                SupervisionEvent(
+                    INFERIOR_INTERRUPTED,
+                    f"{name} exceeded its deadline; the inferior was "
+                    "interrupted and is paused",
+                    {"line": payload.get("line")},
+                )
+            )
+        return payload
+
+    def _supervised_call(self, operation: Callable[[], Any]) -> Any:
+        try:
+            return run_with_recovery(
+                operation,
+                restart=self._restart_backend,
+                policy=self._restart_policy,
+                recoverable=(ProtocolError,),
+                on_restarted=self._note_restarted,
+                on_unavailable=self._note_unavailable,
+            )
+        except ControlTimeout:
+            self.engine.stats.control_timeouts += 1
+            raise
+
+    def _restart_backend(self, error: BaseException) -> None:
+        """Respawn the server and rebuild the whole session on it.
+
+        The client-side engine registry is the source of truth: every
+        control point is re-installed on the fresh server
+        (:meth:`ControlPointEngine.resync_points` under
+        ``_sync_control_points``), and an already-started inferior is
+        re-run to a clean first-line pause so a retried control command
+        finds the server in a valid ``STOPPED`` state.
+        """
+        self._client.restart()
+        loaded = self._client.execute(
+            "-file-exec-and-symbols",
+            [self._program],
+            deadline=self._attempt_deadline(),
+        )
+        self._filename = loaded["file"] if loaded else self._program
+        self._exit_breakpoints.clear()
+        self._entry_breakpoints.clear()
+        self.engine.reset_sync()
+        self._sync_control_points()
+        # Re-launch only an inferior that had fully launched; a crash
+        # during -exec-run itself leaves the relaunch to the retry.
+        if self._inferior_launched and self._exit_code is None:
+            self._client.run_control(
+                "-exec-run", deadline=self._attempt_deadline()
+            )
+
+    def _note_restarted(self, error: BaseException, attempt: int) -> None:
+        self.engine.stats.backend_restarts += 1
+        self._emit_supervision_event(
+            SupervisionEvent(
+                BACKEND_RESTARTED,
+                f"debug server restarted (attempt {attempt}) after: {error}",
+                {"attempt": attempt, "error": str(error)},
+            )
+        )
+
+    def _note_unavailable(self, error: BaseException) -> None:
+        self.health = "unavailable"
+        self._emit_supervision_event(
+            SupervisionEvent(
+                BACKEND_UNAVAILABLE,
+                "debug server crash recovery exhausted; the tracker is "
+                f"unavailable (last error: {error})",
+                {"error": str(error)},
+            )
+        )
 
     def _control_points_changed(self) -> None:
         super()._control_points_changed()
@@ -105,7 +257,7 @@ class GDBTracker(Tracker):
         self._exit_breakpoints.clear()
         self._entry_breakpoints.clear()
         if self._client is not None:
-            self._client.execute("-break-delete", ["all"])
+            self._execute("-break-delete", ["all"])
 
     def _sync_control_points(self) -> None:
         """Send any not-yet-registered control points to the server.
@@ -191,6 +343,11 @@ class GDBTracker(Tracker):
             self._pause_reason = PauseReason(type=PauseReasonType.EXIT)
             self.exit_error = payload.get("error")
             return
+        if reason == "interrupted":
+            self._pause_reason = PauseReason(
+                type=PauseReasonType.INTERRUPT, line=line
+            )
+            return
         if reason == "watchpoint-trigger":
             self._pause_reason = PauseReason(
                 type=PauseReasonType.WATCH,
@@ -244,16 +401,16 @@ class GDBTracker(Tracker):
     # ------------------------------------------------------------------
 
     def _get_current_frame(self) -> Frame:
-        return frame_from_dict(self._client.execute("-stack-list-frames"))
+        return frame_from_dict(self._execute("-stack-list-frames"))
 
     def _get_global_variables(self) -> Dict[str, Variable]:
-        payload = self._client.execute("-data-list-globals")
+        payload = self._execute("-data-list-globals")
         return {
             name: variable_from_dict(data) for name, data in payload.items()
         }
 
     def _get_position(self) -> Tuple[str, Optional[int]]:
-        payload = self._client.execute("-inferior-position")
+        payload = self._execute("-inferior-position")
         return payload["file"], payload["line"]
 
     def get_stats(self) -> TrackerStats:
@@ -265,7 +422,7 @@ class GDBTracker(Tracker):
         contributes client-side bookkeeping.
         """
         local = self.engine.stats
-        if self._client is None:
+        if self._client is None or not self._client.alive():
             return local
         try:
             payload = self._client.execute("-tracker-stats")
@@ -279,23 +436,23 @@ class GDBTracker(Tracker):
 
     def get_registers_gdb(self) -> Dict[str, int]:
         """All machine registers by name (assembly inferiors only)."""
-        return self._client.execute("-data-list-register-values")
+        return self._execute("-data-list-register-values")
 
     def get_value_at_gdb(self, address: int, count: int) -> bytes:
         """Read ``count`` raw bytes of inferior memory at ``address``."""
-        payload = self._client.execute(
+        payload = self._execute(
             "-data-read-memory", [hex(address), str(count)]
         )
         return bytes.fromhex(payload["bytes"])
 
     def get_heap_blocks(self) -> Dict[int, int]:
         """Live heap blocks (address -> size) from the allocator registry."""
-        payload = self._client.execute("-heap-blocks")
+        payload = self._execute("-heap-blocks")
         return {int(address, 16): size for address, size in payload.items()}
 
     def disassemble(self, function: str) -> List[Dict[str, Any]]:
         """The function's instruction listing (assembly inferiors)."""
-        return self._client.execute("-data-disassemble", [function])
+        return self._execute("-data-disassemble", [function])
 
     def get_output(self) -> str:
         """Everything the inferior printed so far."""
@@ -303,7 +460,7 @@ class GDBTracker(Tracker):
 
     def list_functions(self) -> List[str]:
         """Names of the inferior's functions."""
-        return self._client.execute("-list-functions")
+        return self._execute("-list-functions")
 
 
 def _maxdepth(value: Optional[int]) -> Optional[Dict[str, int]]:

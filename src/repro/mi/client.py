@@ -1,20 +1,207 @@
-"""A pygdbmi-style client for the debug server.
+"""A pygdbmi-style client for the debug server, with supervision.
 
 Spawns ``python -m repro.mi.server <program>`` as a subprocess and talks MI
 records over its stdin/stdout pipe — the same process architecture as the
 paper's GDB tracker (Fig. 4): tool process on one side, debugger process
 (with the inferior inside it) on the other, serialized state crossing the
 pipe.
+
+Robustness additions over the seed client:
+
+- reads are pumped by a background thread into a queue, so every receive
+  can carry a deadline — the client can *never* block forever on a silent
+  or wedged server;
+- liveness is checked on every send and detected promptly on pipe EOF; a
+  dead server is reaped and reported as
+  :class:`repro.core.errors.ServerCrashError` carrying the exit code and
+  the last ~20 stderr lines;
+- a control call whose deadline expires interrupts the inferior
+  (``-exec-interrupt`` down the pipe, plus ``SIGINT`` as a belt-and-braces
+  fallback) and keeps waiting one grace period for the ``*stopped``
+  record; only if that also fails does it raise
+  :class:`repro.core.errors.ControlTimeout`;
+- :meth:`MIClient.restart` respawns the server subprocess in place, so the
+  supervision layer (see :mod:`repro.core.supervision`) can recover from
+  crashes without rebuilding the client;
+- :meth:`close`/:meth:`stop` are idempotent, including after a crash.
+
+The transport is a swappable object (:class:`PipeTransport`) so the fault
+injection harness (:mod:`repro.testing.faults`) can wrap it.
 """
 
 from __future__ import annotations
 
+import collections
+import queue
+import signal
 import subprocess
 import sys
-from typing import Any, Dict, List, Optional, Tuple
+import threading
+from typing import Any, Callable, Dict, List, Optional
 
-from repro.core.errors import ProtocolError, TrackerError
+from repro.core.errors import (
+    ControlTimeout,
+    ProtocolError,
+    ServerCrashError,
+    TrackerError,
+)
+from repro.core.supervision import Deadline
 from repro.mi import protocol
+
+#: Sentinel queued by the reader thread when the server's stdout hits EOF.
+_EOF = object()
+
+#: How many trailing stderr lines a crashed server leaves behind.
+_STDERR_TAIL = 20
+
+#: Deadline (seconds) on the greeting of a freshly spawned server.
+_SPAWN_TIMEOUT = 30.0
+
+
+class PipeTransport:
+    """One debug-server subprocess and its three pipes.
+
+    stdout and stderr are drained by daemon threads: stdout lines land in
+    a queue (so receives can time out), stderr lines in a bounded tail
+    buffer (so crash reports carry the server's last words).
+    """
+
+    def __init__(self, argv: List[str]):
+        self._argv = list(argv)
+        self._process = subprocess.Popen(
+            self._argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            bufsize=1,
+        )
+        self._lines: "queue.Queue[Any]" = queue.Queue()
+        self._stderr_tail: "collections.deque[str]" = collections.deque(
+            maxlen=_STDERR_TAIL
+        )
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._pump_stdout, name="mi-stdout-pump", daemon=True
+        )
+        self._reader.start()
+        self._stderr_reader = threading.Thread(
+            target=self._pump_stderr, name="mi-stderr-pump", daemon=True
+        )
+        self._stderr_reader.start()
+
+    # -- pump threads ----------------------------------------------------
+
+    def _pump_stdout(self) -> None:
+        try:
+            for line in self._process.stdout:
+                self._lines.put(line)
+        except ValueError:  # pipe closed under the reader
+            pass
+        self._lines.put(_EOF)
+
+    def _pump_stderr(self) -> None:
+        try:
+            for line in self._process.stderr:
+                self._stderr_tail.append(line.rstrip("\n"))
+        except ValueError:
+            pass
+
+    # -- liveness --------------------------------------------------------
+
+    def alive(self) -> bool:
+        return self._process.poll() is None
+
+    def exit_code(self) -> Optional[int]:
+        return self._process.poll()
+
+    def stderr_tail(self) -> List[str]:
+        return list(self._stderr_tail)
+
+    def _crashed(self, context: str) -> ServerCrashError:
+        """Reap the dead server and build the diagnosis."""
+        try:
+            exit_code = self._process.wait(timeout=2)
+        except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+            exit_code = self._process.poll()
+        return ServerCrashError(
+            f"the debug server died ({context})",
+            exit_code=exit_code,
+            stderr_tail=self.stderr_tail(),
+        )
+
+    # -- I/O -------------------------------------------------------------
+
+    def send_line(self, line: str) -> None:
+        if not self.alive():
+            raise self._crashed("before the command could be sent")
+        try:
+            self._process.stdin.write(line + "\n")
+            self._process.stdin.flush()
+        except (BrokenPipeError, OSError, ValueError) as error:
+            raise self._crashed(f"writing failed: {error}") from error
+
+    def recv_line(self, timeout: Optional[float] = None) -> Optional[str]:
+        """Next stdout line; ``None`` on timeout.
+
+        Raises:
+            ServerCrashError: the server's stdout reached EOF (it exited
+                or was killed); the subprocess is reaped.
+        """
+        try:
+            line = self._lines.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        if line is _EOF:
+            self._lines.put(_EOF)  # keep later receives failing fast
+            raise self._crashed("its output pipe closed")
+        return line
+
+    def interrupt(self) -> None:
+        """Ask the busy server to pause its inferior (async-signal style)."""
+        try:
+            self.send_line(protocol.format_command("-exec-interrupt"))
+        except ServerCrashError:
+            raise
+        if hasattr(signal, "SIGINT"):
+            try:
+                self._process.send_signal(signal.SIGINT)
+            except (ProcessLookupError, OSError):  # already gone
+                pass
+
+    # -- teardown --------------------------------------------------------
+
+    def close(self, graceful_exit: bool = True) -> None:
+        """Tear the subprocess down (idempotent, crash-tolerant)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.alive() and graceful_exit:
+            try:
+                self.send_line(protocol.format_command("-gdb-exit"))
+                self._process.wait(timeout=2)
+            except (ServerCrashError, subprocess.TimeoutExpired):
+                pass
+        if self.alive():
+            self._process.kill()
+            try:
+                self._process.wait(timeout=2)
+            except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+                pass
+        for pipe in (self._process.stdin, self._process.stdout,
+                     self._process.stderr):
+            if pipe:
+                try:
+                    pipe.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+
+
+def _default_transport_factory(
+    program: str, args: List[str]
+) -> Callable[[], PipeTransport]:
+    argv = [sys.executable, "-m", "repro.mi.server", program] + args
+    return lambda: PipeTransport(argv)
 
 
 class MIClient:
@@ -23,39 +210,85 @@ class MIClient:
     Args:
         program: path of the inferior source (.c or .s).
         args: command-line arguments for the inferior.
+        transport_factory: builds the transport on (re)spawn; injection
+            point for the fault harness. Defaults to a
+            :class:`PipeTransport` over ``python -m repro.mi.server``.
     """
 
-    def __init__(self, program: str, args: Optional[List[str]] = None):
+    def __init__(
+        self,
+        program: str,
+        args: Optional[List[str]] = None,
+        *,
+        transport_factory: Optional[Callable[[], PipeTransport]] = None,
+    ):
         self.program = program
-        self._process = subprocess.Popen(
-            [sys.executable, "-m", "repro.mi.server", program] + list(args or []),
-            stdin=subprocess.PIPE,
-            stdout=subprocess.PIPE,
-            stderr=subprocess.DEVNULL,
-            text=True,
-            bufsize=1,
+        self._transport_factory = transport_factory or _default_transport_factory(
+            program, list(args or [])
         )
         #: all inferior output seen so far, in order
         self.console: List[str] = []
         #: async notifications (e.g. heap allocations), in order
         self.notifications: List[protocol.Record] = []
-        greeting = self._read_record()
+        #: server restarts performed over this client's lifetime
+        self.restart_count = 0
+        self._transport: Optional[PipeTransport] = None
+        self._spawn()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn(self) -> None:
+        self._transport = self._transport_factory()
+        greeting = self._read_record(Deadline(_SPAWN_TIMEOUT))
         if greeting.kind == "error":
             self.close()
-            raise TrackerError(f"debug server refused {program!r}: {greeting.payload}")
+            raise TrackerError(
+                f"debug server refused {self.program!r}: {greeting.payload}"
+            )
         if greeting.kind != "done":
             self.close()
             raise ProtocolError(f"unexpected greeting record: {greeting}")
+
+    def restart(self) -> None:
+        """Kill whatever is left of the server and spawn a fresh one.
+
+        The new server knows nothing: the caller (the supervision layer in
+        :class:`repro.gdbtracker.tracker.GDBTracker`) re-installs the
+        control-point registry from the client-side engine index and
+        re-runs the inferior.
+        """
+        if self._transport is not None:
+            self._transport.close(graceful_exit=False)
+        self._spawn()
+        self.restart_count += 1
+
+    def alive(self) -> bool:
+        """Whether the server subprocess is currently running."""
+        return self._transport is not None and self._transport.alive()
 
     # ------------------------------------------------------------------
     # Record plumbing
     # ------------------------------------------------------------------
 
-    def _read_record(self) -> protocol.Record:
-        line = self._process.stdout.readline()
-        if not line:
-            raise ProtocolError("the debug server closed the pipe")
-        return protocol.parse_record(line)
+    def _read_record(
+        self, deadline: Optional[Deadline] = None
+    ) -> protocol.Record:
+        """Read one record; honor ``deadline`` without interrupting."""
+        while True:
+            timeout = None
+            if deadline is not None:
+                timeout = deadline.grace_remaining()
+                if timeout <= 0:
+                    raise ControlTimeout(
+                        "the debug server did not answer within "
+                        f"{deadline.timeout + deadline.grace:.2f}s"
+                    )
+            line = self._transport.recv_line(timeout=timeout)
+            if line is None:
+                continue  # timed out this slice; recheck the deadline
+            return protocol.parse_record(line)
 
     def _write_command(
         self,
@@ -63,11 +296,7 @@ class MIClient:
         args: Optional[List[str]] = None,
         options: Optional[Dict[str, Any]] = None,
     ) -> None:
-        if self._process.poll() is not None:
-            raise ProtocolError("the debug server has terminated")
-        line = protocol.format_command(name, args, options)
-        self._process.stdin.write(line + "\n")
-        self._process.stdin.flush()
+        self._transport.send_line(protocol.format_command(name, args, options))
 
     # ------------------------------------------------------------------
     # Command API
@@ -78,15 +307,19 @@ class MIClient:
         name: str,
         args: Optional[List[str]] = None,
         options: Optional[Dict[str, Any]] = None,
+        deadline: Optional[Deadline] = None,
     ) -> Any:
         """Run a synchronous command; return the ``^done`` payload.
 
         Raises:
             TrackerError: on a ``^error`` reply.
+            ServerCrashError: the server died mid-command (recoverable by
+                the supervision layer).
+            ControlTimeout: the deadline expired with no reply.
         """
         self._write_command(name, args, options)
         while True:
-            record = self._read_record()
+            record = self._read_record(deadline)
             if record.kind == "stream":
                 self.console.append(record.payload)
             elif record.kind == "notify":
@@ -103,43 +336,80 @@ class MIClient:
         name: str,
         args: Optional[List[str]] = None,
         options: Optional[Dict[str, Any]] = None,
+        deadline: Optional[Deadline] = None,
     ) -> Dict[str, Any]:
         """Run an exec command; block until ``*stopped``; return its payload.
 
         This blocking read is exactly the synchronous contract of the
         tracker control interface: the call returns only when the inferior
-        is paused or terminated.
+        is paused or terminated. With a ``deadline``, expiry first
+        *interrupts* the inferior (the server answers with a
+        ``*stopped,reason="interrupted"`` record, so the contract still
+        holds); ``ControlTimeout`` is raised only when the interrupt also
+        goes unanswered for the grace period.
         """
         self._write_command(name, args, options)
-        record = self._read_record()
+        # The server's handle() is pure: it buffers all records (the
+        # ^running included) until the advance loop stops, so even this
+        # first read must be able to interrupt a busy inferior.
+        record = self._read_running_record(deadline)
         if record.kind == "error":
             raise TrackerError(str(record.payload))
         if record.kind != "running":
             raise ProtocolError(f"expected ^running, got {record.kind}")
         while True:
-            record = self._read_record()
+            record = self._read_running_record(deadline)
             if record.kind == "stream":
                 self.console.append(record.payload)
             elif record.kind == "notify":
                 self.notifications.append(record)
             elif record.kind == "stopped":
                 return record.payload
+            elif record.kind == "done":
+                # A stale interrupt the server acknowledged after stopping
+                # on its own; nothing to do.
+                continue
             else:
                 raise ProtocolError(f"unexpected record {record.kind} while running")
 
+    def _read_running_record(
+        self, deadline: Optional[Deadline]
+    ) -> protocol.Record:
+        """Read one record while the inferior runs; interrupt on expiry."""
+        while True:
+            timeout = None
+            if deadline is not None:
+                if not deadline.interrupt_requested:
+                    remaining = deadline.remaining()
+                    if remaining > 0:
+                        timeout = remaining
+                    else:
+                        deadline.interrupt_requested = True
+                        self._transport.interrupt()
+                if deadline.interrupt_requested:
+                    timeout = deadline.grace_remaining()
+                    if timeout <= 0:
+                        raise ControlTimeout(
+                            "the inferior did not pause within "
+                            f"{deadline.timeout}s and the interrupt went "
+                            "unanswered for the grace period"
+                        )
+            line = self._transport.recv_line(timeout=timeout)
+            if line is not None:
+                return protocol.parse_record(line)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
     def close(self) -> None:
-        """Terminate the server subprocess (idempotent)."""
-        if self._process.poll() is None:
-            try:
-                self._write_command("-gdb-exit")
-                self._process.wait(timeout=2)
-            except Exception:
-                self._process.kill()
-                self._process.wait(timeout=2)
-        if self._process.stdin:
-            self._process.stdin.close()
-        if self._process.stdout:
-            self._process.stdout.close()
+        """Terminate the server subprocess (idempotent, crash-tolerant)."""
+        if self._transport is not None:
+            self._transport.close()
+
+    #: Alias kept deliberately: tools written against other debugger
+    #: client libraries call ``stop()``; both are safe after a crash.
+    stop = close
 
     def __enter__(self) -> "MIClient":
         return self

@@ -117,25 +117,40 @@ def format_notify(name: str, payload: Dict[str, Any]) -> str:
 
 
 def parse_record(line: str) -> Record:
-    """Parse one record line (as the client reads it from the server)."""
+    """Parse one record line (as the client reads it from the server).
+
+    Raises:
+        ProtocolError: on any malformed line — unknown record marker or
+            truncated/garbled payload JSON. The caller never sees a raw
+            ``json.JSONDecodeError``.
+    """
     line = line.rstrip("\n")
-    if line.startswith("^done"):
-        rest = line[len("^done") :]
-        payload = json.loads(rest[1:]) if rest.startswith(",") else None
-        return Record(kind="done", payload=payload)
-    if line.startswith("^error,msg="):
-        return Record(kind="error", payload=json.loads(line[len("^error,msg=") :]))
-    if line.startswith("^running"):
-        return Record(kind="running")
-    if line.startswith("*stopped,"):
-        return Record(kind="stopped", payload=json.loads(line[len("*stopped,") :]))
-    if line.startswith("~"):
-        return Record(kind="stream", payload=json.loads(line[1:]))
-    if line.startswith("="):
-        name, _, payload = line[1:].partition(",")
-        return Record(
-            kind="notify",
-            payload=json.loads(payload) if payload else None,
-            notify_name=name,
-        )
+    try:
+        if line.startswith("^done"):
+            rest = line[len("^done") :]
+            payload = json.loads(rest[1:]) if rest.startswith(",") else None
+            return Record(kind="done", payload=payload)
+        if line.startswith("^error,msg="):
+            return Record(
+                kind="error", payload=json.loads(line[len("^error,msg=") :])
+            )
+        if line.startswith("^running"):
+            return Record(kind="running")
+        if line.startswith("*stopped,"):
+            return Record(
+                kind="stopped", payload=json.loads(line[len("*stopped,") :])
+            )
+        if line.startswith("~"):
+            return Record(kind="stream", payload=json.loads(line[1:]))
+        if line.startswith("="):
+            name, _, payload = line[1:].partition(",")
+            return Record(
+                kind="notify",
+                payload=json.loads(payload) if payload else None,
+                notify_name=name,
+            )
+    except ValueError as error:
+        raise ProtocolError(
+            f"garbled MI record: {line!r} ({error})"
+        ) from error
     raise ProtocolError(f"unparsable MI record: {line!r}")

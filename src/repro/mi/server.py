@@ -12,8 +12,11 @@ whole server is unit-testable without pipes; ``main`` adds the stdio loop.
 
 from __future__ import annotations
 
+import os
+import select
+import signal
 import sys
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.core.engine import AddressBreakpoint, ControlPointEngine
 from repro.core.errors import ProgramLoadError, ProtocolError, TrackerError
@@ -45,7 +48,13 @@ _REASON_TYPES = {
     "watchpoint-trigger": PauseReasonType.WATCH,
     "end-stepping-range": PauseReasonType.STEP,
     "exited": PauseReasonType.EXIT,
+    "interrupted": PauseReasonType.INTERRUPT,
 }
+
+#: How many inferior events run between two interrupt-poll callbacks.
+#: The flag itself is checked on every event; the poll (a select() on
+#: stdin) is the expensive part worth batching.
+_INTERRUPT_POLL_EVERY = 128
 
 
 class DebugServer:
@@ -73,6 +82,22 @@ class DebugServer:
         self._last_line: Optional[int] = None
         self._finished = False
         self._watch_baseline_done = False
+        #: Set asynchronously (SIGINT handler) or via the stdin poller to
+        #: make the run-control loop stop with reason "interrupted".
+        self._interrupt_requested = False
+        #: Injected by ``main``: polls stdin for an ``-exec-interrupt``
+        #: that arrived while the event loop is busy. ``None`` in
+        #: unit-test use (tests set ``request_interrupt`` directly).
+        self.interrupt_poll: Optional[Callable[[], bool]] = None
+        self._events_since_poll = 0
+
+    def request_interrupt(self) -> None:
+        """Ask the busy run-control loop to stop at the next event.
+
+        Async-signal-safe (a bare attribute store): callable from a signal
+        handler, another thread, or a test.
+        """
+        self._interrupt_requested = True
 
     # ------------------------------------------------------------------
     # Command dispatch
@@ -130,6 +155,18 @@ class DebugServer:
     def _cmd_gdb_exit(self, command) -> List[str]:
         self._finished = True
         return [protocol.format_done()]
+
+    def _cmd_exec_interrupt(self, command) -> List[str]:
+        """A stale interrupt: the inferior stopped before it arrived.
+
+        The live case never reaches command dispatch — while the run
+        loop is busy, ``-exec-interrupt`` is consumed by the stdin poller
+        (or delivered as SIGINT) and answered by the ``*stopped`` record
+        of the interrupted exec command. Emitting nothing here keeps the
+        stale case from desynchronizing the client's request/reply
+        pairing.
+        """
+        return []
 
     # -- control points --------------------------------------------------
 
@@ -309,6 +346,16 @@ class DebugServer:
         engine.arm("resume" if mode == "continue" else mode, self._depth)
         engine.refresh()
         while True:
+            if self._interrupt_pending():
+                self._interrupt_requested = False
+                return self._stop(
+                    records,
+                    {
+                        "reason": "interrupted",
+                        "line": self._line,
+                        "depth": self._depth,
+                    },
+                )
             try:
                 event = next(self._events)
             except StopIteration:
@@ -353,6 +400,19 @@ class DebugServer:
                     return self._stop(records, reason)
                 continue
             # WriteEvent and any future event kinds: no run-control effect.
+
+    def _interrupt_pending(self) -> bool:
+        """Whether an interrupt arrived (flag, or stdin every N events)."""
+        if self._interrupt_requested:
+            return True
+        self._events_since_poll += 1
+        if (
+            self.interrupt_poll is not None
+            and self._events_since_poll >= _INTERRUPT_POLL_EVERY
+        ):
+            self._events_since_poll = 0
+            return self.interrupt_poll()
+        return False
 
     def _stop(
         self, records: List[str], reason: Dict[str, Any]
@@ -482,6 +542,60 @@ class DebugServer:
         return None
 
 
+class _LineChannel:
+    """Line-oriented reads over a raw fd, with a non-blocking poll.
+
+    The stdlib's buffered ``sys.stdin`` cannot be polled reliably — data
+    may be hidden in its Python-level buffer where ``select`` cannot see
+    it. Owning the buffer makes ``poll_line`` exact, which is what lets
+    the busy run-control loop notice an ``-exec-interrupt`` command that
+    arrived mid-run.
+    """
+
+    def __init__(self, fd: int):
+        self._fd = fd
+        self._buffer = b""
+        self._eof = False
+
+    def poll_line(self) -> Optional[str]:
+        """A complete line if one is available right now, else ``None``."""
+        while b"\n" not in self._buffer and not self._eof:
+            try:
+                ready, _, _ = select.select([self._fd], [], [], 0)
+            except (OSError, ValueError):  # unpollable stdin: poll disabled
+                return None
+            if not ready:
+                return None
+            self._fill()
+        return self._take_line()
+
+    def read_line(self) -> Optional[str]:
+        """Blocking read of the next line; ``None`` at EOF."""
+        while True:
+            line = self._take_line()
+            if line is not None:
+                return line
+            if self._eof:
+                return None
+            self._fill()
+
+    def _fill(self) -> None:
+        chunk = os.read(self._fd, 4096)
+        if not chunk:
+            self._eof = True
+        else:
+            self._buffer += chunk
+
+    def _take_line(self) -> Optional[str]:
+        if b"\n" in self._buffer:
+            raw, self._buffer = self._buffer.split(b"\n", 1)
+            return raw.decode("utf-8", "replace")
+        if self._eof and self._buffer:
+            raw, self._buffer = self._buffer, b""
+            return raw.decode("utf-8", "replace")
+        return None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point: ``python -m repro.mi.server program.c [args...]``."""
     argv = argv if argv is not None else sys.argv[1:]
@@ -493,8 +607,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (ProgramLoadError, OSError) as error:
         print(protocol.format_error(str(error)), flush=True)
         return 1
+
+    channel = _LineChannel(sys.stdin.fileno())
+    #: Commands that arrived while the run loop was busy (rare: only an
+    #: interrupt racing a natural stop); served before reading stdin.
+    pending: List[str] = []
+
+    def poll_interrupt() -> bool:
+        interrupted = False
+        while True:
+            line = channel.poll_line()
+            if line is None:
+                break
+            if line.strip() == "-exec-interrupt":
+                interrupted = True
+            elif line.strip():
+                pending.append(line)
+        return interrupted
+
+    server.interrupt_poll = poll_interrupt
+    try:
+        signal.signal(signal.SIGINT, lambda *_: server.request_interrupt())
+    except (ValueError, OSError, AttributeError):  # not the main thread
+        pass
+
     print(protocol.format_done({"loaded": argv[0]}), flush=True)
-    for line in sys.stdin:
+    while True:
+        line = pending.pop(0) if pending else channel.read_line()
+        if line is None:
+            break
         if not line.strip():
             continue
         for record in server.handle(line):

@@ -28,11 +28,22 @@ import io
 import os
 import sys
 import threading
+import warnings
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.core.errors import InferiorCrashError, ProgramLoadError
+from repro.core.errors import (
+    ControlTimeout,
+    InferiorCrashError,
+    ProgramLoadError,
+)
 from repro.core.pause import PauseReason, PauseReasonType
 from repro.core.state import Frame, Variable
+from repro.core.supervision import (
+    INFERIOR_INTERRUPTED,
+    INFERIOR_WEDGED,
+    SupervisionEvent,
+    format_thread_stack,
+)
 from repro.core.tracker import Tracker
 from repro.pytracker.introspect import (
     Snapshotter,
@@ -104,6 +115,9 @@ class PythonTracker(Tracker):
             thread is actually executing, so tool prints are unaffected.
         snapshot_depth: optional cap on the depth of object-graph snapshots
             taken during inspection (``None`` = unlimited, cycle-safe).
+        terminate_grace: seconds :meth:`terminate` waits for the inferior
+            thread to unwind before abandoning it (tracker goes
+            ``"invalid"``, the wedge is warned about and counted).
     """
 
     backend = "python"
@@ -112,10 +126,13 @@ class PythonTracker(Tracker):
         self,
         capture_output: bool = False,
         snapshot_depth: Optional[int] = None,
+        terminate_grace: float = 5.0,
     ):
         super().__init__()
         self._capture_output = capture_output
         self._snapshot_depth = snapshot_depth
+        self._terminate_grace = terminate_grace
+        self._interrupt_requested = False
         self._output = io.StringIO()
         self._source_code = None
         self._code = None
@@ -166,7 +183,32 @@ class PythonTracker(Tracker):
             self._killed = True
             self._command = "kill"
             self._condition.notify_all()
-        self._thread.join(timeout=5.0)
+            # A free-running inferior whose frames were untraced (the
+            # engine's frame-skip fast path) would never see the kill via
+            # line events; force per-line tracing back on so it does.
+            self._retrace_live_frames()
+        self._thread.join(timeout=self._terminate_grace)
+        if self._thread.is_alive():
+            # The inferior is stuck somewhere the tracer cannot reach
+            # (typically blocking native code). Abandon the daemon thread,
+            # but loudly: mark the tracker invalid, count the wedge, and
+            # report where the inferior is stuck.
+            self.health = "invalid"
+            self.engine.stats.wedged_inferiors += 1
+            stack = format_thread_stack(self._thread)
+            message = (
+                "the inferior thread did not exit within "
+                f"{self._terminate_grace:.1f}s; abandoning it and marking "
+                "the tracker invalid"
+            )
+            self._emit_supervision_event(
+                SupervisionEvent(INFERIOR_WEDGED, message, {"stack": stack})
+            )
+            warnings.warn(
+                f"{message}; the inferior is currently at:\n{stack}",
+                RuntimeWarning,
+                stacklevel=4,
+            )
 
     # ------------------------------------------------------------------
     # Control hooks: set the step mode, wake the inferior, wait for a pause
@@ -194,13 +236,78 @@ class PythonTracker(Tracker):
             before = self._pause_count
             self._command = "go"
             self._condition.notify_all()
-            while self._pause_count == before and not self._finished:
-                self._condition.wait()
+            self._await_pause(before)
 
     def _wait_for_pause(self) -> None:
         with self._condition:
-            while self._pause_count == 0 and not self._finished:
+            self._await_pause(0)
+
+    def _await_pause(self, before: int) -> None:
+        """Wait (holding the condition) until a pause or termination.
+
+        Honors the active control-call deadline: on expiry the inferior is
+        interrupted (it then pauses with ``PauseReasonType.INTERRUPT``);
+        if even the interrupt cannot land within the grace period —
+        the inferior is blocked in native code the tracer never
+        re-enters — the call gives up with :class:`ControlTimeout`.
+        """
+        deadline = self._control_deadline
+        while self._pause_count == before and not self._finished:
+            if deadline is None:
                 self._condition.wait()
+                continue
+            if not deadline.interrupt_requested:
+                remaining = deadline.remaining()
+                if remaining > 0:
+                    self._condition.wait(timeout=remaining)
+                    continue
+                deadline.interrupt_requested = True
+                self._request_interrupt()
+            remaining = deadline.grace_remaining()
+            if remaining <= 0:
+                self.engine.stats.control_timeouts += 1
+                raise ControlTimeout(
+                    f"the inferior did not pause within {deadline.timeout}s "
+                    "and could not be interrupted within the grace period "
+                    "(it is probably blocked in native code); call "
+                    "terminate() to release it"
+                )
+            self._condition.wait(timeout=remaining)
+        if (
+            deadline is not None
+            and deadline.interrupt_requested
+            and not self._finished
+        ):
+            self._emit_supervision_event(
+                SupervisionEvent(
+                    INFERIOR_INTERRUPTED,
+                    f"control call exceeded its {deadline.timeout}s "
+                    "deadline; the inferior was interrupted and is paused",
+                    {"line": self.next_lineno},
+                )
+            )
+
+    def _request_interrupt(self) -> None:
+        """Ask the inferior to pause at its next trace event (async-safe)."""
+        self._interrupt_requested = True
+        self._retrace_live_frames()
+
+    def _retrace_live_frames(self) -> None:
+        """Re-enable per-line tracing on every live inferior frame.
+
+        Frames the engine's fast path left untraced (local trace function
+        dropped) would otherwise never deliver the interrupt or kill flag;
+        installing ``f_trace`` from the tool thread re-arms them.
+        """
+        thread = self._thread
+        if thread is None or thread.ident is None:
+            return
+        frame = sys._current_frames().get(thread.ident)
+        while frame is not None:
+            if self._is_inferior_frame(frame):
+                frame.f_trace = self._trace
+                frame.f_trace_lines = True
+            frame = frame.f_back
 
     # ------------------------------------------------------------------
     # Inferior thread
@@ -261,6 +368,9 @@ class PythonTracker(Tracker):
             raise _KillInferior()
         if not self._is_inferior_frame(frame):
             return None  # do not trace library code called by the inferior
+        if self._interrupt_requested:
+            self._deliver_interrupt(frame)
+            return self._trace
         if event == "call":
             self._handle_call(frame)
             # The engine's per-file map knows whether anything could pause
@@ -275,6 +385,19 @@ class PythonTracker(Tracker):
         elif event == "return":
             self._handle_return(frame, arg)
         return self._trace
+
+    def _deliver_interrupt(self, frame) -> None:
+        """Pause here because the supervisor requested an async interrupt."""
+        self._interrupt_requested = False
+        self.engine.note_event("interrupt")
+        self.engine.stats.interrupts += 1
+        self.last_lineno = self.next_lineno
+        self.next_lineno = frame.f_lineno
+        self._pause(
+            frame,
+            "interrupt",
+            PauseReason(type=PauseReasonType.INTERRUPT, line=frame.f_lineno),
+        )
 
     def _is_inferior_frame(self, frame) -> bool:
         return frame.f_code.co_filename == self._program_abspath

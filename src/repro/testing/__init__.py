@@ -1,0 +1,19 @@
+"""Test-support utilities: deterministic fault injection for trackers."""
+
+from repro.testing.faults import (
+    NEVER_PAUSING_C,
+    NEVER_PAUSING_PY,
+    FaultHarness,
+    FaultPlan,
+    FaultyTransport,
+    ScriptedTransport,
+)
+
+__all__ = [
+    "NEVER_PAUSING_C",
+    "NEVER_PAUSING_PY",
+    "FaultHarness",
+    "FaultPlan",
+    "FaultyTransport",
+    "ScriptedTransport",
+]

@@ -1,0 +1,273 @@
+"""Deterministic fault injection for the tracker runtime.
+
+The supervision layer (deadlines, crash recovery, graceful degradation —
+see :mod:`repro.core.supervision`) only earns its keep under failure, and
+real failures are rare and racy. This module makes them cheap and exactly
+reproducible:
+
+- :class:`FaultPlan` is a deterministic schedule — *which* pipe operation
+  gets *which* fault: a server crash, a slowed response, a garbled MI
+  line.
+- :class:`FaultyTransport` wraps the real :class:`~repro.mi.client.PipeTransport`
+  and executes the plan. Because :class:`~repro.mi.client.MIClient` takes a
+  ``transport_factory``, the whole stack above the pipe (client, GDB
+  tracker, DAP adapter) runs unmodified against injected faults.
+- :class:`FaultHarness` builds those factories and tallies what happened
+  into the tracker's :class:`~repro.core.engine.TrackerStats`
+  (``faults_injected`` / ``faults_recovered``), so recovery coverage is
+  visible through the same observability surface as everything else.
+- :class:`ScriptedTransport` skips the subprocess entirely and feeds the
+  client a verbatim line script — the tool for protocol-level fuzzing
+  (truncated records, interleaved async lines, mid-record EOF).
+
+Everything here is deterministic: operations are counted, faults fire on
+exact counts, and each fault fires exactly once.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.core.errors import ServerCrashError
+from repro.core.supervision import (
+    BACKEND_RESTARTED,
+    INFERIOR_INTERRUPTED,
+    SupervisionEvent,
+)
+from repro.mi.client import PipeTransport, _default_transport_factory
+
+#: A mini-C inferior that never pauses on its own (for deadline tests).
+NEVER_PAUSING_C = """\
+int main() {
+    int i;
+    i = 0;
+    while (i < 1000000000) {
+        i = i + 1;
+    }
+    return 0;
+}
+"""
+
+#: A Python inferior that never pauses on its own (for deadline tests).
+NEVER_PAUSING_PY = """\
+i = 0
+while i < 1000000000:
+    i = i + 1
+"""
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic, one-shot fault schedule over transport operations.
+
+    Counters index the operations of *one plan* across all transports it
+    is applied to, so a fault scheduled past a crash point lands on the
+    restarted server. Every scheduled fault fires at most once.
+    """
+
+    #: kill the server just before the Nth ``send_line`` (0-based)
+    crash_before_send: Optional[int] = None
+    #: kill the server just after the Nth line is received (0-based)
+    crash_after_recv: Optional[int] = None
+    #: Nth received line -> replacement garbage delivered instead
+    garble_recv: Dict[int, str] = field(default_factory=dict)
+    #: Nth received line -> extra seconds to sit on it (slow server)
+    delay_recv: Dict[int, float] = field(default_factory=dict)
+
+    # live counters/markers (shared across restarts on purpose)
+    _sends: int = field(default=0, repr=False)
+    _recvs: int = field(default=0, repr=False)
+    _fired: Set[str] = field(default_factory=set, repr=False)
+
+    def _once(self, key: str) -> bool:
+        if key in self._fired:
+            return False
+        self._fired.add(key)
+        return True
+
+
+class FaultyTransport:
+    """A :class:`~repro.mi.client.PipeTransport` that executes a fault plan.
+
+    Liveness, teardown, and interrupt delegate to the wrapped transport;
+    only ``send_line``/``recv_line`` consult the plan.
+    """
+
+    def __init__(
+        self,
+        inner: PipeTransport,
+        plan: FaultPlan,
+        on_inject: Optional[Callable[[str], None]] = None,
+    ):
+        self._inner = inner
+        self._plan = plan
+        self._on_inject = on_inject or (lambda kind: None)
+
+    # -- faulted I/O -----------------------------------------------------
+
+    def send_line(self, line: str) -> None:
+        plan = self._plan
+        index = plan._sends
+        plan._sends += 1
+        if plan.crash_before_send == index and plan._once(f"send-crash-{index}"):
+            self._kill("crash-before-send")
+        self._inner.send_line(line)
+
+    def recv_line(self, timeout: Optional[float] = None) -> Optional[str]:
+        plan = self._plan
+        line = self._inner.recv_line(timeout=timeout)
+        if line is None:
+            return None
+        index = plan._recvs
+        plan._recvs += 1
+        if index in plan.delay_recv and plan._once(f"delay-{index}"):
+            self._on_inject("delay-recv")
+            time.sleep(plan.delay_recv[index])
+        if plan.crash_after_recv == index and plan._once(f"recv-crash-{index}"):
+            self._kill("crash-after-recv")
+        if index in plan.garble_recv and plan._once(f"garble-{index}"):
+            self._on_inject("garble-recv")
+            return plan.garble_recv[index]
+        return line
+
+    def _kill(self, kind: str) -> None:
+        self._on_inject(kind)
+        self._inner._process.kill()
+        self._inner._process.wait(timeout=5)
+
+    # -- plain delegation ------------------------------------------------
+
+    def alive(self) -> bool:
+        return self._inner.alive()
+
+    def exit_code(self) -> Optional[int]:
+        return self._inner.exit_code()
+
+    def stderr_tail(self) -> List[str]:
+        return self._inner.stderr_tail()
+
+    def interrupt(self) -> None:
+        self._inner.interrupt()
+
+    def close(self, graceful_exit: bool = True) -> None:
+        self._inner.close(graceful_exit=graceful_exit)
+
+
+class FaultHarness:
+    """Builds fault-injecting transports and scores the recovery.
+
+    Usage::
+
+        harness = FaultHarness(FaultPlan(crash_before_send=4))
+        tracker = GDBTracker(
+            transport_factory=harness.transport_factory(program)
+        )
+        harness.attach(tracker)
+        ...
+        assert tracker.get_stats().faults_recovered == harness.injected
+
+    ``attach`` wires a supervision listener: every backend restart or
+    deadline interrupt that follows an injected fault counts as a
+    recovery, mirrored into the tracker's ``TrackerStats``.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        #: faults actually fired so far
+        self.injected = 0
+        #: supervision recoveries observed after an injection
+        self.recovered = 0
+        self._stats: List[Any] = []
+
+    def transport_factory(
+        self, program: str, args: Optional[List[str]] = None
+    ) -> Callable[[], FaultyTransport]:
+        """A zero-arg factory for :class:`MIClient` / :class:`GDBTracker`."""
+        build_inner = _default_transport_factory(program, list(args or []))
+
+        def build() -> FaultyTransport:
+            return FaultyTransport(build_inner(), self.plan, self._note_injected)
+
+        return build
+
+    def attach(self, tracker: Any) -> None:
+        """Mirror injection/recovery tallies into the tracker's stats."""
+        stats = tracker.engine.stats
+        self._stats.append(stats)
+        tracker.add_supervision_listener(self._make_listener(stats))
+
+    def _note_injected(self, kind: str) -> None:
+        self.injected += 1
+        for stats in self._stats:
+            stats.faults_injected += 1
+
+    def _make_listener(self, stats: Any) -> Callable[[SupervisionEvent], None]:
+        def listener(event: SupervisionEvent) -> None:
+            if event.kind in (BACKEND_RESTARTED, INFERIOR_INTERRUPTED):
+                if self.recovered < self.injected:
+                    self.recovered += 1
+                    stats.faults_recovered += 1
+
+        return listener
+
+
+class ScriptedTransport:
+    """A transport that replays a verbatim line script — no subprocess.
+
+    For protocol-level client tests: feed :class:`MIClient` exact server
+    output (truncated records, interleaved async lines) and observe the
+    typed errors. After the script runs out, behavior follows ``on_empty``:
+
+    - ``"eof"`` (default): raise :class:`ServerCrashError`, like a server
+      whose stdout closed mid-record;
+    - ``"silence"``: time out every receive (return ``None``), like a
+      wedged server that is alive but mute.
+    """
+
+    def __init__(self, lines: List[str], on_empty: str = "eof"):
+        self.script = list(lines)
+        self.on_empty = on_empty
+        #: every line the client sent, in order
+        self.sent: List[str] = []
+        self.interrupts = 0
+        self.closed = False
+        self._eof_seen = False
+
+    def send_line(self, line: str) -> None:
+        if self._eof_seen:
+            raise self._crashed("before the command could be sent")
+        self.sent.append(line)
+
+    def recv_line(self, timeout: Optional[float] = None) -> Optional[str]:
+        if self.script:
+            return self.script.pop(0)
+        if self.on_empty == "silence":
+            if timeout:
+                time.sleep(min(timeout, 0.01))
+            return None  # a "timeout": alive but mute
+        self._eof_seen = True
+        raise self._crashed("its output pipe closed")
+
+    def _crashed(self, context: str) -> ServerCrashError:
+        return ServerCrashError(
+            f"the debug server died ({context})",
+            exit_code=-9,
+            stderr_tail=["scripted transport: script exhausted"],
+        )
+
+    def alive(self) -> bool:
+        return not self._eof_seen and not self.closed
+
+    def exit_code(self) -> Optional[int]:
+        return -9 if self._eof_seen else None
+
+    def stderr_tail(self) -> List[str]:
+        return []
+
+    def interrupt(self) -> None:
+        self.interrupts += 1
+
+    def close(self, graceful_exit: bool = True) -> None:
+        self.closed = True

@@ -1,8 +1,72 @@
-"""Shared fixtures: writing inferior programs to disk."""
+"""Shared fixtures: inferior programs on disk, plus hang protection.
+
+A suite about deadlocks and wedged inferiors must itself never hang. CI
+installs pytest-timeout and the ``timeout`` ini option in pyproject.toml
+applies; containers without the plugin fall back to the watchdog shim
+below, which enforces the same per-test ceiling with a daemon timer (and
+has to use ``os._exit``, because a test wedged in a native call cannot be
+unwound politely).
+"""
 
 import os
+import sys
+import threading
 
 import pytest
+
+try:
+    import pytest_timeout  # noqa: F401  (the real plugin owns the option)
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+def pytest_addoption(parser):
+    if _HAVE_PYTEST_TIMEOUT:
+        return
+    parser.addini(
+        "timeout", "per-test timeout in seconds (watchdog shim)", default="0"
+    )
+    parser.addoption(
+        "--timeout",
+        action="store",
+        default=None,
+        help="per-test timeout in seconds (watchdog shim)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _timeout_watchdog(request):
+    if _HAVE_PYTEST_TIMEOUT:
+        yield
+        return
+    limit = request.config.getoption("--timeout", default=None)
+    if limit is None:
+        limit = request.config.getini("timeout")
+    try:
+        seconds = float(limit or 0)
+    except (TypeError, ValueError):
+        seconds = 0.0
+    if seconds <= 0:
+        yield
+        return
+
+    def _abort():
+        sys.stderr.write(
+            f"\n[conftest watchdog] test exceeded {seconds:.0f}s: "
+            f"{request.node.nodeid}\n"
+        )
+        sys.stderr.flush()
+        os._exit(124)
+
+    timer = threading.Timer(seconds, _abort)
+    timer.daemon = True
+    timer.start()
+    try:
+        yield
+    finally:
+        timer.cancel()
 
 
 @pytest.fixture

@@ -1,0 +1,161 @@
+"""Inferior-death parity across backends.
+
+Whatever kills the inferior — an unhandled error, an explicit exit, or a
+supervisor interrupt that the user then abandons — the tracker must land
+in the *same* terminal state machine on every backend: ``get_exit_code()``
+non-None and stable, pause reason ``EXIT``, further control calls a typed
+``TrackerError`` (never a hang or a crash of the tool process), terminate
+idempotent. This matrix runs the same scenarios through the in-process
+PythonTracker and the subprocess-backed MiniC MI server and asserts the
+terminal contract pairwise.
+"""
+
+import pytest
+
+from repro.core.errors import TrackerError
+from repro.core.pause import PauseReasonType
+from repro.gdbtracker.tracker import GDBTracker
+from repro.pytracker.tracker import PythonTracker
+from repro.testing.faults import NEVER_PAUSING_C, NEVER_PAUSING_PY
+
+PY_CRASH = """\
+x = 1
+raise ValueError("boom")
+"""
+
+C_CRASH = """\
+int main(void) {
+    int *p = (int *) 7;
+    return *p;
+}
+"""
+
+PY_EXIT_7 = """\
+import sys
+x = 1
+sys.exit(7)
+"""
+
+C_EXIT_7 = """\
+int main(void) {
+    int x = 1;
+    exit(7);
+    return 0;
+}
+"""
+
+PY_CLEAN = "x = 1\n"
+
+C_CLEAN = """\
+int main(void) {
+    int x = 1;
+    return 0;
+}
+"""
+
+
+def run_to_exit(tracker):
+    tracker.start()
+    while tracker.get_exit_code() is None:
+        tracker.resume()
+    return tracker
+
+
+def assert_terminal_contract(tracker):
+    """The invariants every dead inferior must satisfy, any backend."""
+    code = tracker.get_exit_code()
+    assert code is not None
+    assert tracker.pause_reason.type is PauseReasonType.EXIT
+    # the exit code is stable across repeated queries
+    assert tracker.get_exit_code() == code
+    # further control calls fail with a typed error, promptly
+    with pytest.raises(TrackerError):
+        tracker.resume()
+    with pytest.raises(TrackerError):
+        tracker.step()
+    # terminate is idempotent on a dead inferior
+    tracker.terminate()
+    tracker.terminate()
+    return code
+
+
+@pytest.fixture
+def make_python(write_program):
+    def build(source):
+        tracker = PythonTracker()
+        tracker.load_program(write_program("prog.py", source))
+        return tracker
+
+    return build
+
+
+@pytest.fixture
+def make_gdb(write_program):
+    def build(source):
+        tracker = GDBTracker()
+        tracker.load_program(write_program("prog.c", source))
+        return tracker
+
+    return build
+
+
+class TestExitCodeParity:
+    def test_clean_exit_is_zero_on_both(self, make_python, make_gdb):
+        py_code = assert_terminal_contract(run_to_exit(make_python(PY_CLEAN)))
+        c_code = assert_terminal_contract(run_to_exit(make_gdb(C_CLEAN)))
+        assert py_code == c_code == 0
+
+    def test_explicit_exit_code_crosses_both_backends(
+        self, make_python, make_gdb
+    ):
+        py_code = assert_terminal_contract(run_to_exit(make_python(PY_EXIT_7)))
+        c_code = assert_terminal_contract(run_to_exit(make_gdb(C_EXIT_7)))
+        assert py_code == c_code == 7
+
+
+class TestCrashParity:
+    def test_unhandled_error_is_terminal_on_both(self, make_python, make_gdb):
+        # The conventional codes differ by substrate (Python interpreter
+        # exits 1, a wild C pointer is the SIGSEGV analog 139), but the
+        # terminal state machine must be identical.
+        py_code = assert_terminal_contract(run_to_exit(make_python(PY_CRASH)))
+        assert py_code == 1
+        c_code = assert_terminal_contract(run_to_exit(make_gdb(C_CRASH)))
+        assert c_code == 139
+
+    def test_python_crash_surfaces_the_exception(self, make_python):
+        tracker = run_to_exit(make_python(PY_CRASH))
+        error = tracker.get_inferior_exception()
+        assert isinstance(error, ValueError)
+        tracker.terminate()
+
+    def test_c_crash_surfaces_the_fault(self, make_gdb):
+        tracker = run_to_exit(make_gdb(C_CRASH))
+        assert tracker.exit_error  # the MemoryFault description crossed MI
+        tracker.terminate()
+
+
+class TestInterruptParity:
+    """Interrupt-from-timeout is a *pause*, not a death — on both."""
+
+    @pytest.mark.parametrize(
+        "backend,name,source",
+        [
+            ("python", "spin.py", NEVER_PAUSING_PY),
+            ("gdb", "spin.c", NEVER_PAUSING_C),
+        ],
+    )
+    def test_interrupted_inferior_is_paused_not_terminal(
+        self, write_program, backend, name, source
+    ):
+        tracker = PythonTracker() if backend == "python" else GDBTracker()
+        tracker.load_program(write_program(name, source))
+        tracker.start()
+        try:
+            tracker.resume(timeout=0.3)
+            assert tracker.get_exit_code() is None
+            assert tracker.pause_reason.type is PauseReasonType.INTERRUPT
+            tracker.step()  # the session continues normally
+            assert tracker.get_exit_code() is None
+        finally:
+            tracker.terminate()

@@ -11,8 +11,12 @@ records and never an unhandled exception.
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.errors import ControlTimeout, ProtocolError, ServerCrashError
+from repro.core.supervision import Deadline
+from repro.mi.client import MIClient
 from repro.mi.protocol import parse_record
 from repro.mi.server import DebugServer
+from repro.testing.faults import ScriptedTransport
 
 C_PROGRAM = """\
 int helper(int n) {
@@ -101,3 +105,112 @@ def test_inspection_commands_after_crash_are_errors(tmp_path):
                     "-exec-step", "-exec-continue"):
         record = parse_record(server.handle(command)[0])
         assert record.kind == "error"
+
+
+# ---------------------------------------------------------------------------
+# The client against scripted (malicious) server output
+# ---------------------------------------------------------------------------
+
+GREETING = '^done,{"loaded":"prog.c"}'
+
+
+def scripted_client(lines, on_empty="eof"):
+    """An MIClient wired to a transport replaying exactly ``lines``."""
+    transport = ScriptedTransport([GREETING] + list(lines), on_empty=on_empty)
+    client = MIClient("prog.c", transport_factory=lambda: transport)
+    return client, transport
+
+
+class TestTruncatedRecords:
+    def test_truncated_done_payload_is_a_typed_error(self):
+        client, _ = scripted_client(['^done,{"x": '])
+        with pytest.raises(ProtocolError):
+            client.execute("-stack-list-frames")
+
+    def test_truncated_stopped_payload_is_a_typed_error(self):
+        client, _ = scripted_client(["^running", '*stopped,{"reason"'])
+        with pytest.raises(ProtocolError):
+            client.run_control("-exec-continue")
+
+    def test_unknown_record_marker_is_a_typed_error(self):
+        client, _ = scripted_client(["!!! not MI at all"])
+        with pytest.raises(ProtocolError):
+            client.execute("-stack-list-frames")
+
+
+class TestMidRecordEOF:
+    def test_eof_instead_of_result_is_a_crash_error(self):
+        client, _ = scripted_client([])
+        with pytest.raises(ServerCrashError):
+            client.execute("-stack-list-frames")
+
+    def test_eof_while_running_is_a_crash_error(self):
+        client, _ = scripted_client(["^running"])
+        with pytest.raises(ServerCrashError):
+            client.run_control("-exec-continue")
+
+    def test_crash_error_reports_the_context(self):
+        client, _ = scripted_client([])
+        with pytest.raises(ServerCrashError, match="output pipe closed"):
+            client.execute("-stack-list-frames")
+
+
+class TestInterleavedRecords:
+    def test_async_lines_before_the_result_are_absorbed(self):
+        client, _ = scripted_client(
+            [
+                '~"hello\\n"',
+                '=heap-alloc,{"address":16,"size":8}',
+                '^done,{"ok":1}',
+            ]
+        )
+        assert client.execute("-stack-list-frames") == {"ok": 1}
+        assert client.console == ["hello\n"]
+        assert [record.notify_name for record in client.notifications] == [
+            "heap-alloc"
+        ]
+
+    def test_async_lines_while_running_are_absorbed(self):
+        client, _ = scripted_client(
+            [
+                "^running",
+                '~"output\\n"',
+                '=heap-free,{"address":16}',
+                '*stopped,{"reason":"breakpoint-hit","line":3}',
+            ]
+        )
+        payload = client.run_control("-exec-continue")
+        assert payload["line"] == 3
+        assert client.console == ["output\n"]
+
+    def test_stale_interrupt_ack_mid_run_is_tolerated(self):
+        client, _ = scripted_client(
+            [
+                "^running",
+                "^done",
+                '*stopped,{"reason":"breakpoint-hit","line":3}',
+            ]
+        )
+        assert client.run_control("-exec-continue")["line"] == 3
+
+
+class TestSilentServerNeverHangs:
+    def test_silent_result_read_times_out(self):
+        client, _ = scripted_client([], on_empty="silence")
+        with pytest.raises(ControlTimeout):
+            client.execute("-stack-list-frames", deadline=Deadline(0.15))
+
+    def test_silent_run_interrupts_then_times_out(self):
+        client, transport = scripted_client(["^running"], on_empty="silence")
+        with pytest.raises(ControlTimeout):
+            client.run_control("-exec-continue", deadline=Deadline(0.15))
+        assert transport.interrupts == 1  # the interrupt was attempted
+
+
+@given(st.text(max_size=80))
+@settings(max_examples=150, deadline=None)
+def test_parse_record_raises_only_typed_errors(junk):
+    try:
+        parse_record(junk)
+    except ProtocolError:
+        pass  # the one allowed failure mode
