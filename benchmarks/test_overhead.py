@@ -141,6 +141,143 @@ def test_dispatch_flat_in_breakpoint_count(benchmark, write_program):
     assert factor <= 2.0
 
 
+# ---------------------------------------------------------------------------
+# Timeline recording overhead + delta-compression ratio
+# ---------------------------------------------------------------------------
+
+RECORD_PROGRAM = """\
+def rec(n):
+    x = n
+    if n == 0:
+        return [0]
+    child = rec(n - 1)
+    child.append(n)
+    return child
+
+result = rec(40)
+final = len(result)
+"""
+
+
+def _step_to_exit(path, keyframe_interval=None, max_snapshots=None):
+    """Step-run to completion; returns the timeline (or None, unrecorded)."""
+    tracker = PythonTracker()
+    tracker.load_program(path)
+    if keyframe_interval is not None:
+        tracker.enable_recording(
+            keyframe_interval=keyframe_interval, max_snapshots=max_snapshots
+        )
+    tracker.start()
+    while tracker.get_exit_code() is None:
+        tracker.step()
+    timeline = tracker.timeline
+    tracker.terminate()
+    return timeline
+
+
+BREAKPOINT_PROGRAM = """\
+def work(k):
+    total = 0
+    for i in range(150):
+        total += i * k
+    return total
+
+acc = 0
+for j in range(20):
+    acc += work(j)
+done = acc
+"""
+
+
+def _resume_recorded(path, keyframe_interval=None):
+    """Resume breakpoint-to-breakpoint to exit, optionally recording."""
+    tracker = PythonTracker()
+    tracker.load_program(path)
+    tracker.break_before_line(5)  # the return inside work(): 20 hits
+    if keyframe_interval is not None:
+        tracker.enable_recording(keyframe_interval=keyframe_interval)
+    tracker.start()
+    while tracker.get_exit_code() is None:
+        tracker.resume()
+    tracker.terminate()
+
+
+def test_recording_overhead_within_3x(benchmark, write_program):
+    """ISSUE guard: resuming with recording at keyframe interval 16 must
+    stay within 3x of an unrecorded resume run. Snapshot capture + delta
+    diff is per-*pause* work, so it rides on top of each resume's (already
+    per-line) execution — the overhead must stay a fraction, not a
+    multiple, of the control cost it extends."""
+    path = write_program("bp.py", BREAKPOINT_PROGRAM)
+    _resume_recorded(path)  # warm-up
+
+    def measure():
+        plain, recorded = [], []
+        for _ in range(3):
+            start = time.perf_counter()
+            _resume_recorded(path)
+            plain.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            _resume_recorded(path, keyframe_interval=16)
+            recorded.append(time.perf_counter() - start)
+        return statistics.median(plain), statistics.median(recorded)
+
+    plain, recorded = benchmark.pedantic(measure, rounds=1, iterations=1)
+    factor = recorded / plain
+    print(
+        f"\nresume-to-exit unrecorded {plain * 1e3:.1f} ms vs recorded@K=16 "
+        f"{recorded * 1e3:.1f} ms -> {factor:.2f}x (must stay within 3x)"
+    )
+    assert factor <= 3.0
+
+
+def test_delta_compression_ratio(benchmark, write_program):
+    """ISSUE acceptance: the delta timeline serializes to <= 50% of the
+    all-keyframe encoding on the recursion example (deep stacks repeat
+    almost verbatim between pauses, which is exactly what the structural
+    diff exploits)."""
+    path = write_program("record.py", RECORD_PROGRAM)
+
+    def measure():
+        delta = _step_to_exit(path, keyframe_interval=16)
+        keyframed = _step_to_exit(path, keyframe_interval=1)
+        return delta.stats(), keyframed.stats()
+
+    delta, keyframed = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = delta["json_bytes"] / keyframed["json_bytes"]
+    print(
+        f"\n{delta['snapshots']} snapshots: delta@K=16 "
+        f"{delta['json_bytes']:,} bytes vs all-keyframe "
+        f"{keyframed['json_bytes']:,} bytes -> {ratio:.2%}"
+    )
+    assert ratio <= 0.5
+
+
+@pytest.mark.parametrize("interval", [1, 4, 16, 64])
+def test_keyframe_interval_ablation(benchmark, write_program, interval):
+    """Ablation: storage bytes and record+reconstruct time per interval.
+
+    Larger intervals shrink storage (more deltas) but lengthen worst-case
+    reconstruction (more patches applied from the keyframe); the sweep
+    makes the trade-off visible in the benchmark table.
+    """
+    path = write_program("record.py", RECORD_PROGRAM)
+
+    def measure():
+        timeline = _step_to_exit(path, keyframe_interval=interval)
+        # Worst case for the cursor cache: walk the whole run backwards.
+        for index in range(len(timeline) - 1, -1, -1):
+            timeline.snapshot(index)
+        return timeline.stats()
+
+    stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(
+        f"\nK={interval}: {stats['snapshots']} snapshots, "
+        f"{stats['keyframes']} keyframes + {stats['deltas']} deltas, "
+        f"{stats['json_bytes']:,} bytes"
+    )
+
+
 def test_mi_round_trip_latency(benchmark, write_program):
     """One -data-list-globals round trip over the live subprocess pipe."""
     path = write_program(

@@ -29,8 +29,12 @@ from repro.core import (
     PauseReasonType,
     ProgramLoadError,
     ProtocolError,
+    ReplayTracker,
     ServerCrashError,
+    StateSnapshot,
     SupervisionEvent,
+    Timeline,
+    TimelineRecorder,
     TrackedFunction,
     Tracker,
     TrackerError,
@@ -43,6 +47,8 @@ from repro.core import (
     frame_from_dict,
     frame_to_dict,
     init_tracker,
+    load_timeline,
+    register_timeline_codec,
     register_tracker,
     value_from_dict,
     value_to_dict,
@@ -70,8 +76,12 @@ __all__ = [
     "PauseReasonType",
     "ProgramLoadError",
     "ProtocolError",
+    "ReplayTracker",
     "ServerCrashError",
+    "StateSnapshot",
     "SupervisionEvent",
+    "Timeline",
+    "TimelineRecorder",
     "TrackedFunction",
     "Tracker",
     "TrackerError",
@@ -84,6 +94,8 @@ __all__ = [
     "frame_from_dict",
     "frame_to_dict",
     "init_tracker",
+    "load_timeline",
+    "register_timeline_codec",
     "register_tracker",
     "value_from_dict",
     "value_to_dict",

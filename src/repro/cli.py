@@ -9,6 +9,8 @@ Subcommands map one-to-one onto the paper's tools::
     python -m repro game level.c                # Fig 9
     python -m repro trace prog.py trace.json --track f
     python -m repro equiv a.py b.c fact         # §V application
+    python -m repro timeline record prog.py out.timeline.json
+    python -m repro timeline scrub out.timeline.json scrub_out/
 
 Each subcommand is a thin wrapper over the library API; anything beyond
 these defaults is a few lines of Python against :mod:`repro` itself.
@@ -109,7 +111,107 @@ def build_parser() -> argparse.ArgumentParser:
     equiv.add_argument("--function-b", default=None)
     equiv.add_argument("--args", action="append", default=None)
 
+    timeline = commands.add_parser(
+        "timeline",
+        help="record, inspect, or scrub a .timeline.json execution history",
+    )
+    actions = timeline.add_subparsers(dest="timeline_action", required=True)
+
+    record = actions.add_parser(
+        "record", help="run a program to completion and save its timeline"
+    )
+    record.add_argument("program")
+    record.add_argument("output")
+    record.add_argument(
+        "--backend", default=None,
+        help="tracker backend (default: chosen from the file extension)",
+    )
+    record.add_argument("--keyframe-interval", type=int, default=16)
+    record.add_argument(
+        "--max-snapshots", type=int, default=None,
+        help="ring-buffer bound; oldest snapshots are evicted beyond this",
+    )
+    record.add_argument(
+        "--step", action="store_true",
+        help="pause (and snapshot) at every line instead of every stop",
+    )
+
+    info = actions.add_parser(
+        "info", help="print stats and the pause listing of a saved timeline"
+    )
+    info.add_argument("timeline")
+
+    scrub = actions.add_parser(
+        "scrub", help="render scrub-strip images from a saved timeline"
+    )
+    scrub.add_argument("timeline")
+    scrub.add_argument("output_dir")
+    scrub.add_argument("--max-images", type=int, default=50)
+
     return parser
+
+
+def _timeline_command(options: argparse.Namespace) -> int:
+    """The ``repro timeline`` sub-subcommands (record / info / scrub)."""
+    if options.timeline_action == "record":
+        from repro.core.factory import init_tracker
+
+        backend = options.backend
+        if backend is None:
+            backend = "python" if options.program.endswith(".py") else "GDB"
+        tracker = init_tracker(backend)
+        tracker.load_program(options.program)
+        tracker.enable_recording(
+            keyframe_interval=options.keyframe_interval,
+            max_snapshots=options.max_snapshots,
+        )
+        tracker.start()
+        move = tracker.step if options.step else tracker.resume
+        try:
+            while tracker.get_exit_code() is None:
+                move()
+            timeline = tracker.timeline
+            timeline.save(options.output)
+        finally:
+            tracker.terminate()
+        print(
+            f"recorded {timeline.retained} snapshots "
+            f"(window [{timeline.start_index}..{len(timeline) - 1}]) "
+            f"to {options.output}"
+        )
+        return 0
+
+    from repro.core.timeline import load_timeline
+
+    timeline = load_timeline(options.timeline)
+    if options.timeline_action == "info":
+        print(f"program:  {timeline.program or '<unknown>'}")
+        print(f"backend:  {timeline.backend or '<unknown>'}")
+        print(
+            f"retained: {timeline.retained} snapshots "
+            f"(global indexes {timeline.start_index}..{len(timeline) - 1})"
+        )
+        for index in range(timeline.start_index, len(timeline)):
+            snapshot = timeline.snapshot(index)
+            kind = (
+                snapshot.reason.type.name.lower() if snapshot.reason else "step"
+            )
+            where = (
+                f"line {snapshot.line}"
+                if snapshot.line is not None
+                else "(no line)"
+            )
+            func = f" in {snapshot.func_name}" if snapshot.func_name else ""
+            print(f"  #{index:<4} {kind:<10} {where}{func}")
+        return 0
+
+    from repro.tools.timeline_view import render_timeline
+
+    images = render_timeline(
+        timeline, options.output_dir, max_images=options.max_images
+    )
+    print(f"wrote {len(images)} scrub views to {options.output_dir}/")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -237,6 +339,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(report.explain())
         return 0 if report.equivalent else 1
+
+    if command == "timeline":
+        return _timeline_command(options)
 
     raise AssertionError(f"unhandled command {command}")  # pragma: no cover
 

@@ -70,3 +70,7 @@ def _ensure_builtins() -> None:
         from repro.pytutor.pt_tracker import PTTracker
 
         register_tracker("pt", PTTracker)
+    if "replay" not in _REGISTRY:
+        from repro.core.replay import ReplayTracker
+
+        register_tracker("replay", ReplayTracker)

@@ -328,24 +328,51 @@ def _freeze(key: Any) -> Any:
 
 
 def value_to_dict(value: Value) -> Dict[str, Any]:
-    """Encode a :class:`Value` (recursively) as a JSON-serializable dict."""
+    """Encode a :class:`Value` (recursively) as a JSON-serializable dict.
+
+    Cyclic value graphs (a list containing itself, via REFs) are legal in
+    the model — decoded Python Tutor heaps produce them — but JSON trees
+    are not: the back-edge is cut and serialized as an ``INVALID`` value
+    that keeps the target's address, so a viewer can still show where the
+    cycle pointed.
+    """
+    return _value_to_dict(value, set())
+
+
+def _value_to_dict(value: Value, active: set) -> Dict[str, Any]:
     kind = value.abstract_type
-    content: Any
-    if kind is AbstractType.REF:
-        content = value_to_dict(value.content)
-    elif kind is AbstractType.LIST:
-        content = [value_to_dict(v) for v in value.content]
-    elif kind is AbstractType.DICT:
-        content = [
-            [value_to_dict(k), value_to_dict(v)]
-            for k, v in value.content.items()
-        ]
-    elif kind is AbstractType.STRUCT:
-        content = {name: value_to_dict(v) for name, v in value.content.items()}
-    elif kind is AbstractType.PRIMITIVE and isinstance(value.content, bytes):
-        content = {"__bytes__": value.content.decode("latin-1")}
-    else:
-        content = value.content
+    marker = id(value)
+    if marker in active:
+        return {
+            "abstract_type": AbstractType.INVALID.value,
+            "content": None,
+            "location": value.location.value,
+            "address": value.address,
+            "language_type": value.language_type,
+        }
+    active.add(marker)
+    try:
+        content: Any
+        if kind is AbstractType.REF:
+            content = _value_to_dict(value.content, active)
+        elif kind is AbstractType.LIST:
+            content = [_value_to_dict(v, active) for v in value.content]
+        elif kind is AbstractType.DICT:
+            content = [
+                [_value_to_dict(k, active), _value_to_dict(v, active)]
+                for k, v in value.content.items()
+            ]
+        elif kind is AbstractType.STRUCT:
+            content = {
+                name: _value_to_dict(v, active)
+                for name, v in value.content.items()
+            }
+        elif kind is AbstractType.PRIMITIVE and isinstance(value.content, bytes):
+            content = {"__bytes__": value.content.decode("latin-1")}
+        else:
+            content = value.content
+    finally:
+        active.discard(marker)
     return {
         "abstract_type": kind.value,
         "content": content,

@@ -1,0 +1,780 @@
+"""Time-travel timelines: delta-compressed recording of paused state.
+
+The state model of Section II-B2 was designed to be serializable so that
+state can cross process boundaries; this module pushes that one step
+further and makes it *navigable in time*. A :class:`TimelineRecorder`
+attaches to any tracker and, at every pause, captures a
+:class:`StateSnapshot` — an immutable, serializable bundle of
+frames/globals/position/stdout/exit state — into a :class:`Timeline`.
+
+Storage is delta-compressed: each snapshot serializes to a JSON tree
+(built on :func:`repro.core.state.frame_to_dict` and friends) and the
+timeline stores a structural diff against the previous tree, with a full
+*keyframe* every ``keyframe_interval`` snapshots and an optional bounded
+ring buffer (whole keyframe-led segments are evicted from the front, so
+reconstruction never needs an evicted base).
+
+On top of a timeline the tracker base class implements the reverse
+control calls ``backward_step`` / ``backward_next`` / ``backward_finish``
+/ ``backward_resume`` / ``goto`` — backend-agnostically, by replaying
+recorded snapshots instead of touching the (forward-only) inferior — and
+:class:`repro.core.replay.ReplayTracker` exposes a saved timeline behind
+the full tracker API, generalizing the Python Tutor replay tracker
+(PT traces are just one timeline *codec*; see :func:`load_timeline`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import ProgramLoadError, TrackerError
+from repro.core.pause import PauseReason, PauseReasonType
+from repro.core.state import (
+    Frame,
+    Value,
+    Variable,
+    frame_from_dict,
+    frame_to_dict,
+    value_from_dict,
+    value_to_dict,
+    variable_from_dict,
+    variable_to_dict,
+)
+
+#: Snapshot event kinds, aligned with the Python Tutor event vocabulary so
+#: PT trace steps convert losslessly (EVENT_CALL == "call" and so on).
+EVENT_CALL = "call"
+EVENT_RETURN = "return"
+EVENT_LINE = "step_line"
+EVENT_EXIT = "exit"
+
+
+# ---------------------------------------------------------------------------
+# Structural JSON-tree diffing (the delta codec)
+# ---------------------------------------------------------------------------
+#
+# A patch is one of:
+#   None                      -- no change
+#   {"$r": new}               -- wholesale replacement
+#   {"$d": {"set": {...}, "del": [...], "sub": {key: patch}}}
+#                             -- dict edit (added / removed / patched keys)
+#   {"$l": {"n": len, "sub": {index: patch}, "tail": [...]}}
+#                             -- list edit (patched prefix, new length, tail)
+#
+# Snapshot trees only use the fixed key names of the state codecs plus
+# variable names, so the "$"-prefixed marker keys cannot collide with data.
+
+
+def diff_tree(old: Any, new: Any) -> Optional[Any]:
+    """Structural diff of two JSON trees; ``None`` means "identical"."""
+    if old is new:
+        return None
+    if type(old) is type(new):
+        if isinstance(old, dict):
+            removed = [key for key in old if key not in new]
+            added: Dict[str, Any] = {}
+            patched: Dict[str, Any] = {}
+            for key, value in new.items():
+                if key not in old:
+                    added[key] = value
+                else:
+                    patch = diff_tree(old[key], value)
+                    if patch is not None:
+                        patched[key] = patch
+            if not (removed or added or patched):
+                return None
+            edit: Dict[str, Any] = {}
+            if added:
+                edit["set"] = added
+            if removed:
+                edit["del"] = removed
+            if patched:
+                edit["sub"] = patched
+            return {"$d": edit}
+        if isinstance(old, list):
+            common = min(len(old), len(new))
+            patched_items: Dict[str, Any] = {}
+            for index in range(common):
+                patch = diff_tree(old[index], new[index])
+                if patch is not None:
+                    patched_items[str(index)] = patch
+            if len(old) == len(new) and not patched_items:
+                return None
+            edit = {"n": len(new)}
+            if patched_items:
+                edit["sub"] = patched_items
+            if len(new) > common:
+                edit["tail"] = new[common:]
+            return {"$l": edit}
+        if old == new:
+            return None
+    return {"$r": new}
+
+
+def apply_patch(old: Any, patch: Optional[Any]) -> Any:
+    """Apply a :func:`diff_tree` patch to ``old``, returning the new tree.
+
+    ``old`` is never mutated; unmodified subtrees are shared by reference
+    (callers must treat reconstructed trees as read-only, which the
+    snapshot decoder does).
+    """
+    if patch is None:
+        return old
+    if "$r" in patch:
+        return patch["$r"]
+    if "$d" in patch:
+        edit = patch["$d"]
+        result = dict(old)
+        for key in edit.get("del", ()):
+            result.pop(key, None)
+        for key, sub_patch in edit.get("sub", {}).items():
+            result[key] = apply_patch(old[key], sub_patch)
+        result.update(edit.get("set", {}))
+        return result
+    if "$l" in patch:
+        edit = patch["$l"]
+        result = list(old)
+        for index, sub_patch in edit.get("sub", {}).items():
+            position = int(index)
+            result[position] = apply_patch(old[position], sub_patch)
+        del result[edit["n"]:]
+        result.extend(edit.get("tail", ()))
+        return result
+    raise TrackerError(f"malformed timeline patch: {patch!r}")
+
+
+def trees_equal(a: Any, b: Any) -> bool:
+    """Strict structural equality (``True`` and ``1`` are *different*)."""
+    if a is b:
+        return True
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, dict):
+        if a.keys() != b.keys():
+            return False
+        return all(trees_equal(value, b[key]) for key, value in a.items())
+    if isinstance(a, list):
+        return len(a) == len(b) and all(
+            trees_equal(x, y) for x, y in zip(a, b)
+        )
+    return a == b
+
+
+# ---------------------------------------------------------------------------
+# StateSnapshot: the unified inspection bundle
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class StateSnapshot:
+    """Everything inspectable about one paused (or exited) inferior state.
+
+    This is both the return type of :meth:`Tracker.snapshot` — the unified
+    replacement for the ``get_frames`` / ``get_global_variables`` /
+    ``get_position`` / ``get_source_lines`` call quartet — and the unit a
+    :class:`TimelineRecorder` stores.
+
+    Attributes:
+        frame: innermost :class:`Frame` with its parent chain, or ``None``
+            for an exit snapshot of a backend without post-exit inspection.
+        globals: the inferior's global variables by name.
+        filename: main program file (``get_position()[0]``).
+        line: next line to execute, or ``None`` at exit.
+        depth: the frame depth used by ``maxdepth`` semantics (0 = entry).
+        stdout: inferior output accumulated up to this pause ("" when the
+            backend does not capture output).
+        exit_code: exit status if the inferior has terminated, else ``None``.
+        reason: the :class:`PauseReason` of this pause, when known.
+        event: coarse event kind ("call", "return", "step_line", "exit"),
+            used by replay-side control-point evaluation.
+        func_name: name of the innermost function, for replay matching.
+
+    Snapshots are immutable by contract; equality is *structural* over the
+    serialized tree (two snapshots captured from identical states compare
+    equal even though their ``Value`` objects differ by identity).
+    """
+
+    frame: Optional[Frame]
+    globals: Dict[str, Variable] = field(default_factory=dict)
+    filename: str = ""
+    line: Optional[int] = None
+    depth: int = 0
+    stdout: str = ""
+    exit_code: Optional[int] = None
+    reason: Optional[PauseReason] = None
+    event: str = EVENT_LINE
+    func_name: Optional[str] = None
+
+    @classmethod
+    def capture(cls, tracker: Any) -> "StateSnapshot":
+        """Capture the current state of a started tracker.
+
+        Works at any lifecycle point after ``start``: a paused inferior
+        yields a full snapshot; a terminated one (on a backend without
+        post-exit inspection) yields a frameless exit snapshot.
+        """
+        exit_code = tracker.get_exit_code()
+        reason = tracker.pause_reason
+        stdout = ""
+        get_output = getattr(tracker, "get_output", None)
+        if callable(get_output):
+            try:
+                stdout = get_output() or ""
+            except TrackerError:
+                stdout = ""
+        if exit_code is not None and not tracker._allows_post_exit_inspection():
+            return cls(
+                frame=None,
+                globals={},
+                filename=tracker._program or "",
+                line=None,
+                depth=0,
+                stdout=stdout,
+                exit_code=exit_code,
+                reason=reason,
+                event=EVENT_EXIT,
+            )
+        frame = tracker.get_current_frame()
+        filename, line = tracker.get_position()
+        return cls(
+            frame=frame,
+            globals=dict(tracker.get_global_variables()),
+            filename=filename,
+            line=line,
+            depth=frame.depth,
+            stdout=stdout,
+            exit_code=exit_code,
+            reason=reason,
+            event=_event_for_reason(reason),
+            func_name=frame.name,
+        )
+
+    # -- convenience views (mirror the old inspection quartet) ----------
+
+    def frames(self) -> List[Frame]:
+        """All frames, innermost first (empty for an exit snapshot)."""
+        return self.frame.stack() if self.frame is not None else []
+
+    def position(self) -> Tuple[str, Optional[int]]:
+        """``(filename, next line)`` as ``get_position`` returns it."""
+        return (self.filename, self.line)
+
+    def lookup(self, name: str, function: Optional[str] = None) -> Optional[Variable]:
+        """Variable lookup with ``Tracker.get_variable`` semantics."""
+        if function is not None:
+            for frame in self.frames():
+                if frame.name == function:
+                    return frame.lookup(name)
+            return None
+        if self.frame is not None:
+            found = self.frame.lookup(name)
+            if found is not None:
+                return found
+        return self.globals.get(name)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Encode as a JSON-serializable tree (the delta-codec substrate)."""
+        return {
+            "frame": frame_to_dict(self.frame) if self.frame else None,
+            "globals": {
+                name: variable_to_dict(variable)
+                for name, variable in self.globals.items()
+            },
+            "filename": self.filename,
+            "line": self.line,
+            "depth": self.depth,
+            "stdout": self.stdout,
+            "exit_code": self.exit_code,
+            "reason": _reason_to_dict(self.reason),
+            "event": self.event,
+            "func_name": self.func_name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StateSnapshot":
+        """Decode the output of :meth:`to_dict`."""
+        return cls(
+            frame=frame_from_dict(data["frame"]) if data["frame"] else None,
+            globals={
+                name: variable_from_dict(variable)
+                for name, variable in data.get("globals", {}).items()
+            },
+            filename=data.get("filename", ""),
+            line=data.get("line"),
+            depth=data.get("depth", 0),
+            stdout=data.get("stdout", ""),
+            exit_code=data.get("exit_code"),
+            reason=_reason_from_dict(data.get("reason")),
+            event=data.get("event", EVENT_LINE),
+            func_name=data.get("func_name"),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StateSnapshot):
+            return NotImplemented
+        return trees_equal(self.to_dict(), other.to_dict())
+
+    __hash__ = object.__hash__
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = f"{self.func_name or '?'}:{self.line}"
+        if self.exit_code is not None and self.frame is None:
+            where = f"exit({self.exit_code})"
+        return f"StateSnapshot({where}, depth={self.depth}, event={self.event!r})"
+
+
+def _event_for_reason(reason: Optional[PauseReason]) -> str:
+    if reason is None:
+        return EVENT_LINE
+    if reason.type is PauseReasonType.CALL:
+        return EVENT_CALL
+    if reason.type is PauseReasonType.RETURN:
+        return EVENT_RETURN
+    if reason.type is PauseReasonType.EXIT:
+        return EVENT_EXIT
+    return EVENT_LINE
+
+
+def _reason_to_dict(reason: Optional[PauseReason]) -> Optional[Dict[str, Any]]:
+    if reason is None:
+        return None
+    return {
+        "type": reason.type.value,
+        "function": reason.function,
+        "variable": reason.variable,
+        "old_value": _wrap_value(reason.old_value),
+        "new_value": _wrap_value(reason.new_value),
+        "return_value": _wrap_value(reason.return_value),
+        "line": reason.line,
+    }
+
+
+def _reason_from_dict(data: Optional[Dict[str, Any]]) -> Optional[PauseReason]:
+    if data is None:
+        return None
+    return PauseReason(
+        type=PauseReasonType(data["type"]),
+        function=data.get("function"),
+        variable=data.get("variable"),
+        old_value=_unwrap_value(data.get("old_value")),
+        new_value=_unwrap_value(data.get("new_value")),
+        return_value=_unwrap_value(data.get("return_value")),
+        line=data.get("line"),
+    )
+
+
+def _wrap_value(payload: Any) -> Any:
+    """Reason payloads are usually rendered strings, but RETURN may carry
+    a model :class:`Value`; tag it so the round trip is unambiguous."""
+    if isinstance(payload, Value):
+        return {"$value": value_to_dict(payload)}
+    return payload
+
+
+def _unwrap_value(payload: Any) -> Any:
+    if isinstance(payload, dict) and "$value" in payload:
+        return value_from_dict(payload["$value"])
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Timeline: keyframes + deltas + ring buffer
+# ---------------------------------------------------------------------------
+
+
+class Timeline:
+    """An append-only, delta-compressed sequence of snapshots.
+
+    Indexes are *global*: the first recorded snapshot is index 0 forever,
+    even after the ring buffer evicts it — so ``goto(i)`` stays meaningful
+    across evictions. ``len(timeline)`` is the total number of snapshots
+    ever recorded; the retained window is
+    ``[timeline.start_index, len(timeline))``.
+
+    Args:
+        keyframe_interval: a full keyframe every this many snapshots; the
+            snapshots between two keyframes are stored as structural
+            deltas (:func:`diff_tree`) against their predecessor.
+        max_snapshots: bound on retained snapshots. When exceeded, whole
+            oldest *segments* (keyframe + its deltas) are evicted, so the
+            bound may be overshot by at most ``keyframe_interval - 1``.
+        program / source / backend: provenance, so a saved timeline can be
+            replayed (``source`` feeds ``get_source_lines``).
+    """
+
+    FORMAT = "repro-timeline"
+    VERSION = 1
+
+    def __init__(
+        self,
+        keyframe_interval: int = 16,
+        max_snapshots: Optional[int] = None,
+        program: str = "",
+        source: str = "",
+        backend: str = "",
+    ) -> None:
+        if keyframe_interval < 1:
+            raise ValueError("keyframe_interval must be >= 1")
+        if max_snapshots is not None and max_snapshots < 1:
+            raise ValueError("max_snapshots must be >= 1 (or None)")
+        self.keyframe_interval = keyframe_interval
+        self.max_snapshots = max_snapshots
+        self.program = program
+        self.source = source
+        self.backend = backend
+        #: segments: each holds a full "key" tree plus forward deltas.
+        self._segments: List[Dict[str, Any]] = []
+        self._start_index = 0
+        self._count = 0  # total snapshots ever appended
+        self._last_tree: Optional[Any] = None
+        #: (global index, tree) of the last reconstruction, so sequential
+        #: access (replay, scrubbing) patches forward instead of starting
+        #: from the keyframe every time.
+        self._cursor: Optional[Tuple[int, Any]] = None
+
+    # -- sizes -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def start_index(self) -> int:
+        """Global index of the oldest retained snapshot."""
+        return self._start_index
+
+    @property
+    def retained(self) -> int:
+        """Number of snapshots currently reconstructable."""
+        return self._count - self._start_index
+
+    def stats(self) -> Dict[str, Any]:
+        """Storage accounting (used by the overhead benchmarks)."""
+        deltas = sum(len(segment["deltas"]) for segment in self._segments)
+        return {
+            "snapshots": self._count,
+            "retained": self.retained,
+            "keyframes": len(self._segments),
+            "deltas": deltas,
+            "json_bytes": len(self.dumps()),
+        }
+
+    # -- append / evict --------------------------------------------------
+
+    def append(self, snapshot: StateSnapshot) -> int:
+        """Record one snapshot; returns its (stable) global index."""
+        tree = snapshot.to_dict()
+        last_segment = self._segments[-1] if self._segments else None
+        if (
+            last_segment is None
+            or self._last_tree is None
+            or 1 + len(last_segment["deltas"]) >= self.keyframe_interval
+        ):
+            self._segments.append({"key": tree, "deltas": []})
+        else:
+            last_segment["deltas"].append(diff_tree(self._last_tree, tree))
+        self._last_tree = tree
+        index = self._count
+        self._count += 1
+        self._evict()
+        return index
+
+    def drop_last(self) -> bool:
+        """Forget the most recent snapshot (``record=False`` support)."""
+        if not self._segments:
+            return False
+        segment = self._segments[-1]
+        if segment["deltas"]:
+            segment["deltas"].pop()
+        else:
+            self._segments.pop()
+        self._count -= 1
+        self._cursor = None
+        self._last_tree = (
+            self._tree_at(self._count - 1) if self.retained > 0 else None
+        )
+        return True
+
+    def _evict(self) -> None:
+        if self.max_snapshots is None:
+            return
+        while self.retained > self.max_snapshots and len(self._segments) > 1:
+            evicted = self._segments.pop(0)
+            self._start_index += 1 + len(evicted["deltas"])
+            if self._cursor is not None and self._cursor[0] < self._start_index:
+                self._cursor = None
+
+    # -- random access ---------------------------------------------------
+
+    def snapshot(self, index: int) -> StateSnapshot:
+        """Reconstruct the snapshot at global ``index`` (negatives ok)."""
+        return StateSnapshot.from_dict(self._tree_at(index))
+
+    def snapshots(self):
+        """Iterate over all retained snapshots, oldest first."""
+        for index in range(self._start_index, self._count):
+            yield self.snapshot(index)
+
+    def _tree_at(self, index: int) -> Any:
+        if index < 0:
+            index += self._count
+        if not self._start_index <= index < self._count:
+            raise IndexError(
+                f"timeline index {index} outside retained window "
+                f"[{self._start_index}, {self._count})"
+            )
+        if self._cursor is not None and self._cursor[0] == index:
+            return self._cursor[1]
+        base = self._start_index
+        for segment in self._segments:
+            length = 1 + len(segment["deltas"])
+            if index < base + length:
+                offset = index - base
+                tree = segment["key"]
+                start = 0
+                # Resume from the cached reconstruction when it sits
+                # between this segment's keyframe and the target.
+                if (
+                    self._cursor is not None
+                    and base <= self._cursor[0] < index
+                ):
+                    start = self._cursor[0] - base
+                    tree = self._cursor[1]
+                for delta in segment["deltas"][start:offset]:
+                    tree = apply_patch(tree, delta)
+                self._cursor = (index, tree)
+                return tree
+            base += length
+        raise IndexError(f"timeline index {index} not found")  # pragma: no cover
+
+    # -- (de)serialization ----------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": self.FORMAT,
+            "version": self.VERSION,
+            "program": self.program,
+            "backend": self.backend,
+            "source": self.source,
+            "keyframe_interval": self.keyframe_interval,
+            "max_snapshots": self.max_snapshots,
+            "start_index": self._start_index,
+            "segments": self._segments,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Timeline":
+        if data.get("format") != cls.FORMAT:
+            raise ProgramLoadError("not a repro timeline")
+        timeline = cls(
+            keyframe_interval=data.get("keyframe_interval", 16),
+            max_snapshots=data.get("max_snapshots"),
+            program=data.get("program", ""),
+            source=data.get("source", ""),
+            backend=data.get("backend", ""),
+        )
+        timeline._segments = [
+            {"key": segment["key"], "deltas": list(segment["deltas"])}
+            for segment in data.get("segments", [])
+        ]
+        timeline._start_index = data.get("start_index", 0)
+        timeline._count = timeline._start_index + sum(
+            1 + len(segment["deltas"]) for segment in timeline._segments
+        )
+        if timeline.retained > 0:
+            timeline._last_tree = timeline._tree_at(timeline._count - 1)
+        return timeline
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as output:
+            output.write(self.dumps())
+
+    @classmethod
+    def loads(cls, text: str) -> "Timeline":
+        try:
+            return cls.from_dict(json.loads(text))
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            raise ProgramLoadError(f"not a timeline: {error}") from error
+
+    @classmethod
+    def load(cls, path: str) -> "Timeline":
+        with open(path, "r", encoding="utf-8") as source:
+            return cls.loads(source.read())
+
+
+# ---------------------------------------------------------------------------
+# Recorder
+# ---------------------------------------------------------------------------
+
+
+class TimelineRecorder:
+    """Records a tracker's pauses into a :class:`Timeline`.
+
+    Created by :meth:`Tracker.enable_recording`; after that, every control
+    call that returns appends one snapshot (suppress a single pause with
+    the ``record=False`` control-call keyword, or everything with
+    :attr:`enabled`).
+    """
+
+    def __init__(
+        self,
+        tracker: Any,
+        keyframe_interval: int = 16,
+        max_snapshots: Optional[int] = None,
+    ) -> None:
+        self.tracker = tracker
+        self.enabled = True
+        self.timeline = Timeline(
+            keyframe_interval=keyframe_interval,
+            max_snapshots=max_snapshots,
+            program=tracker._program or "",
+            backend=tracker.backend,
+        )
+
+    def record(self) -> int:
+        """Capture and append the tracker's current state; return its index."""
+        if not self.timeline.source:
+            self._capture_source()
+        return self.timeline.append(StateSnapshot.capture(self.tracker))
+
+    def _capture_source(self) -> None:
+        if not self.timeline.program:
+            self.timeline.program = self.tracker._program or ""
+        try:
+            self.timeline.source = "\n".join(self.tracker.get_source_lines())
+        except (TrackerError, OSError):
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Timeline navigation (shared by live-tracker rewind and ReplayTracker)
+# ---------------------------------------------------------------------------
+
+#: Pause-reason types that count as "control points" for backward_resume.
+_BREAKPOINT_REASONS = (
+    PauseReasonType.BREAKPOINT,
+    PauseReasonType.WATCH,
+    PauseReasonType.CALL,
+    PauseReasonType.RETURN,
+)
+
+
+def scan_backward(timeline: Timeline, current: int, mode: str) -> int:
+    """Index of the snapshot a reverse control call should land on.
+
+    Args:
+        timeline: the recorded timeline.
+        current: global index of the current snapshot.
+        mode: "step" (previous snapshot), "next" (previous snapshot at
+            depth <= current), "finish" (previous snapshot at depth <
+            current), or "resume" (previous control-point pause).
+
+    The scan falls back to the oldest retained snapshot when no snapshot
+    matches, mirroring how a forward ``resume`` falls through to exit.
+    """
+    if mode == "step":
+        return max(current - 1, timeline.start_index)
+    depth = timeline.snapshot(current).depth
+    for index in range(current - 1, timeline.start_index - 1, -1):
+        snapshot = timeline.snapshot(index)
+        if mode == "next" and snapshot.depth <= depth:
+            return index
+        if mode == "finish" and snapshot.depth < depth:
+            return index
+        if mode == "resume" and (
+            snapshot.reason is not None
+            and snapshot.reason.type in _BREAKPOINT_REASONS
+        ):
+            return index
+    return timeline.start_index
+
+
+def scan_forward(timeline: Timeline, current: int, mode: str) -> int:
+    """Forward counterpart of :func:`scan_backward` for rewound trackers.
+
+    Used when a forward control call arrives while a live tracker is
+    rewound into its history: the call moves through *recorded* pauses
+    until it reaches the newest snapshot (where the live inferior still
+    sits, and control goes live again).
+    """
+    head = len(timeline) - 1
+    if mode == "step":
+        return min(current + 1, head)
+    depth = timeline.snapshot(current).depth
+    for index in range(current + 1, head + 1):
+        snapshot = timeline.snapshot(index)
+        if mode == "next" and snapshot.depth <= depth:
+            return index
+        if mode == "finish" and snapshot.depth < depth:
+            return index
+        if mode == "resume" and (
+            snapshot.reason is not None
+            and snapshot.reason.type in _BREAKPOINT_REASONS
+        ):
+            return index
+    return head
+
+
+# ---------------------------------------------------------------------------
+# Codec registry: .timeline.json is the native format, PT traces are
+# another codec (registered by repro.pytutor.timeline_codec).
+# ---------------------------------------------------------------------------
+
+_CODECS: List[Tuple[str, Callable[[Any], bool], Callable[[Any], Timeline]]] = []
+
+
+def register_timeline_codec(
+    name: str,
+    sniff: Callable[[Any], bool],
+    build: Callable[[Any], Timeline],
+) -> None:
+    """Register a loader for an on-disk execution-history format.
+
+    ``sniff(data)`` inspects parsed JSON and says whether ``build(data)``
+    can turn it into a :class:`Timeline`. Third-party trace formats plug
+    in here, the same way third-party trackers plug into the factory.
+    """
+    _CODECS.append((name, sniff, build))
+
+
+def _ensure_builtin_codecs() -> None:
+    if not any(name == "native" for name, _, _ in _CODECS):
+        register_timeline_codec(
+            "native",
+            lambda data: isinstance(data, dict)
+            and data.get("format") == Timeline.FORMAT,
+            Timeline.from_dict,
+        )
+    if not any(name == "pt" for name, _, _ in _CODECS):
+        try:
+            import repro.pytutor.timeline_codec  # noqa: F401 (self-registers)
+        except ImportError:  # pragma: no cover - pytutor always ships
+            pass
+
+
+def load_timeline(path: str) -> Timeline:
+    """Load a timeline from any registered codec (native or PT trace)."""
+    with open(path, "r", encoding="utf-8") as source:
+        text = source.read()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ProgramLoadError(f"{path!r} is not JSON: {error}") from error
+    _ensure_builtin_codecs()
+    for name, sniff, build in _CODECS:
+        try:
+            matches = sniff(data)
+        except Exception:
+            matches = False
+        if matches:
+            return build(data)
+    raise ProgramLoadError(
+        f"{path!r} matches no registered timeline codec "
+        f"(known: {', '.join(name for name, _, _ in _CODECS)})"
+    )

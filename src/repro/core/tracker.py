@@ -10,11 +10,29 @@ exposes its paused state through the language-agnostic model of
 Every function of the control interface **returns only when the inferior is
 paused or terminated** — this synchronous contract is what makes tool
 scripts simple imperative loops.
+
+**Canonical control-call signature.** Every control call of every backend
+shares one signature, defined here once (backends implement only the
+``_``-prefixed hooks and never re-declare it)::
+
+    start(*, timeout=None, record=None)
+    resume(*, timeout=None, record=None)
+    next(*, timeout=None, record=None)
+    step(*, timeout=None, record=None)
+    finish(*, timeout=None, record=None)
+
+``timeout`` is the supervision deadline in seconds (defaulting to
+:attr:`Tracker.default_timeout`); ``record`` overrides the timeline
+recorder for this one pause (``True`` forces a snapshot, ``False``
+suppresses one, ``None`` defers to :meth:`enable_recording`). Both are
+keyword-only; passing ``timeout`` positionally still works through a
+:class:`DeprecationWarning` shim one release long.
 """
 
 from __future__ import annotations
 
 import contextlib
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -23,10 +41,18 @@ from repro.core.errors import (
     BackendUnavailableError,
     NotPausedError,
     NotStartedError,
+    TrackerError,
 )
-from repro.core.pause import PauseReason
+from repro.core.pause import PauseReason, PauseReasonType
 from repro.core.state import Frame, Variable
 from repro.core.supervision import Deadline, SupervisionEvent
+from repro.core.timeline import (
+    StateSnapshot,
+    Timeline,
+    TimelineRecorder,
+    scan_backward,
+    scan_forward,
+)
 
 
 @dataclass
@@ -134,6 +160,11 @@ class Tracker:
         self.next_lineno: Optional[int] = None
         #: Line that was last executed before the pause.
         self.last_lineno: Optional[int] = None
+        #: Timeline recorder installed by :meth:`enable_recording`.
+        self._recorder: Optional[TimelineRecorder] = None
+        #: Global timeline index while rewound into history; ``None`` when
+        #: the tracker is live at the newest state (the normal case).
+        self._replay_cursor: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Program lifecycle
@@ -150,18 +181,19 @@ class Tracker:
         self._program_args = list(args or [])
         self._load_program(path, self._program_args)
 
-    def start(self, timeout: Optional[float] = None) -> None:
+    def start(self, *args: Any, timeout: Optional[float] = None,
+              record: Optional[bool] = None) -> None:
         """Begin executing the inferior and pause before its first line.
 
         Like every control call, returns once the inferior is paused (at its
-        first executable line) or has terminated (empty program).
-
-        Args:
-            timeout: deadline in seconds (default :attr:`default_timeout`).
-                On expiry the supervisor interrupts the inferior so the
-                call still returns paused; :class:`ControlTimeout` is
-                raised only if the interrupt fails.
+        first executable line) or has terminated (empty program). See the
+        module docstring for the canonical signature shared by all control
+        calls: ``timeout`` is the supervision deadline (on expiry the
+        supervisor interrupts the inferior so the call still returns
+        paused; :class:`ControlTimeout` is raised only if the interrupt
+        fails), ``record`` overrides timeline recording for this pause.
         """
+        timeout = self._keyword_only_timeout("start", args, timeout)
         if self._program is None:
             raise NotStartedError("load_program must be called before start")
         if self._started:
@@ -169,35 +201,78 @@ class Tracker:
         self._started = True
         with self._supervised(timeout):
             self._start()
+        self._after_control(record)
 
-    def resume(self, timeout: Optional[float] = None) -> None:
-        """Resume until the next control point or termination.
+    def resume(self, *args: Any, timeout: Optional[float] = None,
+               record: Optional[bool] = None) -> None:
+        """Resume until the next control point or termination."""
+        self._control("resume", self._resume, args, timeout, record)
 
-        Args:
-            timeout: deadline in seconds (default :attr:`default_timeout`);
-                see :meth:`start` for the expiry semantics.
-        """
-        self._require_running()
-        with self._supervised(timeout):
-            self._resume()
-
-    def next(self, timeout: Optional[float] = None) -> None:
+    def next(self, *args: Any, timeout: Optional[float] = None,
+             record: Optional[bool] = None) -> None:
         """Execute the current line, stepping *over* function calls."""
-        self._require_running()
-        with self._supervised(timeout):
-            self._next()
+        self._control("next", self._next, args, timeout, record)
 
-    def step(self, timeout: Optional[float] = None) -> None:
+    def step(self, *args: Any, timeout: Optional[float] = None,
+             record: Optional[bool] = None) -> None:
         """Execute the current line, stepping *into* function calls."""
-        self._require_running()
-        with self._supervised(timeout):
-            self._step()
+        self._control("step", self._step, args, timeout, record)
 
-    def finish(self, timeout: Optional[float] = None) -> None:
+    def finish(self, *args: Any, timeout: Optional[float] = None,
+               record: Optional[bool] = None) -> None:
         """Run until the current function returns (pause at the return)."""
+        self._control("finish", self._finish, args, timeout, record)
+
+    def _control(
+        self,
+        name: str,
+        hook: Callable[[], None],
+        args: Tuple[Any, ...],
+        timeout: Optional[float],
+        record: Optional[bool],
+    ) -> None:
+        """One forward control call: shim, rewind routing, hook, record."""
+        timeout = self._keyword_only_timeout(name, args, timeout)
+        if self._replay_cursor is not None:
+            # Rewound into history: the call moves through *recorded*
+            # pauses until it reaches the newest snapshot, then goes live.
+            self._seek_timeline(
+                scan_forward(self._require_timeline(), self._timeline_position(), name)
+            )
+            return
         self._require_running()
         with self._supervised(timeout):
-            self._finish()
+            hook()
+        self._after_control(record)
+
+    def _keyword_only_timeout(
+        self, name: str, args: Tuple[Any, ...], timeout: Optional[float]
+    ) -> Optional[float]:
+        """Deprecation shim for the pre-redesign positional ``timeout``."""
+        if not args:
+            return timeout
+        if len(args) > 1 or timeout is not None:
+            raise TypeError(
+                f"{name}() takes no positional arguments beyond the "
+                "deprecated positional timeout"
+            )
+        warnings.warn(
+            f"passing the timeout positionally to {name}() is deprecated; "
+            f"use {name}(timeout=...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return args[0]
+
+    def _after_control(self, record: Optional[bool]) -> None:
+        """Snapshot the pause a control call just returned from."""
+        recorder = self._recorder
+        if recorder is None:
+            return
+        if record is None:
+            record = recorder.enabled
+        if record:
+            recorder.record()
 
     @contextlib.contextmanager
     def _supervised(self, timeout: Optional[float]):
@@ -298,6 +373,136 @@ class Tracker:
         self._control_points_changed()
 
     # ------------------------------------------------------------------
+    # Timeline recording & reverse control (time travel)
+    # ------------------------------------------------------------------
+
+    def enable_recording(
+        self,
+        keyframe_interval: int = 16,
+        max_snapshots: Optional[int] = None,
+    ) -> TimelineRecorder:
+        """Record a :class:`StateSnapshot` at every pause from now on.
+
+        Args:
+            keyframe_interval: store a full keyframe every this many
+                snapshots; in between, structural deltas.
+            max_snapshots: ring-buffer bound on retained snapshots
+                (``None`` = unbounded).
+
+        Returns the recorder; its :attr:`TimelineRecorder.timeline` is also
+        reachable as :attr:`timeline`. If the inferior is already paused,
+        the current state becomes the first snapshot immediately.
+        """
+        self._recorder = TimelineRecorder(
+            self, keyframe_interval=keyframe_interval,
+            max_snapshots=max_snapshots,
+        )
+        if self._started:
+            self._recorder.record()
+        return self._recorder
+
+    def disable_recording(self) -> None:
+        """Stop recording; the timeline so far stays navigable."""
+        if self._recorder is not None:
+            self._recorder.enabled = False
+
+    @property
+    def timeline(self) -> Optional[Timeline]:
+        """The recorded timeline, or ``None`` if recording was never on."""
+        return self._recorder.timeline if self._recorder is not None else None
+
+    def backward_step(self) -> None:
+        """Rewind to the previous recorded pause.
+
+        Reverse control calls are backend-agnostic: they never touch the
+        (forward-only) inferior but replay the recorded timeline, so they
+        work identically on every backend with recording enabled. While
+        rewound, inspection serves the recorded snapshot and forward
+        control calls move through recorded pauses until they reach the
+        newest snapshot — where the live inferior still sits — and control
+        goes live again.
+
+        Raises:
+            NotPausedError: already at the oldest retained snapshot.
+            TrackerError: recording was never enabled.
+        """
+        self._backward("step")
+
+    def backward_next(self) -> None:
+        """Rewind to the previous pause at the same depth or shallower."""
+        self._backward("next")
+
+    def backward_finish(self) -> None:
+        """Rewind to the previous pause in a caller (shallower depth)."""
+        self._backward("finish")
+
+    def backward_resume(self) -> None:
+        """Rewind to the previous control-point pause (breakpoint, watch,
+        tracked call/return), or to the oldest snapshot if none."""
+        self._backward("resume")
+
+    def goto(self, index: int) -> StateSnapshot:
+        """Jump to the recorded snapshot at global ``index``.
+
+        Negative indexes count from the newest snapshot (``goto(-1)`` is
+        the newest, i.e. back to live). Returns the snapshot landed on.
+        """
+        timeline = self._require_timeline()
+        if index < 0:
+            index += len(timeline)
+        if not timeline.start_index <= index < len(timeline):
+            raise TrackerError(
+                f"goto({index}): outside the retained window "
+                f"[{timeline.start_index}, {len(timeline)})"
+            )
+        self._seek_timeline(index)
+        return timeline.snapshot(index)
+
+    def _backward(self, mode: str) -> None:
+        timeline = self._require_timeline()
+        current = self._timeline_position()
+        if current <= timeline.start_index:
+            raise NotPausedError("already at the oldest recorded snapshot")
+        self._seek_timeline(scan_backward(timeline, current, mode))
+
+    def _require_timeline(self) -> Timeline:
+        timeline = self.timeline
+        if timeline is None or timeline.retained == 0:
+            raise TrackerError(
+                "no timeline recorded; call enable_recording() before "
+                "running the inferior"
+            )
+        return timeline
+
+    def _timeline_position(self) -> int:
+        """Global index of the snapshot describing the current state."""
+        if self._replay_cursor is not None:
+            return self._replay_cursor
+        return len(self._require_timeline()) - 1
+
+    def _seek_timeline(self, index: int) -> None:
+        """Move the time-travel cursor; at the newest snapshot, go live."""
+        timeline = self._require_timeline()
+        snapshot = timeline.snapshot(index)
+        self._replay_cursor = None if index >= len(timeline) - 1 else index
+        self._apply_snapshot_pause(snapshot)
+
+    def _apply_snapshot_pause(self, snapshot: StateSnapshot) -> None:
+        """Make the lifecycle state reflect a (re)played snapshot."""
+        self._exit_code = snapshot.exit_code
+        self._pause_reason = snapshot.reason or PauseReason(
+            type=PauseReasonType.STEP, line=snapshot.line
+        )
+        self.last_lineno = self.next_lineno
+        self.next_lineno = snapshot.line
+
+    def _replay_snapshot(self) -> Optional[StateSnapshot]:
+        """The snapshot inspection should serve, or ``None`` when live."""
+        if self._replay_cursor is None:
+            return None
+        return self._require_timeline().snapshot(self._replay_cursor)
+
+    # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
 
@@ -336,8 +541,31 @@ class Tracker:
         for listener in self._supervision_listeners:
             listener(event)
 
+    def snapshot(self) -> StateSnapshot:
+        """The unified inspection call: everything about the paused state.
+
+        One :class:`StateSnapshot` bundles what previously took the
+        ``get_frames`` / ``get_global_variables`` / ``get_position`` /
+        ``get_source_lines`` quartet (which remain as thin views over the
+        same data). The snapshot is immutable and serializable — the same
+        type the timeline recorder stores — so it can be kept, diffed and
+        shipped across processes. While rewound into history, this returns
+        the recorded snapshot at the cursor.
+        """
+        replayed = self._replay_snapshot()
+        if replayed is not None:
+            return replayed
+        if not self._started:
+            raise NotStartedError("call start() first")
+        return StateSnapshot.capture(self)
+
     def get_current_frame(self) -> Frame:
         """The innermost frame of the paused inferior (parents linked)."""
+        replayed = self._replay_snapshot()
+        if replayed is not None:
+            if replayed.frame is None:
+                raise NotPausedError("this snapshot recorded no frames")
+            return replayed.frame
         self._require_paused()
         return self._get_current_frame()
 
@@ -347,6 +575,9 @@ class Tracker:
 
     def get_global_variables(self) -> Dict[str, Variable]:
         """The inferior's global variables."""
+        replayed = self._replay_snapshot()
+        if replayed is not None:
+            return dict(replayed.globals)
         self._require_paused()
         return self._get_global_variables()
 
@@ -363,7 +594,8 @@ class Tracker:
         Returns:
             The variable, or ``None`` if no such name is visible.
         """
-        self._require_paused()
+        if self._replay_cursor is None:
+            self._require_paused()
         if function is not None:
             for frame in self.get_frames():
                 if frame.name == function:
@@ -372,10 +604,13 @@ class Tracker:
         found = self.get_current_frame().lookup(name)
         if found is not None:
             return found
-        return self._get_global_variables().get(name)
+        return self.get_global_variables().get(name)
 
     def get_position(self) -> Tuple[str, Optional[int]]:
         """``(filename, next line to execute)`` of the paused inferior."""
+        replayed = self._replay_snapshot()
+        if replayed is not None:
+            return replayed.position()
         self._require_paused()
         return self._get_position()
 

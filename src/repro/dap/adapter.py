@@ -98,7 +98,9 @@ class DebugAdapter:
             "supportsConfigurationDoneRequest": True,
             "supportsFunctionBreakpoints": True,
             "supportsEvaluateForHovers": True,
-            "supportsStepBack": False,
+            # Serviced by replaying the recorded timeline (launch with
+            # "record": true); covers stepBack and reverseContinue.
+            "supportsStepBack": True,
         }
         return [self._ok(request, body), self._event("initialized")]
 
@@ -117,6 +119,13 @@ class DebugAdapter:
         if timeout is not None:
             self.tracker.default_timeout = float(timeout)
         self.tracker.load_program(program, arguments.get("args"))
+        record = arguments.get("record")
+        if record:
+            options = record if isinstance(record, dict) else {}
+            self.tracker.enable_recording(
+                keyframe_interval=int(options.get("keyframeInterval", 16)),
+                max_snapshots=options.get("maxSnapshots"),
+            )
         return [self._ok(request)]
 
     def _req_configurationDone(self, request):
@@ -186,6 +195,29 @@ class DebugAdapter:
 
     def _req_stepOut(self, request):
         return [self._ok(request)] + self._run("finish")
+
+    def _req_stepBack(self, request):
+        return [self._ok(request)] + self._run_backward("backward_step")
+
+    def _req_reverseContinue(self, request):
+        return [self._ok(request)] + self._run_backward("backward_resume")
+
+    def _run_backward(self, control: str) -> List[Dict[str, Any]]:
+        """Rewind over the recorded timeline and report where we landed.
+
+        Unlike :meth:`_run` there is no exit path — rewinding away from
+        the end of the program clears the exit state by definition — and
+        no supervision drain: reverse calls never touch the inferior.
+        """
+        if self.tracker is None or not self._started:
+            return []
+        getattr(self.tracker, control)()
+        self._variable_scopes.clear()
+        reason = self.tracker.pause_reason
+        dap_reason = _STOP_REASONS.get(
+            reason.type if reason else PauseReasonType.STEP, "step"
+        )
+        return [self._stopped_event(dap_reason)]
 
     def _run(self, control: str) -> List[Dict[str, Any]]:
         if self.tracker is None or not self._started:

@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.core.engine import TrackerStats
 from repro.core.errors import (
     ControlTimeout,
+    NotStartedError,
     ProtocolError,
     TrackerError,
 )
@@ -48,6 +49,7 @@ from repro.core.state import (
     frame_from_dict,
     variable_from_dict,
 )
+from repro.core.timeline import Timeline
 from repro.core.tracker import (
     FunctionBreakpoint,
     LineBreakpoint,
@@ -94,6 +96,13 @@ class GDBTracker(Tracker):
         #: whether -exec-run has completed once (vs. still in flight);
         #: decides if a backend restart must re-launch the inferior
         self._inferior_launched = False
+        #: timeline recording lives server-side (-timeline-* family):
+        #: _remote_recording = a server timeline exists; _remote_enabled =
+        #: it is currently capturing; the client caches the last dump.
+        self._remote_recording = False
+        self._remote_enabled = False
+        self._timeline_cache: Optional[Timeline] = None
+        self._timeline_dirty = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -333,6 +342,7 @@ class GDBTracker(Tracker):
     # ------------------------------------------------------------------
 
     def _ingest(self, payload: Dict[str, Any]) -> None:
+        self._timeline_dirty = True
         reason = payload.get("reason")
         line = payload.get("line")
         if line is not None:
@@ -456,7 +466,73 @@ class GDBTracker(Tracker):
 
     def get_output(self) -> str:
         """Everything the inferior printed so far."""
+        replayed = self._replay_snapshot()
+        if replayed is not None:
+            return replayed.stdout
         return "".join(self._client.console)
+
+    # ------------------------------------------------------------------
+    # Timeline recording: delegated to the server (-timeline-* family)
+    # ------------------------------------------------------------------
+
+    def enable_recording(
+        self,
+        keyframe_interval: int = 16,
+        max_snapshots: Optional[int] = None,
+    ):
+        """Start recording — in the *server* process.
+
+        The server captures a snapshot at every ``*stopped`` record, so
+        recording does not serialize state across the pipe per pause; the
+        whole timeline crosses once, when :attr:`timeline` is first read.
+        Returns ``None``: the recorder object lives server-side.
+        """
+        if self._client is None:
+            raise NotStartedError(
+                "load the program before enabling recording"
+            )
+        options: Dict[str, Any] = {"keyframe-interval": keyframe_interval}
+        if max_snapshots is not None:
+            options["max-snapshots"] = max_snapshots
+        self._execute("-timeline-start", options=options)
+        self._remote_recording = True
+        self._remote_enabled = True
+        self._timeline_cache = None
+        self._timeline_dirty = True
+        return None
+
+    def disable_recording(self) -> None:
+        """Stop recording; the server keeps the timeline navigable."""
+        if self._remote_enabled and self._client is not None:
+            self._execute("-timeline-stop")
+        self._remote_enabled = False
+
+    @property
+    def timeline(self) -> Optional[Timeline]:
+        if not self._remote_recording:
+            return super().timeline
+        if (
+            self._timeline_dirty or self._timeline_cache is None
+        ) and self._client is not None:
+            self._timeline_cache = Timeline.from_dict(
+                self._execute("-timeline-dump")
+            )
+            self._timeline_dirty = False
+        return self._timeline_cache
+
+    def _after_control(self, record: Optional[bool]) -> None:
+        if self._remote_recording:
+            # The server already recorded this pause; record=False means
+            # the caller wants it off the record.
+            if (
+                record is False
+                and self._remote_enabled
+                and self._client is not None
+            ):
+                self._execute("-timeline-drop-last")
+            self._timeline_dirty = True
+            return
+        super()._after_control(record)
 
     def list_functions(self) -> List[str]:
         """Names of the inferior's functions."""

@@ -20,8 +20,16 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.core.engine import AddressBreakpoint, ControlPointEngine
 from repro.core.errors import ProgramLoadError, ProtocolError, TrackerError
-from repro.core.pause import PauseReasonType
+from repro.core.pause import PauseReason, PauseReasonType
 from repro.core.state import frame_to_dict, variable_to_dict
+from repro.core.timeline import (
+    EVENT_CALL,
+    EVENT_EXIT,
+    EVENT_LINE,
+    EVENT_RETURN,
+    StateSnapshot,
+    Timeline,
+)
 from repro.core.tracker import (
     FunctionBreakpoint,
     LineBreakpoint,
@@ -90,6 +98,15 @@ class DebugServer:
         #: unit-test use (tests set ``request_interrupt`` directly).
         self.interrupt_poll: Optional[Callable[[], bool]] = None
         self._events_since_poll = 0
+        #: Server-side timeline recording (the ``-timeline-*`` family):
+        #: snapshots are captured at every ``*stopped`` while recording is
+        #: on, so the whole history crosses the pipe once, on demand.
+        self._timeline: Optional[Timeline] = None
+        self._recording = False
+        self._stdout = ""
+        self._event_kind = EVENT_LINE
+        self._func: Optional[str] = None
+        self._last_stop: Optional[Dict[str, Any]] = None
 
     def request_interrupt(self) -> None:
         """Ask the busy run-control loop to stop at the next event.
@@ -362,6 +379,7 @@ class DebugServer:
                 stopped = self._stop_exited(records)
                 return stopped
             if isinstance(event, OutputEvent):
+                self._stdout += event.text
                 records.append(protocol.format_stream(event.text))
                 continue
             if isinstance(event, AllocEvent):
@@ -381,11 +399,15 @@ class DebugServer:
                 return self._stop_exited(records, event)
             if isinstance(event, CallEvent):
                 self._depth = event.depth
+                self._event_kind = EVENT_CALL
+                self._func = event.function
                 reason = self._check_call(event)
                 if reason is not None:
                     return self._stop(records, reason)
                 continue
             if isinstance(event, ReturnEvent):
+                self._event_kind = EVENT_RETURN
+                self._func = event.function
                 reason = self._check_return(event)
                 self._depth = max(event.depth - 1, 0)
                 if reason is not None:
@@ -393,6 +415,8 @@ class DebugServer:
                 continue
             if isinstance(event, LineEvent):
                 self._depth = event.depth
+                self._event_kind = EVENT_LINE
+                self._func = event.function
                 self._last_line = self._line
                 self._line = event.line
                 reason = self._check_line(event)
@@ -420,6 +444,8 @@ class DebugServer:
         self.engine.record_pause(
             _REASON_TYPES.get(reason.get("reason"), reason.get("reason"))
         )
+        self._last_stop = reason
+        self._record_snapshot(reason)
         records.append(protocol.format_stopped(reason))
         return records
 
@@ -540,6 +566,144 @@ class DebugServer:
                 "pc": pc,
             }
         return None
+
+    # ------------------------------------------------------------------
+    # Timeline recording: the server-side half of time travel
+    # ------------------------------------------------------------------
+
+    def _cmd_timeline_start(self, command) -> List[str]:
+        interval = command.option_int("keyframe-interval")
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError:
+            source = ""
+        self._timeline = Timeline(
+            keyframe_interval=interval if interval is not None else 16,
+            max_snapshots=command.option_int("max-snapshots"),
+            program=self.path,
+            source=source,
+            backend="GDB",
+        )
+        self._recording = True
+        if self._running and self._last_stop is not None and not self._exited:
+            # Already paused mid-run: the current state opens the timeline.
+            self._record_snapshot(self._last_stop)
+        return [protocol.format_done({"recording": True})]
+
+    def _cmd_timeline_stop(self, command) -> List[str]:
+        self._recording = False
+        return [protocol.format_done({"recording": False})]
+
+    def _cmd_timeline_length(self, command) -> List[str]:
+        timeline = self._require_timeline()
+        return [
+            protocol.format_done(
+                {
+                    "length": len(timeline),
+                    "start": timeline.start_index,
+                    "retained": timeline.retained,
+                }
+            )
+        ]
+
+    def _cmd_timeline_dump(self, command) -> List[str]:
+        return [protocol.format_done(self._require_timeline().to_dict())]
+
+    def _cmd_timeline_snapshot(self, command) -> List[str]:
+        if not command.args:
+            return [protocol.format_error("timeline-snapshot needs an index")]
+        timeline = self._require_timeline()
+        return [
+            protocol.format_done(
+                timeline.snapshot(int(command.args[0])).to_dict()
+            )
+        ]
+
+    def _cmd_timeline_drop_last(self, command) -> List[str]:
+        return [
+            protocol.format_done(
+                {"dropped": self._require_timeline().drop_last()}
+            )
+        ]
+
+    def _require_timeline(self) -> Timeline:
+        if self._timeline is None:
+            raise TrackerError("no timeline; send -timeline-start first")
+        return self._timeline
+
+    def _record_snapshot(self, reason: Dict[str, Any]) -> None:
+        if self._timeline is None or not self._recording:
+            return
+        kind = reason.get("reason")
+        if kind == "exited":
+            self._timeline.append(
+                StateSnapshot(
+                    frame=None,
+                    globals={},
+                    filename=self.inferior.filename,
+                    line=self._line,
+                    depth=0,
+                    stdout=self._stdout,
+                    exit_code=reason.get("exitcode", 0),
+                    reason=PauseReason(type=PauseReasonType.EXIT),
+                    event=EVENT_EXIT,
+                )
+            )
+            return
+        line = reason.get("line", self._line)
+        frame = self.inferior.frame_chain()
+        self._timeline.append(
+            StateSnapshot(
+                frame=frame,
+                globals=self.inferior.globals_map(),
+                filename=self.inferior.filename,
+                line=line,
+                depth=reason.get("depth", self._depth),
+                stdout=self._stdout,
+                exit_code=None,
+                reason=self._snapshot_reason(kind, reason, line),
+                event=self._event_kind,
+                func_name=reason.get("func") or self._func or frame.name,
+            )
+        )
+
+    def _snapshot_reason(
+        self, kind: Optional[str], reason: Dict[str, Any], line: Optional[int]
+    ) -> PauseReason:
+        """The pause reason as the *client* would build it from the stop
+        payload (mirrors ``GDBTracker._ingest``), so recorded snapshots
+        look the same whether the recorder ran client- or server-side."""
+        if kind == "interrupted":
+            return PauseReason(type=PauseReasonType.INTERRUPT, line=line)
+        if kind == "watchpoint-trigger":
+            return PauseReason(
+                type=PauseReasonType.WATCH,
+                variable=reason.get("var"),
+                old_value=reason.get("old"),
+                new_value=reason.get("new"),
+                line=line,
+            )
+        if kind == "function-entry":
+            return PauseReason(
+                type=PauseReasonType.CALL,
+                function=reason.get("func"),
+                line=line,
+            )
+        if kind == "function-exit":
+            return PauseReason(
+                type=PauseReasonType.RETURN,
+                function=reason.get("func"),
+                return_value=reason.get("retval"),
+                line=line,
+            )
+        if kind == "breakpoint-hit":
+            return PauseReason(
+                type=PauseReasonType.BREAKPOINT,
+                function=reason.get("func"),
+                line=line,
+            )
+        return PauseReason(type=PauseReasonType.STEP, line=line)
 
 
 class _LineChannel:

@@ -607,6 +607,9 @@ class PythonTracker(Tracker):
 
     def get_output(self) -> str:
         """Everything printed by the inferior so far (``capture_output``)."""
+        replayed = self._replay_snapshot()
+        if replayed is not None:
+            return replayed.stdout
         return self._output.getvalue()
 
     def get_inferior_exception(self) -> Optional[BaseException]:

@@ -7,19 +7,25 @@ pre-generated trace." This tracker loads a Python Tutor JSON trace and
 implements every control and inspection call over it — plus, because the
 execution is recorded, *reverse* stepping (:meth:`step_back`), which stands
 in for the paper's preliminary RR-based tracker.
+
+The heavy lifting lives in :class:`repro.core.replay.ReplayTracker`: the
+PT trace is converted into a delta-compressed timeline by the codec in
+:mod:`repro.pytutor.timeline_codec`, and this subclass only pins the
+PT-specific surfaces — inspection decoded straight from the recorded
+steps (preserving heap identity sharing that a snapshot round-trip would
+lose) and watch rendering over the raw PT encoding.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.errors import NotPausedError, ProgramLoadError
-from repro.core.pause import PauseReason, PauseReasonType
+from repro.core.errors import ProgramLoadError
+from repro.core.replay import ReplayTracker
 from repro.core.state import Frame, Variable
-from repro.core.tracker import Tracker
+from repro.core.timeline import StateSnapshot
+from repro.pytutor.timeline_codec import timeline_from_pt_trace
 from repro.pytutor.trace import (
-    EVENT_CALL,
-    EVENT_RETURN,
     PTStep,
     PTTrace,
     step_globals,
@@ -27,7 +33,7 @@ from repro.pytutor.trace import (
 )
 
 
-class PTTracker(Tracker):
+class PTTracker(ReplayTracker):
     """Tracker backend replaying a recorded Python Tutor trace."""
 
     backend = "pt"
@@ -35,7 +41,6 @@ class PTTracker(Tracker):
     def __init__(self) -> None:
         super().__init__()
         self.trace: Optional[PTTrace] = None
-        self._index = -1
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -45,151 +50,24 @@ class PTTracker(Tracker):
         self.trace = PTTrace.load(path)
         if not self.trace.steps:
             raise ProgramLoadError(f"trace {path!r} contains no steps")
+        self._timeline = timeline_from_pt_trace(self.trace)
 
-    def _start(self) -> None:
-        self._index = 0
-        self._mark_pause(PauseReason(type=PauseReasonType.STEP,
-                                     line=self._current_step().line))
-
-    def _terminate(self) -> None:
-        self._index = len(self.trace.steps)
-
-    def _allows_post_exit_inspection(self) -> bool:
-        # A trace is immutable history: the final state stays inspectable.
-        return True
-
-    # ------------------------------------------------------------------
-    # Control: walk the recorded steps
-    # ------------------------------------------------------------------
-
-    def _resume(self) -> None:
-        self.engine.arm("resume")
-        self._advance()
+    def step_back(self) -> None:
+        """Reverse-step one recorded execution point (the RR stand-in)."""
+        self.backward_step()
 
     def _current_step(self) -> PTStep:
         return self.trace.steps[self._index]
 
-    def _current_depth(self) -> int:
-        return len(self._current_step().stack_to_render)
-
-    def _step(self) -> None:
-        self.engine.arm("step")
-        self._advance()
-
-    # base-class hooks ---------------------------------------------------
-
-    def _next(self) -> None:
-        self.engine.arm("next", self._current_depth())
-        self._advance()
-
-    def _finish(self) -> None:
-        self.engine.arm("finish", self._current_depth())
-        self._advance()
-
-    def _advance(self) -> None:
-        while True:
-            self._index += 1
-            if self._index >= len(self.trace.steps):
-                self._index = len(self.trace.steps) - 1
-                self._exit_code = 0
-                self._pause_reason = PauseReason(type=PauseReasonType.EXIT)
-                self.engine.note_event("exit")
-                self.engine.record_pause(PauseReasonType.EXIT)
-                return
-            reason = self._decide(self.trace.steps[self._index])
-            if reason is not None:
-                self._mark_pause(reason)
-                return
-
-    def _decide(self, step: PTStep) -> Optional[PauseReason]:
-        """One recorded step in, pause decision out — all via the engine."""
-        engine = self.engine
-        engine.refresh()
-        engine.note_event(step.event or "step")
-        depth = len(step.stack_to_render)
-        # A plain step pauses at the very next recorded point, before any
-        # control point gets a look — matching the live trackers, where a
-        # step lands on the next line unconditionally.
-        if engine.mode != "step":
-            reason = self._control_point(step, depth)
-            if reason is not None:
-                return reason
-        if engine.should_step_pause(depth):
-            return PauseReason(type=PauseReasonType.STEP, line=step.line)
-        return None
-
-    def step_back(self) -> None:
-        """Reverse-step one recorded execution point (the RR stand-in)."""
-        if self._index <= 0:
-            raise NotPausedError("already at the first recorded step")
-        self._index -= 1
-        self._exit_code = None
-        step = self._current_step()
-        self._mark_pause(PauseReason(type=PauseReasonType.STEP, line=step.line))
-
-    def _mark_pause(self, reason: PauseReason) -> None:
-        self.engine.record_pause(reason.type)
-        self._pause_reason = reason
-        step = self._current_step()
-        self.last_lineno = self.next_lineno
-        self.next_lineno = step.line
-
     # ------------------------------------------------------------------
-    # Control points evaluated against recorded steps
+    # Watch rendering over the raw PT encoding (pinned behavior: values
+    # render as the repr of their encoded form, e.g. "1" or "['REF', 3]")
     # ------------------------------------------------------------------
 
-    def _control_point(
-        self, step: PTStep, depth: int
-    ) -> Optional[PauseReason]:
-        engine = self.engine
-        if engine.has_watchpoints:
-            hit = engine.evaluate_watches(
-                depth,
-                lambda function, name: self._render_in_step(
-                    step, function, name
-                ),
-            )
-            if hit is not None:
-                watchpoint, old, new = hit
-                return PauseReason(
-                    type=PauseReasonType.WATCH,
-                    variable=watchpoint.variable_id,
-                    old_value=old,
-                    new_value=new,
-                    line=step.line,
-                )
-        if engine.may_match_line(step.line):
-            if engine.match_line(None, step.line, depth) is not None:
-                return PauseReason(
-                    type=PauseReasonType.BREAKPOINT, line=step.line
-                )
-        if step.func_name and engine.may_match_function(step.func_name):
-            if step.event == EVENT_CALL:
-                if (
-                    engine.match_function_breakpoint(step.func_name, depth)
-                    is not None
-                ):
-                    return PauseReason(
-                        type=PauseReasonType.BREAKPOINT,
-                        function=step.func_name,
-                        line=step.line,
-                    )
-            if step.event in (EVENT_CALL, EVENT_RETURN):
-                if engine.match_tracked(step.func_name, depth) is not None:
-                    return PauseReason(
-                        type=(
-                            PauseReasonType.CALL
-                            if step.event == EVENT_CALL
-                            else PauseReasonType.RETURN
-                        ),
-                        function=step.func_name,
-                        line=step.line,
-                    )
-        return None
-
-    def _render_in_step(
-        self, step: PTStep, function: Optional[str], name: str
+    def _watch_render(
+        self, snapshot: StateSnapshot, function: Optional[str], name: str
     ) -> Optional[str]:
+        step = self._current_step()
         frames = step.stack_to_render
         if function is not None:
             for pt_frame in reversed(frames):
@@ -205,7 +83,7 @@ class PTTracker(Tracker):
         return None
 
     # ------------------------------------------------------------------
-    # Inspection
+    # Inspection decoded directly from the recorded steps
     # ------------------------------------------------------------------
 
     def _get_current_frame(self) -> Frame:
@@ -224,13 +102,3 @@ class PTTracker(Tracker):
     def get_output(self) -> str:
         """Inferior stdout recorded up to the current step."""
         return self._current_step().stdout
-
-    @property
-    def step_index(self) -> int:
-        """Position in the trace (useful for tools showing a timeline)."""
-        return self._index
-
-    @property
-    def step_count(self) -> int:
-        """Total number of recorded steps."""
-        return len(self.trace.steps) if self.trace else 0

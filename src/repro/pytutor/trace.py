@@ -176,6 +176,10 @@ class PTEncoder:
         if kind is AbstractType.NONE:
             return None
         if kind is AbstractType.INVALID:
+            # Heap-located invalid values (decoded from a SPECIAL_FLOAT heap
+            # entry) go back to the heap, so REFs at them stay REFs.
+            if value.location is Location.HEAP and value.address is not None:
+                return ["REF", self._intern(value)]
             return ["SPECIAL_FLOAT", "<invalid>"]
         if kind is AbstractType.REF:
             return ["REF", self._intern(value.content)]
@@ -206,7 +210,10 @@ class PTEncoder:
             self.heap[key] = ["HEAP_PRIMITIVE", "NoneType", None]
             return heap_id
         if kind is AbstractType.FUNCTION:
-            self.heap[key] = ["FUNCTION", value.content, None]
+            # The third slot is PT's enclosing-frame id for closures; a
+            # decoded function carries it through so it round-trips.
+            parent = getattr(value, "closure_parent", None)
+            self.heap[key] = ["FUNCTION", value.content, parent]
             return heap_id
         if kind is AbstractType.INVALID:
             self.heap[key] = ["SPECIAL_FLOAT", "<invalid>"]
@@ -281,13 +288,27 @@ class PTDecoder:
             )
         tag = encoded[0]
         if tag == "HEAP_PRIMITIVE":
-            value = Value(
-                AbstractType.PRIMITIVE,
-                encoded[2],
-                location=Location.HEAP,
-                address=address,
-                language_type=encoded[1],
-            )
+            content = encoded[2]
+            if content is None:
+                # The encoder interns a heap-referenced None this way;
+                # PRIMITIVE cannot legally hold None.
+                value = Value(
+                    AbstractType.NONE,
+                    None,
+                    location=Location.HEAP,
+                    address=address,
+                    language_type=encoded[1],
+                )
+            else:
+                if encoded[1] == "bytes" and isinstance(content, str):
+                    content = content.encode("latin-1")
+                value = Value(
+                    AbstractType.PRIMITIVE,
+                    content,
+                    location=Location.HEAP,
+                    address=address,
+                    language_type=encoded[1],
+                )
             self._memo[key] = value
             return value
         if tag == "FUNCTION":
@@ -298,6 +319,8 @@ class PTDecoder:
                 address=address,
                 language_type="function",
             )
+            if len(encoded) > 2 and encoded[2] is not None:
+                value.closure_parent = encoded[2]
             self._memo[key] = value
             return value
         if tag == "SPECIAL_FLOAT":

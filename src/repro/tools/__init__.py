@@ -6,6 +6,7 @@
 - :mod:`repro.tools.riscv_viewer` — Fig. 7 registers and memory viewer.
 - :mod:`repro.tools.recursion_tree` — Fig. 8 recursive-call tree.
 - :mod:`repro.tools.debug_game` — Fig. 9 game for learning debugging.
+- :mod:`repro.tools.timeline_view` — scrub strip over a recorded timeline.
 """
 
 from repro.tools.array_invariant import (
@@ -53,6 +54,11 @@ from repro.tools.riscv_viewer import (
 )
 from repro.tools.stack_diagram import draw_stack, draw_stack_heap
 from repro.tools.stepper import generate_diagrams
+from repro.tools.timeline_view import (
+    draw_scrubber,
+    draw_timeline_view,
+    render_timeline,
+)
 
 __all__ = [
     "ArrayInvariantTool",
@@ -78,8 +84,10 @@ __all__ = [
     "RiscvViewer",
     "draw_array_state",
     "draw_call_tree",
+    "draw_scrubber",
     "draw_stack",
     "draw_stack_heap",
+    "draw_timeline_view",
     "extract_array",
     "fix_and_replay",
     "generate_diagrams",
@@ -89,5 +97,6 @@ __all__ = [
     "render_memory_text",
     "render_registers_text",
     "render_state_svg",
+    "render_timeline",
     "write_level",
 ]

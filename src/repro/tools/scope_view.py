@@ -15,9 +15,10 @@ then globals — exactly what :meth:`Tracker.get_variable` implements).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.state import AbstractType, Frame, Value, Variable
+from repro.core.timeline import StateSnapshot
 from repro.core.tracker import Tracker
 from repro.viz.svg import SVGCanvas, text_width
 
@@ -39,8 +40,12 @@ class Binding:
     shadowed_by: Optional[str] = None
 
 
-def collect_bindings(tracker: Tracker) -> List[Binding]:
+def collect_bindings(tracker: Union[Tracker, StateSnapshot]) -> List[Binding]:
     """All bindings of the paused inferior, innermost scopes first.
+
+    Accepts a live (paused) :class:`Tracker` or a recorded
+    :class:`StateSnapshot` — e.g. one pulled from a timeline — since both
+    expose the same frames-plus-globals view of a paused state.
 
     Visibility follows the inspection rule: the innermost frame holding a
     name wins; a global is visible only when no frame binds the name.
@@ -48,8 +53,12 @@ def collect_bindings(tracker: Tracker) -> List[Binding]:
     Python and C, but showing the whole stack is the point of the lesson:
     students see why a caller's `x` is untouchable.)
     """
-    frames = tracker.get_frames()
-    globals_map = tracker.get_global_variables()
+    if isinstance(tracker, StateSnapshot):
+        frames = tracker.frames()
+        globals_map = dict(tracker.globals)
+    else:
+        frames = tracker.get_frames()
+        globals_map = tracker.get_global_variables()
     bindings: List[Binding] = []
     current = frames[0] if frames else None
     for frame in frames:

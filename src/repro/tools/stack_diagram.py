@@ -16,9 +16,10 @@ in Fig. 6(c).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.state import AbstractType, Frame, Location, Value, Variable
+from repro.core.timeline import StateSnapshot
 from repro.viz.svg import SVGCanvas, text_width
 
 ROW_HEIGHT = 24
@@ -52,12 +53,33 @@ class _Anchors:
             self.queue.append(value)
 
 
+def _frame_and_globals(
+    frame: Union[Frame, StateSnapshot],
+    global_variables: Optional[Dict[str, Variable]],
+) -> Tuple[Frame, Optional[Dict[str, Variable]]]:
+    """Both diagram entry points accept a Frame or a whole StateSnapshot."""
+    if isinstance(frame, StateSnapshot):
+        snapshot = frame
+        if snapshot.frame is None:
+            raise ValueError("this snapshot recorded no frames to draw")
+        if global_variables is None:
+            global_variables = dict(snapshot.globals)
+        frame = snapshot.frame
+    return frame, global_variables
+
+
 def draw_stack(
-    frame: Frame,
+    frame: Union[Frame, StateSnapshot],
     global_variables: Optional[Dict[str, Variable]] = None,
     title: str = "stack",
 ) -> SVGCanvas:
-    """Draw the plain stack diagram: every value inlined into its frame box."""
+    """Draw the plain stack diagram: every value inlined into its frame box.
+
+    ``frame`` may be the innermost :class:`Frame` or a whole
+    :class:`StateSnapshot` (in which case the snapshot's globals are drawn
+    too, unless ``global_variables`` overrides them).
+    """
+    frame, global_variables = _frame_and_globals(frame, global_variables)
     canvas = SVGCanvas()
     x, y = 16, 16
     if global_variables:
@@ -138,7 +160,7 @@ def _inline_render(value: Value) -> str:
 
 
 def draw_stack_heap(
-    frame: Frame,
+    frame: Union[Frame, StateSnapshot],
     global_variables: Optional[Dict[str, Variable]] = None,
     heap_blocks: Optional[Dict[int, int]] = None,
     title: str = "stack & heap",
@@ -146,11 +168,14 @@ def draw_stack_heap(
     """Draw the stack-and-heap diagram with reference arrows.
 
     Args:
-        frame: the innermost frame (parents are drawn too).
+        frame: the innermost frame (parents are drawn too), or a whole
+            :class:`StateSnapshot` (its globals are drawn unless
+            ``global_variables`` overrides them).
         global_variables: drawn in their own box above the stack.
         heap_blocks: optional live-allocation map (address -> size) used to
             annotate mini-C heap objects with their block size.
     """
+    frame, global_variables = _frame_and_globals(frame, global_variables)
     canvas = SVGCanvas()
     anchors = _Anchors()
     x, y = 16, 16

@@ -1,0 +1,154 @@
+"""Timeline scrubber: omniscient exploration of a recorded execution.
+
+The ROADMAP's "opens a new workload" direction made concrete: instead of
+the forward-only steppers of Section III, this tool renders a recorded
+:class:`repro.core.timeline.Timeline` as a scrub strip — one tick per
+snapshot, colored by why execution paused there — with the selected
+snapshot's stack diagram below it. Writing one image per snapshot gives a
+flip-book a front-end can scrub through; the strip shows, at a glance,
+where the breakpoints/watch hits cluster in the run.
+
+Everything is drawn with :mod:`repro.viz` and consumes only
+:class:`StateSnapshot`, so the same images come out of a timeline recorded
+live from ``PythonTracker``, fetched from the MiniC debug server over
+``-timeline-dump``, or converted from a Python Tutor trace.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.core.pause import PauseReasonType
+from repro.core.timeline import StateSnapshot, Timeline
+from repro.tools.stack_diagram import draw_stack
+from repro.viz.svg import SVGCanvas, _Element, text_width
+
+TICK_WIDTH = 10
+TICK_HEIGHT = 26
+TICK_GAP = 2
+STRIP_TOP = 40
+
+#: pause-reason kind -> tick color (the scrub strip legend)
+TICK_COLORS = {
+    PauseReasonType.STEP: "#b8c4ce",
+    PauseReasonType.BREAKPOINT: "#c0392b",
+    PauseReasonType.WATCH: "#e67e22",
+    PauseReasonType.CALL: "#2980b9",
+    PauseReasonType.RETURN: "#8e44ad",
+    PauseReasonType.EXIT: "#2c3e50",
+    PauseReasonType.INTERRUPT: "#f1c40f",
+}
+DEFAULT_TICK = "#b8c4ce"
+SELECTED_STROKE = "#27ae60"
+
+
+def _tick_color(snapshot: StateSnapshot) -> str:
+    reason = snapshot.reason
+    if snapshot.exit_code is not None and snapshot.frame is None:
+        return TICK_COLORS[PauseReasonType.EXIT]
+    if reason is None:
+        return DEFAULT_TICK
+    return TICK_COLORS.get(reason.type, DEFAULT_TICK)
+
+
+def draw_scrubber(
+    timeline: Timeline, selected: Optional[int] = None
+) -> SVGCanvas:
+    """The scrub strip alone: one colored tick per retained snapshot.
+
+    Args:
+        timeline: the recorded history.
+        selected: global snapshot index to highlight, or ``None``.
+    """
+    canvas = SVGCanvas()
+    label = (
+        f"{timeline.program or '<timeline>'} — "
+        f"{timeline.retained} snapshots "
+        f"[{timeline.start_index}..{len(timeline) - 1}]"
+        + (f" ({timeline.backend})" if timeline.backend else "")
+    )
+    canvas.text(14, 20, label, size=13, bold=True)
+    x = 14
+    for index in range(timeline.start_index, len(timeline)):
+        snapshot = timeline.snapshot(index)
+        canvas.rect(
+            x,
+            STRIP_TOP,
+            TICK_WIDTH,
+            TICK_HEIGHT,
+            fill=_tick_color(snapshot),
+            stroke="#ffffff",
+        )
+        if index == selected:
+            canvas.rect(
+                x - 2,
+                STRIP_TOP - 4,
+                TICK_WIDTH + 4,
+                TICK_HEIGHT + 8,
+                fill="none",
+                stroke=SELECTED_STROKE,
+                rx=2,
+            )
+            marker = f"#{index}"
+            if snapshot.line is not None:
+                marker += f" line {snapshot.line}"
+            canvas.text(
+                max(14.0, x - text_width(marker, 12) / 2),
+                STRIP_TOP + TICK_HEIGHT + 18,
+                marker,
+                size=12,
+                fill=SELECTED_STROKE,
+            )
+        x += TICK_WIDTH + TICK_GAP
+    return canvas
+
+
+def draw_timeline_view(timeline: Timeline, index: int) -> SVGCanvas:
+    """Scrub strip with the selected snapshot's stack diagram below it."""
+    snapshot = timeline.snapshot(index)
+    canvas = draw_scrubber(timeline, selected=index)
+    offset = canvas.height + 24
+    if snapshot.frame is None:
+        canvas.text(
+            16,
+            offset + 14,
+            f"exited with code {snapshot.exit_code}",
+            size=14,
+            bold=True,
+        )
+        return canvas
+    stack = draw_stack(snapshot)
+    # Reuse the stack diagram untouched: wrap its elements in a translated
+    # group rather than rewriting every coordinate.
+    canvas._elements.append(
+        _Element(
+            "g",
+            {"transform": f"translate(0 {round(offset, 2)})"},
+            children=list(stack._elements),
+        )
+    )
+    canvas._track(stack._max_x, stack._max_y + offset)
+    return canvas
+
+
+def render_timeline(
+    timeline: Timeline, output_dir: str, max_images: int = 50
+) -> List[str]:
+    """One scrubber-plus-stack image per retained snapshot (flip-book).
+
+    At most ``max_images`` images are written, evenly spaced over the
+    retained window so long runs still produce a representative strip.
+    """
+    os.makedirs(output_dir, exist_ok=True)
+    start, end = timeline.start_index, len(timeline)
+    indexes = list(range(start, end))
+    if len(indexes) > max_images:
+        stride = len(indexes) / max_images
+        indexes = [indexes[int(i * stride)] for i in range(max_images)]
+    written: List[str] = []
+    for order, index in enumerate(indexes):
+        path = os.path.join(output_dir, f"timeline_{order:04d}.svg")
+        draw_timeline_view(timeline, index).save(path)
+        written.append(path)
+    return written

@@ -147,3 +147,46 @@ class TestEquivCommand:
         a = write_program("a.py", FIB)
         b = write_program("b.py", FIB.replace("fib(n - 2)", "fib(n - 2) + 1"))
         assert main(["equiv", a, b, "fib", "--args", "n"]) == 1
+
+
+class TestTimelineCommand:
+    def _record(self, write_program, tmp_path, source=FIB, name="p.py"):
+        program = write_program(name, source)
+        out = str(tmp_path / "run.timeline.json")
+        assert main(["timeline", "record", program, out, "--step"]) == 0
+        return out
+
+    def test_record_info_scrub_python(self, write_program, tmp_path, capsys):
+        saved = self._record(write_program, tmp_path)
+        assert "recorded" in capsys.readouterr().out
+        assert main(["timeline", "info", saved]) == 0
+        output = capsys.readouterr().out
+        assert "backend:  python" in output
+        assert "exit" in output
+        scrub = str(tmp_path / "scrub")
+        assert main(["timeline", "scrub", saved, scrub, "--max-images", "5"]) == 0
+        images = os.listdir(scrub)
+        assert len(images) == 5
+        assert all(name.endswith(".svg") for name in images)
+
+    def test_record_minic_backend(self, write_program, tmp_path, capsys):
+        source = (
+            "int main(void) {\n    int a = 1;\n    int b = a + 1;\n"
+            "    return 0;\n}\n"
+        )
+        saved = self._record(write_program, tmp_path, source, "p.c")
+        assert main(["timeline", "info", saved]) == 0
+        assert "backend:  GDB" in capsys.readouterr().out
+
+    def test_ring_bound_flag(self, write_program, tmp_path, capsys):
+        program = write_program("p.py", FIB)
+        out = str(tmp_path / "run.timeline.json")
+        assert main([
+            "timeline", "record", program, out,
+            "--step", "--max-snapshots", "4", "--keyframe-interval", "2",
+        ]) == 0
+        from repro.core.timeline import load_timeline
+
+        timeline = load_timeline(out)
+        assert timeline.retained <= 5  # bound may overshoot by interval-1
+        assert timeline.start_index > 0

@@ -326,3 +326,69 @@ class TestServeLoop:
         assert "terminated" in events
         responses = [m for m in messages if m["type"] == "response"]
         assert all(response["success"] for response in responses)
+
+
+class TestReverseExecution:
+    def _launch_recorded(self, adapter, path, record=True):
+        adapter.handle(request("initialize"))
+        messages = adapter.handle(
+            request("launch", {"program": path, "record": record})
+        )
+        assert messages[0]["success"]
+        adapter.handle(request("configurationDone"))
+
+    def test_initialize_advertises_step_back(self):
+        adapter = DebugAdapter()
+        messages = adapter.handle(request("initialize"))
+        assert messages[0]["body"]["supportsStepBack"]
+
+    def test_step_back_rewinds(self, write_program):
+        adapter = DebugAdapter()
+        path = write_program("p.py", PROGRAM)
+        self._launch_recorded(adapter, path)
+        for _ in range(3):
+            adapter.handle(request("next"))
+        line_before = adapter.tracker.get_position()[1]
+        messages = adapter.handle(request("stepBack"))
+        assert messages[0]["success"]
+        stopped = [m for m in messages if m.get("event") == "stopped"]
+        assert stopped
+        assert adapter.tracker.get_position()[1] != line_before
+        # stackTrace serves the rewound state
+        stack = adapter.handle(request("stackTrace", {"threadId": 1}))
+        assert stack[0]["success"]
+        adapter.handle(request("disconnect"))
+
+    def test_reverse_continue_lands_on_breakpoint(self, write_program):
+        adapter = DebugAdapter()
+        path = write_program("p.py", PROGRAM)
+        adapter.handle(request("initialize"))
+        adapter.handle(
+            request("launch", {"program": path,
+                               "record": {"keyframeInterval": 4}})
+        )
+        adapter.handle(
+            request(
+                "setBreakpoints",
+                {"source": {"path": path}, "breakpoints": [{"line": 2}]},
+            )
+        )
+        adapter.handle(request("configurationDone"))
+        adapter.handle(request("continue"))  # hit line 2
+        adapter.handle(request("next"))
+        messages = adapter.handle(request("reverseContinue"))
+        assert messages[0]["success"]
+        assert adapter.tracker.get_position()[1] == 2
+        adapter.handle(request("disconnect"))
+
+    def test_step_back_without_recording_fails_cleanly(self, write_program):
+        adapter = DebugAdapter()
+        path = write_program("p.py", PROGRAM)
+        adapter.handle(request("initialize"))
+        adapter.handle(request("launch", {"program": path}))
+        adapter.handle(request("configurationDone"))
+        adapter.handle(request("next"))
+        messages = adapter.handle(request("stepBack"))
+        assert not messages[0]["success"]
+        assert "timeline" in messages[0]["message"]
+        adapter.handle(request("disconnect"))

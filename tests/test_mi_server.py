@@ -386,3 +386,88 @@ class TestAssemblyInferior:
         frame = records(asm_server.handle("-stack-list-frames"))[0].payload
         assert frame["name"] == "main"
         assert "sp" in frame["variables"]
+
+
+class TestTimeline:
+    """The -timeline-* family: server-side recording for time travel."""
+
+    def test_requires_start_first(self, server):
+        server.handle("-exec-run")
+        for command in (
+            "-timeline-length",
+            "-timeline-dump",
+            "-timeline-snapshot 0",
+            "-timeline-drop-last",
+        ):
+            record = records(server.handle(command))[0]
+            assert record.kind == "error"
+            assert "-timeline-start" in record.payload
+
+    def test_records_every_stop(self, server):
+        server.handle("-break-insert square")
+        assert records(server.handle("-timeline-start"))[0].payload == {
+            "recording": True
+        }
+        server.handle("-exec-run")
+        for _ in range(3):
+            server.handle("-exec-continue")
+        server.handle("-exec-continue")  # to exit
+        payload = records(server.handle("-timeline-length"))[0].payload
+        # entry pause + 3 breakpoint hits + exit
+        assert payload == {"length": 5, "start": 0, "retained": 5}
+
+    def test_start_mid_run_opens_with_current_state(self, server):
+        server.handle("-exec-run")
+        server.handle("-exec-step")
+        server.handle("-timeline-start")
+        payload = records(server.handle("-timeline-length"))[0].payload
+        assert payload["length"] == 1
+
+    def test_snapshot_and_dump_round_trip(self, server):
+        from repro.core.timeline import StateSnapshot, Timeline
+
+        server.handle("-break-insert square")
+        server.handle("-timeline-start --keyframe-interval 2")
+        server.handle("-exec-run")
+        server.handle("-exec-continue")
+        snap_payload = records(server.handle("-timeline-snapshot 1"))[0].payload
+        snapshot = StateSnapshot.from_dict(snap_payload)
+        assert snapshot.func_name == "square"
+        assert snapshot.lookup("v").value.content == 1
+
+        timeline = Timeline.from_dict(
+            records(server.handle("-timeline-dump"))[0].payload
+        )
+        assert timeline.backend == "GDB"
+        assert timeline.retained == 2
+        assert timeline.snapshot(1) == snapshot
+
+    def test_stop_suspends_recording(self, server):
+        server.handle("-timeline-start")
+        server.handle("-exec-run")
+        assert records(server.handle("-timeline-stop"))[0].payload == {
+            "recording": False
+        }
+        server.handle("-exec-step")
+        payload = records(server.handle("-timeline-length"))[0].payload
+        assert payload["length"] == 1  # the step was not recorded
+
+    def test_drop_last(self, server):
+        server.handle("-timeline-start")
+        server.handle("-exec-run")
+        server.handle("-exec-step")
+        assert records(server.handle("-timeline-drop-last"))[0].payload == {
+            "dropped": True
+        }
+        payload = records(server.handle("-timeline-length"))[0].payload
+        assert payload["length"] == 1
+
+    def test_ring_bound_over_the_pipe(self, server):
+        server.handle("-timeline-start --keyframe-interval 2 --max-snapshots 4")
+        server.handle("-exec-run")
+        for _ in range(9):
+            server.handle("-exec-step")
+        payload = records(server.handle("-timeline-length"))[0].payload
+        assert payload["length"] == 10
+        assert payload["retained"] <= 5
+        assert payload["start"] > 0

@@ -141,6 +141,51 @@ class TestDecoder:
         assert decoded.content.abstract_type is AbstractType.INVALID
 
 
+class TestRoundTripAsymmetries:
+    """Shapes that used to decode to something that re-encoded differently."""
+
+    def _cycle(self, encoded, heap):
+        """decode then encode again; return the re-encoded (value, heap)."""
+        decoded = PTDecoder(heap).decode(encoded)
+        encoder = PTEncoder()
+        return encoder.encode(decoded), encoder.heap
+
+    def test_heap_invalid_stays_on_the_heap(self):
+        heap = {"40": ["SPECIAL_FLOAT", "<invalid>"]}
+        encoded, new_heap = self._cycle(["REF", 40], heap)
+        assert encoded == ["REF", 40]
+        assert new_heap == heap
+
+    def test_inline_invalid_stays_inline(self):
+        encoded, new_heap = self._cycle(["SPECIAL_FLOAT", "<invalid>"], {})
+        assert encoded == ["SPECIAL_FLOAT", "<invalid>"]
+        assert new_heap == {}
+
+    def test_function_closure_parent_survives(self):
+        heap = {"41": ["FUNCTION", "adder(x)", 7]}
+        decoded = PTDecoder(heap).decode(["REF", 41])
+        assert decoded.content.closure_parent == 7
+        encoded, new_heap = self._cycle(["REF", 41], heap)
+        assert encoded == ["REF", 41]
+        assert new_heap["41"] == ["FUNCTION", "adder(x)", 7]
+
+    def test_heap_none_primitive_round_trips(self):
+        heap = {"42": ["HEAP_PRIMITIVE", "NoneType", None]}
+        decoded = PTDecoder(heap).decode(["REF", 42])
+        assert decoded.content.abstract_type is AbstractType.NONE
+        encoded, new_heap = self._cycle(["REF", 42], heap)
+        assert encoded == ["REF", 42]
+        assert new_heap == heap
+
+    def test_heap_bytes_primitive_round_trips(self):
+        heap = {"43": ["HEAP_PRIMITIVE", "bytes", "ab\xff"]}
+        decoded = PTDecoder(heap).decode(["REF", 43])
+        assert decoded.content.content == b"ab\xff"
+        encoded, new_heap = self._cycle(["REF", 43], heap)
+        assert encoded == ["REF", 43]
+        assert new_heap == heap
+
+
 class TestRecordTrace:
     def test_full_trace_one_step_per_line(self, write_program):
         trace = record_trace(write_program("p.py", "a = 1\nb = 2\nc = 3\n"))
@@ -479,3 +524,70 @@ def test_pt_encoding_round_trip_property(value):
     encoded = encoder.encode(value)
     decoded = PTDecoder(encoder.heap).decode(encoded)
     assert _normalized_render(decoded) == _normalized_render(value)
+
+
+def _tricky_values():
+    """Leaves that exercise every historical round-trip asymmetry."""
+    leaves = st.one_of(
+        st.integers(-50, 50).map(lambda c: prim(c)),
+        st.booleans().map(lambda c: prim(c, "bool")),
+        st.binary(max_size=4).map(lambda c: prim(c, "bytes")),
+        st.just(Value(AbstractType.NONE, None)),
+        st.just(Value(AbstractType.INVALID, None)),
+        st.just(
+            Value(
+                AbstractType.INVALID, None,
+                location=Location.HEAP, address=900,
+            )
+        ),
+        st.sampled_from([None, 3, 9]).map(
+            lambda parent: _function("f(x)", parent)
+        ),
+    )
+
+    def wrap(children):
+        return st.one_of(
+            children.map(lambda v: Value(AbstractType.REF, _heapify(v))),
+            st.lists(children, max_size=3).map(
+                lambda items: Value(
+                    AbstractType.LIST, tuple(items),
+                    location=Location.HEAP, language_type="list",
+                )
+            ),
+        )
+
+    return st.recursive(leaves, wrap, max_leaves=6)
+
+
+def _function(signature, parent):
+    value = Value(
+        AbstractType.FUNCTION, signature,
+        location=Location.HEAP, language_type="function",
+    )
+    if parent is not None:
+        value.closure_parent = parent
+    return value
+
+
+def _heapify(value):
+    if value.location is not Location.HEAP:
+        value.location = Location.HEAP
+    return value
+
+
+@given(_tricky_values())
+@settings(max_examples=80, deadline=None)
+def test_pt_encoding_is_idempotent(value):
+    """encode . decode . encode == encode, at the *encoding* level.
+
+    Render-level equality (above) cannot see asymmetries that swap heap
+    entries for inline forms or drop closure parents; comparing the
+    re-encoded (value, heap) pair does.
+    """
+    first = PTEncoder()
+    encoded = first.encode(value)
+    decoded = PTDecoder(first.heap).decode(encoded)
+    second = PTEncoder()
+    re_encoded = second.encode(decoded)
+    assert re_encoded == encoded
+    assert second.heap == first.heap

@@ -150,3 +150,102 @@ class TestScopeViewTool:
         images = tool.run(output_dir)
         assert len(images) == 2  # entry + exit of inner()
         assert all(os.path.exists(path) for path in images)
+
+
+RECURSION_PY = """\
+def rec(n):
+    x = n
+    if n == 0:
+        return 0
+    return rec(n - 1)
+
+rec(2)
+"""
+
+
+@pytest.fixture
+def recorded_timeline(write_program):
+    tracker = PythonTracker(capture_output=True)
+    tracker.load_program(write_program("rec.py", RECURSION_PY))
+    tracker.enable_recording()
+    tracker.start()
+    while tracker.get_exit_code() is None:
+        tracker.step()
+    timeline = tracker.timeline
+    tracker.terminate()
+    return timeline
+
+
+class TestSnapshotConsumers:
+    """The ported tools accept a StateSnapshot anywhere they took live state."""
+
+    def test_draw_stack_from_snapshot(self, recorded_timeline):
+        from repro.tools.stack_diagram import draw_stack
+
+        deepest = max(recorded_timeline.snapshots(), key=lambda s: s.depth)
+        canvas = draw_stack(deepest)
+        rendered = canvas.render()
+        assert "rec" in rendered
+
+    def test_draw_stack_rejects_exit_snapshot(self, recorded_timeline):
+        from repro.tools.stack_diagram import draw_stack
+
+        final = recorded_timeline.snapshot(-1)
+        assert final.frame is None
+        with pytest.raises(ValueError, match="no frames"):
+            draw_stack(final)
+
+    def test_collect_bindings_from_snapshot(self, recorded_timeline):
+        deepest = max(recorded_timeline.snapshots(), key=lambda s: s.depth)
+        bindings = collect_bindings(deepest)
+        by_key = {(b.scope, b.name): b for b in bindings}
+        assert ("rec", "n") in by_key
+        assert ("<globals>", "rec") in by_key
+
+    def test_bindings_match_live_tracker(self, write_program):
+        """Same bindings from the live pause and its recorded snapshot."""
+        tracker = PythonTracker()
+        tracker.load_program(write_program("s.py", SHADOWING_PY))
+        tracker.break_before_line(4)
+        tracker.enable_recording()
+        tracker.start()
+        tracker.resume()
+        live = collect_bindings(tracker)
+        recorded = collect_bindings(tracker.timeline.snapshot(-1))
+        tracker.terminate()
+        project = lambda bindings: sorted(
+            (b.scope, b.name, b.rendered, b.visible) for b in bindings
+        )
+        assert project(live) == project(recorded)
+
+
+class TestTimelineView:
+    def test_scrubber_one_tick_per_snapshot(self, recorded_timeline):
+        from repro.tools.timeline_view import draw_scrubber
+
+        canvas = draw_scrubber(recorded_timeline)
+        rendered = canvas.render()
+        assert rendered.count("<rect") >= recorded_timeline.retained
+
+    def test_selected_snapshot_is_highlighted(self, recorded_timeline):
+        from repro.tools.timeline_view import draw_timeline_view
+
+        index = recorded_timeline.start_index + 3
+        rendered = draw_timeline_view(recorded_timeline, index).render()
+        assert "#27ae60" in rendered  # the selection outline
+        assert f"#{index}" in rendered
+
+    def test_exit_snapshot_view(self, recorded_timeline):
+        from repro.tools.timeline_view import draw_timeline_view
+
+        rendered = draw_timeline_view(
+            recorded_timeline, len(recorded_timeline) - 1
+        ).render()
+        assert "exited with code 0" in rendered
+
+    def test_render_timeline_caps_images(self, recorded_timeline, output_dir):
+        from repro.tools.timeline_view import render_timeline
+
+        written = render_timeline(recorded_timeline, output_dir, max_images=4)
+        assert len(written) == 4
+        assert all(os.path.exists(path) for path in written)
