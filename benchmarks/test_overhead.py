@@ -278,6 +278,64 @@ def test_keyframe_interval_ablation(benchmark, write_program, interval):
     )
 
 
+# ---------------------------------------------------------------------------
+# Subprocess isolation overhead
+# ---------------------------------------------------------------------------
+
+ISOLATION_PROGRAM = """\
+def work(k):
+    total = 0
+    for i in range(100):
+        total += i * k
+    return total
+
+acc = 0
+for j in range(15):
+    acc += work(j)
+done = acc
+"""
+
+
+def _resume_to_exit(tracker, path):
+    tracker.load_program(path)
+    tracker.break_before_line(5)  # the return inside work(): 15 hits
+    tracker.start()
+    start = time.perf_counter()
+    while tracker.get_exit_code() is None:
+        tracker.resume()
+    elapsed = time.perf_counter() - start
+    tracker.terminate()
+    return elapsed
+
+
+def test_subproc_isolation_overhead_within_5x(benchmark, write_program):
+    """ISSUE guard: the out-of-process Python backend's resume path must
+    stay within 5x of the in-process tracker on a breakpoint-to-breakpoint
+    run. The tracking work is identical (the child hosts the same
+    tracker); what the multiplier prices is the MI pipe — one command and
+    one stop record per resume — so it must be a small constant factor,
+    not a blow-up."""
+    from repro.subproc.tracker import SubprocPythonTracker
+
+    path = write_program("iso.py", ISOLATION_PROGRAM)
+    _resume_to_exit(SubprocPythonTracker(), path)  # warm-up: child spawn
+
+    def measure():
+        inproc, subproc = [], []
+        for _ in range(3):
+            inproc.append(_resume_to_exit(PythonTracker(), path))
+            subproc.append(_resume_to_exit(SubprocPythonTracker(), path))
+        return statistics.median(inproc), statistics.median(subproc)
+
+    inproc, subproc = benchmark.pedantic(measure, rounds=1, iterations=1)
+    factor = subproc / inproc
+    print(
+        f"\nresume-to-exit in-process {inproc * 1e3:.1f} ms vs subprocess "
+        f"{subproc * 1e3:.1f} ms -> {factor:.2f}x (must stay within 5x)"
+    )
+    assert factor <= 5.0
+
+
 def test_mi_round_trip_latency(benchmark, write_program):
     """One -data-list-globals round trip over the live subprocess pipe."""
     path = write_program(

@@ -31,6 +31,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    run = commands.add_parser(
+        "run",
+        help="run a program to completion under a tracker; with --isolate "
+        "the inferior runs in a sandboxed child interpreter",
+    )
+    run.add_argument("program")
+    run.add_argument("args", nargs="*")
+    run.add_argument(
+        "--backend", default=None,
+        help="tracker backend (default: chosen from the file extension)",
+    )
+    _add_isolation_arguments(run)
+    run.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-control-call deadline in seconds; a wedged inferior is "
+        "interrupted instead of hanging the tool",
+    )
+
     step = commands.add_parser(
         "step", help="one stack(-and-heap) diagram per executed line (Fig 6)"
     )
@@ -135,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--step", action="store_true",
         help="pause (and snapshot) at every line instead of every stop",
     )
+    _add_isolation_arguments(record)
 
     info = actions.add_parser(
         "info", help="print stats and the pause listing of a saved timeline"
@@ -151,15 +170,76 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_isolation_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--isolate", action="store_true",
+        help="run a Python inferior out of process (backend "
+        "python-subproc): a crash, os._exit or resource blow-up kills "
+        "the child interpreter, never the tool",
+    )
+    parser.add_argument(
+        "--limit-as", type=int, default=None, metavar="BYTES",
+        help="cap the isolated child's address space (implies --isolate)",
+    )
+    parser.add_argument(
+        "--limit-cpu", type=int, default=None, metavar="SECONDS",
+        help="cap the isolated child's CPU time (implies --isolate)",
+    )
+    parser.add_argument(
+        "--limit-fsize", type=int, default=None, metavar="BYTES",
+        help="cap files written by the isolated child (implies --isolate)",
+    )
+
+
+def _make_tracker(options: argparse.Namespace):
+    """Build the tracker a ``run``/``timeline record`` invocation asks for."""
+    from repro.core.factory import init_tracker
+
+    backend = options.backend
+    if backend is None:
+        backend = "python" if options.program.endswith(".py") else "GDB"
+    isolate = options.isolate or any(
+        value is not None
+        for value in (options.limit_as, options.limit_cpu, options.limit_fsize)
+    )
+    if isolate and backend.lower() == "python":
+        backend = "python-subproc"
+    kwargs = {}
+    if backend.lower() == "python-subproc":
+        from repro.subproc.limits import ResourceLimits
+
+        kwargs["resource_limits"] = ResourceLimits(
+            address_space=options.limit_as,
+            cpu_seconds=options.limit_cpu,
+            file_size=options.limit_fsize,
+        )
+    return init_tracker(backend, **kwargs)
+
+
+def _run_command(options: argparse.Namespace) -> int:
+    """``repro run``: drive a program to completion, relay its output."""
+    tracker = _make_tracker(options)
+    if options.timeout is not None:
+        tracker.default_timeout = options.timeout
+    tracker.load_program(options.program, options.args)
+    try:
+        tracker.start()
+        while tracker.get_exit_code() is None:
+            tracker.resume()
+        exit_code = tracker.get_exit_code()
+        sys.stdout.write(tracker.get_output())
+        error = getattr(tracker, "exit_error", None)
+        if error:
+            print(f"inferior error: {error}", file=sys.stderr)
+    finally:
+        tracker.terminate()
+    return exit_code
+
+
 def _timeline_command(options: argparse.Namespace) -> int:
     """The ``repro timeline`` sub-subcommands (record / info / scrub)."""
     if options.timeline_action == "record":
-        from repro.core.factory import init_tracker
-
-        backend = options.backend
-        if backend is None:
-            backend = "python" if options.program.endswith(".py") else "GDB"
-        tracker = init_tracker(backend)
+        tracker = _make_tracker(options)
         tracker.load_program(options.program)
         tracker.enable_recording(
             keyframe_interval=options.keyframe_interval,
@@ -218,6 +298,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro``; returns the exit status."""
     options = build_parser().parse_args(argv)
     command = options.command
+
+    if command == "run":
+        return _run_command(options)
 
     if command == "step":
         from repro.tools.stepper import generate_diagrams

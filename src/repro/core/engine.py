@@ -155,6 +155,11 @@ class TrackerStats:
             (:mod:`repro.testing.faults`).
         faults_recovered: injected faults the supervision layer recovered
             from (backend restarted, or inferior interrupted).
+        settrace_tamperings: times the inferior disarmed or replaced the
+            trace function (``sys.settrace(None)``) and the tracker's
+            profile-hook guard detected it and re-armed tracing.
+        output_chars_dropped: captured-stdout characters evicted from the
+            bounded output ring (:class:`repro.core.ringbuffer.RingTextBuffer`).
     """
 
     events_seen: Dict[str, int] = field(default_factory=dict)
@@ -170,6 +175,8 @@ class TrackerStats:
     wedged_inferiors: int = 0
     faults_injected: int = 0
     faults_recovered: int = 0
+    settrace_tamperings: int = 0
+    output_chars_dropped: int = 0
 
     @property
     def events_suppressed(self) -> Dict[str, int]:
@@ -200,6 +207,8 @@ class TrackerStats:
             "wedged_inferiors": self.wedged_inferiors,
             "faults_injected": self.faults_injected,
             "faults_recovered": self.faults_recovered,
+            "settrace_tamperings": self.settrace_tamperings,
+            "output_chars_dropped": self.output_chars_dropped,
         }
 
     @classmethod
@@ -218,6 +227,8 @@ class TrackerStats:
             wedged_inferiors=int(data.get("wedged_inferiors", 0)),
             faults_injected=int(data.get("faults_injected", 0)),
             faults_recovered=int(data.get("faults_recovered", 0)),
+            settrace_tamperings=int(data.get("settrace_tamperings", 0)),
+            output_chars_dropped=int(data.get("output_chars_dropped", 0)),
         )
         suppressed = data.get("events_suppressed", {})
         stats.events_paused = {
@@ -246,6 +257,12 @@ class TrackerStats:
             wedged_inferiors=self.wedged_inferiors + other.wedged_inferiors,
             faults_injected=self.faults_injected + other.faults_injected,
             faults_recovered=self.faults_recovered + other.faults_recovered,
+            settrace_tamperings=(
+                self.settrace_tamperings + other.settrace_tamperings
+            ),
+            output_chars_dropped=(
+                self.output_chars_dropped + other.output_chars_dropped
+            ),
         )
         for kind, count in other.events_seen.items():
             merged.events_seen[kind] = merged.events_seen.get(kind, 0) + count

@@ -37,9 +37,11 @@ def init_tracker(name: str, **kwargs: Any) -> Tracker:
     """Create a tracker backend by name.
 
     Args:
-        name: ``"python"`` for the in-process settrace tracker, ``"GDB"``
-            for the debug-server (mini-C / RISC-V) tracker, or ``"pt"`` for
-            the Python Tutor trace-replay tracker.
+        name: ``"python"`` for the in-process settrace tracker,
+            ``"python-subproc"`` for the same tracker isolated in a
+            sandboxed child interpreter, ``"GDB"`` for the debug-server
+            (mini-C / RISC-V) tracker, or ``"pt"`` for the Python Tutor
+            trace-replay tracker.
         **kwargs: forwarded to the backend constructor (e.g.
             ``capture_output=True`` for ``"python"``, ``restart_policy=``
             for ``"GDB"``).
@@ -62,6 +64,10 @@ def _ensure_builtins() -> None:
         from repro.pytracker.tracker import PythonTracker
 
         register_tracker("python", PythonTracker)
+    if "python-subproc" not in _REGISTRY:
+        from repro.subproc.tracker import SubprocPythonTracker
+
+        register_tracker("python-subproc", SubprocPythonTracker)
     if "gdb" not in _REGISTRY:
         from repro.gdbtracker.tracker import GDBTracker
 

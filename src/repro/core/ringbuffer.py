@@ -1,0 +1,97 @@
+"""A bounded, file-like text ring for capturing inferior output.
+
+The in-process Python tracker (and the subprocess Python MI server) swap
+the inferior's ``sys.stdout`` for a capture buffer. An unbounded
+``io.StringIO`` lets a hostile inferior — ``while True: print(x)`` — grow
+the *tool's* memory without limit; this ring keeps only the newest
+``limit`` characters and counts what it dropped, so ``get_output()`` stays
+O(limit) and the drop is observable
+(:attr:`repro.core.engine.TrackerStats.output_chars_dropped`) instead of
+silent.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Deque
+
+#: Default capture bound: generous for teaching programs (1M characters),
+#: tiny next to what an output bomb would otherwise allocate.
+DEFAULT_OUTPUT_LIMIT = 1_000_000
+
+#: Store the ring in chunks of at most this many characters so one giant
+#: write cannot force a monolithic reallocation.
+_CHUNK = 8192
+
+
+class RingTextBuffer:
+    """A ``write()``/``getvalue()`` text sink keeping the newest N chars.
+
+    API-compatible with the slice of ``io.StringIO`` the trackers use
+    (``write``, ``getvalue``, ``flush``), plus :attr:`dropped` — the total
+    number of characters evicted so far. Thread-safe: the inferior thread
+    writes while the tool thread reads.
+
+    Args:
+        limit: maximum characters retained; ``None`` means unbounded
+            (behaves like StringIO, ``dropped`` stays 0).
+    """
+
+    def __init__(self, limit: int | None = DEFAULT_OUTPUT_LIMIT):
+        if limit is not None and limit <= 0:
+            raise ValueError(f"output limit must be positive, got {limit!r}")
+        self.limit = limit
+        self.dropped = 0
+        self._chunks: Deque[str] = collections.deque()
+        self._size = 0
+        self._lock = threading.Lock()
+
+    def write(self, text: str) -> int:
+        if not isinstance(text, str):
+            raise TypeError(f"can only write str, not {type(text).__name__}")
+        if not text:
+            return 0
+        with self._lock:
+            if self.limit is not None and len(text) >= self.limit:
+                # The single write alone overflows the ring: keep its tail.
+                self.dropped += self._size + len(text) - self.limit
+                self._chunks.clear()
+                self._size = 0
+                text = text[len(text) - self.limit:]
+            for start in range(0, len(text), _CHUNK):
+                chunk = text[start:start + _CHUNK]
+                self._chunks.append(chunk)
+                self._size += len(chunk)
+            self._evict()
+        return len(text)
+
+    def _evict(self) -> None:
+        if self.limit is None:
+            return
+        while self._size > self.limit and self._chunks:
+            oldest = self._chunks[0]
+            excess = self._size - self.limit
+            if len(oldest) <= excess:
+                self._chunks.popleft()
+                self._size -= len(oldest)
+                self.dropped += len(oldest)
+            else:
+                self._chunks[0] = oldest[excess:]
+                self._size -= excess
+                self.dropped += excess
+
+    def getvalue(self) -> str:
+        with self._lock:
+            return "".join(self._chunks)
+
+    def flush(self) -> None:
+        """File-protocol no-op (print() calls it on the swapped stdout)."""
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def truncated(self) -> bool:
+        """Whether any output has been evicted from the ring."""
+        return self.dropped > 0

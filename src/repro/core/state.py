@@ -79,6 +79,10 @@ class Value:
         address: concrete address of the value in the inferior's memory, or
             ``None`` when meaningless (e.g. for ``REF`` values).
         language_type: the type name in the inferior language's terminology.
+        truncated: the capture layer cut this value short (container
+            elements dropped, string shortened, or nesting depth capped by
+            :class:`repro.pytracker.introspect.CaptureLimits`); ``content``
+            is a prefix of the real value, not all of it.
     """
 
     abstract_type: AbstractType
@@ -86,6 +90,7 @@ class Value:
     location: Location = Location.UNKNOWN
     address: Optional[int] = None
     language_type: str = ""
+    truncated: bool = False
 
     def __post_init__(self) -> None:
         _check_content(self.abstract_type, self.content)
@@ -159,6 +164,8 @@ class Value:
         """A compact, human-readable rendering used by the bundled tools."""
         kind = self.abstract_type
         if kind is AbstractType.PRIMITIVE:
+            if self.truncated:
+                return repr(self.content) + "..."
             return repr(self.content)
         if kind is AbstractType.REF:
             target = self.content
@@ -166,18 +173,24 @@ class Value:
                 return f"&{target.address:#x}"
             return f"&({target.render()})"
         if kind is AbstractType.LIST:
-            inner = ", ".join(v.render() for v in self.content)
-            return f"[{inner}]"
+            parts = [v.render() for v in self.content]
+            if self.truncated:
+                parts.append("...")
+            return "[" + ", ".join(parts) + "]"
         if kind is AbstractType.DICT:
-            inner = ", ".join(
+            parts = [
                 f"{k.render()}: {v.render()}" for k, v in self.content.items()
-            )
-            return f"{{{inner}}}"
+            ]
+            if self.truncated:
+                parts.append("...")
+            return "{" + ", ".join(parts) + "}"
         if kind is AbstractType.STRUCT:
-            inner = ", ".join(
+            parts = [
                 f".{name}={v.render()}" for name, v in self.content.items()
-            )
-            return f"{{{inner}}}"
+            ]
+            if self.truncated:
+                parts.append("...")
+            return "{" + ", ".join(parts) + "}"
         if kind is AbstractType.NONE:
             return "None"
         if kind is AbstractType.INVALID:
@@ -373,13 +386,18 @@ def _value_to_dict(value: Value, active: set) -> Dict[str, Any]:
             content = value.content
     finally:
         active.discard(marker)
-    return {
+    encoded = {
         "abstract_type": kind.value,
         "content": content,
         "location": value.location.value,
         "address": value.address,
         "language_type": value.language_type,
     }
+    if value.truncated:
+        # Only encoded when set: keeps timeline deltas and pre-existing
+        # serialized state byte-compatible for the common full capture.
+        encoded["truncated"] = True
+    return encoded
 
 
 def value_from_dict(data: Dict[str, Any]) -> Value:
@@ -408,6 +426,7 @@ def value_from_dict(data: Dict[str, Any]) -> Value:
         location=Location(data["location"]),
         address=data["address"],
         language_type=data["language_type"],
+        truncated=bool(data.get("truncated", False)),
     )
 
 
@@ -429,6 +448,7 @@ class _HashableValueKey(Value):
         wrapped.location = value.location
         wrapped.address = value.address
         wrapped.language_type = value.language_type
+        wrapped.truncated = value.truncated
         return wrapped
 
     def __hash__(self) -> int:  # pragma: no cover - trivial

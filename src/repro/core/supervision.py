@@ -41,6 +41,7 @@ __all__ = [
     "BACKEND_RESTARTED",
     "BACKEND_UNAVAILABLE",
     "INFERIOR_INTERRUPTED",
+    "INFERIOR_PROCESS_DIED",
     "INFERIOR_WEDGED",
     "format_thread_stack",
     "run_with_recovery",
@@ -51,6 +52,9 @@ BACKEND_RESTARTED = "backend-restarted"
 BACKEND_UNAVAILABLE = "backend-unavailable"
 INFERIOR_INTERRUPTED = "inferior-interrupted"
 INFERIOR_WEDGED = "inferior-wedged"
+#: The process hosting the inferior died mid-run (subprocess isolation:
+#: a segfault, ``os._exit``, OOM kill or rlimit kill took the child down).
+INFERIOR_PROCESS_DIED = "inferior-process-died"
 
 #: Floor on the interrupt grace period, so tiny deadlines still leave the
 #: interrupt a realistic chance to land before ControlTimeout.

@@ -114,7 +114,21 @@ class DebugAdapter:
         backend = arguments.get(
             "backend", "python" if program.endswith(".py") else "GDB"
         )
-        self.tracker = init_tracker(backend)
+        kwargs = {}
+        # "isolate": true runs a Python inferior out of process, in a
+        # sandboxed child interpreter; the limit arguments cap it.
+        if arguments.get("isolate") and backend.lower() == "python":
+            backend = "python-subproc"
+        if backend.lower() == "python-subproc":
+            from repro.subproc.limits import ResourceLimits
+
+            limits = ResourceLimits(
+                address_space=arguments.get("limitAddressSpace"),
+                cpu_seconds=arguments.get("limitCpuSeconds"),
+                file_size=arguments.get("limitFileSize"),
+            )
+            kwargs["resource_limits"] = limits
+        self.tracker = init_tracker(backend, **kwargs)
         timeout = arguments.get("controlTimeout")
         if timeout is not None:
             self.tracker.default_timeout = float(timeout)

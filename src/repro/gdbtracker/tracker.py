@@ -3,8 +3,12 @@
 This is the reproduction of the paper's GDB-based implementation
 (Section II-C1): the tracker runs the debugger as a subprocess in
 machine-interface mode and adapts the high-level control/inspection API to
-MI commands. The two GDB gaps the paper closes are closed the same way
-here:
+MI commands. All the client plumbing — supervised calls with deadlines and
+crash recovery, control-point sync, payload ingestion, server-side
+timeline recording — is the shared :class:`repro.mi.remote.MIRemoteTracker`
+base (also used by the subprocess-isolated Python tracker); this class
+adds what is specific to the mini-C / RISC-V substrate. The two GDB gaps
+the paper closes are closed the same way here:
 
 - **maxdepth** rides along on every breakpoint/watch command (the paper
   adds custom breakpoint commands via a GDB Python extension; our server
@@ -24,54 +28,21 @@ serialized, piped across, and deserialized here — both sides speak the
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional
 
-from repro.core.engine import TrackerStats
-from repro.core.errors import (
-    ControlTimeout,
-    NotStartedError,
-    ProtocolError,
-    TrackerError,
-)
+from repro.core.errors import TrackerError
 from repro.core.pause import PauseReason, PauseReasonType
-from repro.core.supervision import (
-    BACKEND_RESTARTED,
-    BACKEND_UNAVAILABLE,
-    INFERIOR_INTERRUPTED,
-    BackoffPolicy,
-    Deadline,
-    SupervisionEvent,
-    run_with_recovery,
-)
-from repro.core.state import (
-    Frame,
-    Variable,
-    frame_from_dict,
-    variable_from_dict,
-)
-from repro.core.timeline import Timeline
-from repro.core.tracker import (
-    FunctionBreakpoint,
-    LineBreakpoint,
-    TrackedFunction,
-    Tracker,
-    Watchpoint,
-)
-from repro.mi.client import MIClient
+from repro.core.supervision import BackoffPolicy
+from repro.core.tracker import TrackedFunction
+from repro.mi.remote import MIRemoteTracker, _maxdepth
 
 
-class GDBTracker(Tracker):
+class GDBTracker(MIRemoteTracker):
     """Tracker for mini-C (.c) and RISC-V assembly (.s) inferiors.
 
     Args:
         restart_policy: backoff schedule for debug-server crash recovery
-            (:class:`repro.core.supervision.BackoffPolicy`). On a server
-            crash or garbled pipe, the client restarts the backend,
-            re-installs the full control-point registry from the
-            client-side engine index, re-runs the inferior to its first
-            pause, and retries the failed command; exhausted retries put
-            the tracker in the terminal ``"unavailable"`` health state.
-            ``BackoffPolicy(max_restarts=0)`` disables recovery.
+            (see :class:`repro.mi.remote.MIRemoteTracker`).
         transport_factory: forwarded to :class:`MIClient` (fault
             injection hook, see :mod:`repro.testing.faults`).
     """
@@ -83,230 +54,51 @@ class GDBTracker(Tracker):
         restart_policy: Optional[BackoffPolicy] = None,
         transport_factory: Optional[Callable[[], Any]] = None,
     ) -> None:
-        super().__init__()
-        self._client: Optional[MIClient] = None
-        self._restart_policy = restart_policy or BackoffPolicy()
-        self._transport_factory = transport_factory
+        super().__init__(
+            restart_policy=restart_policy, transport_factory=transport_factory
+        )
         #: bkptno -> function, for exit breakpoints planted by the ret-scan
         self._exit_breakpoints: Dict[int, str] = {}
         #: bkptno -> function, for the matching entry breakpoints
         self._entry_breakpoints: Dict[int, str] = {}
         self._is_assembly = False
-        self._filename = ""
-        #: whether -exec-run has completed once (vs. still in flight);
-        #: decides if a backend restart must re-launch the inferior
-        self._inferior_launched = False
-        #: timeline recording lives server-side (-timeline-* family):
-        #: _remote_recording = a server timeline exists; _remote_enabled =
-        #: it is currently capturing; the client caches the last dump.
-        self._remote_recording = False
-        self._remote_enabled = False
-        self._timeline_cache: Optional[Timeline] = None
-        self._timeline_dirty = False
-
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
 
     def _load_program(self, path: str, args: List[str]) -> None:
-        self._client = MIClient(
-            path, args, transport_factory=self._transport_factory
-        )
         self._is_assembly = path.endswith((".s", ".S", ".asm"))
-        loaded = self._execute("-file-exec-and-symbols", [path])
-        self._filename = loaded["file"] if loaded else path
-
-    def _start(self) -> None:
-        self._sync_control_points()
-        payload = self._run_control("-exec-run")
-        self._inferior_launched = True
-        self._ingest(payload)
-
-    def _terminate(self) -> None:
-        if self._client is not None:
-            self._client.close()
+        super()._load_program(path, args)
 
     # ------------------------------------------------------------------
-    # Control
+    # Substrate hooks (see MIRemoteTracker)
     # ------------------------------------------------------------------
 
-    def _resume(self) -> None:
-        self._ingest(self._run_control("-exec-continue"))
+    def _reset_backend_state(self) -> None:
+        self._exit_breakpoints.clear()
+        self._entry_breakpoints.clear()
 
-    def _next(self) -> None:
-        self._ingest(self._run_control("-exec-next"))
+    def _install_tracked(self, point: TrackedFunction) -> None:
+        if self._is_assembly:
+            self._track_function_via_ret_scan(point.function, point.maxdepth)
+        else:
+            super()._install_tracked(point)
 
-    def _step(self) -> None:
-        self._ingest(self._run_control("-exec-step"))
-
-    def _finish(self) -> None:
-        self._ingest(self._run_control("-exec-finish"))
-
-    # ------------------------------------------------------------------
-    # Supervised server calls: deadlines + crash recovery
-    # ------------------------------------------------------------------
-
-    def _attempt_deadline(self) -> Optional[Deadline]:
-        """A fresh deadline per attempt, from the active control call.
-
-        Each recovery retry restarts the clock: the budget bounds one
-        server interaction, not the whole backoff schedule (which is
-        itself bounded by the policy).
-        """
-        if self._control_deadline is not None:
-            return Deadline(self._control_deadline.timeout)
-        if self.default_timeout is not None:
-            return Deadline(self.default_timeout)
+    def _map_breakpoint_pause(
+        self, payload: Dict[str, Any], line: Optional[int]
+    ) -> Optional[PauseReason]:
+        """Synthesize entry/exit pauses from ret-scan breakpoint numbers."""
+        number = payload.get("bkptno")
+        if number in self._exit_breakpoints:
+            return PauseReason(
+                type=PauseReasonType.RETURN,
+                function=self._exit_breakpoints[number],
+                line=line,
+            )
+        if number in self._entry_breakpoints:
+            return PauseReason(
+                type=PauseReasonType.CALL,
+                function=self._entry_breakpoints[number],
+                line=line,
+            )
         return None
-
-    def _execute(
-        self,
-        name: str,
-        args: Optional[List[str]] = None,
-        options: Optional[Dict[str, Any]] = None,
-    ) -> Any:
-        """A synchronous server command, with crash recovery."""
-        return self._supervised_call(
-            lambda: self._client.execute(
-                name, args, options, deadline=self._attempt_deadline()
-            )
-        )
-
-    def _run_control(self, name: str) -> Dict[str, Any]:
-        """An exec command, with deadline interrupt and crash recovery."""
-        payload = self._supervised_call(
-            lambda: self._client.run_control(
-                name, deadline=self._attempt_deadline()
-            )
-        )
-        if payload.get("reason") == "interrupted":
-            stats = self.engine.stats
-            stats.interrupts += 1
-            self._emit_supervision_event(
-                SupervisionEvent(
-                    INFERIOR_INTERRUPTED,
-                    f"{name} exceeded its deadline; the inferior was "
-                    "interrupted and is paused",
-                    {"line": payload.get("line")},
-                )
-            )
-        return payload
-
-    def _supervised_call(self, operation: Callable[[], Any]) -> Any:
-        try:
-            return run_with_recovery(
-                operation,
-                restart=self._restart_backend,
-                policy=self._restart_policy,
-                recoverable=(ProtocolError,),
-                on_restarted=self._note_restarted,
-                on_unavailable=self._note_unavailable,
-            )
-        except ControlTimeout:
-            self.engine.stats.control_timeouts += 1
-            raise
-
-    def _restart_backend(self, error: BaseException) -> None:
-        """Respawn the server and rebuild the whole session on it.
-
-        The client-side engine registry is the source of truth: every
-        control point is re-installed on the fresh server
-        (:meth:`ControlPointEngine.resync_points` under
-        ``_sync_control_points``), and an already-started inferior is
-        re-run to a clean first-line pause so a retried control command
-        finds the server in a valid ``STOPPED`` state.
-        """
-        self._client.restart()
-        loaded = self._client.execute(
-            "-file-exec-and-symbols",
-            [self._program],
-            deadline=self._attempt_deadline(),
-        )
-        self._filename = loaded["file"] if loaded else self._program
-        self._exit_breakpoints.clear()
-        self._entry_breakpoints.clear()
-        self.engine.reset_sync()
-        self._sync_control_points()
-        # Re-launch only an inferior that had fully launched; a crash
-        # during -exec-run itself leaves the relaunch to the retry.
-        if self._inferior_launched and self._exit_code is None:
-            self._client.run_control(
-                "-exec-run", deadline=self._attempt_deadline()
-            )
-
-    def _note_restarted(self, error: BaseException, attempt: int) -> None:
-        self.engine.stats.backend_restarts += 1
-        self._emit_supervision_event(
-            SupervisionEvent(
-                BACKEND_RESTARTED,
-                f"debug server restarted (attempt {attempt}) after: {error}",
-                {"attempt": attempt, "error": str(error)},
-            )
-        )
-
-    def _note_unavailable(self, error: BaseException) -> None:
-        self.health = "unavailable"
-        self._emit_supervision_event(
-            SupervisionEvent(
-                BACKEND_UNAVAILABLE,
-                "debug server crash recovery exhausted; the tracker is "
-                f"unavailable (last error: {error})",
-                {"error": str(error)},
-            )
-        )
-
-    def _control_points_changed(self) -> None:
-        super()._control_points_changed()
-        if self._client is not None:
-            self._sync_control_points()
-
-    def clear_control_points(self) -> None:
-        """Remove every control point, server side included."""
-        super().clear_control_points()
-        self._exit_breakpoints.clear()
-        self._entry_breakpoints.clear()
-        if self._client is not None:
-            self._execute("-break-delete", ["all"])
-
-    def _sync_control_points(self) -> None:
-        """Send any not-yet-registered control points to the server.
-
-        The engine tracks which points have already crossed the pipe
-        (:meth:`ControlPointEngine.take_unsynced`), so re-syncs after new
-        installs are incremental.
-        """
-        if self._client is None:
-            return
-        for point in self.engine.take_unsynced():
-            if isinstance(point, LineBreakpoint):
-                self._client.execute(
-                    "-break-insert",
-                    [str(point.line)],
-                    _maxdepth(point.maxdepth),
-                )
-            elif isinstance(point, FunctionBreakpoint):
-                self._client.execute(
-                    "-break-insert",
-                    [point.function],
-                    _maxdepth(point.maxdepth),
-                )
-            elif isinstance(point, Watchpoint):
-                self._client.execute(
-                    "-break-watch",
-                    [point.variable_id],
-                    _maxdepth(point.maxdepth),
-                )
-            elif isinstance(point, TrackedFunction):
-                if self._is_assembly:
-                    self._track_function_via_ret_scan(
-                        point.function, point.maxdepth
-                    )
-                else:
-                    self._client.execute(
-                        "-track-function",
-                        [point.function],
-                        _maxdepth(point.maxdepth),
-                    )
 
     def _track_function_via_ret_scan(
         self, function: str, maxdepth: Optional[int]
@@ -338,109 +130,6 @@ class GDBTracker(Tracker):
             self._exit_breakpoints[planted["number"]] = function
 
     # ------------------------------------------------------------------
-    # Stopped-payload ingestion
-    # ------------------------------------------------------------------
-
-    def _ingest(self, payload: Dict[str, Any]) -> None:
-        self._timeline_dirty = True
-        reason = payload.get("reason")
-        line = payload.get("line")
-        if line is not None:
-            self.last_lineno = self.next_lineno
-            self.next_lineno = line
-        if reason == "exited":
-            self._exit_code = payload.get("exitcode", 0)
-            self._pause_reason = PauseReason(type=PauseReasonType.EXIT)
-            self.exit_error = payload.get("error")
-            return
-        if reason == "interrupted":
-            self._pause_reason = PauseReason(
-                type=PauseReasonType.INTERRUPT, line=line
-            )
-            return
-        if reason == "watchpoint-trigger":
-            self._pause_reason = PauseReason(
-                type=PauseReasonType.WATCH,
-                variable=payload.get("var"),
-                old_value=payload.get("old"),
-                new_value=payload.get("new"),
-                line=line,
-            )
-            return
-        if reason == "function-entry":
-            self._pause_reason = PauseReason(
-                type=PauseReasonType.CALL,
-                function=payload.get("func"),
-                line=line,
-            )
-            return
-        if reason == "function-exit":
-            self._pause_reason = PauseReason(
-                type=PauseReasonType.RETURN,
-                function=payload.get("func"),
-                return_value=payload.get("retval"),
-                line=line,
-            )
-            return
-        if reason == "breakpoint-hit":
-            number = payload.get("bkptno")
-            if number in self._exit_breakpoints:
-                self._pause_reason = PauseReason(
-                    type=PauseReasonType.RETURN,
-                    function=self._exit_breakpoints[number],
-                    line=line,
-                )
-                return
-            if number in self._entry_breakpoints:
-                self._pause_reason = PauseReason(
-                    type=PauseReasonType.CALL,
-                    function=self._entry_breakpoints[number],
-                    line=line,
-                )
-                return
-            self._pause_reason = PauseReason(
-                type=PauseReasonType.BREAKPOINT,
-                function=payload.get("func"),
-                line=line,
-            )
-            return
-        self._pause_reason = PauseReason(type=PauseReasonType.STEP, line=line)
-
-    # ------------------------------------------------------------------
-    # Inspection
-    # ------------------------------------------------------------------
-
-    def _get_current_frame(self) -> Frame:
-        return frame_from_dict(self._execute("-stack-list-frames"))
-
-    def _get_global_variables(self) -> Dict[str, Variable]:
-        payload = self._execute("-data-list-globals")
-        return {
-            name: variable_from_dict(data) for name, data in payload.items()
-        }
-
-    def _get_position(self) -> Tuple[str, Optional[int]]:
-        payload = self._execute("-inferior-position")
-        return payload["file"], payload["line"]
-
-    def get_stats(self) -> TrackerStats:
-        """Client-side counters merged with the server's ``-tracker-stats``.
-
-        The pause decisions happen server-side (the server runs the same
-        :class:`ControlPointEngine` over the raw event stream), so the
-        event/pause counters come across the pipe; the local engine only
-        contributes client-side bookkeeping.
-        """
-        local = self.engine.stats
-        if self._client is None or not self._client.alive():
-            return local
-        try:
-            payload = self._client.execute("-tracker-stats")
-        except TrackerError:
-            return local
-        return local.merged(TrackerStats.from_dict(payload))
-
-    # ------------------------------------------------------------------
     # GDB-tracker-specific extensions (named as in the paper)
     # ------------------------------------------------------------------
 
@@ -463,81 +152,3 @@ class GDBTracker(Tracker):
     def disassemble(self, function: str) -> List[Dict[str, Any]]:
         """The function's instruction listing (assembly inferiors)."""
         return self._execute("-data-disassemble", [function])
-
-    def get_output(self) -> str:
-        """Everything the inferior printed so far."""
-        replayed = self._replay_snapshot()
-        if replayed is not None:
-            return replayed.stdout
-        return "".join(self._client.console)
-
-    # ------------------------------------------------------------------
-    # Timeline recording: delegated to the server (-timeline-* family)
-    # ------------------------------------------------------------------
-
-    def enable_recording(
-        self,
-        keyframe_interval: int = 16,
-        max_snapshots: Optional[int] = None,
-    ):
-        """Start recording — in the *server* process.
-
-        The server captures a snapshot at every ``*stopped`` record, so
-        recording does not serialize state across the pipe per pause; the
-        whole timeline crosses once, when :attr:`timeline` is first read.
-        Returns ``None``: the recorder object lives server-side.
-        """
-        if self._client is None:
-            raise NotStartedError(
-                "load the program before enabling recording"
-            )
-        options: Dict[str, Any] = {"keyframe-interval": keyframe_interval}
-        if max_snapshots is not None:
-            options["max-snapshots"] = max_snapshots
-        self._execute("-timeline-start", options=options)
-        self._remote_recording = True
-        self._remote_enabled = True
-        self._timeline_cache = None
-        self._timeline_dirty = True
-        return None
-
-    def disable_recording(self) -> None:
-        """Stop recording; the server keeps the timeline navigable."""
-        if self._remote_enabled and self._client is not None:
-            self._execute("-timeline-stop")
-        self._remote_enabled = False
-
-    @property
-    def timeline(self) -> Optional[Timeline]:
-        if not self._remote_recording:
-            return super().timeline
-        if (
-            self._timeline_dirty or self._timeline_cache is None
-        ) and self._client is not None:
-            self._timeline_cache = Timeline.from_dict(
-                self._execute("-timeline-dump")
-            )
-            self._timeline_dirty = False
-        return self._timeline_cache
-
-    def _after_control(self, record: Optional[bool]) -> None:
-        if self._remote_recording:
-            # The server already recorded this pause; record=False means
-            # the caller wants it off the record.
-            if (
-                record is False
-                and self._remote_enabled
-                and self._client is not None
-            ):
-                self._execute("-timeline-drop-last")
-            self._timeline_dirty = True
-            return
-        super()._after_control(record)
-
-    def list_functions(self) -> List[str]:
-        """Names of the inferior's functions."""
-        return self._execute("-list-functions")
-
-
-def _maxdepth(value: Optional[int]) -> Optional[Dict[str, int]]:
-    return {"maxdepth": value} if value is not None else None

@@ -55,6 +55,11 @@ def parse_command(line: str) -> Command:
     index = 1
     while index < len(tokens):
         token = tokens[index]
+        if token == "--":
+            # End-of-options marker: everything after is positional, even
+            # tokens that look like options (see format_command).
+            args.extend(tokens[index + 1:])
+            break
         if token.startswith("--"):
             if index + 1 >= len(tokens):
                 raise ProtocolError(f"option {token} is missing its value")
@@ -71,13 +76,21 @@ def format_command(
     args: Optional[List[str]] = None,
     options: Optional[Dict[str, Any]] = None,
 ) -> str:
-    """Format a command line (as the client writes it to the server)."""
+    """Format a command line (as the client writes it to the server).
+
+    Positional arguments that would parse as options (anything starting
+    with ``--``) are fenced behind an explicit ``--`` end-of-options
+    marker, so every args/options combination round-trips through
+    :func:`parse_command`.
+    """
     parts = [name]
-    for argument in args or []:
-        parts.append(shlex.quote(str(argument)))
     for key, value in (options or {}).items():
         parts.append(f"--{key}")
         parts.append(shlex.quote(str(value)))
+    arguments = [str(argument) for argument in (args or [])]
+    if any(argument.startswith("--") for argument in arguments):
+        parts.append("--")
+    parts.extend(shlex.quote(argument) for argument in arguments)
     return " ".join(parts)
 
 

@@ -6,20 +6,22 @@ RISC-V inferior through its event generator and implements all run control:
 line/function/address breakpoints with the ``maxdepth`` extension, byte-
 level watchpoints, function entry/exit tracking, and step/next/finish.
 
+The protocol-side plumbing (dispatch, interrupt flag, control-point
+numbering, the stdio loop) lives in :mod:`repro.mi.servercore`, shared
+with the out-of-process Python server (:mod:`repro.subproc.server`); this
+module adds the event-generator run loop over the interpreter inferiors.
+
 ``DebugServer.handle`` is pure (command line in, record lines out), so the
 whole server is unit-testable without pipes; ``main`` adds the stdio loop.
 """
 
 from __future__ import annotations
 
-import os
-import select
-import signal
 import sys
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.core.engine import AddressBreakpoint, ControlPointEngine
-from repro.core.errors import ProgramLoadError, ProtocolError, TrackerError
+from repro.core.errors import ProgramLoadError, TrackerError
 from repro.core.pause import PauseReason, PauseReasonType
 from repro.core.state import frame_to_dict, variable_to_dict
 from repro.core.timeline import (
@@ -47,17 +49,16 @@ from repro.minic.events import (
 )
 from repro.mi import protocol
 from repro.mi.inferiors import InferiorAdapter, open_inferior
+from repro.mi.servercore import (
+    REASON_TYPES,
+    LineChannel,
+    ServerCore,
+    serve_stdio,
+)
 
-#: MI stop-reason strings -> core pause-reason types (for the stats layer).
-_REASON_TYPES = {
-    "breakpoint-hit": PauseReasonType.BREAKPOINT,
-    "function-entry": PauseReasonType.CALL,
-    "function-exit": PauseReasonType.RETURN,
-    "watchpoint-trigger": PauseReasonType.WATCH,
-    "end-stepping-range": PauseReasonType.STEP,
-    "exited": PauseReasonType.EXIT,
-    "interrupted": PauseReasonType.INTERRUPT,
-}
+#: Backwards-compatible aliases (pre-refactor import sites).
+_REASON_TYPES = REASON_TYPES
+_LineChannel = LineChannel
 
 #: How many inferior events run between two interrupt-poll callbacks.
 #: The flag itself is checked on every event; the poll (a select() on
@@ -65,7 +66,7 @@ _REASON_TYPES = {
 _INTERRUPT_POLL_EVERY = 128
 
 
-class DebugServer:
+class DebugServer(ServerCore):
     """One debugging session over one inferior program.
 
     Control points are stored as the *core* dataclasses
@@ -77,26 +78,18 @@ class DebugServer:
     """
 
     def __init__(self, path: str, args: Optional[List[str]] = None):
+        super().__init__()
         self.path = path
         self.inferior: InferiorAdapter = open_inferior(path, args)
         self._events: Optional[Iterator[Event]] = None
         self.engine = ControlPointEngine()
-        self._number = 0
         self._running = False
         self._exited = False
         self._exit_code: Optional[int] = None
         self._depth = 0
         self._line: Optional[int] = None
         self._last_line: Optional[int] = None
-        self._finished = False
         self._watch_baseline_done = False
-        #: Set asynchronously (SIGINT handler) or via the stdin poller to
-        #: make the run-control loop stop with reason "interrupted".
-        self._interrupt_requested = False
-        #: Injected by ``main``: polls stdin for an ``-exec-interrupt``
-        #: that arrived while the event loop is busy. ``None`` in
-        #: unit-test use (tests set ``request_interrupt`` directly).
-        self.interrupt_poll: Optional[Callable[[], bool]] = None
         self._events_since_poll = 0
         #: Server-side timeline recording (the ``-timeline-*`` family):
         #: snapshots are captured at every ``*stopped`` while recording is
@@ -107,36 +100,6 @@ class DebugServer:
         self._event_kind = EVENT_LINE
         self._func: Optional[str] = None
         self._last_stop: Optional[Dict[str, Any]] = None
-
-    def request_interrupt(self) -> None:
-        """Ask the busy run-control loop to stop at the next event.
-
-        Async-signal-safe (a bare attribute store): callable from a signal
-        handler, another thread, or a test.
-        """
-        self._interrupt_requested = True
-
-    # ------------------------------------------------------------------
-    # Command dispatch
-    # ------------------------------------------------------------------
-
-    def handle(self, line: str) -> List[str]:
-        """Process one command line; return the record lines to emit."""
-        try:
-            command = protocol.parse_command(line)
-        except ProtocolError as error:
-            return [protocol.format_error(str(error))]
-        handler = getattr(
-            self, "_cmd_" + command.name.lstrip("-").replace("-", "_"), None
-        )
-        if handler is None:
-            return [protocol.format_error(f"undefined command {command.name}")]
-        try:
-            return handler(command)
-        except (TrackerError, ProgramLoadError) as error:
-            return [protocol.format_error(str(error))]
-        except Exception as error:  # defensive: never kill the pipe
-            return [protocol.format_error(f"{type(error).__name__}: {error}")]
 
     # -- lifecycle -------------------------------------------------------
 
@@ -168,10 +131,6 @@ class DebugServer:
         if self._exited:
             return [protocol.format_error("the inferior has exited")]
         return [protocol.format_running()] + self._advance(mode)
-
-    def _cmd_gdb_exit(self, command) -> List[str]:
-        self._finished = True
-        return [protocol.format_done()]
 
     def _cmd_exec_interrupt(self, command) -> List[str]:
         """A stale interrupt: the inferior stopped before it arrived.
@@ -236,56 +195,6 @@ class DebugServer:
         )
         self.engine.tracked_functions.append(tracked)
         return [protocol.format_done({"number": self._register(tracked)})]
-
-    def _register(self, point: Any) -> int:
-        """Assign the next MI number to a freshly appended control point."""
-        self._number += 1
-        point.number = self._number
-        self.engine.mark_dirty()
-        return self._number
-
-    def _cmd_break_delete(self, command) -> List[str]:
-        if not command.args or command.args[0] == "all":
-            self.engine.clear()
-            return [protocol.format_done()]
-        number = int(command.args[0])
-        removed = False
-        for registry in (
-            self.engine.line_breakpoints,
-            self.engine.function_breakpoints,
-            self.engine.address_breakpoints,
-            self.engine.tracked_functions,
-            self.engine.watchpoints,
-        ):
-            kept = [
-                point
-                for point in registry
-                if getattr(point, "number", None) != number
-            ]
-            if len(kept) != len(registry):
-                registry[:] = kept
-                removed = True
-        if not removed:
-            return [protocol.format_error(f"no control point {number}")]
-        self.engine.mark_dirty()
-        return [protocol.format_done()]
-
-    def _cmd_break_disable(self, command) -> List[str]:
-        return self._set_enabled(command, False)
-
-    def _cmd_break_enable(self, command) -> List[str]:
-        return self._set_enabled(command, True)
-
-    def _set_enabled(self, command, enabled: bool) -> List[str]:
-        number = int(command.args[0])
-        for point in self.engine.all_points():
-            if getattr(point, "number", None) == number:
-                point.enabled = enabled
-                return [protocol.format_done()]
-        return [protocol.format_error(f"no control point {number}")]
-
-    def _cmd_tracker_stats(self, command) -> List[str]:
-        return [protocol.format_done(self.engine.stats.to_dict())]
 
     # -- inspection --------------------------------------------------------
 
@@ -706,107 +615,27 @@ class DebugServer:
         return PauseReason(type=PauseReasonType.STEP, line=line)
 
 
-class _LineChannel:
-    """Line-oriented reads over a raw fd, with a non-blocking poll.
-
-    The stdlib's buffered ``sys.stdin`` cannot be polled reliably — data
-    may be hidden in its Python-level buffer where ``select`` cannot see
-    it. Owning the buffer makes ``poll_line`` exact, which is what lets
-    the busy run-control loop notice an ``-exec-interrupt`` command that
-    arrived mid-run.
-    """
-
-    def __init__(self, fd: int):
-        self._fd = fd
-        self._buffer = b""
-        self._eof = False
-
-    def poll_line(self) -> Optional[str]:
-        """A complete line if one is available right now, else ``None``."""
-        while b"\n" not in self._buffer and not self._eof:
-            try:
-                ready, _, _ = select.select([self._fd], [], [], 0)
-            except (OSError, ValueError):  # unpollable stdin: poll disabled
-                return None
-            if not ready:
-                return None
-            self._fill()
-        return self._take_line()
-
-    def read_line(self) -> Optional[str]:
-        """Blocking read of the next line; ``None`` at EOF."""
-        while True:
-            line = self._take_line()
-            if line is not None:
-                return line
-            if self._eof:
-                return None
-            self._fill()
-
-    def _fill(self) -> None:
-        chunk = os.read(self._fd, 4096)
-        if not chunk:
-            self._eof = True
-        else:
-            self._buffer += chunk
-
-    def _take_line(self) -> Optional[str]:
-        if b"\n" in self._buffer:
-            raw, self._buffer = self._buffer.split(b"\n", 1)
-            return raw.decode("utf-8", "replace")
-        if self._eof and self._buffer:
-            raw, self._buffer = self._buffer, b""
-            return raw.decode("utf-8", "replace")
-        return None
-
-
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point: ``python -m repro.mi.server program.c [args...]``."""
+    """Entry point: ``python -m repro.mi.server program.c [args...]``.
+
+    A ``.py`` program is delegated to the out-of-process Python server
+    (:mod:`repro.subproc.server`), so one entry point serves every
+    substrate.
+    """
     argv = argv if argv is not None else sys.argv[1:]
     if not argv:
         print(protocol.format_error("usage: server <program> [args...]"))
         return 2
+    if argv[0].endswith(".py"):
+        from repro.subproc.server import main as python_main
+
+        return python_main(argv)
     try:
         server = DebugServer(argv[0], argv[1:])
     except (ProgramLoadError, OSError) as error:
         print(protocol.format_error(str(error)), flush=True)
         return 1
-
-    channel = _LineChannel(sys.stdin.fileno())
-    #: Commands that arrived while the run loop was busy (rare: only an
-    #: interrupt racing a natural stop); served before reading stdin.
-    pending: List[str] = []
-
-    def poll_interrupt() -> bool:
-        interrupted = False
-        while True:
-            line = channel.poll_line()
-            if line is None:
-                break
-            if line.strip() == "-exec-interrupt":
-                interrupted = True
-            elif line.strip():
-                pending.append(line)
-        return interrupted
-
-    server.interrupt_poll = poll_interrupt
-    try:
-        signal.signal(signal.SIGINT, lambda *_: server.request_interrupt())
-    except (ValueError, OSError, AttributeError):  # not the main thread
-        pass
-
-    print(protocol.format_done({"loaded": argv[0]}), flush=True)
-    while True:
-        line = pending.pop(0) if pending else channel.read_line()
-        if line is None:
-            break
-        if not line.strip():
-            continue
-        for record in server.handle(line):
-            print(record, flush=True)
-        if server._finished:
-            break
-    return 0
+    return serve_stdio(server, {"loaded": argv[0]})
 
 
 if __name__ == "__main__":

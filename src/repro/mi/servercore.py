@@ -1,0 +1,258 @@
+"""The backend-independent half of an MI debug server.
+
+Two servers speak the MI protocol in this reproduction: the event-loop
+server over the mini-C / RISC-V interpreters (:mod:`repro.mi.server`) and
+the out-of-process Python server hosting a :class:`PythonTracker` in a
+child interpreter (:mod:`repro.subproc.server`). Everything that is about
+*being an MI server* rather than about a particular inferior substrate
+lives here:
+
+- :class:`ServerCore` — command dispatch (``-name`` to ``_cmd_name``),
+  defensive error translation (a handler bug becomes an ``^error`` record,
+  never a dead pipe), the async-interrupt flag, and the control-point
+  number registry shared by enable/disable/delete;
+- :class:`LineChannel` — exact, pollable line reads over a raw fd, which
+  is what lets a busy run loop notice an ``-exec-interrupt`` arriving
+  mid-run;
+- :func:`serve_stdio` — the stdio loop (greeting, pending-command queue,
+  stdin interrupt poller, SIGINT handler) shared verbatim by both
+  ``main`` entry points.
+
+``ServerCore.handle`` is pure (command line in, record lines out), so
+every server built on it is unit-testable without pipes.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import signal
+import sys
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.errors import ProgramLoadError, ProtocolError, TrackerError
+from repro.core.pause import PauseReasonType
+from repro.mi import protocol
+
+#: MI stop-reason strings -> core pause-reason types (for the stats layer).
+REASON_TYPES = {
+    "breakpoint-hit": PauseReasonType.BREAKPOINT,
+    "function-entry": PauseReasonType.CALL,
+    "function-exit": PauseReasonType.RETURN,
+    "watchpoint-trigger": PauseReasonType.WATCH,
+    "end-stepping-range": PauseReasonType.STEP,
+    "exited": PauseReasonType.EXIT,
+    "interrupted": PauseReasonType.INTERRUPT,
+}
+
+#: The inverse map, for servers that build stop payloads from a
+#: client-style :class:`PauseReason` (the subprocess Python server).
+REASON_NAMES = {reason: name for name, reason in REASON_TYPES.items()}
+
+
+class ServerCore:
+    """Dispatch and bookkeeping common to every MI debug server.
+
+    Subclasses provide ``_cmd_<name>`` handlers (dashes in the MI command
+    name map to underscores) and an ``engine``
+    (:class:`repro.core.engine.ControlPointEngine`) holding the
+    control-point registries; this base owns the MI ``number`` assignment
+    and the number-addressed enable/disable/delete commands.
+    """
+
+    def __init__(self) -> None:
+        self._number = 0
+        self._finished = False
+        #: Set asynchronously (SIGINT handler) or via the stdin poller to
+        #: make a busy run-control loop stop with reason "interrupted".
+        self._interrupt_requested = False
+        #: Injected by ``serve_stdio``: polls stdin for an
+        #: ``-exec-interrupt`` that arrived while the server is busy.
+        #: ``None`` in unit-test use (tests set the flag directly).
+        self.interrupt_poll: Optional[Callable[[], bool]] = None
+
+    def request_interrupt(self) -> None:
+        """Ask the busy run-control loop to stop at the next opportunity.
+
+        Async-signal-safe (a bare attribute store): callable from a signal
+        handler, another thread, or a test.
+        """
+        self._interrupt_requested = True
+
+    # ------------------------------------------------------------------
+    # Command dispatch
+    # ------------------------------------------------------------------
+
+    def handle(self, line: str) -> List[str]:
+        """Process one command line; return the record lines to emit."""
+        try:
+            command = protocol.parse_command(line)
+        except ProtocolError as error:
+            return [protocol.format_error(str(error))]
+        handler = getattr(
+            self, "_cmd_" + command.name.lstrip("-").replace("-", "_"), None
+        )
+        if handler is None:
+            return [protocol.format_error(f"undefined command {command.name}")]
+        try:
+            return handler(command)
+        except (TrackerError, ProgramLoadError) as error:
+            return [protocol.format_error(str(error))]
+        except Exception as error:  # defensive: never kill the pipe
+            return [protocol.format_error(f"{type(error).__name__}: {error}")]
+
+    def _cmd_gdb_exit(self, command) -> List[str]:
+        self._finished = True
+        return [protocol.format_done()]
+
+    # ------------------------------------------------------------------
+    # Control-point numbering (enable/disable/delete addressing)
+    # ------------------------------------------------------------------
+
+    def _register(self, point: Any) -> int:
+        """Assign the next MI number to a freshly appended control point."""
+        self._number += 1
+        point.number = self._number
+        self.engine.mark_dirty()
+        return self._number
+
+    def _cmd_break_delete(self, command) -> List[str]:
+        if not command.args or command.args[0] == "all":
+            self.engine.clear()
+            return [protocol.format_done()]
+        number = int(command.args[0])
+        removed = False
+        for registry in (
+            self.engine.line_breakpoints,
+            self.engine.function_breakpoints,
+            self.engine.address_breakpoints,
+            self.engine.tracked_functions,
+            self.engine.watchpoints,
+        ):
+            kept = [
+                point
+                for point in registry
+                if getattr(point, "number", None) != number
+            ]
+            if len(kept) != len(registry):
+                registry[:] = kept
+                removed = True
+        if not removed:
+            return [protocol.format_error(f"no control point {number}")]
+        self.engine.mark_dirty()
+        return [protocol.format_done()]
+
+    def _cmd_break_disable(self, command) -> List[str]:
+        return self._set_enabled(command, False)
+
+    def _cmd_break_enable(self, command) -> List[str]:
+        return self._set_enabled(command, True)
+
+    def _set_enabled(self, command, enabled: bool) -> List[str]:
+        number = int(command.args[0])
+        for point in self.engine.all_points():
+            if getattr(point, "number", None) == number:
+                point.enabled = enabled
+                return [protocol.format_done()]
+        return [protocol.format_error(f"no control point {number}")]
+
+    def _cmd_tracker_stats(self, command) -> List[str]:
+        return [protocol.format_done(self.engine.stats.to_dict())]
+
+
+class LineChannel:
+    """Line-oriented reads over a raw fd, with a non-blocking poll.
+
+    The stdlib's buffered ``sys.stdin`` cannot be polled reliably — data
+    may be hidden in its Python-level buffer where ``select`` cannot see
+    it. Owning the buffer makes ``poll_line`` exact, which is what lets
+    the busy run-control loop notice an ``-exec-interrupt`` command that
+    arrived mid-run.
+    """
+
+    def __init__(self, fd: int):
+        self._fd = fd
+        self._buffer = b""
+        self._eof = False
+
+    def poll_line(self) -> Optional[str]:
+        """A complete line if one is available right now, else ``None``."""
+        while b"\n" not in self._buffer and not self._eof:
+            try:
+                ready, _, _ = select.select([self._fd], [], [], 0)
+            except (OSError, ValueError):  # unpollable stdin: poll disabled
+                return None
+            if not ready:
+                return None
+            self._fill()
+        return self._take_line()
+
+    def read_line(self) -> Optional[str]:
+        """Blocking read of the next line; ``None`` at EOF."""
+        while True:
+            line = self._take_line()
+            if line is not None:
+                return line
+            if self._eof:
+                return None
+            self._fill()
+
+    def _fill(self) -> None:
+        chunk = os.read(self._fd, 4096)
+        if not chunk:
+            self._eof = True
+        else:
+            self._buffer += chunk
+
+    def _take_line(self) -> Optional[str]:
+        if b"\n" in self._buffer:
+            raw, self._buffer = self._buffer.split(b"\n", 1)
+            return raw.decode("utf-8", "replace")
+        if self._eof and self._buffer:
+            raw, self._buffer = self._buffer, b""
+            return raw.decode("utf-8", "replace")
+        return None
+
+
+def serve_stdio(server: ServerCore, greeting: Dict[str, Any]) -> int:
+    """Run ``server`` over stdin/stdout until EOF or ``-gdb-exit``.
+
+    Installs the stdin interrupt poller and the SIGINT handler, emits the
+    greeting ``^done`` record, then serves commands one line at a time.
+    Commands that arrived while a run loop was busy (rare: only an
+    interrupt racing a natural stop) are queued and served before reading
+    stdin again.
+    """
+    channel = LineChannel(sys.stdin.fileno())
+    pending: List[str] = []
+
+    def poll_interrupt() -> bool:
+        interrupted = False
+        while True:
+            line = channel.poll_line()
+            if line is None:
+                break
+            if line.strip() == "-exec-interrupt":
+                interrupted = True
+            elif line.strip():
+                pending.append(line)
+        return interrupted
+
+    server.interrupt_poll = poll_interrupt
+    try:
+        signal.signal(signal.SIGINT, lambda *_: server.request_interrupt())
+    except (ValueError, OSError, AttributeError):  # not the main thread
+        pass
+
+    print(protocol.format_done(greeting), flush=True)
+    while True:
+        line = pending.pop(0) if pending else channel.read_line()
+        if line is None:
+            break
+        if not line.strip():
+            continue
+        for record in server.handle(line):
+            print(record, flush=True)
+        if server._finished:
+            break
+    return 0

@@ -17,7 +17,10 @@ cycles are handled by filling container contents after memoization.
 from __future__ import annotations
 
 import inspect
+import itertools
+import reprlib
 import types
+from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.core.state import AbstractType, Frame, Location, Value, Variable
@@ -38,6 +41,49 @@ HIDDEN_GLOBALS = frozenset(
 )
 
 _PRIMITIVE_TYPES = (int, float, str, bool, complex, bytes)
+
+#: Bounded-cost repr for summaries (never walks a whole bomb container).
+_SUMMARY_REPR = reprlib.Repr()
+_SUMMARY_REPR.maxstring = 120
+_SUMMARY_REPR.maxother = 120
+
+
+@dataclass(frozen=True)
+class CaptureLimits:
+    """Bounds on how much of the inferior's object graph a pause captures.
+
+    A hostile (or merely enormous) inferior state — a million-element
+    list, a megabyte string, a structure nested hundreds of levels deep —
+    must never wedge or exhaust the tool at a pause. Every bound marks
+    what it cut with ``Value.truncated = True`` so tools can show the cut
+    explicitly instead of silently lying about the state.
+
+    Attributes:
+        max_items: elements captured per container (list/tuple/set/dict
+            entries, instance attributes); the rest are dropped.
+        max_string: characters (or bytes) captured per string value.
+        max_depth: hard cap on capture nesting depth — a safety net far
+            below the interpreter recursion limit, independent of the
+            presentation-level ``snapshot_depth``.
+        max_values: total values captured per snapshot across the whole
+            graph; beyond it everything collapses to summaries.
+
+    ``None`` disables the corresponding bound.
+    """
+
+    max_items: Optional[int] = 1000
+    max_string: Optional[int] = 4096
+    max_depth: Optional[int] = 100
+    max_values: Optional[int] = 100_000
+
+
+#: The default bounds: generous for pedagogy, fatal for memory bombs.
+DEFAULT_CAPTURE_LIMITS = CaptureLimits()
+
+#: Opt-out: capture everything (the seed behavior, cycles still safe).
+UNBOUNDED_CAPTURE = CaptureLimits(
+    max_items=None, max_string=None, max_depth=None, max_values=None
+)
 
 
 class PyVariable(Variable):
@@ -63,25 +109,35 @@ class Snapshotter:
         max_depth: cap on container nesting depth; deeper content is
             replaced by an ``INVALID``-free primitive summary. ``None``
             means unlimited (cycles are still safe).
+        limits: hard safety bounds on capture size
+            (:class:`CaptureLimits`); defaults to
+            :data:`DEFAULT_CAPTURE_LIMITS`. Everything a bound cuts is
+            marked with ``Value.truncated``.
     """
 
-    def __init__(self, max_depth: Optional[int] = None):
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        limits: Optional[CaptureLimits] = None,
+    ):
         self.max_depth = max_depth
+        self.limits = limits if limits is not None else DEFAULT_CAPTURE_LIMITS
         self._memo: Dict[int, Value] = {}
+        self._captured = 0
 
     def snapshot(self, obj: Any, depth: int = 0) -> Value:
         """Return the heap :class:`Value` modeling ``obj``."""
         address = id(obj)
         if address in self._memo:
             return self._memo[address]
+        limits = self.limits
+        self._captured += 1
+        if (
+            limits.max_values is not None and self._captured > limits.max_values
+        ) or (limits.max_depth is not None and depth > limits.max_depth):
+            return self._summary(obj, truncated=True)
         if self.max_depth is not None and depth > self.max_depth:
-            return Value(
-                abstract_type=AbstractType.PRIMITIVE,
-                content=_summarize(obj),
-                location=Location.HEAP,
-                address=address,
-                language_type=type(obj).__name__,
-            )
+            return self._summary(obj)
         if obj is None:
             return Value(
                 abstract_type=AbstractType.NONE,
@@ -98,7 +154,12 @@ class Snapshotter:
         if isinstance(obj, (list, tuple)):
             return self._sequence(obj, depth)
         if isinstance(obj, (set, frozenset)):
-            return self._sequence(obj, depth, ordered=sorted(obj, key=repr))
+            elements = obj
+            if limits.max_items is not None and len(obj) > limits.max_items:
+                # Slice before sorting so a giant set costs O(max_items log
+                # max_items), not a full sort of the bomb.
+                elements = itertools.islice(obj, limits.max_items)
+            return self._sequence(obj, depth, ordered=sorted(elements, key=repr))
         if isinstance(obj, dict):
             return self._mapping(obj, depth)
         if _is_function_like(obj):
@@ -113,8 +174,27 @@ class Snapshotter:
 
     # -- builders --------------------------------------------------------
 
+    def _summary(self, obj: Any, truncated: bool = False) -> Value:
+        return Value(
+            abstract_type=AbstractType.PRIMITIVE,
+            content=_summarize(obj),
+            location=Location.HEAP,
+            address=id(obj),
+            language_type=type(obj).__name__,
+            truncated=truncated,
+        )
+
     def _primitive(self, obj: Any) -> Value:
         content = obj
+        truncated = False
+        limit = self.limits.max_string
+        if (
+            isinstance(obj, (str, bytes))
+            and limit is not None
+            and len(obj) > limit
+        ):
+            content = obj[:limit]
+            truncated = True
         if isinstance(obj, complex):
             # complex is not JSON-serializable; keep its repr, still PRIMITIVE.
             content = repr(obj)
@@ -124,6 +204,7 @@ class Snapshotter:
             location=Location.HEAP,
             address=id(obj),
             language_type=type(obj).__name__,
+            truncated=truncated,
         )
         self._memo[id(obj)] = value
         return value
@@ -139,9 +220,14 @@ class Snapshotter:
         # Memoize before recursing so self-referencing containers terminate.
         self._memo[id(obj)] = value
         elements = obj if ordered is None else ordered
+        cap = self.limits.max_items
+        if cap is not None:
+            elements = itertools.islice(elements, cap)
         value.content = tuple(
             self.snapshot(element, depth + 1) for element in elements
         )
+        if cap is not None and len(value.content) < len(obj):
+            value.truncated = True
         return value
 
     def _mapping(self, obj: dict, depth: int) -> Value:
@@ -153,8 +239,14 @@ class Snapshotter:
             language_type=type(obj).__name__,
         )
         self._memo[id(obj)] = value
+        cap = self.limits.max_items
         content: Dict[Value, Value] = {}
-        for key, item in obj.items():
+        items = obj.items()
+        if cap is not None:
+            items = itertools.islice(items, cap)
+            if len(obj) > cap:
+                value.truncated = True
+        for key, item in items:
             key_value = _Keyed.wrap(self.snapshot(key, depth + 1))
             content[key_value] = self.snapshot(item, depth + 1)
         value.content = content
@@ -169,23 +261,24 @@ class Snapshotter:
             language_type=type(obj).__name__,
         )
         self._memo[id(obj)] = value
+        cap = self.limits.max_items
         fields: Dict[str, Value] = {}
         attributes = getattr(obj, "__dict__", None)
         if attributes is not None:
             for name, attr in attributes.items():
+                if cap is not None and len(fields) >= cap:
+                    value.truncated = True
+                    break
                 fields[name] = self.snapshot(attr, depth + 1)
         elif hasattr(type(obj), "__slots__"):
             for name in type(obj).__slots__:
+                if cap is not None and len(fields) >= cap:
+                    value.truncated = True
+                    break
                 if hasattr(obj, name):
                     fields[name] = self.snapshot(getattr(obj, name), depth + 1)
         else:
-            fields["<repr>"] = Value(
-                abstract_type=AbstractType.PRIMITIVE,
-                content=_summarize(obj),
-                location=Location.HEAP,
-                address=id(obj),
-                language_type=type(obj).__name__,
-            )
+            fields["<repr>"] = self._summary(obj)
         value.content = fields
         return value
 
@@ -201,6 +294,7 @@ class _Keyed(Value):
         wrapped.location = value.location
         wrapped.address = value.address
         wrapped.language_type = value.language_type
+        wrapped.truncated = value.truncated
         return wrapped
 
     def __hash__(self) -> int:
@@ -233,7 +327,13 @@ def _function_name(obj: Any) -> str:
 
 
 def _summarize(obj: Any) -> str:
-    text = repr(obj)
+    # reprlib bounds the cost of summarizing huge builtin containers (a
+    # plain repr() of a million-element list would build the whole string
+    # before we could truncate it) and survives a raising __repr__.
+    try:
+        text = _SUMMARY_REPR.repr(obj)
+    except Exception:
+        text = object.__repr__(obj)
     if len(text) > 120:
         text = text[:117] + "..."
     return text
@@ -271,6 +371,7 @@ def build_frame_chain(
     is_inferior_frame,
     snapshotter: Optional[Snapshotter] = None,
     max_depth: Optional[int] = None,
+    limits: Optional[CaptureLimits] = None,
 ) -> Frame:
     """Build the model :class:`Frame` chain from a live Python frame.
 
@@ -280,13 +381,14 @@ def build_frame_chain(
             stops at, and skips, tracker/runner frames).
         snapshotter: shared snapshotter; a fresh one is created if omitted.
         max_depth: snapshot depth cap, forwarded to a fresh snapshotter.
+        limits: capture bounds, forwarded to a fresh snapshotter.
 
     Returns:
         The innermost :class:`Frame`, with ``parent`` links to the entry
         frame and ``depth`` 0 at the entry frame.
     """
     if snapshotter is None:
-        snapshotter = Snapshotter(max_depth=max_depth)
+        snapshotter = Snapshotter(max_depth=max_depth, limits=limits)
     raw_frames = []
     frame = py_frame
     while frame is not None:
@@ -328,11 +430,13 @@ def build_frame_chain(
 
 
 def build_globals(
-    globals_dict: Dict[str, Any], snapshotter: Optional[Snapshotter] = None
+    globals_dict: Dict[str, Any],
+    snapshotter: Optional[Snapshotter] = None,
+    limits: Optional[CaptureLimits] = None,
 ) -> Dict[str, Variable]:
     """Model the inferior's global namespace (interpreter plumbing hidden)."""
     if snapshotter is None:
-        snapshotter = Snapshotter()
+        snapshotter = Snapshotter(limits=limits)
     result: Dict[str, Variable] = {}
     for name, obj in globals_dict.items():
         if name in HIDDEN_GLOBALS:

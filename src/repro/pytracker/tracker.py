@@ -24,7 +24,6 @@ Implementation notes (Section II-C2 of the paper):
 
 from __future__ import annotations
 
-import io
 import os
 import sys
 import threading
@@ -37,6 +36,7 @@ from repro.core.errors import (
     ProgramLoadError,
 )
 from repro.core.pause import PauseReason, PauseReasonType
+from repro.core.ringbuffer import DEFAULT_OUTPUT_LIMIT, RingTextBuffer
 from repro.core.state import Frame, Variable
 from repro.core.supervision import (
     INFERIOR_INTERRUPTED,
@@ -46,6 +46,7 @@ from repro.core.supervision import (
 )
 from repro.core.tracker import Tracker
 from repro.pytracker.introspect import (
+    CaptureLimits,
     Snapshotter,
     build_frame_chain,
     build_globals,
@@ -118,6 +119,14 @@ class PythonTracker(Tracker):
         terminate_grace: seconds :meth:`terminate` waits for the inferior
             thread to unwind before abandoning it (tracker goes
             ``"invalid"``, the wedge is warned about and counted).
+        capture_limits: hard bounds on how much of the inferior's object
+            graph a single pause captures
+            (:class:`repro.pytracker.introspect.CaptureLimits`; defaults
+            to the module defaults). Everything a bound cuts is marked
+            ``Value.truncated``.
+        output_limit: maximum characters of inferior output retained by
+            :meth:`get_output` (``None`` = unbounded). Evicted characters
+            are counted in ``TrackerStats.output_chars_dropped``.
     """
 
     backend = "python"
@@ -127,13 +136,17 @@ class PythonTracker(Tracker):
         capture_output: bool = False,
         snapshot_depth: Optional[int] = None,
         terminate_grace: float = 5.0,
+        capture_limits: Optional[CaptureLimits] = None,
+        output_limit: Optional[int] = DEFAULT_OUTPUT_LIMIT,
     ):
         super().__init__()
         self._capture_output = capture_output
         self._snapshot_depth = snapshot_depth
+        self._capture_limits = capture_limits
         self._terminate_grace = terminate_grace
         self._interrupt_requested = False
-        self._output = io.StringIO()
+        self._output = RingTextBuffer(output_limit)
+        self._guard_active = False
         self._source_code = None
         self._code = None
         self._globals: Dict[str, Any] = {}
@@ -320,9 +333,15 @@ class PythonTracker(Tracker):
         exit_code = 0
         try:
             sys.settrace(self._trace)
+            # The profile hook is the settrace tamper guard: settrace is
+            # per-thread state only this thread can read (see _profile).
+            sys.setprofile(self._profile)
+            self._guard_active = True
             try:
                 exec(self._code, self._globals)
             finally:
+                self._guard_active = False
+                sys.setprofile(None)
                 sys.settrace(None)
         except _KillInferior:
             exit_code = -9
@@ -341,6 +360,7 @@ class PythonTracker(Tracker):
             self._swap_stdout_out()
             sys.argv = saved_argv
             with self._condition:
+                self.engine.stats.output_chars_dropped = self._output.dropped
                 self._exit_code = exit_code
                 self._finished = True
                 self._pause_reason = PauseReason(type=PauseReasonType.EXIT)
@@ -385,6 +405,27 @@ class PythonTracker(Tracker):
         elif event == "return":
             self._handle_return(frame, arg)
         return self._trace
+
+    def _profile(self, frame, event: str, arg: Any) -> None:
+        """Detect and undo ``sys.settrace`` tampering by the inferior.
+
+        ``sys.settrace`` is per-thread state: only the inferior thread can
+        read it back, so the guard must run *in* that thread. The profile
+        hook fires on every call/return (including C calls such as
+        ``sys.settrace(None)`` itself), which makes it the earliest
+        in-thread point after a tampering where we can re-arm. A hostile
+        inferior can still clear the profile hook too — in-process
+        hardening is best-effort; the ``python-subproc`` backend is the
+        real containment boundary.
+        """
+        if not self._guard_active or self._killed:
+            return
+        if sys.gettrace() is not self._trace:
+            self.engine.stats.settrace_tamperings += 1
+            sys.settrace(self._trace)
+            # Frames that lost their local trace function while the global
+            # hook was off must be re-armed explicitly.
+            self._retrace_live_frames()
 
     def _deliver_interrupt(self, frame) -> None:
         """Pause here because the supervisor requested an async interrupt."""
@@ -517,9 +558,7 @@ class PythonTracker(Tracker):
             return
         depth = self._frame_depth(frame)
         if engine.match_tracked(function, depth) is not None:
-            modeled = Snapshotter(max_depth=self._snapshot_depth).snapshot(
-                return_value
-            )
+            modeled = self._snapshotter().snapshot(return_value)
             self._pause(
                 frame,
                 "return",
@@ -567,6 +606,7 @@ class PythonTracker(Tracker):
 
     def _pause(self, frame, event: str, reason: PauseReason) -> None:
         self.engine.record_pause(reason.type)
+        self.engine.stats.output_chars_dropped = self._output.dropped
         self._swap_stdout_out()
         with self._condition:
             self._pause_reason = reason
@@ -586,16 +626,19 @@ class PythonTracker(Tracker):
     # Inspection hooks
     # ------------------------------------------------------------------
 
+    def _snapshotter(self) -> Snapshotter:
+        """A fresh per-pause snapshotter honoring this tracker's bounds."""
+        return Snapshotter(
+            max_depth=self._snapshot_depth, limits=self._capture_limits
+        )
+
     def _get_current_frame(self) -> Frame:
-        snapshotter = Snapshotter(max_depth=self._snapshot_depth)
         return build_frame_chain(
-            self._paused_py_frame, self._is_inferior_frame, snapshotter
+            self._paused_py_frame, self._is_inferior_frame, self._snapshotter()
         )
 
     def _get_global_variables(self) -> Dict[str, Variable]:
-        return build_globals(
-            self._globals, Snapshotter(max_depth=self._snapshot_depth)
-        )
+        return build_globals(self._globals, self._snapshotter())
 
     def _get_position(self) -> Tuple[str, Optional[int]]:
         frame = self._paused_py_frame

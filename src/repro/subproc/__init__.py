@@ -1,0 +1,26 @@
+"""Out-of-process Python tracking: a sandboxed child interpreter.
+
+The in-process :class:`repro.pytracker.PythonTracker` runs the inferior in
+a thread of the *tool's* interpreter — fast and convenient, but a hostile
+inferior shares the tool's address space, CPU and lifetime. This package
+moves the whole tracker into a spawned child interpreter behind the MI
+pipe (the same architecture the GDB tracker always had):
+
+- :class:`repro.subproc.server.PythonDebugServer` — the server side,
+  hosting a ``PythonTracker`` and speaking MI on stdio;
+- :class:`repro.subproc.tracker.SubprocPythonTracker` — the client side
+  (backend name ``"python-subproc"``), a
+  :class:`repro.mi.remote.MIRemoteTracker` whose child can be capped with
+  :class:`repro.subproc.limits.ResourceLimits`;
+- :class:`repro.subproc.limits.ResourceLimits` — ``resource.setrlimit``
+  caps (address space, CPU seconds, file size) applied inside the child.
+
+A segfault, ``os._exit``, CPU-limit kill or OOM in the inferior takes the
+child process down, never the tool: the client surfaces it as a terminal
+exited state carrying the process exit code.
+"""
+
+from repro.subproc.limits import ResourceLimits
+from repro.subproc.tracker import SubprocPythonTracker
+
+__all__ = ["ResourceLimits", "SubprocPythonTracker"]

@@ -1,0 +1,134 @@
+"""Resource sandboxing for the out-of-process Python server.
+
+The child interpreter hosts both the tracker and the inferior, so one
+``setrlimit`` call per resource caps everything the untrusted program can
+do: address space (memory bombs become ``MemoryError`` or a clean OOM
+kill), CPU seconds (infinite loops become ``SIGXCPU``), and file size
+(output bombs to disk become ``SIGXFSZ``/``OSError``). Limits are carried
+to the child as command-line flags (``--limit-as`` etc.) and applied
+before the first inferior byte runs.
+
+``resource`` is POSIX-only; on platforms without it the limits degrade to
+no-ops — process *isolation* still holds (the child is a real subprocess),
+only the rlimit caps are skipped.
+"""
+
+from __future__ import annotations
+
+import signal
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+try:  # pragma: no cover - exercised implicitly on POSIX
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
+
+#: Exit code the client observes for a CPU-limit kill: 128 + SIGXCPU
+#: (= 152 on Linux), matching how a shell reports signal deaths.
+XCPU_EXIT_CODE = 128 + int(getattr(signal, "SIGXCPU", 24))
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """``setrlimit`` caps for the child interpreter (``None`` = uncapped).
+
+    Attributes:
+        address_space: bytes of virtual address space (``RLIMIT_AS``).
+            Allocation beyond it raises ``MemoryError`` in the inferior
+            (a clean paused/exited state) or, for native allocations, an
+            abort the client reports as the child's exit code.
+        cpu_seconds: seconds of CPU time (``RLIMIT_CPU``). On expiry the
+            kernel sends ``SIGXCPU``, which kills the child (default
+            action); the client reports :data:`XCPU_EXIT_CODE`. The hard
+            limit is one second higher as a SIGKILL backstop.
+        file_size: bytes any written file may reach (``RLIMIT_FSIZE``).
+    """
+
+    address_space: Optional[int] = None
+    cpu_seconds: Optional[int] = None
+    file_size: Optional[int] = None
+
+    def to_argv(self) -> List[str]:
+        """Encode as ``--limit-*`` flags for the server command line."""
+        argv: List[str] = []
+        if self.address_space is not None:
+            argv += ["--limit-as", str(self.address_space)]
+        if self.cpu_seconds is not None:
+            argv += ["--limit-cpu", str(self.cpu_seconds)]
+        if self.file_size is not None:
+            argv += ["--limit-fsize", str(self.file_size)]
+        return argv
+
+    @classmethod
+    def consume_argv(
+        cls, argv: List[str]
+    ) -> Tuple["ResourceLimits", List[str]]:
+        """Parse and strip ``--limit-*`` flags; return (limits, rest)."""
+        values = {"as": None, "cpu": None, "fsize": None}
+        rest: List[str] = []
+        index = 0
+        while index < len(argv):
+            token = argv[index]
+            if token.startswith("--limit-") and token[8:] in values:
+                if index + 1 >= len(argv):
+                    raise ValueError(f"{token} is missing its value")
+                values[token[8:]] = int(argv[index + 1])
+                index += 2
+            else:
+                rest.append(token)
+                index += 1
+        return (
+            cls(
+                address_space=values["as"],
+                cpu_seconds=values["cpu"],
+                file_size=values["fsize"],
+            ),
+            rest,
+        )
+
+    def apply(self) -> None:
+        """Install the caps on the *current* process (call in the child).
+
+        No-op on platforms without the ``resource`` module.
+        """
+        if resource is None:  # pragma: no cover - non-POSIX platforms
+            return
+        if self.address_space is not None:
+            _set_limit(resource.RLIMIT_AS, self.address_space)
+        if self.file_size is not None:
+            _set_limit(resource.RLIMIT_FSIZE, self.file_size)
+        if self.cpu_seconds is not None:
+            # Soft limit delivers SIGXCPU at the cap; the hard limit one
+            # second later is the kernel's backstop (SIGKILL) in case the
+            # signal is blocked or ignored.
+            resource.setrlimit(
+                resource.RLIMIT_CPU, (self.cpu_seconds, self.cpu_seconds + 1)
+            )
+            _ensure_default_xcpu()
+
+
+def _set_limit(which: int, value: int) -> None:
+    _, hard = resource.getrlimit(which)
+    if hard != resource.RLIM_INFINITY:
+        value = min(value, hard)
+    resource.setrlimit(which, (value, hard))
+
+
+def _ensure_default_xcpu() -> None:
+    """Make SIGXCPU kill the process immediately (the default action).
+
+    A *Python-level* handler would be worse: CPython defers handlers to
+    the main thread's next bytecode, and while the inferior thread spins
+    the server's main thread is blocked in an untimed condition wait —
+    the handler would never run and the process would only die at the
+    hard limit's SIGKILL. The C-level default action terminates with
+    signal status ``SIGXCPU`` right at the soft limit, which the client
+    reports as :data:`XCPU_EXIT_CODE` (128 + SIGXCPU).
+    """
+    if not hasattr(signal, "SIGXCPU"):  # pragma: no cover - non-POSIX
+        return
+    try:
+        signal.signal(signal.SIGXCPU, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - not the main thread
+        pass

@@ -1,0 +1,373 @@
+"""The out-of-process Python debug server.
+
+Runs as a subprocess (``python -m repro.subproc.server program.py``),
+reads MI commands on stdin, emits records on stdout — the exact
+architecture of the mini-C debug server, but the inferior substrate is a
+full :class:`repro.pytracker.PythonTracker` hosted in *this* (child)
+interpreter. The tool process on the other side of the pipe
+(:class:`repro.subproc.tracker.SubprocPythonTracker`) gets settrace-grade
+Python tracking without sharing its address space, CPU or lifetime with
+the inferior.
+
+Run-control commands block in the hosted tracker (that is the tracker
+contract); a watcher thread polls stdin meanwhile, so an
+``-exec-interrupt`` (or SIGINT) arriving mid-run is delivered to the
+tracker's async-interrupt path and the command still answers with a
+``*stopped,reason="interrupted"`` record.
+
+Resource limits (``--limit-as``, ``--limit-cpu``, ``--limit-fsize``) are
+applied to this whole process before the server starts — the child *is*
+the sandbox.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import ProgramLoadError, TrackerError
+from repro.core.pause import PauseReason, PauseReasonType
+from repro.core.state import Value, frame_to_dict, value_to_dict, variable_to_dict
+from repro.mi import protocol
+from repro.mi.servercore import REASON_NAMES, ServerCore, serve_stdio
+from repro.pytracker.tracker import PythonTracker
+from repro.subproc.limits import ResourceLimits
+
+#: Seconds between interrupt-poll checks while a control call blocks.
+_INTERRUPT_POLL_INTERVAL = 0.05
+
+
+class PythonDebugServer(ServerCore):
+    """One debugging session over one Python inferior, MI on the outside.
+
+    The hosted tracker is driven through its *public* API (``start``,
+    ``resume``, ``break_before_line``, ``watch``, ``enable_recording``...),
+    so in-process and out-of-process tracking cannot drift apart: the
+    pause decisions, watch semantics and timeline snapshots are literally
+    the same code.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        args: Optional[List[str]] = None,
+        tracker: Optional[PythonTracker] = None,
+    ):
+        super().__init__()
+        self.path = path
+        self.tracker = tracker if tracker is not None else PythonTracker(
+            capture_output=True
+        )
+        self.tracker.load_program(path, list(args or []))
+        self.engine = self.tracker.engine
+        self._running = False
+        #: Characters of inferior output already emitted as stream records
+        #: (an *absolute* position: survives ring-buffer eviction).
+        self._emitted_output = 0
+
+    def request_interrupt(self) -> None:
+        super().request_interrupt()
+        # Also poke the tracker directly: safe from a signal handler (the
+        # flag store plus frame re-arming are async-tolerant), and faster
+        # than waiting for the watcher thread's next poll.
+        if self._running and self.tracker.get_exit_code() is None:
+            self.tracker._request_interrupt()
+
+    # ------------------------------------------------------------------
+    # Lifecycle + run control
+    # ------------------------------------------------------------------
+
+    def _cmd_file_exec_and_symbols(self, command) -> List[str]:
+        return [protocol.format_done({"file": self.tracker._program_abspath})]
+
+    def _cmd_exec_run(self, command) -> List[str]:
+        if self._running:
+            return [protocol.format_error("the inferior is already running")]
+        self._running = True
+        return self._exec(self.tracker.start)
+
+    def _cmd_exec_continue(self, command) -> List[str]:
+        return self._guarded_exec(self.tracker.resume)
+
+    def _cmd_exec_step(self, command) -> List[str]:
+        return self._guarded_exec(self.tracker.step)
+
+    def _cmd_exec_next(self, command) -> List[str]:
+        return self._guarded_exec(self.tracker.next)
+
+    def _cmd_exec_finish(self, command) -> List[str]:
+        return self._guarded_exec(self.tracker.finish)
+
+    def _cmd_exec_interrupt(self, command) -> List[str]:
+        """A stale interrupt: the inferior stopped before it arrived.
+
+        The live case never reaches command dispatch — while a control
+        call is busy, ``-exec-interrupt`` is consumed by the stdin poller
+        (or delivered as SIGINT) and answered by the ``*stopped`` record
+        of the interrupted exec command. Emitting nothing keeps the stale
+        case from desynchronizing the client's request/reply pairing.
+        """
+        return []
+
+    def _cmd_gdb_exit(self, command) -> List[str]:
+        self.tracker.terminate()
+        return super()._cmd_gdb_exit(command)
+
+    def _guarded_exec(self, control) -> List[str]:
+        if not self._running:
+            return [protocol.format_error("the inferior has not been started")]
+        if self.tracker.get_exit_code() is not None:
+            return [protocol.format_error("the inferior has exited")]
+        return self._exec(control)
+
+    def _exec(self, control) -> List[str]:
+        """Run one blocking control call under the interrupt watcher."""
+        stop = threading.Event()
+        watcher = threading.Thread(
+            target=self._watch_for_interrupt,
+            args=(stop,),
+            name="subproc-interrupt-watch",
+            daemon=True,
+        )
+        watcher.start()
+        try:
+            control()
+        finally:
+            stop.set()
+            watcher.join()
+        records = [protocol.format_running()]
+        records.extend(self._drain_output())
+        records.append(protocol.format_stopped(self._stop_payload()))
+        return records
+
+    def _watch_for_interrupt(self, stop: threading.Event) -> None:
+        """Deliver a mid-run ``-exec-interrupt``/SIGINT to the tracker."""
+        while not stop.wait(_INTERRUPT_POLL_INTERVAL):
+            pending = self._interrupt_requested
+            if not pending and self.interrupt_poll is not None:
+                pending = self.interrupt_poll()
+            if pending:
+                self._interrupt_requested = False
+                self.tracker._request_interrupt()
+
+    # ------------------------------------------------------------------
+    # Stop payloads and output streaming
+    # ------------------------------------------------------------------
+
+    def _drain_output(self) -> List[str]:
+        """New inferior output since the last drain, as stream records."""
+        buffer = self.tracker._output
+        text = buffer.getvalue()
+        dropped = buffer.dropped
+        start = max(self._emitted_output - dropped, 0)
+        self._emitted_output = dropped + len(text)
+        delta = text[start:]
+        return [protocol.format_stream(delta)] if delta else []
+
+    def _stop_payload(self) -> Dict[str, Any]:
+        tracker = self.tracker
+        exit_code = tracker.get_exit_code()
+        if exit_code is not None:
+            payload: Dict[str, Any] = {
+                "reason": "exited",
+                "exitcode": exit_code,
+            }
+            error = tracker.get_inferior_exception()
+            if error is not None:
+                payload["error"] = f"{type(error).__name__}: {error}"
+            return payload
+        reason = tracker.pause_reason or PauseReason(
+            type=PauseReasonType.STEP, line=tracker.next_lineno
+        )
+        payload = {
+            "reason": REASON_NAMES.get(reason.type, "end-stepping-range"),
+            "line": reason.line if reason.line is not None else tracker.next_lineno,
+            "depth": tracker._current_depth(),
+        }
+        if reason.function is not None:
+            payload["func"] = reason.function
+        if reason.type is PauseReasonType.WATCH:
+            payload["var"] = reason.variable
+            payload["old"] = reason.old_value
+            payload["new"] = reason.new_value
+        if reason.type is PauseReasonType.RETURN:
+            value = reason.return_value
+            payload["retval"] = (
+                value_to_dict(value) if isinstance(value, Value) else value
+            )
+        return payload
+
+    # ------------------------------------------------------------------
+    # Control points (over the tracker's public API)
+    # ------------------------------------------------------------------
+
+    def _cmd_break_insert(self, command) -> List[str]:
+        if not command.args:
+            return [protocol.format_error("break-insert needs a location")]
+        location = command.args[0]
+        maxdepth = command.option_int("maxdepth")
+        if location.startswith("*"):
+            return [
+                protocol.format_error(
+                    "address breakpoints are not supported for Python "
+                    "inferiors"
+                )
+            ]
+        if ":" in location:
+            filename, _, line = location.rpartition(":")
+            point: Any = self.tracker.break_before_line(
+                int(line), filename=filename or None, maxdepth=maxdepth
+            )
+        elif location.isdigit():
+            point = self.tracker.break_before_line(
+                int(location), maxdepth=maxdepth
+            )
+        else:
+            point = self.tracker.break_before_func(location, maxdepth=maxdepth)
+        return [protocol.format_done({"number": self._register(point)})]
+
+    def _cmd_break_watch(self, command) -> List[str]:
+        if not command.args:
+            return [protocol.format_error("break-watch needs a variable id")]
+        point = self.tracker.watch(
+            command.args[0], maxdepth=command.option_int("maxdepth")
+        )
+        return [protocol.format_done({"number": self._register(point)})]
+
+    def _cmd_track_function(self, command) -> List[str]:
+        if not command.args:
+            return [protocol.format_error("track-function needs a name")]
+        point = self.tracker.track_function(
+            command.args[0], maxdepth=command.option_int("maxdepth")
+        )
+        return [protocol.format_done({"number": self._register(point)})]
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def _cmd_stack_list_frames(self, command) -> List[str]:
+        return [
+            protocol.format_done(frame_to_dict(self.tracker.get_current_frame()))
+        ]
+
+    def _cmd_data_list_globals(self, command) -> List[str]:
+        payload = {
+            name: variable_to_dict(variable)
+            for name, variable in self.tracker.get_global_variables().items()
+        }
+        return [protocol.format_done(payload)]
+
+    def _cmd_inferior_position(self, command) -> List[str]:
+        filename, line = self.tracker.get_position()
+        return [protocol.format_done({"file": filename, "line": line})]
+
+    def _cmd_data_evaluate_expression(self, command) -> List[str]:
+        name = command.args[0]
+        frame_name = command.options.get("frame")
+        rendered = self.tracker._render_watched(
+            self.tracker._paused_py_frame, frame_name, name
+        )
+        if rendered is None:
+            return [protocol.format_error(f"no variable {name!r} in scope")]
+        return [protocol.format_done({"value": rendered})]
+
+    def _cmd_list_functions(self, command) -> List[str]:
+        return [protocol.format_done(_function_names(self.tracker._code))]
+
+    # ------------------------------------------------------------------
+    # Timeline recording: the tracker's own recorder, server-side
+    # ------------------------------------------------------------------
+
+    def _cmd_timeline_start(self, command) -> List[str]:
+        interval = command.option_int("keyframe-interval")
+        self.tracker.enable_recording(
+            keyframe_interval=interval if interval is not None else 16,
+            max_snapshots=command.option_int("max-snapshots"),
+        )
+        return [protocol.format_done({"recording": True})]
+
+    def _cmd_timeline_stop(self, command) -> List[str]:
+        self.tracker.disable_recording()
+        return [protocol.format_done({"recording": False})]
+
+    def _cmd_timeline_length(self, command) -> List[str]:
+        timeline = self._require_timeline()
+        return [
+            protocol.format_done(
+                {
+                    "length": len(timeline),
+                    "start": timeline.start_index,
+                    "retained": timeline.retained,
+                }
+            )
+        ]
+
+    def _cmd_timeline_dump(self, command) -> List[str]:
+        return [protocol.format_done(self._require_timeline().to_dict())]
+
+    def _cmd_timeline_snapshot(self, command) -> List[str]:
+        if not command.args:
+            return [protocol.format_error("timeline-snapshot needs an index")]
+        timeline = self._require_timeline()
+        return [
+            protocol.format_done(
+                timeline.snapshot(int(command.args[0])).to_dict()
+            )
+        ]
+
+    def _cmd_timeline_drop_last(self, command) -> List[str]:
+        return [
+            protocol.format_done(
+                {"dropped": self._require_timeline().drop_last()}
+            )
+        ]
+
+    def _require_timeline(self):
+        timeline = self.tracker.timeline
+        if timeline is None:
+            raise TrackerError("no timeline; send -timeline-start first")
+        return timeline
+
+
+def _function_names(code, _names: Optional[List[str]] = None) -> List[str]:
+    """Function names defined in a compiled module, nested ones included."""
+    if _names is None:
+        _names = []
+    for constant in code.co_consts:
+        if hasattr(constant, "co_name") and hasattr(constant, "co_consts"):
+            if not constant.co_name.startswith("<"):
+                _names.append(constant.co_name)
+            _function_names(constant, _names)
+    return _names
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry: ``python -m repro.subproc.server [--limit-*] prog.py [args]``."""
+    argv = argv if argv is not None else sys.argv[1:]
+    try:
+        limits, rest = ResourceLimits.consume_argv(argv)
+    except ValueError as error:
+        print(protocol.format_error(str(error)), flush=True)
+        return 2
+    if not rest:
+        print(
+            protocol.format_error(
+                "usage: server [--limit-as N] [--limit-cpu N] "
+                "[--limit-fsize N] <program.py> [args...]"
+            ),
+            flush=True,
+        )
+        return 2
+    limits.apply()
+    try:
+        server = PythonDebugServer(rest[0], rest[1:])
+    except (ProgramLoadError, OSError) as error:
+        print(protocol.format_error(str(error)), flush=True)
+        return 1
+    return serve_stdio(server, {"loaded": rest[0]})
+
+
+if __name__ == "__main__":
+    sys.exit(main())

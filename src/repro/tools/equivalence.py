@@ -97,6 +97,7 @@ def behavioral_signature(
     function: str,
     argument_names: Optional[List[str]] = None,
     max_events: int = 10_000,
+    backend: Optional[str] = None,
 ) -> List[SignatureEvent]:
     """Record the call/return signature of ``function`` in ``program``.
 
@@ -106,8 +107,13 @@ def behavioral_signature(
         argument_names: restrict recorded arguments to these names
             (``None`` records every argument of the frame).
         max_events: safety bound.
+        backend: tracker backend override; defaults by file extension
+            (``"python-subproc"`` records an untrusted program's
+            signature without running it in the tool process).
     """
-    tracker = init_tracker("python" if program.endswith(".py") else "GDB")
+    if backend is None:
+        backend = "python" if program.endswith(".py") else "GDB"
+    tracker = init_tracker(backend)
     tracker.load_program(program)
     tracker.track_function(function)
     tracker.start()
@@ -162,6 +168,8 @@ def check_equivalence(
     function_a: str,
     function_b: Optional[str] = None,
     argument_names: Optional[List[str]] = None,
+    backend_a: Optional[str] = None,
+    backend_b: Optional[str] = None,
 ) -> EquivalenceReport:
     """Compare two programs' behavioral signatures at a function boundary.
 
@@ -172,10 +180,15 @@ def check_equivalence(
         function_b: boundary function in the second (defaults to the same
             name).
         argument_names: restrict compared arguments.
+        backend_a: tracker backend for the first program (default: by
+            file extension).
+        backend_b: tracker backend for the second program.
     """
-    first = behavioral_signature(program_a, function_a, argument_names)
+    first = behavioral_signature(
+        program_a, function_a, argument_names, backend=backend_a
+    )
     second = behavioral_signature(
-        program_b, function_b or function_a, argument_names
+        program_b, function_b or function_a, argument_names, backend=backend_b
     )
     for index, (left, right) in enumerate(zip(first, second)):
         if left.comparable() != right.comparable():

@@ -16,6 +16,7 @@ from repro.core.errors import TrackerError
 from repro.core.pause import PauseReasonType
 from repro.gdbtracker.tracker import GDBTracker
 from repro.pytracker.tracker import PythonTracker
+from repro.subproc.tracker import SubprocPythonTracker
 from repro.testing.faults import NEVER_PAUSING_C, NEVER_PAUSING_PY
 
 PY_CRASH = """\
@@ -99,6 +100,16 @@ def make_gdb(write_program):
     return build
 
 
+@pytest.fixture
+def make_subproc(write_program):
+    def build(source):
+        tracker = SubprocPythonTracker()
+        tracker.load_program(write_program("prog.py", source))
+        return tracker
+
+    return build
+
+
 class TestExitCodeParity:
     def test_clean_exit_is_zero_on_both(self, make_python, make_gdb):
         py_code = assert_terminal_contract(run_to_exit(make_python(PY_CLEAN)))
@@ -111,6 +122,15 @@ class TestExitCodeParity:
         py_code = assert_terminal_contract(run_to_exit(make_python(PY_EXIT_7)))
         c_code = assert_terminal_contract(run_to_exit(make_gdb(C_EXIT_7)))
         assert py_code == c_code == 7
+
+    @pytest.mark.parametrize(
+        "source,expected", [(PY_CLEAN, 0), (PY_EXIT_7, 7)]
+    )
+    def test_subproc_matches_inprocess_exit_codes(
+        self, make_subproc, source, expected
+    ):
+        code = assert_terminal_contract(run_to_exit(make_subproc(source)))
+        assert code == expected
 
 
 class TestCrashParity:
@@ -134,6 +154,25 @@ class TestCrashParity:
         assert tracker.exit_error  # the MemoryFault description crossed MI
         tracker.terminate()
 
+    def test_subproc_crash_is_terminal_and_surfaces_the_error(
+        self, make_subproc
+    ):
+        tracker = run_to_exit(make_subproc(PY_CRASH))
+        assert tracker.exit_error  # "ValueError: boom" crossed the pipe
+        assert "ValueError" in tracker.exit_error
+        assert assert_terminal_contract(tracker) == 1
+
+    def test_subproc_hard_kill_is_the_inferiors_death(self, make_subproc):
+        """os._exit skips the child's server entirely — the tracker must
+        report a terminal exited state with the process exit code, the
+        scenario only process isolation survives at all."""
+        tracker = run_to_exit(
+            make_subproc("import os\nx = 1\nos._exit(9)\n")
+        )
+        assert assert_terminal_contract(tracker) == 9
+        kinds = [e.kind for e in tracker.drain_supervision_events()]
+        assert "inferior-process-died" in kinds
+
 
 class TestInterruptParity:
     """Interrupt-from-timeout is a *pause*, not a death — on both."""
@@ -143,12 +182,17 @@ class TestInterruptParity:
         [
             ("python", "spin.py", NEVER_PAUSING_PY),
             ("gdb", "spin.c", NEVER_PAUSING_C),
+            ("python-subproc", "spin.py", NEVER_PAUSING_PY),
         ],
     )
     def test_interrupted_inferior_is_paused_not_terminal(
         self, write_program, backend, name, source
     ):
-        tracker = PythonTracker() if backend == "python" else GDBTracker()
+        tracker = {
+            "python": PythonTracker,
+            "gdb": GDBTracker,
+            "python-subproc": SubprocPythonTracker,
+        }[backend]()
         tracker.load_program(write_program(name, source))
         tracker.start()
         try:

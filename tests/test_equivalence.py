@@ -97,6 +97,25 @@ class TestEquivalence:
         )
         assert report.equivalent, report.explain()
 
+    def test_subproc_backend_records_the_same_signature(self, write_program):
+        """The isolated backend is a drop-in recorder: same program, same
+        signature, whether tracked in-process or in a sandboxed child."""
+        path = write_program("f.py", PY_FACT)
+        report = check_equivalence(
+            path, path, "fact", backend_b="python-subproc"
+        )
+        assert report.equivalent, report.explain()
+
+    def test_subproc_backend_against_c(self, write_program):
+        report = check_equivalence(
+            write_program("f.py", PY_FACT),
+            write_program("f.c", C_FACT),
+            "fact",
+            argument_names=["n"],
+            backend_a="python-subproc",
+        )
+        assert report.equivalent, report.explain()
+
     def test_different_algorithm_diverges_internally(self, write_program):
         # Iterative fact computes the same answer but with a different
         # call structure: not equivalent at recursion granularity.

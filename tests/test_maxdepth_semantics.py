@@ -85,6 +85,14 @@ def _run_minic(tmp_path, install):
     return _drive(GDBTracker(), str(path), install)
 
 
+def _run_subproc(tmp_path, install):
+    from repro.subproc import SubprocPythonTracker
+
+    path = tmp_path / "prog.py"
+    path.write_text(PY_PROGRAM)
+    return _drive(SubprocPythonTracker(), str(path), install)
+
+
 INSTALLERS = {
     "line-bp-capped": lambda t: t.break_before_line(2, maxdepth=2),
     "line-bp-unlimited": lambda t: t.break_before_line(2),
@@ -134,6 +142,18 @@ def test_same_pauses_across_trackers(kind, tmp_path):
     python_pauses = _run_python(tmp_path, install)
     minic_pauses = _run_minic(tmp_path, install)
     assert _comparable(python_pauses) == _comparable(minic_pauses)
+
+
+@pytest.mark.parametrize("kind", sorted(INSTALLERS))
+def test_subproc_matches_inprocess_exactly(kind, tmp_path):
+    """The out-of-process Python backend hosts the *same* tracker, so it
+    must agree with the in-process one on the full pause tuples — function
+    names and watch old/new values included, not just the projection the
+    Python/MiniC comparison tolerates."""
+    install = INSTALLERS[kind]
+    python_pauses = _run_python(tmp_path, install)
+    subproc_pauses = _run_subproc(tmp_path, install)
+    assert python_pauses == subproc_pauses
 
 
 class TestExpectedFiltering:

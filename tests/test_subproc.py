@@ -1,0 +1,245 @@
+"""Unit tests for the out-of-process Python backend.
+
+The server half (:class:`repro.subproc.server.PythonDebugServer`) is
+driven through its pure ``handle()`` interface — same idiom as
+``tests/test_mi_server.py`` — so protocol behavior is tested without
+spawning a child. The resource-limit plumbing and the client's
+exit-code mapping are pure functions and tested directly. End-to-end
+child-process behavior lives in ``tests/test_hostile_inferiors.py`` and
+the parity suites.
+"""
+
+import pytest
+
+from repro.mi.protocol import parse_record
+from repro.subproc.limits import ResourceLimits
+from repro.subproc.server import PythonDebugServer
+from repro.subproc.tracker import _process_exit_code
+
+PY_PROGRAM = """\
+total = 0
+
+def square(v):
+    r = v * v
+    return r
+
+for i in range(1, 4):
+    total = total + square(i)
+print("total", total)
+"""
+
+
+def make_server(write_program, source, name="prog.py"):
+    return PythonDebugServer(write_program(name, source))
+
+
+def records(lines):
+    return [parse_record(line) for line in lines]
+
+
+def last_stopped(lines):
+    stopped = [r for r in records(lines) if r.kind == "stopped"]
+    assert stopped, f"no *stopped in {lines}"
+    return stopped[-1].payload
+
+
+@pytest.fixture
+def server(write_program):
+    return make_server(write_program, PY_PROGRAM)
+
+
+class TestLifecycle:
+    def test_run_pauses_at_first_line(self, server):
+        lines = server.handle("-exec-run")
+        assert records(lines)[0].kind == "running"
+        payload = last_stopped(lines)
+        assert payload["reason"] == "end-stepping-range"
+        assert payload["line"] == 1
+
+    def test_double_run_is_error(self, server):
+        server.handle("-exec-run")
+        assert records(server.handle("-exec-run"))[0].kind == "error"
+
+    def test_continue_to_exit(self, server):
+        server.handle("-exec-run")
+        payload = last_stopped(server.handle("-exec-continue"))
+        assert payload["reason"] == "exited"
+        assert payload["exitcode"] == 0
+
+    def test_control_before_run_is_error(self, server):
+        assert records(server.handle("-exec-continue"))[0].kind == "error"
+
+    def test_control_after_exit_is_error(self, server):
+        server.handle("-exec-run")
+        server.handle("-exec-continue")
+        assert records(server.handle("-exec-continue"))[0].kind == "error"
+
+    def test_crash_reports_error_in_stopped(self, write_program):
+        server = make_server(
+            write_program, "raise ValueError('boom')\n", "crash.py"
+        )
+        server.handle("-exec-run")
+        payload = last_stopped(server.handle("-exec-continue"))
+        assert payload["exitcode"] == 1
+        assert "ValueError: boom" in payload["error"]
+
+    def test_gdb_exit_sets_finished(self, server):
+        assert records(server.handle("-gdb-exit"))[0].kind == "done"
+        assert server._finished
+
+    def test_stale_interrupt_emits_nothing(self, server):
+        server.handle("-exec-run")
+        assert server.handle("-exec-interrupt") == []
+
+
+class TestControlPoints:
+    def test_function_breakpoint_and_output_stream(self, server):
+        number = records(server.handle("-break-insert square"))[0]
+        assert number.payload == {"number": 1}
+        server.handle("-exec-run")
+        payload = last_stopped(server.handle("-exec-continue"))
+        assert payload["reason"] == "breakpoint-hit"
+        assert payload["func"] == "square"
+        # run to exit: prints cross as ~stream records
+        for _ in range(10):
+            lines = server.handle("-exec-continue")
+            payload = last_stopped(lines)
+            if payload["reason"] == "exited":
+                break
+        streams = [r for r in records(lines) if r.kind == "stream"]
+        assert any("total 14" in s.payload for s in streams)
+
+    def test_line_breakpoint_with_filename(self, server):
+        path = server.path
+        records(server.handle(f"-break-insert {path}:4"))
+        server.handle("-exec-run")
+        payload = last_stopped(server.handle("-exec-continue"))
+        assert payload["reason"] == "breakpoint-hit"
+        assert payload["line"] == 4
+
+    def test_address_breakpoint_is_rejected(self, server):
+        record = records(server.handle("-break-insert *0x400000"))[0]
+        assert record.kind == "error"
+        assert "address" in record.payload
+
+    def test_tracked_function_return_value_is_serialized(self, server):
+        server.handle("-track-function square")
+        server.handle("-exec-run")
+        server.handle("-exec-continue")  # entry
+        payload = last_stopped(server.handle("-exec-continue"))  # exit
+        assert payload["reason"] == "function-exit"
+        assert payload["retval"]["content"] == 1
+        assert payload["retval"]["language_type"] == "int"
+
+    def test_watchpoint(self, server):
+        server.handle("-break-watch total")
+        server.handle("-exec-run")
+        payload = last_stopped(server.handle("-exec-continue"))
+        assert payload["reason"] == "watchpoint-trigger"
+        assert payload["var"] == "total"
+        assert payload["new"] == "0"  # the initial total = 0 assignment
+
+    def test_break_delete_all(self, server):
+        server.handle("-break-insert square")
+        server.handle("-break-delete all")
+        server.handle("-exec-run")
+        payload = last_stopped(server.handle("-exec-continue"))
+        assert payload["reason"] == "exited"
+
+    def test_maxdepth_option_rides_along(self, write_program):
+        source = (
+            "def rec(n):\n"
+            "    if n == 0:\n"
+            "        return 0\n"
+            "    return rec(n - 1)\n"
+            "rec(3)\n"
+        )
+        server = make_server(write_program, source, "rec.py")
+        server.handle('-break-insert rec --maxdepth "2"')
+        server.handle("-exec-run")
+        hits = 0
+        for _ in range(20):
+            payload = last_stopped(server.handle("-exec-continue"))
+            if payload["reason"] == "exited":
+                break
+            hits += 1
+        assert hits == 2
+
+
+class TestInspection:
+    def test_position_and_globals(self, server):
+        server.handle("-exec-run")
+        record = records(server.handle("-inferior-position"))[0]
+        assert record.payload["line"] == 1
+        server.handle("-break-insert 9")
+        server.handle("-exec-continue")
+        globals_record = records(server.handle("-data-list-globals"))[0]
+        total = globals_record.payload["total"]["value"]
+        assert total["abstract_type"] == "ref"  # global -> heap int
+        assert total["content"]["content"] == 14
+
+    def test_list_functions(self, server):
+        record = records(server.handle("-list-functions"))[0]
+        assert record.payload == ["square"]
+
+    def test_tracker_stats_cross_the_pipe(self, server):
+        server.handle("-exec-run")
+        record = records(server.handle("-tracker-stats"))[0]
+        assert "events_seen" in record.payload
+
+
+class TestTimeline:
+    def test_timeline_requires_start(self, server):
+        record = records(server.handle("-timeline-length"))[0]
+        assert record.kind == "error"
+        assert "-timeline-start" in record.payload
+
+    def test_timeline_records_pauses(self, server):
+        server.handle("-timeline-start")
+        server.handle("-break-insert square")
+        server.handle("-exec-run")
+        for _ in range(10):
+            payload = last_stopped(server.handle("-exec-continue"))
+            if payload["reason"] == "exited":
+                break
+        length = records(server.handle("-timeline-length"))[0]
+        # entry + 3 breakpoint hits + exit
+        assert length.payload["length"] == 5
+        dump = records(server.handle("-timeline-dump"))[0]
+        assert dump.payload["start_index"] == 0
+        assert dump.payload["segments"]  # serialized delta segments
+
+
+class TestResourceLimits:
+    def test_argv_round_trip(self):
+        limits = ResourceLimits(
+            address_space=123, cpu_seconds=4, file_size=56
+        )
+        argv = limits.to_argv() + ["prog.py", "arg1"]
+        parsed, rest = ResourceLimits.consume_argv(argv)
+        assert parsed == limits
+        assert rest == ["prog.py", "arg1"]
+
+    def test_unset_limits_add_no_flags(self):
+        assert ResourceLimits().to_argv() == []
+
+    def test_missing_value_raises(self):
+        with pytest.raises(ValueError):
+            ResourceLimits.consume_argv(["--limit-cpu"])
+
+    def test_unknown_flags_pass_through(self):
+        _, rest = ResourceLimits.consume_argv(["--limit-other", "prog.py"])
+        assert rest == ["--limit-other", "prog.py"]
+
+
+class TestExitCodeMapping:
+    def test_signal_death_maps_to_shell_convention(self):
+        assert _process_exit_code(-11) == 139  # SIGSEGV
+        assert _process_exit_code(-24) == 152  # SIGXCPU
+
+    def test_plain_codes_pass_through(self):
+        assert _process_exit_code(0) == 0
+        assert _process_exit_code(7) == 7
+
+    def test_unknown_death_is_nonzero(self):
+        assert _process_exit_code(None) == 1

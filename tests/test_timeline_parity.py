@@ -81,6 +81,14 @@ def _record_minic(tmp_path, **kwargs):
     return _record(GDBTracker(), str(path), **kwargs)
 
 
+def _record_subproc(tmp_path, **kwargs):
+    from repro.subproc import SubprocPythonTracker
+
+    path = tmp_path / "prog.py"
+    path.write_text(PY_PROGRAM)
+    return _record(SubprocPythonTracker(), str(path), **kwargs)
+
+
 def _int_or(value):
     try:
         return int(value)
@@ -193,6 +201,74 @@ def test_goto_and_backward_resume_on_minic(tmp_path):
         tracker.terminate()
 
 
+def test_recorded_timeline_agrees_on_subproc(tmp_path):
+    """The isolated Python backend records server-side (the hosted
+    tracker's own recorder), yet the timeline must match the in-process
+    one snapshot for snapshot."""
+    python = _record_python(tmp_path)
+    subproc = _record_subproc(tmp_path)
+    try:
+        assert subproc.timeline.retained == 6
+        _assert_parity(python.timeline, subproc.timeline)
+    finally:
+        python.terminate()
+        subproc.terminate()
+
+
+def test_reverse_navigation_parity_on_subproc(tmp_path):
+    python = _record_python(tmp_path)
+    subproc = _record_subproc(tmp_path)
+    try:
+        rewound = {"python": [], "subproc": []}
+        for name, tracker in (("python", python), ("subproc", subproc)):
+            for _ in range(tracker.timeline.retained - 1):
+                tracker.backward_step()
+                rewound[name].append(_normalize(tracker.snapshot()))
+            with pytest.raises(NotPausedError):
+                tracker.backward_step()
+        assert rewound["python"] == rewound["subproc"]
+    finally:
+        python.terminate()
+        subproc.terminate()
+
+
+def test_goto_and_backward_resume_on_subproc(tmp_path):
+    """Reverse control calls are served from the child's recording."""
+    tracker = _record_subproc(tmp_path)
+    try:
+        timeline = tracker.timeline
+        assert tracker.get_exit_code() is not None
+        landed = tracker.goto(timeline.start_index + 1)
+        assert landed.reason.type is PauseReasonType.BREAKPOINT
+        assert tracker.get_position()[1] == 2
+        variable = tracker.get_variable("x") or tracker.get_variable("n")
+        assert variable is not None
+        tracker.goto(-1)
+        tracker.backward_resume()
+        assert tracker.snapshot().reason.type is PauseReasonType.BREAKPOINT
+        assert tracker.snapshot().depth == 4
+    finally:
+        tracker.terminate()
+
+
+def test_record_false_suppresses_on_subproc(tmp_path):
+    """``record=False`` reaches the child as ``-timeline-drop-last``."""
+    from repro.subproc import SubprocPythonTracker
+
+    path = tmp_path / "prog.py"
+    path.write_text(PY_PROGRAM)
+    tracker = SubprocPythonTracker()
+    tracker.load_program(str(path))
+    tracker.enable_recording()
+    tracker.start()
+    length = len(tracker.timeline)
+    tracker.step(record=False)
+    assert len(tracker.timeline) == length
+    tracker.step()
+    assert len(tracker.timeline) == length + 1
+    tracker.terminate()
+
+
 def test_record_false_suppresses_on_minic(tmp_path):
     """``record=False`` reaches the server as ``-timeline-drop-last``."""
     from repro.gdbtracker import GDBTracker
@@ -211,13 +287,18 @@ def test_record_false_suppresses_on_minic(tmp_path):
     tracker.terminate()
 
 
-@pytest.mark.parametrize("recorder", ["python", "minic"])
+_RECORDERS = {
+    "python": _record_python,
+    "minic": _record_minic,
+    "subproc": _record_subproc,
+}
+
+
+@pytest.mark.parametrize("recorder", sorted(_RECORDERS))
 def test_replay_tracker_replays_either_backend(recorder, tmp_path):
-    """Acceptance: a saved timeline from either backend drives the shared
+    """Acceptance: a saved timeline from any backend drives the shared
     ReplayTracker — breakpoints re-fire and reverse calls work."""
-    live = (_record_python if recorder == "python" else _record_minic)(
-        tmp_path
-    )
+    live = _RECORDERS[recorder](tmp_path)
     saved = str(tmp_path / f"{recorder}.timeline.json")
     try:
         live.timeline.save(saved)
