@@ -1,0 +1,150 @@
+"""Load benchmarks for the multiplexing tracker service.
+
+Two claims are measured and guarded:
+
+1. **Warm beats cold.** Opening a session against the warm pool is one
+   ``-file-exec-and-symbols`` round trip into a pre-forked interpreter;
+   a cold open pays fork + Python boot + tracker import. The pool must
+   keep warm opens at least 3x faster, or it is not earning its memory.
+
+2. **Multiplexing holds up under concurrency.** With 8 sessions driving
+   hostile-ish inferiors (each control call makes the inferior sleep and
+   print — work that *waits* rather than burns CPU, so the measurement is
+   honest on single-core runners), the p99 control-call latency must stay
+   within 3x the single-session p50. That is the event-loop dividend: 8
+   inferiors mid-``resume`` cost one service thread, and a session's
+   latency is dominated by its own inferior, not by its neighbors.
+
+Both are asserted (regression guards), and the measured numbers are
+printed for the benchmark table / CI artifact.
+"""
+
+import asyncio
+import statistics
+
+from repro.service import ServiceConfig, SessionManager, TrackerService, WarmPool
+from repro.service.client import ServiceClient
+
+#: Each loop iteration sleeps ~20ms and prints — a control call's latency
+#: is dominated by inferior *waiting*, which concurrent sessions overlap.
+#: The sleep is deliberately generous relative to the per-call CPU cost
+#: (tracing + MI framing, ~1ms) so the guard measures multiplexing, not
+#: the core count of the runner.
+SLEEPY_PY = """\
+import time
+i = 0
+while True:
+    time.sleep(0.02)
+    print("tick", i)
+    i = i + 1
+"""
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(int(len(ordered) * fraction), len(ordered) - 1)
+    return ordered[index]
+
+
+def test_warm_session_open_at_least_3x_faster_than_cold(
+    benchmark, write_program
+):
+    """Session open against the pool vs a full cold child boot."""
+    path = write_program("prog.py", SLEEPY_PY)
+    rounds = 3
+
+    async def measure():
+        loop = asyncio.get_event_loop()
+
+        async def time_open(manager):
+            begin = loop.time()
+            session = await manager.open(path)
+            elapsed = loop.time() - begin
+            await manager.close_session(session)
+            return elapsed
+
+        cold_pool = WarmPool(size=0)  # warming disabled: every open forks
+        cold_manager = SessionManager(cold_pool)
+        await cold_manager.start()
+        try:
+            cold = [await time_open(cold_manager) for _ in range(rounds)]
+        finally:
+            await cold_manager.close()
+
+        warm_pool = WarmPool(size=2)
+        warm_manager = SessionManager(warm_pool)
+        await warm_manager.start()  # pool fill paid here, off the clock
+        try:
+            warm = [await time_open(warm_manager) for _ in range(rounds)]
+        finally:
+            await warm_manager.close()
+        return statistics.median(cold), statistics.median(warm)
+
+    cold, warm = benchmark.pedantic(
+        lambda: run(measure()), rounds=1, iterations=1
+    )
+    factor = cold / warm if warm else float("inf")
+    print(
+        f"\nsession open: cold {cold * 1000:.1f}ms, "
+        f"warm {warm * 1000:.1f}ms, {factor:.1f}x faster warm"
+    )
+    assert factor >= 3.0
+
+
+def test_eight_session_p99_within_3x_single_session_p50(
+    benchmark, write_program
+):
+    """Control-call latency under 8-way concurrency vs a lone session."""
+    path = write_program("prog.py", SLEEPY_PY)
+    calls_per_session = 20
+
+    async def drive(client):
+        """One session: start, then time each resume-to-breakpoint."""
+        loop = asyncio.get_event_loop()
+        tracker = await client.open_tracker(path)
+        await tracker.break_before_line(4)
+        await tracker.start()
+        latencies = []
+        for _ in range(calls_per_session):
+            begin = loop.time()
+            stop = await tracker.resume()
+            latencies.append(loop.time() - begin)
+            assert stop["reason"] == "breakpoint-hit"
+        await tracker.close()
+        return latencies
+
+    async def measure():
+        service = TrackerService(
+            ServiceConfig(pool_size=8, max_sessions=8, port=0)
+        )
+        await service.start()
+        try:
+            host, port = service.address
+            async with await ServiceClient.connect(host, port) as client:
+                single = await drive(client)
+                many = await asyncio.gather(
+                    *(drive(client) for _ in range(8))
+                )
+        finally:
+            await service.close()
+        concurrent = [sample for session in many for sample in session]
+        return single, concurrent
+
+    single, concurrent = benchmark.pedantic(
+        lambda: run(measure()), rounds=1, iterations=1
+    )
+    p50_single = percentile(single, 0.50)
+    p50_concurrent = percentile(concurrent, 0.50)
+    p99_concurrent = percentile(concurrent, 0.99)
+    factor = p99_concurrent / p50_single
+    print(
+        f"\ncontrol-call latency: single p50 {p50_single * 1000:.1f}ms, "
+        f"8-way p50 {p50_concurrent * 1000:.1f}ms, "
+        f"8-way p99 {p99_concurrent * 1000:.1f}ms "
+        f"({factor:.1f}x the single p50)"
+    )
+    assert factor <= 3.0

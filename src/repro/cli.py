@@ -167,6 +167,42 @@ def build_parser() -> argparse.ArgumentParser:
     scrub.add_argument("output_dir")
     scrub.add_argument("--max-images", type=int, default=50)
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the multiplexing tracker service: many debugging "
+        "sessions over one event loop, drawn from a warm pool of "
+        "pre-forked child interpreters",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address"
+    )
+    serve.add_argument(
+        "--port", type=int, default=6300,
+        help="TCP port (0 picks a free one; printed on startup)",
+    )
+    serve.add_argument(
+        "--stdio", action="store_true",
+        help="serve a single connection over stdin/stdout instead of TCP "
+        "(drop-in for a dedicated child server; legacy MI clients work "
+        "unchanged)",
+    )
+    serve.add_argument(
+        "--pool", type=int, default=4, metavar="N",
+        help="warm child servers to keep pre-forked (0 disables warming)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=16, metavar="N",
+        help="concurrent-session bound (admission control)",
+    )
+    serve.add_argument(
+        "--reject-when-full", action="store_true",
+        help="reject session opens at capacity instead of queueing them",
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="close sessions with no activity for this long",
+    )
+
     return parser
 
 
@@ -236,6 +272,48 @@ def _run_command(options: argparse.Namespace) -> int:
     return exit_code
 
 
+def _serve_command(options: argparse.Namespace) -> int:
+    """``repro serve``: the multiplexing tracker service (TCP or stdio)."""
+    import asyncio
+
+    from repro.service import ServiceConfig, TrackerService
+
+    config = ServiceConfig(
+        host=options.host,
+        port=options.port,
+        pool_size=options.pool,
+        max_sessions=options.max_sessions,
+        queue=not options.reject_when_full,
+        idle_timeout=options.idle_timeout,
+    )
+    service = TrackerService(config)
+
+    if options.stdio:
+        return asyncio.run(service.run_stdio())
+
+    async def _serve_tcp() -> int:
+        await service.start()
+        host, port = service.address
+        print(
+            f"tracker service listening on {host}:{port} "
+            f"(pool={config.pool_size}, max-sessions={config.max_sessions})",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - shutdown path
+            pass
+        finally:
+            await service.close()
+        return 0
+
+    try:
+        return asyncio.run(_serve_tcp())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        return 0
+
+
 def _timeline_command(options: argparse.Namespace) -> int:
     """The ``repro timeline`` sub-subcommands (record / info / scrub)."""
     if options.timeline_action == "record":
@@ -301,6 +379,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if command == "run":
         return _run_command(options)
+
+    if command == "serve":
+        return _serve_command(options)
 
     if command == "step":
         from repro.tools.stepper import generate_diagrams

@@ -160,6 +160,10 @@ class TrackerStats:
             profile-hook guard detected it and re-armed tracing.
         output_chars_dropped: captured-stdout characters evicted from the
             bounded output ring (:class:`repro.core.ringbuffer.RingTextBuffer`).
+        transport_lines_dropped: pipe lines evicted by the client
+            transport's bounded stdout/stderr rings
+            (:mod:`repro.mi.transport`) — a log-flooding child cannot grow
+            client memory, but what it pushed out is counted here.
     """
 
     events_seen: Dict[str, int] = field(default_factory=dict)
@@ -177,6 +181,7 @@ class TrackerStats:
     faults_recovered: int = 0
     settrace_tamperings: int = 0
     output_chars_dropped: int = 0
+    transport_lines_dropped: int = 0
 
     @property
     def events_suppressed(self) -> Dict[str, int]:
@@ -209,6 +214,7 @@ class TrackerStats:
             "faults_recovered": self.faults_recovered,
             "settrace_tamperings": self.settrace_tamperings,
             "output_chars_dropped": self.output_chars_dropped,
+            "transport_lines_dropped": self.transport_lines_dropped,
         }
 
     @classmethod
@@ -229,6 +235,9 @@ class TrackerStats:
             faults_recovered=int(data.get("faults_recovered", 0)),
             settrace_tamperings=int(data.get("settrace_tamperings", 0)),
             output_chars_dropped=int(data.get("output_chars_dropped", 0)),
+            transport_lines_dropped=int(
+                data.get("transport_lines_dropped", 0)
+            ),
         )
         suppressed = data.get("events_suppressed", {})
         stats.events_paused = {
@@ -262,6 +271,9 @@ class TrackerStats:
             ),
             output_chars_dropped=(
                 self.output_chars_dropped + other.output_chars_dropped
+            ),
+            transport_lines_dropped=(
+                self.transport_lines_dropped + other.transport_lines_dropped
             ),
         )
         for kind, count in other.events_seen.items():

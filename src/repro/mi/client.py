@@ -25,183 +25,30 @@ Robustness additions over the seed client:
   crashes without rebuilding the client;
 - :meth:`close`/:meth:`stop` are idempotent, including after a crash.
 
-The transport is a swappable object (:class:`PipeTransport`) so the fault
-injection harness (:mod:`repro.testing.faults`) can wrap it.
+The transport is a swappable object (:class:`PipeTransport`, which lives
+in :mod:`repro.mi.transport` alongside its asyncio sibling
+:class:`~repro.mi.transport.AsyncPipeTransport`) so the fault injection
+harness (:mod:`repro.testing.faults`) can wrap it.
 """
 
 from __future__ import annotations
 
-import collections
-import queue
-import signal
-import subprocess
-import sys
-import threading
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.errors import (
     ControlTimeout,
     ProtocolError,
-    ServerCrashError,
     TrackerError,
 )
 from repro.core.supervision import Deadline
 from repro.mi import protocol
-
-#: Sentinel queued by the reader thread when the server's stdout hits EOF.
-_EOF = object()
-
-#: How many trailing stderr lines a crashed server leaves behind.
-_STDERR_TAIL = 20
-
-#: Deadline (seconds) on the greeting of a freshly spawned server.
-_SPAWN_TIMEOUT = 30.0
-
-
-class PipeTransport:
-    """One debug-server subprocess and its three pipes.
-
-    stdout and stderr are drained by daemon threads: stdout lines land in
-    a queue (so receives can time out), stderr lines in a bounded tail
-    buffer (so crash reports carry the server's last words).
-    """
-
-    def __init__(self, argv: List[str]):
-        self._argv = list(argv)
-        self._process = subprocess.Popen(
-            self._argv,
-            stdin=subprocess.PIPE,
-            stdout=subprocess.PIPE,
-            stderr=subprocess.PIPE,
-            text=True,
-            bufsize=1,
-        )
-        self._lines: "queue.Queue[Any]" = queue.Queue()
-        self._stderr_tail: "collections.deque[str]" = collections.deque(
-            maxlen=_STDERR_TAIL
-        )
-        self._closed = False
-        self._reader = threading.Thread(
-            target=self._pump_stdout, name="mi-stdout-pump", daemon=True
-        )
-        self._reader.start()
-        self._stderr_reader = threading.Thread(
-            target=self._pump_stderr, name="mi-stderr-pump", daemon=True
-        )
-        self._stderr_reader.start()
-
-    # -- pump threads ----------------------------------------------------
-
-    def _pump_stdout(self) -> None:
-        try:
-            for line in self._process.stdout:
-                self._lines.put(line)
-        except ValueError:  # pipe closed under the reader
-            pass
-        self._lines.put(_EOF)
-
-    def _pump_stderr(self) -> None:
-        try:
-            for line in self._process.stderr:
-                self._stderr_tail.append(line.rstrip("\n"))
-        except ValueError:
-            pass
-
-    # -- liveness --------------------------------------------------------
-
-    def alive(self) -> bool:
-        return self._process.poll() is None
-
-    def exit_code(self) -> Optional[int]:
-        return self._process.poll()
-
-    def stderr_tail(self) -> List[str]:
-        return list(self._stderr_tail)
-
-    def _crashed(self, context: str) -> ServerCrashError:
-        """Reap the dead server and build the diagnosis."""
-        try:
-            exit_code = self._process.wait(timeout=2)
-        except subprocess.TimeoutExpired:  # pragma: no cover - defensive
-            exit_code = self._process.poll()
-        return ServerCrashError(
-            f"the debug server died ({context})",
-            exit_code=exit_code,
-            stderr_tail=self.stderr_tail(),
-        )
-
-    # -- I/O -------------------------------------------------------------
-
-    def send_line(self, line: str) -> None:
-        if not self.alive():
-            raise self._crashed("before the command could be sent")
-        try:
-            self._process.stdin.write(line + "\n")
-            self._process.stdin.flush()
-        except (BrokenPipeError, OSError, ValueError) as error:
-            raise self._crashed(f"writing failed: {error}") from error
-
-    def recv_line(self, timeout: Optional[float] = None) -> Optional[str]:
-        """Next stdout line; ``None`` on timeout.
-
-        Raises:
-            ServerCrashError: the server's stdout reached EOF (it exited
-                or was killed); the subprocess is reaped.
-        """
-        try:
-            line = self._lines.get(timeout=timeout)
-        except queue.Empty:
-            return None
-        if line is _EOF:
-            self._lines.put(_EOF)  # keep later receives failing fast
-            raise self._crashed("its output pipe closed")
-        return line
-
-    def interrupt(self) -> None:
-        """Ask the busy server to pause its inferior (async-signal style)."""
-        try:
-            self.send_line(protocol.format_command("-exec-interrupt"))
-        except ServerCrashError:
-            raise
-        if hasattr(signal, "SIGINT"):
-            try:
-                self._process.send_signal(signal.SIGINT)
-            except (ProcessLookupError, OSError):  # already gone
-                pass
-
-    # -- teardown --------------------------------------------------------
-
-    def close(self, graceful_exit: bool = True) -> None:
-        """Tear the subprocess down (idempotent, crash-tolerant)."""
-        if self._closed:
-            return
-        self._closed = True
-        if self.alive() and graceful_exit:
-            try:
-                self.send_line(protocol.format_command("-gdb-exit"))
-                self._process.wait(timeout=2)
-            except (ServerCrashError, subprocess.TimeoutExpired):
-                pass
-        if self.alive():
-            self._process.kill()
-            try:
-                self._process.wait(timeout=2)
-            except subprocess.TimeoutExpired:  # pragma: no cover - defensive
-                pass
-        for pipe in (self._process.stdin, self._process.stdout,
-                     self._process.stderr):
-            if pipe:
-                try:
-                    pipe.close()
-                except OSError:  # pragma: no cover - defensive
-                    pass
-
-
-def _default_transport_factory(
-    program: str, args: List[str]
-) -> Callable[[], PipeTransport]:
-    argv = [sys.executable, "-m", "repro.mi.server", program] + args
-    return lambda: PipeTransport(argv)
+from repro.mi.transport import (  # noqa: F401  (re-exported: historic home)
+    _EOF,
+    SPAWN_TIMEOUT as _SPAWN_TIMEOUT,
+    STDERR_TAIL_LINES as _STDERR_TAIL,
+    PipeTransport,
+    default_transport_factory as _default_transport_factory,
+)
 
 
 class MIClient:
@@ -267,6 +114,15 @@ class MIClient:
     def alive(self) -> bool:
         """Whether the server subprocess is currently running."""
         return self._transport is not None and self._transport.alive()
+
+    def transport_lines_dropped(self) -> int:
+        """Lines evicted by the transport's bounded stdout/stderr rings.
+
+        Zero for transports without ring bounds (the scripted fault
+        transports); surfaced as ``TrackerStats.transport_lines_dropped``.
+        """
+        counter = getattr(self._transport, "lines_dropped", None)
+        return counter() if callable(counter) else 0
 
     # ------------------------------------------------------------------
     # Record plumbing

@@ -423,6 +423,10 @@ class MIRemoteTracker(Tracker):
         contributes client-side bookkeeping.
         """
         local = self.engine.stats
+        if self._client is not None:
+            local.transport_lines_dropped = (
+                self._client.transport_lines_dropped()
+            )
         if self._client is None or not self._client.alive():
             return local
         try:

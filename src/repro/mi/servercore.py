@@ -9,14 +9,21 @@ lives here:
 
 - :class:`ServerCore` — command dispatch (``-name`` to ``_cmd_name``),
   defensive error translation (a handler bug becomes an ``^error`` record,
-  never a dead pipe), the async-interrupt flag, and the control-point
-  number registry shared by enable/disable/delete;
+  never a dead pipe), session-id echo (a command prefixed ``s1-...`` gets
+  every reply record prefixed ``s1``, the multiplexed-session framing; an
+  id-less command stays id-less, preserving wire compatibility with
+  legacy clients), the async-interrupt flag, and the control-point number
+  registry shared by enable/disable/delete;
 - :class:`LineChannel` — exact, pollable line reads over a raw fd, which
   is what lets a busy run loop notice an ``-exec-interrupt`` arriving
-  mid-run;
-- :func:`serve_stdio` — the stdio loop (greeting, pending-command queue,
-  stdin interrupt poller, SIGINT handler) shared verbatim by both
-  ``main`` entry points.
+  mid-run, including *sleeping* waits (``select`` with a timeout) so a
+  watcher thread burns no CPU while nothing is pending;
+- :class:`StdioServerLoop` / :func:`serve_stdio` — the loop that drives a
+  server over stdin/stdout (greeting, pending-command queue, stdin
+  interrupt poller, SIGINT handler), shared by both ``main`` entry
+  points. Dispatch is loop-driven: the loop *sleeps* until a line is
+  readable and hands it to the server, rather than spinning on a
+  zero-timeout poll.
 
 ``ServerCore.handle`` is pure (command line in, record lines out), so
 every server built on it is unit-testable without pipes.
@@ -68,8 +75,12 @@ class ServerCore:
         self._interrupt_requested = False
         #: Injected by ``serve_stdio``: polls stdin for an
         #: ``-exec-interrupt`` that arrived while the server is busy.
-        #: ``None`` in unit-test use (tests set the flag directly).
-        self.interrupt_poll: Optional[Callable[[], bool]] = None
+        #: Accepts an optional ``timeout`` (seconds to *sleep* in select
+        #: when nothing is pending, instead of busy-spinning) and an
+        #: optional ``wake_fd`` (an extra fd whose readability cuts the
+        #: sleep short, the self-pipe idiom). ``None`` in unit-test use
+        #: (tests set the flag directly).
+        self.interrupt_poll: Optional[Callable[..., bool]] = None
 
     def request_interrupt(self) -> None:
         """Ask the busy run-control loop to stop at the next opportunity.
@@ -84,7 +95,22 @@ class ServerCore:
     # ------------------------------------------------------------------
 
     def handle(self, line: str) -> List[str]:
-        """Process one command line; return the record lines to emit."""
+        """Process one command line; return the record lines to emit.
+
+        A command prefixed with a session id (``s1-exec-run``) gets every
+        reply record prefixed with the same id (``s1^running`` ...); an
+        id-less legacy command gets id-less replies. The two interleave
+        freely on one pipe — this server is single-session, so the id is
+        pure echo, but it means a multiplexing client can talk to old and
+        new servers with one framing.
+        """
+        session, _ = protocol.split_session(line.strip())
+        records = self._dispatch(line)
+        if session is None:
+            return records
+        return [protocol.tag_record(record, session) for record in records]
+
+    def _dispatch(self, line: str) -> List[str]:
         try:
             command = protocol.parse_command(line)
         except ProtocolError as error:
@@ -187,6 +213,27 @@ class LineChannel:
             self._fill()
         return self._take_line()
 
+    def wait_readable(
+        self, timeout: float, extra_fd: Optional[int] = None
+    ) -> bool:
+        """Sleep in ``select`` until the fd is readable (or timeout).
+
+        This is what lets an interrupt watcher *wait* for input instead
+        of spinning on :meth:`poll_line`: the select wakes the moment a
+        command byte (or a byte on ``extra_fd``, the self-pipe wake-up)
+        arrives, and costs nothing while the pipe is idle. Returns
+        whether a complete line is already buffered or the fd became
+        readable; ``False`` on a plain timeout.
+        """
+        if b"\n" in self._buffer or self._eof:
+            return True
+        fds = [self._fd] if extra_fd is None else [self._fd, extra_fd]
+        try:
+            ready, _, _ = select.select(fds, [], [], max(timeout, 0))
+        except (OSError, ValueError):  # unpollable stdin: degrade to sleep
+            return False
+        return bool(ready)
+
     def read_line(self) -> Optional[str]:
         """Blocking read of the next line; ``None`` at EOF."""
         while True:
@@ -214,45 +261,89 @@ class LineChannel:
         return None
 
 
-def serve_stdio(server: ServerCore, greeting: Dict[str, Any]) -> int:
-    """Run ``server`` over stdin/stdout until EOF or ``-gdb-exit``.
+class StdioServerLoop:
+    """Drives a :class:`ServerCore` over a line channel (stdin/stdout).
 
-    Installs the stdin interrupt poller and the SIGINT handler, emits the
-    greeting ``^done`` record, then serves commands one line at a time.
-    Commands that arrived while a run loop was busy (rare: only an
-    interrupt racing a natural stop) are queued and served before reading
-    stdin again.
+    Owns the pieces ``serve_stdio`` used to build inline: the greeting,
+    the pending-command queue, the interrupt poller, and the SIGINT
+    handler. Dispatch is loop-driven — the loop blocks in
+    :meth:`LineChannel.read_line` until a command arrives, hands it to
+    ``server.handle``, and emits the records. The interrupt poller is a
+    bound method so run loops can *sleep* on stdin between interrupt
+    checks (``poll_interrupt(timeout=..., wake_fd=...)``) instead of
+    spinning on a zero-timeout select.
     """
-    channel = LineChannel(sys.stdin.fileno())
-    pending: List[str] = []
 
-    def poll_interrupt() -> bool:
+    def __init__(self, server: ServerCore, channel: LineChannel):
+        self.server = server
+        self.channel = channel
+        #: non-interrupt commands that arrived while a run loop was busy
+        #: (rare: only a command racing a natural stop); served before
+        #: reading the channel again.
+        self.pending: List[str] = []
+        server.interrupt_poll = self.poll_interrupt
+
+    def poll_interrupt(
+        self, timeout: float = 0.0, wake_fd: Optional[int] = None
+    ) -> bool:
+        """Check the channel for an ``-exec-interrupt``; optionally sleep.
+
+        With ``timeout > 0`` the call first sleeps in ``select`` until
+        the channel (or ``wake_fd``, a self-pipe the server pokes when
+        the run ends) becomes readable, so a watcher thread costs no CPU
+        while the inferior runs. Then every complete line available
+        right now is consumed: interrupts set the return flag, anything
+        else is queued as pending. Session-prefixed interrupts
+        (``s1-exec-interrupt``) count too — the busy run is the only
+        thing an interrupt can be aimed at on a single-session pipe.
+        """
+        if timeout > 0:
+            self.channel.wait_readable(timeout, wake_fd)
         interrupted = False
         while True:
-            line = channel.poll_line()
+            line = self.channel.poll_line()
             if line is None:
                 break
-            if line.strip() == "-exec-interrupt":
+            _, body = protocol.split_session(line.strip())
+            if body == "-exec-interrupt":
                 interrupted = True
             elif line.strip():
-                pending.append(line)
+                self.pending.append(line)
         return interrupted
 
-    server.interrupt_poll = poll_interrupt
-    try:
-        signal.signal(signal.SIGINT, lambda *_: server.request_interrupt())
-    except (ValueError, OSError, AttributeError):  # not the main thread
-        pass
+    def install_sigint(self) -> None:
+        """Route SIGINT to ``server.request_interrupt`` (best effort)."""
+        try:
+            signal.signal(
+                signal.SIGINT, lambda *_: self.server.request_interrupt()
+            )
+        except (ValueError, OSError, AttributeError):  # not the main thread
+            pass
 
-    print(protocol.format_done(greeting), flush=True)
-    while True:
-        line = pending.pop(0) if pending else channel.read_line()
-        if line is None:
-            break
-        if not line.strip():
-            continue
-        for record in server.handle(line):
-            print(record, flush=True)
-        if server._finished:
-            break
-    return 0
+    def next_line(self) -> Optional[str]:
+        """The next command to dispatch; ``None`` at channel EOF."""
+        if self.pending:
+            return self.pending.pop(0)
+        return self.channel.read_line()
+
+    def run(self, greeting: Dict[str, Any]) -> int:
+        """Serve until EOF or ``-gdb-exit``; returns the exit status."""
+        self.install_sigint()
+        print(protocol.format_done(greeting), flush=True)
+        while True:
+            line = self.next_line()
+            if line is None:
+                break
+            if not line.strip():
+                continue
+            for record in self.server.handle(line):
+                print(record, flush=True)
+            if self.server._finished:
+                break
+        return 0
+
+
+def serve_stdio(server: ServerCore, greeting: Dict[str, Any]) -> int:
+    """Run ``server`` over stdin/stdout until EOF or ``-gdb-exit``."""
+    loop = StdioServerLoop(server, LineChannel(sys.stdin.fileno()))
+    return loop.run(greeting)

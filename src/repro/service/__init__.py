@@ -1,0 +1,54 @@
+"""The multiplexing tracker service: many sessions, one event loop.
+
+The paper's trackers are one-tool-one-inferior: every
+:class:`~repro.subproc.tracker.SubprocPythonTracker` boots a fresh child
+interpreter and talks to it over a dedicated pipe with dedicated pump
+threads. That is the right shape for a single debugging session and the
+wrong shape for a classroom server grading thirty submissions at once —
+N sessions cost N interpreter boots and 2N threads before any tracking
+happens.
+
+This package keeps the wire protocol and the child server exactly as
+they are and changes only the tool side of the pipe:
+
+- :class:`~repro.service.pool.WarmPool` pre-forks idle child servers
+  (``python -m repro.subproc.server --idle``), so opening a session
+  costs one ``-file-exec-and-symbols`` round trip instead of an
+  interpreter boot;
+- :class:`~repro.service.manager.SessionManager` multiplexes N sessions
+  over one asyncio event loop — admission control (bounded concurrency,
+  queue or reject), per-session resource limits, idle reaping;
+- :class:`~repro.service.server.TrackerService` exposes the whole thing
+  over TCP or stdio using the session-id framing of
+  :mod:`repro.mi.protocol` (``s1-exec-run`` / ``s1*stopped``); id-less
+  legacy clients get an implicit session and never see an id;
+- :class:`~repro.service.client.ServiceClient` /
+  :class:`~repro.service.client.AsyncTracker` are the matching
+  client-side facade: ``await tracker.resume()`` from any coroutine,
+  many trackers per connection.
+
+Start it with ``python -m repro serve``.
+"""
+
+from repro.service.client import AsyncTracker, ServiceClient
+from repro.service.manager import (
+    ServiceBusy,
+    Session,
+    SessionManager,
+    SessionStats,
+)
+from repro.service.pool import ChildHandle, WarmPool
+from repro.service.server import ServiceConfig, TrackerService
+
+__all__ = [
+    "AsyncTracker",
+    "ChildHandle",
+    "ServiceBusy",
+    "ServiceClient",
+    "ServiceConfig",
+    "Session",
+    "SessionManager",
+    "SessionStats",
+    "TrackerService",
+    "WarmPool",
+]

@@ -1,0 +1,445 @@
+"""The asyncio client: many trackers over one service connection.
+
+:class:`ServiceClient` owns the socket and one reader task that demuxes
+incoming records by their session-id prefix into per-session queues.
+:class:`AsyncTracker` is the per-session facade over one of those queues
+— the tracker control interface of the paper (``start`` / ``resume`` /
+``break_before_line`` / ``get_global_variables`` ...) with every control
+call a coroutine, so a grading script can drive dozens of inferiors
+concurrently from one thread::
+
+    client = await ServiceClient.connect(host, port)
+    a = await client.open_tracker("submission_a.py")
+    b = await client.open_tracker("submission_b.py")
+    await asyncio.gather(a.start(), b.start())
+
+Deadline semantics mirror the blocking client
+(:class:`~repro.mi.client.MIClient`): a run-control call with a
+``timeout`` first *interrupts* the inferior when the deadline passes (the
+service answers with ``*stopped,reason="interrupted"``, so the call still
+returns a pause) and raises
+:class:`~repro.core.errors.ControlTimeout` only when the interrupt itself
+goes unanswered for the grace period.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.errors import (
+    ControlTimeout,
+    ProtocolError,
+    ServerCrashError,
+    TrackerError,
+)
+from repro.core.state import Frame, Variable, frame_from_dict, variable_from_dict
+from repro.mi import protocol
+from repro.mi.transport import _ASYNC_LINE_LIMIT, SPAWN_TIMEOUT
+from repro.subproc.limits import ResourceLimits
+
+#: Grace period after an interrupt before ``ControlTimeout`` (seconds).
+INTERRUPT_GRACE = 5.0
+
+#: Sentinel queued to every session when the connection drops.
+_CLOSED = object()
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.TrackerService`."""
+
+    def __init__(self) -> None:
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional["asyncio.Task[None]"] = None
+        self._queues: Dict[str, "asyncio.Queue"] = {}
+        self._control: "asyncio.Queue" = asyncio.Queue()
+        #: serializes id-less request/reply (opens, stats) — their replies
+        #: are only attributable by arrival order
+        self._control_lock = asyncio.Lock()
+        self._closed = False
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        client = cls()
+        client._reader, client._writer = await asyncio.open_connection(
+            host, port, limit=_ASYNC_LINE_LIMIT
+        )
+        client._reader_task = asyncio.ensure_future(client._pump())
+        greeting = await client._control_request(None, timeout=SPAWN_TIMEOUT)
+        if "service" not in (greeting or {}):
+            await client.close()
+            raise ProtocolError(f"unexpected service greeting: {greeting!r}")
+        return client
+
+    # ------------------------------------------------------------------
+    # Demux
+    # ------------------------------------------------------------------
+
+    def _queue_for(self, session_id: str) -> "asyncio.Queue":
+        queue = self._queues.get(session_id)
+        if queue is None:
+            queue = self._queues[session_id] = asyncio.Queue()
+        return queue
+
+    async def _pump(self) -> None:
+        try:
+            while True:
+                raw = await self._reader.readline()
+                if not raw:
+                    break
+                line = raw.decode("utf-8", "replace").rstrip("\n")
+                if not line.strip():
+                    continue
+                try:
+                    record = protocol.parse_record(line)
+                except ProtocolError:
+                    continue  # tolerate noise on the shared pipe
+                if record.session is None:
+                    self._control.put_nowait(record)
+                else:
+                    self._queue_for(record.session).put_nowait(record)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            self._closed = True
+            self._control.put_nowait(_CLOSED)
+            for queue in self._queues.values():
+                queue.put_nowait(_CLOSED)
+
+    async def _next(
+        self, queue: "asyncio.Queue", timeout: Optional[float]
+    ) -> Optional[protocol.Record]:
+        """Next record from ``queue``; ``None`` when ``timeout`` expires."""
+        try:
+            if timeout is None:
+                record = await queue.get()
+            else:
+                record = await asyncio.wait_for(queue.get(), timeout)
+        except asyncio.TimeoutError:
+            return None
+        if record is _CLOSED:
+            queue.put_nowait(_CLOSED)  # keep later reads failing fast
+            raise ServerCrashError(
+                "the tracker service connection closed",
+                exit_code=None,
+                stderr_tail=[],
+            )
+        return record
+
+    # ------------------------------------------------------------------
+    # The control channel (id-less request/reply)
+    # ------------------------------------------------------------------
+
+    async def _send_line(self, line: str) -> None:
+        if self._closed or self._writer is None:
+            raise ServerCrashError(
+                "the tracker service connection closed",
+                exit_code=None,
+                stderr_tail=[],
+            )
+        self._writer.write((line + "\n").encode("utf-8"))
+        await self._writer.drain()
+
+    async def _control_request(
+        self, line: Optional[str], timeout: float = SPAWN_TIMEOUT
+    ) -> Any:
+        """Send an id-less command (or just await a reply); its payload."""
+        async with self._control_lock:
+            if line is not None:
+                await self._send_line(line)
+            while True:
+                record = await self._next(self._control, timeout)
+                if record is None:
+                    raise ControlTimeout(
+                        "the tracker service did not answer within "
+                        f"{timeout:.2f}s"
+                    )
+                if record.kind == "done":
+                    return record.payload
+                if record.kind == "error":
+                    raise TrackerError(str(record.payload))
+                # stream/notify noise on the control channel: skip
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    async def open_tracker(
+        self,
+        program: str,
+        args: Optional[List[str]] = None,
+        *,
+        limits: Optional[ResourceLimits] = None,
+        timeout: float = SPAWN_TIMEOUT,
+    ) -> "AsyncTracker":
+        """Open a session and wrap it in an :class:`AsyncTracker`."""
+        options: Dict[str, Any] = {}
+        if limits is not None:
+            if limits.address_space is not None:
+                options["as"] = limits.address_space
+            if limits.cpu_seconds is not None:
+                options["cpu"] = limits.cpu_seconds
+            if limits.file_size is not None:
+                options["fsize"] = limits.file_size
+        payload = await self._control_request(
+            protocol.format_command(
+                "-session-open", [program] + list(args or []), options
+            ),
+            timeout=timeout,
+        )
+        session_id = payload["session"]
+        return AsyncTracker(self, session_id, self._queue_for(session_id))
+
+    async def service_stats(self) -> Dict[str, Any]:
+        return await self._control_request(
+            protocol.format_command("-service-stats")
+        )
+
+    async def close(self) -> None:
+        """Drop the connection (the service closes our sessions)."""
+        self._closed = True
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+class AsyncTracker:
+    """The paper's tracker control interface, as coroutines, per session.
+
+    Obtained from :meth:`ServiceClient.open_tracker`; all methods must be
+    awaited on the same event loop as the client.
+    """
+
+    def __init__(
+        self,
+        client: ServiceClient,
+        session_id: str,
+        queue: "asyncio.Queue",
+    ):
+        self.client = client
+        self.session_id = session_id
+        self._queue = queue
+        #: everything the inferior printed, in arrival order
+        self.console: List[str] = []
+        #: async notifications (heap events etc.), in arrival order
+        self.notifications: List[protocol.Record] = []
+        self._exit_code: Optional[int] = None
+        self._last_stop: Optional[Dict[str, Any]] = None
+        self._closed = False
+
+    # -- record plumbing -------------------------------------------------
+
+    async def _send(
+        self,
+        name: str,
+        args: Optional[List[str]] = None,
+        options: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        await self.client._send_line(
+            protocol.format_command(
+                name, args, options, session=self.session_id
+            )
+        )
+
+    def _absorb(self, record: protocol.Record) -> None:
+        if record.kind == "stream":
+            self.console.append(record.payload)
+        elif record.kind == "notify":
+            self.notifications.append(record)
+
+    async def execute(
+        self,
+        name: str,
+        args: Optional[List[str]] = None,
+        options: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = SPAWN_TIMEOUT,
+    ) -> Any:
+        """One synchronous command round trip; the ``^done`` payload."""
+        await self._send(name, args, options)
+        while True:
+            record = await self.client._next(self._queue, timeout)
+            if record is None:
+                raise ControlTimeout(
+                    f"{name} went unanswered for {timeout:.2f}s"
+                )
+            if record.kind == "done":
+                return record.payload
+            if record.kind == "error":
+                raise TrackerError(str(record.payload))
+            self._absorb(record)
+
+    async def _run_control(
+        self,
+        name: str,
+        timeout: Optional[float] = None,
+        grace: float = INTERRUPT_GRACE,
+    ) -> Dict[str, Any]:
+        """An exec command: block (asynchronously) until ``*stopped``."""
+        await self._send(name)
+        loop = asyncio.get_event_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        interrupted_at: Optional[float] = None
+        while True:
+            if interrupted_at is not None:
+                slice_timeout: Optional[float] = (
+                    interrupted_at + grace - loop.time()
+                )
+                if slice_timeout <= 0:
+                    raise ControlTimeout(
+                        f"the inferior did not pause within {timeout}s and "
+                        "the interrupt went unanswered for the grace period"
+                    )
+            elif deadline is not None:
+                slice_timeout = max(deadline - loop.time(), 0.001)
+            else:
+                slice_timeout = None
+            record = await self.client._next(self._queue, slice_timeout)
+            if record is None:
+                if interrupted_at is None:
+                    interrupted_at = loop.time()
+                    await self.interrupt()
+                continue
+            if record.kind == "running":
+                pass  # the dialogue opener; *stopped follows eventually
+            elif record.kind == "stopped":
+                payload = record.payload or {}
+                self._last_stop = payload
+                if payload.get("reason") == "exited":
+                    self._exit_code = payload.get("exitcode")
+                return payload
+            elif record.kind == "error":
+                raise TrackerError(str(record.payload))
+            elif record.kind == "done":
+                continue  # stale interrupt ack
+            else:
+                self._absorb(record)
+
+    async def interrupt(self) -> None:
+        """Fire-and-forget: pause the running inferior."""
+        await self._send("-exec-interrupt")
+
+    # -- run control -----------------------------------------------------
+
+    async def start(
+        self, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        return await self._run_control("-exec-run", timeout)
+
+    async def resume(
+        self, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        return await self._run_control("-exec-continue", timeout)
+
+    async def step(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return await self._run_control("-exec-step", timeout)
+
+    async def next(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return await self._run_control("-exec-next", timeout)
+
+    async def finish(
+        self, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        return await self._run_control("-exec-finish", timeout)
+
+    # -- control points --------------------------------------------------
+
+    async def break_before_line(
+        self,
+        line: int,
+        filename: Optional[str] = None,
+        maxdepth: Optional[int] = None,
+    ) -> int:
+        location = f"{filename}:{line}" if filename else str(line)
+        return await self._break_insert(location, maxdepth)
+
+    async def break_before_func(
+        self, name: str, maxdepth: Optional[int] = None
+    ) -> int:
+        return await self._break_insert(name, maxdepth)
+
+    async def _break_insert(
+        self, location: str, maxdepth: Optional[int]
+    ) -> int:
+        options = {} if maxdepth is None else {"maxdepth": maxdepth}
+        payload = await self.execute("-break-insert", [location], options)
+        return payload["number"]
+
+    async def watch(
+        self, name: str, maxdepth: Optional[int] = None
+    ) -> int:
+        options = {} if maxdepth is None else {"maxdepth": maxdepth}
+        payload = await self.execute("-break-watch", [name], options)
+        return payload["number"]
+
+    async def track_function(
+        self, name: str, maxdepth: Optional[int] = None
+    ) -> int:
+        options = {} if maxdepth is None else {"maxdepth": maxdepth}
+        payload = await self.execute("-track-function", [name], options)
+        return payload["number"]
+
+    async def delete_breakpoint(self, number: int) -> None:
+        await self.execute("-break-delete", [str(number)])
+
+    # -- inspection ------------------------------------------------------
+
+    async def get_position(self) -> Tuple[str, Optional[int]]:
+        payload = await self.execute("-inferior-position")
+        return payload["file"], payload["line"]
+
+    async def get_current_frame(self) -> Frame:
+        return frame_from_dict(await self.execute("-stack-list-frames"))
+
+    async def get_global_variables(self) -> Dict[str, Variable]:
+        payload = await self.execute("-data-list-globals")
+        return {
+            name: variable_from_dict(data)
+            for name, data in payload.items()
+        }
+
+    def get_output(self) -> str:
+        """Everything the inferior printed so far (already received)."""
+        return "".join(self.console)
+
+    def get_exit_code(self) -> Optional[int]:
+        """The inferior's exit code, once a stop reported it."""
+        return self._exit_code
+
+    @property
+    def last_stop(self) -> Optional[Dict[str, Any]]:
+        """The most recent ``*stopped`` payload."""
+        return self._last_stop
+
+    # -- teardown --------------------------------------------------------
+
+    async def close(self) -> None:
+        """End the session (idempotent); its child may be pool-reused."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            await self.execute("-session-close")
+        except (TrackerError, ServerCrashError, ControlTimeout):
+            pass
+
+    async def __aenter__(self) -> "AsyncTracker":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

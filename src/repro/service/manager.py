@@ -1,0 +1,424 @@
+"""Session multiplexing: N debugging sessions over one event loop.
+
+A :class:`Session` is one program bound to one pooled child server. The
+:class:`SessionManager` owns all of them: it admits new sessions against
+a concurrency bound (waiting or rejecting, per configuration), binds each
+to a child from the :class:`~repro.service.pool.WarmPool`, applies the
+session's resource limits inside the child, reaps sessions that go idle,
+and decides at close time whether the child is clean enough to go back on
+the shelf.
+
+Command execution is *per-session serialized, cross-session concurrent*:
+each session has an ``asyncio.Lock``, so two commands to the same session
+queue up (the MI dialogue is strictly request/reply), while commands to
+different sessions interleave freely on the event loop — thirty inferiors
+can be mid-``-exec-continue`` at once and the service thread count stays
+at one.
+
+A child that dies mid-command is translated into the same records the
+in-process stack produces for a dead inferior: run-control answers with a
+synthesized ``*stopped,reason="exited"`` (exit code ``128+signal`` for
+signal deaths, mirroring shell conventions and
+:class:`~repro.subproc.tracker.SubprocPythonTracker`), inspection answers
+with ``^error``. The session survives as a tombstone until closed so the
+client can still read the verdict.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import ServerCrashError, TrackerError
+from repro.mi import protocol
+from repro.service.pool import ChildHandle, WarmPool
+from repro.subproc.limits import ResourceLimits
+
+#: MI commands whose reply is a run-control dialogue (``^running`` then
+#: eventually ``*stopped``) rather than a single ``^done``/``^error``.
+EXEC_COMMANDS = frozenset(
+    [
+        "-exec-run",
+        "-exec-continue",
+        "-exec-step",
+        "-exec-next",
+        "-exec-finish",
+    ]
+)
+
+
+class ServiceBusy(TrackerError):
+    """Admission control rejected the session (service at capacity)."""
+
+
+@dataclass
+class SessionStats:
+    """Manager-level counters, surfaced via ``-service-stats``."""
+
+    total_opened: int = 0
+    closed: int = 0
+    rejected: int = 0
+    queued: int = 0
+    reaped: int = 0
+    crashed: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "total_opened": self.total_opened,
+            "closed": self.closed,
+            "rejected": self.rejected,
+            "queued": self.queued,
+            "reaped": self.reaped,
+            "crashed": self.crashed,
+        }
+
+
+@dataclass
+class Session:
+    """One bound debugging session: a program inside a pooled child."""
+
+    session_id: str
+    child: ChildHandle
+    program: str
+    #: the id used on the wire; ``None`` for an implicit legacy session
+    #: (its client speaks id-less MI, so synthesized records stay id-less)
+    wire_id: Optional[str] = None
+    #: ``-exec-run`` has been issued (reuse gate: a started-but-unfinished
+    #: inferior may leave threads behind in the child)
+    started: bool = False
+    #: the inferior ran to completion (makes a started child reusable)
+    exited: bool = False
+    #: resource limits were applied or the child crashed — never reuse
+    tainted: bool = False
+    closed: bool = False
+    #: the child died; commands answer from the tombstone
+    dead: bool = False
+    #: a dialogue was started and never completed (cancelled task,
+    #: connection torn down mid-command) — the child's pipe may hold a
+    #: half-read reply, so it must not be reused
+    dialogue_pending: bool = False
+    exit_code: Optional[int] = None
+    last_activity: float = 0.0
+    lock: "asyncio.Lock" = field(default_factory=asyncio.Lock)
+
+    @property
+    def busy(self) -> bool:
+        """A command is in flight (idle reaping must leave it alone)."""
+        return self.lock.locked()
+
+    def touch(self) -> None:
+        self.last_activity = asyncio.get_event_loop().time()
+
+    # ------------------------------------------------------------------
+    # Command execution
+    # ------------------------------------------------------------------
+
+    async def run_command(self, line: str) -> List[str]:
+        """Forward one command line; return the reply record lines.
+
+        ``line`` carries this session's id prefix (or none, for an
+        implicit legacy session) — the child echoes whatever framing it
+        receives, so the records come back correctly tagged without the
+        service rewriting them.
+
+        ``-exec-interrupt`` never takes this path (it would deadlock
+        behind the very command it is meant to interrupt); see
+        :meth:`interrupt`.
+        """
+        session, body = protocol.split_session(line.strip())
+        command_name = body.split(None, 1)[0] if body else ""
+        async with self.lock:
+            self.touch()
+            if self.closed:
+                return [self._tag(protocol.format_error("session is closed"))]
+            if self.dead:
+                return self._tombstone_reply(command_name)
+            try:
+                return await self._dialogue(line, command_name)
+            except ServerCrashError as error:
+                return self._child_died(command_name, error)
+
+    async def _dialogue(self, line: str, command_name: str) -> List[str]:
+        self.dialogue_pending = True
+        await self.child.transport.send_line(line)
+        if command_name == "-exec-run":
+            self.started = True
+        records: List[str] = []
+        exec_command = command_name in EXEC_COMMANDS
+        while True:
+            raw = await self.child.transport.recv_line(timeout=None)
+            if raw is None:  # pragma: no cover - no timeout in use
+                continue
+            raw = raw.rstrip("\n")
+            self.touch()
+            records.append(raw)
+            record = protocol.parse_record(raw)
+            if record.kind == "stopped":
+                payload = record.payload or {}
+                if payload.get("reason") == "exited":
+                    self.exited = True
+                    self.exit_code = payload.get("exitcode")
+                self.dialogue_pending = False
+                return records
+            if record.kind == "error":
+                self.dialogue_pending = False
+                return records
+            if record.kind == "done":
+                if not exec_command:
+                    self.dialogue_pending = False
+                    return records
+                # a stale-interrupt ack racing the run; keep reading
+
+    async def interrupt(self) -> None:
+        """Fire-and-forget: pause whatever this session is running.
+
+        Goes straight to the transport (bypassing the session lock): the
+        ``*stopped`` it provokes is delivered as the answer of the
+        run-control command already in flight, exactly like the blocking
+        client's deadline path.
+        """
+        if self.closed or self.dead:
+            return
+        try:
+            await self.child.transport.interrupt()
+        except ServerCrashError:
+            pass  # the in-flight command will report the death
+
+    # ------------------------------------------------------------------
+    # Death and tombstones
+    # ------------------------------------------------------------------
+
+    def _child_died(
+        self, command_name: str, error: ServerCrashError
+    ) -> List[str]:
+        self.dead = True
+        self.tainted = True
+        code = self.child.transport.exit_code()
+        if code is not None and code < 0:
+            code = 128 - code  # signal death, shell convention
+        if not self.exited:
+            self.exited = True
+            self.exit_code = code
+        reply = self._tombstone_reply(command_name)
+        if command_name not in EXEC_COMMANDS:
+            reply = [self._tag(protocol.format_error(str(error)))]
+        return reply
+
+    def _tombstone_reply(self, command_name: str) -> List[str]:
+        """What a dead session answers, mirroring a dead inferior."""
+        if command_name in EXEC_COMMANDS:
+            payload: Dict[str, Any] = {
+                "reason": "exited",
+                "exitcode": self.exit_code,
+                "error": "the session's child server died",
+            }
+            return [
+                self._tag(protocol.format_running()),
+                self._tag(protocol.format_stopped(payload)),
+            ]
+        return [
+            self._tag(
+                protocol.format_error("the session's child server died")
+            )
+        ]
+
+    def _tag(self, record: str) -> str:
+        if self.wire_id is None:
+            return record
+        return protocol.tag_record(record, self.wire_id)
+
+
+class SessionManager:
+    """Admission, binding, reaping, and reuse policy for all sessions.
+
+    Args:
+        pool: the warm child pool sessions draw from.
+        max_sessions: concurrent-session bound (admission control).
+        queue: when the bound is hit, ``True`` parks new opens until a
+            slot frees (bounded hospitality), ``False`` rejects them
+            immediately with :class:`ServiceBusy` (fail fast).
+        idle_timeout: seconds of inactivity after which a session with no
+            command in flight is force-closed; ``None`` disables reaping.
+    """
+
+    def __init__(
+        self,
+        pool: WarmPool,
+        max_sessions: int = 16,
+        queue: bool = True,
+        idle_timeout: Optional[float] = None,
+    ):
+        self.pool = pool
+        self.max_sessions = max_sessions
+        self.queue = queue
+        self.idle_timeout = idle_timeout
+        self.sessions: Dict[str, Session] = {}
+        self.stats = SessionStats()
+        self._slots = asyncio.Semaphore(max_sessions)
+        self._next_id = 0
+        self._reaper_task: Optional["asyncio.Task[None]"] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.pool.start()
+        if self.idle_timeout is not None and self._reaper_task is None:
+            self._reaper_task = asyncio.ensure_future(self._reap_idle())
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._reaper_task is not None:
+            self._reaper_task.cancel()
+            try:
+                await self._reaper_task
+            except asyncio.CancelledError:
+                pass
+            self._reaper_task = None
+        for session in list(self.sessions.values()):
+            await self.close_session(session)
+        await self.pool.close()
+
+    # ------------------------------------------------------------------
+    # Opening and closing sessions
+    # ------------------------------------------------------------------
+
+    def _assign_id(self, requested: Optional[str]) -> str:
+        if requested is not None:
+            if not protocol.valid_session_id(requested):
+                raise TrackerError(f"invalid session id {requested!r}")
+            if requested in self.sessions:
+                raise TrackerError(f"session {requested!r} already exists")
+            return requested
+        while True:
+            self._next_id += 1
+            candidate = f"s{self._next_id}"
+            if candidate not in self.sessions:
+                return candidate
+
+    async def _admit(self) -> None:
+        if self._slots.locked():  # no free slot right now
+            if not self.queue:
+                self.stats.rejected += 1
+                raise ServiceBusy(
+                    f"service at capacity ({self.max_sessions} sessions)"
+                )
+            self.stats.queued += 1
+        await self._slots.acquire()
+
+    async def open(
+        self,
+        program: str,
+        args: Optional[List[str]] = None,
+        *,
+        limits: Optional[ResourceLimits] = None,
+        session_id: Optional[str] = None,
+    ) -> Session:
+        """Admit, bind, and register one session (the service open path).
+
+        The child is drawn warm when the pool has one; the program load
+        is the only per-open round trip. A failed load releases the child
+        back to the pool (a failed ``-file-exec-and-symbols`` leaves the
+        child idle, so it stays reusable) and re-raises as
+        :class:`TrackerError`.
+        """
+        await self._admit()
+        try:
+            sid = self._assign_id(session_id)
+            child = await self.pool.acquire()
+        except BaseException:
+            self._slots.release()
+            raise
+        tainted = False
+        try:
+            if limits is not None and limits != ResourceLimits():
+                await child.request(
+                    "-apply-limits", options=_limit_options(limits)
+                )
+                tainted = True
+            await child.request(
+                "-file-exec-and-symbols", [program] + list(args or [])
+            )
+        except BaseException as error:
+            await self.pool.release(
+                child,
+                reusable=not tainted
+                and not isinstance(error, ServerCrashError),
+            )
+            self._slots.release()
+            raise
+        session = Session(
+            session_id=sid,
+            child=child,
+            program=program,
+            wire_id=sid,
+            tainted=tainted,
+        )
+        session.touch()
+        self.sessions[sid] = session
+        self.stats.total_opened += 1
+        return session
+
+    async def close_session(self, session: Session) -> None:
+        """Unregister the session and park or retire its child.
+
+        Reuse verdict: the child goes back on the shelf only when it is
+        alive, untainted, and its inferior either never started or ran to
+        completion — anything mid-run may leave inferior threads behind
+        in the child interpreter, which must not haunt the next session.
+        """
+        if session.closed:
+            return
+        session.closed = True
+        self.sessions.pop(session.session_id, None)
+        if session.dead:
+            self.stats.crashed += 1
+        reusable = (
+            session.child.alive()
+            and not session.tainted
+            and not session.dead
+            and not session.dialogue_pending
+            and (not session.started or session.exited)
+        )
+        await self.pool.release(session.child, reusable=reusable)
+        self.stats.closed += 1
+        self._slots.release()
+
+    # ------------------------------------------------------------------
+    # Idle reaping
+    # ------------------------------------------------------------------
+
+    async def _reap_idle(self) -> None:
+        interval = max(min(self.idle_timeout / 4, 1.0), 0.05)
+        while not self._closed:
+            await asyncio.sleep(interval)
+            now = asyncio.get_event_loop().time()
+            for session in list(self.sessions.values()):
+                if session.busy:
+                    continue  # a command is in flight: not idle
+                if now - session.last_activity > self.idle_timeout:
+                    self.stats.reaped += 1
+                    await self.close_session(session)
+
+    def stats_dict(self) -> Dict[str, Any]:
+        return {
+            "sessions": sorted(self.sessions),
+            "open_sessions": len(self.sessions),
+            "max_sessions": self.max_sessions,
+            **self.stats.to_dict(),
+            "pool": dict(self.pool.stats),
+        }
+
+
+def _limit_options(limits: ResourceLimits) -> Dict[str, int]:
+    options: Dict[str, int] = {}
+    if limits.address_space is not None:
+        options["as"] = limits.address_space
+    if limits.cpu_seconds is not None:
+        options["cpu"] = limits.cpu_seconds
+    if limits.file_size is not None:
+        options["fsize"] = limits.file_size
+    return options

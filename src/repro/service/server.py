@@ -1,0 +1,400 @@
+"""The tracker service front-end: session-id MI over TCP or stdio.
+
+One listening socket (or one stdin/stdout pair), many debugging sessions.
+The wire protocol is the MI dialect everything else in this repo speaks,
+plus the session-id framing of :mod:`repro.mi.protocol`: a command
+prefixed ``s1-exec-run`` belongs to session ``s1`` and every record it
+provokes comes back prefixed ``s1``. Three service-level commands manage
+the sessions themselves:
+
+- ``-session-open <prog> [args...]`` (options ``--as``/``--cpu``/
+  ``--fsize`` for resource limits) binds a pooled child to a new session
+  and answers ``^done,{"session": "s3", ...}``. A client that prefixes
+  the open (``c7-session-open ...``) chooses its own id — that is how
+  concurrent opens on one connection stay unambiguous.
+- ``<sid>-session-close`` ends a session; its child goes back to the warm
+  pool when it is clean enough to reuse.
+- ``-service-stats`` reports manager and pool counters.
+
+**Legacy clients need none of this.** An id-less connection gets an
+implicit session: the ordinary ``-file-exec-and-symbols prog.py`` a
+:class:`~repro.mi.client.MIClient` sends on startup opens it, every
+id-less command routes to it, and every reply stays id-less — a blocking
+single-session client cannot tell this service from a dedicated
+``python -m repro.subproc.server`` child.
+
+Commands run as per-session tasks: a connection driving eight sessions
+has eight dialogues in flight, interleaved on one event loop, each
+serialized only against its own session. Replies are written atomically
+(record batch per command) under a per-connection writer lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.errors import ProtocolError, TrackerError
+from repro.mi import protocol
+from repro.mi.transport import _ASYNC_LINE_LIMIT
+from repro.service.manager import Session, SessionManager
+from repro.service.pool import WarmPool
+from repro.subproc.limits import ResourceLimits
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one :class:`TrackerService` instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick a free port
+    pool_size: int = 4
+    max_sessions: int = 16
+    #: at capacity: queue new opens (True) or reject them (False)
+    queue: bool = True
+    #: seconds of inactivity before a session is reaped; None = never
+    idle_timeout: Optional[float] = None
+    #: child command line override (tests inject crashing stubs)
+    spawn_argv: Optional[Tuple[str, ...]] = None
+
+
+class TrackerService:
+    """The multiplexing server: warm pool + session manager + framing."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.pool = WarmPool(
+            size=self.config.pool_size,
+            spawn_argv=(
+                list(self.config.spawn_argv)
+                if self.config.spawn_argv
+                else None
+            ),
+        )
+        self.manager = SessionManager(
+            self.pool,
+            max_sessions=self.config.max_sessions,
+            queue=self.config.queue,
+            idle_timeout=self.config.idle_timeout,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Warm the pool and start listening (TCP mode)."""
+        await self.manager.start()
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self.config.host,
+            self.config.port,
+            limit=_ASYNC_LINE_LIMIT,
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — useful with ``port=0``."""
+        sockets = self._server.sockets if self._server else None
+        if not sockets:
+            raise TrackerError("service is not listening")
+        return sockets[0].getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.manager.close()
+
+    async def run_stdio(self) -> int:
+        """Serve one connection over this process's stdin/stdout.
+
+        This is what makes the service a drop-in for a dedicated child
+        server: a blocking client spawns ``python -m repro serve
+        --stdio`` and speaks plain MI at it. SIGINT (the blocking
+        client's belt-and-braces interrupt) is forwarded to every open
+        session instead of killing the service.
+        """
+        await self.manager.start()
+        loop = asyncio.get_event_loop()
+        reader = asyncio.StreamReader(limit=_ASYNC_LINE_LIMIT)
+        await loop.connect_read_pipe(
+            lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
+        )
+        transport, proto = await loop.connect_write_pipe(
+            asyncio.streams.FlowControlMixin, sys.stdout
+        )
+        writer = asyncio.StreamWriter(transport, proto, reader, loop)
+        try:
+            loop.add_signal_handler(signal.SIGINT, self._interrupt_all)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+        try:
+            await self._serve_connection(reader, writer)
+        finally:
+            try:
+                loop.remove_signal_handler(signal.SIGINT)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+            await self.manager.close()
+        return 0
+
+    def _interrupt_all(self) -> None:
+        for session in list(self.manager.sessions.values()):
+            asyncio.ensure_future(session.interrupt())
+
+    # ------------------------------------------------------------------
+    # One connection
+    # ------------------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(self, reader, writer)
+        try:
+            await conn.run()
+        finally:
+            await conn.cleanup()
+
+
+class _Connection:
+    """Per-connection state: owned sessions, writer lock, command tasks."""
+
+    def __init__(
+        self,
+        service: TrackerService,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ):
+        self.service = service
+        self.reader = reader
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        #: sessions opened over this connection, by wire id
+        self.sessions: Dict[str, Session] = {}
+        #: the id-less legacy session, if one was opened
+        self.implicit: Optional[Session] = None
+        self.tasks: Set["asyncio.Task"] = set()
+        self.finished = False
+
+    # -- plumbing --------------------------------------------------------
+
+    async def write_records(self, records: List[str]) -> None:
+        if not records:
+            return
+        async with self.write_lock:
+            for record in records:
+                self.writer.write((record + "\n").encode("utf-8"))
+            try:
+                await self.writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                self.finished = True
+
+    def spawn(self, coroutine) -> None:
+        task = asyncio.ensure_future(coroutine)
+        self.tasks.add(task)
+        task.add_done_callback(self.tasks.discard)
+
+    # -- the read loop ---------------------------------------------------
+
+    async def run(self) -> None:
+        await self.write_records(
+            [protocol.format_done({"service": "repro-tracker", "version": 1})]
+        )
+        while not self.finished:
+            try:
+                raw = await self.reader.readline()
+            except (ConnectionResetError, BrokenPipeError, ValueError):
+                break
+            if not raw:
+                break
+            line = raw.decode("utf-8", "replace").strip()
+            if not line:
+                continue
+            await self.dispatch(line)
+
+    async def dispatch(self, line: str) -> None:
+        session_id, body = protocol.split_session(line)
+        name = body.split(None, 1)[0] if body else ""
+        if name == "-session-open":
+            self.spawn(self.open_session(line))
+        elif name == "-session-close":
+            self.spawn(self.close_session(session_id))
+        elif name == "-service-stats":
+            stats = self.service.manager.stats_dict()
+            self.spawn(
+                self.write_records([self.tag(protocol.format_done(stats),
+                                             session_id)])
+            )
+        elif name == "-gdb-exit" and session_id is None:
+            await self.write_records([protocol.format_done()])
+            self.finished = True
+        elif session_id is not None:
+            self.spawn(self.run_in_session(session_id, line, body))
+        else:
+            self.spawn(self.run_legacy(line, name))
+
+    @staticmethod
+    def tag(record: str, session_id: Optional[str]) -> str:
+        return (
+            record
+            if session_id is None
+            else protocol.tag_record(record, session_id)
+        )
+
+    # -- session commands ------------------------------------------------
+
+    async def open_session(self, line: str) -> None:
+        session_id, _ = protocol.split_session(line)
+        try:
+            command = protocol.parse_command(line)
+        except ProtocolError as error:
+            await self.write_records(
+                [self.tag(protocol.format_error(str(error)), session_id)]
+            )
+            return
+        if not command.args:
+            await self.write_records(
+                [self.tag(protocol.format_error(
+                    "session-open needs a program path"), session_id)]
+            )
+            return
+        limits = ResourceLimits(
+            address_space=command.option_int("as"),
+            cpu_seconds=command.option_int("cpu"),
+            file_size=command.option_int("fsize"),
+        )
+        try:
+            session = await self.service.manager.open(
+                command.args[0],
+                list(command.args[1:]),
+                limits=limits,
+                session_id=session_id,
+            )
+        except TrackerError as error:
+            await self.write_records(
+                [self.tag(protocol.format_error(str(error)), session_id)]
+            )
+            return
+        self.sessions[session.session_id] = session
+        await self.write_records(
+            [
+                self.tag(
+                    protocol.format_done(
+                        {
+                            "session": session.session_id,
+                            "pid": session.child.pid,
+                            "warm": session.child.warm,
+                        }
+                    ),
+                    session_id,
+                )
+            ]
+        )
+
+    async def close_session(self, session_id: Optional[str]) -> None:
+        session = (
+            self.implicit if session_id is None
+            else self.sessions.get(session_id)
+        )
+        if session is None:
+            await self.write_records(
+                [self.tag(protocol.format_error(
+                    f"no session {session_id!r}"), session_id)]
+            )
+            return
+        await self.service.manager.close_session(session)
+        self.sessions.pop(session.session_id, None)
+        if session is self.implicit:
+            self.implicit = None
+        await self.write_records(
+            [self.tag(protocol.format_done(
+                {"closed": session.session_id}), session_id)]
+        )
+
+    async def run_in_session(
+        self, session_id: str, line: str, body: str
+    ) -> None:
+        session = self.sessions.get(session_id)
+        if session is None:
+            await self.write_records(
+                [self.tag(protocol.format_error(
+                    f"no session {session_id!r}"), session_id)]
+            )
+            return
+        if body.strip() == "-exec-interrupt":
+            await session.interrupt()
+            return
+        await self.write_records(await session.run_command(line))
+
+    # -- the implicit legacy session -------------------------------------
+
+    async def run_legacy(self, line: str, name: str) -> None:
+        """An id-less command: route to (or open) the implicit session."""
+        if name == "-exec-interrupt" and self.implicit is not None:
+            await self.implicit.interrupt()
+            return
+        if self.implicit is None:
+            if name != "-file-exec-and-symbols":
+                await self.write_records(
+                    [protocol.format_error(
+                        "no session; send -session-open (or "
+                        "-file-exec-and-symbols for a legacy session)")]
+                )
+                return
+            await self.open_implicit(line)
+            return
+        await self.write_records(await self.implicit.run_command(line))
+
+    async def open_implicit(self, line: str) -> None:
+        try:
+            command = protocol.parse_command(line)
+        except ProtocolError as error:
+            await self.write_records([protocol.format_error(str(error))])
+            return
+        if not command.args:
+            await self.write_records(
+                [protocol.format_error("file-exec-and-symbols needs a path")]
+            )
+            return
+        try:
+            session = await self.service.manager.open(
+                command.args[0], list(command.args[1:])
+            )
+        except TrackerError as error:
+            await self.write_records([protocol.format_error(str(error))])
+            return
+        session.wire_id = None  # its client speaks id-less MI
+        self.implicit = session
+        self.sessions[session.session_id] = session
+        await self.write_records(
+            [protocol.format_done({"file": session.program})]
+        )
+
+    # -- teardown --------------------------------------------------------
+
+    async def cleanup(self) -> None:
+        for task in list(self.tasks):
+            task.cancel()
+        if self.tasks:
+            await asyncio.gather(*self.tasks, return_exceptions=True)
+        for session in list(self.sessions.values()):
+            await self.service.manager.close_session(session)
+        self.sessions.clear()
+        self.implicit = None
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass

@@ -18,10 +18,21 @@ tracker's async-interrupt path and the command still answers with a
 Resource limits (``--limit-as``, ``--limit-cpu``, ``--limit-fsize``) are
 applied to this whole process before the server starts — the child *is*
 the sandbox.
+
+The server can also boot **idle** (``python -m repro.subproc.server
+--idle``): no program loaded, interpreter warm. The tracker service's
+warm pool (:mod:`repro.service.pool`) pre-forks idle children so opening
+a session costs one ``-file-exec-and-symbols prog.py args...`` round
+trip instead of an interpreter boot. Two commands exist for that pooled
+life: ``-file-exec-and-symbols`` with arguments (re)loads a program into
+a fresh tracker, and ``-apply-limits`` lowers this process's rlimits at
+session bind time (rlimits only go down, so a limited child is spent —
+the pool discards it instead of reusing it).
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import threading
 from typing import Any, Dict, List, Optional
@@ -34,8 +45,16 @@ from repro.mi.servercore import REASON_NAMES, ServerCore, serve_stdio
 from repro.pytracker.tracker import PythonTracker
 from repro.subproc.limits import ResourceLimits
 
-#: Seconds between interrupt-poll checks while a control call blocks.
-_INTERRUPT_POLL_INTERVAL = 0.05
+#: Seconds the interrupt watcher *sleeps* in select per check while a
+#: control call blocks. The select wakes early the moment stdin (an
+#: ``-exec-interrupt`` line) or the wake pipe (the control call ending)
+#: becomes readable, so this bounds only the reaction to a bare SIGINT
+#: flag set by a non-main-thread path — it can be generous.
+_INTERRUPT_POLL_INTERVAL = 0.5
+
+#: Fallback cadence for zero-arg pollers (injected by tests) that cannot
+#: sleep on our behalf.
+_LEGACY_POLL_INTERVAL = 0.05
 
 
 class PythonDebugServer(ServerCore):
@@ -50,7 +69,7 @@ class PythonDebugServer(ServerCore):
 
     def __init__(
         self,
-        path: str,
+        path: Optional[str] = None,
         args: Optional[List[str]] = None,
         tracker: Optional[PythonTracker] = None,
     ):
@@ -59,12 +78,17 @@ class PythonDebugServer(ServerCore):
         self.tracker = tracker if tracker is not None else PythonTracker(
             capture_output=True
         )
-        self.tracker.load_program(path, list(args or []))
+        if path is not None:
+            self.tracker.load_program(path, list(args or []))
         self.engine = self.tracker.engine
         self._running = False
         #: Characters of inferior output already emitted as stream records
         #: (an *absolute* position: survives ring-buffer eviction).
         self._emitted_output = 0
+        #: Whether ``-apply-limits`` lowered this process's rlimits —
+        #: rlimits cannot be raised back, so the warm pool must not hand
+        #: this child to another session.
+        self.limits_applied = False
 
     def request_interrupt(self) -> None:
         super().request_interrupt()
@@ -79,9 +103,38 @@ class PythonDebugServer(ServerCore):
     # ------------------------------------------------------------------
 
     def _cmd_file_exec_and_symbols(self, command) -> List[str]:
+        """Report the loaded program — or, with args, (re)load one.
+
+        ``-file-exec-and-symbols prog.py [args...]`` is how a pooled idle
+        child becomes a session: the warm interpreter loads the program
+        and is ready to ``-exec-run``. On an already-loaded server the
+        same command starts over with a *fresh* tracker (the old one is
+        terminated first), so control points, stats, and MI numbering all
+        reset — a failed load leaves the server idle rather than
+        half-bound to the retired program.
+        """
+        if not command.args:
+            if self.path is None:
+                return [protocol.format_error("no program loaded")]
+            return [
+                protocol.format_done({"file": self.tracker._program_abspath})
+            ]
+        if self.path is not None:
+            self.tracker.terminate()
+            self.tracker = PythonTracker(capture_output=True)
+            self.engine = self.tracker.engine
+            self.path = None
+            self._running = False
+            self._emitted_output = 0
+            self._number = 0
+            self._interrupt_requested = False
+        self.tracker.load_program(command.args[0], list(command.args[1:]))
+        self.path = command.args[0]
         return [protocol.format_done({"file": self.tracker._program_abspath})]
 
     def _cmd_exec_run(self, command) -> List[str]:
+        if self.path is None:
+            return [protocol.format_error("no program loaded")]
         if self._running:
             return [protocol.format_error("the inferior is already running")]
         self._running = True
@@ -114,6 +167,39 @@ class PythonDebugServer(ServerCore):
         self.tracker.terminate()
         return super()._cmd_gdb_exit(command)
 
+    def _cmd_apply_limits(self, command) -> List[str]:
+        """Lower this process's rlimits at session-bind time.
+
+        Pooled children are forked *before* their session exists, so the
+        session's :class:`ResourceLimits` cannot ride the command line;
+        this command applies them in-process instead. One-way: the child
+        is marked spent (``limits_applied``) and will not be reused.
+        """
+        limits = ResourceLimits(
+            address_space=command.option_int("as"),
+            cpu_seconds=command.option_int("cpu"),
+            file_size=command.option_int("fsize"),
+        )
+        limited = limits != ResourceLimits()
+        if limited:
+            limits.apply()
+            self.limits_applied = True
+        return [protocol.format_done({"limits_applied": self.limits_applied})]
+
+    def _cmd_server_info(self, command) -> List[str]:
+        """Liveness + reuse probe: pid, load state, taint flags."""
+        return [
+            protocol.format_done(
+                {
+                    "pid": os.getpid(),
+                    "loaded": self.path,
+                    "started": self._running,
+                    "exitcode": self.tracker.get_exit_code(),
+                    "limits_applied": self.limits_applied,
+                }
+            )
+        ]
+
     def _guarded_exec(self, control) -> List[str]:
         if not self._running:
             return [protocol.format_error("the inferior has not been started")]
@@ -122,11 +208,18 @@ class PythonDebugServer(ServerCore):
         return self._exec(control)
 
     def _exec(self, control) -> List[str]:
-        """Run one blocking control call under the interrupt watcher."""
+        """Run one blocking control call under the interrupt watcher.
+
+        The watcher gets a wake pipe (self-pipe idiom): when the control
+        call returns, one byte written to it snaps the watcher out of its
+        stdin select immediately, so the reply is never delayed by the
+        watcher's poll interval.
+        """
         stop = threading.Event()
+        wake_read, wake_write = os.pipe()
         watcher = threading.Thread(
             target=self._watch_for_interrupt,
-            args=(stop,),
+            args=(stop, wake_read),
             name="subproc-interrupt-watch",
             daemon=True,
         )
@@ -135,21 +228,52 @@ class PythonDebugServer(ServerCore):
             control()
         finally:
             stop.set()
+            try:
+                os.write(wake_write, b"x")
+            except OSError:  # pragma: no cover - wake pipe gone
+                pass
             watcher.join()
+            os.close(wake_read)
+            os.close(wake_write)
         records = [protocol.format_running()]
         records.extend(self._drain_output())
         records.append(protocol.format_stopped(self._stop_payload()))
         return records
 
-    def _watch_for_interrupt(self, stop: threading.Event) -> None:
-        """Deliver a mid-run ``-exec-interrupt``/SIGINT to the tracker."""
-        while not stop.wait(_INTERRUPT_POLL_INTERVAL):
+    def _watch_for_interrupt(
+        self, stop: threading.Event, wake_fd: int
+    ) -> None:
+        """Deliver a mid-run ``-exec-interrupt``/SIGINT to the tracker.
+
+        With the stdio loop's poller installed, each check *sleeps* in
+        ``select`` on stdin plus the wake pipe — zero CPU while the
+        inferior runs, instant wake-up when an interrupt line arrives or
+        the run ends. A zero-arg poller (tests inject those) degrades to
+        the old fixed-cadence poll.
+        """
+        poll = self.interrupt_poll
+        sleeping = poll is not None
+        while not stop.is_set():
             pending = self._interrupt_requested
-            if not pending and self.interrupt_poll is not None:
-                pending = self.interrupt_poll()
+            if poll is not None:
+                if sleeping:
+                    try:
+                        pending = (
+                            poll(
+                                timeout=_INTERRUPT_POLL_INTERVAL,
+                                wake_fd=wake_fd,
+                            )
+                            or pending
+                        )
+                    except TypeError:  # zero-arg poller: cannot sleep for us
+                        sleeping = False
+                if not sleeping:
+                    pending = poll() or pending
             if pending:
                 self._interrupt_requested = False
                 self.tracker._request_interrupt()
+            if not sleeping:
+                stop.wait(_LEGACY_POLL_INTERVAL)
 
     # ------------------------------------------------------------------
     # Stop payloads and output streaming
@@ -344,29 +468,37 @@ def _function_names(code, _names: Optional[List[str]] = None) -> List[str]:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry: ``python -m repro.subproc.server [--limit-*] prog.py [args]``."""
+    """Entry: ``python -m repro.subproc.server [--limit-*] prog.py [args]``.
+
+    With ``--idle`` (and no program), boots a warm program-less server
+    for the tracker service's pool; the program arrives later via
+    ``-file-exec-and-symbols``.
+    """
     argv = argv if argv is not None else sys.argv[1:]
     try:
         limits, rest = ResourceLimits.consume_argv(argv)
     except ValueError as error:
         print(protocol.format_error(str(error)), flush=True)
         return 2
-    if not rest:
+    idle = "--idle" in rest
+    rest = [token for token in rest if token != "--idle"]
+    if not rest and not idle:
         print(
             protocol.format_error(
-                "usage: server [--limit-as N] [--limit-cpu N] "
-                "[--limit-fsize N] <program.py> [args...]"
+                "usage: server [--idle] [--limit-as N] [--limit-cpu N] "
+                "[--limit-fsize N] [<program.py> [args...]]"
             ),
             flush=True,
         )
         return 2
     limits.apply()
     try:
-        server = PythonDebugServer(rest[0], rest[1:])
+        server = PythonDebugServer(rest[0] if rest else None, rest[1:])
     except (ProgramLoadError, OSError) as error:
         print(protocol.format_error(str(error)), flush=True)
         return 1
-    return serve_stdio(server, {"loaded": rest[0]})
+    greeting = {"loaded": rest[0]} if rest else {"idle": True}
+    return serve_stdio(server, greeting)
 
 
 if __name__ == "__main__":

@@ -148,6 +148,9 @@ class FaultyTransport:
     def stderr_tail(self) -> List[str]:
         return self._inner.stderr_tail()
 
+    def lines_dropped(self) -> int:
+        return self._inner.lines_dropped()
+
     def interrupt(self) -> None:
         self._inner.interrupt()
 

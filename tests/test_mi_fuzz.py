@@ -214,3 +214,96 @@ def test_parse_record_raises_only_typed_errors(junk):
         parse_record(junk)
     except ProtocolError:
         pass  # the one allowed failure mode
+
+
+# ---------------------------------------------------------------------------
+# Session-id framing (the multiplexed-session wire format)
+# ---------------------------------------------------------------------------
+
+SESSION_IDS = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_.", min_size=1, max_size=8
+)
+
+
+@given(
+    session=st.one_of(st.none(), SESSION_IDS),
+    name=st.sampled_from(COMMANDS),
+    argument=st.sampled_from(ARGUMENTS),
+)
+@settings(max_examples=100, deadline=None)
+def test_command_session_id_round_trips(session, name, argument):
+    from repro.mi import protocol
+
+    line = protocol.format_command(
+        name, argument.split(), session=session
+    )
+    command = protocol.parse_command(line)
+    assert command.session == session
+    assert command.name == name
+
+
+@given(
+    session=st.one_of(st.none(), SESSION_IDS),
+    record=st.sampled_from(
+        [
+            "^done",
+            '^done,{"n":1}',
+            '^error,msg="boom"',
+            "^running",
+            '*stopped,{"reason":"exited","exitcode":0}',
+            '~"hello\\n"',
+            '=heap-alloc,{"address":16}',
+        ]
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_record_session_tag_round_trips(session, record):
+    from repro.mi import protocol
+
+    untagged = parse_record(record)
+    tagged_line = (
+        record if session is None else protocol.tag_record(record, session)
+    )
+    tagged = parse_record(tagged_line)
+    assert tagged.session == session
+    assert tagged.kind == untagged.kind
+    assert tagged.payload == untagged.payload
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.one_of(st.none(), SESSION_IDS),
+            st.sampled_from(COMMANDS),
+            st.sampled_from(ARGUMENTS),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_mixed_session_and_legacy_commands_echo_their_framing(
+    tmp_path_factory, sequence
+):
+    """Every reply record carries exactly the command's session id."""
+    from repro.mi import protocol
+
+    server = make_server(tmp_path_factory.mktemp("sessions"))
+    for session, name, argument in sequence:
+        line = protocol.format_command(
+            name, argument.split(), session=session
+        )
+        for reply in server.handle(line):
+            record = parse_record(reply)
+            assert record.session == session
+            assert record.kind in ("done", "error", "running", "stopped",
+                                   "stream", "notify")
+
+
+def test_legacy_single_session_wire_format_is_unchanged(tmp_path):
+    """An id-less command produces byte-identical records to the seed."""
+    server = make_server(tmp_path)
+    plain = server.handle("-break-insert main")
+    assert plain == ['^done,{"number":1}']
+    tagged = server.handle("s1-break-insert helper")
+    assert tagged == ['s1^done,{"number":2}']

@@ -1,0 +1,480 @@
+"""Tests for the multiplexing tracker service (:mod:`repro.service`).
+
+Everything here drives real child processes through the real asyncio
+stack — warm pool, session manager, TCP front-end, stdio front-end — but
+each test builds the smallest service that exercises its claim (pool of
+one or two, a handful of sessions). The event loop is entered with
+``asyncio.run`` per test; no async test framework is required.
+"""
+
+import asyncio
+import os
+import signal
+import sys
+
+import pytest
+
+from repro.core.errors import TrackerError
+from repro.mi.client import MIClient, PipeTransport
+from repro.service import (
+    ServiceBusy,
+    ServiceClient,
+    ServiceConfig,
+    SessionManager,
+    TrackerService,
+    WarmPool,
+)
+
+COUNTING_PY = """\
+total = 0
+for i in range(5):
+    total = total + i
+    print("tick", i)
+print("done", total)
+"""
+
+SPINNING_PY = """\
+i = 0
+while i < 1000000000:
+    i = i + 1
+"""
+
+EXITING_PY = """\
+import os
+os._exit(3)
+"""
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def make_service(**overrides):
+    defaults = dict(pool_size=1, port=0)
+    defaults.update(overrides)
+    service = TrackerService(ServiceConfig(**defaults))
+    await service.start()
+    return service
+
+
+# ---------------------------------------------------------------------------
+# Warm pool lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestWarmPool:
+    def test_clean_close_reuses_the_same_child(self, write_program):
+        """A run-to-completion session hands its child back to the shelf."""
+        path = write_program("prog.py", COUNTING_PY)
+
+        async def scenario():
+            pool = WarmPool(size=1)
+            manager = SessionManager(pool, max_sessions=4)
+            await manager.start()
+            try:
+                first = await manager.open(path)
+                first_pid = first.child.pid
+                await first.run_command("-exec-run")
+                while not first.exited:
+                    await first.run_command("-exec-continue")
+                await manager.close_session(first)
+                second = await manager.open(path)
+                second_pid = second.child.pid
+                await manager.close_session(second)
+                return first_pid, second_pid, dict(pool.stats)
+            finally:
+                await manager.close()
+
+        first_pid, second_pid, stats = run(scenario())
+        assert first_pid == second_pid
+        assert stats["reused"] >= 1
+
+    def test_never_started_session_is_also_reusable(self, write_program):
+        path = write_program("prog.py", COUNTING_PY)
+
+        async def scenario():
+            pool = WarmPool(size=1)
+            manager = SessionManager(pool, max_sessions=4)
+            await manager.start()
+            try:
+                first = await manager.open(path)
+                pid = first.child.pid
+                await manager.close_session(first)
+                second = await manager.open(path)
+                reopened = second.child.pid
+                await manager.close_session(second)
+                return pid, reopened
+            finally:
+                await manager.close()
+
+        pid, reopened = run(scenario())
+        assert pid == reopened
+
+    def test_mid_run_close_discards_the_child(self, write_program):
+        """A started-but-unfinished inferior may haunt the child: retire."""
+        path = write_program("prog.py", COUNTING_PY)
+
+        async def scenario():
+            pool = WarmPool(size=1)
+            manager = SessionManager(pool, max_sessions=4)
+            await manager.start()
+            try:
+                first = await manager.open(path)
+                pid = first.child.pid
+                await first.run_command("-exec-run")  # started, not exited
+                await manager.close_session(first)
+                second = await manager.open(path)
+                reopened = second.child.pid
+                await manager.close_session(second)
+                return pid, reopened, dict(pool.stats)
+            finally:
+                await manager.close()
+
+        pid, reopened, stats = run(scenario())
+        assert pid != reopened
+        assert stats["discarded"] >= 1
+
+    def test_limited_session_taints_the_child(self, write_program):
+        from repro.subproc.limits import ResourceLimits
+
+        path = write_program("prog.py", COUNTING_PY)
+
+        async def scenario():
+            pool = WarmPool(size=1)
+            manager = SessionManager(pool, max_sessions=4)
+            await manager.start()
+            try:
+                first = await manager.open(
+                    path, limits=ResourceLimits(file_size=10_000_000_000)
+                )
+                pid = first.child.pid
+                await manager.close_session(first)
+                second = await manager.open(path)
+                reopened = second.child.pid
+                await manager.close_session(second)
+                return pid, reopened
+            finally:
+                await manager.close()
+
+        pid, reopened = run(scenario())
+        assert pid != reopened
+
+    def test_poisoned_parked_child_is_discarded_on_acquire(
+        self, write_program
+    ):
+        """A killed shelf child fails its health check; acquire recovers."""
+        path = write_program("prog.py", COUNTING_PY)
+
+        async def scenario():
+            pool = WarmPool(size=1)
+            await pool.start()
+            try:
+                victim = pool._idle[0]
+                os.kill(victim.pid, signal.SIGKILL)
+                await victim.transport._process.wait()
+                child = await pool.acquire()
+                alive_pid = child.pid
+                await pool.release(child, reusable=False)
+                return victim.pid, alive_pid, dict(pool.stats)
+            finally:
+                await pool.close()
+
+        victim_pid, alive_pid, stats = run(scenario())
+        assert victim_pid != alive_pid
+        assert stats["discarded"] >= 1
+
+    def test_pool_refills_under_churn(self, write_program):
+        """Draining the shelf triggers background refill back to size."""
+
+        async def scenario():
+            pool = WarmPool(size=2)
+            await pool.start()
+            try:
+                first = await pool.acquire()
+                second = await pool.acquire()
+                await pool.release(first, reusable=False)
+                await pool.release(second, reusable=False)
+                for _ in range(100):  # wait for the refill task
+                    if len(pool._idle) >= pool.size:
+                        break
+                    await asyncio.sleep(0.1)
+                return len(pool._idle), dict(pool.stats)
+            finally:
+                await pool.close()
+
+        idle, stats = run(scenario())
+        assert idle == 2
+        assert stats["spawned"] >= 4  # 2 initial + 2 refills
+
+    def test_empty_shelf_falls_back_to_cold_spawn(self):
+        async def scenario():
+            pool = WarmPool(size=0)  # warming disabled
+            await pool.start()
+            try:
+                child = await pool.acquire()
+                warm = child.warm
+                await pool.release(child, reusable=False)
+                return warm, dict(pool.stats)
+            finally:
+                await pool.close()
+
+        warm, stats = run(scenario())
+        assert warm is False
+        assert stats["cold_spawns"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Admission control and idle reaping
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_reject_mode_raises_service_busy(self, write_program):
+        path = write_program("prog.py", COUNTING_PY)
+
+        async def scenario():
+            pool = WarmPool(size=1)
+            manager = SessionManager(pool, max_sessions=1, queue=False)
+            await manager.start()
+            try:
+                first = await manager.open(path)
+                with pytest.raises(ServiceBusy):
+                    await manager.open(path)
+                await manager.close_session(first)
+                return manager.stats.rejected
+            finally:
+                await manager.close()
+
+        assert run(scenario()) == 1
+
+    def test_queue_mode_waits_for_a_slot(self, write_program):
+        path = write_program("prog.py", COUNTING_PY)
+
+        async def scenario():
+            pool = WarmPool(size=1)
+            manager = SessionManager(pool, max_sessions=1, queue=True)
+            await manager.start()
+            try:
+                first = await manager.open(path)
+                waiter = asyncio.ensure_future(manager.open(path))
+                await asyncio.sleep(0.1)
+                assert not waiter.done()  # parked, not rejected
+                await manager.close_session(first)
+                second = await asyncio.wait_for(waiter, 30)
+                await manager.close_session(second)
+                return manager.stats.queued
+            finally:
+                await manager.close()
+
+        assert run(scenario()) == 1
+
+    def test_idle_sessions_are_reaped(self, write_program):
+        path = write_program("prog.py", COUNTING_PY)
+
+        async def scenario():
+            pool = WarmPool(size=1)
+            manager = SessionManager(
+                pool, max_sessions=4, idle_timeout=0.3
+            )
+            await manager.start()
+            try:
+                session = await manager.open(path)
+                for _ in range(100):
+                    if session.closed:
+                        break
+                    await asyncio.sleep(0.1)
+                return session.closed, manager.stats.reaped
+            finally:
+                await manager.close()
+
+        closed, reaped = run(scenario())
+        assert closed
+        assert reaped == 1
+
+
+# ---------------------------------------------------------------------------
+# The service end-to-end over TCP
+# ---------------------------------------------------------------------------
+
+
+class TestServiceEndToEnd:
+    def test_two_concurrent_sessions(self, write_program):
+        path = write_program("prog.py", COUNTING_PY)
+
+        async def scenario():
+            service = await make_service(pool_size=2)
+            try:
+                host, port = service.address
+                async with await ServiceClient.connect(host, port) as client:
+                    a = await client.open_tracker(path)
+                    b = await client.open_tracker(path)
+                    assert a.session_id != b.session_id
+                    await a.break_before_line(5)
+                    stops = await asyncio.gather(a.start(), b.start())
+                    assert all(
+                        s["reason"] == "end-stepping-range" for s in stops
+                    )
+                    hit = await a.resume()
+                    assert hit["reason"] == "breakpoint-hit"
+                    while b.get_exit_code() is None:
+                        await b.resume()
+                    while a.get_exit_code() is None:
+                        await a.resume()
+                    assert "done 10" in a.get_output()
+                    assert "done 10" in b.get_output()
+                    await a.close()
+                    await b.close()
+            finally:
+                await service.close()
+
+        run(scenario())
+
+    def test_child_death_becomes_an_exited_stop(self, write_program):
+        path = write_program("exiting.py", EXITING_PY)
+
+        async def scenario():
+            service = await make_service()
+            try:
+                host, port = service.address
+                async with await ServiceClient.connect(host, port) as client:
+                    tracker = await client.open_tracker(path)
+                    await tracker.start()
+                    stop = await tracker.resume()
+                    assert stop["reason"] == "exited"
+                    assert stop["exitcode"] == 3
+                    # the dead session answers, it does not hang
+                    stop_again = await tracker.resume()
+                    assert stop_again["reason"] == "exited"
+                    await tracker.close()
+            finally:
+                await service.close()
+
+        run(scenario())
+
+    def test_deadline_interrupts_a_spinning_inferior(self, write_program):
+        path = write_program("spin.py", SPINNING_PY)
+
+        async def scenario():
+            service = await make_service()
+            try:
+                host, port = service.address
+                async with await ServiceClient.connect(host, port) as client:
+                    tracker = await client.open_tracker(path)
+                    await tracker.start()
+                    stop = await tracker.resume(timeout=0.5)
+                    assert stop["reason"] == "interrupted"
+                    await tracker.close()
+            finally:
+                await service.close()
+
+        run(scenario())
+
+    def test_service_stats_and_unknown_session_error(self, write_program):
+        path = write_program("prog.py", COUNTING_PY)
+
+        async def scenario():
+            service = await make_service()
+            try:
+                host, port = service.address
+                async with await ServiceClient.connect(host, port) as client:
+                    tracker = await client.open_tracker(path)
+                    stats = await client.service_stats()
+                    assert stats["open_sessions"] == 1
+                    assert stats["pool"]["spawned"] >= 1
+                    with pytest.raises(TrackerError):
+                        await client._control_request(
+                            "ghost-exec-run", timeout=10
+                        )
+                    await tracker.close()
+                    stats = await client.service_stats()
+                    assert stats["open_sessions"] == 0
+            finally:
+                await service.close()
+
+        run(scenario())
+
+    def test_eight_concurrent_sessions_smoke(self, write_program):
+        """The CI smoke contract: 8 sessions, breakpoint + resume each,
+        clean shutdown, all inside the suite's per-test timeout."""
+        path = write_program("prog.py", COUNTING_PY)
+
+        async def drive(client):
+            tracker = await client.open_tracker(path)
+            await tracker.break_before_line(5)
+            await tracker.start()
+            stop = await tracker.resume()
+            assert stop["reason"] == "breakpoint-hit"
+            while tracker.get_exit_code() is None:
+                await tracker.resume()
+            assert "done 10" in tracker.get_output()
+            await tracker.close()
+            return tracker.session_id
+
+        async def scenario():
+            service = await make_service(pool_size=4, max_sessions=8)
+            try:
+                host, port = service.address
+                async with await ServiceClient.connect(host, port) as client:
+                    ids = await asyncio.gather(
+                        *(drive(client) for _ in range(8))
+                    )
+                    assert len(set(ids)) == 8
+                    stats = await client.service_stats()
+                    assert stats["total_opened"] == 8
+                    assert stats["closed"] == 8
+            finally:
+                await service.close()
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Legacy (id-less) clients against the service
+# ---------------------------------------------------------------------------
+
+
+class TestLegacyClients:
+    def test_blocking_miclient_over_stdio(self, write_program):
+        """A stock MIClient cannot tell the service from a child server."""
+        path = write_program("prog.py", COUNTING_PY)
+        argv = [
+            sys.executable, "-m", "repro", "serve", "--stdio", "--pool", "1",
+        ]
+        client = MIClient(
+            path, transport_factory=lambda: PipeTransport(argv)
+        )
+        try:
+            assert client.execute("-file-exec-and-symbols", [path])
+            assert client.execute("-break-insert", ["5"]) == {"number": 1}
+            first = client.run_control("-exec-run")
+            assert first["reason"] == "end-stepping-range"
+            hit = client.run_control("-exec-continue")
+            assert hit["reason"] == "breakpoint-hit"
+            while True:
+                payload = client.run_control("-exec-continue")
+                if payload["reason"] == "exited":
+                    break
+            assert "done 10" in "".join(client.console)
+        finally:
+            client.close()
+
+    def test_idless_command_without_session_is_an_error(self, write_program):
+        path = write_program("prog.py", COUNTING_PY)
+
+        async def scenario():
+            service = await make_service()
+            try:
+                host, port = service.address
+                reader, writer = await asyncio.open_connection(host, port)
+                greeting = await reader.readline()
+                assert b"service" in greeting
+                writer.write(b"-exec-run\n")
+                await writer.drain()
+                reply = await reader.readline()
+                assert reply.startswith(b"^error")
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await service.close()
+
+        run(scenario())

@@ -243,3 +243,74 @@ class TestExitCodeMapping:
 
     def test_unknown_death_is_nonzero(self):
         assert _process_exit_code(None) == 1
+
+
+class TestIdleBootAndReload:
+    """The pooled-child life: boot idle, bind via load, taint via limits."""
+
+    def test_idle_server_reports_unloaded(self):
+        server = PythonDebugServer()
+        info = records(server.handle("-server-info"))[0].payload
+        assert info["loaded"] is None
+        assert info["started"] is False
+        assert info["limits_applied"] is False
+        assert info["pid"]
+
+    def test_run_before_load_is_error(self):
+        server = PythonDebugServer()
+        record = records(server.handle("-exec-run"))[0]
+        assert record.kind == "error"
+
+    def test_load_binds_an_idle_server(self, write_program):
+        server = PythonDebugServer()
+        path = write_program("late.py", "print('hi')\n")
+        done = records(server.handle(f"-file-exec-and-symbols {path}"))[0]
+        assert done.kind == "done"
+        lines = server.handle("-exec-run")
+        assert records(lines)[0].kind == "running"
+
+    def test_reload_resets_state(self, server, write_program):
+        server.handle("-break-insert square")
+        server.handle("-exec-run")
+        other = write_program("other.py", "y = 2\nprint('other', y)\n")
+        done = records(server.handle(f"-file-exec-and-symbols {other}"))[0]
+        assert done.kind == "done"
+        # numbering, run state, and control points all start over
+        info = records(server.handle("-server-info"))[0].payload
+        assert info["started"] is False
+        number = records(server.handle("-break-insert 2"))[0].payload
+        assert number == {"number": 1}
+        lines = server.handle("-exec-run")
+        assert records(lines)[0].kind == "running"
+        server.handle("-exec-continue")
+        final = server.handle("-exec-continue")
+        assert last_stopped(final)["reason"] == "exited"
+
+    def test_failed_reload_leaves_server_idle(self, server):
+        error = records(
+            server.handle("-file-exec-and-symbols /no/such/prog.py")
+        )[0]
+        assert error.kind == "error"
+        info = records(server.handle("-server-info"))[0].payload
+        assert info["loaded"] is None
+
+    def test_load_report_without_args_still_works(self, server):
+        done = records(server.handle("-file-exec-and-symbols"))[0]
+        assert done.kind == "done"
+        assert done.payload["file"].endswith("prog.py")
+
+    def test_apply_limits_taints_the_server(self):
+        server = PythonDebugServer()
+        # an enormous fsize cap: harmless to the test process, but the
+        # taint flag must flip regardless of the cap's size
+        done = records(
+            server.handle("-apply-limits --fsize 10000000000")
+        )[0]
+        assert done.payload == {"limits_applied": True}
+        info = records(server.handle("-server-info"))[0].payload
+        assert info["limits_applied"] is True
+
+    def test_empty_apply_limits_is_a_no_op(self):
+        server = PythonDebugServer()
+        done = records(server.handle("-apply-limits"))[0]
+        assert done.payload == {"limits_applied": False}
