@@ -97,9 +97,9 @@ final = total
 """
 
 
-def _resume_seconds(path, breakpoints):
+def _resume_seconds(path, breakpoints, tracker_class=PythonTracker):
     """Wall-clock of one resume-to-exit run with N non-matching line bps."""
-    tracker = PythonTracker()
+    tracker = tracker_class()
     tracker.load_program(path)
     for index in range(breakpoints):
         tracker.break_before_line(100000 + index)  # never hit
@@ -139,6 +139,76 @@ def test_dispatch_flat_in_breakpoint_count(benchmark, write_program):
         "(indexed dispatch: must stay within 2x)"
     )
     assert factor <= 2.0
+
+
+# ---------------------------------------------------------------------------
+# settrace vs sys.monitoring (python-mon) sweep
+# ---------------------------------------------------------------------------
+
+
+def test_monitoring_vs_settrace_sweep(benchmark, write_program):
+    """The python-mon speedup, measured and guarded.
+
+    Three resume-to-exit scenarios on the same module-level loop:
+
+    - ``no-bp``: nothing installed. settrace still pays a per-line
+      callback in the module frame (the frame-skip fast path only applies
+      at frame *entry*); monitoring turns LINE events off entirely.
+    - ``1-bp`` / ``200-cold-bp``: never-hit line breakpoints keep LINE
+      events enabled, but monitoring DISABLEs each location after its
+      first fire while settrace keeps paying per line.
+
+    The regression guard pins the headline scenario: monitoring must run
+    the no-breakpoint resume in at most half the settrace wall time.
+    CI emits this sweep as ``--benchmark-json`` per matrix version and a
+    guard step fails the build if the bound regresses.
+    """
+    from repro.pytracker.monitoring import (
+        HAVE_MONITORING,
+        SKIP_REASON,
+        MonitoringTracker,
+    )
+
+    if not HAVE_MONITORING:
+        pytest.skip(SKIP_REASON)
+
+    path = write_program("sweep.py", GUARD_PROGRAM)
+    scenarios = [("no-bp", 0), ("1-bp", 1), ("200-cold-bp", 200)]
+    # Warm-up both backends: imports, code objects, caches.
+    _resume_seconds(path, 0)
+    _resume_seconds(path, 0, tracker_class=MonitoringTracker)
+
+    def measure():
+        ratios = {}
+        for name, breakpoints in scenarios:
+            settrace, monitoring = [], []
+            for _ in range(5):
+                settrace.append(_resume_seconds(path, breakpoints))
+                monitoring.append(
+                    _resume_seconds(
+                        path, breakpoints, tracker_class=MonitoringTracker
+                    )
+                )
+            ratios[name] = (
+                statistics.median(settrace),
+                statistics.median(monitoring),
+            )
+        return ratios
+
+    ratios = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = []
+    for name, (settrace, monitoring) in ratios.items():
+        lines.append(
+            f"{name}: settrace {settrace * 1e3:.1f} ms vs monitoring "
+            f"{monitoring * 1e3:.1f} ms -> {monitoring / settrace:.2f}x"
+        )
+    print("\n" + "\n".join(lines))
+    settrace, monitoring = ratios["no-bp"]
+    assert monitoring <= 0.5 * settrace, (
+        "sys.monitoring no-breakpoint resume regressed: "
+        f"{monitoring * 1e3:.1f} ms vs settrace {settrace * 1e3:.1f} ms "
+        "(bound: <= 0.5x)"
+    )
 
 
 # ---------------------------------------------------------------------------

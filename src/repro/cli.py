@@ -40,7 +40,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("args", nargs="*")
     run.add_argument(
         "--backend", default=None,
-        help="tracker backend (default: chosen from the file extension)",
+        help="tracker backend: python, python-mon (sys.monitoring, "
+        "3.12+), python-subproc, GDB, pt, replay (default: chosen from "
+        "the file extension)",
     )
     _add_isolation_arguments(run)
     run.add_argument(
@@ -142,7 +144,9 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("output")
     record.add_argument(
         "--backend", default=None,
-        help="tracker backend (default: chosen from the file extension)",
+        help="tracker backend: python, python-mon (sys.monitoring, "
+        "3.12+), python-subproc, GDB, pt, replay (default: chosen from "
+        "the file extension)",
     )
     record.add_argument("--keyframe-interval", type=int, default=16)
     record.add_argument(
@@ -374,7 +378,18 @@ def _timeline_command(options: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro``; returns the exit status."""
-    options = build_parser().parse_args(argv)
+    from repro.core.errors import TrackerError
+
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except TrackerError as error:
+        # e.g. an unknown --backend (the message lists the registered
+        # ones) or python-mon on an interpreter without sys.monitoring.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(options: argparse.Namespace) -> int:
     command = options.command
 
     if command == "run":

@@ -320,6 +320,11 @@ class ControlPointEngine:
         self._address_index: Dict[int, List[AddressBreakpoint]] = {}
         self._bp_files: Optional[FrozenSet[str]] = frozenset()
         self._has_watchpoints = False
+        #: Callbacks fired after every index rebuild (dirty-flag hits).
+        #: The sys.monitoring backend uses this to re-arm per-code-object
+        #: event sets and restart ``DISABLE``d locations the moment the
+        #: compiled indexes change underneath it.
+        self._recompile_listeners: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
     # Compilation
@@ -328,6 +333,16 @@ class ControlPointEngine:
     def mark_dirty(self) -> None:
         """Note that a registry changed; indexes rebuild on next use."""
         self._dirty = True
+
+    def add_recompile_listener(self, listener: Callable[[], None]) -> None:
+        """Call ``listener`` after every index rebuild.
+
+        Backends whose instrumentation is compiled from the indexes (the
+        ``python-mon`` backend's per-code-object event sets) register here
+        so a registry change propagates to the substrate the moment the
+        dirty flag is serviced, wherever the triggering ``refresh`` ran.
+        """
+        self._recompile_listeners.append(listener)
 
     def refresh(self) -> None:
         """Rebuild the indexes if a registry changed since the last build."""
@@ -364,6 +379,8 @@ class ControlPointEngine:
         self._has_watchpoints = bool(self.watchpoints)
         self.stats.recompiles += 1
         self._dirty = False
+        for listener in self._recompile_listeners:
+            listener()
 
     # ------------------------------------------------------------------
     # Registry plumbing shared with protocol servers
@@ -481,6 +498,28 @@ class ControlPointEngine:
     def has_address_breakpoints(self) -> bool:
         return bool(self._address_index)
 
+    @property
+    def has_tracked_functions(self) -> bool:
+        """Whether any tracked functions are installed (enabled or not)."""
+        return bool(self._tracked_index)
+
+    def lines_may_fire_in(self, filename: str) -> bool:
+        """Whether any line breakpoint could fire in ``filename``.
+
+        The per-file projection of the line index: ``True`` when a
+        file-agnostic breakpoint exists or ``filename`` (by absolute path
+        or basename) carries one. This is what the ``python-mon`` backend
+        compiles into its per-code-object ``LINE`` event masks — line
+        events are requested only where a line control point could match
+        (stepping and watchpoints force them separately).
+        """
+        if self._bp_files is None:
+            return True
+        return (
+            filename in self._bp_files
+            or os.path.basename(filename) in self._bp_files
+        )
+
     def may_match_line(self, line: int) -> bool:
         """O(1) fast reject: is there *any* breakpoint on this line?"""
         return line in self._bp_lines
@@ -549,14 +588,7 @@ class ControlPointEngine:
             return False
         if self._function_index or self._tracked_index:
             return False
-        if self._bp_files is None:
-            return False
-        if not self._bp_files:
-            return True
-        return (
-            filename not in self._bp_files
-            and os.path.basename(filename) not in self._bp_files
-        )
+        return not self.lines_may_fire_in(filename)
 
     # ------------------------------------------------------------------
     # Watchpoints: unified value-change detection

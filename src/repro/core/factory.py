@@ -38,9 +38,11 @@ def init_tracker(name: str, **kwargs: Any) -> Tracker:
 
     Args:
         name: ``"python"`` for the in-process settrace tracker,
-            ``"python-subproc"`` for the same tracker isolated in a
-            sandboxed child interpreter, ``"GDB"`` for the debug-server
-            (mini-C / RISC-V) tracker, or ``"pt"`` for the Python Tutor
+            ``"python-mon"`` for the in-process ``sys.monitoring``
+            (PEP 669) tracker (Python 3.12+ only), ``"python-subproc"``
+            for the settrace tracker isolated in a sandboxed child
+            interpreter, ``"GDB"`` for the debug-server (mini-C /
+            RISC-V) tracker, or ``"pt"`` for the Python Tutor
             trace-replay tracker.
         **kwargs: forwarded to the backend constructor (e.g.
             ``capture_output=True`` for ``"python"``, ``restart_policy=``
@@ -53,8 +55,10 @@ def init_tracker(name: str, **kwargs: Any) -> Tracker:
     try:
         build = _REGISTRY[name.lower()]
     except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
-        raise TrackerError(f"unknown tracker {name!r} (known: {known})") from None
+        known = ", ".join(available_trackers())
+        raise TrackerError(
+            f"unknown tracker {name!r}; registered backends: {known}"
+        ) from None
     return build(**kwargs)
 
 
@@ -64,6 +68,10 @@ def _ensure_builtins() -> None:
         from repro.pytracker.tracker import PythonTracker
 
         register_tracker("python", PythonTracker)
+    if "python-mon" not in _REGISTRY:
+        from repro.pytracker.monitoring import MonitoringTracker
+
+        register_tracker("python-mon", MonitoringTracker)
     if "python-subproc" not in _REGISTRY:
         from repro.subproc.tracker import SubprocPythonTracker
 

@@ -111,6 +111,9 @@ class DebugAdapter:
             return [self._error(request, "launch needs a 'program' argument")]
         self._program = program
         self._stop_on_entry = bool(arguments.get("stopOnEntry", True))
+        # Any registered factory name works here — e.g. "python-mon"
+        # selects the sys.monitoring (3.12+) fast backend; an unavailable
+        # one surfaces as a DAP error response listing the alternatives.
         backend = arguments.get(
             "backend", "python" if program.endswith(".py") else "GDB"
         )

@@ -1,4 +1,5 @@
-"""The Python tracker: in-process, ``sys.settrace``-based."""
+"""The Python trackers: in-process, ``sys.settrace``- or
+``sys.monitoring``-based."""
 
 from repro.pytracker.introspect import (
     PyVariable,
@@ -7,9 +8,11 @@ from repro.pytracker.introspect import (
     build_globals,
     build_variable,
 )
+from repro.pytracker.monitoring import MonitoringTracker
 from repro.pytracker.tracker import PythonTracker
 
 __all__ = [
+    "MonitoringTracker",
     "PythonTracker",
     "PyVariable",
     "Snapshotter",

@@ -332,17 +332,11 @@ class PythonTracker(Tracker):
         self._swap_stdout_in()
         exit_code = 0
         try:
-            sys.settrace(self._trace)
-            # The profile hook is the settrace tamper guard: settrace is
-            # per-thread state only this thread can read (see _profile).
-            sys.setprofile(self._profile)
-            self._guard_active = True
+            self._arm_instrumentation()
             try:
                 exec(self._code, self._globals)
             finally:
-                self._guard_active = False
-                sys.setprofile(None)
-                sys.settrace(None)
+                self._disarm_instrumentation()
         except _KillInferior:
             exit_code = -9
         except SystemExit as error:
@@ -368,6 +362,26 @@ class PythonTracker(Tracker):
                 self.engine.record_pause(PauseReasonType.EXIT)
                 self._paused_py_frame = None
                 self._condition.notify_all()
+
+    def _arm_instrumentation(self) -> None:
+        """Install the tracing substrate (runs in the inferior thread).
+
+        The settrace backend registers the per-thread trace function plus
+        the profile-hook tamper guard (settrace is per-thread state only
+        this thread can read; see :meth:`_profile`). The ``python-mon``
+        subclass replaces this with per-code-object ``sys.monitoring``
+        event sets, which are interpreter-global and armed before the
+        inferior thread even starts.
+        """
+        sys.settrace(self._trace)
+        sys.setprofile(self._profile)
+        self._guard_active = True
+
+    def _disarm_instrumentation(self) -> None:
+        """Remove the tracing substrate (inferior thread, on its way out)."""
+        self._guard_active = False
+        sys.setprofile(None)
+        sys.settrace(None)
 
     def _swap_stdout_in(self) -> None:
         if self._capture_output:

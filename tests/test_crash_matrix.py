@@ -15,9 +15,18 @@ import pytest
 from repro.core.errors import TrackerError
 from repro.core.pause import PauseReasonType
 from repro.gdbtracker.tracker import GDBTracker
+from repro.pytracker.monitoring import (
+    HAVE_MONITORING,
+    SKIP_REASON,
+    MonitoringTracker,
+)
 from repro.pytracker.tracker import PythonTracker
 from repro.subproc.tracker import SubprocPythonTracker
 from repro.testing.faults import NEVER_PAUSING_C, NEVER_PAUSING_PY
+
+requires_monitoring = pytest.mark.skipif(
+    not HAVE_MONITORING, reason=SKIP_REASON
+)
 
 PY_CRASH = """\
 x = 1
@@ -101,6 +110,16 @@ def make_gdb(write_program):
 
 
 @pytest.fixture
+def make_mon(write_program):
+    def build(source):
+        tracker = MonitoringTracker()
+        tracker.load_program(write_program("prog.py", source))
+        return tracker
+
+    return build
+
+
+@pytest.fixture
 def make_subproc(write_program):
     def build(source):
         tracker = SubprocPythonTracker()
@@ -130,6 +149,16 @@ class TestExitCodeParity:
         self, make_subproc, source, expected
     ):
         code = assert_terminal_contract(run_to_exit(make_subproc(source)))
+        assert code == expected
+
+    @requires_monitoring
+    @pytest.mark.parametrize(
+        "source,expected", [(PY_CLEAN, 0), (PY_EXIT_7, 7)]
+    )
+    def test_monitoring_matches_settrace_exit_codes(
+        self, make_mon, source, expected
+    ):
+        code = assert_terminal_contract(run_to_exit(make_mon(source)))
         assert code == expected
 
 
@@ -162,6 +191,15 @@ class TestCrashParity:
         assert "ValueError" in tracker.exit_error
         assert assert_terminal_contract(tracker) == 1
 
+    @requires_monitoring
+    def test_monitoring_crash_is_terminal_and_surfaces_the_exception(
+        self, make_mon
+    ):
+        tracker = run_to_exit(make_mon(PY_CRASH))
+        error = tracker.get_inferior_exception()
+        assert isinstance(error, ValueError)
+        assert assert_terminal_contract(tracker) == 1
+
     def test_subproc_hard_kill_is_the_inferiors_death(self, make_subproc):
         """os._exit skips the child's server entirely — the tracker must
         report a terminal exited state with the process exit code, the
@@ -183,6 +221,12 @@ class TestInterruptParity:
             ("python", "spin.py", NEVER_PAUSING_PY),
             ("gdb", "spin.c", NEVER_PAUSING_C),
             ("python-subproc", "spin.py", NEVER_PAUSING_PY),
+            pytest.param(
+                "python-mon",
+                "spin.py",
+                NEVER_PAUSING_PY,
+                marks=requires_monitoring,
+            ),
         ],
     )
     def test_interrupted_inferior_is_paused_not_terminal(
@@ -192,6 +236,7 @@ class TestInterruptParity:
             "python": PythonTracker,
             "gdb": GDBTracker,
             "python-subproc": SubprocPythonTracker,
+            "python-mon": MonitoringTracker,
         }[backend]()
         tracker.load_program(write_program(name, source))
         tracker.start()

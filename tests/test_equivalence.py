@@ -116,6 +116,33 @@ class TestEquivalence:
         )
         assert report.equivalent, report.explain()
 
+    def test_monitoring_backend_records_the_same_signature(
+        self, write_program
+    ):
+        """The sys.monitoring backend is a drop-in recorder for the
+        settrace one: same program, same behavioral signature."""
+        from repro.pytracker.monitoring import HAVE_MONITORING, SKIP_REASON
+
+        if not HAVE_MONITORING:
+            pytest.skip(SKIP_REASON)
+        path = write_program("f.py", PY_FACT)
+        report = check_equivalence(path, path, "fact", backend_b="python-mon")
+        assert report.equivalent, report.explain()
+
+    def test_monitoring_backend_against_c(self, write_program):
+        from repro.pytracker.monitoring import HAVE_MONITORING, SKIP_REASON
+
+        if not HAVE_MONITORING:
+            pytest.skip(SKIP_REASON)
+        report = check_equivalence(
+            write_program("f.py", PY_FACT),
+            write_program("f.c", C_FACT),
+            "fact",
+            argument_names=["n"],
+            backend_a="python-mon",
+        )
+        assert report.equivalent, report.explain()
+
     def test_different_algorithm_diverges_internally(self, write_program):
         # Iterative fact computes the same answer but with a different
         # call structure: not equivalent at recursion granularity.

@@ -93,6 +93,14 @@ def _run_subproc(tmp_path, install):
     return _drive(SubprocPythonTracker(), str(path), install)
 
 
+def _run_mon(tmp_path, install):
+    from repro.pytracker import MonitoringTracker
+
+    path = tmp_path / "prog.py"
+    path.write_text(PY_PROGRAM)
+    return _drive(MonitoringTracker(capture_output=True), str(path), install)
+
+
 INSTALLERS = {
     "line-bp-capped": lambda t: t.break_before_line(2, maxdepth=2),
     "line-bp-unlimited": lambda t: t.break_before_line(2),
@@ -142,6 +150,21 @@ def test_same_pauses_across_trackers(kind, tmp_path):
     python_pauses = _run_python(tmp_path, install)
     minic_pauses = _run_minic(tmp_path, install)
     assert _comparable(python_pauses) == _comparable(minic_pauses)
+
+
+@pytest.mark.parametrize("kind", sorted(INSTALLERS))
+def test_monitoring_matches_settrace_exactly(kind, tmp_path):
+    """The sys.monitoring backend shares everything above the
+    instrumentation layer with the settrace one, so it must agree on the
+    full pause tuples — function names and watch old/new values included."""
+    from repro.pytracker.monitoring import HAVE_MONITORING, SKIP_REASON
+
+    if not HAVE_MONITORING:
+        pytest.skip(SKIP_REASON)
+    install = INSTALLERS[kind]
+    python_pauses = _run_python(tmp_path, install)
+    mon_pauses = _run_mon(tmp_path, install)
+    assert python_pauses == mon_pauses
 
 
 @pytest.mark.parametrize("kind", sorted(INSTALLERS))

@@ -1,0 +1,268 @@
+"""Unit tests for the ``sys.monitoring`` backend (``python-mon``).
+
+The parity suites (maxdepth, timeline, crash matrix, equivalence) prove
+the backend agrees with the settrace tracker on pause sequences; this
+suite covers what is *specific* to the monitoring substrate: tool-id
+lifecycle (acquisition, "already taken" fallback, release), the
+DISABLE/``restart_events`` re-arm dance when the engine's indexes change
+under live instrumentation, the steady-state claim that resume with no
+matching control points stops receiving line events, and asynchronous
+interrupt delivery through monitoring callbacks.
+
+On interpreters without ``sys.monitoring`` (<3.12) every test here skips
+with :data:`repro.pytracker.monitoring.SKIP_REASON`; the factory error
+path and the unknown-backend message are tested on every version.
+"""
+
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.errors import BackendUnavailableError, TrackerError
+from repro.core.factory import available_trackers, init_tracker
+from repro.core.pause import PauseReasonType
+from repro.pytracker.monitoring import (
+    HAVE_MONITORING,
+    SKIP_REASON,
+    MonitoringTracker,
+)
+from repro.testing.faults import NEVER_PAUSING_PY
+
+requires_monitoring = pytest.mark.skipif(
+    not HAVE_MONITORING, reason=SKIP_REASON
+)
+
+TWO_CALLS = """\
+def work():
+    a = 1
+    b = 2
+    return a + b
+
+work()
+work()
+done = 1
+"""
+
+HOT_LOOP = """\
+total = 0
+for i in range(2000):
+    total += i
+done = total
+"""
+
+
+class TestFactory:
+    def test_registered_under_python_mon(self):
+        assert "python-mon" in available_trackers()
+
+    @pytest.mark.skipif(
+        HAVE_MONITORING, reason="needs an interpreter without sys.monitoring"
+    )
+    def test_unavailable_raises_backend_error(self):
+        with pytest.raises(BackendUnavailableError) as excinfo:
+            init_tracker("python-mon")
+        assert "3.12" in str(excinfo.value)
+        assert "sys.monitoring" in str(excinfo.value)
+
+    def test_unknown_backend_error_lists_registered_names(self):
+        """The unknown-backend error enumerates every registered factory
+        name, so a typo'd ``python-mom`` shows the user what exists."""
+        with pytest.raises(TrackerError) as excinfo:
+            init_tracker("python-mom")
+        message = str(excinfo.value)
+        assert "python-mom" in message
+        for name in available_trackers():
+            assert name in message
+
+    @requires_monitoring
+    def test_factory_builds_a_monitoring_tracker(self):
+        tracker = init_tracker("python-mon")
+        assert isinstance(tracker, MonitoringTracker)
+        assert tracker.backend == "python-mon"
+
+
+def _run_to_exit(tracker):
+    while tracker.get_exit_code() is None:
+        tracker.resume()
+    return tracker
+
+
+@requires_monitoring
+class TestToolIdLifecycle:
+    def test_tool_id_acquired_while_running_released_after(
+        self, write_program
+    ):
+        tracker = MonitoringTracker()
+        tracker.load_program(write_program("prog.py", TWO_CALLS))
+        tracker.start()
+        tool_id = tracker._tool_id
+        assert tool_id is not None
+        assert sys.monitoring.get_tool(tool_id) == tracker._tool_name
+        _run_to_exit(tracker)
+        tracker.terminate()
+        assert tracker._tool_id is None
+        assert sys.monitoring.get_tool(tool_id) is None
+
+    def test_falls_back_when_debugger_id_taken(self, write_program):
+        debugger_id = sys.monitoring.DEBUGGER_ID
+        sys.monitoring.use_tool_id(debugger_id, "someone-else")
+        try:
+            tracker = MonitoringTracker()
+            tracker.load_program(write_program("prog.py", TWO_CALLS))
+            tracker.start()
+            try:
+                assert tracker._tool_id is not None
+                assert tracker._tool_id != debugger_id
+                _run_to_exit(tracker)
+            finally:
+                tracker.terminate()
+            assert sys.monitoring.get_tool(debugger_id) == "someone-else"
+        finally:
+            sys.monitoring.free_tool_id(debugger_id)
+
+    def test_all_tool_ids_taken_is_a_clear_error(self, write_program):
+        claimed = []
+        for tool_id in range(6):
+            try:
+                sys.monitoring.use_tool_id(tool_id, f"hog-{tool_id}")
+            except ValueError:
+                continue  # already held by a real tool; even better
+            claimed.append(tool_id)
+        try:
+            tracker = MonitoringTracker()
+            tracker.load_program(write_program("prog.py", TWO_CALLS))
+            with pytest.raises(BackendUnavailableError) as excinfo:
+                tracker.start()
+            assert "tool ids" in str(excinfo.value)
+        finally:
+            for tool_id in claimed:
+                sys.monitoring.free_tool_id(tool_id)
+
+    def test_terminate_before_start_is_harmless(self, write_program):
+        tracker = MonitoringTracker()
+        tracker.load_program(write_program("prog.py", TWO_CALLS))
+        tracker.terminate()
+        assert tracker._tool_id is None
+
+
+@requires_monitoring
+class TestDisableRearm:
+    def test_breakpoint_added_at_disabled_location_still_fires(
+        self, write_program
+    ):
+        """Resuming past line 2 DISABLEs it (nothing matches there); a
+        breakpoint added at line 2 afterwards must still fire on the next
+        resume — the recompile hook restarts disabled locations."""
+        tracker = MonitoringTracker()
+        tracker.load_program(write_program("prog.py", TWO_CALLS))
+        tracker.break_before_line(3)
+        tracker.start()
+        try:
+            tracker.resume()  # first work() call: line 2 seen, DISABLEd
+            assert tracker.get_position()[1] == 3
+            tracker.break_before_line(2)
+            tracker.resume()  # second work() call
+            assert tracker.get_position()[1] == 2
+            assert tracker.pause_reason.type is PauseReasonType.BREAKPOINT
+        finally:
+            tracker.terminate()
+
+    def test_watchpoint_added_mid_run_turns_line_events_back_on(
+        self, write_program
+    ):
+        """Watchpoints need every line event; adding one mid-run must
+        reverse both the lean event mask and the DISABLEd locations."""
+        tracker = MonitoringTracker()
+        tracker.load_program(write_program("prog.py", TWO_CALLS))
+        tracker.break_before_line(3)
+        tracker.start()
+        try:
+            tracker.resume()
+            assert tracker.get_position()[1] == 3
+            tracker.watch("work:b")
+            tracker.resume()
+            assert tracker.pause_reason.type is PauseReasonType.WATCH
+            assert tracker.pause_reason.new_value == "2"
+        finally:
+            tracker.terminate()
+
+    def test_steady_state_resume_stops_receiving_line_events(
+        self, write_program
+    ):
+        """The performance claim, asserted structurally: a 2000-iteration
+        loop with no matching control points delivers only a handful of
+        line events (each location fires once, then DISABLE) instead of
+        one per executed line."""
+        tracker = MonitoringTracker()
+        tracker.load_program(write_program("prog.py", HOT_LOOP))
+        tracker.start()
+        try:
+            _run_to_exit(tracker)
+            lines_seen = tracker.engine.stats.events_seen.get("line", 0)
+            assert lines_seen < 100, (
+                f"expected DISABLE to silence the loop, saw {lines_seen} "
+                "line events"
+            )
+        finally:
+            tracker.terminate()
+
+    def test_stepping_after_resume_rearms_disabled_lines(self, write_program):
+        """step must revisit locations that resume DISABLEd."""
+        tracker = MonitoringTracker()
+        tracker.load_program(write_program("prog.py", TWO_CALLS))
+        tracker.break_before_line(3)
+        tracker.start()
+        try:
+            tracker.resume()  # DISABLEs line 2 and others on the way
+            lines = []
+            for _ in range(4):
+                tracker.step()
+                lines.append(tracker.get_position()[1])
+            # return -> second work() call -> its line 2 (was DISABLEd)
+            assert 2 in lines
+        finally:
+            tracker.terminate()
+
+
+@requires_monitoring
+class TestInterrupts:
+    def test_interrupt_lands_while_resumed_uninstrumented(
+        self, write_program
+    ):
+        """With everything DISABLEd mid-spin, the deadline interrupt must
+        force events back on, land as a pause, and leave the session
+        steppable."""
+        tracker = MonitoringTracker()
+        tracker.load_program(write_program("spin.py", NEVER_PAUSING_PY))
+        tracker.start()
+        try:
+            tracker.resume(timeout=0.3)
+            assert tracker.get_exit_code() is None
+            assert tracker.pause_reason.type is PauseReasonType.INTERRUPT
+            tracker.step()
+            assert tracker.get_exit_code() is None
+        finally:
+            tracker.terminate()
+
+    def test_kill_lands_while_resumed_uninstrumented(self, write_program):
+        """terminate must reach a spinning inferior whose every location
+        was DISABLEd — the kill path forces events back on."""
+        tracker = MonitoringTracker()
+        tracker.load_program(write_program("spin.py", NEVER_PAUSING_PY))
+        tracker.start()
+
+        def resume_until_killed():
+            try:
+                tracker.resume(timeout=30)
+            except TrackerError:
+                pass  # the kill ends the control call either way
+
+        resumer = threading.Thread(target=resume_until_killed, daemon=True)
+        resumer.start()
+        time.sleep(0.3)  # let the spin run and DISABLE its locations
+        tracker.terminate()
+        resumer.join(timeout=10)
+        assert not resumer.is_alive()
+        assert tracker.health != "invalid"

@@ -89,6 +89,17 @@ def _record_subproc(tmp_path, **kwargs):
     return _record(SubprocPythonTracker(), str(path), **kwargs)
 
 
+def _record_mon(tmp_path, **kwargs):
+    from repro.pytracker import MonitoringTracker
+    from repro.pytracker.monitoring import HAVE_MONITORING, SKIP_REASON
+
+    if not HAVE_MONITORING:
+        pytest.skip(SKIP_REASON)
+    path = tmp_path / "prog.py"
+    path.write_text(PY_PROGRAM)
+    return _record(MonitoringTracker(capture_output=True), str(path), **kwargs)
+
+
 def _int_or(value):
     try:
         return int(value)
@@ -287,10 +298,41 @@ def test_record_false_suppresses_on_minic(tmp_path):
     tracker.terminate()
 
 
+def test_recorded_timeline_agrees_on_monitoring(tmp_path):
+    """The sys.monitoring backend reuses the settrace tracker's recorder
+    wholesale, so its timeline must match snapshot for snapshot."""
+    mon = _record_mon(tmp_path)
+    python = _record_python(tmp_path)
+    try:
+        assert mon.timeline.retained == 6
+        _assert_parity(python.timeline, mon.timeline)
+    finally:
+        python.terminate()
+        mon.terminate()
+
+
+def test_reverse_navigation_parity_on_monitoring(tmp_path):
+    mon = _record_mon(tmp_path)
+    python = _record_python(tmp_path)
+    try:
+        rewound = {"python": [], "mon": []}
+        for name, tracker in (("python", python), ("mon", mon)):
+            for _ in range(tracker.timeline.retained - 1):
+                tracker.backward_step()
+                rewound[name].append(_normalize(tracker.snapshot()))
+            with pytest.raises(NotPausedError):
+                tracker.backward_step()
+        assert rewound["python"] == rewound["mon"]
+    finally:
+        python.terminate()
+        mon.terminate()
+
+
 _RECORDERS = {
     "python": _record_python,
     "minic": _record_minic,
     "subproc": _record_subproc,
+    "mon": _record_mon,
 }
 
 
