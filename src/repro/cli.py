@@ -206,6 +206,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--idle-timeout", type=float, default=None, metavar="SECONDS",
         help="close sessions with no activity for this long",
     )
+    serve.add_argument(
+        "--detach-grace", type=float, default=30.0, metavar="SECONDS",
+        help="keep a session alive this long after its connection drops "
+        "so the client can reconnect and -session-attach (0 disables: "
+        "a dropped connection closes its sessions immediately)",
+    )
+    serve.add_argument(
+        "--token-file", default=None, metavar="PATH",
+        help="require clients to authenticate with the shared secret "
+        "read from this file (-service-auth <token> before anything "
+        "else); without it, any connection is accepted",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=8, metavar="N",
+        help="per-session in-flight command bound; excess commands get "
+        "a typed retry-after rejection (0 disables)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="on SIGTERM, let in-flight commands finish for up to this "
+        "long before closing sessions",
+    )
+    serve.add_argument(
+        "--snapshot-dir", default=None, metavar="DIR",
+        help="on drain, dump each recording session's timeline to "
+        "DIR/<session>.timeline.json before closing it",
+    )
 
     return parser
 
@@ -282,6 +309,32 @@ def _serve_command(options: argparse.Namespace) -> int:
 
     from repro.service import ServiceConfig, TrackerService
 
+    token = None
+    if options.token_file is not None:
+        try:
+            with open(options.token_file) as handle:
+                token = handle.read().strip()
+        except OSError as error:
+            print(f"cannot read token file: {error}", file=sys.stderr)
+            return 2
+        if not token:
+            print(
+                f"token file {options.token_file!r} is empty",
+                file=sys.stderr,
+            )
+            return 2
+    if (
+        not options.stdio
+        and token is None
+        and options.host not in ("127.0.0.1", "localhost", "::1")
+    ):
+        print(
+            f"warning: binding {options.host} without --token-file — any "
+            "host that can reach this port can run arbitrary code",
+            file=sys.stderr,
+            flush=True,
+        )
+
     config = ServiceConfig(
         host=options.host,
         port=options.port,
@@ -289,6 +342,11 @@ def _serve_command(options: argparse.Namespace) -> int:
         max_sessions=options.max_sessions,
         queue=not options.reject_when_full,
         idle_timeout=options.idle_timeout,
+        detach_grace=options.detach_grace or None,
+        token=token,
+        session_queue_limit=options.queue_limit,
+        drain_deadline=options.drain_timeout,
+        snapshot_dir=options.snapshot_dir,
     )
     service = TrackerService(config)
 

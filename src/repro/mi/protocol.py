@@ -53,6 +53,22 @@ _SESSION_PREFIX = re.compile(
 #: A full, valid session id (for validating caller-chosen ids).
 _SESSION_ID = re.compile(r"^[A-Za-z0-9_.]+$")
 
+#: Marker a *retryable* ``^error`` carries inside its message, so clients
+#: can distinguish "go away" from "come back in N seconds" without a new
+#: record kind (old parsers read the marker as message text, unchanged).
+_RETRY_AFTER = re.compile(r"\[retry-after=([0-9.]+)s\]")
+
+
+def retryable_message(message: str, retry_after: float) -> str:
+    """Append the retry-after marker to an error message."""
+    return f"{message} [retry-after={retry_after:g}s]"
+
+
+def parse_retry_after(message: str) -> "Optional[float]":
+    """The retry-after hint embedded in an error message, if any."""
+    match = _RETRY_AFTER.search(message or "")
+    return float(match.group(1)) if match else None
+
 
 def valid_session_id(session: str) -> bool:
     """Whether ``session`` can be used as an MI session-id prefix."""

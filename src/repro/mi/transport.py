@@ -355,6 +355,18 @@ class AsyncPipeTransport:
             raise self._crashed("its output pipe closed")
         return raw.decode("utf-8", "replace")
 
+    def kill(self) -> None:
+        """SIGKILL the child immediately (chaos/testing hook).
+
+        The death is observed through the normal liveness paths: the next
+        ``recv_line`` hits EOF and raises :class:`ServerCrashError`.
+        """
+        if self._process is not None and self.alive():
+            try:
+                self._process.kill()
+            except ProcessLookupError:  # pragma: no cover - already gone
+                pass
+
     async def interrupt(self) -> None:
         """Ask the busy server to pause its inferior (async-signal style)."""
         await self.send_line(protocol.format_command("-exec-interrupt"))

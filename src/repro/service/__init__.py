@@ -27,14 +27,28 @@ they are and changes only the tool side of the pipe:
   client-side facade: ``await tracker.resume()`` from any coroutine,
   many trackers per connection.
 
+The service is *crash-only*: a child that dies (OOM-killed, segfaulted,
+chaos-injected SIGKILL) is resurrected from its session's
+:class:`~repro.service.manager.RecoveryManifest` — control points
+re-installed, execution replayed when the history is deterministic — and
+a dropped TCP connection is survived by client-side reconnect plus
+``-session-attach``. SIGTERM triggers a graceful drain (new work gets a
+typed retry-after rejection, in-flight commands finish, recording
+timelines are snapshotted). See ``docs/API.md`` ("Crash-only service").
+
 Start it with ``python -m repro serve``.
 """
 
 from repro.service.client import AsyncTracker, ServiceClient
 from repro.service.manager import (
+    ProgramQuarantined,
+    RecoveryManifest,
+    ServiceAuthError,
     ServiceBusy,
+    ServiceDraining,
     Session,
     SessionManager,
+    SessionOverloaded,
     SessionStats,
 )
 from repro.service.pool import ChildHandle, WarmPool
@@ -43,11 +57,16 @@ from repro.service.server import ServiceConfig, TrackerService
 __all__ = [
     "AsyncTracker",
     "ChildHandle",
+    "ProgramQuarantined",
+    "RecoveryManifest",
+    "ServiceAuthError",
     "ServiceBusy",
     "ServiceClient",
     "ServiceConfig",
+    "ServiceDraining",
     "Session",
     "SessionManager",
+    "SessionOverloaded",
     "SessionStats",
     "TrackerService",
     "WarmPool",

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import asyncio
 import sys
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.errors import ProtocolError, ServerCrashError, TrackerError
 from repro.mi import protocol
@@ -78,15 +78,26 @@ class ChildHandle:
         Raises ``TrackerError`` on ``^error``, ``ServerCrashError`` when
         the child dies, ``asyncio.TimeoutError`` when it goes mute.
         """
-        await self.transport.send_line(
-            protocol.format_command(name, args, options)
+        return await self.request_line(
+            protocol.format_command(name, args, options), timeout=timeout
         )
+
+    async def request_line(
+        self, line: str, timeout: float = PING_TIMEOUT
+    ) -> Any:
+        """:meth:`request` for an already-formatted command line.
+
+        The session-resurrection replay path uses this: recovery
+        manifests store verbatim command bodies, which replay id-less
+        against a fresh child.
+        """
+        await self.transport.send_line(line)
         loop = asyncio.get_event_loop()
         deadline = loop.time() + timeout
         while True:
             remaining = deadline - loop.time()
             if remaining <= 0:
-                raise asyncio.TimeoutError(f"{name} went unanswered")
+                raise asyncio.TimeoutError(f"{line} went unanswered")
             record = await self.recv_record(timeout=remaining)
             if record is None:
                 continue
@@ -96,7 +107,32 @@ class ChildHandle:
                 raise TrackerError(str(record.payload))
             if record.kind in ("stream", "notify"):
                 continue  # stale output from a previous life
-            raise ProtocolError(f"unexpected record {record.kind} for {name}")
+            raise ProtocolError(f"unexpected record {record.kind} for {line}")
+
+    async def run_line(
+        self, line: str, timeout: float = PING_TIMEOUT
+    ) -> Dict[str, Any]:
+        """One exec-command round trip; the ``*stopped`` payload.
+
+        Streams and notifications produced by the re-executed inferior
+        are consumed and discarded (replay must not re-deliver output the
+        client already saw). Raises like :meth:`request`.
+        """
+        await self.transport.send_line(line)
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + timeout
+        while True:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise asyncio.TimeoutError(f"{line} went unanswered")
+            record = await self.recv_record(timeout=remaining)
+            if record is None:
+                continue
+            if record.kind == "stopped":
+                return record.payload or {}
+            if record.kind == "error":
+                raise TrackerError(str(record.payload))
+            # running / done (stale ack) / stream / notify: keep reading
 
     async def close(self, graceful_exit: bool = True) -> None:
         await self.transport.close(graceful_exit=graceful_exit)
@@ -110,15 +146,21 @@ class WarmPool:
             every acquire is a cold spawn).
         spawn_argv: child command line, overridable for tests (e.g. a
             crashing stub to exercise the discard path).
+        transport_spawner: factory awaited as ``spawner(argv)`` to build
+            the child transport — the chaos harness injects fault-wrapped
+            transports here (see ``repro.testing.faults``). Defaults to
+            :meth:`AsyncPipeTransport.spawn`.
     """
 
     def __init__(
         self,
         size: int = 4,
         spawn_argv: Optional[List[str]] = None,
+        transport_spawner: Optional[Callable[[List[str]], Any]] = None,
     ):
         self.size = size
         self._spawn_argv = list(spawn_argv or IDLE_ARGV)
+        self._spawn_transport = transport_spawner or AsyncPipeTransport.spawn
         self._idle: List[ChildHandle] = []
         self._refill_task: Optional["asyncio.Task[None]"] = None
         self._closed = False
@@ -136,7 +178,7 @@ class WarmPool:
     # ------------------------------------------------------------------
 
     async def _spawn_child(self, warm: bool) -> ChildHandle:
-        transport = await AsyncPipeTransport.spawn(self._spawn_argv)
+        transport = await self._spawn_transport(self._spawn_argv)
         child = ChildHandle(transport, warm=warm)
         greeting = await child.recv_record(timeout=SPAWN_TIMEOUT)
         if greeting is None or greeting.kind != "done":
@@ -195,6 +237,8 @@ class WarmPool:
 
     async def acquire(self) -> ChildHandle:
         """A live child, warm when possible; always schedules a refill."""
+        if self._closed:
+            raise TrackerError("the pool is closed")
         try:
             while self._idle:
                 child = self._idle.pop(0)

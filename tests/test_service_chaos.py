@@ -1,0 +1,287 @@
+"""The chaos soak: the crash-only service under seeded random faults.
+
+This is the test the crash-only design exists to pass. A
+:class:`~repro.testing.faults.ChaosPlan` injects faults on *both* hops of
+the service topology at once — a :class:`~repro.testing.faults.ChaosProxy`
+sits between every client and the TCP listener (delays, partial writes,
+hard disconnects, periodic drop-everything), and a
+:class:`~repro.testing.faults.ChaosChildTransport` sits between the
+service and every pooled child (delays, SIGKILLs mid-dialogue) — while
+worker coroutines drive a few hundred weighted-random tracker operations.
+
+The invariant is NOT that operations succeed — under chaos many fail —
+but that the service stays *coherent*:
+
+- every client call terminates, with a result or a typed error (nothing
+  hangs: every await carries a deadline well under the suite timeout);
+- every session ends resolved (closed, or dead-with-tombstone);
+- the pool comes back healthy once the chaos stops;
+- the whole service still shuts down cleanly.
+
+The run is exactly reproducible from its seed: set ``CHAOS_SEED`` to
+replay a failure (the seed is printed at the start of every run, and the
+fault trace is dumped to ``ARTIFACTS_DIR`` on failure).
+"""
+
+import asyncio
+import os
+import random
+import signal
+
+from repro.core.errors import (
+    ControlTimeout,
+    ServerCrashError,
+    TrackerError,
+)
+from repro.core.supervision import BackoffPolicy
+from repro.service import ServiceClient, ServiceConfig, TrackerService
+from repro.testing.faults import (
+    CHILD_HOP,
+    TCP_HOP,
+    ChaosChildTransport,
+    ChaosPlan,
+    ChaosProxy,
+)
+
+ARTIFACTS_DIR = os.environ.get(
+    "ARTIFACTS_DIR", os.path.join(os.path.dirname(__file__), "_artifacts")
+)
+
+WORKERS = 4
+EVENTS_PER_WORKER = 50  # 4 x 50 = the 200-event soak
+
+#: Deadline on any single chaos operation — generous enough for a
+#: resurrection (pool spawn + replay) yet far under the suite timeout,
+#: so a hang fails THIS assertion rather than the global watchdog.
+OP_TIMEOUT = 15.0
+
+#: Deadline on the whole soak (the suite-wide per-test timeout is 120s;
+#: a hang must fail here first, with the seed in the captured output).
+SOAK_TIMEOUT = 90.0
+
+PROGRAM = """\
+total = 0
+for i in range(5):
+    total = total + i
+    print("tick", i)
+print("done", total)
+"""
+
+#: Errors a chaos operation may legitimately terminate with. Anything
+#: else (or a hang) is a chaos-harness failure.
+EXPECTED_ERRORS = (
+    TrackerError,  # includes every typed service error
+    ServerCrashError,
+    ControlTimeout,
+    asyncio.TimeoutError,
+    ConnectionError,
+    OSError,
+)
+
+
+def _chaos_seed() -> int:
+    env = os.environ.get("CHAOS_SEED")
+    if env:
+        return int(env)
+    return random.SystemRandom().randrange(1 << 32)
+
+
+class Worker:
+    """One client connection driving weighted-random tracker operations."""
+
+    def __init__(self, index, program, proxy_port, rng):
+        self.index = index
+        self.program = program
+        self.proxy_port = proxy_port
+        self.rng = rng
+        self.client = None
+        self.tracker = None
+        self.completed = 0
+        self.errors = 0
+
+    async def _connect(self):
+        self.client = await ServiceClient.connect(
+            "127.0.0.1",
+            self.proxy_port,
+            reconnect=BackoffPolicy(
+                max_restarts=8, initial_delay=0.05, max_delay=0.5
+            ),
+        )
+
+    async def run(self, events, proxy):
+        await asyncio.wait_for(self._connect(), OP_TIMEOUT)
+        for _ in range(events):
+            await self._one_event(proxy)
+            self.completed += 1
+        # Resolution: close whatever is still open, tolerating a client
+        # whose connection permanently died mid-soak.
+        try:
+            if self.tracker is not None:
+                await asyncio.wait_for(self.tracker.close(), OP_TIMEOUT)
+            await asyncio.wait_for(self.client.close(), OP_TIMEOUT)
+        except EXPECTED_ERRORS:
+            pass
+
+    async def _one_event(self, proxy):
+        try:
+            await asyncio.wait_for(self._act(proxy), OP_TIMEOUT)
+        except EXPECTED_ERRORS:
+            self.errors += 1
+
+    async def _act(self, proxy):
+        tracker = self.tracker
+        if tracker is None:
+            self.tracker = await self.client.open_tracker(self.program)
+            return
+        roll = self.rng.random()
+        if roll < 0.30:
+            if tracker.get_exit_code() is None and tracker.last_stop:
+                await tracker.resume(timeout=5.0)
+            elif tracker.last_stop is None:
+                await tracker.start(timeout=5.0)
+            else:  # exited: recycle the session
+                self.tracker = None
+                await tracker.close()
+        elif roll < 0.50:
+            if tracker.last_stop is None:
+                await tracker.start(timeout=5.0)
+            elif tracker.get_exit_code() is None:
+                await tracker.step(timeout=5.0)
+        elif roll < 0.65:
+            await tracker.get_position()
+        elif roll < 0.75:
+            await tracker.get_global_variables()
+        elif roll < 0.85:
+            await self.client.service_stats()
+        elif roll < 0.93:
+            # the crash hammer: SIGKILL this session's child outright
+            pid = tracker.pid
+            if pid is not None:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError):
+                    pass
+        else:
+            # the network hammer: sever every proxied connection
+            proxy.drop_connections()
+            await asyncio.sleep(0.05)
+
+
+def test_chaos_soak_terminates_with_coherent_service(write_program):
+    seed = _chaos_seed()
+    print(f"\nCHAOS_SEED={seed}  (set CHAOS_SEED={seed} to replay)")
+    plan = ChaosPlan(
+        seed=seed,
+        delay_rate=0.04,
+        partial_rate=0.04,
+        disconnect_rate=0.004,
+        kill_rate=0.002,
+        max_delay=0.02,
+    )
+
+    async def scenario():
+        service = TrackerService(
+            ServiceConfig(
+                pool_size=2,
+                max_sessions=WORKERS * 2,
+                detach_grace=10.0,
+                session_queue_limit=8,
+                # under deliberate child-killing, quarantine would turn
+                # the soak into a wall of rejections — raise the bar
+                poison_threshold=50,
+                transport_spawner=ChaosChildTransport.spawner(plan),
+            )
+        )
+        await service.start()
+        host, port = service.address
+        proxy = ChaosProxy(host, port, plan)
+        await proxy.start()
+        try:
+            rng = random.Random(seed)
+            workers = [
+                Worker(
+                    i,
+                    write_program(f"prog_{i}.py", PROGRAM),
+                    proxy.port,
+                    random.Random(rng.randrange(1 << 30)),
+                )
+                for i in range(WORKERS)
+            ]
+            await asyncio.wait_for(
+                asyncio.gather(
+                    *(w.run(EVENTS_PER_WORKER, proxy) for w in workers)
+                ),
+                SOAK_TIMEOUT,
+            )
+
+            # -- invariants, with the chaos switched off ----------------
+            plan.delay_rate = plan.partial_rate = 0.0
+            plan.disconnect_rate = plan.kill_rate = 0.0
+
+            # every planned event terminated (result or typed error)
+            for worker in workers:
+                assert worker.completed == EVENTS_PER_WORKER
+
+            # every session ended resolved: closed, or surviving with a
+            # definite state (alive child, or dead-with-tombstone)
+            for session in service.manager.sessions.values():
+                assert not session.closed
+                assert session.dead or session.child.alive()
+
+            # the pool still hands out a healthy child
+            child = await asyncio.wait_for(service.pool.acquire(), 30)
+            info = await child.request("-server-info")
+            assert info["pid"] == child.pid
+            await service.pool.release(child, reusable=False)
+
+            # and the whole thing still shuts down cleanly
+            await asyncio.wait_for(service.close(), 60)
+            return [w.errors for w in workers]
+        finally:
+            await proxy.close()
+            await service.close()
+
+    try:
+        errors = asyncio.run(scenario())
+    except BaseException:
+        os.makedirs(ARTIFACTS_DIR, exist_ok=True)
+        trace_path = os.path.join(
+            ARTIFACTS_DIR, f"chaos_trace_{seed}.json"
+        )
+        plan.dump_trace(trace_path)
+        print(f"CHAOS_SEED={seed} failed; fault trace: {trace_path}")
+        raise
+    print(
+        f"chaos soak done: {WORKERS * EVENTS_PER_WORKER} events, "
+        f"errors per worker {errors}, "
+        f"{len(plan.events)} faults injected"
+    )
+
+
+def test_chaos_plan_is_reproducible_from_its_seed():
+    """Identical seeds draw identical fault schedules on every hop."""
+    kwargs = dict(
+        seed=1234,
+        delay_rate=0.2,
+        partial_rate=0.1,
+        disconnect_rate=0.05,
+        kill_rate=0.05,
+    )
+    first, second = ChaosPlan(**kwargs), ChaosPlan(**kwargs)
+    draws = [
+        (hop, first.draw(hop), second.draw(hop))
+        for hop in [TCP_HOP, CHILD_HOP] * 200
+    ]
+    assert all(a == b for _, a, b in draws)
+    assert any(a is not None for _, a, _ in draws)
+    assert first.events == second.events
+
+
+def test_scripted_fault_fires_on_the_exact_operation():
+    plan = ChaosPlan(scripted={(TCP_HOP, 2): "disconnect"})
+    assert plan.draw(TCP_HOP) is None
+    assert plan.draw(TCP_HOP) is None
+    assert plan.draw(TCP_HOP) == "disconnect"
+    assert plan.draw(TCP_HOP) is None
+    assert plan.draw(CHILD_HOP) is None  # hops count independently
+    assert plan.events == [{"hop": TCP_HOP, "op": 2, "kind": "disconnect"}]
