@@ -12,7 +12,7 @@ Run: ``python examples/multi_inferior.py``
 import os
 import tempfile
 
-from repro import init_tracker
+from repro.api import init_tracker
 
 PRODUCER_PY = """\
 queue = []

@@ -15,7 +15,7 @@ Run: ``python examples/pt_export_demo.py``
 import os
 import tempfile
 
-from repro import init_tracker, PauseReasonType
+from repro.api import init_tracker, PauseReasonType
 from repro.pytutor import record_trace
 
 INFERIOR = """\

@@ -11,7 +11,7 @@ Run: ``python examples/quickstart.py``
 import os
 import tempfile
 
-from repro import init_tracker, PauseReasonType
+from repro.api import init_tracker, PauseReasonType
 
 INFERIOR = """\
 def factorial(n):

@@ -13,7 +13,7 @@ import os
 import sys
 import tempfile
 
-from repro import init_tracker
+from repro.api import init_tracker
 from repro.tools.stack_diagram import draw_stack_heap
 
 PYTHON_DEMO = """\

@@ -9,8 +9,23 @@ The top-level namespace re-exports the full public API so tool scripts can
 write, exactly as in the paper::
 
     from repro import init_tracker, PauseReasonType, AbstractType
+
+The *supported* surface — the subset covered by the compatibility
+promise — is defined by :mod:`repro.api` and re-exported here; prefer
+``from repro.api import ...`` in new code.
 """
 
+from repro import api
+from repro.api import (
+    CallRecord,
+    ChangeEvent,
+    QueryResult,
+    TimelineView,
+    TraceIndex,
+    TraceStore,
+    TraceStoreError,
+    parse_query,
+)
 from repro.core import (
     AbstractType,
     AlreadyTerminatedError,
@@ -63,6 +78,8 @@ __all__ = [
     "AlreadyTerminatedError",
     "BackendUnavailableError",
     "BackoffPolicy",
+    "CallRecord",
+    "ChangeEvent",
     "ControlTimeout",
     "Deadline",
     "Frame",
@@ -76,12 +93,17 @@ __all__ = [
     "PauseReasonType",
     "ProgramLoadError",
     "ProtocolError",
+    "QueryResult",
     "ReplayTracker",
     "ServerCrashError",
     "StateSnapshot",
     "SupervisionEvent",
     "Timeline",
     "TimelineRecorder",
+    "TimelineView",
+    "TraceIndex",
+    "TraceStore",
+    "TraceStoreError",
     "TrackedFunction",
     "Tracker",
     "TrackerError",
@@ -90,11 +112,13 @@ __all__ = [
     "Value",
     "Variable",
     "Watchpoint",
+    "api",
     "available_trackers",
     "frame_from_dict",
     "frame_to_dict",
     "init_tracker",
     "load_timeline",
+    "parse_query",
     "register_timeline_codec",
     "register_tracker",
     "value_from_dict",

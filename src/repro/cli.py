@@ -11,6 +11,14 @@ Subcommands map one-to-one onto the paper's tools::
     python -m repro equiv a.py b.c fact         # §V application
     python -m repro timeline record prog.py out.timeline.json
     python -m repro timeline scrub out.timeline.json scrub_out/
+    python -m repro timeline record prog.py --tracedir run.tracedir --step
+    python -m repro timeline query --tracedir run.tracedir "x changed"
+
+The ``timeline`` sub-subcommands share one recording-source convention
+(``--timeline PATH`` for a ``.timeline.json``, ``--tracedir PATH`` for a
+disk-backed store; the old positional path still works) and one
+``--format text|json|svg`` flag; an unknown format is a typed
+``error: ...`` with exit status 2, like every other bad argument.
 
 Each subcommand is a thin wrapper over the library API; anything beyond
 these defaults is a few lines of Python against :mod:`repro` itself.
@@ -133,15 +141,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     timeline = commands.add_parser(
         "timeline",
-        help="record, inspect, or scrub a .timeline.json execution history",
+        help="record, inspect, scrub, or query a recorded execution "
+        "history (.timeline.json or a disk-backed .tracedir/)",
     )
     actions = timeline.add_subparsers(dest="timeline_action", required=True)
 
+    # Options shared by every timeline sub-subcommand: one recording-path
+    # convention and one output-format flag. Formats are validated by
+    # hand (not argparse choices) so an unknown format is a typed
+    # ``error: ...`` exit 2 like every other TrackerError.
+    timeline_io = argparse.ArgumentParser(add_help=False)
+    timeline_io.add_argument(
+        "--timeline", default=None, metavar="PATH",
+        help="path of a .timeline.json recording (or any registered "
+        "timeline codec, e.g. a Python Tutor trace)",
+    )
+    timeline_io.add_argument(
+        "--tracedir", default=None, metavar="PATH",
+        help="path of a disk-backed .tracedir/ recording",
+    )
+    timeline_io.add_argument(
+        "--format", default=None, metavar="FMT",
+        help="output format: text, json, or svg (each action supports a "
+        "subset; unknown formats are a typed error)",
+    )
+
     record = actions.add_parser(
-        "record", help="run a program to completion and save its timeline"
+        "record", parents=[timeline_io],
+        help="run a program to completion and save its timeline "
+        "(--timeline/positional: one .timeline.json; --tracedir: an "
+        "indexed disk-backed store that spills past --max-snapshots)",
     )
     record.add_argument("program")
-    record.add_argument("output")
+    record.add_argument("output", nargs="?", default=None)
     record.add_argument(
         "--backend", default=None,
         help="tracker backend: python, python-mon (sys.monitoring, "
@@ -151,25 +183,48 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("--keyframe-interval", type=int, default=16)
     record.add_argument(
         "--max-snapshots", type=int, default=None,
-        help="ring-buffer bound; oldest snapshots are evicted beyond this",
+        help="in-memory ring-buffer bound; beyond it, oldest snapshots "
+        "are evicted (dropped, or spilled to disk with --tracedir)",
     )
     record.add_argument(
         "--step", action="store_true",
         help="pause (and snapshot) at every line instead of every stop",
     )
+    record.add_argument(
+        "--track", action="append", default=None, metavar="FUNC",
+        help="also pause at entry/exit of FUNC (repeatable); entry/exit "
+        "pauses are what give the trace index its call/return records, "
+        "so 'timeline query \"FUNC() == ...\"' has data to answer from",
+    )
     _add_isolation_arguments(record)
 
     info = actions.add_parser(
-        "info", help="print stats and the pause listing of a saved timeline"
+        "info", parents=[timeline_io],
+        help="print stats and the pause listing of a saved recording "
+        "(--format text|json)",
     )
-    info.add_argument("timeline")
+    info.add_argument("path", nargs="?", default=None)
 
     scrub = actions.add_parser(
-        "scrub", help="render scrub-strip images from a saved timeline"
+        "scrub", parents=[timeline_io],
+        help="render scrub-strip images from a saved recording "
+        "(--format svg)",
     )
-    scrub.add_argument("timeline")
+    scrub.add_argument("path", nargs="?", default=None)
     scrub.add_argument("output_dir")
     scrub.add_argument("--max-images", type=int, default=50)
+
+    query = actions.add_parser(
+        "query", parents=[timeline_io],
+        help="ask a question of a recording: 'x changed', "
+        "'f() == INVALID', 'len(heap) > 100', 'x >= 7' "
+        "(--format text|json)",
+    )
+    query.add_argument(
+        "expression", nargs="+",
+        help="the query expression (quoting is optional: "
+        "bare words are joined with spaces)",
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -376,42 +431,117 @@ def _serve_command(options: argparse.Namespace) -> int:
         return 0
 
 
+#: Every format any ``timeline`` action understands; per-action support
+#: is a subset (``_resolve_format``).
+_TIMELINE_FORMATS = ("text", "json", "svg")
+
+
+def _resolve_format(
+    options: argparse.Namespace, default: str, supported: tuple
+) -> str:
+    """Validate ``--format`` by hand so bad values are typed errors."""
+    from repro.core.errors import TrackerError
+
+    chosen = options.format or default
+    if chosen not in _TIMELINE_FORMATS:
+        raise TrackerError(
+            f"unknown format {chosen!r} "
+            f"(choose from {', '.join(_TIMELINE_FORMATS)})"
+        )
+    if chosen not in supported:
+        raise TrackerError(
+            f"format {chosen!r} is not supported by "
+            f"'timeline {options.timeline_action}' "
+            f"(supported: {', '.join(supported)})"
+        )
+    return chosen
+
+
+def _recording_path(options: argparse.Namespace) -> str:
+    """The one recording path an inspect-side action should open.
+
+    Accepts the shared ``--timeline``/``--tracedir`` options or the
+    legacy positional path; refuses ambiguity with a typed error.
+    """
+    from repro.core.errors import TrackerError
+
+    given = [
+        path
+        for path in (
+            getattr(options, "path", None),
+            options.timeline,
+            options.tracedir,
+        )
+        if path
+    ]
+    if not given:
+        raise TrackerError(
+            "no recording given: pass a path, --timeline PATH, or "
+            "--tracedir PATH"
+        )
+    if len(set(given)) > 1:
+        raise TrackerError(
+            f"conflicting recording paths: {', '.join(sorted(set(given)))}"
+        )
+    return given[0]
+
+
 def _timeline_command(options: argparse.Namespace) -> int:
-    """The ``repro timeline`` sub-subcommands (record / info / scrub)."""
+    """``repro timeline`` sub-subcommands (record / info / scrub / query)."""
+    from repro.core.errors import TrackerError
+
     if options.timeline_action == "record":
-        tracker = _make_tracker(options)
-        tracker.load_program(options.program)
-        tracker.enable_recording(
-            keyframe_interval=options.keyframe_interval,
-            max_snapshots=options.max_snapshots,
-        )
-        tracker.start()
-        move = tracker.step if options.step else tracker.resume
-        try:
-            while tracker.get_exit_code() is None:
-                move()
-            timeline = tracker.timeline
-            timeline.save(options.output)
-        finally:
-            tracker.terminate()
-        print(
-            f"recorded {timeline.retained} snapshots "
-            f"(window [{timeline.start_index}..{len(timeline) - 1}]) "
-            f"to {options.output}"
-        )
-        return 0
+        return _timeline_record(options)
+
+    if options.timeline_action == "query":
+        return _timeline_query(options)
 
     from repro.core.timeline import load_timeline
 
-    timeline = load_timeline(options.timeline)
+    path = _recording_path(options)
+    timeline = load_timeline(path)
     if options.timeline_action == "info":
+        chosen = _resolve_format(options, "text", ("text", "json"))
+        first = timeline.first_index
+        if chosen == "json":
+            import json as json_module
+
+            pauses = []
+            for index in range(first, len(timeline)):
+                snapshot = timeline.snapshot(index)
+                pauses.append(
+                    {
+                        "index": index,
+                        "reason": (
+                            snapshot.reason.type.name.lower()
+                            if snapshot.reason
+                            else "step"
+                        ),
+                        "line": snapshot.line,
+                        "function": snapshot.func_name,
+                    }
+                )
+            print(
+                json_module.dumps(
+                    {
+                        "program": timeline.program or None,
+                        "backend": timeline.backend or None,
+                        "snapshots": len(timeline),
+                        "first_index": first,
+                        "retained": timeline.retained,
+                        "pauses": pauses,
+                    },
+                    indent=2,
+                )
+            )
+            return 0
         print(f"program:  {timeline.program or '<unknown>'}")
         print(f"backend:  {timeline.backend or '<unknown>'}")
         print(
             f"retained: {timeline.retained} snapshots "
-            f"(global indexes {timeline.start_index}..{len(timeline) - 1})"
+            f"(global indexes {first}..{len(timeline) - 1})"
         )
-        for index in range(timeline.start_index, len(timeline)):
+        for index in range(first, len(timeline)):
             snapshot = timeline.snapshot(index)
             kind = (
                 snapshot.reason.type.name.lower() if snapshot.reason else "step"
@@ -425,12 +555,101 @@ def _timeline_command(options: argparse.Namespace) -> int:
             print(f"  #{index:<4} {kind:<10} {where}{func}")
         return 0
 
-    from repro.tools.timeline_view import render_timeline
+    if options.timeline_action == "scrub":
+        _resolve_format(options, "svg", ("svg",))
+        from repro.tools.timeline_view import render_timeline
 
-    images = render_timeline(
-        timeline, options.output_dir, max_images=options.max_images
+        images = render_timeline(
+            timeline, options.output_dir, max_images=options.max_images
+        )
+        print(f"wrote {len(images)} scrub views to {options.output_dir}/")
+        return 0
+
+    raise TrackerError(
+        f"unknown timeline action {options.timeline_action!r}"
+    )  # pragma: no cover - argparse rejects first
+
+
+def _timeline_record(options: argparse.Namespace) -> int:
+    from repro.core.errors import TrackerError
+
+    output = options.output or options.timeline
+    tracedir = options.tracedir
+    if output is None and tracedir is None:
+        raise TrackerError(
+            "no destination given: pass an output path (or --timeline "
+            "PATH) for a .timeline.json, or --tracedir PATH for a "
+            "disk-backed store"
+        )
+    tracker = _make_tracker(options)
+    tracker.load_program(options.program)
+    tracker.enable_recording(
+        keyframe_interval=options.keyframe_interval,
+        max_snapshots=options.max_snapshots,
+        tracedir=tracedir,
     )
-    print(f"wrote {len(images)} scrub views to {options.output_dir}/")
+    tracker.start()
+    for function in options.track or ():
+        tracker.track_function(function)
+    move = tracker.step if options.step else tracker.resume
+    try:
+        while tracker.get_exit_code() is None:
+            move()
+        timeline = tracker.timeline
+        if output is not None:
+            timeline.save(output)
+    finally:
+        tracker.terminate()  # seals the tracedir (manifest + index)
+    window = f"[{timeline.first_index}..{len(timeline) - 1}]"
+    destinations = " and ".join(
+        name for name in (output, tracedir) if name is not None
+    )
+    print(
+        f"recorded {timeline.retained} snapshots (window {window}) "
+        f"to {destinations}"
+    )
+    return 0
+
+
+def _timeline_query(options: argparse.Namespace) -> int:
+    from repro.core.tracestore import TimelineView
+
+    chosen = _resolve_format(options, "text", ("text", "json"))
+    view = TimelineView.open(_recording_path(options))
+    result = view.query(" ".join(options.expression))
+    if chosen == "json":
+        import json as json_module
+
+        print(json_module.dumps(result.to_dict(), indent=2))
+        return 0
+    if result.kind == "calls":
+        for match in result.matches:
+            call = match.get("call_index")
+            ret = match.get("return_index")
+            span = f"#{call}" if call is not None else "#?"
+            if ret is not None:
+                span += f" -> #{ret}"
+            print(
+                f"  {span:<14} {match['function']}() "
+                f"returned {match.get('returned')}"
+            )
+    else:
+        for match in result.matches:
+            where = (
+                f"(line {match.get('line')}"
+                + (
+                    f" in {match['function']})"
+                    if match.get("function")
+                    else ")"
+                )
+            )
+            print(
+                f"  #{match['index']:<5} {match['variable']} = "
+                f"{match.get('value')}  {where}"
+            )
+    count = len(result.matches)
+    noun = "match" if count == 1 else "matches"
+    print(f"{count} {noun} for: {result.text}")
     return 0
 
 

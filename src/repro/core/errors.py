@@ -65,6 +65,12 @@ class ServerCrashError(ProtocolError):
         self.stderr_tail = list(stderr_tail or [])
 
 
+class TraceStoreError(TrackerError):
+    """A disk-backed trace store is unusable (missing, corrupt, or
+    incompatible ``.tracedir/`` manifest or segment files), or a trace
+    query could not be parsed or executed."""
+
+
 class ControlTimeout(TrackerError):
     """A control call's deadline expired *and* the interrupt failed.
 

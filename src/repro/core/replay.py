@@ -62,7 +62,7 @@ class ReplayTracker(Tracker):
             raise ProgramLoadError(f"timeline {path!r} contains no snapshots")
 
     def _start(self) -> None:
-        self._index = self._timeline.start_index
+        self._index = self._timeline.first_index
         self._mark_pause(
             PauseReason(type=PauseReasonType.STEP, line=self._snap().line)
         )

@@ -435,6 +435,20 @@ class Timeline:
         #: access (replay, scrubbing) patches forward instead of starting
         #: from the keyframe every time.
         self._cursor: Optional[Tuple[int, Any]] = None
+        #: Called as ``fn(index, prev_tree, tree, patch)`` on every append;
+        #: this is how the trace-store index observes the same diff_tree
+        #: patches the codec computes, without a second pass over state.
+        self._append_listeners: List[
+            Callable[[int, Optional[Any], Any, Optional[Any]], None]
+        ] = []
+        #: Called as ``fn(index)`` when :meth:`drop_last` forgets a
+        #: snapshot, so an incrementally-maintained index can roll back.
+        self._drop_listeners: List[Callable[[int], None]] = []
+        #: Disk spill target (:class:`repro.core.tracestore.SegmentSpool`).
+        #: When attached, ring-buffer eviction *moves* whole segments to
+        #: segment files instead of dropping them, and reconstruction of
+        #: pre-window indexes loads them back lazily.
+        self.spool: Optional[Any] = None
 
     # -- sizes -----------------------------------------------------------
 
@@ -443,13 +457,46 @@ class Timeline:
 
     @property
     def start_index(self) -> int:
-        """Global index of the oldest retained snapshot."""
+        """Global index of the oldest *in-memory* snapshot."""
+        return self._start_index
+
+    @property
+    def first_index(self) -> int:
+        """Global index of the oldest *reconstructable* snapshot.
+
+        Equal to :attr:`start_index` unless a spill spool is attached, in
+        which case evicted segments remain reachable from disk.
+        """
+        if self.spool is not None:
+            spooled = self.spool.first_index
+            if spooled is not None:
+                return min(spooled, self._start_index)
         return self._start_index
 
     @property
     def retained(self) -> int:
         """Number of snapshots currently reconstructable."""
-        return self._count - self._start_index
+        return self._count - self.first_index
+
+    def add_append_listener(
+        self, listener: Callable[[int, Optional[Any], Any, Optional[Any]], None]
+    ) -> None:
+        """Observe every append as ``(index, prev_tree, tree, patch)``.
+
+        ``patch`` is the :func:`diff_tree` of the previous snapshot tree
+        against the new one (``None`` for the very first snapshot). With a
+        listener installed the patch is computed even for keyframe
+        appends, so listeners see an unbroken delta stream.
+        """
+        self._append_listeners.append(listener)
+
+    def add_drop_listener(self, listener: Callable[[int], None]) -> None:
+        """Observe every :meth:`drop_last` as ``(dropped_index)``."""
+        self._drop_listeners.append(listener)
+
+    def attach_spool(self, spool: Any) -> None:
+        """Spill evicted segments to ``spool`` instead of dropping them."""
+        self.spool = spool
 
     def stats(self) -> Dict[str, Any]:
         """Storage accounting (used by the overhead benchmarks)."""
@@ -467,18 +514,29 @@ class Timeline:
     def append(self, snapshot: StateSnapshot) -> int:
         """Record one snapshot; returns its (stable) global index."""
         tree = snapshot.to_dict()
+        previous = self._last_tree
         last_segment = self._segments[-1] if self._segments else None
+        patch: Optional[Any] = None
+        patch_computed = False
         if (
             last_segment is None
-            or self._last_tree is None
+            or previous is None
             or 1 + len(last_segment["deltas"]) >= self.keyframe_interval
         ):
+            # Keyframe append: the patch is only needed by listeners.
+            if self._append_listeners and previous is not None:
+                patch = diff_tree(previous, tree)
+                patch_computed = True
             self._segments.append({"key": tree, "deltas": []})
         else:
-            last_segment["deltas"].append(diff_tree(self._last_tree, tree))
+            patch = diff_tree(previous, tree)
+            patch_computed = True
+            last_segment["deltas"].append(patch)
         self._last_tree = tree
         index = self._count
         self._count += 1
+        for listener in self._append_listeners:
+            listener(index, previous, tree, patch if patch_computed else None)
         self._evict()
         return index
 
@@ -496,13 +554,20 @@ class Timeline:
         self._last_tree = (
             self._tree_at(self._count - 1) if self.retained > 0 else None
         )
+        for listener in self._drop_listeners:
+            listener(self._count)
         return True
 
     def _evict(self) -> None:
         if self.max_snapshots is None:
             return
-        while self.retained > self.max_snapshots and len(self._segments) > 1:
+        while (
+            self._count - self._start_index > self.max_snapshots
+            and len(self._segments) > 1
+        ):
             evicted = self._segments.pop(0)
+            if self.spool is not None:
+                self.spool.spill(evicted, self._start_index)
             self._start_index += 1 + len(evicted["deltas"])
             if self._cursor is not None and self._cursor[0] < self._start_index:
                 self._cursor = None
@@ -514,20 +579,24 @@ class Timeline:
         return StateSnapshot.from_dict(self._tree_at(index))
 
     def snapshots(self):
-        """Iterate over all retained snapshots, oldest first."""
-        for index in range(self._start_index, self._count):
+        """Iterate over all retained snapshots, oldest first (spilled
+        segments included, loaded lazily)."""
+        for index in range(self.first_index, self._count):
             yield self.snapshot(index)
 
     def _tree_at(self, index: int) -> Any:
         if index < 0:
             index += self._count
-        if not self._start_index <= index < self._count:
+        if not self.first_index <= index < self._count:
             raise IndexError(
                 f"timeline index {index} outside retained window "
-                f"[{self._start_index}, {self._count})"
+                f"[{self.first_index}, {self._count})"
             )
         if self._cursor is not None and self._cursor[0] == index:
             return self._cursor[1]
+        if index < self._start_index:
+            # Evicted from memory but spilled to disk: load lazily.
+            return self._spooled_tree_at(index)
         base = self._start_index
         for segment in self._segments:
             length = 1 + len(segment["deltas"])
@@ -550,9 +619,36 @@ class Timeline:
             base += length
         raise IndexError(f"timeline index {index} not found")  # pragma: no cover
 
+    def _spooled_tree_at(self, index: int) -> Any:
+        """Reconstruct ``index`` from a spilled (on-disk) segment."""
+        base, segment = self.spool.load(index)
+        tree = segment["key"]
+        offset = index - base
+        # The spilled-segment cursor can also resume mid-segment.
+        if (
+            self._cursor is not None
+            and base <= self._cursor[0] < index
+            and self._cursor[0] - base <= offset
+        ):
+            start = self._cursor[0] - base
+            tree = self._cursor[1]
+        else:
+            start = 0
+        for delta in segment["deltas"][start:offset]:
+            tree = apply_patch(tree, delta)
+        self._cursor = (index, tree)
+        return tree
+
     # -- (de)serialization ----------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
+        segments = self._segments
+        start = self._start_index
+        if self.spool is not None:
+            spilled = self.spool.all_segments()
+            if spilled:
+                segments = spilled + segments
+                start = self.first_index
         return {
             "format": self.FORMAT,
             "version": self.VERSION,
@@ -561,8 +657,8 @@ class Timeline:
             "source": self.source,
             "keyframe_interval": self.keyframe_interval,
             "max_snapshots": self.max_snapshots,
-            "start_index": self._start_index,
-            "segments": self._segments,
+            "start_index": start,
+            "segments": segments,
         }
 
     @classmethod
@@ -679,9 +775,9 @@ def scan_backward(timeline: Timeline, current: int, mode: str) -> int:
     matches, mirroring how a forward ``resume`` falls through to exit.
     """
     if mode == "step":
-        return max(current - 1, timeline.start_index)
+        return max(current - 1, timeline.first_index)
     depth = timeline.snapshot(current).depth
-    for index in range(current - 1, timeline.start_index - 1, -1):
+    for index in range(current - 1, timeline.first_index - 1, -1):
         snapshot = timeline.snapshot(index)
         if mode == "next" and snapshot.depth <= depth:
             return index
@@ -692,7 +788,7 @@ def scan_backward(timeline: Timeline, current: int, mode: str) -> int:
             and snapshot.reason.type in _BREAKPOINT_REASONS
         ):
             return index
-    return timeline.start_index
+    return timeline.first_index
 
 
 def scan_forward(timeline: Timeline, current: int, mode: str) -> int:
@@ -759,7 +855,18 @@ def _ensure_builtin_codecs() -> None:
 
 
 def load_timeline(path: str) -> Timeline:
-    """Load a timeline from any registered codec (native or PT trace)."""
+    """Load a timeline from any registered codec (native or PT trace).
+
+    ``path`` may also be a ``.tracedir/`` directory written by the
+    disk-backed trace store, in which case segments stay on disk and are
+    loaded lazily (see :mod:`repro.core.tracestore`).
+    """
+    import os
+
+    if os.path.isdir(path):
+        from repro.core.tracestore import open_spooled_timeline
+
+        return open_spooled_timeline(path)
     with open(path, "r", encoding="utf-8") as source:
         text = source.read()
     try:

@@ -162,6 +162,12 @@ class Tracker:
         self.last_lineno: Optional[int] = None
         #: Timeline recorder installed by :meth:`enable_recording`.
         self._recorder: Optional[TimelineRecorder] = None
+        #: Record-time inverted index (:class:`repro.core.tracestore
+        #: .TraceIndex`), maintained from the codec's own diff patches.
+        self._trace_index: Optional[Any] = None
+        #: Disk-backed store (:class:`repro.core.tracestore.TraceStore`)
+        #: when recording to a ``.tracedir/``; sealed on :meth:`terminate`.
+        self._trace_store: Optional[Any] = None
         #: Global timeline index while rewound into history; ``None`` when
         #: the tracker is live at the newest state (the normal case).
         self._replay_cursor: Optional[int] = None
@@ -295,8 +301,12 @@ class Tracker:
         """Kill the inferior and release all tracker resources.
 
         Safe to call at any point, including after normal termination.
+        A ``tracedir=`` recording is sealed here (manifest + index written),
+        so the directory is openable with ``TimelineView.open`` afterwards.
         """
         if not self._terminated:
+            if self._trace_store is not None:
+                self._trace_store.close()
             self._terminate()
             self._terminated = True
 
@@ -380,14 +390,26 @@ class Tracker:
         self,
         keyframe_interval: int = 16,
         max_snapshots: Optional[int] = None,
+        tracedir: Optional[str] = None,
+        index: bool = True,
     ) -> TimelineRecorder:
         """Record a :class:`StateSnapshot` at every pause from now on.
 
         Args:
             keyframe_interval: store a full keyframe every this many
                 snapshots; in between, structural deltas.
-            max_snapshots: ring-buffer bound on retained snapshots
-                (``None`` = unbounded).
+            max_snapshots: ring-buffer bound on *in-memory* snapshots
+                (``None`` = unbounded). With ``tracedir`` set, eviction
+                spills segments to disk instead of dropping them, so
+                every snapshot stays reachable.
+            tracedir: record into a disk-backed ``.tracedir/`` at this
+                path (created if needed). Sealed on :meth:`terminate`;
+                reopen later with ``TimelineView.open(tracedir)``.
+            index: maintain the inverted trace index incrementally at
+                record time (variable changes, call/return ranges, pause
+                reasons), fed by the same diff patches the delta codec
+                computes. Turn off to shave recording overhead when the
+                recording will never be queried.
 
         Returns the recorder; its :attr:`TimelineRecorder.timeline` is also
         reachable as :attr:`timeline`. If the inferior is already paused,
@@ -397,9 +419,55 @@ class Tracker:
             self, keyframe_interval=keyframe_interval,
             max_snapshots=max_snapshots,
         )
+        timeline = self._recorder.timeline
+        self._trace_index = None
+        self._trace_store = None
+        if index:
+            from repro.core.tracestore import TraceIndex
+
+            self._trace_index = TraceIndex()
+            timeline.add_append_listener(self._trace_index.observe)
+            timeline.add_drop_listener(self._trace_index.forget)
+        if tracedir is not None:
+            from repro.core.tracestore import TraceStore
+
+            self._trace_store = TraceStore(
+                tracedir, timeline, index=self._trace_index
+            )
         if self._started:
             self._recorder.record()
         return self._recorder
+
+    def timeline_view(self) -> "Any":
+        """The unified query/navigation view over this tracker's recording.
+
+        Returns a :class:`repro.core.tracestore.TimelineView` bound to
+        this tracker: its queries (``history``, ``calls``, ``where``,
+        ``changes_between``) read the recording — using the record-time
+        index when one is maintained — and its navigation calls
+        (``goto``, ``backward_*``) move this tracker's time-travel
+        cursor. This is the one object that owns a recording; the old
+        ``Tracker.goto`` / ``Tracker.backward_*`` methods are deprecated
+        shims over it.
+
+        Raises:
+            TrackerError: recording was never enabled.
+        """
+        from repro.core.tracestore import TimelineView
+
+        return TimelineView(
+            self._require_timeline(), index=self._trace_index, tracker=self
+        )
+
+    def timeline_query(self, text: str) -> Dict[str, Any]:
+        """Run one trace-query expression against the recording.
+
+        Convenience over ``timeline_view().query(text)`` returning the
+        structured dict form; remote backends override this to evaluate
+        the query server-side (``-timeline-query``) so the recording
+        never crosses the pipe.
+        """
+        return self.timeline_view().query(text).to_dict()
 
     def disable_recording(self) -> None:
         """Stop recording; the timeline so far stays navigable."""
@@ -411,8 +479,22 @@ class Tracker:
         """The recorded timeline, or ``None`` if recording was never on."""
         return self._recorder.timeline if self._recorder is not None else None
 
+    def _deprecated_navigation(self, name: str) -> None:
+        warnings.warn(
+            f"Tracker.{name}() is deprecated; use "
+            f"tracker.timeline_view().{name}() — TimelineView is the one "
+            "object that owns a recording",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
     def backward_step(self) -> None:
         """Rewind to the previous recorded pause.
+
+        .. deprecated::
+            Use :meth:`timeline_view` and
+            :meth:`TimelineView.backward_step`; the navigation surface
+            lives on the view that owns the recording.
 
         Reverse control calls are backend-agnostic: they never touch the
         (forward-only) inferior but replay the recorded timeline, so they
@@ -426,34 +508,59 @@ class Tracker:
             NotPausedError: already at the oldest retained snapshot.
             TrackerError: recording was never enabled.
         """
+        self._deprecated_navigation("backward_step")
         self._backward("step")
 
     def backward_next(self) -> None:
-        """Rewind to the previous pause at the same depth or shallower."""
+        """Rewind to the previous pause at the same depth or shallower.
+
+        .. deprecated:: use ``timeline_view().backward_next()``.
+        """
+        self._deprecated_navigation("backward_next")
         self._backward("next")
 
     def backward_finish(self) -> None:
-        """Rewind to the previous pause in a caller (shallower depth)."""
+        """Rewind to the previous pause in a caller (shallower depth).
+
+        .. deprecated:: use ``timeline_view().backward_finish()``.
+        """
+        self._deprecated_navigation("backward_finish")
         self._backward("finish")
 
     def backward_resume(self) -> None:
         """Rewind to the previous control-point pause (breakpoint, watch,
-        tracked call/return), or to the oldest snapshot if none."""
+        tracked call/return), or to the oldest snapshot if none.
+
+        .. deprecated:: use ``timeline_view().backward_resume()``.
+        """
+        self._deprecated_navigation("backward_resume")
         self._backward("resume")
 
     def goto(self, index: int) -> StateSnapshot:
         """Jump to the recorded snapshot at global ``index``.
 
+        .. deprecated:: use ``timeline_view().goto(index)``.
+
         Negative indexes count from the newest snapshot (``goto(-1)`` is
         the newest, i.e. back to live). Returns the snapshot landed on.
+        """
+        self._deprecated_navigation("goto")
+        return self._goto(index)
+
+    def _goto(self, index: int) -> StateSnapshot:
+        """Navigation core behind :meth:`TimelineView.goto`.
+
+        The reachable window floor is :attr:`Timeline.first_index`, so a
+        spilled (``tracedir``) recording can jump to evicted snapshots —
+        they load back lazily from disk.
         """
         timeline = self._require_timeline()
         if index < 0:
             index += len(timeline)
-        if not timeline.start_index <= index < len(timeline):
+        if not timeline.first_index <= index < len(timeline):
             raise TrackerError(
                 f"goto({index}): outside the retained window "
-                f"[{timeline.start_index}, {len(timeline)})"
+                f"[{timeline.first_index}, {len(timeline)})"
             )
         self._seek_timeline(index)
         return timeline.snapshot(index)
@@ -461,7 +568,7 @@ class Tracker:
     def _backward(self, mode: str) -> None:
         timeline = self._require_timeline()
         current = self._timeline_position()
-        if current <= timeline.start_index:
+        if current <= timeline.first_index:
             raise NotPausedError("already at the oldest recorded snapshot")
         self._seek_timeline(scan_backward(timeline, current, mode))
 

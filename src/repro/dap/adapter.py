@@ -214,12 +214,12 @@ class DebugAdapter:
         return [self._ok(request)] + self._run("finish")
 
     def _req_stepBack(self, request):
-        return [self._ok(request)] + self._run_backward("backward_step")
+        return [self._ok(request)] + self._run_backward("step")
 
     def _req_reverseContinue(self, request):
-        return [self._ok(request)] + self._run_backward("backward_resume")
+        return [self._ok(request)] + self._run_backward("resume")
 
-    def _run_backward(self, control: str) -> List[Dict[str, Any]]:
+    def _run_backward(self, mode: str) -> List[Dict[str, Any]]:
         """Rewind over the recorded timeline and report where we landed.
 
         Unlike :meth:`_run` there is no exit path — rewinding away from
@@ -228,7 +228,7 @@ class DebugAdapter:
         """
         if self.tracker is None or not self._started:
             return []
-        getattr(self.tracker, control)()
+        self.tracker._backward(mode)
         self._variable_scopes.clear()
         reason = self.tracker.pause_reason
         dap_reason = _STOP_REASONS.get(

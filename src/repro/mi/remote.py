@@ -454,14 +454,31 @@ class MIRemoteTracker(Tracker):
         self,
         keyframe_interval: int = 16,
         max_snapshots: Optional[int] = None,
+        tracedir: Optional[str] = None,
+        index: bool = True,
     ):
         """Start recording — in the *server* process.
 
         The server captures a snapshot at every ``*stopped`` record, so
         recording does not serialize state across the pipe per pause; the
         whole timeline crosses once, when :attr:`timeline` is first read.
-        Returns ``None``: the recorder object lives server-side.
+        Queries are better sent with :meth:`timeline_query`, which runs
+        server-side and ships only the matches. Returns ``None``: the
+        recorder object lives server-side.
+
+        ``tracedir`` is not supported on remote backends (the server owns
+        the timeline; a client-side spill directory would record nothing)
+        and raises :class:`TraceStoreError`. ``index`` is accepted for
+        signature compatibility; the server maintains its query index on
+        demand.
         """
+        if tracedir is not None:
+            from repro.core.errors import TraceStoreError
+
+            raise TraceStoreError(
+                "tracedir recording is not supported on remote backends; "
+                "record locally or save the dumped timeline instead"
+            )
         if self._client is None:
             raise NotStartedError(
                 "load the program before enabling recording"
@@ -494,6 +511,19 @@ class MIRemoteTracker(Tracker):
             )
             self._timeline_dirty = False
         return self._timeline_cache
+
+    def timeline_query(self, text: str) -> Dict[str, Any]:
+        """Run a trace query server-side (``-timeline-query``).
+
+        The query grammar is :func:`repro.core.tracestore.parse_query`
+        (``x changed``, ``f() == INVALID``, ``len(heap) > 100``). Only
+        the structured result crosses the pipe — the recording itself
+        stays in the server process.
+        """
+        if not self._remote_recording:
+            # Local recording (or none): answer through the unified view.
+            return self.timeline_view().query(text).to_dict()
+        return self._execute("-timeline-query", [text])
 
     def _after_control(self, record: Optional[bool]) -> None:
         if self._remote_recording:

@@ -185,6 +185,25 @@ class ServerCore:
     def _cmd_tracker_stats(self, command) -> List[str]:
         return [protocol.format_done(self.engine.stats.to_dict())]
 
+    def _cmd_timeline_query(self, command) -> List[str]:
+        """Run a trace query (``x changed``, ``f() == v``, ``len(x) > n``)
+        against the server-side timeline, so the recording never crosses
+        the pipe. Both concrete servers provide ``_require_timeline``.
+        """
+        from repro.core.tracestore import TimelineView
+
+        if not command.args:
+            return [protocol.format_error("timeline-query needs an expression")]
+        timeline = self._require_timeline()
+        view = getattr(self, "_query_view", None)
+        if view is None or view.timeline is not timeline:
+            # One cached view per timeline: its index extends
+            # incrementally instead of rebuilding on every query.
+            view = TimelineView(timeline)
+            self._query_view = view
+        text = " ".join(command.args)
+        return [protocol.format_done(view.query(text).to_dict())]
+
 
 class LineChannel:
     """Line-oriented reads over a raw fd, with a non-blocking poll.

@@ -54,7 +54,7 @@ class PTTracker(ReplayTracker):
 
     def step_back(self) -> None:
         """Reverse-step one recorded execution point (the RR stand-in)."""
-        self.backward_step()
+        self._backward("step")
 
     def _current_step(self) -> PTStep:
         return self.trace.steps[self._index]
