@@ -141,6 +141,70 @@ def test_dispatch_flat_in_breakpoint_count(benchmark, write_program):
     assert factor <= 2.0
 
 
+class _SingleThreadTracker(PythonTracker):
+    """Pre-thread-support dispatch, resurrected as the overhead baseline.
+
+    This is the ``_trace`` body exactly as it stood before the thread
+    dimension was added: no all-stop park check, no thread-registration
+    probe, no per-thread kill routing. A single-threaded inferior never
+    exercises those branches, so the current tracker is allowed only
+    their branch-predict cost — the guard below bounds it.
+    """
+
+    def _trace(self, frame, event, arg):
+        if self._killed:
+            from repro.pytracker.tracker import _KillInferior
+
+            raise _KillInferior()
+        if not self._is_inferior_frame(frame):
+            return None
+        if self._interrupt_requested:
+            self._deliver_interrupt(frame)
+            return self._trace
+        if event == "call":
+            self._handle_call(frame)
+            if self.engine.can_skip_frame(
+                frame.f_code.co_filename, frame.f_code.co_name
+            ):
+                return None
+        elif event == "line":
+            self._handle_line(frame)
+        elif event == "return":
+            self._handle_return(frame, arg)
+        return self._trace
+
+
+def test_thread_dispatch_overhead_within_1_3x(benchmark, write_program):
+    """ISSUE guard: the thread-aware ``_trace`` must cost a single-threaded
+    inferior at most 1.3x the pre-thread dispatch. The added work on the
+    hot path is three attribute checks (`_finished`, `_pause_active`,
+    `_interrupt_requested`) and a registration probe that short-circuits
+    while only one thread has ever traced — constant, branch-predictable
+    overhead, not a multiplier. Runs are interleaved and medianed so clock
+    drift hits both sides equally."""
+    path = write_program("guard.py", GUARD_PROGRAM)
+    _resume_seconds(path, 1)  # warm-up: imports, code objects, caches
+    _resume_seconds(path, 1, tracker_class=_SingleThreadTracker)
+
+    def measure():
+        baseline, current = [], []
+        for _ in range(5):
+            baseline.append(
+                _resume_seconds(path, 1, tracker_class=_SingleThreadTracker)
+            )
+            current.append(_resume_seconds(path, 1))
+        return statistics.median(baseline), statistics.median(current)
+
+    baseline, current = benchmark.pedantic(measure, rounds=1, iterations=1)
+    factor = current / baseline
+    print(
+        f"\nresume single-thread baseline {baseline * 1e3:.1f} ms vs "
+        f"thread-aware {current * 1e3:.1f} ms -> {factor:.2f}x "
+        "(must stay within 1.3x)"
+    )
+    assert factor <= 1.3
+
+
 # ---------------------------------------------------------------------------
 # settrace vs sys.monitoring (python-mon) sweep
 # ---------------------------------------------------------------------------

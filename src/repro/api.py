@@ -56,6 +56,7 @@ from repro.core.timeline import (
     TimelineRecorder,
     load_timeline,
 )
+from repro.core.threads import TaskInfo, ThreadInfo
 from repro.core.tracestore import (
     CallRecord,
     ChangeEvent,
@@ -66,6 +67,12 @@ from repro.core.tracestore import (
     parse_query,
 )
 from repro.core.tracker import Tracker
+from repro.tools.equivalence import (
+    DivergenceReport,
+    EquivalenceReport,
+    TrackerGroup,
+    check_equivalence,
+)
 
 __all__ = [
     # factory
@@ -83,6 +90,14 @@ __all__ = [
     "PauseReason",
     "PauseReasonType",
     "StateSnapshot",
+    # concurrency
+    "ThreadInfo",
+    "TaskInfo",
+    # differential debugging
+    "TrackerGroup",
+    "DivergenceReport",
+    "EquivalenceReport",
+    "check_equivalence",
     # recording & querying
     "Timeline",
     "TimelineRecorder",

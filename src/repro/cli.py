@@ -288,6 +288,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="on drain, dump each recording session's timeline to "
         "DIR/<session>.timeline.json before closing it",
     )
+    serve.add_argument(
+        "--tls-cert", default=None, metavar="PEM",
+        help="serve TLS with this certificate chain (requires --tls-key); "
+        "non-loopback binds refuse to start without TLS or a token",
+    )
+    serve.add_argument(
+        "--tls-key", default=None, metavar="PEM",
+        help="private key for --tls-cert",
+    )
 
     return parser
 
@@ -378,17 +387,35 @@ def _serve_command(options: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-    if (
-        not options.stdio
-        and token is None
-        and options.host not in ("127.0.0.1", "localhost", "::1")
-    ):
+    tls = bool(options.tls_cert or options.tls_key)
+    if tls and not (options.tls_cert and options.tls_key):
         print(
-            f"warning: binding {options.host} without --token-file — any "
-            "host that can reach this port can run arbitrary code",
+            "TLS needs both --tls-cert and --tls-key",
             file=sys.stderr,
-            flush=True,
         )
+        return 2
+    loopback = options.host in ("127.0.0.1", "localhost", "::1")
+    if not options.stdio and not loopback:
+        if token is None and not tls:
+            # A tokenless, plaintext, non-loopback bind means any host
+            # that can reach the port runs arbitrary code — refuse, this
+            # is never what anyone wants in production.
+            print(
+                f"refusing to bind {options.host} without --token-file or "
+                "TLS (--tls-cert/--tls-key): any host that can reach this "
+                "port could run arbitrary code",
+                file=sys.stderr,
+                flush=True,
+            )
+            return 2
+        if token is None:
+            print(
+                f"warning: binding {options.host} with TLS but no "
+                "--token-file — any client trusting the certificate can "
+                "run arbitrary code",
+                file=sys.stderr,
+                flush=True,
+            )
 
     config = ServiceConfig(
         host=options.host,
@@ -402,6 +429,8 @@ def _serve_command(options: argparse.Namespace) -> int:
         session_queue_limit=options.queue_limit,
         drain_deadline=options.drain_timeout,
         snapshot_dir=options.snapshot_dir,
+        tls_cert=options.tls_cert,
+        tls_key=options.tls_key,
     )
     service = TrackerService(config)
 

@@ -74,6 +74,8 @@ class AddressBreakpoint:
     address: int
     maxdepth: Optional[int] = None
     enabled: bool = True
+    #: Restrict to one inferior thread index (``None`` = any thread).
+    thread: Optional[int] = None
 
 
 def split_variable_id(variable_id: str) -> Tuple[Optional[str], str]:
@@ -307,6 +309,9 @@ class ControlPointEngine:
         #: step-mode state machine: "resume", "step", "next" or "finish"
         self.mode: str = "resume"
         self.mode_depth: int = 0
+        #: Thread index the step mode is scoped to (``None`` = any thread;
+        #: multi-thread backends arm stepping for the paused thread only).
+        self.mode_thread: Optional[int] = None
         self._dirty = True
         self._watch_snapshots: Dict[int, Optional[str]] = {}
         self._synced_ids: set = set()
@@ -439,19 +444,32 @@ class ControlPointEngine:
     # Step-mode state machine
     # ------------------------------------------------------------------
 
-    def arm(self, mode: str, depth: int = 0) -> None:
+    def arm(
+        self, mode: str, depth: int = 0, thread: Optional[int] = None
+    ) -> None:
         """Enter a run mode: ``resume``, ``step``, ``next`` or ``finish``.
 
         ``depth`` is the frame depth at which the command was issued; it is
         the reference for ``next`` (pause at depth <= issue depth) and
-        ``finish`` (pause at depth < issue depth).
+        ``finish`` (pause at depth < issue depth). ``thread`` scopes the
+        step mode to one inferior thread (multi-thread backends pass the
+        paused thread's index so stepping does not complete in a sibling
+        thread); ``None`` keeps the single-threaded semantics.
         """
         self.mode = mode
         self.mode_depth = depth
+        self.mode_thread = thread
 
-    def should_step_pause(self, depth: int) -> bool:
-        """Whether the current step mode pauses at a line at ``depth``."""
+    def should_step_pause(self, depth: int, thread: int = 0) -> bool:
+        """Whether the current step mode pauses at a line at ``depth``.
+
+        ``thread`` is the event's inferior thread index; when the mode was
+        armed for a specific thread, events from the others never complete
+        the step.
+        """
         mode = self.mode
+        if self.mode_thread is not None and thread != self.mode_thread:
+            return False
         if mode == "step":
             return True
         if mode == "next":
@@ -529,12 +547,14 @@ class ControlPointEngine:
         return function in self._function_index or function in self._tracked_index
 
     def match_line(
-        self, filename: Optional[str], line: int, depth: int
+        self, filename: Optional[str], line: int, depth: int, thread: int = 0
     ) -> Optional[LineBreakpoint]:
-        """First enabled line breakpoint matching (file, line, depth).
+        """First enabled line breakpoint matching (file, line, depth, thread).
 
         ``filename`` is the executing file, or ``None`` for backends whose
         breakpoints are file-agnostic (the MI server, the PT tracker).
+        ``thread`` is the event's inferior thread index; a breakpoint with
+        ``thread=None`` matches events from any thread.
         """
         candidates = self._line_index.get(line)
         if candidates is None:
@@ -550,28 +570,33 @@ class ControlPointEngine:
                 continue
             if breakpoint_.maxdepth is not None and depth > breakpoint_.maxdepth:
                 continue
+            if (
+                breakpoint_.thread is not None
+                and breakpoint_.thread != thread
+            ):
+                continue
             return breakpoint_
         return None
 
     def match_function_breakpoint(
-        self, function: str, depth: int
+        self, function: str, depth: int, thread: int = 0
     ) -> Optional[FunctionBreakpoint]:
         """First enabled function breakpoint matching (function, depth)."""
-        return _first_allowed(self._function_index.get(function), depth)
+        return _first_allowed(self._function_index.get(function), depth, thread)
 
     def match_tracked(
-        self, function: str, depth: int
+        self, function: str, depth: int, thread: int = 0
     ) -> Optional[TrackedFunction]:
         """First enabled tracked function matching (function, depth)."""
-        return _first_allowed(self._tracked_index.get(function), depth)
+        return _first_allowed(self._tracked_index.get(function), depth, thread)
 
     def match_address(
-        self, address: Optional[int], depth: int
+        self, address: Optional[int], depth: int, thread: int = 0
     ) -> Optional[AddressBreakpoint]:
         """First enabled address breakpoint matching (pc, depth)."""
         if address is None:
             return None
-        return _first_allowed(self._address_index.get(address), depth)
+        return _first_allowed(self._address_index.get(address), depth, thread)
 
     def can_skip_frame(self, filename: str, function: str) -> bool:
         """Whether a frame needs no local tracing at all.
@@ -616,6 +641,7 @@ class ControlPointEngine:
         self,
         depth: int,
         fetch: Callable[[Optional[str], str], Optional[str]],
+        thread: int = 0,
     ) -> Optional[Tuple[Watchpoint, Optional[str], str]]:
         """Check every enabled watchpoint for a value change.
 
@@ -637,6 +663,10 @@ class ControlPointEngine:
         for watchpoint in self.watchpoints:
             if not watchpoint.enabled:
                 continue
+            if watchpoint.thread is not None and watchpoint.thread != thread:
+                # A thread-scoped watch is only *sampled* on its thread's
+                # events; other threads must not consume its baseline.
+                continue
             function, name = split_variable_id(watchpoint.variable_id)
             current = fetch(function, name)
             stats.watch_evaluations += 1
@@ -654,13 +684,18 @@ class ControlPointEngine:
         return None
 
 
-def _first_allowed(candidates: Optional[List[Any]], depth: int) -> Optional[Any]:
+def _first_allowed(
+    candidates: Optional[List[Any]], depth: int, thread: int = 0
+) -> Optional[Any]:
     if candidates is None:
         return None
     for point in candidates:
         if not point.enabled:
             continue
         if point.maxdepth is not None and depth > point.maxdepth:
+            continue
+        point_thread = getattr(point, "thread", None)
+        if point_thread is not None and point_thread != thread:
             continue
         return point
     return None

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
 
 class PauseReasonType(enum.Enum):
@@ -31,6 +31,10 @@ class PauseReasonType(enum.Enum):
     EXIT = "exit"
     #: The supervisor interrupted the inferior (control-call deadline).
     INTERRUPT = "interrupt"
+    #: A control-call deadline expired and the stall detector found every
+    #: inferior thread blocked on synchronization primitives — a probable
+    #: deadlock. ``details`` carries the lock-wait graph.
+    DEADLOCK_SUSPECTED = "deadlock-suspected"
 
 
 @dataclass
@@ -48,6 +52,13 @@ class PauseReason:
             converted to the abstract state model when available.
         line: for line ``BREAKPOINT`` and ``STEP``: the source line at which
             the inferior is paused.
+        thread: index of the inferior thread that triggered the pause
+            (0 = the main inferior thread; ``None`` on single-threaded
+            backends that predate the thread dimension).
+        thread_name: name of that thread, when known.
+        details: event-specific structured payload — for
+            ``DEADLOCK_SUSPECTED``, the lock-wait graph
+            (``{"threads": [...], "edges": [...], "cycle": [...]}``).
     """
 
     type: PauseReasonType
@@ -57,6 +68,9 @@ class PauseReason:
     new_value: Any = None
     return_value: Any = None
     line: Optional[int] = None
+    thread: Optional[int] = None
+    thread_name: Optional[str] = None
+    details: Optional[Dict[str, Any]] = None
 
     def __str__(self) -> str:
         parts = [self.type.name]
@@ -66,4 +80,6 @@ class PauseReason:
             parts.append(f"variable={self.variable}")
         if self.line is not None:
             parts.append(f"line={self.line}")
+        if self.thread is not None:
+            parts.append(f"thread={self.thread}")
         return f"PauseReason({', '.join(parts)})"

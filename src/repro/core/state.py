@@ -161,41 +161,58 @@ class Value:
                 stack.extend(value.content.values())
 
     def render(self) -> str:
-        """A compact, human-readable rendering used by the bundled tools."""
-        kind = self.abstract_type
-        if kind is AbstractType.PRIMITIVE:
-            if self.truncated:
-                return repr(self.content) + "..."
-            return repr(self.content)
-        if kind is AbstractType.REF:
-            target = self.content
-            if target.address is not None:
-                return f"&{target.address:#x}"
-            return f"&({target.render()})"
-        if kind is AbstractType.LIST:
-            parts = [v.render() for v in self.content]
-            if self.truncated:
-                parts.append("...")
-            return "[" + ", ".join(parts) + "]"
-        if kind is AbstractType.DICT:
-            parts = [
-                f"{k.render()}: {v.render()}" for k, v in self.content.items()
-            ]
-            if self.truncated:
-                parts.append("...")
-            return "{" + ", ".join(parts) + "}"
-        if kind is AbstractType.STRUCT:
-            parts = [
-                f".{name}={v.render()}" for name, v in self.content.items()
-            ]
-            if self.truncated:
-                parts.append("...")
-            return "{" + ", ".join(parts) + "}"
-        if kind is AbstractType.NONE:
-            return "None"
-        if kind is AbstractType.INVALID:
-            return "<invalid>"
-        return f"<function {self.content}>"
+        """A compact, human-readable rendering used by the bundled tools.
+
+        Cyclic value graphs are legal in the model (see :meth:`walk` and
+        :func:`value_to_dict`, which both cut back-edges); a back-edge
+        renders as ``<...>``. Sharing that is not cyclic renders fully.
+        """
+        return self._render(set())
+
+    def _render(self, active: set) -> str:
+        marker = id(self)
+        if marker in active:
+            return "<...>"
+        active.add(marker)
+        try:
+            kind = self.abstract_type
+            if kind is AbstractType.PRIMITIVE:
+                if self.truncated:
+                    return repr(self.content) + "..."
+                return repr(self.content)
+            if kind is AbstractType.REF:
+                target = self.content
+                if target.address is not None:
+                    return f"&{target.address:#x}"
+                return f"&({target._render(active)})"
+            if kind is AbstractType.LIST:
+                parts = [v._render(active) for v in self.content]
+                if self.truncated:
+                    parts.append("...")
+                return "[" + ", ".join(parts) + "]"
+            if kind is AbstractType.DICT:
+                parts = [
+                    f"{k._render(active)}: {v._render(active)}"
+                    for k, v in self.content.items()
+                ]
+                if self.truncated:
+                    parts.append("...")
+                return "{" + ", ".join(parts) + "}"
+            if kind is AbstractType.STRUCT:
+                parts = [
+                    f".{name}={v._render(active)}"
+                    for name, v in self.content.items()
+                ]
+                if self.truncated:
+                    parts.append("...")
+                return "{" + ", ".join(parts) + "}"
+            if kind is AbstractType.NONE:
+                return "None"
+            if kind is AbstractType.INVALID:
+                return "<invalid>"
+            return f"<function {self.content}>"
+        finally:
+            active.discard(marker)
 
 
 def _check_content(abstract_type: AbstractType, content: Any) -> None:
@@ -265,6 +282,9 @@ class Frame:
     parent: Optional["Frame"] = None
     line: Optional[int] = None
     filename: str = ""
+    #: Index of the inferior thread this frame belongs to (0 = the main
+    #: inferior thread). ``None`` on single-threaded captures.
+    thread: Optional[int] = None
 
     def lookup(self, variable_name: str) -> Optional[Variable]:
         """Find a variable by name in this frame only."""
@@ -483,7 +503,7 @@ def variable_from_dict(data: Dict[str, Any]) -> Variable:
 
 def frame_to_dict(frame: Frame) -> Dict[str, Any]:
     """Encode a :class:`Frame` *and its parents* as a JSON-serializable dict."""
-    return {
+    encoded = {
         "name": frame.name,
         "depth": frame.depth,
         "variables": {
@@ -494,6 +514,11 @@ def frame_to_dict(frame: Frame) -> Dict[str, Any]:
         "line": frame.line,
         "filename": frame.filename,
     }
+    if frame.thread is not None:
+        # Only encoded when set, like Value.truncated: single-threaded
+        # captures and old recordings stay byte-compatible.
+        encoded["thread"] = frame.thread
+    return encoded
 
 
 def frame_from_dict(data: Dict[str, Any]) -> Frame:
@@ -508,4 +533,5 @@ def frame_from_dict(data: Dict[str, Any]) -> Frame:
         parent=frame_from_dict(data["parent"]) if data["parent"] else None,
         line=data["line"],
         filename=data["filename"],
+        thread=data.get("thread"),
     )

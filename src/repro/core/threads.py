@@ -1,0 +1,143 @@
+"""Thread and asyncio-task inspection models.
+
+The paper's state model (Section II-B2) describes one frame chain — a
+single-threaded inferior. This module adds the *thread dimension* every
+backend now carries: :class:`ThreadInfo` describes one inferior thread
+(its stable index, name, scheduling state and current position) and
+:class:`TaskInfo` describes one asyncio task (name, state and the chain
+of coroutines it is awaiting through).
+
+Thread indexes are small stable integers assigned in registration order —
+index 0 is always the thread that executes the program's module code —
+so they survive serialization and are meaningful across the MI
+(``-thread-info``) and DAP (``threads``) boundaries, unlike OS idents
+which are reused and process-specific.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "TaskInfo",
+    "ThreadInfo",
+    "task_from_dict",
+    "task_to_dict",
+    "thread_from_dict",
+    "thread_to_dict",
+]
+
+#: ``ThreadInfo.state`` values.
+THREAD_RUNNING = "running"
+THREAD_PAUSED = "paused"  # the thread that reported the current pause
+THREAD_PARKED = "parked"  # stopped at a boundary by the all-stop barrier
+THREAD_BLOCKED = "blocked"  # waiting on a lock/join, per the stall sampler
+THREAD_FINISHED = "finished"
+
+
+@dataclass
+class ThreadInfo:
+    """One inferior thread, as the inspection API reports it.
+
+    Attributes:
+        id: stable small integer index (0 = the main inferior thread).
+        name: the thread's name (``threading.Thread.name`` for Python
+            inferiors).
+        state: scheduling state — ``"paused"`` (owns the current pause),
+            ``"parked"`` (stopped by the all-stop barrier), ``"running"``,
+            ``"blocked"`` (stall sampler found it waiting on a lock) or
+            ``"finished"``.
+        function: innermost inferior function currently executing, when
+            a frame sample is available.
+        line: current source line of that frame.
+        filename: file of that frame.
+        daemon: the thread's daemon flag, when known.
+    """
+
+    id: int
+    name: str = ""
+    state: str = THREAD_RUNNING
+    function: Optional[str] = None
+    line: Optional[int] = None
+    filename: Optional[str] = None
+    daemon: Optional[bool] = None
+
+    def __str__(self) -> str:
+        where = ""
+        if self.function is not None:
+            where = f" at {self.function}:{self.line}"
+        return f"Thread {self.id} ({self.name}) [{self.state}]{where}"
+
+
+@dataclass
+class TaskInfo:
+    """One asyncio task of the inferior, with its await chain.
+
+    Attributes:
+        name: the task's name (``Task.get_name()``).
+        state: ``"pending"``, ``"done"`` or ``"cancelled"``.
+        coroutine: qualified name of the task's outermost coroutine.
+        awaiting: coroutine names from the outermost frame down to the
+            suspension point — the await chain, outermost first.
+        line: source line where the innermost coroutine is suspended,
+            when known.
+    """
+
+    name: str
+    state: str = "pending"
+    coroutine: str = ""
+    awaiting: List[str] = field(default_factory=list)
+    line: Optional[int] = None
+
+    def __str__(self) -> str:
+        chain = " -> ".join(self.awaiting) if self.awaiting else "?"
+        return f"Task {self.name} [{self.state}] awaiting {chain}"
+
+
+def thread_to_dict(info: ThreadInfo) -> Dict[str, Any]:
+    """Encode a :class:`ThreadInfo` as a JSON-serializable dict."""
+    return {
+        "id": info.id,
+        "name": info.name,
+        "state": info.state,
+        "function": info.function,
+        "line": info.line,
+        "filename": info.filename,
+        "daemon": info.daemon,
+    }
+
+
+def thread_from_dict(data: Dict[str, Any]) -> ThreadInfo:
+    """Decode the output of :func:`thread_to_dict`."""
+    return ThreadInfo(
+        id=int(data["id"]),
+        name=data.get("name", ""),
+        state=data.get("state", THREAD_RUNNING),
+        function=data.get("function"),
+        line=data.get("line"),
+        filename=data.get("filename"),
+        daemon=data.get("daemon"),
+    )
+
+
+def task_to_dict(info: TaskInfo) -> Dict[str, Any]:
+    """Encode a :class:`TaskInfo` as a JSON-serializable dict."""
+    return {
+        "name": info.name,
+        "state": info.state,
+        "coroutine": info.coroutine,
+        "awaiting": list(info.awaiting),
+        "line": info.line,
+    }
+
+
+def task_from_dict(data: Dict[str, Any]) -> TaskInfo:
+    """Decode the output of :func:`task_to_dict`."""
+    return TaskInfo(
+        name=data["name"],
+        state=data.get("state", "pending"),
+        coroutine=data.get("coroutine", ""),
+        awaiting=list(data.get("awaiting", [])),
+        line=data.get("line"),
+    )

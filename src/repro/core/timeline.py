@@ -190,6 +190,9 @@ class StateSnapshot:
         event: coarse event kind ("call", "return", "step_line", "exit"),
             used by replay-side control-point evaluation.
         func_name: name of the innermost function, for replay matching.
+        thread: index of the inferior thread that produced this pause
+            (``None`` on single-threaded captures, keeping old recordings
+            and their deltas byte-compatible).
 
     Snapshots are immutable by contract; equality is *structural* over the
     serialized tree (two snapshots captured from identical states compare
@@ -206,6 +209,7 @@ class StateSnapshot:
     reason: Optional[PauseReason] = None
     event: str = EVENT_LINE
     func_name: Optional[str] = None
+    thread: Optional[int] = None
 
     @classmethod
     def capture(cls, tracker: Any) -> "StateSnapshot":
@@ -238,6 +242,9 @@ class StateSnapshot:
             )
         frame = tracker.get_current_frame()
         filename, line = tracker.get_position()
+        thread = reason.thread if reason is not None else None
+        if thread is None and frame is not None:
+            thread = frame.thread
         return cls(
             frame=frame,
             globals=dict(tracker.get_global_variables()),
@@ -249,6 +256,7 @@ class StateSnapshot:
             reason=reason,
             event=_event_for_reason(reason),
             func_name=frame.name,
+            thread=thread,
         )
 
     # -- convenience views (mirror the old inspection quartet) ----------
@@ -278,7 +286,7 @@ class StateSnapshot:
 
     def to_dict(self) -> Dict[str, Any]:
         """Encode as a JSON-serializable tree (the delta-codec substrate)."""
-        return {
+        encoded = {
             "frame": frame_to_dict(self.frame) if self.frame else None,
             "globals": {
                 name: variable_to_dict(variable)
@@ -293,6 +301,11 @@ class StateSnapshot:
             "event": self.event,
             "func_name": self.func_name,
         }
+        if self.thread is not None:
+            # Only-when-set, like Value.truncated: single-threaded
+            # recordings keep their seed-era byte layout.
+            encoded["thread"] = self.thread
+        return encoded
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "StateSnapshot":
@@ -311,6 +324,7 @@ class StateSnapshot:
             reason=_reason_from_dict(data.get("reason")),
             event=data.get("event", EVENT_LINE),
             func_name=data.get("func_name"),
+            thread=data.get("thread"),
         )
 
     def __eq__(self, other: object) -> bool:
@@ -342,7 +356,7 @@ def _event_for_reason(reason: Optional[PauseReason]) -> str:
 def _reason_to_dict(reason: Optional[PauseReason]) -> Optional[Dict[str, Any]]:
     if reason is None:
         return None
-    return {
+    encoded = {
         "type": reason.type.value,
         "function": reason.function,
         "variable": reason.variable,
@@ -351,6 +365,13 @@ def _reason_to_dict(reason: Optional[PauseReason]) -> Optional[Dict[str, Any]]:
         "return_value": _wrap_value(reason.return_value),
         "line": reason.line,
     }
+    if reason.thread is not None:
+        encoded["thread"] = reason.thread
+    if reason.thread_name is not None:
+        encoded["thread_name"] = reason.thread_name
+    if reason.details is not None:
+        encoded["details"] = reason.details
+    return encoded
 
 
 def _reason_from_dict(data: Optional[Dict[str, Any]]) -> Optional[PauseReason]:
@@ -364,6 +385,9 @@ def _reason_from_dict(data: Optional[Dict[str, Any]]) -> Optional[PauseReason]:
         new_value=_unwrap_value(data.get("new_value")),
         return_value=_unwrap_value(data.get("return_value")),
         line=data.get("line"),
+        thread=data.get("thread"),
+        thread_name=data.get("thread_name"),
+        details=data.get("details"),
     )
 
 

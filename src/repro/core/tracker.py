@@ -57,12 +57,17 @@ from repro.core.timeline import (
 
 @dataclass
 class LineBreakpoint:
-    """A pause request before executing a given source line."""
+    """A pause request before executing a given source line.
+
+    ``thread`` restricts the breakpoint to one inferior thread index
+    (0 = the main inferior thread); ``None`` matches any thread.
+    """
 
     line: int
     filename: Optional[str] = None
     maxdepth: Optional[int] = None
     enabled: bool = True
+    thread: Optional[int] = None
 
 
 @dataclass
@@ -77,6 +82,7 @@ class FunctionBreakpoint:
     function: str
     maxdepth: Optional[int] = None
     enabled: bool = True
+    thread: Optional[int] = None
 
 
 @dataclass
@@ -86,6 +92,7 @@ class TrackedFunction:
     function: str
     maxdepth: Optional[int] = None
     enabled: bool = True
+    thread: Optional[int] = None
 
 
 @dataclass
@@ -94,11 +101,14 @@ class Watchpoint:
 
     ``variable_id`` uses the syntax ``name`` for a global or current-frame
     variable, or ``function:name`` to watch ``name`` within ``function``.
+    A thread-scoped watch (``thread`` set) is sampled only on events from
+    that thread.
     """
 
     variable_id: str
     maxdepth: Optional[int] = None
     enabled: bool = True
+    thread: Optional[int] = None
 
     def split(self) -> Tuple[Optional[str], str]:
         """Return ``(function_or_None, variable_name)``.
@@ -327,6 +337,7 @@ class Tracker:
         line: int,
         filename: Optional[str] = None,
         maxdepth: Optional[int] = None,
+        thread: Optional[int] = None,
     ) -> LineBreakpoint:
         """Pause the inferior just before executing ``line``.
 
@@ -335,23 +346,35 @@ class Tracker:
             filename: restrict to a file; defaults to the main program file.
             maxdepth: only pause if the current frame depth is at most this
                 value (frame depth 0 is the program entry frame).
+            thread: only pause when the line executes on this inferior
+                thread index (0 = main); ``None`` matches any thread.
         """
-        breakpoint_ = LineBreakpoint(line=line, filename=filename, maxdepth=maxdepth)
+        breakpoint_ = LineBreakpoint(
+            line=line, filename=filename, maxdepth=maxdepth, thread=thread
+        )
         self.line_breakpoints.append(breakpoint_)
         self._control_points_changed()
         return breakpoint_
 
     def break_before_func(
-        self, function: str, maxdepth: Optional[int] = None
+        self,
+        function: str,
+        maxdepth: Optional[int] = None,
+        thread: Optional[int] = None,
     ) -> FunctionBreakpoint:
         """Pause just before entering ``function`` (arguments initialized)."""
-        breakpoint_ = FunctionBreakpoint(function=function, maxdepth=maxdepth)
+        breakpoint_ = FunctionBreakpoint(
+            function=function, maxdepth=maxdepth, thread=thread
+        )
         self.function_breakpoints.append(breakpoint_)
         self._control_points_changed()
         return breakpoint_
 
     def track_function(
-        self, function: str, maxdepth: Optional[int] = None
+        self,
+        function: str,
+        maxdepth: Optional[int] = None,
+        thread: Optional[int] = None,
     ) -> TrackedFunction:
         """Pause at the beginning and end of every execution of ``function``.
 
@@ -359,20 +382,27 @@ class Tracker:
         exit pause just *before* returning (the return value is available in
         :attr:`pause_reason`).
         """
-        tracked = TrackedFunction(function=function, maxdepth=maxdepth)
+        tracked = TrackedFunction(
+            function=function, maxdepth=maxdepth, thread=thread
+        )
         self.tracked_functions.append(tracked)
         self._control_points_changed()
         return tracked
 
     def watch(
-        self, variable_id: str, maxdepth: Optional[int] = None
+        self,
+        variable_id: str,
+        maxdepth: Optional[int] = None,
+        thread: Optional[int] = None,
     ) -> Watchpoint:
         """Pause every time the variable ``variable_id`` is modified.
 
         ``variable_id`` is either a plain name (global or any frame) or
         ``"function:name"`` to scope the watch to one function's local.
         """
-        watchpoint = Watchpoint(variable_id=variable_id, maxdepth=maxdepth)
+        watchpoint = Watchpoint(
+            variable_id=variable_id, maxdepth=maxdepth, thread=thread
+        )
         self.watchpoints.append(watchpoint)
         self._control_points_changed()
         return watchpoint
@@ -720,6 +750,63 @@ class Tracker:
             return replayed.position()
         self._require_paused()
         return self._get_position()
+
+    # ------------------------------------------------------------------
+    # Thread & asyncio inspection
+    # ------------------------------------------------------------------
+
+    def get_threads(self) -> List[Any]:
+        """All inferior threads as :class:`repro.core.threads.ThreadInfo`.
+
+        Single-threaded backends report exactly one entry — thread 0,
+        the main inferior thread — so tools can iterate unconditionally.
+        Multi-thread backends override this with the live registry.
+        """
+        from repro.core.threads import THREAD_FINISHED, THREAD_PAUSED, ThreadInfo
+
+        state = THREAD_PAUSED if self._exit_code is None else THREAD_FINISHED
+        function = line = filename = None
+        if self._started and self._exit_code is None:
+            try:
+                frame = self.get_current_frame()
+            except TrackerError:
+                frame = None
+            if frame is not None:
+                function, line = frame.name, frame.line
+                filename = frame.filename
+        return [
+            ThreadInfo(
+                id=0,
+                name="main",
+                state=state,
+                function=function,
+                line=line,
+                filename=filename,
+            )
+        ]
+
+    def get_thread_frames(self, thread: int) -> List[Frame]:
+        """Frames of one inferior thread, innermost first.
+
+        ``thread`` is the stable index reported by :meth:`get_threads`.
+        The base implementation serves only thread 0 (the main thread's
+        frames are the ordinary ``get_frames`` result).
+        """
+        if thread != 0:
+            raise TrackerError(
+                f"no inferior thread {thread} (this backend tracks only "
+                "the main thread)"
+            )
+        return self.get_frames()
+
+    def get_tasks(self) -> List[Any]:
+        """The inferior's asyncio tasks with await chains.
+
+        Returns a list of :class:`repro.core.threads.TaskInfo`; empty when
+        the inferior runs no event loop or the backend cannot see one
+        (in-process Python backends override this with live enumeration).
+        """
+        return []
 
     def get_source_lines(self) -> List[str]:
         """The source text of the main program file, one string per line."""

@@ -32,7 +32,8 @@ from repro.core.state import AbstractType, Value, Variable
 from repro.core.tracker import Tracker
 from repro.dap import protocol
 
-#: The single-thread story every tracker backend presents.
+#: The default DAP thread id. Tracker thread indexes are 0-based; DAP
+#: requires positive ids, so index ``n`` is exposed as thread ``n + 1``.
 THREAD_ID = 1
 
 _STOP_REASONS = {
@@ -42,6 +43,7 @@ _STOP_REASONS = {
     PauseReasonType.RETURN: "function breakpoint",
     PauseReasonType.STEP: "step",
     PauseReasonType.INTERRUPT: "pause",
+    PauseReasonType.DEADLOCK_SUSPECTED: "deadlock",
 }
 
 
@@ -276,14 +278,23 @@ class DebugAdapter:
         )
 
     def _stopped_event(self, reason: str):
-        return self._event(
-            "stopped",
-            {
-                "reason": reason,
-                "threadId": THREAD_ID,
-                "allThreadsStopped": True,
-            },
-        )
+        pause = self.tracker.pause_reason if self.tracker else None
+        thread_id = THREAD_ID
+        body = {
+            "reason": reason,
+            "threadId": thread_id,
+            "allThreadsStopped": True,
+        }
+        if pause is not None:
+            if pause.thread is not None:
+                body["threadId"] = pause.thread + 1
+            if pause.type is PauseReasonType.DEADLOCK_SUSPECTED:
+                waits = (pause.details or {}).get("threads", [])
+                body["description"] = (
+                    "suspected deadlock: all "
+                    f"{len(waits)} inferior thread(s) blocked on locks"
+                )
+        return self._event("stopped", body)
 
     def _exit_events(self) -> List[Dict[str, Any]]:
         if self._terminated_sent:
@@ -299,14 +310,47 @@ class DebugAdapter:
     # ------------------------------------------------------------------
 
     def _req_threads(self, request):
-        return [
-            self._ok(
-                request,
-                {"threads": [{"id": THREAD_ID, "name": "inferior"}]},
+        threads = []
+        try:
+            infos = self.tracker.get_threads() if self.tracker else []
+        except TrackerError:
+            infos = []
+        for info in infos:
+            name = info.name or f"thread-{info.id}"
+            threads.append(
+                {"id": info.id + 1, "name": f"{name} [{info.state}]"}
             )
-        ]
+        if not threads:
+            threads = [{"id": THREAD_ID, "name": "inferior"}]
+        return [self._ok(request, {"threads": threads})]
 
     def _req_stackTrace(self, request):
+        requested = request.get("arguments", {}).get("threadId")
+        pause = self.tracker.pause_reason
+        current = (pause.thread if pause and pause.thread is not None else 0) + 1
+        if requested is not None and requested != current:
+            # Another thread's stack is view-only: the frame ids are
+            # deliberately out of the scopes/variables range.
+            try:
+                frames = self.tracker.get_thread_frames(requested - 1)
+            except TrackerError:
+                frames = []
+            stack = [
+                {
+                    "id": 10_000 + index,
+                    "name": frame.name,
+                    "line": frame.line or 0,
+                    "column": 1,
+                    "source": {"path": frame.filename or self._program},
+                }
+                for index, frame in enumerate(frames)
+            ]
+            return [
+                self._ok(
+                    request,
+                    {"stackFrames": stack, "totalFrames": len(stack)},
+                )
+            ]
         frames = []
         for index, frame in enumerate(self.tracker.get_frames()):
             frames.append(

@@ -322,13 +322,13 @@ class MIRemoteTracker(Tracker):
                 self._client.execute(
                     "-break-insert",
                     [location],
-                    _maxdepth(point.maxdepth),
+                    _point_options(point),
                 )
             elif isinstance(point, FunctionBreakpoint):
                 self._client.execute(
                     "-break-insert",
                     [point.function],
-                    _maxdepth(point.maxdepth),
+                    _point_options(point),
                 )
             elif isinstance(point, Watchpoint):
                 self._client.execute(
@@ -356,46 +356,62 @@ class MIRemoteTracker(Tracker):
             self.exit_error = payload.get("error")
             return
         if reason == "interrupted":
-            self._pause_reason = PauseReason(
+            self._pause_reason = self._with_thread(payload, PauseReason(
                 type=PauseReasonType.INTERRUPT, line=line
-            )
+            ))
+            return
+        if reason == "deadlock-suspected":
+            self._pause_reason = self._with_thread(payload, PauseReason(
+                type=PauseReasonType.DEADLOCK_SUSPECTED,
+                line=line,
+                details=payload.get("deadlock"),
+            ))
             return
         if reason == "watchpoint-trigger":
-            self._pause_reason = PauseReason(
+            self._pause_reason = self._with_thread(payload, PauseReason(
                 type=PauseReasonType.WATCH,
                 variable=payload.get("var"),
                 old_value=payload.get("old"),
                 new_value=payload.get("new"),
                 line=line,
-            )
+            ))
             return
         if reason == "function-entry":
-            self._pause_reason = PauseReason(
+            self._pause_reason = self._with_thread(payload, PauseReason(
                 type=PauseReasonType.CALL,
                 function=payload.get("func"),
                 line=line,
-            )
+            ))
             return
         if reason == "function-exit":
-            self._pause_reason = PauseReason(
+            self._pause_reason = self._with_thread(payload, PauseReason(
                 type=PauseReasonType.RETURN,
                 function=payload.get("func"),
                 return_value=self._decode_retval(payload),
                 line=line,
-            )
+            ))
             return
         if reason == "breakpoint-hit":
             mapped = self._map_breakpoint_pause(payload, line)
             if mapped is not None:
-                self._pause_reason = mapped
+                self._pause_reason = self._with_thread(payload, mapped)
                 return
-            self._pause_reason = PauseReason(
+            self._pause_reason = self._with_thread(payload, PauseReason(
                 type=PauseReasonType.BREAKPOINT,
                 function=payload.get("func"),
                 line=line,
-            )
+            ))
             return
-        self._pause_reason = PauseReason(type=PauseReasonType.STEP, line=line)
+        self._pause_reason = self._with_thread(
+            payload, PauseReason(type=PauseReasonType.STEP, line=line)
+        )
+
+    @staticmethod
+    def _with_thread(payload: Dict[str, Any], reason: PauseReason) -> PauseReason:
+        """Stamp a decoded pause with the stop payload's thread fields."""
+        reason.thread = payload.get("thread")
+        reason.thread_name = payload.get("thread-name")
+        return reason
 
     # ------------------------------------------------------------------
     # Inspection
@@ -413,6 +429,15 @@ class MIRemoteTracker(Tracker):
     def _get_position(self) -> Tuple[str, Optional[int]]:
         payload = self._execute("-inferior-position")
         return payload["file"], payload["line"]
+
+    def get_threads(self):
+        """The server-side inferior's threads (``-thread-info``)."""
+        from repro.core.threads import thread_from_dict
+
+        if self._client is None:
+            return super().get_threads()
+        payload = self._execute("-thread-info")
+        return [thread_from_dict(data) for data in payload.get("threads", [])]
 
     def get_stats(self) -> TrackerStats:
         """Client-side counters merged with the server's ``-tracker-stats``.
@@ -542,3 +567,13 @@ class MIRemoteTracker(Tracker):
 
 def _maxdepth(value: Optional[int]) -> Optional[Dict[str, int]]:
     return {"maxdepth": value} if value is not None else None
+
+
+def _point_options(point: Any) -> Optional[Dict[str, int]]:
+    """MI options for a control point: ``--maxdepth`` and ``--thread``."""
+    options: Dict[str, int] = {}
+    if getattr(point, "maxdepth", None) is not None:
+        options["maxdepth"] = point.maxdepth
+    if getattr(point, "thread", None) is not None:
+        options["thread"] = point.thread
+    return options or None

@@ -50,6 +50,7 @@ REASON_TYPES = {
     "end-stepping-range": PauseReasonType.STEP,
     "exited": PauseReasonType.EXIT,
     "interrupted": PauseReasonType.INTERRUPT,
+    "deadlock-suspected": PauseReasonType.DEADLOCK_SUSPECTED,
 }
 
 #: The inverse map, for servers that build stop payloads from a

@@ -408,6 +408,12 @@ def build_frame_chain(
         for var_name, obj in raw.f_locals.items():
             if var_name.startswith("__") and var_name.endswith("__"):
                 continue
+            if isinstance(obj, types.ModuleType):
+                # Same rule as build_globals: imported modules are
+                # interpreter plumbing, not program state — and walking
+                # one (e.g. ``threading._active``) can pull the *tool's*
+                # object graph into an inferior snapshot.
+                continue
             scope = "argument" if var_name in arg_names else "local"
             variables[var_name] = build_variable(
                 var_name, obj, scope, snapshotter

@@ -27,9 +27,13 @@ Availability and trade-offs:
 - Requires Python >= 3.12; constructing the tracker on an older
   interpreter raises :class:`repro.core.errors.BackendUnavailableError`.
 - Instruments the code objects reachable from the compiled program
-  (functions, classes, lambdas, comprehensions). Code the inferior
-  compiles dynamically under the program's filename is not instrumented —
-  the settrace backend traces by frame filename and does cover that case.
+  (functions, classes, lambdas, comprehensions) at load, plus anything
+  the inferior compiles dynamically under the program's filename: a
+  global ``PY_START`` net adopts unseen code objects on first call
+  (foreign code silences itself location-by-location with ``DISABLE``).
+- Instrumentation is interpreter-global, so worker threads are covered
+  for free; callbacks register each thread on its first event and honor
+  the all-stop parking protocol exactly like the settrace backend.
 - ``sys.monitoring`` state is interpreter-global (one of six tool ids),
   not per-thread; the backend claims ``DEBUGGER_ID`` and falls back to
   any free id, releasing it when the inferior exits.
@@ -38,6 +42,7 @@ Availability and trade-offs:
 from __future__ import annotations
 
 import sys
+import threading
 import types
 from typing import Any, Iterator, List, Optional
 
@@ -97,6 +102,9 @@ class MonitoringTracker(PythonTracker):
         self._tool_id: Optional[int] = None
         self._tool_name = f"repro-python-mon-{id(self):x}"
         self._mon_code_objects: List[types.CodeType] = []
+        #: ``id()`` index over ``_mon_code_objects`` for the O(1) adoption
+        #: check the global ``PY_START`` net performs on every first call.
+        self._mon_code_ids: set = set()
         self._events_armed = False
         #: Cached per-code-object event mask (avoids re-issuing identical
         #: ``set_local_events`` calls on every control call).
@@ -146,9 +154,14 @@ class MonitoringTracker(PythonTracker):
         )
         # RAISE is a global-only event (it cannot be enabled per code
         # object, nor DISABLEd); the callback filters on the program
-        # filename first so foreign raises cost one comparison.
-        _monitoring.set_events(self._tool_id, events.RAISE)
+        # filename first so foreign raises cost one comparison. PY_START
+        # is *also* enabled globally: it is the net that catches code the
+        # inferior compiles dynamically under the program's filename —
+        # unseen program code objects are adopted on first call, and
+        # foreign locations silence themselves with DISABLE.
+        _monitoring.set_events(self._tool_id, events.RAISE | events.PY_START)
         self._mon_code_objects = list(_walk_code_objects(self._code))
+        self._mon_code_ids = {id(code) for code in self._mon_code_objects}
         self._events_armed = True
         self.engine.add_recompile_listener(self._on_engine_recompile)
         self._sync_local_events()
@@ -253,6 +266,27 @@ class MonitoringTracker(PythonTracker):
             _monitoring.set_local_events(tool_id, code, mask)
         self._local_mask = mask
 
+    def _adopt_code(self, code: types.CodeType) -> None:
+        """Instrument a dynamically compiled program code object.
+
+        Fires from the global ``PY_START`` net the first time the inferior
+        calls into code it built itself (``exec(compile(...))`` under the
+        program's filename). The whole nested tree is adopted at once so
+        inner functions are armed before their own first call.
+        """
+        tool_id = self._tool_id
+        if tool_id is None:
+            return
+        mask = self._local_mask
+        if mask is None:
+            mask = self._local_event_mask(self.engine.mode)
+        for nested in _walk_code_objects(code):
+            if id(nested) in self._mon_code_ids:
+                continue
+            self._mon_code_objects.append(nested)
+            self._mon_code_ids.add(id(nested))
+            _monitoring.set_local_events(tool_id, nested, mask)
+
     def _on_engine_recompile(self) -> None:
         """Dirty-flag hook: the indexes changed underneath the event sets.
 
@@ -311,9 +345,22 @@ class MonitoringTracker(PythonTracker):
             frame = frame.f_back
         return frame
 
-    def _on_line(self, code: types.CodeType, line_number: int):
-        if self._killed:
+    def _mon_sync(self) -> None:
+        """Kill / thread-registration / all-stop parking prologue.
+
+        Mirrors the settrace backend's ``_trace`` preamble: callbacks fire
+        in whichever thread executes inferior code, so each thread is
+        registered on its first event, and while another thread's pause is
+        live this one parks until release.
+        """
+        if self._killed or self._finished:
             raise _KillInferior()
+        self._ensure_thread_registered()
+        if self._pause_active:
+            self._park(None)
+
+    def _on_line(self, code: types.CodeType, line_number: int):
+        self._mon_sync()
         frame = self._callback_frame(code)
         if frame is None:  # pragma: no cover - defensive
             return None
@@ -337,8 +384,14 @@ class MonitoringTracker(PythonTracker):
         return None
 
     def _on_py_start(self, code: types.CodeType, instruction_offset: int):
-        if self._killed:
-            raise _KillInferior()
+        if code.co_filename != self._program_abspath:
+            # The global PY_START net sees every call in the interpreter;
+            # foreign locations silence themselves so the steady-state
+            # cost is one callback per location per restart_events().
+            return _monitoring.DISABLE
+        if id(code) not in self._mon_code_ids:
+            self._adopt_code(code)
+        self._mon_sync()
         frame = self._callback_frame(code)
         if frame is None:  # pragma: no cover - defensive
             return None
@@ -359,8 +412,7 @@ class MonitoringTracker(PythonTracker):
     def _on_py_return(
         self, code: types.CodeType, instruction_offset: int, retval: Any
     ):
-        if self._killed:
-            raise _KillInferior()
+        self._mon_sync()
         frame = self._callback_frame(code)
         if frame is None:  # pragma: no cover - defensive
             return None
@@ -385,8 +437,7 @@ class MonitoringTracker(PythonTracker):
         # DISABLE (exception events cannot be disabled).
         if code.co_filename != self._program_abspath:
             return
-        if self._killed:
-            raise _KillInferior()
+        self._mon_sync()
         self.engine.note_event("raise")
         if self._interrupt_requested:
             frame = self._callback_frame(code)

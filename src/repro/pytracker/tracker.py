@@ -20,6 +20,19 @@ Implementation notes (Section II-C2 of the paper):
   can possibly fire in a frame, the engine lets the trace function return
   ``None`` on the frame's call event, disabling per-line tracing for the
   whole frame.
+- **Threads.** ``threading.settrace`` installs the same trace function in
+  every thread the inferior spawns; a thread is registered (stable index,
+  0 = the thread executing module code) on its first traced call event in
+  an inferior frame. Pause semantics are *all-stop*: one thread delivers a
+  pause and owns the handshake, the others park at their next trace event
+  until the tool resumes; threads that hit control points while parked
+  deliver their pauses one control call at a time (GDB-style pending
+  stops). Interrupts are flag-based and thread-agnostic, so a ``timeout=``
+  deadline is serviced by whichever thread next executes a traced event.
+  When *no* thread can — every one of them is blocked on a lock — the
+  :class:`repro.core.supervision.StallDetector` classifies the hang and
+  the control call returns a ``DEADLOCK_SUSPECTED`` pause carrying the
+  lock-wait graph instead of timing out.
 """
 
 from __future__ import annotations
@@ -39,10 +52,21 @@ from repro.core.pause import PauseReason, PauseReasonType
 from repro.core.ringbuffer import DEFAULT_OUTPUT_LIMIT, RingTextBuffer
 from repro.core.state import Frame, Variable
 from repro.core.supervision import (
+    INFERIOR_DEADLOCK_SUSPECTED,
     INFERIOR_INTERRUPTED,
     INFERIOR_WEDGED,
+    StallDetector,
     SupervisionEvent,
     format_thread_stack,
+)
+from repro.core.threads import (
+    THREAD_BLOCKED,
+    THREAD_FINISHED,
+    THREAD_PARKED,
+    THREAD_PAUSED,
+    THREAD_RUNNING,
+    TaskInfo,
+    ThreadInfo,
 )
 from repro.core.tracker import Tracker
 from repro.pytracker.introspect import (
@@ -106,6 +130,22 @@ class _KillInferior(BaseException):
     """
 
 
+class _InferiorThreadRecord:
+    """One registered inferior thread: stable index plus live handles."""
+
+    __slots__ = ("index", "ident", "name", "thread", "exception")
+
+    def __init__(
+        self, index: int, ident: int, name: str, thread: threading.Thread
+    ):
+        self.index = index
+        self.ident = ident
+        self.name = name
+        self.thread = thread
+        #: The unhandled exception that killed this thread, if any.
+        self.exception: Optional[BaseException] = None
+
+
 class PythonTracker(Tracker):
     """Tracker for Python inferiors, built directly on ``sys.settrace``.
 
@@ -160,6 +200,27 @@ class PythonTracker(Tracker):
         self._paused_event: Optional[str] = None
         self._inferior_exception: Optional[BaseException] = None
         self._saved_stdout = None
+        # -- thread dimension ------------------------------------------
+        #: OS ident -> stable inferior thread index (0 = main).
+        self._thread_ids: Dict[int, int] = {}
+        #: index -> registration record.
+        self._thread_records: Dict[int, _InferiorThreadRecord] = {}
+        self._next_thread_index = 0
+        #: All-stop state: True while one thread owns the pause handshake;
+        #: the others park at their next trace event until it clears.
+        self._pause_active = False
+        #: Idents currently parked by the all-stop barrier (inspection).
+        self._parked_idents: set = set()
+        #: Index of the thread that delivered the current pause.
+        self._paused_thread_index = 0
+        #: OS ident of the thread owning the live pause handshake.
+        self._paused_owner_ident: Optional[int] = None
+        self._saved_threading_trace: Any = None
+        self._saved_excepthook: Any = None
+        self._stall_detector = StallDetector()
+        #: Thread indexes the last stall verdict found blocked on locks;
+        #: cleared when a real (handshake) pause lands.
+        self._stall_blocked: set = set()
 
     # ------------------------------------------------------------------
     # Lifecycle hooks
@@ -183,6 +244,13 @@ class PythonTracker(Tracker):
             "__file__": self._program_abspath,
             "__builtins__": __builtins__,
         }
+        self._stall_detector = StallDetector(
+            is_inferior_file=lambda filename: (
+                filename == self._program_abspath
+            ),
+            machinery_files=[__file__],
+        )
+        self._install_excepthook()
         self._thread = threading.Thread(
             target=self._run_inferior, name="repro-inferior", daemon=True
         )
@@ -190,38 +258,105 @@ class PythonTracker(Tracker):
         self._wait_for_pause()
 
     def _terminate(self) -> None:
-        if self._thread is None or not self._thread.is_alive():
+        try:
+            if self._thread is None or not self._thread.is_alive():
+                return
+            with self._condition:
+                self._killed = True
+                self._command = "kill"
+                self._condition.notify_all()
+                # A free-running inferior whose frames were untraced (the
+                # engine's frame-skip fast path) would never see the kill via
+                # line events; force per-line tracing back on so it does.
+                self._retrace_live_frames()
+            self._thread.join(timeout=self._terminate_grace)
+            stuck = []
+            if self._thread.is_alive():
+                stuck.append(self._thread)
+            for record in list(self._thread_records.values()):
+                if record.index != 0 and record.thread.is_alive():
+                    record.thread.join(timeout=0.1)
+                    if record.thread.is_alive():
+                        stuck.append(record.thread)
+            for thread in stuck:
+                # The inferior is stuck somewhere the tracer cannot reach
+                # (typically blocking native code). Abandon the thread, but
+                # loudly: mark the tracker invalid, count the wedge, and
+                # report where the inferior is stuck.
+                self.health = "invalid"
+                self.engine.stats.wedged_inferiors += 1
+                stack = format_thread_stack(thread)
+                message = (
+                    f"inferior thread {thread.name!r} did not exit within "
+                    f"{self._terminate_grace:.1f}s; abandoning it and "
+                    "marking the tracker invalid"
+                )
+                self._emit_supervision_event(
+                    SupervisionEvent(INFERIOR_WEDGED, message, {"stack": stack})
+                )
+                warnings.warn(
+                    f"{message}; the inferior is currently at:\n{stack}",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+        finally:
+            self._remove_excepthook()
+
+    # ------------------------------------------------------------------
+    # Worker-thread crash handling
+    # ------------------------------------------------------------------
+
+    def _install_excepthook(self) -> None:
+        """Route unhandled exceptions of inferior worker threads here.
+
+        ``threading.excepthook`` is process-global; the saved hook keeps
+        handling threads that are not this tracker's (including nested
+        trackers — each installed hook delegates unknown threads onward).
+        """
+        self._saved_excepthook = threading.excepthook
+        threading.excepthook = self._thread_excepthook
+
+    def _remove_excepthook(self) -> None:
+        if self._saved_excepthook is not None:
+            if threading.excepthook is self._thread_excepthook:
+                threading.excepthook = self._saved_excepthook
+            self._saved_excepthook = None
+
+    def _thread_excepthook(self, hook_args) -> None:
+        ident = hook_args.thread.ident if hook_args.thread is not None else None
+        index = self._thread_ids.get(ident) if ident is not None else None
+        if index is None:
+            saved = self._saved_excepthook
+            if saved is not None:
+                saved(hook_args)
             return
-        with self._condition:
-            self._killed = True
-            self._command = "kill"
-            self._condition.notify_all()
-            # A free-running inferior whose frames were untraced (the
-            # engine's frame-skip fast path) would never see the kill via
-            # line events; force per-line tracing back on so it does.
-            self._retrace_live_frames()
-        self._thread.join(timeout=self._terminate_grace)
-        if self._thread.is_alive():
-            # The inferior is stuck somewhere the tracer cannot reach
-            # (typically blocking native code). Abandon the daemon thread,
-            # but loudly: mark the tracker invalid, count the wedge, and
-            # report where the inferior is stuck.
-            self.health = "invalid"
-            self.engine.stats.wedged_inferiors += 1
-            stack = format_thread_stack(self._thread)
-            message = (
-                "the inferior thread did not exit within "
-                f"{self._terminate_grace:.1f}s; abandoning it and marking "
-                "the tracker invalid"
+        if hook_args.exc_type is _KillInferior:
+            return  # terminate unwound the worker; silence is correct
+        record = self._thread_records.get(index)
+        if record is not None:
+            record.exception = hook_args.exc_value
+        self._emit_supervision_event(
+            SupervisionEvent(
+                "inferior-thread-crashed",
+                f"inferior thread {index} raised "
+                f"{hook_args.exc_type.__name__}: {hook_args.exc_value}",
+                {"thread": index},
             )
-            self._emit_supervision_event(
-                SupervisionEvent(INFERIOR_WEDGED, message, {"stack": stack})
-            )
-            warnings.warn(
-                f"{message}; the inferior is currently at:\n{stack}",
-                RuntimeWarning,
-                stacklevel=4,
-            )
+        )
+
+    def get_thread_exceptions(self) -> Dict[int, BaseException]:
+        """Unhandled exceptions that killed worker threads, by thread index.
+
+        The main inferior thread's crash is reported through
+        :meth:`get_inferior_exception` / :meth:`raise_if_crashed` as
+        before; worker crashes do not terminate the inferior (Python
+        semantics), so they are collected here instead.
+        """
+        return {
+            record.index: record.exception
+            for record in self._thread_records.values()
+            if record.exception is not None
+        }
 
     # ------------------------------------------------------------------
     # Control hooks: set the step mode, wake the inferior, wait for a pause
@@ -244,11 +379,22 @@ class PythonTracker(Tracker):
             if self._finished:
                 return
             # Arm the engine's step machine while the inferior is parked in
-            # the pause handshake, so the write is race-free.
-            self.engine.arm(mode, depth)
+            # the pause handshake, so the write is race-free. Step modes
+            # are scoped to the thread that owns the current pause, so a
+            # sibling thread's next line cannot complete this thread's
+            # step; resume is thread-agnostic.
+            thread = self._paused_thread_index if mode != "resume" else None
+            self.engine.arm(mode, depth, thread=thread)
             before = self._pause_count
+            stalled = self._paused_event == "stall"
             self._command = "go"
             self._condition.notify_all()
+            if stalled and self._classify_stall(before):
+                # The previous pause was a synthesized deadlock verdict and
+                # the inferior is still wedged: re-report immediately
+                # instead of burning another control deadline (crash-only —
+                # control calls return paused, they never hang).
+                return
             self._await_pause(before)
 
     def _wait_for_pause(self) -> None:
@@ -267,7 +413,21 @@ class PythonTracker(Tracker):
         deadline = self._control_deadline
         while self._pause_count == before and not self._finished:
             if deadline is None:
-                self._condition.wait()
+                # No supervision deadline of our own — but a remote
+                # supervisor (the subprocess server's client) can still
+                # request an interrupt asynchronously, which never notifies
+                # this condition. Poll for the flag, and when it goes
+                # unanswered because every inferior thread is blocked on
+                # locks, classify the stall exactly like a local deadline
+                # expiry would.
+                self._condition.wait(timeout=0.25)
+                if (
+                    self._interrupt_requested
+                    and self._pause_count == before
+                    and not self._finished
+                    and self._classify_stall(before)
+                ):
+                    return
                 continue
             if not deadline.interrupt_requested:
                 remaining = deadline.remaining()
@@ -276,8 +436,16 @@ class PythonTracker(Tracker):
                     continue
                 deadline.interrupt_requested = True
                 self._request_interrupt()
+                # An interrupt lands at the next trace event — but a
+                # deadlocked inferior never executes one. Classify the
+                # stall now so a lock-cycle returns DEADLOCK_SUSPECTED
+                # within ~1x the deadline instead of burning the grace.
+                if self._classify_stall(before):
+                    return
             remaining = deadline.grace_remaining()
             if remaining <= 0:
+                if self._classify_stall(before):
+                    return
                 self.engine.stats.control_timeouts += 1
                 raise ControlTimeout(
                     f"the inferior did not pause within {deadline.timeout}s "
@@ -301,7 +469,12 @@ class PythonTracker(Tracker):
             )
 
     def _request_interrupt(self) -> None:
-        """Ask the inferior to pause at its next trace event (async-safe)."""
+        """Ask the inferior to pause at its next trace event (async-safe).
+
+        The flag is thread-agnostic: whichever inferior thread next
+        executes a traced event delivers the interrupt pause, so deadlines
+        work even when the hot thread is a worker.
+        """
         self._interrupt_requested = True
         self._retrace_live_frames()
 
@@ -310,17 +483,114 @@ class PythonTracker(Tracker):
 
         Frames the engine's fast path left untraced (local trace function
         dropped) would otherwise never deliver the interrupt or kill flag;
-        installing ``f_trace`` from the tool thread re-arms them.
+        installing ``f_trace`` from the tool thread re-arms them. All
+        registered inferior threads are covered (``sys._current_frames``),
+        so an async pause lands even when a worker thread is the only one
+        still running.
         """
+        idents = set(self._thread_ids)
         thread = self._thread
-        if thread is None or thread.ident is None:
+        if thread is not None and thread.ident is not None:
+            idents.add(thread.ident)
+        if not idents:
             return
-        frame = sys._current_frames().get(thread.ident)
-        while frame is not None:
-            if self._is_inferior_frame(frame):
-                frame.f_trace = self._trace
-                frame.f_trace_lines = True
+        live = sys._current_frames()
+        for ident in idents:
+            frame = live.get(ident)
+            while frame is not None:
+                if self._is_inferior_frame(frame):
+                    frame.f_trace = self._trace
+                    frame.f_trace_lines = True
+                frame = frame.f_back
+
+    # ------------------------------------------------------------------
+    # Stall classification (deadline expired, interrupt cannot land)
+    # ------------------------------------------------------------------
+
+    def _sampling_targets(self):
+        """``(index, name, ident)`` triples for the stall detector."""
+        targets = []
+        for record in self._thread_records.values():
+            if record.thread.is_alive():
+                targets.append((record.index, record.name, record.ident))
+        return targets
+
+    def _classify_stall(self, before: int) -> bool:
+        """Sample all inferior threads; deliver a DEADLOCK_SUSPECTED pause
+        if every one of them is blocked on synchronization primitives.
+
+        Runs in the tool thread, holding ``self._condition``; the
+        detector's confirmation delay is served by ``condition.wait`` so a
+        late-landing interrupt can still deliver its pause — in which case
+        the verdict is abandoned (``pause_count`` moved on).
+        """
+        targets = self._sampling_targets()
+        if not targets:
+            return False
+        verdict = self._stall_detector.confirmed_deadlock(
+            targets,
+            sleep=lambda seconds: self._condition.wait(timeout=seconds),
+        )
+        if verdict is None:
+            return False
+        if self._pause_count != before or self._finished:
+            return False  # a real pause won the race during sampling
+        self._synthesize_deadlock_pause(verdict)
+        return True
+
+    def _synthesize_deadlock_pause(self, verdict) -> None:
+        """Deliver a tool-side pause for a deadlocked inferior.
+
+        The blocked threads cannot run the handshake (they are stuck in
+        C-level lock waits), so the pause is synthesized from the sampled
+        frames: inspection serves the chosen thread's stack, and the
+        lock-wait graph rides in ``pause_reason.details``. The inferior
+        stays deadlocked — every further control call re-reports it —
+        which is the crash-only contract: paused or terminated, never
+        hung.
+        """
+        chosen = verdict.cycle[0] if verdict.cycle else verdict.samples[0].thread
+        sample = next(
+            (s for s in verdict.samples if s.thread == chosen),
+            verdict.samples[0],
+        )
+        record = self._thread_records.get(sample.thread)
+        frame = None
+        if record is not None:
+            frame = sys._current_frames().get(record.ident)
+        while frame is not None and not self._is_inferior_frame(frame):
             frame = frame.f_back
+        details = verdict.to_details()
+        reason = PauseReason(
+            type=PauseReasonType.DEADLOCK_SUSPECTED,
+            line=sample.line,
+            thread=sample.thread,
+            thread_name=sample.name,
+            details=details,
+        )
+        self.engine.note_event("stall")
+        self.engine.record_pause(PauseReasonType.DEADLOCK_SUSPECTED)
+        self.last_lineno = self.next_lineno
+        self.next_lineno = sample.line
+        self._pause_reason = reason
+        if frame is not None:
+            self._paused_py_frame = frame
+        self._paused_event = "stall"
+        self._paused_thread_index = sample.thread
+        self._stall_blocked = {s.thread for s in verdict.samples}
+        # The inferior cannot run the handshake, so the tool performs the
+        # pause's side of the stdout swap itself (idempotent; the blocked
+        # threads are not printing).
+        self._swap_stdout_out()
+        self._pause_count += 1
+        self._emit_supervision_event(
+            SupervisionEvent(
+                INFERIOR_DEADLOCK_SUSPECTED,
+                f"all {len(verdict.samples)} inferior thread(s) are blocked "
+                "on locks; reporting a suspected deadlock",
+                {"graph": details},
+            )
+        )
 
     # ------------------------------------------------------------------
     # Inferior thread
@@ -329,12 +599,17 @@ class PythonTracker(Tracker):
     def _run_inferior(self) -> None:
         saved_argv = sys.argv
         sys.argv = [self._program_abspath] + self._program_args
+        self._register_thread(threading.get_ident(), name="main")
         self._swap_stdout_in()
         exit_code = 0
         try:
             self._arm_instrumentation()
             try:
                 exec(self._code, self._globals)
+                # The module returned; like a real process, the "program"
+                # is over only when its non-daemon threads are. Workers
+                # can still hit control points and pause during the join.
+                self._join_workers()
             finally:
                 self._disarm_instrumentation()
         except _KillInferior:
@@ -368,11 +643,15 @@ class PythonTracker(Tracker):
 
         The settrace backend registers the per-thread trace function plus
         the profile-hook tamper guard (settrace is per-thread state only
-        this thread can read; see :meth:`_profile`). The ``python-mon``
-        subclass replaces this with per-code-object ``sys.monitoring``
-        event sets, which are interpreter-global and armed before the
-        inferior thread even starts.
+        this thread can read; see :meth:`_profile`). ``threading.settrace``
+        additionally seeds the same trace function into every thread the
+        inferior spawns, which is how worker threads come under control.
+        The ``python-mon`` subclass replaces this with per-code-object
+        ``sys.monitoring`` event sets, which are interpreter-global and
+        armed before the inferior thread even starts.
         """
+        self._saved_threading_trace = threading.gettrace()
+        threading.settrace(self._trace)
         sys.settrace(self._trace)
         sys.setprofile(self._profile)
         self._guard_active = True
@@ -382,6 +661,92 @@ class PythonTracker(Tracker):
         self._guard_active = False
         sys.setprofile(None)
         sys.settrace(None)
+        threading.settrace(self._saved_threading_trace)
+        self._saved_threading_trace = None
+
+    # ------------------------------------------------------------------
+    # Thread registry
+    # ------------------------------------------------------------------
+
+    def _register_thread(self, ident: int, name: Optional[str] = None) -> int:
+        """Register the calling thread as an inferior thread (idempotent).
+
+        Returns the thread's stable index; 0 is always the thread that
+        executes the program's module code.
+        """
+        with self._condition:
+            existing = self._thread_ids.get(ident)
+            if existing is not None:
+                record = self._thread_records.get(existing)
+                if (
+                    record is None
+                    or record.thread is threading.current_thread()
+                ):
+                    return existing
+                # The OS reused a finished worker's ident for this new
+                # thread. Fall through: the new thread gets a fresh
+                # stable index and takes over the ident mapping; the dead
+                # record keeps its index and reports as finished.
+            index = self._next_thread_index
+            self._next_thread_index += 1
+            thread = threading.current_thread()
+            record = _InferiorThreadRecord(
+                index=index,
+                ident=ident,
+                name=name if name is not None else thread.name,
+                thread=thread,
+            )
+            self._thread_ids[ident] = index
+            self._thread_records[index] = record
+            return index
+
+    def _thread_index(self) -> int:
+        """Stable index of the calling inferior thread (0 if unknown)."""
+        index = self._thread_ids.get(threading.get_ident())
+        return 0 if index is None else index
+
+    def _ensure_thread_registered(self) -> None:
+        """Register the calling thread, robust to OS ident reuse.
+
+        Idents are recycled as soon as a thread exits, so a fresh worker
+        can come up wearing the ident of a finished one; a plain
+        ident-in-dict test would silently alias it onto the dead thread's
+        stable index (and a ``thread=``-scoped control point for the new
+        index would never fire). Once any worker has registered, verify
+        the mapped record still belongs to the calling thread object.
+        """
+        ident = threading.get_ident()
+        index = self._thread_ids.get(ident)
+        if index is None:
+            self._register_thread(ident)
+            return
+        if self._next_thread_index > 1:
+            record = self._thread_records.get(index)
+            if (
+                record is not None
+                and record.thread is not threading.current_thread()
+            ):
+                self._register_thread(ident)
+
+    def _join_workers(self) -> None:
+        """Wait for the inferior's non-daemon worker threads to finish.
+
+        Runs in the main inferior thread after the module code returned,
+        mirroring process semantics. The short join slices keep the kill
+        flag responsive — ``terminate`` must not wait behind a stuck
+        worker here.
+        """
+        while not self._killed:
+            pending = [
+                record.thread
+                for record in list(self._thread_records.values())
+                if record.index != 0
+                and not record.thread.daemon
+                and record.thread.is_alive()
+            ]
+            if not pending:
+                return
+            pending[0].join(timeout=0.05)
 
     def _swap_stdout_in(self) -> None:
         if self._capture_output:
@@ -398,14 +763,27 @@ class PythonTracker(Tracker):
     # ------------------------------------------------------------------
 
     def _trace(self, frame, event: str, arg: Any):
-        if self._killed:
-            raise _KillInferior()
+        if self._killed or self._finished:
+            # Kill every registered inferior thread; after the program
+            # "process" exited (module done, non-daemon workers joined),
+            # straggling daemon workers die the same way. Other threads
+            # that inherited the trace via threading.settrace are simply
+            # untraced.
+            if threading.get_ident() in self._thread_ids:
+                raise _KillInferior()
+            return None
         if not self._is_inferior_frame(frame):
             return None  # do not trace library code called by the inferior
+        if self._pause_active:
+            # All-stop: another thread owns the pause; park here until it
+            # is released (the owner thread itself is inside _pause, never
+            # here).
+            self._park(frame)
         if self._interrupt_requested:
             self._deliver_interrupt(frame)
             return self._trace
         if event == "call":
+            self._ensure_thread_registered()
             self._handle_call(frame)
             # The engine's per-file map knows whether anything could pause
             # inside this frame; if not, drop its local trace function and
@@ -419,6 +797,21 @@ class PythonTracker(Tracker):
         elif event == "return":
             self._handle_return(frame, arg)
         return self._trace
+
+    def _park(self, frame) -> None:
+        """Block the calling thread while another thread's pause is live."""
+        ident = threading.get_ident()
+        with self._condition:
+            while self._pause_active and not self._killed:
+                if ident == self._paused_owner_ident:
+                    break  # defensive: the owner never parks on itself
+                self._parked_idents.add(ident)
+                try:
+                    self._condition.wait()
+                finally:
+                    self._parked_idents.discard(ident)
+            if self._killed:
+                raise _KillInferior()
 
     def _profile(self, frame, event: str, arg: Any) -> None:
         """Detect and undo ``sys.settrace`` tampering by the inferior.
@@ -481,7 +874,8 @@ class PythonTracker(Tracker):
         if not engine.may_match_function(function):
             return
         depth = self._frame_depth(frame)
-        if engine.match_function_breakpoint(function, depth) is not None:
+        thread = self._thread_index()
+        if engine.match_function_breakpoint(function, depth, thread) is not None:
             self._pause(
                 frame,
                 "call",
@@ -492,7 +886,7 @@ class PythonTracker(Tracker):
                 ),
             )
             return
-        if engine.match_tracked(function, depth) is not None:
+        if engine.match_tracked(function, depth, thread) is not None:
             self._pause(
                 frame,
                 "call",
@@ -513,14 +907,19 @@ class PythonTracker(Tracker):
 
         # Depth is O(stack) to compute, so it is resolved lazily: only once
         # something (watch, candidate breakpoint, armed stepping) needs it.
+        # Same for the thread index (one dict hit) — the no-hit fast path
+        # touches neither.
         depth = -1
+        thread = -1
         if engine.has_watchpoints:
             depth = self._frame_depth(frame)
+            thread = self._thread_index()
             hit = engine.evaluate_watches(
                 depth,
                 lambda function, name: self._render_watched(
                     frame, function, name
                 ),
+                thread,
             )
             if hit is not None:
                 watchpoint, old, new = hit
@@ -540,8 +939,10 @@ class PythonTracker(Tracker):
         if engine.may_match_line(line):
             if depth < 0:
                 depth = self._frame_depth(frame)
+            if thread < 0:
+                thread = self._thread_index()
             if (
-                engine.match_line(frame.f_code.co_filename, line, depth)
+                engine.match_line(frame.f_code.co_filename, line, depth, thread)
                 is not None
             ):
                 self._pause(
@@ -554,7 +955,9 @@ class PythonTracker(Tracker):
         if engine.mode != "resume":
             if depth < 0:
                 depth = self._frame_depth(frame)
-            if engine.should_step_pause(depth):
+            if thread < 0:
+                thread = self._thread_index()
+            if engine.should_step_pause(depth, thread):
                 self._pause(
                     frame,
                     "line",
@@ -571,7 +974,7 @@ class PythonTracker(Tracker):
         if not engine.may_match_function(function):
             return
         depth = self._frame_depth(frame)
-        if engine.match_tracked(function, depth) is not None:
+        if engine.match_tracked(function, depth, self._thread_index()) is not None:
             modeled = self._snapshotter().snapshot(return_value)
             self._pause(
                 frame,
@@ -619,20 +1022,59 @@ class PythonTracker(Tracker):
     # ------------------------------------------------------------------
 
     def _pause(self, frame, event: str, reason: PauseReason) -> None:
+        ident = threading.get_ident()
+        index = self._thread_ids.get(ident, 0)
+        record = self._thread_records.get(index)
+        if reason.thread is None:
+            reason.thread = index
+            reason.thread_name = record.name if record is not None else None
         self.engine.record_pause(reason.type)
         self.engine.stats.output_chars_dropped = self._output.dropped
-        self._swap_stdout_out()
         with self._condition:
+            # All-stop, serialized delivery: if another thread's pause is
+            # live, queue behind it — when the tool resumes that pause,
+            # the first queued thread takes over the handshake and its
+            # control point becomes the *next* control call's pause
+            # (GDB-style pending stops).
+            while self._pause_active and not self._killed and not self._finished:
+                self._parked_idents.add(ident)
+                try:
+                    self._condition.wait()
+                finally:
+                    self._parked_idents.discard(ident)
+            if self._killed or self._finished:
+                raise _KillInferior()
+            self._pause_active = True
+            self._paused_owner_ident = ident
+            # The tool owns the console while a pause is live, so the
+            # capture ring is swapped out here — strictly after winning the
+            # handshake (a queued thread toggling would unbalance the swap)
+            # and swapped back in before release, whichever thread pauses.
+            # Sibling prints in the short window before they park go to the
+            # real stdout; tool-side prints never land in the capture.
+            self._swap_stdout_out()
             self._pause_reason = reason
             self._paused_py_frame = frame
             self._paused_event = event
+            self._paused_thread_index = index
+            self._stall_blocked.clear()
+            if len(self._thread_ids) > 1:
+                # Make sibling threads park promptly: frames the fast path
+                # left untraced only reach _trace at call events, so re-arm
+                # per-line tracing everywhere while this pause is live.
+                self._retrace_live_frames()
             self._pause_count += 1
             self._condition.notify_all()
-            while self._command is None:
-                self._condition.wait()
-            command = self._command
-            self._command = None
-        self._swap_stdout_in()
+            try:
+                while self._command is None:
+                    self._condition.wait()
+                command = self._command
+                self._command = None
+            finally:
+                self._swap_stdout_in()
+                self._pause_active = False
+                self._paused_owner_ident = None
+                self._condition.notify_all()
         if command == "kill" or self._killed:
             raise _KillInferior()
 
@@ -647,9 +1089,18 @@ class PythonTracker(Tracker):
         )
 
     def _get_current_frame(self) -> Frame:
-        return build_frame_chain(
+        chain = build_frame_chain(
             self._paused_py_frame, self._is_inferior_frame, self._snapshotter()
         )
+        self._tag_thread(chain, self._paused_thread_index)
+        return chain
+
+    @staticmethod
+    def _tag_thread(chain: Optional[Frame], index: int) -> None:
+        """Stamp a model frame chain with its inferior thread index."""
+        while chain is not None:
+            chain.thread = index
+            chain = chain.parent
 
     def _get_global_variables(self) -> Dict[str, Variable]:
         return build_globals(self._globals, self._snapshotter())
@@ -661,6 +1112,158 @@ class PythonTracker(Tracker):
     # ------------------------------------------------------------------
     # Python-specific extras
     # ------------------------------------------------------------------
+
+    def get_threads(self) -> List[ThreadInfo]:
+        """All registered inferior threads (live registry, stable indexes).
+
+        States: the thread owning the current pause is ``"paused"``;
+        threads stopped by the all-stop barrier are ``"parked"``; threads
+        whose ``threading.Thread`` has exited are ``"finished"``; the rest
+        are ``"running"``. Position fields are best-effort samples of each
+        thread's innermost inferior frame.
+        """
+        with self._condition:
+            records = sorted(self._thread_records.values(), key=lambda r: r.index)
+            parked = set(self._parked_idents)
+            paused_index = (
+                self._paused_thread_index if self._pause_count else None
+            )
+            finished = self._finished
+        if not records:
+            return super().get_threads()
+        live = sys._current_frames()
+        infos: List[ThreadInfo] = []
+        for record in records:
+            alive = record.thread.is_alive() and not (
+                finished and record.index == 0
+            )
+            if not alive:
+                state = THREAD_FINISHED
+            elif record.index == paused_index and self._exit_code is None:
+                state = THREAD_PAUSED
+            elif record.ident in parked:
+                state = THREAD_PARKED
+            elif record.index in self._stall_blocked:
+                state = THREAD_BLOCKED
+            else:
+                state = THREAD_RUNNING
+            function = line = filename = None
+            if record.index == paused_index:
+                frame = self._paused_py_frame
+            elif alive:
+                # Dead records are never sampled: their ident may have
+                # been recycled to a newer thread, whose frame this is.
+                frame = live.get(record.ident)
+            else:
+                frame = None
+            while frame is not None:
+                if self._is_inferior_frame(frame):
+                    function = frame.f_code.co_name
+                    line = frame.f_lineno
+                    filename = frame.f_code.co_filename
+                    break
+                frame = frame.f_back
+            infos.append(
+                ThreadInfo(
+                    id=record.index,
+                    name=record.name,
+                    state=state,
+                    function=function,
+                    line=line,
+                    filename=filename,
+                    daemon=record.thread.daemon,
+                )
+            )
+        return infos
+
+    def get_thread_frames(self, thread: int) -> List[Frame]:
+        """Frames of one inferior thread, innermost first.
+
+        For the thread owning the pause this is exactly ``get_frames``;
+        for the others the stack is sampled via ``sys._current_frames``
+        (stable under all-stop, best-effort for a running thread).
+        """
+        self._require_paused()
+        if thread == self._paused_thread_index:
+            return self.get_frames()
+        record = self._thread_records.get(thread)
+        if record is None:
+            from repro.core.errors import TrackerError
+
+            raise TrackerError(f"no inferior thread {thread}")
+        if not record.thread.is_alive():
+            return []  # the ident may be recycled; never sample it
+        py_frame = sys._current_frames().get(record.ident)
+        if py_frame is None:
+            return []
+        chain = build_frame_chain(
+            py_frame, self._is_inferior_frame, self._snapshotter()
+        )
+        self._tag_thread(chain, thread)
+        return chain.stack() if chain is not None else []
+
+    def get_tasks(self) -> List[TaskInfo]:
+        """The inferior's asyncio tasks, with await chains.
+
+        Enumerates every task of the process's event loops and keeps those
+        whose coroutine stack touches the inferior program (the tool's own
+        loops, if any, are filtered out). The await chain is the coroutine
+        qualnames from the task's outermost coroutine down to its
+        suspension point.
+        """
+        import asyncio
+
+        try:
+            all_tasks = list(asyncio.tasks._all_tasks)
+        except AttributeError:  # pragma: no cover - interpreter variance
+            return []
+        infos: List[TaskInfo] = []
+        for task in all_tasks:
+            try:
+                coro = task.get_coro()
+            except Exception:
+                continue
+            chain: List[str] = []
+            line: Optional[int] = None
+            inferior = False
+            node = coro
+            while node is not None:
+                code = getattr(node, "cr_code", None) or getattr(
+                    node, "gi_code", None
+                )
+                if code is None:
+                    break
+                chain.append(code.co_qualname if hasattr(code, "co_qualname")
+                             else code.co_name)
+                if code.co_filename == self._program_abspath:
+                    inferior = True
+                frame = getattr(node, "cr_frame", None) or getattr(
+                    node, "gi_frame", None
+                )
+                if frame is not None:
+                    line = frame.f_lineno
+                node = getattr(node, "cr_await", None) or getattr(
+                    node, "gi_yieldfrom", None
+                )
+            if not inferior:
+                continue
+            if task.cancelled():
+                state = "cancelled"
+            elif task.done():
+                state = "done"
+            else:
+                state = "pending"
+            infos.append(
+                TaskInfo(
+                    name=task.get_name(),
+                    state=state,
+                    coroutine=chain[0] if chain else "",
+                    awaiting=chain,
+                    line=line,
+                )
+            )
+        infos.sort(key=lambda info: info.name)
+        return infos
 
     def get_output(self) -> str:
         """Everything printed by the inferior so far (``capture_output``)."""

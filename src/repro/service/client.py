@@ -78,6 +78,24 @@ DEFAULT_RECONNECT = BackoffPolicy(
 _CLOSED = object()
 
 
+def _client_ssl_context(tls_ca: Optional[str]) -> Any:
+    """Client-side TLS context, verifying against ``tls_ca`` when given.
+
+    With a CA bundle (typically the server's own self-signed certificate)
+    the chain is verified against exactly that file; hostname checking is
+    kept off because self-signed deployment certificates rarely carry the
+    right SAN — the chain pin is the trust anchor. Without ``tls_ca`` the
+    system trust store applies in full, hostname check included.
+    """
+    import ssl
+
+    if tls_ca:
+        context = ssl.create_default_context(cafile=tls_ca)
+        context.check_hostname = False
+        return context
+    return ssl.create_default_context()
+
+
 def _typed_error(payload: Any) -> TrackerError:
     """Map a service ``^error`` message onto the typed error hierarchy."""
     message = str(payload)
@@ -105,6 +123,7 @@ class ServiceClient:
         self._host: Optional[str] = None
         self._port: Optional[int] = None
         self._token: Optional[str] = None
+        self._ssl: Any = None
         self._reconnect_policy: Optional[BackoffPolicy] = DEFAULT_RECONNECT
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
@@ -131,6 +150,8 @@ class ServiceClient:
         port: int,
         *,
         token: Optional[str] = None,
+        tls: bool = False,
+        tls_ca: Optional[str] = None,
         reconnect: Optional[BackoffPolicy] = DEFAULT_RECONNECT,
     ) -> "ServiceClient":
         """Connect, verify the greeting, authenticate if needed.
@@ -138,11 +159,19 @@ class ServiceClient:
         ``reconnect`` bounds the transparent-reconnect backoff after a
         TCP drop; ``None`` disables reconnection (a drop fails all
         pending calls immediately, the pre-reconnect behavior).
+
+        ``tls`` wraps the connection in TLS; ``tls_ca`` pins the CA
+        bundle (or self-signed server certificate) used for verification
+        — without it the system store decides, which rejects the
+        self-signed certificates ``repro serve --tls-cert`` typically
+        runs with.
         """
         client = cls()
         client._host = host
         client._port = port
         client._token = token
+        if tls or tls_ca:
+            client._ssl = _client_ssl_context(tls_ca)
         client._reconnect_policy = reconnect
         await client._establish()
         client._ready.set()
@@ -160,7 +189,7 @@ class ServiceClient:
         auth replies cannot be misrouted into session queues.
         """
         reader, writer = await asyncio.open_connection(
-            self._host, self._port, limit=_ASYNC_LINE_LIMIT
+            self._host, self._port, limit=_ASYNC_LINE_LIMIT, ssl=self._ssl
         )
         try:
             greeting = await self._read_direct(reader, SPAWN_TIMEOUT)

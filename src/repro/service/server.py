@@ -94,6 +94,10 @@ class ServiceConfig:
     snapshot_dir: Optional[str] = None
     #: child transport factory override (chaos harness injection point)
     transport_spawner: Optional[Callable] = None
+    #: PEM certificate chain + private key: when both are set the listener
+    #: speaks TLS (required for non-loopback binds unless a token is set)
+    tls_cert: Optional[str] = None
+    tls_key: Optional[str] = None
 
 
 class TrackerService:
@@ -127,6 +131,27 @@ class TrackerService:
     # Lifecycle
     # ------------------------------------------------------------------
 
+    def _ssl_context(self):
+        """The server-side SSL context, or ``None`` when TLS is off."""
+        cert, key = self.config.tls_cert, self.config.tls_key
+        if not cert and not key:
+            return None
+        if not (cert and key):
+            raise TrackerError(
+                "TLS needs both a certificate and a key "
+                "(--tls-cert/--tls-key)"
+            )
+        import ssl
+
+        context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+        try:
+            context.load_cert_chain(certfile=cert, keyfile=key)
+        except (OSError, ssl.SSLError) as error:
+            raise TrackerError(
+                f"cannot load TLS certificate {cert!r} / key {key!r}: {error}"
+            ) from error
+        return context
+
     async def start(self) -> None:
         """Warm the pool and start listening (TCP mode)."""
         await self.manager.start()
@@ -135,6 +160,7 @@ class TrackerService:
             self.config.host,
             self.config.port,
             limit=_ASYNC_LINE_LIMIT,
+            ssl=self._ssl_context(),
         )
 
     @property

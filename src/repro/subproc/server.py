@@ -311,6 +311,12 @@ class PythonDebugServer(ServerCore):
         }
         if reason.function is not None:
             payload["func"] = reason.function
+        if reason.thread is not None:
+            payload["thread"] = reason.thread
+        if reason.thread_name:
+            payload["thread-name"] = reason.thread_name
+        if reason.type is PauseReasonType.DEADLOCK_SUSPECTED:
+            payload["deadlock"] = reason.details or {}
         if reason.type is PauseReasonType.WATCH:
             payload["var"] = reason.variable
             payload["old"] = reason.old_value
@@ -331,6 +337,7 @@ class PythonDebugServer(ServerCore):
             return [protocol.format_error("break-insert needs a location")]
         location = command.args[0]
         maxdepth = command.option_int("maxdepth")
+        thread = command.option_int("thread")
         if location.startswith("*"):
             return [
                 protocol.format_error(
@@ -341,14 +348,17 @@ class PythonDebugServer(ServerCore):
         if ":" in location:
             filename, _, line = location.rpartition(":")
             point: Any = self.tracker.break_before_line(
-                int(line), filename=filename or None, maxdepth=maxdepth
+                int(line), filename=filename or None, maxdepth=maxdepth,
+                thread=thread,
             )
         elif location.isdigit():
             point = self.tracker.break_before_line(
-                int(location), maxdepth=maxdepth
+                int(location), maxdepth=maxdepth, thread=thread
             )
         else:
-            point = self.tracker.break_before_func(location, maxdepth=maxdepth)
+            point = self.tracker.break_before_func(
+                location, maxdepth=maxdepth, thread=thread
+            )
         return [protocol.format_done({"number": self._register(point)})]
 
     def _cmd_break_watch(self, command) -> List[str]:
@@ -386,6 +396,17 @@ class PythonDebugServer(ServerCore):
     def _cmd_inferior_position(self, command) -> List[str]:
         filename, line = self.tracker.get_position()
         return [protocol.format_done({"file": filename, "line": line})]
+
+    def _cmd_thread_info(self, command) -> List[str]:
+        from repro.core.threads import thread_to_dict
+
+        return [
+            protocol.format_done({
+                "threads": [
+                    thread_to_dict(info) for info in self.tracker.get_threads()
+                ],
+            })
+        ]
 
     def _cmd_data_evaluate_expression(self, command) -> List[str]:
         name = command.args[0]

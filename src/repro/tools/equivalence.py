@@ -19,9 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.errors import TrackerError
 from repro.core.factory import init_tracker
 from repro.core.pause import PauseReasonType
 from repro.core.state import value_to_python
+from repro.core.tracker import Tracker
 
 
 @dataclass
@@ -206,3 +208,203 @@ def check_equivalence(
             divergence_index=min(len(first), len(second)),
         )
     return EquivalenceReport(equivalent=True, first=first, second=second)
+
+
+# ----------------------------------------------------------------------
+# Lockstep differential debugging
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class MemberState:
+    """One group member's normalized state at a lockstep boundary.
+
+    The projection is deliberately address-free (``value_to_python`` plus
+    :func:`_stable` text rendering), so a live backend, a subprocess
+    backend and a replayed recording of the same program compare equal
+    snapshot-for-snapshot — the first *unequal* one is the divergence.
+    """
+
+    label: str
+    exited: bool = False
+    exit_code: Optional[int] = None
+    function: Optional[str] = None
+    line: Optional[int] = None
+    depth: Optional[int] = None
+    variables: Dict[str, Any] = field(default_factory=dict)
+
+    def comparable(self) -> Tuple:
+        if self.exited:
+            return ("exit", self.exit_code)
+        return (
+            self.function,
+            self.line,
+            self.depth,
+            tuple(sorted(
+                (name, _stable(value))
+                for name, value in self.variables.items()
+            )),
+        )
+
+    def describe(self) -> str:
+        if self.exited:
+            return f"{self.label}: exited with code {self.exit_code}"
+        variables = ", ".join(
+            f"{name}={_stable(value)}"
+            for name, value in sorted(self.variables.items())
+        )
+        return (
+            f"{self.label}: {self.function}:{self.line} "
+            f"depth={self.depth} {{{variables}}}"
+        )
+
+
+@dataclass
+class DivergenceReport:
+    """The verdict of a lockstep run over a :class:`TrackerGroup`."""
+
+    diverged: bool
+    #: Lockstep index of the first unequal snapshot (``None`` when the
+    #: members stayed equal until every one of them exited).
+    step: Optional[int]
+    #: Every member's normalized state at that boundary.
+    states: List[MemberState]
+    steps_executed: int = 0
+
+    def explain(self) -> str:
+        if not self.diverged:
+            return (
+                f"no divergence: {len(self.states)} member(s) stayed "
+                f"state-equal across {self.steps_executed} lockstep step(s)"
+            )
+        lines = [f"divergence at lockstep step {self.step}:"]
+        lines.extend(f"  {state.describe()}" for state in self.states)
+        return "\n".join(lines)
+
+
+class TrackerGroup:
+    """Drive N inferiors in lockstep and report the first divergence.
+
+    Differential debugging per the paper's equivalence-testing theme, one
+    level deeper than :func:`check_equivalence`: instead of comparing
+    function-boundary signatures after the fact, the group advances every
+    member one step at a time and compares *whole normalized states* at
+    each boundary. Members can mix backends freely — a live settrace run
+    against a recorded ``replay`` timeline is the canonical pairing for
+    "when did this run start behaving differently from the good one?".
+
+    Usage::
+
+        group = TrackerGroup()
+        group.add("live", live_tracker)      # trackers already loaded
+        group.add("recorded", replay_tracker)
+        group.start()
+        report = group.run_lockstep(max_steps=500)
+        print(report.explain())
+        group.terminate()
+    """
+
+    def __init__(self) -> None:
+        self._members: List[Tuple[str, Tracker]] = []
+
+    @property
+    def labels(self) -> List[str]:
+        return [label for label, _ in self._members]
+
+    def add(self, label: str, tracker: Tracker) -> None:
+        """Register a member (any backend, program already loaded)."""
+        if label in self.labels:
+            raise TrackerError(f"duplicate group member label {label!r}")
+        self._members.append((label, tracker))
+
+    def start(self) -> None:
+        for _, tracker in self._members:
+            if not tracker._started:
+                tracker.start()
+
+    def terminate(self) -> None:
+        for _, tracker in self._members:
+            try:
+                tracker.terminate()
+            except TrackerError:
+                pass
+
+    # -- state capture --------------------------------------------------
+
+    def _capture(self, label: str, tracker: Tracker) -> MemberState:
+        if tracker.get_exit_code() is not None:
+            return MemberState(
+                label=label, exited=True, exit_code=tracker.get_exit_code()
+            )
+        frame = tracker.get_current_frame()
+        variables = {
+            name: value_to_python(variable.value)
+            for name, variable in frame.variables.items()
+        }
+        return MemberState(
+            label=label,
+            function=frame.name,
+            line=frame.line,
+            depth=frame.depth,
+            variables=variables,
+        )
+
+    def states(self) -> List[MemberState]:
+        """Every member's normalized state right now."""
+        return [
+            self._capture(label, tracker) for label, tracker in self._members
+        ]
+
+    # -- lockstep -------------------------------------------------------
+
+    def run_lockstep(
+        self, max_steps: int = 10_000, mode: str = "step"
+    ) -> DivergenceReport:
+        """Advance all members together until they disagree or all exit.
+
+        Args:
+            max_steps: safety bound on lockstep iterations.
+            mode: the control motion used each iteration (``"step"``,
+                ``"next"`` or ``"resume"`` — resume turns the group into a
+                breakpoint-to-breakpoint comparator).
+        """
+        if len(self._members) < 2:
+            raise TrackerError("a lockstep group needs at least two members")
+        step = 0
+        states = self.states()
+        while step < max_steps:
+            divergence = self._check(states, step)
+            if divergence is not None:
+                return divergence
+            if all(state.exited for state in states):
+                return DivergenceReport(
+                    diverged=False, step=None, states=states,
+                    steps_executed=step,
+                )
+            self._advance_all(mode)
+            states = self.states()
+            step += 1
+        return DivergenceReport(
+            diverged=False, step=None, states=states, steps_executed=step
+        )
+
+    def _check(
+        self, states: List[MemberState], step: int
+    ) -> Optional[DivergenceReport]:
+        reference = states[0].comparable()
+        if any(state.comparable() != reference for state in states[1:]):
+            return DivergenceReport(
+                diverged=True, step=step, states=states, steps_executed=step
+            )
+        return None
+
+    def _advance_all(self, mode: str) -> None:
+        for _, tracker in self._members:
+            if tracker.get_exit_code() is not None:
+                continue
+            if mode == "resume":
+                tracker.resume()
+            elif mode == "next":
+                tracker.next()
+            else:
+                tracker.step()

@@ -1,0 +1,73 @@
+"""Asyncio-task inspection (:meth:`Tracker.get_tasks`).
+
+A paused asyncio inferior exposes its task set: names, states, and the
+await chain from each task's outermost coroutine to its suspension
+point. The tool's own event loops (if any) are filtered out by keeping
+only tasks whose coroutine stack touches the inferior program.
+"""
+
+import pytest
+
+from repro.core.pause import PauseReasonType
+from repro.pytracker.tracker import PythonTracker
+
+ASYNC_PROGRAM = """\
+import asyncio
+
+async def tick(n):
+    await asyncio.sleep(0)
+    marker = n
+    return marker
+
+async def main():
+    tasks = [
+        asyncio.create_task(tick(i), name="tick-%d" % i) for i in range(2)
+    ]
+    results = await asyncio.gather(*tasks)
+    print("sum", sum(results))
+
+asyncio.run(main())
+"""
+
+
+@pytest.fixture
+def paused_in_task(write_program):
+    tracker = PythonTracker()
+    tracker.load_program(write_program("aio.py", ASYNC_PROGRAM))
+    tracker.break_before_line(5)  # marker = n, inside a running task
+    tracker.start()
+    tracker.resume(timeout=30.0)
+    assert tracker.pause_reason.type is PauseReasonType.BREAKPOINT
+    yield tracker
+    tracker.terminate()
+
+
+class TestGetTasks:
+    def test_inferior_tasks_enumerated(self, paused_in_task):
+        tasks = {info.name: info for info in paused_in_task.get_tasks()}
+        assert {"tick-0", "tick-1"} <= set(tasks)
+        for info in tasks.values():
+            assert info.state in ("pending", "done", "cancelled")
+
+    def test_await_chain_names_the_coroutines(self, paused_in_task):
+        tasks = {info.name: info for info in paused_in_task.get_tasks()}
+        tick = tasks["tick-0"]
+        assert tick.coroutine == "tick"
+        assert tick.awaiting and tick.awaiting[0] == "tick"
+        main = next(
+            (info for info in tasks.values() if info.coroutine == "main"),
+            None,
+        )
+        assert main is not None  # the gathering task is an inferior task
+
+    def test_run_continues_to_completion(self, paused_in_task, capsys):
+        while paused_in_task.get_exit_code() is None:
+            paused_in_task.resume(timeout=30.0)
+        assert paused_in_task.get_exit_code() == 0
+
+    def test_no_tasks_outside_async_code(self, write_program):
+        tracker = PythonTracker()
+        tracker.load_program(write_program("p.py", "a = 1\nb = 2\n"))
+        tracker.start()
+        assert tracker.get_tasks() == []
+        tracker.terminate()

@@ -1,0 +1,160 @@
+"""Seeded thread-interleaving stress: paused or terminated, never hung.
+
+The multithread all-stop machinery has the classic lost-wakeup /
+unbalanced-handshake failure modes, and they are interleaving-dependent.
+This suite drives randomized control schedules (random control points,
+random motions, random timeouts) against generated multithread inferiors
+and asserts the crash-only contract after every single control call: the
+tracker is *paused* or *terminated* — a wedged control call fails the
+per-test timeout first, with the seed in the captured output.
+
+The run is exactly reproducible from its seed: set ``CONCURRENCY_SEED``
+to replay a failure (the seed is printed at the start of every run; CI
+greps it out of failing logs and uploads it as an artifact).
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.core.errors import ControlTimeout, TrackerError
+from repro.core.pause import PauseReasonType
+from repro.pytracker.monitoring import (
+    HAVE_MONITORING,
+    SKIP_REASON,
+    MonitoringTracker,
+)
+from repro.pytracker.tracker import PythonTracker
+
+EPISODES = 3
+OPS_PER_EPISODE = 25
+
+PROGRAM_TEMPLATE = """\
+import threading
+
+counter = 0
+lock = threading.Lock()
+
+def bump(step):
+    global counter
+    with lock:
+        counter += step
+    return counter
+
+def worker(loops):
+    for i in range(loops):
+        bump(1)
+
+threads = [
+    threading.Thread(name="st%d" % n, target=worker, args=({loops},))
+    for n in range({workers})
+]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+print("counter", counter)
+"""
+
+
+def _seed() -> int:
+    env = os.environ.get("CONCURRENCY_SEED")
+    if env:
+        return int(env)
+    return random.SystemRandom().randrange(1, 2**31)
+
+
+def make_tracker(backend):
+    if backend == "python-mon":
+        return MonitoringTracker()
+    return PythonTracker()
+
+
+BACKENDS = [
+    "python",
+    pytest.param(
+        "python-mon",
+        marks=pytest.mark.skipif(not HAVE_MONITORING, reason=SKIP_REASON),
+    ),
+]
+
+
+def run_episode(rng, backend, write_program, episode):
+    workers = rng.randint(2, 4)
+    loops = rng.randint(2, 6)
+    source = PROGRAM_TEMPLATE.format(workers=workers, loops=loops)
+    tracker = make_tracker(backend)
+    tracker.load_program(
+        write_program("stress_%d.py" % episode, source)
+    )
+    # Random control-point mix, installed before start.
+    if rng.random() < 0.7:
+        thread = rng.choice([None, 1, 2])
+        tracker.break_before_func("worker", thread=thread)
+    if rng.random() < 0.5:
+        tracker.break_before_func("bump", thread=rng.choice([None, 1, 2]))
+    if rng.random() < 0.3:
+        tracker.break_before_line(9)  # counter += step
+    try:
+        tracker.start()
+        for _ in range(OPS_PER_EPISODE):
+            if tracker.get_exit_code() is not None:
+                break
+            motion = rng.choice(
+                ["resume", "resume", "resume", "step", "next"]
+            )
+            timeout = rng.choice([0.2, 1.0, 5.0, 30.0])
+            try:
+                getattr(tracker, motion)(timeout=timeout)
+            except ControlTimeout:
+                # Busy, not hung: the call returned. Keep driving.
+                continue
+            # THE invariant: every returning control call leaves the
+            # tracker paused or terminated.
+            if tracker.get_exit_code() is None:
+                reason = tracker.pause_reason
+                assert reason is not None
+                assert reason.type is not PauseReasonType.EXIT
+        # Drain to the end so the episode's threads are gone.
+        while tracker.get_exit_code() is None:
+            try:
+                tracker.resume(timeout=30.0)
+            except ControlTimeout:
+                continue
+        assert tracker.get_exit_code() == 0
+    finally:
+        tracker.terminate()
+    # Terminal contract after the episode.
+    with pytest.raises(TrackerError):
+        tracker.resume()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_seeded_interleaving_schedules(backend, write_program):
+    seed = _seed()
+    print(
+        f"\nCONCURRENCY_SEED={seed}  "
+        f"(set CONCURRENCY_SEED={seed} to replay)"
+    )
+    rng = random.Random(seed)
+    for episode in range(EPISODES):
+        run_episode(rng, backend, write_program, episode)
+
+
+def test_schedule_is_reproducible_from_its_seed():
+    """Identical seeds draw identical op schedules."""
+
+    def draw(seed):
+        rng = random.Random(seed)
+        return [
+            (
+                rng.randint(2, 4),
+                rng.randint(2, 6),
+                rng.random(),
+                rng.choice(["resume", "step", "next"]),
+            )
+            for _ in range(20)
+        ]
+
+    assert draw(20240808) == draw(20240808)

@@ -212,6 +212,96 @@ class TestCrashParity:
         assert "inferior-process-died" in kinds
 
 
+PY_WORKER_RAISES = """\
+import threading
+
+def angry():
+    raise ValueError("worker boom")
+
+t = threading.Thread(name="angry", target=angry)
+t.start()
+t.join()
+print("main survived")
+"""
+
+PY_SHORT_LIVED_WORKER = """\
+import threading
+import time
+
+def blink():
+    pass
+
+def waiter():
+    time.sleep(0.05)
+    checkpoint = 1
+    return checkpoint
+
+short = threading.Thread(name="blink", target=blink)
+long = threading.Thread(name="waiter", target=waiter)
+short.start()
+long.start()
+short.join()
+long.join()
+print("joined")
+"""
+
+
+class TestThreadDeathParity:
+    """Worker-thread death is NOT inferior death — Python semantics.
+
+    A worker's unhandled exception kills only that thread; the main
+    thread joins a dead sibling and carries on. The tracker must agree:
+    exit code 0, the worker's exception collected per-thread, and a
+    pause that survives a sibling dying underneath it.
+    """
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            "make_python",
+            pytest.param("make_mon", marks=requires_monitoring),
+        ],
+    )
+    def test_worker_exception_collected_not_terminal(self, make, request):
+        tracker = run_to_exit(request.getfixturevalue(make)(PY_WORKER_RAISES))
+        errors = tracker.get_thread_exceptions()
+        assert set(errors) == {1}
+        assert isinstance(errors[1], ValueError)
+        # The *inferior* did not crash: main joined the dead worker.
+        assert tracker.get_inferior_exception() is None
+        assert assert_terminal_contract(tracker) == 0
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            "make_python",
+            pytest.param("make_mon", marks=requires_monitoring),
+        ],
+    )
+    def test_sibling_dying_mid_pause_does_not_wedge(self, make, request):
+        """Pause one worker while another finishes and dies; the paused
+        session must resume normally and reach the terminal contract."""
+        tracker = request.getfixturevalue(make)(PY_SHORT_LIVED_WORKER)
+        tracker.break_before_func("waiter")
+        tracker.start()
+        tracker.resume(timeout=30.0)
+        assert tracker.pause_reason.type is PauseReasonType.BREAKPOINT
+        # Give the short-lived sibling ample time to exit while we hold
+        # the pause; its death must not corrupt the all-stop state.
+        import time as _time
+
+        _time.sleep(0.3)
+        states = {info.name: info.state for info in tracker.get_threads()}
+        # Only the breakpointed worker owns the pause; the sibling
+        # either finished, parked at the barrier, or never traced.
+        assert states.get("blink") != "paused"
+        paused = [name for name, state in states.items() if state == "paused"]
+        assert paused == ["waiter"]
+        while tracker.get_exit_code() is None:
+            tracker.resume(timeout=30.0)
+        assert assert_terminal_contract(tracker) == 0
+
+
 class TestInterruptParity:
     """Interrupt-from-timeout is a *pause*, not a death — on both."""
 

@@ -225,8 +225,11 @@ class TestVariables:
     def test_threads(self, launched):
         adapter, _ = launched
         adapter.handle(request("configurationDone"))
-        threads = adapter.handle(request("threads"))[0]
-        assert threads["body"]["threads"] == [{"id": 1, "name": "inferior"}]
+        threads = adapter.handle(request("threads"))[0]["body"]["threads"]
+        # A single-threaded inferior is one real thread: the main
+        # inferior thread at DAP id 1 (tracker index 0), with its state.
+        assert [t["id"] for t in threads] == [1]
+        assert "[paused]" in threads[0]["name"]
 
 
 class TestCInferior:
@@ -392,3 +395,89 @@ class TestReverseExecution:
         assert not messages[0]["success"]
         assert "timeline" in messages[0]["message"]
         adapter.handle(request("disconnect"))
+
+
+THREADED_PROGRAM = """\
+import threading
+
+def worker(tag):
+    value = tag * 2
+    return value
+
+t1 = threading.Thread(name="w1", target=worker, args=(1,))
+t1.start()
+t1.join()
+t2 = threading.Thread(name="w2", target=worker, args=(2,))
+t2.start()
+t2.join()
+print("done")
+"""
+
+
+@pytest.fixture
+def launched_threaded(write_program):
+    adapter = DebugAdapter()
+    adapter.handle(request("initialize"))
+    path = write_program("thr.py", THREADED_PROGRAM)
+    messages = adapter.handle(request("launch", {"program": path}))
+    assert messages[0]["success"]
+    yield adapter, path
+    adapter.handle(request("disconnect"))
+
+
+class TestThreadsOverDap:
+    """Real per-thread surfaces: DAP ids are tracker indexes + 1."""
+
+    def paused_on_worker(self, adapter):
+        adapter.handle(
+            request(
+                "setFunctionBreakpoints",
+                {"breakpoints": [{"name": "worker"}]},
+            )
+        )
+        adapter.handle(request("configurationDone"))
+        return adapter.handle(request("continue"))
+
+    def test_threads_request_lists_inferior_threads(
+        self, launched_threaded
+    ):
+        adapter, _ = launched_threaded
+        self.paused_on_worker(adapter)
+        body = adapter.handle(request("threads"))[0]["body"]
+        by_id = {t["id"]: t["name"] for t in body["threads"]}
+        assert {1, 2} <= set(by_id)  # main (index 0) and w1 (index 1)
+        assert "w1" in by_id[2]
+        assert "[paused]" in by_id[2]
+
+    def test_stopped_event_carries_the_worker_thread_id(
+        self, launched_threaded
+    ):
+        adapter, _ = launched_threaded
+        messages = self.paused_on_worker(adapter)
+        stopped = [m for m in messages if m.get("event") == "stopped"][0]
+        assert stopped["body"]["reason"] == "breakpoint"
+        assert stopped["body"]["threadId"] == 2  # w1 is tracker index 1
+        assert stopped["body"]["allThreadsStopped"] is True
+
+    def test_stack_trace_per_thread(self, launched_threaded):
+        adapter, _ = launched_threaded
+        self.paused_on_worker(adapter)
+        # The pausing worker's stack through the normal frame-id range.
+        worker_stack = adapter.handle(
+            request("stackTrace", {"threadId": 2})
+        )[0]["body"]["stackFrames"]
+        assert worker_stack[0]["name"] == "worker"
+        # The main thread (blocked in join) is view-only.
+        main_stack = adapter.handle(
+            request("stackTrace", {"threadId": 1})
+        )[0]["body"]["stackFrames"]
+        assert main_stack
+        assert main_stack[-1]["name"] == "<module>"
+        assert all(frame["id"] >= 10_000 for frame in main_stack)
+
+    def test_single_threaded_fallback_keeps_thread_one(self, launched):
+        adapter, _ = launched
+        adapter.handle(request("configurationDone"))
+        body = adapter.handle(request("threads"))[0]["body"]
+        ids = [t["id"] for t in body["threads"]]
+        assert ids == [1]

@@ -1,0 +1,224 @@
+"""Stall detection: deadlocked inferiors pause instead of hanging the tool.
+
+The crash-only contract extended to synchronization bugs: when every
+inferior thread is blocked on a lock and a control call's deadline
+expires, the tracker must NOT raise a bare ``ControlTimeout`` (the
+inferior is not slow — it will never move again). Instead the
+:class:`repro.core.supervision.StallDetector` double-samples the threads,
+confirms none is making progress, and the control call returns a
+``DEADLOCK_SUSPECTED`` pause whose ``details`` carry the lock-wait graph
+(per-thread wait facts, ownership edges, and the cycle when one exists).
+Further control calls re-report the same verdict immediately — paused or
+terminated, never hung.
+
+The inversion program uses ``RLock`` because CPython exposes ownership
+(``owner=<ident>``) only on RLock reprs; plain ``Lock`` still classifies
+as a deadlock but without edges. Workers are daemon threads so a wedged
+inferior never outlives its test process.
+"""
+
+import time
+
+import pytest
+
+from repro.core.pause import PauseReasonType
+from repro.pytracker.monitoring import (
+    HAVE_MONITORING,
+    SKIP_REASON,
+    MonitoringTracker,
+)
+from repro.pytracker.tracker import PythonTracker
+from repro.subproc.tracker import SubprocPythonTracker
+
+LOCK_INVERSION = """\
+import threading
+import time
+
+a = threading.RLock()
+b = threading.RLock()
+
+def one():
+    with a:
+        time.sleep(0.2)
+        with b:
+            pass
+
+def two():
+    with b:
+        time.sleep(0.2)
+        with a:
+            pass
+
+t1 = threading.Thread(name="w1", target=one, daemon=True)
+t2 = threading.Thread(name="w2", target=two, daemon=True)
+t1.start()
+t2.start()
+t1.join()
+t2.join()
+"""
+
+SLOW_BUT_ALIVE = """\
+import time
+
+total = 0
+for i in range(80):
+    time.sleep(0.025)
+    total += i
+print("done", total)
+"""
+
+
+BACKENDS = [
+    "python",
+    pytest.param(
+        "python-mon",
+        marks=pytest.mark.skipif(not HAVE_MONITORING, reason=SKIP_REASON),
+    ),
+]
+
+
+def make_tracker(backend):
+    if backend == "python-mon":
+        return MonitoringTracker()
+    return PythonTracker()
+
+
+def resume_until_deadlock(tracker, timeout=1.0, attempts=10):
+    """Resume repeatedly until the stall verdict lands; returns elapsed
+    seconds of the deciding control call."""
+    for _ in range(attempts):
+        start = time.monotonic()
+        tracker.resume(timeout=timeout)
+        elapsed = time.monotonic() - start
+        reason = tracker.pause_reason
+        if reason.type is PauseReasonType.DEADLOCK_SUSPECTED:
+            return elapsed
+    pytest.fail("deadlock verdict never delivered")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestDeadlockVerdict:
+    def deadlocked(self, backend, write_program):
+        tracker = make_tracker(backend)
+        tracker.load_program(write_program("dl.py", LOCK_INVERSION))
+        tracker.start()
+        return tracker
+
+    def test_verdict_within_twice_the_deadline(self, backend, write_program):
+        tracker = self.deadlocked(backend, write_program)
+        try:
+            elapsed = resume_until_deadlock(tracker, timeout=1.0)
+            assert elapsed < 2.0
+            reason = tracker.pause_reason
+            assert reason.type is PauseReasonType.DEADLOCK_SUSPECTED
+            assert reason.thread in (1, 2)
+        finally:
+            tracker.terminate()
+
+    def test_details_carry_the_lock_wait_graph(self, backend, write_program):
+        tracker = self.deadlocked(backend, write_program)
+        try:
+            resume_until_deadlock(tracker)
+            details = tracker.pause_reason.details
+            assert details is not None
+            waiting = {
+                entry["thread"]: entry for entry in details["threads"]
+            }
+            assert {1, 2} <= set(waiting)
+            assert all(
+                entry.get("waiting_on") for entry in waiting.values()
+            )
+            edges = {
+                (edge["from"], edge["to"]) for edge in details["edges"]
+            }
+            assert {(1, 2), (2, 1)} <= edges
+            assert set(details["cycle"]) == {1, 2}
+        finally:
+            tracker.terminate()
+
+    def test_rereport_is_immediate(self, backend, write_program):
+        """Once the verdict landed, every further control call re-reports
+        it without burning another full deadline (crash-only: the state
+        machine stays in its terminal-ish pause)."""
+        tracker = self.deadlocked(backend, write_program)
+        try:
+            resume_until_deadlock(tracker)
+            start = time.monotonic()
+            tracker.resume(timeout=1.0)
+            elapsed = time.monotonic() - start
+            assert (
+                tracker.pause_reason.type
+                is PauseReasonType.DEADLOCK_SUSPECTED
+            )
+            assert elapsed < 0.5
+        finally:
+            tracker.terminate()
+
+    def test_blocked_threads_visible_in_get_threads(
+        self, backend, write_program
+    ):
+        tracker = self.deadlocked(backend, write_program)
+        try:
+            resume_until_deadlock(tracker)
+            infos = {info.id: info for info in tracker.get_threads()}
+            reporting = tracker.pause_reason.thread
+            workers = {1, 2}
+            assert infos[reporting].state == "paused"
+            for index in workers - {reporting}:
+                assert infos[index].state in ("blocked", "paused")
+        finally:
+            tracker.terminate()
+
+    def test_terminate_after_deadlock_succeeds(self, backend, write_program):
+        tracker = self.deadlocked(backend, write_program)
+        try:
+            resume_until_deadlock(tracker)
+        finally:
+            tracker.terminate()
+        tracker.terminate()  # idempotent
+
+
+class TestNoFalsePositives:
+    def test_slow_inferior_interrupts_instead_of_deadlock_verdict(
+        self, write_program
+    ):
+        """A slow-but-running inferior is NOT a deadlock: the deadline
+        delivers a plain INTERRUPT pause (the thread is executing trace
+        events, so the stall sampler never confirms), and the run can
+        continue to completion."""
+        tracker = PythonTracker()
+        tracker.load_program(write_program("slow.py", SLOW_BUT_ALIVE))
+        tracker.start()
+        tracker.resume(timeout=0.4)
+        assert tracker.pause_reason.type is PauseReasonType.INTERRUPT
+        while tracker.get_exit_code() is None:
+            tracker.resume(timeout=30.0)
+        assert tracker.get_exit_code() == 0
+        tracker.terminate()
+
+
+class TestDeadlockOverThePipe:
+    def test_subproc_backend_reports_the_same_verdict(self, write_program):
+        """The MI boundary forwards the verdict: reason, reporting
+        thread, and the full lock-wait graph cross the pipe."""
+        tracker = SubprocPythonTracker()
+        tracker.load_program(write_program("dl.py", LOCK_INVERSION))
+        tracker.start()
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            tracker.resume(timeout=1.5)
+            if (
+                tracker.pause_reason.type
+                is PauseReasonType.DEADLOCK_SUSPECTED
+            ):
+                break
+        reason = tracker.pause_reason
+        assert reason.type is PauseReasonType.DEADLOCK_SUSPECTED
+        assert reason.thread in (1, 2)
+        details = reason.details
+        assert details and set(details["cycle"]) == {1, 2}
+        assert {(e["from"], e["to"]) for e in details["edges"]} >= {
+            (1, 2),
+            (2, 1),
+        }
+        tracker.terminate()

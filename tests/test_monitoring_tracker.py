@@ -266,3 +266,42 @@ class TestInterrupts:
         resumer.join(timeout=10)
         assert not resumer.is_alive()
         assert tracker.health != "invalid"
+
+
+@requires_monitoring
+class TestDynamicCode:
+    def test_breakpoint_fires_in_compiled_exec_code(self, write_program):
+        """Code the inferior compiles at runtime is still inferior code.
+
+        sys.monitoring registers instrumentation per code object; a
+        function born from ``exec(compile(...))`` never existed when the
+        program was loaded, so the backend must instrument it on first
+        sight (the code-object filter has to classify by filename, not
+        by a pre-start registry)."""
+        source = """\
+source = '''
+def dyn_fn(n):
+    doubled = n + 2
+    return doubled
+'''
+code = compile(source, __file__, "exec")
+ns = {}
+exec(code, ns)
+result = ns["dyn_fn"](40)
+print("result", result)
+"""
+        tracker = MonitoringTracker(capture_output=True)
+        tracker.load_program(write_program("dyn.py", source))
+        tracker.break_before_func("dyn_fn")
+        tracker.start()
+        try:
+            tracker.resume(timeout=30.0)
+            assert tracker.pause_reason.type is PauseReasonType.BREAKPOINT
+            frames = tracker.get_frames()
+            assert frames[0].name == "dyn_fn"
+            while tracker.get_exit_code() is None:
+                tracker.resume(timeout=30.0)
+            assert tracker.get_exit_code() == 0
+            assert "result 42" in tracker.get_output()
+        finally:
+            tracker.terminate()

@@ -149,6 +149,25 @@ class TestRender:
     def test_function_render(self):
         assert Value(AbstractType.FUNCTION, "f").render() == "<function f>"
 
+    def test_cyclic_graph_renders_finitely(self):
+        """Cyclic value graphs are legal (walk and value_to_dict cut the
+        back-edge); render must terminate on them too, not recurse until
+        the interpreter dies. Cross-thread sampling can capture genuinely
+        cyclic object graphs, which is how this used to blow up."""
+        lst = Value(AbstractType.LIST, ())
+        ref = Value(AbstractType.REF, lst)
+        lst.content = (ref, prim(1))
+        assert lst.render() == "[&(<...>), 1]"
+
+        struct = Value(AbstractType.STRUCT, {})
+        struct.content = {"self": struct, "x": prim(2)}
+        assert struct.render() == "{.self=<...>, .x=2}"
+
+    def test_shared_but_acyclic_values_render_fully(self):
+        shared = prim(7)
+        value = Value(AbstractType.LIST, (shared, shared))
+        assert value.render() == "[7, 7]"
+
 
 class TestFrame:
     def make_chain(self):

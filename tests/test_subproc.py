@@ -314,3 +314,71 @@ class TestIdleBootAndReload:
         server = PythonDebugServer()
         done = records(server.handle("-apply-limits"))[0]
         assert done.payload == {"limits_applied": False}
+
+
+PY_SERIAL_THREADS = """\
+import threading
+
+def worker(tag):
+    value = tag * 2
+    return value
+
+t1 = threading.Thread(name="w1", target=worker, args=(1,))
+t1.start()
+t1.join()
+t2 = threading.Thread(name="w2", target=worker, args=(2,))
+t2.start()
+t2.join()
+print("done")
+"""
+
+
+class TestThreadsOverMi:
+    """The thread dimension crossing the MI boundary.
+
+    Workers run strictly serially so stable indexes are deterministic
+    (first worker = 1, second = 2) regardless of scheduler whims.
+    """
+
+    def test_thread_info_lists_the_main_thread(self, server):
+        server.handle("-exec-run")
+        payload = records(server.handle("-thread-info"))[0].payload
+        threads = {t["id"]: t for t in payload["threads"]}
+        assert 0 in threads
+        assert threads[0]["state"] == "paused"
+
+    def test_stop_payload_names_the_pausing_thread(self, write_program):
+        server = make_server(write_program, PY_SERIAL_THREADS, "thr.py")
+        server.handle("-break-insert worker")
+        server.handle("-exec-run")
+        payload = last_stopped(server.handle("-exec-continue"))
+        assert payload["reason"] == "breakpoint-hit"
+        assert payload["thread"] == 1
+        assert payload["thread-name"] == "w1"
+
+    def test_thread_scoped_breakpoint_option(self, write_program):
+        server = make_server(write_program, PY_SERIAL_THREADS, "thr.py")
+        server.handle('-break-insert worker --thread "2"')
+        server.handle("-exec-run")
+        payload = last_stopped(server.handle("-exec-continue"))
+        assert payload["reason"] == "breakpoint-hit"
+        assert payload["thread"] == 2
+        assert payload["thread-name"] == "w2"
+        # Exactly one hit: the next continue runs to exit.
+        for _ in range(5):
+            payload = last_stopped(server.handle("-exec-continue"))
+            if payload["reason"] == "exited":
+                break
+        assert payload["reason"] == "exited"
+
+    def test_thread_info_while_paused_on_a_worker(self, write_program):
+        server = make_server(write_program, PY_SERIAL_THREADS, "thr.py")
+        server.handle("-break-insert worker")
+        server.handle("-exec-run")
+        server.handle("-exec-continue")  # breakpoint on w1
+        payload = records(server.handle("-thread-info"))[0].payload
+        threads = {t["id"]: t for t in payload["threads"]}
+        assert {0, 1} <= set(threads)
+        assert threads[1]["name"] == "w1"
+        assert threads[1]["state"] == "paused"
+        assert threads[0]["state"] in ("running", "blocked", "parked")

@@ -1,0 +1,142 @@
+"""The lockstep differential harness (:class:`repro.tools.equivalence.TrackerGroup`).
+
+Differential debugging one level below :func:`check_equivalence`: drive N
+loaded trackers one motion at a time and compare whole normalized states
+at every boundary. The canonical pairing — a live run against a recorded
+``replay`` timeline of the good run — answers "when did this run start
+behaving differently?" with the first unequal snapshot.
+"""
+
+import pytest
+
+from repro.core.errors import TrackerError
+from repro.core.replay import ReplayTracker
+from repro.pytracker.tracker import PythonTracker
+from repro.tools.equivalence import TrackerGroup
+
+GOOD = """\
+x = 1
+y = 2
+z = y * 3
+done = z
+"""
+
+BAD = """\
+x = 1
+y = 2
+z = y * 4
+done = z
+"""
+
+
+def loaded(write_program, name, source):
+    tracker = PythonTracker()
+    tracker.load_program(write_program(name, source))
+    return tracker
+
+
+def record_stepped_run(write_program, name, source):
+    """Step a program to completion, recording every pause."""
+    tracker = PythonTracker()
+    tracker.load_program(write_program(name, source))
+    tracker.enable_recording()
+    tracker.start()
+    while tracker.get_exit_code() is None:
+        tracker.step()
+    timeline = tracker.timeline
+    tracker.terminate()
+    return timeline
+
+
+class TestLockstep:
+    def test_seeded_divergence_between_live_runs(self, write_program):
+        group = TrackerGroup()
+        group.add("good", loaded(write_program, "good.py", GOOD))
+        group.add("bad", loaded(write_program, "bad.py", BAD))
+        group.start()
+        try:
+            report = group.run_lockstep()
+        finally:
+            group.terminate()
+        assert report.diverged
+        # Both members agree until z is assigned; the first unequal
+        # snapshot is the boundary right after line 3 executed.
+        states = {state.label: state for state in report.states}
+        assert states["good"].variables["z"] == 6
+        assert states["bad"].variables["z"] == 8
+        assert "divergence at lockstep step" in report.explain()
+
+    def test_live_versus_replay_divergence(self, write_program):
+        """The acceptance pairing: a recorded good run replayed against a
+        live bad run reports the seeded divergence as the first unequal
+        snapshot."""
+        timeline = record_stepped_run(write_program, "good.py", GOOD)
+        group = TrackerGroup()
+        group.add("live", loaded(write_program, "bad.py", BAD))
+        group.add("recorded", ReplayTracker(timeline=timeline))
+        group.start()
+        try:
+            report = group.run_lockstep()
+        finally:
+            group.terminate()
+        assert report.diverged
+        states = {state.label: state for state in report.states}
+        assert states["live"].variables["z"] == 8
+        assert states["recorded"].variables["z"] == 6
+        explanation = report.explain()
+        assert "live" in explanation and "recorded" in explanation
+
+    def test_identical_programs_do_not_diverge(self, write_program):
+        group = TrackerGroup()
+        group.add("a", loaded(write_program, "a.py", GOOD))
+        group.add("b", loaded(write_program, "b.py", GOOD))
+        group.start()
+        try:
+            report = group.run_lockstep()
+        finally:
+            group.terminate()
+        assert not report.diverged
+        assert report.step is None
+        assert report.steps_executed > 0
+        assert all(state.exited for state in report.states)
+        assert "no divergence" in report.explain()
+
+    def test_exit_code_mismatch_is_a_divergence(self, write_program):
+        group = TrackerGroup()
+        group.add("clean", loaded(write_program, "c.py", "x = 1\n"))
+        group.add(
+            "failing",
+            loaded(write_program, "f.py", "import sys\nsys.exit(3)\n"),
+        )
+        group.start()
+        try:
+            report = group.run_lockstep()
+        finally:
+            group.terminate()
+        assert report.diverged
+
+
+class TestGroupContract:
+    def test_duplicate_label_rejected(self, write_program):
+        group = TrackerGroup()
+        group.add("m", loaded(write_program, "a.py", GOOD))
+        with pytest.raises(TrackerError):
+            group.add("m", loaded(write_program, "b.py", GOOD))
+
+    def test_lockstep_needs_two_members(self, write_program):
+        group = TrackerGroup()
+        group.add("only", loaded(write_program, "a.py", GOOD))
+        group.start()
+        try:
+            with pytest.raises(TrackerError):
+                group.run_lockstep()
+        finally:
+            group.terminate()
+
+    def test_terminate_is_idempotent(self, write_program):
+        group = TrackerGroup()
+        group.add("a", loaded(write_program, "a.py", GOOD))
+        group.add("b", loaded(write_program, "b.py", GOOD))
+        group.start()
+        group.terminate()
+        group.terminate()
